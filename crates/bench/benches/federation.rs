@@ -1,0 +1,69 @@
+//! End-to-end federation benchmarks: one full communication round of each
+//! algorithm over four small heterogeneous clients.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pfrl_core::fed::{ClientSetup, FedAvgRunner, FedConfig, MfpoRunner, PfrlDmRunner};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::{EnvConfig, EnvDims, VmSpec};
+use pfrl_core::workloads::DatasetId;
+
+fn setups() -> (Vec<ClientSetup>, EnvDims) {
+    let dims = EnvDims::new(2, 8, 64.0, 3);
+    let datasets =
+        [DatasetId::K8s, DatasetId::Google, DatasetId::Alibaba2017, DatasetId::Kvm2019];
+    let s = datasets
+        .iter()
+        .enumerate()
+        .map(|(i, d)| ClientSetup {
+            name: format!("c{i}"),
+            vms: vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            train_tasks: d.model().sample(120, 40 + i as u64),
+        })
+        .collect();
+    (s, dims)
+}
+
+fn fed_cfg() -> FedConfig {
+    FedConfig {
+        episodes: 2,
+        comm_every: 2,
+        participation_k: 2,
+        tasks_per_episode: Some(25),
+        seed: 4,
+        parallel: false, // criterion wants single-threaded stability
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    c.bench_function("federation/pfrl_dm_round_4_clients", |b| {
+        let (s, dims) = setups();
+        b.iter(|| {
+            let mut r =
+                PfrlDmRunner::new(s.clone(), dims, EnvConfig::default(), PpoConfig::default(), fed_cfg());
+            black_box(r.train())
+        });
+    });
+    c.bench_function("federation/fedavg_round_4_clients", |b| {
+        let (s, dims) = setups();
+        b.iter(|| {
+            let mut r =
+                FedAvgRunner::new(s.clone(), dims, EnvConfig::default(), PpoConfig::default(), fed_cfg());
+            black_box(r.train())
+        });
+    });
+    c.bench_function("federation/mfpo_round_4_clients", |b| {
+        let (s, dims) = setups();
+        b.iter(|| {
+            let mut r =
+                MfpoRunner::new(s.clone(), dims, EnvConfig::default(), PpoConfig::default(), fed_cfg());
+            black_box(r.train())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rounds
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+use pfrl_core::presets::{table3_clients, TABLE3_DIMS};
+use pfrl_core::rl::{PpoAgent, PpoConfig};
+use pfrl_core::sim::{CloudEnv, EnvConfig};
+fn main() {
+    let clients = table3_clients(300, 0);
+    for idx in [0usize, 4, 9] {
+        let c = &clients[idx];
+        let mut env = CloudEnv::new(TABLE3_DIMS, c.vms.clone(), EnvConfig::default());
+        let mut agent = PpoAgent::new(TABLE3_DIMS.state_dim(), TABLE3_DIMS.action_dim(), PpoConfig::default(), 1);
+        let t0 = std::time::Instant::now();
+        let mut decisions = 0usize;
+        for ep in 0..10 {
+            let n = 40.min(c.train_tasks.len());
+            let s = (ep*13) % (c.train_tasks.len()-n+1);
+            let mut w = c.train_tasks[s..s+n].to_vec();
+            let b = w[0].arrival;
+            for (i,t) in w.iter_mut().enumerate() { t.id = i as u64; t.arrival -= b; }
+            env.reset(w);
+            agent.train_one_episode(&mut env);
+            decisions += env.decisions();
+        }
+        println!("{}: 10 eps(40 tasks) in {:.2}s, {} decisions", c.name, t0.elapsed().as_secs_f64(), decisions);
+    }
+}

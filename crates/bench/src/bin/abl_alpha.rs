@@ -1,0 +1,42 @@
+//! Ablation: the adaptive dual-critic weight `α` (Eq. 15) vs pinned
+//! values. `α = 1` ignores the public critic (≈ local-only), `α = 0`
+//! trusts it blindly, `α = 0.5` is a fixed blend; the adaptive rule should
+//! match or beat every pin.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
+use pfrl_core::fed::PfrlDmRunner;
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::EnvConfig;
+
+fn main() {
+    let scale = start("abl_alpha", "Ablation: adaptive vs fixed dual-critic alpha");
+    let variants: [(&str, Option<f32>); 4] =
+        [("adaptive", None), ("fixed_0.0", Some(0.0)), ("fixed_0.5", Some(0.5)), ("fixed_1.0", Some(1.0))];
+
+    let mut curves = Vec::new();
+    for (name, alpha) in variants {
+        let fed_cfg = scale.fed_exploratory(4, 30);
+        let mut runner = PfrlDmRunner::new(
+            table2_clients(scale.samples, 7),
+            TABLE2_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            fed_cfg,
+        );
+        runner.set_fixed_alpha(alpha);
+        let c = runner.train();
+        eprintln!("# alpha={name}: final-15 mean reward {:.1}", c.final_mean(15));
+        curves.push((name, c.smoothed_mean_curve(10)));
+    }
+
+    let mut header = vec!["episode".to_string()];
+    header.extend(curves.iter().map(|(n, _)| n.to_string()));
+    let mut rows = vec![header];
+    for e in 0..curves[0].1.len() {
+        let mut row = vec![e.to_string()];
+        row.extend(curves.iter().map(|(_, c)| format!("{:.2}", c[e])));
+        rows.push(row);
+    }
+    emit("abl_alpha", &rows);
+}

@@ -1,0 +1,38 @@
+//! Ablation: number of attention heads in the server aggregator.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::fed::PfrlDmRunner;
+use pfrl_core::nn::MultiHeadConfig;
+use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::EnvConfig;
+
+fn main() {
+    let scale = start("abl_heads", "Ablation: attention head count");
+    let mut curves = Vec::new();
+    for heads in [1usize, 2, 4, 8] {
+        let fed_cfg = scale.fed_exploratory(4, 31);
+        let attention = MultiHeadConfig { heads, ..Default::default() };
+        let mut runner = PfrlDmRunner::with_attention(
+            table2_clients(scale.samples, 7),
+            TABLE2_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            fed_cfg,
+            attention,
+        );
+        let c = runner.train();
+        eprintln!("# heads={heads}: final-15 mean reward {:.1}", c.final_mean(15));
+        curves.push((heads, c.smoothed_mean_curve(10)));
+    }
+
+    let mut header = vec!["episode".to_string()];
+    header.extend(curves.iter().map(|(h, _)| format!("heads_{h}")));
+    let mut rows = vec![header];
+    for e in 0..curves[0].1.len() {
+        let mut row = vec![e.to_string()];
+        row.extend(curves.iter().map(|(_, c)| format!("{:.2}", c[e])));
+        rows.push(row);
+    }
+    emit("abl_heads", &rows);
+}

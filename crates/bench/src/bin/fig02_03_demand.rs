@@ -1,0 +1,46 @@
+//! Figures 2–3: distributions of requested CPU and memory across the ten
+//! workload datasets.
+//!
+//! Emits, per dataset: the CPU-request histogram over the observed classes
+//! and memory-request summary percentiles — the data behind the paper's
+//! violin/box plots.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::csv_row;
+use pfrl_core::stats::Summary;
+use pfrl_core::workloads::DatasetId;
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = start("fig02_03_demand", "Figs. 2-3: requested CPU / memory distributions");
+    let mut cpu_rows = vec![csv_row!["dataset", "vcpus", "fraction"]];
+    let mut mem_rows =
+        vec![csv_row!["dataset", "min", "p25", "median", "mean", "p75", "max"]];
+    for id in DatasetId::ALL {
+        let tasks = id.model().sample(scale.samples, 2026);
+        let mut cpu_counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for t in &tasks {
+            *cpu_counts.entry(t.vcpus).or_default() += 1;
+        }
+        for (cpu, count) in cpu_counts {
+            cpu_rows.push(csv_row![
+                id.name(),
+                cpu,
+                format!("{:.4}", count as f64 / tasks.len() as f64)
+            ]);
+        }
+        let mems: Vec<f64> = tasks.iter().map(|t| t.mem_gb as f64).collect();
+        let s = Summary::of(&mems);
+        mem_rows.push(csv_row![
+            id.name(),
+            format!("{:.2}", s.min),
+            format!("{:.2}", s.p25),
+            format!("{:.2}", s.median),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.p75),
+            format!("{:.2}", s.max)
+        ]);
+    }
+    emit("fig02_cpu_demand", &cpu_rows);
+    emit("fig03_mem_demand", &mem_rows);
+}

@@ -1,0 +1,21 @@
+//! Figure 4: measured hourly task arrival rates per dataset.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::csv_row;
+use pfrl_core::workloads::{ArrivalProfile, DatasetId};
+
+fn main() {
+    let scale = start("fig04_arrival", "Fig. 4: hourly task arrival rates");
+    // More samples give smoother empirical rates; use several days' worth.
+    let n = (scale.samples * 4).max(2000);
+    let mut rows = vec![csv_row!["dataset", "hour", "tasks_per_hour"]];
+    for id in DatasetId::ALL {
+        let tasks = id.model().sample(n, 404);
+        let arrivals: Vec<u64> = tasks.iter().map(|t| t.arrival).collect();
+        let counts = ArrivalProfile::empirical_hourly_counts(&arrivals);
+        for (hour, rate) in counts.iter().enumerate() {
+            rows.push(csv_row![id.name(), hour, format!("{rate:.2}")]);
+        }
+    }
+    emit("fig04_arrival", &rows);
+}

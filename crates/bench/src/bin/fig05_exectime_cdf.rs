@@ -1,0 +1,20 @@
+//! Figure 5: CDF of task execution time per dataset.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::csv_row;
+use pfrl_core::stats::EmpiricalCdf;
+use pfrl_core::workloads::DatasetId;
+
+fn main() {
+    let scale = start("fig05_exectime_cdf", "Fig. 5: execution-time CDFs");
+    let mut rows = vec![csv_row!["dataset", "exec_minutes", "cdf"]];
+    for id in DatasetId::ALL {
+        let tasks = id.model().sample(scale.samples, 505);
+        let durations: Vec<f64> = tasks.iter().map(|t| t.duration as f64).collect();
+        let cdf = EmpiricalCdf::new(&durations);
+        for (x, f) in cdf.plot_points(40) {
+            rows.push(csv_row![id.name(), format!("{x:.1}"), format!("{f:.4}")]);
+        }
+    }
+    emit("fig05_exectime_cdf", &rows);
+}

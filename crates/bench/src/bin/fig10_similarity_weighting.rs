@@ -1,0 +1,99 @@
+//! Figure 10: paying more aggregation weight to *similar* clients
+//! accelerates convergence (Sec. 3.3).
+//!
+//! Four FedAvg configurations, reporting client C1's reward curve:
+//!
+//! * `Fed-Diff` — four different clients, uniform averaging;
+//! * `Fed-Diff-weight` — same, but C1's personal average over-weights C2;
+//! * `Fed-Same2` — C1, a twin C1' (same environment, fresh sample), C3,
+//!   C4, uniform averaging;
+//! * `Fed-Same2-weight` — same, but C1 over-weights its twin C1'.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::csv_row;
+use pfrl_core::fed::{ClientSetup, FedAvgRunner};
+use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::EnvConfig;
+use pfrl_core::tensor::Matrix;
+use pfrl_core::workloads::DatasetId;
+
+/// Uniform rows except row 0, which puts `boost` on `favored` (and on C1
+/// itself), sharing the remainder.
+fn c1_boost_matrix(n: usize, favored: usize, boost: f32) -> Matrix {
+    let mut m = Matrix::filled(n, n, 1.0 / n as f32);
+    let rest = (1.0 - 2.0 * boost) / (n as f32 - 2.0);
+    for j in 0..n {
+        m[(0, j)] = if j == 0 || j == favored { boost } else { rest };
+    }
+    m
+}
+
+fn run(name: &str, setups: Vec<ClientSetup>, mixing: Option<Matrix>, scale: &pfrl_bench::Scale) -> Vec<f64> {
+    let fed_cfg = scale.fed_exploratory(setups.len(), 10);
+    let mut runner = FedAvgRunner::new(
+        setups,
+        TABLE2_DIMS,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed_cfg,
+    );
+    if let Some(m) = mixing {
+        runner = runner.with_mixing(m);
+    }
+    let curves = runner.train();
+    eprintln!("# {name}: C1 final-15 mean reward {:.1}", {
+        let c1 = &curves.per_client[0];
+        c1[c1.len() - 15..].iter().sum::<f64>() / 15.0
+    });
+    // Smoothed C1 curve.
+    let c1 = &curves.per_client[0];
+    (0..c1.len())
+        .map(|i| {
+            let lo = i.saturating_sub(9);
+            c1[lo..=i].iter().sum::<f64>() / (i - lo + 1) as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = start("fig10_similarity_weighting", "Fig. 10: similarity-weighted aggregation");
+
+    let diff = table2_clients(scale.samples, 7);
+    let mut same2 = table2_clients(scale.samples, 7);
+    // Replace C2 with a twin of C1: same VMs, same dataset, fresh sample.
+    same2[1] = ClientSetup {
+        name: "Client1'-Google".into(),
+        vms: same2[0].vms.clone(),
+        train_tasks: DatasetId::Google.model().sample(scale.samples, 1234),
+    };
+
+    let curves = [("Fed-Diff", run("Fed-Diff", diff.clone(), None, &scale)),
+        (
+            "Fed-Diff-weight",
+            run("Fed-Diff-weight", diff, Some(c1_boost_matrix(4, 1, 0.35)), &scale),
+        ),
+        ("Fed-Same2", run("Fed-Same2", same2.clone(), None, &scale)),
+        (
+            "Fed-Same2-weight",
+            run("Fed-Same2-weight", same2, Some(c1_boost_matrix(4, 1, 0.35)), &scale),
+        )];
+
+    let mut rows = vec![csv_row![
+        "episode",
+        curves[0].0,
+        curves[1].0,
+        curves[2].0,
+        curves[3].0
+    ]];
+    for e in 0..curves[0].1.len() {
+        rows.push(csv_row![
+            e,
+            format!("{:.2}", curves[0].1[e]),
+            format!("{:.2}", curves[1].1[e]),
+            format!("{:.2}", curves[2].1[e]),
+            format!("{:.2}", curves[3].1[e])
+        ]);
+    }
+    emit("fig10_similarity_weighting", &rows);
+}

@@ -1,0 +1,52 @@
+//! Figure 15: average convergence of the ten Table 3 clients under
+//! PFRL-DM, FedAvg, MFPO, and independent PPO (Sec. 5.2; 500 episodes,
+//! comm every 25, K = N/2 at paper scale).
+
+use pfrl_bench::{emit, start};
+use pfrl_core::csv_row;
+use pfrl_core::experiment::{run_federation, Algorithm};
+use pfrl_core::presets::{table3_clients, TABLE3_DIMS};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::EnvConfig;
+
+fn main() {
+    let scale = start("fig15_convergence", "Fig. 15: 10-client convergence comparison");
+    let fed_cfg = scale.fed_eval(10, 15);
+
+    let mut curves = Vec::new();
+    for alg in Algorithm::ALL {
+        let t0 = std::time::Instant::now();
+        let (c, _) = run_federation(
+            alg,
+            table3_clients(scale.samples, 3),
+            TABLE3_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            fed_cfg,
+        );
+        eprintln!(
+            "# {alg}: final-25 mean reward {:.1} ({:.1}s)",
+            c.final_mean(25),
+            t0.elapsed().as_secs_f64()
+        );
+        curves.push((alg, c.smoothed_mean_curve(10)));
+    }
+
+    let mut rows = vec![csv_row![
+        "episode",
+        curves[0].0,
+        curves[1].0,
+        curves[2].0,
+        curves[3].0
+    ]];
+    for e in 0..curves[0].1.len() {
+        rows.push(csv_row![
+            e,
+            format!("{:.2}", curves[0].1[e]),
+            format!("{:.2}", curves[1].1[e]),
+            format!("{:.2}", curves[2].1[e]),
+            format!("{:.2}", curves[3].1[e])
+        ]);
+    }
+    emit("fig15_convergence", &rows);
+}

@@ -1,0 +1,35 @@
+//! Figures 16–19: generalization on hybrid workloads (Sec. 5.3).
+//!
+//! Every Table 3 client's trained policy is evaluated on a test set that
+//! keeps only 20% of its own held-out tasks and fills the rest from the
+//! other nine clients. Four metrics per client per algorithm:
+//! average response time (Fig. 16), makespan (Fig. 17), resource
+//! utilization (Fig. 18), and load balancing (Fig. 19).
+
+use pfrl_bench::{emit, run_generalization, start};
+
+fn main() {
+    let scale = start("fig16_19_generalization", "Figs. 16-19: hybrid-workload generalization");
+    let data = run_generalization(&scale, 16);
+
+    let metric = |name: &str,
+                  select: fn(&pfrl_core::experiment::GeneralizationResults) -> &Vec<f64>| {
+        let mut rows = vec![{
+            let mut h = vec!["client".to_string()];
+            h.extend(data.per_alg.iter().map(|(a, _)| a.to_string()));
+            h
+        }];
+        for (i, cname) in data.client_names.iter().enumerate() {
+            let mut row = vec![cname.clone()];
+            row.extend(data.per_alg.iter().map(|(_, g)| format!("{:.4}", select(g)[i])));
+            rows.push(row);
+        }
+        emit(name, &rows);
+    };
+
+    metric("fig16_response", |g| &g.response);
+    metric("fig17_makespan", |g| &g.makespan);
+    metric("fig18_utilization", |g| &g.utilization);
+    metric("fig19_load_balance", |g| &g.load_balance);
+
+}

@@ -1,0 +1,47 @@
+//! Figure 21: impact of the communication frequency on PFRL-DM's
+//! convergence (Sec. 5.4). The paper finds differences exist but are
+//! generally not substantial.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::fed::{FedConfig, PfrlDmRunner};
+use pfrl_core::presets::{table3_clients, TABLE3_DIMS};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::EnvConfig;
+
+fn main() {
+    let scale = start("fig21_comm_freq", "Fig. 21: communication-frequency sweep");
+    let freqs: [usize; 4] = if scale.is_paper { [5, 15, 25, 50] } else { [5, 10, 20, 40] };
+
+    let mut curves = Vec::new();
+    for freq in freqs {
+        let fed_cfg = FedConfig {
+            episodes: scale.episodes_eval,
+            comm_every: freq,
+            participation_k: 5,
+            tasks_per_episode: scale.tasks_per_episode,
+            seed: 21,
+            parallel: true,
+        };
+        let mut runner = PfrlDmRunner::new(
+            table3_clients(scale.samples, 3),
+            TABLE3_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            fed_cfg,
+        );
+        let c = runner.train();
+        eprintln!("# comm_every={freq}: final-20 mean reward {:.1}", c.final_mean(20));
+        curves.push((freq, c.smoothed_mean_curve(10)));
+    }
+
+    let mut header = vec!["episode".to_string()];
+    header.extend(curves.iter().map(|(f, _)| format!("comm_{f}")));
+    let mut rows = vec![header];
+    let len = curves.iter().map(|(_, c)| c.len()).min().unwrap_or(0);
+    for e in 0..len {
+        let mut row = vec![e.to_string()];
+        row.extend(curves.iter().map(|(_, c)| format!("{:.2}", c[e])));
+        rows.push(row);
+    }
+    emit("fig21_comm_freq", &rows);
+}

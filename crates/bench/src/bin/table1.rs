@@ -1,0 +1,24 @@
+//! Table 1: machine specifications of the source cloud workload datasets.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::csv_row;
+use pfrl_core::workloads::machine_table;
+
+fn main() {
+    start("table1", "Table 1: machine specifications");
+    let mut rows = vec![csv_row!["source", "cpus", "mem_gib", "nodes", "platform"]];
+    for r in machine_table() {
+        let cpus = if r.cpus.0 == r.cpus.1 {
+            format!("{}", r.cpus.0)
+        } else {
+            format!("{}~{}", r.cpus.0, r.cpus.1)
+        };
+        let mem = if r.mem_gib.0 == r.mem_gib.1 {
+            format!("{}", r.mem_gib.0)
+        } else {
+            format!("{}~{}", r.mem_gib.0, r.mem_gib.1)
+        };
+        rows.push(csv_row![r.source, cpus, mem, r.nodes, r.platform]);
+    }
+    emit("table1", &rows);
+}

@@ -1,0 +1,34 @@
+//! Tables 2 and 3: the client environment settings (machine tuples and
+//! workload datasets) as instantiated by this reproduction.
+
+use pfrl_bench::{emit, start};
+use pfrl_core::csv_row;
+use pfrl_core::presets::{table2_clients, table3_clients};
+use pfrl_core::fed::ClientSetup;
+
+fn rows_of(clients: &[ClientSetup]) -> Vec<Vec<String>> {
+    let mut rows = vec![csv_row!["client", "vm_specs(cpu,mem,count)", "tasks"]];
+    for c in clients {
+        // Compress the VM list back into (cpu, mem, count) tuples.
+        let mut tuples: Vec<(u32, f32, usize)> = Vec::new();
+        for v in &c.vms {
+            match tuples.last_mut() {
+                Some(t) if t.0 == v.vcpus && t.1 == v.mem_gb => t.2 += 1,
+                _ => tuples.push((v.vcpus, v.mem_gb, 1)),
+            }
+        }
+        let spec = tuples
+            .iter()
+            .map(|(c, m, n)| format!("({c},{m:.0},{n})"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        rows.push(csv_row![c.name, spec, c.train_tasks.len()]);
+    }
+    rows
+}
+
+fn main() {
+    let scale = start("table2_3_presets", "Tables 2-3: client environments");
+    emit("table2_clients", &rows_of(&table2_clients(scale.samples, 0)));
+    emit("table3_clients", &rows_of(&table3_clients(scale.samples, 0)));
+}

@@ -1,0 +1,308 @@
+//! Shared infrastructure for the experiment binaries (one per paper
+//! figure/table) and the Criterion microbenches.
+//!
+//! Every binary honours the `PFRL_SCALE` environment variable:
+//!
+//! * `quick` (default) — small task samples / episode counts so the whole
+//!   suite regenerates in minutes on a laptop;
+//! * `paper` — the paper's own scales (3500 tasks per client, 300/500
+//!   episodes); expect hours of CPU time.
+//!
+//! Outputs go to stdout as CSV and are also written under `results/`.
+
+use pfrl_core::fed::FedConfig;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Tasks sampled per client dataset (paper: 3500).
+    pub samples: usize,
+    /// Exploratory-study episodes (paper: 300, Sec. 3).
+    pub episodes_exploratory: usize,
+    /// Evaluation episodes (paper: 500, Sec. 5).
+    pub episodes_eval: usize,
+    /// Exploratory communication frequency (paper: 15).
+    pub comm_exploratory: usize,
+    /// Evaluation communication frequency (paper: 25).
+    pub comm_eval: usize,
+    /// Tasks per training episode window (`None` = full pool, as the
+    /// paper's episodes replay the whole training split).
+    pub tasks_per_episode: Option<usize>,
+    /// Whether this is the paper-scale run.
+    pub is_paper: bool,
+}
+
+impl Scale {
+    /// Quick laptop scale.
+    pub fn quick() -> Self {
+        Self {
+            samples: 700,
+            episodes_exploratory: 120,
+            episodes_eval: 160,
+            comm_exploratory: 15,
+            comm_eval: 20,
+            tasks_per_episode: Some(50),
+            is_paper: false,
+        }
+    }
+
+    /// The paper's scale.
+    pub fn paper() -> Self {
+        Self {
+            samples: 3500,
+            episodes_exploratory: 300,
+            episodes_eval: 500,
+            comm_exploratory: 15,
+            comm_eval: 25,
+            tasks_per_episode: Some(150),
+            is_paper: true,
+        }
+    }
+
+    /// Reads `PFRL_SCALE` (`quick` default, `paper` for full runs).
+    pub fn from_env() -> Self {
+        match std::env::var("PFRL_SCALE").as_deref() {
+            Ok("paper") => Self::paper(),
+            _ => Self::quick(),
+        }
+    }
+
+    /// The Sec. 3 exploratory federation schedule at this scale.
+    pub fn fed_exploratory(&self, n_clients: usize, seed: u64) -> FedConfig {
+        FedConfig {
+            episodes: self.episodes_exploratory,
+            comm_every: self.comm_exploratory,
+            participation_k: (n_clients / 2).max(1),
+            tasks_per_episode: self.tasks_per_episode,
+            seed,
+            parallel: true,
+        }
+    }
+
+    /// The Sec. 5 evaluation federation schedule at this scale.
+    pub fn fed_eval(&self, n_clients: usize, seed: u64) -> FedConfig {
+        FedConfig {
+            episodes: self.episodes_eval,
+            comm_every: self.comm_eval,
+            participation_k: (n_clients / 2).max(1),
+            tasks_per_episode: self.tasks_per_episode,
+            seed,
+            parallel: true,
+        }
+    }
+}
+
+/// Prints a banner naming the experiment and scale, and returns the scale.
+pub fn start(experiment: &str, paper_ref: &str) -> Scale {
+    let scale = Scale::from_env();
+    eprintln!(
+        "# {experiment} ({paper_ref}) — scale: {} (set PFRL_SCALE=paper for full scale)",
+        if scale.is_paper { "paper" } else { "quick" }
+    );
+    scale
+}
+
+/// Writes rows both to stdout and `results/<name>.csv`.
+pub fn emit(name: &str, rows: &[Vec<String>]) {
+    pfrl_core::csv::print(rows);
+    let path = std::path::Path::new("results").join(format!("{name}.csv"));
+    if let Err(e) = pfrl_core::csv::write_file(&path, rows) {
+        eprintln!("# warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("# wrote {}", path.display());
+    }
+}
+
+/// Output of the Sec. 5.3 generalization experiment, shared by the
+/// Figs. 16–19 binary and the Table 4 Wilcoxon binary.
+pub struct GeneralizationData {
+    /// Client display names.
+    pub client_names: Vec<String>,
+    /// `per_alg[a]` is algorithm `a`'s [`pfrl_core::experiment::GeneralizationResults`].
+    pub per_alg: Vec<(
+        pfrl_core::experiment::Algorithm,
+        pfrl_core::experiment::GeneralizationResults,
+    )>,
+}
+
+/// Cache file shared by `fig16_19_generalization` and `table4_wilcoxon`
+/// so the (expensive) 4-algorithm training phase runs once.
+const GEN_CACHE: &str = "results/generalization_cache.csv";
+
+/// Writes the generalization data to the cache.
+fn write_gen_cache(data: &GeneralizationData) {
+    let mut rows = vec![vec![
+        "algorithm".to_string(),
+        "client".to_string(),
+        "response".to_string(),
+        "makespan".to_string(),
+        "utilization".to_string(),
+        "load_balance".to_string(),
+    ]];
+    for (alg, g) in &data.per_alg {
+        for (i, c) in data.client_names.iter().enumerate() {
+            rows.push(vec![
+                alg.to_string(),
+                c.clone(),
+                format!("{}", g.response[i]),
+                format!("{}", g.makespan[i]),
+                format!("{}", g.utilization[i]),
+                format!("{}", g.load_balance[i]),
+            ]);
+        }
+    }
+    let _ = pfrl_core::csv::write_file(std::path::Path::new(GEN_CACHE), &rows);
+}
+
+/// Loads the cache if present and well-formed.
+fn read_gen_cache() -> Option<GeneralizationData> {
+    use pfrl_core::experiment::{Algorithm, GeneralizationResults};
+    let text = std::fs::read_to_string(GEN_CACHE).ok()?;
+    let mut per_alg: Vec<(Algorithm, GeneralizationResults)> = Algorithm::ALL
+        .iter()
+        .map(|&a| (a, GeneralizationResults::default()))
+        .collect();
+    let mut client_names = Vec::new();
+    for line in text.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return None;
+        }
+        let alg_slot = per_alg.iter_mut().find(|(a, _)| a.name() == fields[0])?;
+        if alg_slot.0 == Algorithm::PfrlDm {
+            client_names.push(fields[1].to_string());
+        }
+        alg_slot.1.response.push(fields[2].parse().ok()?);
+        alg_slot.1.makespan.push(fields[3].parse().ok()?);
+        alg_slot.1.utilization.push(fields[4].parse().ok()?);
+        alg_slot.1.load_balance.push(fields[5].parse().ok()?);
+    }
+    if client_names.is_empty() || per_alg.iter().any(|(_, g)| g.response.len() != client_names.len()) {
+        return None;
+    }
+    Some(GeneralizationData { client_names, per_alg })
+}
+
+/// Trains all four algorithms on the Table 3 clients (60/40 split), then
+/// evaluates every client on its hybrid (20% own / 80% foreign) test set.
+/// Results are cached under `results/` so the Figs. 16–19 and Table 4
+/// binaries share one training run; delete the cache file to recompute.
+pub fn run_generalization(scale: &Scale, seed: u64) -> GeneralizationData {
+    if let Some(cached) = read_gen_cache() {
+        eprintln!("# using cached generalization results from {GEN_CACHE}");
+        return cached;
+    }
+    let data = run_generalization_uncached(scale, seed);
+    write_gen_cache(&data);
+    data
+}
+
+fn run_generalization_uncached(scale: &Scale, seed: u64) -> GeneralizationData {
+    use pfrl_core::experiment::{evaluate_generalization, run_federation, Algorithm};
+    use pfrl_core::presets::{table3_clients, TABLE3_DIMS};
+    use pfrl_core::rl::PpoConfig;
+    use pfrl_core::sim::EnvConfig;
+    use pfrl_core::workloads::train_test_split;
+
+    // 60/40 split each client's pool into train and held-out test tasks.
+    let mut setups = table3_clients(scale.samples, 3);
+    let mut test_sets = Vec::new();
+    for (i, s) in setups.iter_mut().enumerate() {
+        let split = train_test_split(&s.train_tasks, 0.6, seed.wrapping_add(i as u64));
+        s.train_tasks = split.train;
+        test_sets.push(split.test);
+    }
+
+    let fed_cfg = scale.fed_eval(10, seed);
+    let mut per_alg = Vec::new();
+    let mut client_names = Vec::new();
+    for alg in Algorithm::ALL {
+        let t0 = std::time::Instant::now();
+        let (_, mut trained) = run_federation(
+            alg,
+            setups.clone(),
+            TABLE3_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            fed_cfg,
+        );
+        let g = evaluate_generalization(&mut trained, &test_sets, 0.2, seed ^ 0xBEEF);
+        if client_names.is_empty() {
+            client_names = trained.client_names();
+        }
+        eprintln!(
+            "# {alg}: mean response {:.1}, mean util {:.3} ({:.1}s)",
+            g.response.iter().sum::<f64>() / g.response.len() as f64,
+            g.utilization.iter().sum::<f64>() / g.utilization.len() as f64,
+            t0.elapsed().as_secs_f64()
+        );
+        per_alg.push((alg, g));
+    }
+    GeneralizationData { client_names, per_alg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_default() {
+        // Do not mutate the environment (tests run in parallel); just
+        // check both constructors' invariants.
+        let q = Scale::quick();
+        let p = Scale::paper();
+        assert!(q.samples < p.samples);
+        assert!(q.episodes_eval < p.episodes_eval);
+        assert_eq!(p.samples, 3500);
+        assert_eq!(p.episodes_eval, 500);
+        assert_eq!(p.comm_eval, 25);
+    }
+
+    #[test]
+    fn generalization_cache_roundtrips() {
+        use pfrl_core::experiment::{Algorithm, GeneralizationResults};
+        // Build a synthetic dataset, write the cache, read it back.
+        let mk = |base: f64| GeneralizationResults {
+            response: vec![base, base + 1.0],
+            makespan: vec![base * 2.0, base * 2.0 + 1.0],
+            utilization: vec![0.5, 0.6],
+            load_balance: vec![0.1, 0.2],
+        };
+        let data = GeneralizationData {
+            client_names: vec!["c0".into(), "c1".into()],
+            per_alg: Algorithm::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (a, mk(i as f64 + 1.0)))
+                .collect(),
+        };
+        // Preserve any real cache produced by earlier experiment runs.
+        let original = std::fs::read(GEN_CACHE).ok();
+        write_gen_cache(&data);
+        let read = read_gen_cache().expect("cache readable");
+        assert_eq!(read.client_names, data.client_names);
+        for ((a1, g1), (a2, g2)) in read.per_alg.iter().zip(&data.per_alg) {
+            assert_eq!(a1.name(), a2.name());
+            assert_eq!(g1.response, g2.response);
+            assert_eq!(g1.load_balance, g2.load_balance);
+        }
+        match original {
+            Some(bytes) => std::fs::write(GEN_CACHE, bytes).expect("restore cache"),
+            None => {
+                let _ = std::fs::remove_file(GEN_CACHE);
+            }
+        }
+    }
+
+    #[test]
+    fn fed_configs_use_paper_k() {
+        let s = Scale::quick();
+        let f = s.fed_eval(10, 0);
+        assert_eq!(f.participation_k, 5); // K = N/2
+        assert_eq!(f.comm_every, s.comm_eval);
+        f.validate(10);
+        let f = s.fed_exploratory(4, 0);
+        assert_eq!(f.participation_k, 2);
+        f.validate(4);
+    }
+}

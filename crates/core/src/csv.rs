@@ -1,0 +1,85 @@
+//! Minimal CSV emission for the figure/table binaries.
+//!
+//! Every experiment binary prints its figure's data as CSV to stdout and
+//! (optionally) writes it under `results/`; this module keeps the quoting
+//! rules in one place without pulling in a CSV dependency.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Escapes one CSV field (quotes when it contains a comma, quote, or
+/// newline).
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders rows of fields to CSV text.
+pub fn render(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|f| escape(f)).collect();
+        let _ = writeln!(out, "{}", line.join(","));
+    }
+    out
+}
+
+/// Builds a row from anything displayable.
+#[macro_export]
+macro_rules! csv_row {
+    ($($field:expr),* $(,)?) => {
+        vec![$(format!("{}", $field)),*]
+    };
+}
+
+/// Prints CSV rows to stdout.
+pub fn print(rows: &[Vec<String>]) {
+    print!("{}", render(rows));
+}
+
+/// Writes CSV rows to `path`, creating parent directories.
+pub fn write_file(path: &Path, rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, render(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        assert_eq!(escape("abc"), "abc");
+        assert_eq!(escape("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn render_rows() {
+        let rows = vec![csv_row!["x", "y"], csv_row![1, 2.5]];
+        assert_eq!(render(&rows), "x,y\n1,2.5\n");
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join("pfrl_csv_test");
+        let path = dir.join("t.csv");
+        write_file(&path, &[csv_row!["a,b", 3]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "\"a,b\",3\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,240 @@
+//! Uniform experiment driver over the four algorithms.
+
+use pfrl_fed::{
+    ClientSetup, FedAvgRunner, FedConfig, IndependentRunner, MfpoRunner, PfrlDmRunner,
+    TrainingCurves,
+};
+use pfrl_rl::PpoConfig;
+use pfrl_sim::{EnvConfig, EnvDims, EpisodeMetrics};
+use pfrl_workloads::TaskSpec;
+
+/// The four algorithms compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's contribution.
+    PfrlDm,
+    /// Classic FedAvg over actor + critic.
+    FedAvg,
+    /// Momentum-based FRL baseline.
+    Mfpo,
+    /// Independent PPO (no federation).
+    Ppo,
+}
+
+impl Algorithm {
+    /// All four, in the paper's plotting order.
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::PfrlDm, Algorithm::FedAvg, Algorithm::Mfpo, Algorithm::Ppo];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::PfrlDm => "PFRL-DM",
+            Algorithm::FedAvg => "FedAvg",
+            Algorithm::Mfpo => "MFPO",
+            Algorithm::Ppo => "PPO",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A trained federation of any algorithm, kept for post-training
+/// evaluation (Sec. 5.3's generalization studies).
+pub enum TrainedFederation {
+    /// PFRL-DM runner.
+    PfrlDm(PfrlDmRunner),
+    /// FedAvg runner.
+    FedAvg(FedAvgRunner),
+    /// MFPO runner.
+    Mfpo(MfpoRunner),
+    /// Independent PPO runner.
+    Ppo(IndependentRunner),
+}
+
+impl TrainedFederation {
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        match self {
+            TrainedFederation::PfrlDm(r) => r.clients.len(),
+            TrainedFederation::FedAvg(r) => r.clients.len(),
+            TrainedFederation::Mfpo(r) => r.clients.len(),
+            TrainedFederation::Ppo(r) => r.clients.len(),
+        }
+    }
+
+    /// Client display names, in index order.
+    pub fn client_names(&self) -> Vec<String> {
+        match self {
+            TrainedFederation::PfrlDm(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
+            TrainedFederation::FedAvg(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
+            TrainedFederation::Mfpo(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
+            TrainedFederation::Ppo(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
+        }
+    }
+
+    /// Each client's private training pool (used to build hybrid test sets).
+    pub fn client_task_pools(&self) -> Vec<Vec<TaskSpec>> {
+        match self {
+            TrainedFederation::PfrlDm(r) => {
+                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
+            }
+            TrainedFederation::FedAvg(r) => {
+                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
+            }
+            TrainedFederation::Mfpo(r) => {
+                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
+            }
+            TrainedFederation::Ppo(r) => {
+                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
+            }
+        }
+    }
+
+    /// Greedy evaluation of client `idx`'s trained policy on `tasks`.
+    pub fn evaluate_client(&mut self, idx: usize, tasks: Vec<TaskSpec>) -> EpisodeMetrics {
+        match self {
+            TrainedFederation::PfrlDm(r) => r.clients[idx].evaluate_on(tasks),
+            TrainedFederation::FedAvg(r) => r.clients[idx].evaluate_on(tasks),
+            TrainedFederation::Mfpo(r) => r.clients[idx].evaluate_on(tasks),
+            TrainedFederation::Ppo(r) => r.clients[idx].evaluate_on(tasks),
+        }
+    }
+}
+
+/// Trains `algorithm` over the given clients and returns the reward curves
+/// plus the trained federation.
+pub fn run_federation(
+    algorithm: Algorithm,
+    setups: Vec<ClientSetup>,
+    dims: EnvDims,
+    env_cfg: EnvConfig,
+    ppo_cfg: PpoConfig,
+    fed_cfg: FedConfig,
+) -> (TrainingCurves, TrainedFederation) {
+    match algorithm {
+        Algorithm::PfrlDm => {
+            let mut r = PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let c = r.train();
+            (c, TrainedFederation::PfrlDm(r))
+        }
+        Algorithm::FedAvg => {
+            let mut r = FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let c = r.train();
+            (c, TrainedFederation::FedAvg(r))
+        }
+        Algorithm::Mfpo => {
+            let mut r = MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let c = r.train();
+            (c, TrainedFederation::Mfpo(r))
+        }
+        Algorithm::Ppo => {
+            let mut r = IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let c = r.train();
+            (c, TrainedFederation::Ppo(r))
+        }
+    }
+}
+
+/// The four per-client metric collections of Figs. 16–19: one value per
+/// client, per metric.
+#[derive(Debug, Clone, Default)]
+pub struct GeneralizationResults {
+    /// Mean response times (steps).
+    pub response: Vec<f64>,
+    /// Makespans (steps).
+    pub makespan: Vec<f64>,
+    /// Mean utilizations `[0, 1]`.
+    pub utilization: Vec<f64>,
+    /// Mean load-balance values (lower = better).
+    pub load_balance: Vec<f64>,
+}
+
+/// Evaluates every client of a trained federation on its hybrid test set
+/// (Sec. 5.3: `own_frac` of its own held-out tasks, the rest drawn from the
+/// other clients), producing the data behind Figs. 16–19.
+pub fn evaluate_generalization(
+    fed: &mut TrainedFederation,
+    test_sets: &[Vec<TaskSpec>],
+    own_frac: f64,
+    seed: u64,
+) -> GeneralizationResults {
+    let n = fed.n_clients();
+    assert_eq!(test_sets.len(), n, "one test set per client required");
+    let mut out = GeneralizationResults::default();
+    for i in 0..n {
+        let hybrid = pfrl_workloads::hybrid_test_set(test_sets, i, own_frac, seed);
+        let m = fed.evaluate_client(i, hybrid);
+        out.response.push(m.avg_response);
+        out.makespan.push(m.makespan);
+        out.utilization.push(m.avg_utilization);
+        out.load_balance.push(m.avg_load_balance);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{table2_clients, TABLE2_DIMS};
+
+    fn tiny_fed() -> FedConfig {
+        FedConfig {
+            episodes: 2,
+            comm_every: 1,
+            participation_k: 2,
+            tasks_per_episode: Some(10),
+            seed: 3,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn all_algorithms_run_on_table2() {
+        for alg in Algorithm::ALL {
+            let (curves, fed) = run_federation(
+                alg,
+                table2_clients(40, 1),
+                TABLE2_DIMS,
+                EnvConfig::default(),
+                PpoConfig::default(),
+                tiny_fed(),
+            );
+            assert_eq!(curves.clients(), 4, "{alg}");
+            assert_eq!(fed.n_clients(), 4, "{alg}");
+            assert!(
+                curves.per_client.iter().all(|c| c.len() == 2),
+                "{alg}: wrong episode count"
+            );
+        }
+    }
+
+    #[test]
+    fn generalization_evaluates_every_client() {
+        let (_, mut fed) = run_federation(
+            Algorithm::Ppo,
+            table2_clients(40, 2),
+            TABLE2_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            tiny_fed(),
+        );
+        let pools = fed.client_task_pools();
+        let g = evaluate_generalization(&mut fed, &pools, 0.2, 9);
+        assert_eq!(g.response.len(), 4);
+        assert_eq!(g.makespan.len(), 4);
+        assert!(g.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(g.load_balance.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn algorithm_names_match_paper() {
+        assert_eq!(Algorithm::PfrlDm.name(), "PFRL-DM");
+        assert_eq!(Algorithm::FedAvg.to_string(), "FedAvg");
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! `pfrl-core` — the facade crate of the PFRL-DM reproduction.
+//!
+//! Re-exports the full stack (`tensor` → `nn` → `rl` → `fed`, plus
+//! `workloads`, `sim`, `stats`) and adds:
+//!
+//! * [`presets`] — the client environments of the paper's Table 2
+//!   (4-client exploratory studies) and Table 3 (10-client evaluation);
+//! * [`experiment`] — a uniform driver for running any of the four
+//!   algorithms (PFRL-DM / FedAvg / MFPO / independent PPO) over a preset
+//!   and evaluating the trained clients on arbitrary task sets;
+//! * [`csv`] — minimal CSV emission used by every figure/table binary.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pfrl_core::experiment::{run_federation, Algorithm};
+//! use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
+//! use pfrl_core::fed::FedConfig;
+//! use pfrl_core::rl::PpoConfig;
+//! use pfrl_core::sim::EnvConfig;
+//!
+//! let setups = table2_clients(80, 0); // tiny sample for the doctest
+//! let fed_cfg = FedConfig {
+//!     episodes: 2,
+//!     comm_every: 1,
+//!     participation_k: 2,
+//!     tasks_per_episode: Some(10),
+//!     seed: 0,
+//!     parallel: false,
+//! };
+//! let (curves, mut trained) = run_federation(
+//!     Algorithm::PfrlDm,
+//!     setups,
+//!     TABLE2_DIMS,
+//!     EnvConfig::default(),
+//!     PpoConfig::default(),
+//!     fed_cfg,
+//! );
+//! assert_eq!(curves.clients(), 4);
+//! assert_eq!(trained.n_clients(), 4);
+//! ```
+
+pub use pfrl_fed as fed;
+pub use pfrl_nn as nn;
+pub use pfrl_rl as rl;
+pub use pfrl_sim as sim;
+pub use pfrl_stats as stats;
+pub use pfrl_tensor as tensor;
+pub use pfrl_workloads as workloads;
+
+pub mod csv;
+pub mod experiment;
+pub mod presets;

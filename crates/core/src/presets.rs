@@ -1,0 +1,139 @@
+//! The client environment presets of the paper's Tables 2 and 3.
+//!
+//! Machine tuples are `(vCPUs, memory GiB, count)` exactly as printed in
+//! the paper; each client's workload comes from the listed dataset's
+//! generative model.
+
+use pfrl_fed::ClientSetup;
+use pfrl_sim::{EnvDims, VmSpec};
+use pfrl_stats::seeding::derive_seed;
+use pfrl_workloads::DatasetId;
+
+/// Shared dims for the Table 2 (4-client) exploratory environments.
+pub const TABLE2_DIMS: EnvDims = EnvDims { max_vms: 5, max_vcpus: 32, max_mem_gb: 256.0, queue_slots: 5 };
+
+/// Shared dims for the Table 3 (10-client) evaluation environments.
+pub const TABLE3_DIMS: EnvDims = EnvDims { max_vms: 7, max_vcpus: 64, max_mem_gb: 512.0, queue_slots: 5 };
+
+/// Expands `(vcpus, mem, count)` tuples into a VM list.
+fn vms(specs: &[(u32, f32, usize)]) -> Vec<VmSpec> {
+    specs
+        .iter()
+        .flat_map(|&(cpu, mem, count)| std::iter::repeat_n(VmSpec::new(cpu, mem), count))
+        .collect()
+}
+
+/// One client: machines + `samples` tasks from `dataset`.
+fn client(
+    name: &str,
+    machines: &[(u32, f32, usize)],
+    dataset: DatasetId,
+    samples: usize,
+    seed: u64,
+    index: u64,
+) -> ClientSetup {
+    ClientSetup {
+        name: name.to_string(),
+        vms: vms(machines),
+        train_tasks: dataset.model().sample(samples, derive_seed(seed, index)),
+    }
+}
+
+/// The paper's Table 2: four exploratory clients. `samples` tasks are drawn
+/// per client (the paper uses 3500).
+pub fn table2_clients(samples: usize, seed: u64) -> Vec<ClientSetup> {
+    vec![
+        client("Client1-Google", &[(16, 128.0, 4), (32, 256.0, 1)], DatasetId::Google, samples, seed, 0),
+        client("Client2-Alibaba2017", &[(32, 256.0, 3)], DatasetId::Alibaba2017, samples, seed, 1),
+        client("Client3-HPC-HF", &[(16, 128.0, 2), (32, 256.0, 2)], DatasetId::HpcHf, samples, seed, 2),
+        client("Client4-KVM2019", &[(16, 128.0, 3), (32, 256.0, 2)], DatasetId::Kvm2019, samples, seed, 3),
+    ]
+}
+
+/// The paper's Table 3: the ten evaluation clients. `samples` tasks are
+/// drawn per client (the paper uses 3500).
+pub fn table3_clients(samples: usize, seed: u64) -> Vec<ClientSetup> {
+    vec![
+        client("Client1-Google", &[(8, 64.0, 1), (16, 128.0, 4), (64, 512.0, 2)], DatasetId::Google, samples, seed, 0),
+        client("Client2-Alibaba2017", &[(8, 64.0, 3), (32, 128.0, 3), (64, 512.0, 1)], DatasetId::Alibaba2017, samples, seed, 1),
+        client("Client3-Alibaba2018", &[(8, 64.0, 3), (32, 256.0, 2), (64, 512.0, 2)], DatasetId::Alibaba2018, samples, seed, 2),
+        client("Client4-HPC-KS", &[(8, 64.0, 2), (32, 256.0, 3), (40, 256.0, 2)], DatasetId::HpcKs, samples, seed, 3),
+        client("Client5-HPC-HF", &[(8, 64.0, 1), (48, 256.0, 2), (64, 512.0, 3)], DatasetId::HpcHf, samples, seed, 4),
+        client("Client6-HPC-WZ", &[(16, 128.0, 1), (32, 256.0, 3), (40, 256.0, 3)], DatasetId::HpcWz, samples, seed, 5),
+        client("Client7-KVM2019", &[(16, 128.0, 1), (40, 256.0, 3), (32, 200.0, 3)], DatasetId::Kvm2019, samples, seed, 6),
+        client("Client8-KVM2020", &[(16, 128.0, 4), (64, 512.0, 1)], DatasetId::Kvm2020, samples, seed, 7),
+        client("Client9-CERIT-SC", &[(8, 64.0, 2), (16, 128.0, 2), (64, 512.0, 1)], DatasetId::CeritSc, samples, seed, 8),
+        client("Client10-K8S", &[(8, 128.0, 2), (16, 128.0, 4)], DatasetId::K8s, samples, seed, 9),
+    ]
+}
+
+/// The dataset behind each Table 3 client, in order.
+pub const TABLE3_DATASETS: [DatasetId; 10] = DatasetId::ALL;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_counts() {
+        let clients = table2_clients(50, 0);
+        assert_eq!(clients.len(), 4);
+        assert_eq!(clients[0].vms.len(), 5); // 4 + 1
+        assert_eq!(clients[1].vms.len(), 3);
+        assert_eq!(clients[2].vms.len(), 4);
+        assert_eq!(clients[3].vms.len(), 5);
+        for c in &clients {
+            assert_eq!(c.train_tasks.len(), 50);
+            assert!(c.vms.len() <= TABLE2_DIMS.max_vms);
+            for v in &c.vms {
+                assert!(v.vcpus <= TABLE2_DIMS.max_vcpus);
+                assert!(v.mem_gb <= TABLE2_DIMS.max_mem_gb);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_counts() {
+        let clients = table3_clients(50, 0);
+        assert_eq!(clients.len(), 10);
+        let expected_vm_counts = [7, 7, 7, 7, 6, 7, 7, 5, 5, 6];
+        for (c, &n) in clients.iter().zip(&expected_vm_counts) {
+            assert_eq!(c.vms.len(), n, "{}", c.name);
+            assert!(c.vms.len() <= TABLE3_DIMS.max_vms);
+            for v in &c.vms {
+                assert!(v.vcpus <= TABLE3_DIMS.max_vcpus, "{}", c.name);
+                assert!(v.mem_gb <= TABLE3_DIMS.max_mem_gb, "{}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn clients_have_distinct_workloads_and_seeded_determinism() {
+        let a = table3_clients(30, 1);
+        let b = table3_clients(30, 1);
+        let c = table3_clients(30, 2);
+        for i in 0..10 {
+            assert_eq!(a[i].train_tasks, b[i].train_tasks);
+        }
+        assert_ne!(a[0].train_tasks, c[0].train_tasks);
+        assert_ne!(a[0].train_tasks, a[1].train_tasks);
+    }
+
+    /// Every client must be able to admit most of its own tasks (an
+    /// environment where the bulk of the native workload is rejected would
+    /// be useless for training).
+    #[test]
+    fn native_workloads_mostly_admissible() {
+        for c in table3_clients(300, 3) {
+            let admissible = c
+                .train_tasks
+                .iter()
+                .filter(|t| {
+                    c.vms.iter().any(|v| t.vcpus <= v.vcpus && t.mem_gb <= v.mem_gb)
+                })
+                .count();
+            let frac = admissible as f64 / c.train_tasks.len() as f64;
+            assert!(frac > 0.95, "{}: only {frac:.2} admissible", c.name);
+        }
+    }
+}

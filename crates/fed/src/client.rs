@@ -1,0 +1,210 @@
+//! A federated client: an agent bound to its private environment and
+//! workload pool.
+
+use crate::config::{ClientSetup, FedConfig};
+use pfrl_rl::{DualCriticAgent, PpoAgent};
+use pfrl_sim::{CloudEnv, EnvConfig, EnvDims, EpisodeMetrics};
+use pfrl_stats::seeding::SeedStream;
+use pfrl_workloads::TaskSpec;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Minimal agent interface the federation machinery needs.
+pub trait FedAgent: Send {
+    /// One training episode on a freshly reset env; returns total reward.
+    fn train_episode(&mut self, env: &mut CloudEnv) -> f32;
+    /// Greedy evaluation on a freshly reset env.
+    fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics;
+}
+
+impl FedAgent for PpoAgent {
+    fn train_episode(&mut self, env: &mut CloudEnv) -> f32 {
+        self.train_one_episode(env)
+    }
+    fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics {
+        self.evaluate(env)
+    }
+}
+
+impl FedAgent for DualCriticAgent {
+    fn train_episode(&mut self, env: &mut CloudEnv) -> f32 {
+        self.train_one_episode(env)
+    }
+    fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics {
+        self.evaluate(env)
+    }
+}
+
+/// One client of the federation.
+pub struct Client<A: FedAgent> {
+    /// The learning agent.
+    pub agent: A,
+    /// Display name.
+    pub name: String,
+    /// Episode rewards collected so far.
+    pub rewards: Vec<f64>,
+    env: CloudEnv,
+    train_tasks: Vec<TaskSpec>,
+    episode_seeds: SeedStream,
+    episodes_done: usize,
+    tasks_per_episode: Option<usize>,
+}
+
+impl<A: FedAgent> Client<A> {
+    /// Builds a client from its setup, agent, and the shared dims/config.
+    pub fn new(
+        setup: ClientSetup,
+        agent: A,
+        dims: EnvDims,
+        env_cfg: EnvConfig,
+        fed_cfg: &FedConfig,
+        client_index: usize,
+    ) -> Self {
+        assert!(!setup.train_tasks.is_empty(), "client {} has no tasks", setup.name);
+        let env = CloudEnv::new(dims, setup.vms, env_cfg);
+        let episode_seeds = SeedStream::new(fed_cfg.seed)
+            .child("episodes")
+            .index(client_index as u64);
+        Self {
+            agent,
+            name: setup.name,
+            rewards: Vec::new(),
+            env,
+            train_tasks: setup.train_tasks,
+            episode_seeds,
+            episodes_done: 0,
+            tasks_per_episode: fed_cfg.tasks_per_episode,
+        }
+    }
+
+    /// Number of training episodes completed.
+    pub fn episodes_done(&self) -> usize {
+        self.episodes_done
+    }
+
+    /// The client's private training pool.
+    pub fn train_tasks(&self) -> &[TaskSpec] {
+        &self.train_tasks
+    }
+
+    /// Draws this episode's task window: a seeded random contiguous slice
+    /// of the pool, rebased to arrival 0 (or the full pool when
+    /// `tasks_per_episode` is `None`).
+    fn episode_tasks(&self, episode: usize) -> Vec<TaskSpec> {
+        match self.tasks_per_episode {
+            None => self.train_tasks.clone(),
+            Some(n) if n >= self.train_tasks.len() => self.train_tasks.clone(),
+            Some(n) => {
+                let seed = self.episode_seeds.index(episode as u64).seed();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let start = rng.gen_range(0..=self.train_tasks.len() - n);
+                let mut window = self.train_tasks[start..start + n].to_vec();
+                let base = window.first().map_or(0, |t| t.arrival);
+                for (i, t) in window.iter_mut().enumerate() {
+                    t.id = i as u64;
+                    t.arrival -= base;
+                }
+                window
+            }
+        }
+    }
+
+    /// Runs `n` training episodes, appending to `rewards`.
+    pub fn run_episodes(&mut self, n: usize) {
+        for _ in 0..n {
+            let tasks = self.episode_tasks(self.episodes_done);
+            self.env.reset(tasks);
+            let r = self.agent.train_episode(&mut self.env);
+            self.rewards.push(r as f64);
+            self.episodes_done += 1;
+        }
+    }
+
+    /// Greedy evaluation of the current policy on an arbitrary task set
+    /// (e.g. a held-out or hybrid test set).
+    pub fn evaluate_on(&mut self, tasks: Vec<TaskSpec>) -> EpisodeMetrics {
+        self.env.reset(tasks);
+        self.agent.evaluate_episode(&mut self.env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfrl_rl::PpoConfig;
+    use pfrl_sim::VmSpec;
+    use pfrl_workloads::DatasetId;
+
+    fn dims() -> EnvDims {
+        EnvDims::new(2, 8, 64.0, 3)
+    }
+
+    fn setup() -> ClientSetup {
+        ClientSetup {
+            name: "test".into(),
+            vms: vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            train_tasks: DatasetId::K8s.model().sample(200, 1),
+        }
+    }
+
+    fn client(fed_cfg: &FedConfig) -> Client<PpoAgent> {
+        let d = dims();
+        let agent = PpoAgent::new(d.state_dim(), d.action_dim(), PpoConfig::default(), 5);
+        Client::new(setup(), agent, d, EnvConfig::default(), fed_cfg, 0)
+    }
+
+    #[test]
+    fn runs_episodes_and_collects_rewards() {
+        let cfg = FedConfig { tasks_per_episode: Some(20), ..Default::default() };
+        let mut c = client(&cfg);
+        c.run_episodes(3);
+        assert_eq!(c.rewards.len(), 3);
+        assert_eq!(c.episodes_done(), 3);
+        assert!(c.rewards.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn episode_windows_differ_but_are_deterministic() {
+        let cfg = FedConfig { tasks_per_episode: Some(20), seed: 3, ..Default::default() };
+        let c1 = client(&cfg);
+        let w0 = c1.episode_tasks(0);
+        let w1 = c1.episode_tasks(1);
+        assert_eq!(w0.len(), 20);
+        assert_eq!(w0[0].arrival, 0);
+        assert_ne!(w0, w1);
+        let c2 = client(&cfg);
+        assert_eq!(c2.episode_tasks(0), w0);
+    }
+
+    #[test]
+    fn full_pool_when_window_is_none_or_large() {
+        let cfg = FedConfig { tasks_per_episode: None, ..Default::default() };
+        let c = client(&cfg);
+        assert_eq!(c.episode_tasks(0).len(), 200);
+        let cfg = FedConfig { tasks_per_episode: Some(500), ..Default::default() };
+        let c = client(&cfg);
+        assert_eq!(c.episode_tasks(0).len(), 200);
+    }
+
+    #[test]
+    fn evaluate_on_external_tasks() {
+        let cfg = FedConfig::default();
+        let mut c = client(&cfg);
+        let m = c.evaluate_on(DatasetId::Google.model().sample(30, 2));
+        assert_eq!(m.tasks_placed + m.tasks_unplaced, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tasks")]
+    fn empty_task_pool_rejected() {
+        let d = dims();
+        let agent = PpoAgent::new(d.state_dim(), d.action_dim(), PpoConfig::default(), 5);
+        let s = ClientSetup {
+            name: "empty".into(),
+            vms: vec![VmSpec::new(8, 64.0)],
+            train_tasks: vec![],
+        };
+        let _ = Client::new(s, agent, d, EnvConfig::default(), &FedConfig::default(), 0);
+    }
+}

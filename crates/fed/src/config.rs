@@ -1,0 +1,124 @@
+//! Federation configuration and per-client environment setup.
+
+use pfrl_sim::VmSpec;
+use pfrl_workloads::TaskSpec;
+
+/// Everything needed to instantiate one client's environment.
+#[derive(Debug, Clone)]
+pub struct ClientSetup {
+    /// Display name (e.g. the dataset the client's workload comes from).
+    pub name: String,
+    /// The client's VM fleet (Tables 2–3).
+    pub vms: Vec<VmSpec>,
+    /// The client's training task pool.
+    pub train_tasks: Vec<TaskSpec>,
+}
+
+/// Federation-wide training schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedConfig {
+    /// Total training episodes per client (paper: 300 exploratory / 500
+    /// evaluation).
+    pub episodes: usize,
+    /// Communication frequency: local episodes between aggregations
+    /// (paper: 15 exploratory / 25 evaluation).
+    pub comm_every: usize,
+    /// Clients aggregated per round, `K ≤ N` (paper: `K = N/2` for
+    /// PFRL-DM; FedAvg/MFPO use all clients).
+    pub participation_k: usize,
+    /// Tasks drawn per training episode: a random contiguous window of the
+    /// client's pool (`None` = the whole pool every episode).
+    pub tasks_per_episode: Option<usize>,
+    /// Root seed; all client/episode streams derive from it.
+    pub seed: u64,
+    /// Train clients in parallel with rayon (results are identical either
+    /// way; parallelism only changes wall-clock).
+    pub parallel: bool,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 300,
+            comm_every: 15,
+            participation_k: 2,
+            tasks_per_episode: Some(120),
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+impl FedConfig {
+    /// Validates the schedule against a client count.
+    pub fn validate(&self, n_clients: usize) {
+        assert!(n_clients >= 1, "need at least one client");
+        assert!(self.episodes >= 1, "need at least one episode");
+        assert!(self.comm_every >= 1, "comm_every must be >= 1");
+        assert!(
+            self.participation_k >= 1 && self.participation_k <= n_clients,
+            "participation K={} out of 1..={n_clients}",
+            self.participation_k
+        );
+        if let Some(t) = self.tasks_per_episode {
+            assert!(t >= 1, "tasks_per_episode must be >= 1");
+        }
+    }
+
+    /// Number of communication rounds implied by the schedule.
+    pub fn rounds(&self) -> usize {
+        self.episodes / self.comm_every
+    }
+}
+
+/// Shared fixtures for the runner tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use pfrl_sim::{EnvConfig, EnvDims};
+    use pfrl_workloads::DatasetId;
+
+    /// `n` tiny heterogeneous clients plus shared dims/env config.
+    pub(crate) fn small_setups(n: usize) -> (Vec<ClientSetup>, EnvDims, EnvConfig) {
+        let dims = EnvDims::new(2, 8, 64.0, 3);
+        let datasets = [DatasetId::K8s, DatasetId::Google, DatasetId::Alibaba2017];
+        let setups = (0..n)
+            .map(|i| ClientSetup {
+                name: format!("c{i}"),
+                vms: vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+                train_tasks: datasets[i % datasets.len()].model().sample(60, 10 + i as u64),
+            })
+            .collect();
+        (setups, dims, EnvConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_exploratory_schedule() {
+        let c = FedConfig::default();
+        assert_eq!(c.episodes, 300);
+        assert_eq!(c.comm_every, 15);
+        assert_eq!(c.rounds(), 20);
+    }
+
+    #[test]
+    fn validation_accepts_sane_config() {
+        FedConfig::default().validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "participation")]
+    fn k_larger_than_n_rejected() {
+        FedConfig { participation_k: 5, ..Default::default() }.validate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "comm_every")]
+    fn zero_comm_rejected() {
+        FedConfig { comm_every: 0, ..Default::default() }.validate(4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-client reward curves collected during federated training.
+
+/// Training reward trajectories: `per_client[k][e]` is client `k`'s total
+/// reward in its `e`-th training episode.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingCurves {
+    /// One reward series per client.
+    pub per_client: Vec<Vec<f64>>,
+}
+
+impl TrainingCurves {
+    /// Creates empty curves for `n` clients.
+    pub fn new(n: usize) -> Self {
+        Self { per_client: vec![Vec::new(); n] }
+    }
+
+    /// Number of clients.
+    pub fn clients(&self) -> usize {
+        self.per_client.len()
+    }
+
+    /// The cross-client mean reward at each episode index (the quantity
+    /// plotted in Figs. 8 and 15). Truncates to the shortest series.
+    pub fn mean_curve(&self) -> Vec<f64> {
+        if self.per_client.is_empty() {
+            return Vec::new();
+        }
+        let len = self.per_client.iter().map(Vec::len).min().unwrap_or(0);
+        (0..len)
+            .map(|e| {
+                self.per_client.iter().map(|c| c[e]).sum::<f64>() / self.per_client.len() as f64
+            })
+            .collect()
+    }
+
+    /// Moving average of the mean curve with the given window (plot
+    /// smoothing, as convergence figures conventionally apply).
+    pub fn smoothed_mean_curve(&self, window: usize) -> Vec<f64> {
+        let mean = self.mean_curve();
+        let w = window.max(1);
+        (0..mean.len())
+            .map(|i| {
+                let lo = i.saturating_sub(w - 1);
+                let slice = &mean[lo..=i];
+                slice.iter().sum::<f64>() / slice.len() as f64
+            })
+            .collect()
+    }
+
+    /// Mean reward over the final `n` episodes (convergence level).
+    pub fn final_mean(&self, n: usize) -> f64 {
+        let mean = self.mean_curve();
+        if mean.is_empty() {
+            return 0.0;
+        }
+        let n = n.min(mean.len()).max(1);
+        mean[mean.len() - n..].iter().sum::<f64>() / n as f64
+    }
+
+    /// First episode index at which the smoothed mean curve reaches
+    /// `threshold` (a convergence-speed proxy); `None` if never.
+    pub fn episodes_to_reach(&self, threshold: f64, window: usize) -> Option<usize> {
+        self.smoothed_mean_curve(window).iter().position(|&v| v >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curves() -> TrainingCurves {
+        TrainingCurves {
+            per_client: vec![vec![0.0, 2.0, 4.0, 6.0], vec![2.0, 4.0, 6.0, 8.0]],
+        }
+    }
+
+    #[test]
+    fn mean_curve_averages_clients() {
+        assert_eq!(curves().mean_curve(), vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn smoothing_window_two() {
+        let s = curves().smoothed_mean_curve(2);
+        assert_eq!(s, vec![1.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn final_mean_tail() {
+        assert_eq!(curves().final_mean(2), 6.0);
+        assert_eq!(curves().final_mean(100), 4.0); // clamps to full curve
+    }
+
+    #[test]
+    fn episodes_to_reach_threshold() {
+        assert_eq!(curves().episodes_to_reach(5.0, 1), Some(2));
+        assert_eq!(curves().episodes_to_reach(100.0, 1), None);
+    }
+
+    #[test]
+    fn ragged_series_truncate() {
+        let c = TrainingCurves { per_client: vec![vec![1.0, 2.0, 3.0], vec![3.0]] };
+        assert_eq!(c.mean_curve(), vec![2.0]);
+    }
+
+    #[test]
+    fn empty_safe() {
+        let c = TrainingCurves::new(0);
+        assert!(c.mean_curve().is_empty());
+        assert_eq!(c.final_mean(5), 0.0);
+    }
+}

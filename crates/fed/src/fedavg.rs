@@ -1,0 +1,297 @@
+//! Classic FedAvg over actor *and* critic parameters (McMahan et al.),
+//! the paper's traditional-FRL baseline — optionally with a fixed
+//! per-client mixing matrix for the Fig. 10 similarity-weighting study.
+
+use crate::client::Client;
+use crate::config::{ClientSetup, FedConfig};
+use crate::curves::TrainingCurves;
+use crate::independent::{agent_seed, curves_of, run_all};
+use pfrl_nn::params::{apply_mixing_matrix, average_params};
+use pfrl_rl::{PpoAgent, PpoConfig};
+use pfrl_sim::{EnvConfig, EnvDims};
+use pfrl_tensor::Matrix;
+
+/// Mean critic loss across clients immediately before and after one
+/// aggregation (the Fig. 9 probe: heterogeneity makes the aggregated critic
+/// evaluate local trajectories worse).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundLossProbe {
+    /// Communication round index.
+    pub round: usize,
+    /// Mean critic MSE on each client's own last episode, before loading
+    /// the aggregate.
+    pub loss_before: f64,
+    /// Same, after loading the aggregate.
+    pub loss_after: f64,
+}
+
+/// FedAvg federation runner.
+pub struct FedAvgRunner {
+    /// Participating clients.
+    pub clients: Vec<Client<PpoAgent>>,
+    cfg: FedConfig,
+    /// Optional `N × N` row-stochastic mixing matrix; row `k` is client
+    /// `k`'s personal averaging weights (uniform FedAvg when `None`).
+    mixing: Option<Matrix>,
+    /// When true, uniform aggregation goes through pairwise-masked secure
+    /// aggregation (Sec. 3.4 threat model): the server never sees raw
+    /// client updates, yet the average is exact up to float round-off.
+    secure: bool,
+    rounds_done: usize,
+    /// Critic-loss probes collected at every aggregation.
+    pub loss_probes: Vec<RoundLossProbe>,
+}
+
+impl FedAvgRunner {
+    /// Builds a uniform-averaging FedAvg federation. As in standard FedAvg,
+    /// the server initializes one model and broadcasts it, so all clients
+    /// share the initial parameters (averaging unrelated random
+    /// initializations would be meaningless — networks are only comparable
+    /// in parameter space when they share ancestry).
+    pub fn new(
+        setups: Vec<ClientSetup>,
+        dims: EnvDims,
+        env_cfg: EnvConfig,
+        ppo_cfg: PpoConfig,
+        fed_cfg: FedConfig,
+    ) -> Self {
+        fed_cfg.validate(setups.len());
+        let mut clients: Vec<Client<PpoAgent>> = setups
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let agent = PpoAgent::new(
+                    dims.state_dim(),
+                    dims.action_dim(),
+                    ppo_cfg,
+                    agent_seed(&fed_cfg, i),
+                );
+                Client::new(s, agent, dims, env_cfg, &fed_cfg, i)
+            })
+            .collect();
+        let actor0 = clients[0].agent.actor_params();
+        let critic0 = clients[0].agent.critic_params();
+        for c in &mut clients[1..] {
+            c.agent.set_actor_params(&actor0);
+            c.agent.set_critic_params(&critic0);
+        }
+        Self {
+            clients,
+            cfg: fed_cfg,
+            mixing: None,
+            secure: false,
+            rounds_done: 0,
+            loss_probes: Vec::new(),
+        }
+    }
+
+    /// Enables pairwise-masked secure aggregation for uniform averaging
+    /// (ignored when a mixing matrix is installed — personalized weights
+    /// require the server to see individual updates).
+    pub fn with_secure_aggregation(mut self, secure: bool) -> Self {
+        self.secure = secure;
+        self
+    }
+
+    /// Installs a fixed `N × N` mixing matrix (rows ≈ sum to 1): client `k`
+    /// receives `Σ_j W[k][j]·θ_j` instead of the uniform average. Used by
+    /// the Fig. 10 `Fed-*-weight` configurations.
+    ///
+    /// # Panics
+    /// If the shape is not `N × N`.
+    pub fn with_mixing(mut self, mixing: Matrix) -> Self {
+        assert_eq!(
+            mixing.shape(),
+            (self.clients.len(), self.clients.len()),
+            "mixing matrix must be N x N"
+        );
+        self.mixing = Some(mixing);
+        self
+    }
+
+    /// Full training run: `comm_every` local episodes, aggregate, repeat.
+    pub fn train(&mut self) -> TrainingCurves {
+        let rounds = self.cfg.rounds();
+        for round in 0..rounds {
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            self.aggregate(round);
+        }
+        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
+        if leftover > 0 {
+            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        }
+        curves_of(&self.clients)
+    }
+
+    /// One aggregation: average (or mix) actor and critic parameters and
+    /// broadcast, recording the critic-loss probe.
+    pub fn aggregate(&mut self, round: usize) {
+        let actors: Vec<Vec<f32>> =
+            self.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let critics: Vec<Vec<f32>> =
+            self.clients.iter().map(|c| c.agent.critic_params()).collect();
+
+        let loss_before = self.mean_critic_loss();
+
+        match &self.mixing {
+            None => {
+                let (actor_avg, critic_avg) = if self.secure {
+                    let n = self.clients.len();
+                    let round_seed =
+                        self.cfg.seed ^ (0x5EC0_0000_0000_0000 | self.rounds_done as u64);
+                    let mask_all = |ups: &[Vec<f32>]| -> Vec<f32> {
+                        let masked: Vec<Vec<f32>> = ups
+                            .iter()
+                            .enumerate()
+                            .map(|(i, u)| crate::secure::mask_update(u, i, n, round_seed))
+                            .collect();
+                        crate::secure::aggregate_masked(&masked)
+                    };
+                    (mask_all(&actors), mask_all(&critics))
+                } else {
+                    (average_params(&actors), average_params(&critics))
+                };
+                for c in &mut self.clients {
+                    c.agent.set_actor_params(&actor_avg);
+                    c.agent.set_critic_params(&critic_avg);
+                }
+            }
+            Some(mix) => {
+                let actor_mixed = apply_mixing_matrix(mix, &actors);
+                let critic_mixed = apply_mixing_matrix(mix, &critics);
+                for (c, (a, v)) in self
+                    .clients
+                    .iter_mut()
+                    .zip(actor_mixed.into_iter().zip(critic_mixed))
+                {
+                    c.agent.set_actor_params(&a);
+                    c.agent.set_critic_params(&v);
+                }
+            }
+        }
+
+        let loss_after = self.mean_critic_loss();
+        if let (Some(b), Some(a)) = (loss_before, loss_after) {
+            self.loss_probes.push(RoundLossProbe { round, loss_before: b, loss_after: a });
+        }
+        self.rounds_done += 1;
+    }
+
+    /// Mean critic loss across clients on their own last episodes, `None`
+    /// before any training happened.
+    fn mean_critic_loss(&self) -> Option<f64> {
+        let losses: Vec<f64> = self
+            .clients
+            .iter()
+            .filter_map(|c| c.agent.critic_loss_on_last_episode().map(|l| l as f64))
+            .collect();
+        if losses.is_empty() {
+            None
+        } else {
+            Some(losses.iter().sum::<f64>() / losses.len() as f64)
+        }
+    }
+
+    /// The schedule in use.
+    pub fn config(&self) -> &FedConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tests_support::small_setups;
+
+    fn fed(episodes: usize) -> FedConfig {
+        FedConfig {
+            episodes,
+            comm_every: 2,
+            participation_k: 1,
+            tasks_per_episode: Some(12),
+            seed: 5,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn aggregation_synchronizes_all_clients() {
+        let (setups, dims, env_cfg) = small_setups(3);
+        let mut r = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(4));
+        r.train();
+        // After the final aggregation + leftover-free schedule, all actors
+        // equal (4 episodes = 2 rounds exactly).
+        let p0 = r.clients[0].agent.actor_params();
+        for c in &r.clients[1..] {
+            assert_eq!(c.agent.actor_params(), p0);
+        }
+        assert_eq!(r.loss_probes.len(), 2);
+    }
+
+    #[test]
+    fn average_preserves_parameter_mean() {
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2));
+        run_all(&mut r.clients, 2, false);
+        let before: Vec<Vec<f32>> =
+            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let mean = average_params(&before);
+        r.aggregate(0);
+        let after = r.clients[0].agent.actor_params();
+        for (a, m) in after.iter().zip(&mean) {
+            assert!((a - m).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identity_mixing_matrix_leaves_clients_independent() {
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2))
+            .with_mixing(Matrix::identity(2));
+        run_all(&mut r.clients, 1, false);
+        let before: Vec<Vec<f32>> =
+            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        r.aggregate(0);
+        for (c, b) in r.clients.iter().zip(&before) {
+            assert_eq!(&c.agent.actor_params(), b);
+        }
+    }
+
+    #[test]
+    fn loss_probe_records_before_and_after() {
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2));
+        run_all(&mut r.clients, 2, false);
+        r.aggregate(0);
+        assert_eq!(r.loss_probes.len(), 1);
+        let p = r.loss_probes[0];
+        assert!(p.loss_before.is_finite() && p.loss_after.is_finite());
+        assert!(p.loss_before >= 0.0 && p.loss_after >= 0.0);
+    }
+
+    #[test]
+    fn secure_aggregation_matches_plain_average() {
+        let (setups, dims, env_cfg) = small_setups(3);
+        let mut plain =
+            FedAvgRunner::new(setups.clone(), dims, env_cfg, PpoConfig::default(), fed(2));
+        let mut secure = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2))
+            .with_secure_aggregation(true);
+        run_all(&mut plain.clients, 2, false);
+        run_all(&mut secure.clients, 2, false);
+        plain.aggregate(0);
+        secure.aggregate(0);
+        let a = plain.clients[0].agent.actor_params();
+        let b = secure.clients[0].agent.actor_params();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "N x N")]
+    fn wrong_mixing_shape_rejected() {
+        let (setups, dims, env_cfg) = small_setups(2);
+        let _ = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2))
+            .with_mixing(Matrix::identity(3));
+    }
+}

@@ -1,0 +1,132 @@
+//! Independent (non-federated) PPO training — the paper's "PPO" baseline.
+
+use crate::client::{Client, FedAgent};
+use crate::config::{ClientSetup, FedConfig};
+use crate::curves::TrainingCurves;
+use pfrl_rl::{PpoAgent, PpoConfig};
+use pfrl_sim::{EnvConfig, EnvDims};
+use pfrl_stats::seeding::SeedStream;
+use rayon::prelude::*;
+
+/// Runs `n` episodes on every client, in parallel when configured. Results
+/// are identical to the sequential order because clients share no state.
+pub(crate) fn run_all<A: FedAgent>(clients: &mut [Client<A>], n: usize, parallel: bool) {
+    if parallel {
+        clients.par_iter_mut().for_each(|c| c.run_episodes(n));
+    } else {
+        clients.iter_mut().for_each(|c| c.run_episodes(n));
+    }
+}
+
+/// Extracts the reward curves from a set of clients.
+pub(crate) fn curves_of<A: FedAgent>(clients: &[Client<A>]) -> TrainingCurves {
+    TrainingCurves { per_client: clients.iter().map(|c| c.rewards.clone()).collect() }
+}
+
+/// Derives the deterministic agent seed for client `i`.
+pub(crate) fn agent_seed(fed_cfg: &FedConfig, i: usize) -> u64 {
+    SeedStream::new(fed_cfg.seed).child("agent").index(i as u64).seed()
+}
+
+/// Baseline runner: every client trains alone, no communication.
+pub struct IndependentRunner {
+    /// The isolated clients.
+    pub clients: Vec<Client<PpoAgent>>,
+    cfg: FedConfig,
+}
+
+impl IndependentRunner {
+    /// Builds one PPO client per setup.
+    pub fn new(
+        setups: Vec<ClientSetup>,
+        dims: EnvDims,
+        env_cfg: EnvConfig,
+        ppo_cfg: PpoConfig,
+        fed_cfg: FedConfig,
+    ) -> Self {
+        fed_cfg.validate(setups.len());
+        let clients = setups
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let agent = PpoAgent::new(
+                    dims.state_dim(),
+                    dims.action_dim(),
+                    ppo_cfg,
+                    agent_seed(&fed_cfg, i),
+                );
+                Client::new(s, agent, dims, env_cfg, &fed_cfg, i)
+            })
+            .collect();
+        Self { clients, cfg: fed_cfg }
+    }
+
+    /// Trains every client for the configured number of episodes and
+    /// returns the reward curves.
+    pub fn train(&mut self) -> TrainingCurves {
+        // Chunked identically to the federated runners so wall-clock and
+        // rng usage are comparable.
+        let rounds = self.cfg.rounds();
+        for _ in 0..rounds {
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+        }
+        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
+        if leftover > 0 {
+            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        }
+        curves_of(&self.clients)
+    }
+
+    /// The schedule in use.
+    pub fn config(&self) -> &FedConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tests_support::small_setups;
+
+    #[test]
+    fn trains_all_clients_for_all_episodes() {
+        let fed = FedConfig {
+            episodes: 6,
+            comm_every: 4,
+            participation_k: 1,
+            tasks_per_episode: Some(15),
+            seed: 1,
+            parallel: false,
+        };
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r =
+            IndependentRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed);
+        let curves = r.train();
+        assert_eq!(curves.clients(), 2);
+        assert!(curves.per_client.iter().all(|c| c.len() == 6));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (setups, dims, env_cfg) = small_setups(3);
+        let mk = |parallel: bool| {
+            let fed = FedConfig {
+                episodes: 4,
+                comm_every: 2,
+                participation_k: 1,
+                tasks_per_episode: Some(12),
+                seed: 7,
+                parallel,
+            };
+            let mut r = IndependentRunner::new(
+                setups.clone(),
+                dims,
+                env_cfg,
+                PpoConfig::default(),
+                fed,
+            );
+            r.train()
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+}

@@ -1,0 +1,39 @@
+//! Federated reinforcement learning runtime for PFRL-DM (Sec. 4.4–4.5).
+//!
+//! The crate provides four interchangeable federation runners sharing one
+//! client/round machinery:
+//!
+//! * [`IndependentRunner`] — no communication (the paper's "PPO" baseline);
+//! * [`FedAvgRunner`] — classic FedAvg over both actor and critic
+//!   parameters (optionally with a custom per-client mixing matrix, used by
+//!   the Fig. 10 weighting study);
+//! * [`MfpoRunner`] — momentum-based FRL in the spirit of MFPO (server- and
+//!   client-side momentum on the aggregated parameter deltas; see DESIGN.md
+//!   for the substitution rationale);
+//! * [`PfrlDmRunner`] — the paper's contribution: dual-critic clients that
+//!   upload only their public critics, personalized on the server by
+//!   multi-head attention weights (Algorithm 1).
+//!
+//! Clients train in parallel (rayon) between communication points; every
+//! stochastic stream is seeded per `(experiment, client, episode)`, so runs
+//! are bit-for-bit reproducible at any thread count.
+
+pub mod client;
+pub mod config;
+pub mod curves;
+pub mod fedavg;
+pub mod independent;
+pub mod mfpo;
+pub mod pfrl_dm;
+pub mod secure;
+pub mod similarity;
+
+pub use client::Client;
+pub use config::{ClientSetup, FedConfig};
+pub use curves::TrainingCurves;
+pub use fedavg::{FedAvgRunner, RoundLossProbe};
+pub use independent::IndependentRunner;
+pub use mfpo::MfpoRunner;
+pub use pfrl_dm::PfrlDmRunner;
+pub use secure::{aggregate_masked, mask_update};
+pub use similarity::{attention_weights, cosine_weights, kl_weights};

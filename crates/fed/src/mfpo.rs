@@ -1,0 +1,227 @@
+//! Momentum-based federated RL in the spirit of MFPO (Yue et al.,
+//! INFOCOM'24), the paper's state-of-the-art comparison point.
+//!
+//! Substitution note (see DESIGN.md): the original MFPO couples momentum
+//! into both the client-side policy updates and the server-side
+//! aggregation to cut interaction/communication cost. The property the
+//! PFRL-DM paper exercises is that *"its momentum mechanism preserves the
+//! influence of past solutions"* under heterogeneity — which is carried by
+//! the server momentum on aggregated parameter deltas implemented here
+//! (FedAvg-M form): `v ← β·v + (x̄ − x_g)`, `x_g ← x_g + v`, broadcast
+//! `x_g`, applied to both actor and critic.
+
+use crate::client::Client;
+use crate::config::{ClientSetup, FedConfig};
+use crate::curves::TrainingCurves;
+use crate::independent::{agent_seed, curves_of, run_all};
+use pfrl_nn::params::average_params;
+use pfrl_rl::{PpoAgent, PpoConfig};
+use pfrl_sim::{EnvConfig, EnvDims};
+
+/// One server-momentum update: `v ← β·v + (x̄ − x_g)`, `x_g ← x_g + v`.
+fn momentum_step(server: &mut [f32], velocity: &mut [f32], avg: &[f32], beta: f32) {
+    for ((s, v), a) in server.iter_mut().zip(velocity.iter_mut()).zip(avg) {
+        let delta = a - *s;
+        *v = beta * *v + delta;
+        *s += *v;
+    }
+}
+
+/// Momentum-FRL runner.
+pub struct MfpoRunner {
+    /// Participating clients.
+    pub clients: Vec<Client<PpoAgent>>,
+    cfg: FedConfig,
+    beta: f32,
+    server_actor: Vec<f32>,
+    server_critic: Vec<f32>,
+    vel_actor: Vec<f32>,
+    vel_critic: Vec<f32>,
+}
+
+impl MfpoRunner {
+    /// Default server momentum coefficient (as in FedAvgM practice and the
+    /// MFPO paper's momentum range).
+    pub const DEFAULT_BETA: f32 = 0.9;
+
+    /// Builds the federation; the server model starts from client 0's
+    /// initialization and is broadcast so all clients share a start point.
+    pub fn new(
+        setups: Vec<ClientSetup>,
+        dims: EnvDims,
+        env_cfg: EnvConfig,
+        ppo_cfg: PpoConfig,
+        fed_cfg: FedConfig,
+    ) -> Self {
+        Self::with_beta(setups, dims, env_cfg, ppo_cfg, fed_cfg, Self::DEFAULT_BETA)
+    }
+
+    /// Builds the federation with an explicit momentum coefficient.
+    pub fn with_beta(
+        setups: Vec<ClientSetup>,
+        dims: EnvDims,
+        env_cfg: EnvConfig,
+        ppo_cfg: PpoConfig,
+        fed_cfg: FedConfig,
+        beta: f32,
+    ) -> Self {
+        fed_cfg.validate(setups.len());
+        assert!((0.0..1.0).contains(&beta), "beta out of [0,1)");
+        let mut clients: Vec<Client<PpoAgent>> = setups
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let agent = PpoAgent::new(
+                    dims.state_dim(),
+                    dims.action_dim(),
+                    ppo_cfg,
+                    agent_seed(&fed_cfg, i),
+                );
+                Client::new(s, agent, dims, env_cfg, &fed_cfg, i)
+            })
+            .collect();
+        let server_actor = clients[0].agent.actor_params();
+        let server_critic = clients[0].agent.critic_params();
+        for c in &mut clients {
+            c.agent.set_actor_params(&server_actor);
+            c.agent.set_critic_params(&server_critic);
+        }
+        let vel_actor = vec![0.0; server_actor.len()];
+        let vel_critic = vec![0.0; server_critic.len()];
+        Self { clients, cfg: fed_cfg, beta, server_actor, server_critic, vel_actor, vel_critic }
+    }
+
+    /// Full training run.
+    pub fn train(&mut self) -> TrainingCurves {
+        let rounds = self.cfg.rounds();
+        for _ in 0..rounds {
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            self.aggregate();
+        }
+        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
+        if leftover > 0 {
+            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        }
+        curves_of(&self.clients)
+    }
+
+    /// One momentum aggregation + broadcast.
+    pub fn aggregate(&mut self) {
+        let actors: Vec<Vec<f32>> =
+            self.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let critics: Vec<Vec<f32>> =
+            self.clients.iter().map(|c| c.agent.critic_params()).collect();
+        let actor_avg = average_params(&actors);
+        let critic_avg = average_params(&critics);
+        momentum_step(&mut self.server_actor, &mut self.vel_actor, &actor_avg, self.beta);
+        momentum_step(&mut self.server_critic, &mut self.vel_critic, &critic_avg, self.beta);
+        for c in &mut self.clients {
+            c.agent.set_actor_params(&self.server_actor);
+            c.agent.set_critic_params(&self.server_critic);
+        }
+    }
+
+    /// The schedule in use.
+    pub fn config(&self) -> &FedConfig {
+        &self.cfg
+    }
+
+    /// Current L2 norm of the actor velocity (diagnostics: how much history
+    /// the momentum is carrying).
+    pub fn actor_velocity_norm(&self) -> f32 {
+        self.vel_actor.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tests_support::small_setups;
+
+    fn fed() -> FedConfig {
+        FedConfig {
+            episodes: 4,
+            comm_every: 2,
+            participation_k: 1,
+            tasks_per_episode: Some(12),
+            seed: 11,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn clients_start_synchronized() {
+        let (setups, dims, env_cfg) = small_setups(3);
+        let r = MfpoRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed());
+        let p0 = r.clients[0].agent.actor_params();
+        for c in &r.clients[1..] {
+            assert_eq!(c.agent.actor_params(), p0);
+        }
+    }
+
+    #[test]
+    fn zero_beta_first_round_equals_fedavg() {
+        // With β=0 and zero initial velocity, the first aggregation lands
+        // exactly on the client average.
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r =
+            MfpoRunner::with_beta(setups, dims, env_cfg, PpoConfig::default(), fed(), 0.0);
+        run_all(&mut r.clients, 1, false);
+        let actors: Vec<Vec<f32>> =
+            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let avg = average_params(&actors);
+        r.aggregate();
+        let got = r.clients[0].agent.actor_params();
+        for (g, a) in got.iter().zip(&avg) {
+            assert!((g - a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r = MfpoRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed());
+        assert_eq!(r.actor_velocity_norm(), 0.0);
+        run_all(&mut r.clients, 1, false);
+        r.aggregate();
+        let v1 = r.actor_velocity_norm();
+        assert!(v1 > 0.0);
+    }
+
+    #[test]
+    fn momentum_overshoots_average_on_second_round() {
+        // After two aggregations in the same direction, the server model
+        // moves beyond the plain average — the "preserves the influence of
+        // past solutions" behavior the paper attributes to MFPO.
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r = MfpoRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed());
+        run_all(&mut r.clients, 1, false);
+        r.aggregate();
+        run_all(&mut r.clients, 1, false);
+        let actors: Vec<Vec<f32>> =
+            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let avg = average_params(&actors);
+        r.aggregate();
+        let server = r.clients[0].agent.actor_params();
+        let diff: f32 =
+            server.iter().zip(&avg).map(|(s, a)| (s - a).abs()).sum::<f32>();
+        assert!(diff > 1e-6, "server should deviate from the plain average");
+    }
+
+    #[test]
+    fn full_training_produces_curves() {
+        let (setups, dims, env_cfg) = small_setups(2);
+        let mut r = MfpoRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed());
+        let curves = r.train();
+        assert_eq!(curves.clients(), 2);
+        assert!(curves.per_client.iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_rejected() {
+        let (setups, dims, env_cfg) = small_setups(2);
+        let _ =
+            MfpoRunner::with_beta(setups, dims, env_cfg, PpoConfig::default(), fed(), 1.0);
+    }
+}

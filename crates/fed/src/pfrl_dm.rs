@@ -1,0 +1,338 @@
+//! The PFRL-DM federation runner (Algorithm 1): dual-critic clients +
+//! multi-head-attention personalization on the server.
+//!
+//! Per communication round:
+//!
+//! 1. every client trains `Ω = comm_every` local episodes with its
+//!    dual-critic PPO;
+//! 2. the server collects the public critics `{ψ_k}` of `K ≤ N` clients
+//!    (a seeded random subset each round, modeling the paper's
+//!    "aggregate once K uploads arrive");
+//! 3. the server computes the multi-head attention weight matrix
+//!    `W ∈ R^{K×K}` over the uploaded parameter vectors (Eq. 18) and sends
+//!    client `k` its personalized critic `ψ_k' = Σ_j W_{kj}·ψ_j` (Eq. 21);
+//! 4. the global critic `ψ_G = (1/K)·Σ_k ψ_k'` (Eq. 22) is stored and sent
+//!    to the clients that did not participate this round.
+//!
+//! Only critic parameters ever travel — the paper's communication-cost
+//! advantage over FedAvg, which must ship actor + critic.
+
+use crate::client::Client;
+use crate::config::{ClientSetup, FedConfig};
+use crate::curves::TrainingCurves;
+use crate::independent::{agent_seed, curves_of, run_all};
+use crate::similarity::attention_weights;
+use pfrl_nn::params::{apply_mixing_matrix, average_params};
+use pfrl_nn::{Activation, Mlp, MultiHeadConfig};
+use pfrl_rl::{DualCriticAgent, PpoConfig};
+use pfrl_sim::{EnvConfig, EnvDims};
+use pfrl_stats::seeding::SeedStream;
+use pfrl_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// PFRL-DM federation runner.
+pub struct PfrlDmRunner {
+    /// Participating clients (dual-critic agents).
+    pub clients: Vec<Client<DualCriticAgent>>,
+    cfg: FedConfig,
+    ppo_cfg: PpoConfig,
+    dims: EnvDims,
+    env_cfg: EnvConfig,
+    attention: MultiHeadConfig,
+    /// Server-held global public critic `ψ_G`.
+    server_global: Vec<f32>,
+    participation_rng: SmallRng,
+    /// Attention weight matrices of every aggregation round (for Fig. 11
+    /// style inspection).
+    pub weight_history: Vec<Matrix>,
+    /// Client indices that participated in each round.
+    pub participant_history: Vec<Vec<usize>>,
+    next_client_index: usize,
+}
+
+impl PfrlDmRunner {
+    /// Builds the federation with the default attention configuration.
+    pub fn new(
+        setups: Vec<ClientSetup>,
+        dims: EnvDims,
+        env_cfg: EnvConfig,
+        ppo_cfg: PpoConfig,
+        fed_cfg: FedConfig,
+    ) -> Self {
+        Self::with_attention(setups, dims, env_cfg, ppo_cfg, fed_cfg, MultiHeadConfig::default())
+    }
+
+    /// Builds the federation with an explicit attention configuration
+    /// (used by the head-count ablation).
+    pub fn with_attention(
+        setups: Vec<ClientSetup>,
+        dims: EnvDims,
+        env_cfg: EnvConfig,
+        ppo_cfg: PpoConfig,
+        fed_cfg: FedConfig,
+        attention: MultiHeadConfig,
+    ) -> Self {
+        fed_cfg.validate(setups.len());
+        let mut clients: Vec<Client<DualCriticAgent>> = setups
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let agent = DualCriticAgent::new(
+                    dims.state_dim(),
+                    dims.action_dim(),
+                    ppo_cfg,
+                    agent_seed(&fed_cfg, i),
+                );
+                Client::new(s, agent, dims, env_cfg, &fed_cfg, i)
+            })
+            .collect();
+        let n = clients.len();
+
+        // ψ_G^{(0)}: a fresh server-seeded critic, broadcast to everyone so
+        // the federation starts from a shared public critic (Algorithm 1,
+        // lines 4–5).
+        let server_seed = SeedStream::new(fed_cfg.seed).child("server").seed();
+        let server_net = Mlp::new(
+            &[dims.state_dim(), ppo_cfg.hidden, 1],
+            Activation::Tanh,
+            &mut SmallRng::seed_from_u64(server_seed),
+        );
+        let server_global = server_net.flat_params();
+        for c in &mut clients {
+            c.agent.receive_public_critic(&server_global);
+        }
+        let participation_rng =
+            SmallRng::seed_from_u64(SeedStream::new(fed_cfg.seed).child("participation").seed());
+        Self {
+            clients,
+            cfg: fed_cfg,
+            ppo_cfg,
+            dims,
+            env_cfg,
+            attention,
+            server_global,
+            participation_rng,
+            weight_history: Vec::new(),
+            participant_history: Vec::new(),
+            next_client_index: n,
+        }
+    }
+
+    /// Full training run.
+    pub fn train(&mut self) -> TrainingCurves {
+        let rounds = self.cfg.rounds();
+        for _ in 0..rounds {
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            self.aggregate();
+        }
+        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
+        if leftover > 0 {
+            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        }
+        curves_of(&self.clients)
+    }
+
+    /// Runs `n` more episodes on every client followed by an aggregation
+    /// (used by the Fig. 20 join experiment to drive rounds manually).
+    pub fn train_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            self.aggregate();
+        }
+    }
+
+    /// One personalization aggregation (Algorithm 1, lines 9–14).
+    pub fn aggregate(&mut self) {
+        let n = self.clients.len();
+        let k = self.cfg.participation_k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut self.participation_rng);
+        let participants: Vec<usize> = idx.into_iter().take(k).collect();
+
+        let psis: Vec<Vec<f32>> = participants
+            .iter()
+            .map(|&i| self.clients[i].agent.public_critic_params())
+            .collect();
+        let weights = attention_weights(&psis, &self.attention);
+        let personalized = apply_mixing_matrix(&weights, &psis);
+        self.server_global = average_params(&personalized);
+
+        for (slot, &i) in participants.iter().enumerate() {
+            self.clients[i].agent.receive_public_critic(&personalized[slot]);
+        }
+        for i in 0..n {
+            if !participants.contains(&i) {
+                self.clients[i].agent.receive_public_critic(&self.server_global);
+            }
+        }
+        self.weight_history.push(weights);
+        self.participant_history.push(participants);
+    }
+
+    /// Pins every client's `α` to a fixed value (ablation of the adaptive
+    /// Eq. 15); `None` restores adaptivity.
+    pub fn set_fixed_alpha(&mut self, alpha: Option<f32>) {
+        for c in &mut self.clients {
+            c.agent.set_fixed_alpha(alpha);
+        }
+    }
+
+    /// The server's current global public critic `ψ_G`.
+    pub fn server_global(&self) -> &[f32] {
+        &self.server_global
+    }
+
+    /// The schedule in use.
+    pub fn config(&self) -> &FedConfig {
+        &self.cfg
+    }
+
+    /// Adds a new client to a running federation (the Fig. 20 scenario):
+    /// its public critic is initialized from the server's `ψ_G`, and —
+    /// as a one-time onboarding bootstrap — its actor may be seeded from
+    /// the average of the existing clients' actors (the paper initializes
+    /// the joiner "with the model provided by the server"; since PFRL-DM
+    /// servers only store critics, the actor bootstrap is the natural
+    /// completion and is documented in DESIGN.md). Returns the new
+    /// client's index.
+    pub fn add_client(&mut self, setup: ClientSetup, bootstrap_actor: bool) -> usize {
+        let i = self.next_client_index;
+        self.next_client_index += 1;
+        let mut agent = DualCriticAgent::new(
+            self.dims.state_dim(),
+            self.dims.action_dim(),
+            self.ppo_cfg,
+            agent_seed(&self.cfg, i),
+        );
+        agent.receive_public_critic(&self.server_global);
+        if bootstrap_actor && !self.clients.is_empty() {
+            let actors: Vec<Vec<f32>> =
+                self.clients.iter().map(|c| c.agent.actor.flat_params()).collect();
+            agent.actor.set_flat_params(&average_params(&actors));
+        }
+        let client = Client::new(setup, agent, self.dims, self.env_cfg, &self.cfg, i);
+        self.clients.push(client);
+        self.clients.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tests_support::small_setups;
+
+    fn fed(n_clients: usize) -> FedConfig {
+        FedConfig {
+            episodes: 4,
+            comm_every: 2,
+            participation_k: (n_clients / 2).max(1),
+            tasks_per_episode: Some(12),
+            seed: 21,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn initial_broadcast_synchronizes_public_critics() {
+        let (setups, dims, env_cfg) = small_setups(3);
+        let r = PfrlDmRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(3));
+        let p0 = r.clients[0].agent.public_critic_params();
+        for c in &r.clients {
+            assert_eq!(c.agent.public_critic_params(), p0);
+        }
+        assert_eq!(r.server_global(), &p0[..]);
+    }
+
+    #[test]
+    fn aggregation_records_row_stochastic_weights() {
+        let (setups, dims, env_cfg) = small_setups(4);
+        let mut r = PfrlDmRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(4));
+        run_all(&mut r.clients, 1, false);
+        r.aggregate();
+        assert_eq!(r.weight_history.len(), 1);
+        let w = &r.weight_history[0];
+        assert_eq!(w.shape(), (2, 2)); // K = 2 of 4
+        for row in 0..2 {
+            let s: f32 = w.row(row).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+        assert_eq!(r.participant_history[0].len(), 2);
+    }
+
+    #[test]
+    fn participants_get_personalized_models_others_get_global() {
+        let (setups, dims, env_cfg) = small_setups(4);
+        let mut r = PfrlDmRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(4));
+        run_all(&mut r.clients, 2, false);
+        r.aggregate();
+        let participants = r.participant_history[0].clone();
+        let global = r.server_global().to_vec();
+        for i in 0..4 {
+            let psi = r.clients[i].agent.public_critic_params();
+            if participants.contains(&i) {
+                // Personalized: generally different from the global mean
+                // (the attention rows are not uniform).
+                assert_eq!(psi.len(), global.len());
+            } else {
+                assert_eq!(psi, global, "non-participant {i} must hold ψ_G");
+            }
+        }
+    }
+
+    #[test]
+    fn actors_never_synchronized() {
+        // Only critics travel: actors must stay distinct across clients.
+        let (setups, dims, env_cfg) = small_setups(3);
+        let mut r = PfrlDmRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(3));
+        r.train();
+        let a0 = r.clients[0].agent.actor.flat_params();
+        let a1 = r.clients[1].agent.actor.flat_params();
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
+    fn full_training_produces_curves_and_history() {
+        let (setups, dims, env_cfg) = small_setups(4);
+        let mut r = PfrlDmRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(4));
+        let curves = r.train();
+        assert_eq!(curves.clients(), 4);
+        assert!(curves.per_client.iter().all(|c| c.len() == 4));
+        assert_eq!(r.weight_history.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (setups, dims, env_cfg) = small_setups(3);
+        let run = || {
+            let mut r = PfrlDmRunner::new(
+                setups.clone(),
+                dims,
+                env_cfg,
+                PpoConfig::default(),
+                fed(3),
+            );
+            let c = r.train();
+            (c, r.server_global().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn new_client_joins_with_server_model() {
+        let (mut setups, dims, env_cfg) = small_setups(3);
+        let joiner = setups.pop().unwrap();
+        let mut r = PfrlDmRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2));
+        r.train_rounds(1);
+        let idx = r.add_client(joiner, true);
+        assert_eq!(idx, 2);
+        assert_eq!(
+            r.clients[idx].agent.public_critic_params(),
+            r.server_global().to_vec()
+        );
+        // The joiner trains along in subsequent rounds.
+        r.train_rounds(1);
+        assert_eq!(r.clients[idx].rewards.len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Pairwise-masked secure aggregation (Bonawitz-style, simplified).
+//!
+//! The paper's threat model (Sec. 3.4) assumes an *honest-but-curious*
+//! server: it follows the protocol but may inspect individual client
+//! updates. Additive pairwise masking hides them: every client pair
+//! `(i, j)`, `i < j`, derives a shared mask from a common round seed;
+//! client `i` **adds** it to its update, client `j` **subtracts** it. The
+//! server only ever sees masked vectors, whose sum equals the sum of the
+//! true updates because all masks cancel — so FedAvg-style aggregation is
+//! exact while individual contributions stay hidden.
+//!
+//! This models the cryptographic core (mask cancellation); real
+//! deployments add key agreement and dropout recovery, which are outside
+//! the paper's scope.
+
+use pfrl_stats::seeding::derive_seed;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Magnitude of the pairwise masks. Large relative to parameter scale so a
+/// masked update carries essentially no usable information.
+const MASK_SCALE: f32 = 100.0;
+
+/// Derives the shared mask stream for the *ordered* pair `(i, j)`, `i < j`.
+fn pair_mask(i: usize, j: usize, round_seed: u64, len: usize) -> Vec<f32> {
+    debug_assert!(i < j);
+    let seed = derive_seed(round_seed, (i as u64) << 32 | j as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-MASK_SCALE..MASK_SCALE)).collect()
+}
+
+/// Masks client `idx`'s update for one aggregation round of `n` clients.
+///
+/// # Panics
+/// If `idx >= n`.
+pub fn mask_update(params: &[f32], idx: usize, n: usize, round_seed: u64) -> Vec<f32> {
+    assert!(idx < n, "client index {idx} out of {n}");
+    let mut out = params.to_vec();
+    for other in 0..n {
+        if other == idx {
+            continue;
+        }
+        let (lo, hi, sign) = if idx < other { (idx, other, 1.0) } else { (other, idx, -1.0) };
+        let mask = pair_mask(lo, hi, round_seed, params.len());
+        for (o, m) in out.iter_mut().zip(&mask) {
+            *o += sign * m;
+        }
+    }
+    out
+}
+
+/// Server-side aggregation of all `n` masked updates into their *mean*.
+/// Exact (up to float round-off) because the pairwise masks cancel.
+///
+/// # Panics
+/// If `masked` is empty or lengths differ.
+pub fn aggregate_masked(masked: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!masked.is_empty(), "no masked updates");
+    let len = masked[0].len();
+    let mut sum = vec![0.0f32; len];
+    for (k, m) in masked.iter().enumerate() {
+        assert_eq!(m.len(), len, "masked update {k} has wrong length");
+        for (s, v) in sum.iter_mut().zip(m) {
+            *s += v;
+        }
+    }
+    let inv = 1.0 / masked.len() as f32;
+    sum.iter_mut().for_each(|s| *s *= inv);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfrl_nn::params::average_params;
+
+    fn updates(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|k| (0..len).map(|i| ((k * len + i) as f32 * 0.13).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn masks_cancel_exactly_in_aggregate() {
+        for n in [2usize, 3, 5, 10] {
+            let ups = updates(n, 64);
+            let plain = average_params(&ups);
+            let masked: Vec<Vec<f32>> =
+                ups.iter().enumerate().map(|(i, u)| mask_update(u, i, n, 42)).collect();
+            let secure = aggregate_masked(&masked);
+            for (a, b) in plain.iter().zip(&secure) {
+                assert!((a - b).abs() < 1e-3, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn individual_masked_update_reveals_nothing_useful() {
+        let ups = updates(3, 128);
+        let masked = mask_update(&ups[0], 0, 3, 7);
+        // The masked vector is dominated by the masks: far from the true
+        // update and with much larger magnitude.
+        let dist: f32 =
+            masked.iter().zip(&ups[0]).map(|(m, u)| (m - u).abs()).sum::<f32>() / 128.0;
+        assert!(dist > 10.0, "mean |masked - true| = {dist}");
+    }
+
+    #[test]
+    fn single_client_mask_is_identity() {
+        let u = vec![1.0f32, -2.0, 3.0];
+        assert_eq!(mask_update(&u, 0, 1, 9), u);
+    }
+
+    #[test]
+    fn different_round_seed_different_masks() {
+        let u = vec![0.0f32; 16];
+        let a = mask_update(&u, 0, 4, 1);
+        let b = mask_update(&u, 0, 4, 2);
+        assert_ne!(a, b);
+        // Deterministic per round.
+        assert_eq!(a, mask_update(&u, 0, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_index_rejected() {
+        let _ = mask_update(&[0.0], 5, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn ragged_updates_rejected() {
+        let _ = aggregate_masked(&[vec![0.0, 1.0], vec![0.0]]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Element-wise activation functions with exact derivatives.
+
+use pfrl_tensor::Matrix;
+
+/// Activation applied after each hidden linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Hyperbolic tangent — the paper's hidden-layer activation.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// No activation (used implicitly on output layers).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn forward_inplace(self, x: &mut Matrix) {
+        match self {
+            Activation::Tanh => x.map_inplace(f32::tanh),
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Identity => {}
+        }
+    }
+
+    /// Multiplies `grad` in place by the derivative of the activation,
+    /// evaluated from the *post-activation* output `y` (both tanh and ReLU
+    /// derivatives are expressible from their outputs, avoiding a second
+    /// cached tensor).
+    pub fn backward_inplace(self, y: &Matrix, grad: &mut Matrix) {
+        assert_eq!(y.shape(), grad.shape(), "activation backward shape mismatch");
+        match self {
+            Activation::Tanh => {
+                for (g, &out) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *g *= 1.0 - out * out;
+                }
+            }
+            Activation::Relu => {
+                for (g, &out) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if out <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_forward_hand_values() {
+        let mut x = Matrix::from_rows(&[&[0.0, 1.0, -1.0]]);
+        Activation::Tanh.forward_inplace(&mut x);
+        assert!((x[(0, 0)]).abs() < 1e-7);
+        assert!((x[(0, 1)] - 0.761_594_2).abs() < 1e-6);
+        assert!((x[(0, 2)] + 0.761_594_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut x = Matrix::from_rows(&[&[-2.0, 0.0, 3.0]]);
+        Activation::Relu.forward_inplace(&mut x);
+        assert_eq!(x.as_slice(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut x = Matrix::from_rows(&[&[-2.0, 3.0]]);
+        Activation::Identity.forward_inplace(&mut x);
+        assert_eq!(x.as_slice(), &[-2.0, 3.0]);
+    }
+
+    #[test]
+    fn tanh_backward_matches_finite_difference() {
+        for &v in &[-1.5f32, -0.2, 0.0, 0.7, 2.0] {
+            let mut y = Matrix::from_rows(&[&[v]]);
+            Activation::Tanh.forward_inplace(&mut y);
+            let mut g = Matrix::filled(1, 1, 1.0);
+            Activation::Tanh.backward_inplace(&y, &mut g);
+            let eps = 1e-3;
+            let fd = ((v + eps).tanh() - (v - eps).tanh()) / (2.0 * eps);
+            assert!((g[(0, 0)] - fd).abs() < 1e-3, "at {v}: {} vs {}", g[(0, 0)], fd);
+        }
+    }
+
+    #[test]
+    fn relu_backward_gates_gradient() {
+        let y = Matrix::from_rows(&[&[0.0, 2.0]]); // post-activation
+        let mut g = Matrix::from_rows(&[&[5.0, 5.0]]);
+        Activation::Relu.backward_inplace(&y, &mut g);
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+}

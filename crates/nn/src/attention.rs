@@ -1,0 +1,224 @@
+//! Scaled-dot-product and multi-head attention (Eqs. 18–20 of the paper),
+//! specialized for the server-side personalization aggregator.
+//!
+//! The aggregator treats the `K` uploaded public-critic parameter vectors as
+//! a `K × P` token matrix. Each head projects the (standardized) tokens into
+//! a `d_k`-dimensional subspace with seeded random projections — the
+//! federated analogue of frozen `W^Q/W^K` matrices shared by server
+//! configuration rather than trained, so that every round measures model
+//! similarity in the *same* subspaces and the mixing weights are stable and
+//! reproducible. Head outputs (the `K × K` row-stochastic score matrices)
+//! are averaged, mirroring how the paper derives a single weight vector
+//! `w_k` per client from the concatenated heads.
+
+use pfrl_tensor::{init, ops, Matrix};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration of the multi-head attention weight generator.
+#[derive(Debug, Clone)]
+pub struct MultiHeadConfig {
+    /// Number of attention heads (paper default: 4).
+    pub heads: usize,
+    /// Per-head projection dimension `d_k`.
+    pub d_k: usize,
+    /// Seed for the frozen per-head projection matrices; all federation
+    /// rounds of one experiment share it.
+    pub seed: u64,
+    /// Inverse-softmax-temperature applied to scores: larger sharpens the
+    /// weight distribution toward the most similar clients.
+    pub temperature: f32,
+}
+
+impl Default for MultiHeadConfig {
+    fn default() -> Self {
+        Self { heads: 4, d_k: 16, seed: 0x5EED_A77E, temperature: 4.0 }
+    }
+}
+
+/// Plain scaled-dot-product attention (Eq. 18):
+/// `softmax(Q·Kᵀ / sqrt(d_k)) · V`. Returns `(output, weights)`.
+///
+/// # Panics
+/// If `q.cols() != k.cols()` or `k.rows() != v.rows()`.
+pub fn scaled_dot_product_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> (Matrix, Matrix) {
+    assert_eq!(q.cols(), k.cols(), "attention: Q/K feature dims differ");
+    assert_eq!(k.rows(), v.rows(), "attention: K/V token counts differ");
+    let mut scores = ops::matmul_transpose_b(q, k);
+    ops::scale(&mut scores, 1.0 / (k.cols() as f32).sqrt());
+    ops::softmax_rows(&mut scores);
+    let out = ops::matmul(&scores, v);
+    (out, scores)
+}
+
+/// Standardizes each row to zero mean and unit L2 norm.
+///
+/// Raw parameter vectors share a common initialization offset that dominates
+/// dot products; removing the per-row mean and scale makes the attention
+/// scores reflect the *direction* in which each critic has moved — i.e.
+/// what its environment taught it.
+fn standardize_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let mean = ops::mean(row);
+        row.iter_mut().for_each(|v| *v -= mean);
+        let norm = ops::dot(row, row).sqrt();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            row.iter_mut().for_each(|v| *v *= inv);
+        }
+    }
+    out
+}
+
+/// Generates the `K × K` row-stochastic attention weight matrix
+/// `W^{(m)} = (w_1, …, w_K)` from `K` flat client parameter vectors
+/// (Algorithm 1, line 11).
+///
+/// Row `k` of the result are the mixing weights for client `k`'s
+/// personalized model.
+///
+/// # Panics
+/// If `client_params` is empty or lengths disagree.
+pub fn multi_head_attention_weights(
+    client_params: &[Vec<f32>],
+    cfg: &MultiHeadConfig,
+) -> Matrix {
+    let k = client_params.len();
+    assert!(k > 0, "attention weights need at least one client");
+    let p = client_params[0].len();
+    let mut tokens = Matrix::zeros(k, p);
+    for (i, cp) in client_params.iter().enumerate() {
+        assert_eq!(cp.len(), p, "client {i} parameter length mismatch");
+        tokens.row_mut(i).copy_from_slice(cp);
+    }
+    let tokens = standardize_rows(&tokens);
+
+    let mut accum = Matrix::zeros(k, k);
+    for h in 0..cfg.heads.max(1) {
+        // Frozen random projection, re-derived per head from the seed. The
+        // Q and K projections are tied (W^Q_h = W^K_h): with independent
+        // projections the expected score between any two tokens is zero and
+        // carries no similarity signal; with tied Gaussian projections of
+        // variance σ² the expected raw score is `d_k·σ²·cos(tᵢ, tⱼ)`, so
+        // each head measures cosine similarity in its own random subspace.
+        let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(h as u64));
+        let sigma = 1.0 / (p as f32).sqrt();
+        let wq = init::sample_gaussian(p, cfg.d_k, sigma, &mut rng);
+        let q = ops::matmul(&tokens, &wq);
+        let mut scores = ops::matmul_transpose_b(&q, &q);
+        // Undo the d_k·σ² expectation factor, then apply the temperature.
+        ops::scale(&mut scores, cfg.temperature / (cfg.d_k as f32 * sigma * sigma));
+        ops::softmax_rows(&mut scores);
+        ops::add_assign(&mut accum, &scores);
+    }
+    ops::scale(&mut accum, 1.0 / cfg.heads.max(1) as f32);
+    accum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_sums(m: &Matrix) -> Vec<f32> {
+        (0..m.rows()).map(|r| m.row(r).iter().sum()).collect()
+    }
+
+    #[test]
+    fn sdpa_uniform_when_scores_equal() {
+        let q = Matrix::filled(2, 4, 1.0);
+        let k = Matrix::filled(3, 4, 1.0);
+        let v = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let (out, w) = scaled_dot_product_attention(&q, &k, &v);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!((w[(r, c)] - 1.0 / 3.0).abs() < 1e-5);
+            }
+            assert!((out[(r, 0)] - 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sdpa_selects_matching_key() {
+        // Query aligned with key 0 and orthogonal to key 1, large magnitude
+        // so the softmax saturates.
+        let q = Matrix::from_rows(&[&[10.0, 0.0]]);
+        let k = Matrix::from_rows(&[&[10.0, 0.0], &[0.0, 10.0]]);
+        let v = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+        let (out, w) = scaled_dot_product_attention(&q, &k, &v);
+        assert!(w[(0, 0)] > 0.99, "weights {:?}", w);
+        assert!(out[(0, 0)] > 0.98);
+    }
+
+    #[test]
+    fn weights_are_row_stochastic() {
+        let params: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..64).map(|j| ((i * 64 + j) as f32 * 0.37).sin()).collect())
+            .collect();
+        let w = multi_head_attention_weights(&params, &MultiHeadConfig::default());
+        assert_eq!(w.shape(), (5, 5));
+        for s in row_sums(&w) {
+            assert!((s - 1.0).abs() < 1e-4, "row sum {s}");
+        }
+        assert!(w.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// The Fig. 11 property: twin clients (same environment ⇒ near-identical
+    /// critics) attend to each other more than to dissimilar clients.
+    #[test]
+    fn twins_attend_to_each_other() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base: Vec<f32> = (0..128)
+            .map(|_| init::sample_uniform(1, 1, -1.0, 1.0, &mut rng).as_slice()[0])
+            .collect();
+        let mut twin = base.clone();
+        // Small perturbation: same environment, different rollout noise.
+        for v in twin.iter_mut() {
+            *v += 0.01;
+        }
+        let other1: Vec<f32> = (0..128)
+            .map(|_| init::sample_uniform(1, 1, -1.0, 1.0, &mut rng).as_slice()[0])
+            .collect();
+        let other2: Vec<f32> = (0..128)
+            .map(|_| init::sample_uniform(1, 1, -1.0, 1.0, &mut rng).as_slice()[0])
+            .collect();
+        let w = multi_head_attention_weights(
+            &[base, twin, other1, other2],
+            &MultiHeadConfig::default(),
+        );
+        // Client 0's weight on its twin (1) exceeds its weights on 2 and 3.
+        assert!(w[(0, 1)] > w[(0, 2)], "{:?}", w);
+        assert!(w[(0, 1)] > w[(0, 3)], "{:?}", w);
+        assert!(w[(1, 0)] > w[(1, 2)] && w[(1, 0)] > w[(1, 3)], "{:?}", w);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params: Vec<Vec<f32>> =
+            (0..3).map(|i| (0..32).map(|j| (i + j) as f32 * 0.1).collect()).collect();
+        let cfg = MultiHeadConfig::default();
+        let a = multi_head_attention_weights(&params, &cfg);
+        let b = multi_head_attention_weights(&params, &cfg);
+        assert_eq!(a, b);
+        let other = MultiHeadConfig { seed: 7, ..cfg };
+        let c = multi_head_attention_weights(&params, &other);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_head_single_client_degenerates_to_one() {
+        let w = multi_head_attention_weights(
+            &[vec![0.5; 16]],
+            &MultiHeadConfig { heads: 1, ..Default::default() },
+        );
+        assert_eq!(w.shape(), (1, 1));
+        assert!((w[(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_clients_panic() {
+        let _ = multi_head_attention_weights(&[], &MultiHeadConfig::default());
+    }
+}

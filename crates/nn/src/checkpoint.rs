@@ -1,0 +1,187 @@
+//! Model checkpointing: a small, versioned, self-describing binary format
+//! for saving and restoring [`Mlp`] networks (and therefore trained
+//! agents) without external serialization dependencies.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  b"PFRL-CKPT\x01"
+//! u32    number of networks
+//! per network:
+//!   u8    activation (0 = Tanh, 1 = Relu, 2 = Identity)
+//!   u32   number of layer sizes
+//!   u32[] layer sizes
+//!   f32[] flat parameters (length implied by the sizes)
+//! ```
+
+use crate::{Activation, Mlp};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fs;
+use std::io::{self, Error, ErrorKind};
+use std::path::Path;
+
+const MAGIC: &[u8; 10] = b"PFRL-CKPT\x01";
+
+fn activation_code(a: Activation) -> u8 {
+    match a {
+        Activation::Tanh => 0,
+        Activation::Relu => 1,
+        Activation::Identity => 2,
+    }
+}
+
+fn activation_from(code: u8) -> io::Result<Activation> {
+    match code {
+        0 => Ok(Activation::Tanh),
+        1 => Ok(Activation::Relu),
+        2 => Ok(Activation::Identity),
+        other => Err(Error::new(ErrorKind::InvalidData, format!("bad activation code {other}"))),
+    }
+}
+
+/// Serializes a set of networks into the checkpoint byte format.
+pub fn to_bytes(nets: &[&Mlp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(nets.len() as u32).to_le_bytes());
+    for net in nets {
+        out.push(activation_code(net.activation()));
+        let sizes = net.sizes();
+        out.extend_from_slice(&(sizes.len() as u32).to_le_bytes());
+        for s in &sizes {
+            out.extend_from_slice(&(*s as u32).to_le_bytes());
+        }
+        for p in net.flat_params() {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Reads a checkpoint produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> io::Result<Vec<Mlp>> {
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> io::Result<&[u8]> {
+        if *cursor + n > bytes.len() {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "checkpoint truncated"));
+        }
+        let s = &bytes[*cursor..*cursor + n];
+        *cursor += n;
+        Ok(s)
+    };
+    let read_u32 = |cursor: &mut usize| -> io::Result<u32> {
+        let b = take(cursor, 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    };
+
+    if take(&mut cursor, MAGIC.len())? != MAGIC {
+        return Err(Error::new(ErrorKind::InvalidData, "not a PFRL checkpoint"));
+    }
+    let count = read_u32(&mut cursor)? as usize;
+    let mut nets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let act = activation_from(take(&mut cursor, 1)?[0])?;
+        let n_sizes = read_u32(&mut cursor)? as usize;
+        if n_sizes < 2 {
+            return Err(Error::new(ErrorKind::InvalidData, "network needs >= 2 layer sizes"));
+        }
+        let mut sizes = Vec::with_capacity(n_sizes);
+        for _ in 0..n_sizes {
+            sizes.push(read_u32(&mut cursor)? as usize);
+        }
+        // Shape first (seed irrelevant — parameters are overwritten).
+        let mut net = Mlp::new(&sizes, act, &mut SmallRng::seed_from_u64(0));
+        let n_params = net.param_count();
+        let raw = take(&mut cursor, n_params * 4)?;
+        let params: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        net.set_flat_params(&params);
+        nets.push(net);
+    }
+    if cursor != bytes.len() {
+        return Err(Error::new(ErrorKind::InvalidData, "trailing bytes in checkpoint"));
+    }
+    Ok(nets)
+}
+
+/// Writes networks to a checkpoint file (parents created).
+pub fn save(path: &Path, nets: &[&Mlp]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_bytes(nets))
+}
+
+/// Loads networks from a checkpoint file.
+pub fn load(path: &Path) -> io::Result<Vec<Mlp>> {
+    from_bytes(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfrl_tensor::Matrix;
+
+    fn net(sizes: &[usize], seed: u64) -> Mlp {
+        Mlp::new(sizes, Activation::Tanh, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn roundtrip_preserves_behavior() {
+        let a = net(&[4, 8, 3], 1);
+        let b = net(&[4, 16, 16, 1], 2);
+        let bytes = to_bytes(&[&a, &b]);
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), 2);
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 0.4]]);
+        assert_eq!(a.forward(&x), restored[0].forward(&x));
+        assert_eq!(b.forward(&x), restored[1].forward(&x));
+        assert_eq!(restored[0].sizes(), vec![4, 8, 3]);
+        assert_eq!(restored[1].activation(), Activation::Tanh);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pfrl_ckpt_test");
+        let path = dir.join("model.ckpt");
+        let a = net(&[3, 5, 2], 7);
+        save(&path, &[&a]).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored[0].flat_params(), a.flat_params());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = from_bytes(b"NOT-A-CHECKPOINT").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let a = net(&[4, 4, 2], 3);
+        let bytes = to_bytes(&[&a]);
+        for cut in [5, MAGIC.len() + 2, bytes.len() - 3] {
+            let err = from_bytes(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let a = net(&[2, 2], 4);
+        let mut bytes = to_bytes(&[&a]);
+        bytes.push(0xFF);
+        let err = from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let bytes = to_bytes(&[]);
+        assert!(from_bytes(&bytes).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Multilayer perceptron with exact backpropagation.
+
+use crate::{Activation, Linear};
+use pfrl_tensor::Matrix;
+use rand::Rng;
+
+/// A feed-forward network: `Linear → act → … → Linear` (no activation on the
+/// output layer, as required for both value heads and policy logits).
+///
+/// Training protocol: `forward_train` caches per-layer activations, then
+/// `backward` accumulates gradients, then an optimizer consumes
+/// `flat_grads()` / mutates via `set_flat_params`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+    /// Post-activation outputs of each hidden layer from the last
+    /// `forward_train`, used by `backward`.
+    hidden_outputs: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `&[538, 64, 9]` for the
+    /// paper's single-hidden-layer scheduler networks.
+    ///
+    /// # Panics
+    /// If fewer than two sizes are given.
+    pub fn new(sizes: &[usize], activation: Activation, rng: &mut impl Rng) -> Self {
+        assert!(sizes.len() >= 2, "Mlp needs at least input and output sizes");
+        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        Self { layers, activation, hidden_outputs: Vec::new() }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// The hidden activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Layer sizes `[in, hidden…, out]`.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.layers.iter().map(Linear::in_dim).collect();
+        s.push(self.out_dim());
+        s
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Inference forward pass (no caching).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i != last {
+                self.activation.forward_inplace(&mut h);
+            }
+        }
+        h
+    }
+
+    /// Convenience: forward pass on a single input vector.
+    pub fn forward_one(&self, x: &[f32]) -> Vec<f32> {
+        let m = Matrix::from_vec(1, x.len(), x.to_vec());
+        self.forward(&m).into_vec()
+    }
+
+    /// Training forward pass: caches intermediate activations for `backward`.
+    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        self.hidden_outputs.clear();
+        let mut h = x.clone();
+        for i in 0..self.layers.len() {
+            h = self.layers[i].forward_train(&h);
+            if i != last {
+                self.activation.forward_inplace(&mut h);
+                self.hidden_outputs.push(h.clone());
+            }
+        }
+        h
+    }
+
+    /// Backward pass from the gradient of the loss w.r.t. the network output.
+    /// Accumulates gradients into every layer and returns the gradient
+    /// w.r.t. the input batch.
+    ///
+    /// # Panics
+    /// If no `forward_train` preceded it.
+    pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut grad = self.layers[last].backward(d_out);
+        for i in (0..last).rev() {
+            self.activation.backward_inplace(&self.hidden_outputs[i], &mut grad);
+            grad = self.layers[i].backward(&grad);
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grad(&mut self) {
+        self.layers.iter_mut().for_each(Linear::zero_grad);
+    }
+
+    /// Flattens all parameters (layer by layer, `W` then `b`) into one vector.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            l.write_params(&mut out);
+        }
+        out
+    }
+
+    /// Loads parameters from a flat vector produced by [`Mlp::flat_params`]
+    /// on an identically-shaped network.
+    ///
+    /// # Panics
+    /// If the length does not exactly match [`Mlp::param_count`].
+    pub fn set_flat_params(&mut self, params: &[f32]) {
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "set_flat_params: expected {} scalars, got {}",
+            self.param_count(),
+            params.len()
+        );
+        let mut rest = params;
+        for l in &mut self.layers {
+            rest = l.read_params(rest);
+        }
+        debug_assert!(rest.is_empty());
+    }
+
+    /// Flattens all accumulated gradients in the same order as
+    /// [`Mlp::flat_params`].
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            l.write_grads(&mut out);
+        }
+        out
+    }
+
+    /// Direct access to the layers (used by tests and diagnostics).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mlp(sizes: &[usize], seed: u64) -> Mlp {
+        Mlp::new(sizes, Activation::Tanh, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = mlp(&[5, 8, 3], 1);
+        assert_eq!(net.in_dim(), 5);
+        assert_eq!(net.out_dim(), 3);
+        assert_eq!(net.param_count(), 5 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.sizes(), vec![5, 8, 3]);
+        let y = net.forward(&Matrix::zeros(4, 5));
+        assert_eq!(y.shape(), (4, 3));
+    }
+
+    #[test]
+    fn forward_one_matches_batch_forward() {
+        let net = mlp(&[3, 6, 2], 2);
+        let x = [0.5, -0.25, 1.0];
+        let single = net.forward_one(&x);
+        let batch = net.forward(&Matrix::from_vec(1, 3, x.to_vec()));
+        assert_eq!(single, batch.into_vec());
+    }
+
+    #[test]
+    fn forward_train_equals_forward() {
+        let mut net = mlp(&[4, 7, 7, 2], 3);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4], &[-1.0, 0.0, 1.0, 2.0]]);
+        let a = net.forward(&x);
+        let b = net.forward_train(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_roundtrip_preserves_outputs() {
+        let net = mlp(&[6, 10, 4], 4);
+        let mut other = mlp(&[6, 10, 4], 99);
+        let x = Matrix::from_rows(&[&[0.1; 6]]);
+        assert_ne!(net.forward(&x), other.forward(&x));
+        other.set_flat_params(&net.flat_params());
+        assert_eq!(net.forward(&x), other.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn set_flat_params_rejects_wrong_length() {
+        let mut net = mlp(&[2, 2], 0);
+        net.set_flat_params(&[0.0; 3]);
+    }
+
+    /// The load-bearing test: analytic gradients vs central finite
+    /// differences for a scalar loss `L = Σ out²/2` over a small batch.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut net = mlp(&[3, 5, 2], 7);
+        let x = Matrix::from_rows(&[&[0.3, -0.6, 0.9], &[1.2, 0.4, -0.8]]);
+
+        let loss = |net: &Mlp| -> f64 {
+            let out = net.forward(&x);
+            out.as_slice().iter().map(|&v| (v as f64) * (v as f64) / 2.0).sum()
+        };
+
+        // Analytic: dL/d_out = out.
+        let out = net.forward_train(&x);
+        net.zero_grad();
+        net.backward(&out);
+        let analytic = net.flat_grads();
+
+        let base = net.flat_params();
+        let eps = 1e-3f32;
+        for idx in (0..base.len()).step_by(7) {
+            let mut p = base.clone();
+            p[idx] += eps;
+            net.set_flat_params(&p);
+            let plus = loss(&net);
+            p[idx] -= 2.0 * eps;
+            net.set_flat_params(&p);
+            let minus = loss(&net);
+            let fd = ((plus - minus) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (analytic[idx] - fd).abs() < 2e-2 * (1.0 + fd.abs()),
+                "param {idx}: analytic {} vs fd {}",
+                analytic[idx],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut net = mlp(&[3, 4, 1], 11);
+        let x0 = [0.2f32, -0.4, 0.6];
+        let loss = |net: &Mlp, x: &[f32]| net.forward_one(x)[0];
+
+        let out = net.forward_train(&Matrix::from_vec(1, 3, x0.to_vec()));
+        net.zero_grad();
+        let mut ones = Matrix::filled(1, 1, 1.0);
+        ones[(0, 0)] = 1.0;
+        let dx = net.backward(&ones);
+        let _ = out;
+
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x0;
+            xp[i] += eps;
+            let plus = loss(&net, &xp);
+            xp[i] -= 2.0 * eps;
+            let minus = loss(&net, &xp);
+            let fd = (plus - minus) / (2.0 * eps);
+            assert!((dx[(0, i)] - fd).abs() < 1e-2, "input {i}: {} vs {}", dx[(0, i)], fd);
+        }
+    }
+
+    #[test]
+    fn adam_training_solves_xor() {
+        let mut net = mlp(&[2, 16, 1], 21);
+        let mut opt = crate::Adam::new(net.param_count(), 0.05);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let targets = [0.0f32, 1.0, 1.0, 0.0]; // XOR
+        let mse = |net: &Mlp| -> f32 {
+            let out = net.forward(&x);
+            (0..4).map(|i| (out[(i, 0)] - targets[i]).powi(2)).sum::<f32>() / 4.0
+        };
+        let before = mse(&net);
+        for _ in 0..1000 {
+            let out = net.forward_train(&x);
+            let mut d = Matrix::zeros(4, 1);
+            for i in 0..4 {
+                d[(i, 0)] = 2.0 * (out[(i, 0)] - targets[i]) / 4.0;
+            }
+            net.zero_grad();
+            net.backward(&d);
+            opt.step_mlp(&mut net);
+        }
+        let after = mse(&net);
+        assert!(after < 0.01 && after < before, "XOR mse {before} -> {after}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Flat-parameter-vector arithmetic used by the federated aggregators.
+
+use pfrl_tensor::Matrix;
+
+/// Element-wise average of equally-long parameter vectors (FedAvg, Eq. 22).
+///
+/// # Panics
+/// If `params` is empty or lengths disagree.
+pub fn average_params(params: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!params.is_empty(), "average_params: no clients");
+    let n = params[0].len();
+    let mut out = vec![0.0f32; n];
+    for (k, p) in params.iter().enumerate() {
+        assert_eq!(p.len(), n, "average_params: client {k} has mismatched length");
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / params.len() as f32;
+    out.iter_mut().for_each(|v| *v *= inv);
+    out
+}
+
+/// Weighted combination `Σ_k w_k · θ_k` (one personalized model, Eq. 21).
+///
+/// # Panics
+/// If lengths disagree or `weights.len() != params.len()`.
+pub fn weighted_combination(weights: &[f32], params: &[Vec<f32>]) -> Vec<f32> {
+    assert_eq!(weights.len(), params.len(), "weights/params count mismatch");
+    assert!(!params.is_empty(), "weighted_combination: no clients");
+    let n = params[0].len();
+    let mut out = vec![0.0f32; n];
+    for (w, p) in weights.iter().zip(params) {
+        assert_eq!(p.len(), n, "weighted_combination: mismatched length");
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += w * v;
+        }
+    }
+    out
+}
+
+/// Applies a `K×K` mixing matrix to `K` parameter vectors, producing `K`
+/// personalized vectors: `out_k = Σ_j W[k][j] · θ_j` — the server step of
+/// Algorithm 1, line 12.
+///
+/// # Panics
+/// If the matrix is not `K×K` for `K = params.len()`.
+pub fn apply_mixing_matrix(mix: &Matrix, params: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let k = params.len();
+    assert_eq!(mix.shape(), (k, k), "mixing matrix must be {k}x{k}");
+    (0..k).map(|i| weighted_combination(mix.row(i), params)).collect()
+}
+
+/// Squared L2 distance between two parameter vectors (diagnostics).
+pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_distance_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_identical_is_identity() {
+        let p = vec![vec![1.0, 2.0, 3.0]; 4];
+        assert_eq!(average_params(&p), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn average_hand_example() {
+        let p = vec![vec![0.0, 2.0], vec![4.0, 6.0]];
+        assert_eq!(average_params(&p), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no clients")]
+    fn average_empty_panics() {
+        let _ = average_params(&[]);
+    }
+
+    #[test]
+    fn weighted_combination_hand_example() {
+        let p = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let c = weighted_combination(&[0.25, 0.75], &p);
+        assert_eq!(c, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn uniform_weights_equal_average() {
+        let p = vec![vec![1.0, 5.0], vec![3.0, 7.0], vec![5.0, 9.0]];
+        let w = vec![1.0 / 3.0; 3];
+        let avg = average_params(&p);
+        let comb = weighted_combination(&w, &p);
+        for (a, b) in avg.iter().zip(&comb) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identity_mixing_matrix_is_noop() {
+        let p = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let out = apply_mixing_matrix(&Matrix::identity(3), &p);
+        assert_eq!(out, p);
+    }
+
+    #[test]
+    fn uniform_mixing_matrix_averages() {
+        let p = vec![vec![0.0, 0.0], vec![6.0, 12.0]];
+        let mix = Matrix::filled(2, 2, 0.5);
+        let out = apply_mixing_matrix(&mix, &p);
+        assert_eq!(out[0], vec![3.0, 6.0]);
+        assert_eq!(out[1], vec![3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing matrix")]
+    fn wrong_mixing_shape_panics() {
+        let p = vec![vec![1.0], vec![2.0]];
+        let _ = apply_mixing_matrix(&Matrix::zeros(3, 3), &p);
+    }
+
+    #[test]
+    fn l2_distance_hand_example() {
+        assert_eq!(l2_distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_distance_sq(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the neural-network stack.
+
+use pfrl_nn::{
+    multi_head_attention_weights, Activation, Adam, Mlp, MultiHeadConfig,
+};
+use pfrl_nn::params::{apply_mixing_matrix, average_params, weighted_combination};
+use pfrl_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn mlp_strategy() -> impl Strategy<Value = Mlp> {
+    (1usize..6, 1usize..8, 1usize..4, 0u64..1000).prop_map(|(i, h, o, seed)| {
+        Mlp::new(&[i, h, o], Activation::Tanh, &mut SmallRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// flat_params → set_flat_params is the identity on behavior.
+    #[test]
+    fn param_roundtrip_identity(net in mlp_strategy(), x in proptest::collection::vec(-2.0f32..2.0, 1..6)) {
+        prop_assume!(x.len() == net.in_dim());
+        let before = net.forward_one(&x);
+        let mut copy = net.clone();
+        let p = net.flat_params();
+        copy.set_flat_params(&p);
+        let after = copy.forward_one(&x);
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(p.len(), net.param_count());
+    }
+
+    /// tanh MLP outputs stay finite for bounded inputs.
+    #[test]
+    fn outputs_finite(net in mlp_strategy(), x in proptest::collection::vec(-10.0f32..10.0, 1..6)) {
+        prop_assume!(x.len() == net.in_dim());
+        let y = net.forward_one(&x);
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(y.len(), net.out_dim());
+    }
+
+    /// Average of identical parameter vectors is the vector itself;
+    /// average is permutation-invariant.
+    #[test]
+    fn average_params_properties(
+        v in proptest::collection::vec(-5.0f32..5.0, 1..40),
+        n in 1usize..6,
+    ) {
+        let stack = vec![v.clone(); n];
+        let avg = average_params(&stack);
+        for (a, b) in avg.iter().zip(&v) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// A weighted combination with a one-hot weight vector selects that
+    /// client's parameters exactly.
+    #[test]
+    fn one_hot_combination_selects(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 8), 2..5),
+        pick_raw in 0usize..5,
+    ) {
+        let pick = pick_raw % params.len();
+        let mut w = vec![0.0f32; params.len()];
+        w[pick] = 1.0;
+        let got = weighted_combination(&w, &params);
+        prop_assert_eq!(got, params[pick].clone());
+    }
+
+    /// Identity mixing is a no-op for any parameter stack.
+    #[test]
+    fn identity_mixing_noop(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 6), 1..5),
+    ) {
+        let out = apply_mixing_matrix(&Matrix::identity(params.len()), &params);
+        prop_assert_eq!(out, params);
+    }
+
+    /// Attention weights are always a row-stochastic matrix, for any
+    /// client parameters (including degenerate all-equal ones).
+    #[test]
+    fn attention_always_row_stochastic(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 16), 1..6),
+        heads in 1usize..5,
+    ) {
+        let cfg = MultiHeadConfig { heads, ..Default::default() };
+        let w = multi_head_attention_weights(&params, &cfg);
+        prop_assert_eq!(w.shape(), (params.len(), params.len()));
+        for r in 0..w.rows() {
+            let sum: f32 = w.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3, "row {} sums to {}", r, sum);
+            prop_assert!(w.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Adam with zero gradients never moves parameters, at any step count.
+    #[test]
+    fn adam_zero_grad_fixed_point(
+        mut p in proptest::collection::vec(-5.0f32..5.0, 1..16),
+        steps in 1usize..10,
+    ) {
+        let orig = p.clone();
+        let mut opt = Adam::new(p.len(), 0.1);
+        let zeros = vec![0.0f32; p.len()];
+        for _ in 0..steps {
+            opt.step(&mut p, &zeros);
+        }
+        prop_assert_eq!(p, orig);
+    }
+}

@@ -1,0 +1,485 @@
+//! The standard single-critic PPO agent (the paper's "independent PPO"
+//! baseline, and the client algorithm inside plain FedAvg).
+
+use crate::buffer::RolloutBuffer;
+use crate::config::PpoConfig;
+use crate::policy::{self, PpoLossStats};
+use crate::returns::{discounted_returns, gae_advantages, normalize_in_place};
+use pfrl_nn::{Activation, Adam, Mlp};
+use pfrl_sim::{Action, EpisodeMetrics, SchedulingEnv};
+use pfrl_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds the paper's scheduler network shape: one hidden tanh layer.
+pub(crate) fn build_net(
+    in_dim: usize,
+    hidden: usize,
+    out_dim: usize,
+    rng: &mut SmallRng,
+) -> Mlp {
+    Mlp::new(&[in_dim, hidden, out_dim], Activation::Tanh, rng)
+}
+
+/// Runs one episode with `actor`, filling `buffer`; returns the total
+/// (undiscounted) episode reward. Shared by both agent types and by both
+/// environment kinds (flat and DAG).
+pub(crate) fn collect_episode_opts<E: SchedulingEnv + ?Sized>(
+    actor: &Mlp,
+    env: &mut E,
+    buffer: &mut RolloutBuffer,
+    rng: &mut SmallRng,
+    mask_actions: bool,
+) -> f32 {
+    assert!(!env.is_done(), "collect_episode needs a freshly reset env");
+    let max_vms = env.dims().max_vms;
+    let mut total = 0.0f32;
+    loop {
+        let state = env.observe();
+        let logits = actor.forward_one(&state);
+        let outcome;
+        if mask_actions {
+            let mask = env.action_mask();
+            let (a, lp) = policy::sample_action_masked(&logits, &mask, rng);
+            outcome = env.step(Action::from_index(a, max_vms));
+            buffer.push_masked(&state, a, outcome.reward, lp, &mask);
+        } else {
+            let (a, lp) = policy::sample_action(&logits, rng);
+            outcome = env.step(Action::from_index(a, max_vms));
+            buffer.push(&state, a, outcome.reward, lp);
+        }
+        total += outcome.reward;
+        if outcome.done {
+            buffer.end_episode();
+            return total;
+        }
+    }
+}
+
+/// Greedy (argmax) rollout; returns final episode metrics.
+pub(crate) fn evaluate_greedy_opts<E: SchedulingEnv + ?Sized>(
+    actor: &Mlp,
+    env: &mut E,
+    mask_actions: bool,
+) -> EpisodeMetrics {
+    assert!(!env.is_done(), "evaluate_greedy needs a freshly reset env");
+    let max_vms = env.dims().max_vms;
+    loop {
+        let state = env.observe();
+        let mut logits = actor.forward_one(&state);
+        if mask_actions {
+            policy::apply_mask(&mut logits, &env.action_mask());
+        }
+        let a = policy::greedy_action(&logits);
+        if env.step(Action::from_index(a, max_vms)).done {
+            return env.metrics();
+        }
+    }
+}
+
+/// One clipped-surrogate policy update (all epochs) on a prepared batch.
+/// `masks` (flattened `n × action_dim`) must be the masks the rollout was
+/// collected under, or `None` for unmasked rollouts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn actor_update(
+    actor: &mut Mlp,
+    opt: &mut Adam,
+    states: &Matrix,
+    actions: &[usize],
+    old_log_probs: &[f32],
+    advantages: &[f32],
+    masks: Option<&[bool]>,
+    cfg: &PpoConfig,
+) -> PpoLossStats {
+    let mut last = PpoLossStats { surrogate: 0.0, entropy: 0.0, clip_fraction: 0.0 };
+    for _ in 0..cfg.update_epochs {
+        let logits = actor.forward_train(states);
+        let (grad, stats) = policy::clipped_surrogate_grad_masked(
+            &logits,
+            actions,
+            old_log_probs,
+            advantages,
+            cfg.clip,
+            cfg.entropy_coef,
+            masks,
+        );
+        actor.zero_grad();
+        actor.backward(&grad);
+        opt.step_mlp(actor);
+        last = stats;
+    }
+    last
+}
+
+/// One squared-error regression pass of a value network onto returns
+/// (Eqs. 16–17); returns the pre-update MSE.
+pub(crate) fn critic_update(
+    critic: &mut Mlp,
+    opt: &mut Adam,
+    states: &Matrix,
+    returns: &[f32],
+    epochs: usize,
+) -> f32 {
+    let n = states.rows();
+    let mut first_loss = 0.0f32;
+    for epoch in 0..epochs {
+        let values = critic.forward_train(states);
+        let mut grad = Matrix::zeros(n, 1);
+        let mut loss = 0.0f32;
+        for i in 0..n {
+            let err = values[(i, 0)] - returns[i];
+            loss += err * err;
+            grad[(i, 0)] = 2.0 * err / n as f32;
+        }
+        loss /= n as f32;
+        if epoch == 0 {
+            first_loss = loss;
+        }
+        critic.zero_grad();
+        critic.backward(&grad);
+        opt.step_mlp(critic);
+    }
+    first_loss
+}
+
+/// Mean squared error of a critic's predictions against returns, without
+/// updating anything (the loss probe of Eq. 15 / Fig. 9).
+pub(crate) fn critic_loss(critic: &Mlp, states: &Matrix, returns: &[f32]) -> f32 {
+    let values = critic.forward(states);
+    let n = states.rows();
+    (0..n)
+        .map(|i| {
+            let e = values[(i, 0)] - returns[i];
+            e * e
+        })
+        .sum::<f32>()
+        / n as f32
+}
+
+/// Independent PPO agent: one actor, one critic.
+#[derive(Debug, Clone)]
+pub struct PpoAgent {
+    /// Policy network (logits over `{VM 1..L, wait}`).
+    pub actor: Mlp,
+    /// Value network.
+    pub critic: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    cfg: PpoConfig,
+    rng: SmallRng,
+    /// Collected episodes of the current batch (retained after the update
+    /// for loss probes).
+    buffer: RolloutBuffer,
+    episodes_buffered: usize,
+}
+
+impl PpoAgent {
+    /// Creates an agent with seeded initialization.
+    pub fn new(state_dim: usize, action_dim: usize, cfg: PpoConfig, seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let actor = build_net(state_dim, cfg.hidden, action_dim, &mut rng);
+        let critic = build_net(state_dim, cfg.hidden, 1, &mut rng);
+        let actor_opt = Adam::new(actor.param_count(), cfg.lr_actor);
+        let critic_opt = Adam::new(critic.param_count(), cfg.lr_critic);
+        Self {
+            actor,
+            critic,
+            actor_opt,
+            critic_opt,
+            cfg,
+            rng,
+            buffer: RolloutBuffer::new(state_dim),
+            episodes_buffered: 0,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.cfg
+    }
+
+    /// Collects one episode on a freshly reset `env`, performs a PPO update
+    /// once `episodes_per_update` episodes are batched, and returns the
+    /// total episode reward. Works on any [`SchedulingEnv`] with matching
+    /// dims (flat or DAG).
+    pub fn train_one_episode<E: SchedulingEnv + ?Sized>(&mut self, env: &mut E) -> f32 {
+        if self.episodes_buffered >= self.cfg.episodes_per_update {
+            self.buffer.clear();
+            self.episodes_buffered = 0;
+        }
+        let total = collect_episode_opts(
+            &self.actor,
+            env,
+            &mut self.buffer,
+            &mut self.rng,
+            self.cfg.mask_invalid_actions,
+        );
+        self.episodes_buffered += 1;
+        if self.episodes_buffered >= self.cfg.episodes_per_update {
+            self.update();
+        }
+        total
+    }
+
+    /// PPO update on the retained buffer (no-op when empty).
+    pub fn update(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let states = self.buffer.states_matrix();
+        let returns =
+            discounted_returns(self.buffer.rewards(), self.buffer.terminals(), self.cfg.gamma);
+        let values: Vec<f32> = {
+            let v = self.critic.forward(&states);
+            (0..v.rows()).map(|i| v[(i, 0)]).collect()
+        };
+        let mut advantages = gae_advantages(
+            self.buffer.rewards(),
+            &values,
+            self.buffer.terminals(),
+            self.cfg.gamma,
+            self.cfg.gae_lambda,
+        );
+        if self.cfg.normalize_advantages {
+            normalize_in_place(&mut advantages);
+        }
+        let actions = self.buffer.actions().to_vec();
+        let old_lp = self.buffer.old_log_probs().to_vec();
+        let masks = self.buffer.masks_flat().map(<[bool]>::to_vec);
+        actor_update(
+            &mut self.actor,
+            &mut self.actor_opt,
+            &states,
+            &actions,
+            &old_lp,
+            &advantages,
+            masks.as_deref(),
+            &self.cfg,
+        );
+        critic_update(
+            &mut self.critic,
+            &mut self.critic_opt,
+            &states,
+            &returns,
+            self.cfg.critic_epochs,
+        );
+    }
+
+    /// Greedy evaluation episode on a freshly reset `env`.
+    pub fn evaluate<E: SchedulingEnv + ?Sized>(&self, env: &mut E) -> EpisodeMetrics {
+        evaluate_greedy_opts(&self.actor, env, self.cfg.mask_invalid_actions)
+    }
+
+    /// Critic MSE on the last collected episode (for the Fig. 9 probe).
+    /// Returns `None` when no episode has been collected yet.
+    pub fn critic_loss_on_last_episode(&self) -> Option<f32> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let states = self.buffer.states_matrix();
+        let returns =
+            discounted_returns(self.buffer.rewards(), self.buffer.terminals(), self.cfg.gamma);
+        Some(critic_loss(&self.critic, &states, &returns))
+    }
+
+    /// Saves actor + critic to a checkpoint file.
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> std::io::Result<()> {
+        pfrl_nn::checkpoint::save(path, &[&self.actor, &self.critic])
+    }
+
+    /// Restores actor + critic from a checkpoint written by
+    /// [`Self::save_checkpoint`]; optimizer state is reset (momentum from a
+    /// different trajectory would be stale).
+    ///
+    /// Fails with `InvalidData` when the checkpoint's network shapes do not
+    /// match this agent's.
+    pub fn load_checkpoint(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let nets = pfrl_nn::checkpoint::load(path)?;
+        let [actor, critic]: [Mlp; 2] = nets.try_into().map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "expected 2 networks")
+        })?;
+        if actor.sizes() != self.actor.sizes() || critic.sizes() != self.critic.sizes() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "checkpoint shapes do not match agent",
+            ));
+        }
+        self.actor = actor;
+        self.critic = critic;
+        self.actor_opt.reset_state();
+        self.critic_opt.reset_state();
+        Ok(())
+    }
+
+    /// Flat actor parameters (FedAvg transmits both networks).
+    pub fn actor_params(&self) -> Vec<f32> {
+        self.actor.flat_params()
+    }
+
+    /// Replaces the actor parameters.
+    pub fn set_actor_params(&mut self, p: &[f32]) {
+        self.actor.set_flat_params(p);
+    }
+
+    /// Flat critic parameters.
+    pub fn critic_params(&self) -> Vec<f32> {
+        self.critic.flat_params()
+    }
+
+    /// Replaces the critic parameters.
+    pub fn set_critic_params(&mut self, p: &[f32]) {
+        self.critic.set_flat_params(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfrl_sim::{CloudEnv, EnvConfig, EnvDims, HeuristicPolicy, VmSpec};
+    use pfrl_workloads::DatasetId;
+
+    fn small_env() -> CloudEnv {
+        CloudEnv::new(
+            EnvDims::new(2, 8, 64.0, 3),
+            vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            EnvConfig::default(),
+        )
+    }
+
+    #[test]
+    fn training_episode_runs_and_returns_finite_reward() {
+        let mut env = small_env();
+        let dims = *env.dims();
+        let mut agent =
+            PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 1);
+        env.reset(DatasetId::K8s.model().sample(25, 3));
+        let r = agent.train_one_episode(&mut env);
+        assert!(r.is_finite());
+        assert!(env.is_done());
+        assert!(agent.critic_loss_on_last_episode().is_some());
+    }
+
+    #[test]
+    fn evaluation_places_tasks() {
+        let mut env = small_env();
+        let dims = *env.dims();
+        let agent = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 2);
+        env.reset(DatasetId::K8s.model().sample(25, 3));
+        let m = agent.evaluate(&mut env);
+        assert_eq!(m.tasks_placed + m.tasks_unplaced, 25);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let tasks = DatasetId::K8s.model().sample(20, 5);
+        let run = |seed: u64| {
+            let mut env = small_env();
+            let dims = *env.dims();
+            let mut agent =
+                PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), seed);
+            let mut rewards = Vec::new();
+            for _ in 0..3 {
+                env.reset(tasks.clone());
+                rewards.push(agent.train_one_episode(&mut env));
+            }
+            (rewards, agent.actor_params())
+        };
+        let (r1, p1) = run(42);
+        let (r2, p2) = run(42);
+        let (r3, _) = run(43);
+        assert_eq!(r1, r2);
+        assert_eq!(p1, p2);
+        assert_ne!(r1, r3);
+    }
+
+    /// Learning sanity: training reward climbs clearly from the early
+    /// episodes to the late ones on a fixed workload (the paper's Fig. 8 /
+    /// Fig. 15 measure exactly this quantity).
+    #[test]
+    fn training_reward_improves_early_to_late() {
+        let tasks = DatasetId::K8s.model().sample(30, 11);
+        let mut env = small_env();
+        let dims = *env.dims();
+        let mut agent =
+            PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 7);
+        let mut rewards = Vec::new();
+        for _ in 0..120 {
+            env.reset(tasks.clone());
+            rewards.push(agent.train_one_episode(&mut env) as f64);
+        }
+        let early: f64 = rewards[..15].iter().sum::<f64>() / 15.0;
+        let late: f64 = rewards[rewards.len() - 15..].iter().sum::<f64>() / 15.0;
+        assert!(
+            late > early + 10.0,
+            "training did not improve: early {early:.1} late {late:.1}"
+        );
+
+        // The learned stochastic policy should be far above the all-wait
+        // floor and in the same regime as random feasible placement.
+        let mut e = small_env();
+        e.reset(tasks.clone());
+        pfrl_sim::run_heuristic(&mut e, HeuristicPolicy::Random, 1);
+        let random_r = e.metrics().total_reward;
+        assert!(
+            late > random_r - 45.0,
+            "late training reward {late:.1} too far below random {random_r:.1}"
+        );
+    }
+
+    /// With feasibility masking, the agent can never be denied a placement
+    /// or pick a void VM slot: every reward is a placement (> 0), a neutral
+    /// forced wait (0), or the lazy-wait constant.
+    #[test]
+    fn masked_agent_never_gets_denied() {
+        let mut env = small_env();
+        let dims = *env.dims();
+        let cfg = PpoConfig { mask_invalid_actions: true, ..Default::default() };
+        let mut agent = PpoAgent::new(dims.state_dim(), dims.action_dim(), cfg, 5);
+        let lazy = env.config().lazy_wait_penalty;
+        for seed in 0..3 {
+            env.reset(DatasetId::K8s.model().sample(25, seed));
+            agent.train_one_episode(&mut env);
+            for &r in agent.buffer.rewards() {
+                assert!(
+                    r >= 0.0 || (r - lazy).abs() < 1e-6,
+                    "denial-like reward {r} under masking"
+                );
+            }
+            assert!(agent.buffer.is_masked());
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_policy() {
+        let dir = std::env::temp_dir().join("pfrl_agent_ckpt");
+        let path = dir.join("ppo.ckpt");
+        let mut env = small_env();
+        let dims = *env.dims();
+        let mut a = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 4);
+        env.reset(DatasetId::K8s.model().sample(15, 1));
+        a.train_one_episode(&mut env);
+        a.save_checkpoint(&path).unwrap();
+
+        let mut b = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 99);
+        assert_ne!(a.actor_params(), b.actor_params());
+        b.load_checkpoint(&path).unwrap();
+        assert_eq!(a.actor_params(), b.actor_params());
+        assert_eq!(a.critic_params(), b.critic_params());
+
+        // Shape mismatch is rejected.
+        let mut small = PpoAgent::new(4, 3, PpoConfig::default(), 0);
+        assert!(small.load_checkpoint(&path).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn param_roundtrip_through_federation_api() {
+        let mut a = PpoAgent::new(10, 3, PpoConfig::default(), 1);
+        let b = PpoAgent::new(10, 3, PpoConfig::default(), 2);
+        a.set_actor_params(&b.actor_params());
+        a.set_critic_params(&b.critic_params());
+        assert_eq!(a.actor_params(), b.actor_params());
+        assert_eq!(a.critic_params(), b.critic_params());
+    }
+}

@@ -1,0 +1,232 @@
+//! Rollout storage for on-policy updates.
+
+use pfrl_tensor::Matrix;
+
+/// Transitions of one or more episodes, stored flat with terminal markers.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutBuffer {
+    state_dim: usize,
+    states: Vec<f32>,
+    actions: Vec<usize>,
+    rewards: Vec<f32>,
+    old_log_probs: Vec<f32>,
+    /// `true` at indices that end an episode.
+    terminals: Vec<bool>,
+    /// Flattened per-transition action masks (`n × action_dim`); empty when
+    /// the policy is unmasked (the paper's default).
+    masks: Vec<bool>,
+    mask_dim: usize,
+}
+
+impl RolloutBuffer {
+    /// An empty buffer for states of the given dimension.
+    pub fn new(state_dim: usize) -> Self {
+        Self { state_dim, ..Default::default() }
+    }
+
+    /// Appends one transition.
+    ///
+    /// # Panics
+    /// If the state length differs from the buffer's `state_dim`.
+    pub fn push(&mut self, state: &[f32], action: usize, reward: f32, old_log_prob: f32) {
+        assert_eq!(state.len(), self.state_dim, "state dim mismatch");
+        assert!(self.masks.is_empty(), "cannot mix masked and unmasked pushes");
+        self.states.extend_from_slice(state);
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.old_log_probs.push(old_log_prob);
+        self.terminals.push(false);
+    }
+
+    /// Appends one transition together with the action mask the behavior
+    /// policy sampled under (masked-policy training).
+    ///
+    /// # Panics
+    /// If unmasked pushes were already recorded, on state-dim mismatch, or
+    /// if the mask length differs from earlier masks.
+    pub fn push_masked(
+        &mut self,
+        state: &[f32],
+        action: usize,
+        reward: f32,
+        old_log_prob: f32,
+        mask: &[bool],
+    ) {
+        assert_eq!(state.len(), self.state_dim, "state dim mismatch");
+        assert!(
+            self.actions.is_empty() || !self.masks.is_empty(),
+            "cannot mix masked and unmasked pushes"
+        );
+        if self.mask_dim == 0 {
+            self.mask_dim = mask.len();
+        }
+        assert_eq!(mask.len(), self.mask_dim, "mask length changed");
+        self.states.extend_from_slice(state);
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.old_log_probs.push(old_log_prob);
+        self.terminals.push(false);
+        self.masks.extend_from_slice(mask);
+    }
+
+    /// Per-transition mask rows, or `None` for unmasked rollouts.
+    pub fn mask_row(&self, i: usize) -> Option<&[bool]> {
+        if self.masks.is_empty() {
+            None
+        } else {
+            Some(&self.masks[i * self.mask_dim..(i + 1) * self.mask_dim])
+        }
+    }
+
+    /// Whether the rollout was collected under action masks.
+    pub fn is_masked(&self) -> bool {
+        !self.masks.is_empty()
+    }
+
+    /// The flattened `n × action_dim` mask buffer, or `None` when unmasked.
+    pub fn masks_flat(&self) -> Option<&[bool]> {
+        if self.masks.is_empty() {
+            None
+        } else {
+            Some(&self.masks)
+        }
+    }
+
+    /// Marks the most recent transition as episode-terminal.
+    ///
+    /// # Panics
+    /// If the buffer is empty.
+    pub fn end_episode(&mut self) {
+        let last = self.terminals.last_mut().expect("end_episode on empty buffer");
+        *last = true;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the buffer holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Clears all transitions, retaining capacity.
+    pub fn clear(&mut self) {
+        self.states.clear();
+        self.actions.clear();
+        self.rewards.clear();
+        self.old_log_probs.clear();
+        self.terminals.clear();
+        self.masks.clear();
+        self.mask_dim = 0;
+    }
+
+    /// The states as an `N × state_dim` matrix (copies).
+    pub fn states_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.len(), self.state_dim, self.states.clone())
+    }
+
+    /// Taken actions.
+    pub fn actions(&self) -> &[usize] {
+        &self.actions
+    }
+
+    /// Collected rewards.
+    pub fn rewards(&self) -> &[f32] {
+        &self.rewards
+    }
+
+    /// Behavior-policy log-probabilities of the taken actions.
+    pub fn old_log_probs(&self) -> &[f32] {
+        &self.old_log_probs
+    }
+
+    /// Episode-terminal flags.
+    pub fn terminals(&self) -> &[bool] {
+        &self.terminals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut b = RolloutBuffer::new(3);
+        b.push(&[1.0, 2.0, 3.0], 2, 0.5, -1.1);
+        b.push(&[4.0, 5.0, 6.0], 0, -0.5, -0.7);
+        b.end_episode();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.actions(), &[2, 0]);
+        assert_eq!(b.rewards(), &[0.5, -0.5]);
+        assert_eq!(b.terminals(), &[false, true]);
+        let m = b.states_matrix();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn clear_retains_dim() {
+        let mut b = RolloutBuffer::new(2);
+        b.push(&[1.0, 2.0], 0, 0.0, 0.0);
+        b.clear();
+        assert!(b.is_empty());
+        b.push(&[3.0, 4.0], 1, 1.0, 0.0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dim mismatch")]
+    fn wrong_state_dim_panics() {
+        let mut b = RolloutBuffer::new(2);
+        b.push(&[1.0], 0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn end_episode_on_empty_panics() {
+        RolloutBuffer::new(1).end_episode();
+    }
+
+    #[test]
+    fn masked_pushes_roundtrip() {
+        let mut b = RolloutBuffer::new(2);
+        b.push_masked(&[1.0, 2.0], 0, 0.5, -0.1, &[true, false, true]);
+        b.push_masked(&[3.0, 4.0], 2, 0.1, -0.2, &[false, true, true]);
+        assert!(b.is_masked());
+        assert_eq!(b.mask_row(0), Some(&[true, false, true][..]));
+        assert_eq!(b.mask_row(1), Some(&[false, true, true][..]));
+        b.clear();
+        assert!(!b.is_masked());
+    }
+
+    #[test]
+    fn unmasked_buffer_has_no_mask_rows() {
+        let mut b = RolloutBuffer::new(1);
+        b.push(&[1.0], 0, 0.0, 0.0);
+        assert_eq!(b.mask_row(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mix")]
+    fn mixing_masked_and_unmasked_panics() {
+        let mut b = RolloutBuffer::new(1);
+        b.push(&[1.0], 0, 0.0, 0.0);
+        b.push_masked(&[1.0], 0, 0.0, 0.0, &[true]);
+    }
+
+    #[test]
+    fn multiple_episodes_tracked() {
+        let mut b = RolloutBuffer::new(1);
+        for ep in 0..3 {
+            for _ in 0..2 {
+                b.push(&[ep as f32], 0, 1.0, 0.0);
+            }
+            b.end_episode();
+        }
+        let terms: Vec<bool> = b.terminals().to_vec();
+        assert_eq!(terms, vec![false, true, false, true, false, true]);
+    }
+}

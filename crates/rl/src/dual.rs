@@ -1,0 +1,455 @@
+//! The dual-critic PPO agent of PFRL-DM (Sec. 4.3).
+//!
+//! Each client holds a *local* critic `φ` (never shared) and a *public*
+//! critic `ψ` (uploaded to / replaced by the server). State values are the
+//! blend `V(s) = α·V_φ(s) + (1−α)·V_ψ(s)` (Eq. 14) with
+//!
+//! ```text
+//! α = e^{−L_φ} / (e^{−L_φ} + e^{−L_ψ}) = sigmoid(L_ψ − L_φ)   (Eq. 15)
+//! ```
+//!
+//! recomputed from the buffered trajectories *every time either network's
+//! parameters change* — after each local update and upon receiving a
+//! personalized public critic from the server. A public critic that
+//! evaluates the client's own trajectories poorly (heterogeneity damage,
+//! Fig. 9) is automatically down-weighted, which is the paper's mechanism
+//! for balancing global knowledge against local experience.
+
+use crate::agent::{
+    actor_update, build_net, collect_episode_opts, critic_loss, critic_update,
+    evaluate_greedy_opts,
+};
+use crate::buffer::RolloutBuffer;
+use crate::config::PpoConfig;
+use crate::returns::{discounted_returns, gae_advantages, normalize_in_place};
+use pfrl_nn::{Adam, Mlp};
+use pfrl_sim::{EpisodeMetrics, SchedulingEnv};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Dual-critic PPO client agent.
+#[derive(Debug, Clone)]
+pub struct DualCriticAgent {
+    /// Policy network.
+    pub actor: Mlp,
+    /// Local critic `φ` (private to the client).
+    pub local_critic: Mlp,
+    /// Public critic `ψ` (exchanged with the server).
+    pub public_critic: Mlp,
+    actor_opt: Adam,
+    local_opt: Adam,
+    public_opt: Adam,
+    alpha: f32,
+    /// When set, `α` is pinned to this value and Eq. 15 is disabled
+    /// (used by the ablation study).
+    fixed_alpha: Option<f32>,
+    cfg: PpoConfig,
+    rng: SmallRng,
+    buffer: RolloutBuffer,
+    episodes_buffered: usize,
+}
+
+impl DualCriticAgent {
+    /// Creates an agent; the two critics start from *different* seeded
+    /// initializations (they must be distinguishable for Eq. 15 to carry
+    /// signal).
+    pub fn new(state_dim: usize, action_dim: usize, cfg: PpoConfig, seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let actor = build_net(state_dim, cfg.hidden, action_dim, &mut rng);
+        let local_critic = build_net(state_dim, cfg.hidden, 1, &mut rng);
+        let public_critic = build_net(state_dim, cfg.hidden, 1, &mut rng);
+        let actor_opt = Adam::new(actor.param_count(), cfg.lr_actor);
+        let local_opt = Adam::new(local_critic.param_count(), cfg.lr_critic);
+        let public_opt = Adam::new(public_critic.param_count(), cfg.lr_critic);
+        Self {
+            actor,
+            local_critic,
+            public_critic,
+            actor_opt,
+            local_opt,
+            public_opt,
+            alpha: 0.5,
+            fixed_alpha: None,
+            cfg,
+            rng,
+            buffer: RolloutBuffer::new(state_dim),
+            episodes_buffered: 0,
+        }
+    }
+
+    /// Current local-critic weight `α`.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Pins `α` to a fixed value (disabling the adaptive Eq. 15), or
+    /// restores adaptivity with `None`. `α = 1` ignores the public critic;
+    /// `α = 0` ignores the local critic.
+    ///
+    /// # Panics
+    /// If the value is outside `[0, 1]`.
+    pub fn set_fixed_alpha(&mut self, alpha: Option<f32>) {
+        if let Some(a) = alpha {
+            assert!((0.0..=1.0).contains(&a), "alpha {a} out of [0,1]");
+            self.alpha = a;
+        }
+        self.fixed_alpha = alpha;
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.cfg
+    }
+
+    /// Blended state values over the buffered states (Eq. 14).
+    fn blended_values(&self, states: &pfrl_tensor::Matrix) -> Vec<f32> {
+        let v_local = self.local_critic.forward(states);
+        let v_public = self.public_critic.forward(states);
+        (0..states.rows())
+            .map(|i| self.alpha * v_local[(i, 0)] + (1.0 - self.alpha) * v_public[(i, 0)])
+            .collect()
+    }
+
+    /// Collects one episode on a freshly reset `env`, runs the dual-critic
+    /// PPO update once `episodes_per_update` episodes are batched, and
+    /// returns the total episode reward.
+    pub fn train_one_episode<E: SchedulingEnv + ?Sized>(&mut self, env: &mut E) -> f32 {
+        if self.episodes_buffered >= self.cfg.episodes_per_update {
+            self.buffer.clear();
+            self.episodes_buffered = 0;
+        }
+        let total = collect_episode_opts(
+            &self.actor,
+            env,
+            &mut self.buffer,
+            &mut self.rng,
+            self.cfg.mask_invalid_actions,
+        );
+        self.episodes_buffered += 1;
+        if self.episodes_buffered >= self.cfg.episodes_per_update {
+            self.update();
+        }
+        total
+    }
+
+    /// Dual-critic PPO update on the retained buffer (no-op when empty).
+    pub fn update(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let states = self.buffer.states_matrix();
+        let returns =
+            discounted_returns(self.buffer.rewards(), self.buffer.terminals(), self.cfg.gamma);
+        let values = self.blended_values(&states);
+        let mut advantages = gae_advantages(
+            self.buffer.rewards(),
+            &values,
+            self.buffer.terminals(),
+            self.cfg.gamma,
+            self.cfg.gae_lambda,
+        );
+        if self.cfg.normalize_advantages {
+            normalize_in_place(&mut advantages);
+        }
+        let actions = self.buffer.actions().to_vec();
+        let old_lp = self.buffer.old_log_probs().to_vec();
+        let masks = self.buffer.masks_flat().map(<[bool]>::to_vec);
+        actor_update(
+            &mut self.actor,
+            &mut self.actor_opt,
+            &states,
+            &actions,
+            &old_lp,
+            &advantages,
+            masks.as_deref(),
+            &self.cfg,
+        );
+        // Both value functions regress on the same returns (Eqs. 16–17).
+        critic_update(
+            &mut self.local_critic,
+            &mut self.local_opt,
+            &states,
+            &returns,
+            self.cfg.critic_epochs,
+        );
+        critic_update(
+            &mut self.public_critic,
+            &mut self.public_opt,
+            &states,
+            &returns,
+            self.cfg.critic_epochs,
+        );
+        // Parameters changed → refresh α (Eq. 15).
+        self.refresh_alpha();
+    }
+
+    /// Recomputes `α` from the retained buffer per Eq. 15, in the
+    /// scale-normalized form `α = sigmoid((L_ψ − L_φ) / τ)` with
+    /// `τ = (L_φ + L_ψ)/2`. The paper's raw `e^{−L}` weights saturate to
+    /// exactly 0/1 (and underflow) whenever the MSE losses are large —
+    /// which they always are early in training, when the critics have not
+    /// yet tracked the return scale — so the relative form keeps Eq. 15's
+    /// ordering (worse public critic ⇒ larger α) while staying responsive.
+    /// No-op when no trajectories have been collected yet.
+    pub fn refresh_alpha(&mut self) {
+        if self.fixed_alpha.is_some() || self.buffer.is_empty() {
+            return;
+        }
+        let (l_local, l_public) = self.critic_losses();
+        let tau = (0.5 * (l_local + l_public)).max(1e-6);
+        self.alpha = 1.0 / (1.0 + (-(l_public - l_local) / tau).exp());
+    }
+
+    /// `(L_φ, L_ψ)`: both critics' MSE on the retained trajectories.
+    ///
+    /// # Panics
+    /// If no episode has been collected yet.
+    pub fn critic_losses(&self) -> (f32, f32) {
+        assert!(!self.buffer.is_empty(), "no trajectories buffered");
+        let states = self.buffer.states_matrix();
+        let returns =
+            discounted_returns(self.buffer.rewards(), self.buffer.terminals(), self.cfg.gamma);
+        (
+            critic_loss(&self.local_critic, &states, &returns),
+            critic_loss(&self.public_critic, &states, &returns),
+        )
+    }
+
+    /// Whether any trajectories are buffered (i.e. [`Self::critic_losses`]
+    /// is callable).
+    pub fn has_trajectories(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Greedy evaluation episode on a freshly reset `env`.
+    pub fn evaluate<E: SchedulingEnv + ?Sized>(&self, env: &mut E) -> EpisodeMetrics {
+        evaluate_greedy_opts(&self.actor, env, self.cfg.mask_invalid_actions)
+    }
+
+    /// Saves actor + both critics to a checkpoint file.
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> std::io::Result<()> {
+        pfrl_nn::checkpoint::save(
+            path,
+            &[&self.actor, &self.local_critic, &self.public_critic],
+        )
+    }
+
+    /// Restores actor + both critics from a checkpoint written by
+    /// [`Self::save_checkpoint`]; optimizer state is reset and `α` is
+    /// re-derived on the next update.
+    pub fn load_checkpoint(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let nets = pfrl_nn::checkpoint::load(path)?;
+        let [actor, local, public]: [Mlp; 3] = nets.try_into().map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "expected 3 networks")
+        })?;
+        if actor.sizes() != self.actor.sizes()
+            || local.sizes() != self.local_critic.sizes()
+            || public.sizes() != self.public_critic.sizes()
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "checkpoint shapes do not match agent",
+            ));
+        }
+        self.actor = actor;
+        self.local_critic = local;
+        self.public_critic = public;
+        self.actor_opt.reset_state();
+        self.local_opt.reset_state();
+        self.public_opt.reset_state();
+        self.refresh_alpha();
+        Ok(())
+    }
+
+    /// Flat public-critic parameters `ψ` (what the client uploads).
+    pub fn public_critic_params(&self) -> Vec<f32> {
+        self.public_critic.flat_params()
+    }
+
+    /// Installs a (personalized) public critic from the server and
+    /// refreshes `α` against the buffered trajectories, per Algorithm 1.
+    /// The public critic's optimizer state is reset: stale momentum from
+    /// the pre-aggregation parameters would point nowhere useful.
+    pub fn receive_public_critic(&mut self, params: &[f32]) {
+        self.public_critic.set_flat_params(params);
+        self.public_opt.reset_state();
+        self.refresh_alpha();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfrl_sim::{CloudEnv, EnvConfig, EnvDims, VmSpec};
+    use pfrl_workloads::DatasetId;
+
+    fn small_env() -> CloudEnv {
+        CloudEnv::new(
+            EnvDims::new(2, 8, 64.0, 3),
+            vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            EnvConfig::default(),
+        )
+    }
+
+    fn agent(seed: u64) -> DualCriticAgent {
+        let dims = EnvDims::new(2, 8, 64.0, 3);
+        DualCriticAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), seed)
+    }
+
+    #[test]
+    fn alpha_starts_balanced_and_stays_in_unit_interval() {
+        let mut a = agent(1);
+        assert_eq!(a.alpha(), 0.5);
+        let mut env = small_env();
+        for _ in 0..3 {
+            env.reset(DatasetId::K8s.model().sample(20, 9));
+            a.train_one_episode(&mut env);
+            assert!((0.0..=1.0).contains(&a.alpha()), "alpha {}", a.alpha());
+        }
+    }
+
+    #[test]
+    fn critics_start_different_and_both_fit_a_fixed_buffer() {
+        let mut a = agent(2);
+        assert_ne!(a.local_critic.flat_params(), a.public_critic.flat_params());
+        let tasks = DatasetId::K8s.model().sample(20, 4);
+        let mut env = small_env();
+        env.reset(tasks);
+        a.train_one_episode(&mut env);
+        let (l1, p1) = a.critic_losses();
+        // Re-running the update on the retained buffer regresses both
+        // critics on *fixed* targets: losses must fall. (During live
+        // training the targets move with the policy, so the per-episode
+        // loss is not monotone — that non-stationarity is exactly what
+        // Fig. 9 exploits.)
+        for _ in 0..10 {
+            a.update();
+        }
+        let (l2, p2) = a.critic_losses();
+        assert!(l2 < l1, "local critic loss {l1:.2} -> {l2:.2}");
+        assert!(p2 < p1, "public critic loss {p1:.2} -> {p2:.2}");
+    }
+
+    /// The heterogeneity-defense property: installing a garbage public
+    /// critic must shift α toward the local critic.
+    #[test]
+    fn bad_public_critic_downweighted() {
+        let mut a = agent(3);
+        let mut env = small_env();
+        for _ in 0..5 {
+            env.reset(DatasetId::K8s.model().sample(20, 6));
+            a.train_one_episode(&mut env);
+        }
+        // Install the local critic as the public one: α snaps to 0.5 and
+        // gives a clean reference point.
+        let local = a.local_critic.flat_params();
+        a.receive_public_critic(&local);
+        let alpha_before = a.alpha();
+        assert!((alpha_before - 0.5).abs() < 1e-4);
+        // Garbage parameters: large random-ish constants. The normalized
+        // Eq. 15 saturates toward sigmoid(2) ≈ 0.88 as L_ψ → ∞.
+        let garbage: Vec<f32> = (0..a.public_critic_params().len())
+            .map(|i| ((i as f32 * 0.7).sin()) * 5.0)
+            .collect();
+        a.receive_public_critic(&garbage);
+        assert!(
+            a.alpha() > 0.8,
+            "alpha {} -> {}",
+            alpha_before,
+            a.alpha()
+        );
+    }
+
+    /// Installing a copy of the (good) local critic as the public critic
+    /// must pull α back toward 0.5.
+    #[test]
+    fn equal_critics_give_balanced_alpha() {
+        let mut a = agent(4);
+        let mut env = small_env();
+        for _ in 0..5 {
+            env.reset(DatasetId::K8s.model().sample(20, 6));
+            a.train_one_episode(&mut env);
+        }
+        let local = a.local_critic.flat_params();
+        a.receive_public_critic(&local);
+        assert!((a.alpha() - 0.5).abs() < 1e-4, "alpha {}", a.alpha());
+    }
+
+    #[test]
+    fn receive_before_any_training_keeps_default_alpha() {
+        let mut a = agent(5);
+        let params = a.public_critic_params();
+        a.receive_public_critic(&params);
+        assert_eq!(a.alpha(), 0.5);
+        assert!(!a.has_trajectories());
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let tasks = DatasetId::Google.model().sample(20, 8);
+        let run = |seed| {
+            let mut a = agent(seed);
+            let mut env = small_env();
+            let mut rs = Vec::new();
+            for _ in 0..3 {
+                env.reset(tasks.clone());
+                rs.push(a.train_one_episode(&mut env));
+            }
+            (rs, a.alpha(), a.public_critic_params())
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn fixed_alpha_disables_adaptation() {
+        let mut a = agent(7);
+        a.set_fixed_alpha(Some(1.0));
+        let mut env = small_env();
+        for _ in 0..3 {
+            env.reset(DatasetId::K8s.model().sample(15, 2));
+            a.train_one_episode(&mut env);
+            assert_eq!(a.alpha(), 1.0);
+        }
+        a.set_fixed_alpha(None);
+        env.reset(DatasetId::K8s.model().sample(15, 2));
+        a.train_one_episode(&mut env);
+        assert_ne!(a.alpha(), 1.0, "adaptive alpha should move off the pin");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_fixed_alpha_rejected() {
+        agent(8).set_fixed_alpha(Some(1.5));
+    }
+
+    #[test]
+    fn dual_checkpoint_roundtrip() {
+        let dir = std::env::temp_dir().join("pfrl_dual_ckpt");
+        let path = dir.join("dual.ckpt");
+        let mut a = agent(11);
+        let mut env = small_env();
+        env.reset(DatasetId::K8s.model().sample(15, 2));
+        a.train_one_episode(&mut env);
+        a.save_checkpoint(&path).unwrap();
+
+        let mut b = agent(77);
+        b.load_checkpoint(&path).unwrap();
+        assert_eq!(a.actor.flat_params(), b.actor.flat_params());
+        assert_eq!(a.public_critic_params(), b.public_critic_params());
+        assert_eq!(
+            a.local_critic.flat_params(),
+            b.local_critic.flat_params()
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn evaluate_runs_greedy_episode() {
+        let a = agent(6);
+        let mut env = small_env();
+        env.reset(DatasetId::K8s.model().sample(15, 2));
+        let m = a.evaluate(&mut env);
+        assert_eq!(m.tasks_placed + m.tasks_unplaced, 15);
+    }
+}

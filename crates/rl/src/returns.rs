@@ -1,0 +1,149 @@
+//! Discounted returns and generalized advantage estimation.
+
+/// Reward-to-go returns `G_t = r_t + γ·G_{t+1}`, reset at terminals
+/// (the sample estimate of `Q` in Eq. (13)).
+///
+/// # Panics
+/// If lengths differ.
+pub fn discounted_returns(rewards: &[f32], terminals: &[bool], gamma: f32) -> Vec<f32> {
+    assert_eq!(rewards.len(), terminals.len(), "rewards/terminals mismatch");
+    let mut out = vec![0.0f32; rewards.len()];
+    let mut g = 0.0f32;
+    for t in (0..rewards.len()).rev() {
+        if terminals[t] {
+            g = 0.0;
+        }
+        g = rewards[t] + gamma * g;
+        out[t] = g;
+    }
+    out
+}
+
+/// GAE(λ) advantages. With `λ = 1` this telescopes to `G_t − V(s_t)`,
+/// the paper's plain sample-return advantage.
+///
+/// Terminal states are treated as absorbing with zero bootstrap value.
+///
+/// # Panics
+/// If lengths differ.
+pub fn gae_advantages(
+    rewards: &[f32],
+    values: &[f32],
+    terminals: &[bool],
+    gamma: f32,
+    lambda: f32,
+) -> Vec<f32> {
+    assert_eq!(rewards.len(), values.len(), "rewards/values mismatch");
+    assert_eq!(rewards.len(), terminals.len(), "rewards/terminals mismatch");
+    let n = rewards.len();
+    let mut adv = vec![0.0f32; n];
+    let mut last = 0.0f32;
+    for t in (0..n).rev() {
+        let (next_value, next_adv) = if terminals[t] {
+            (0.0, 0.0)
+        } else if t + 1 < n {
+            (values[t + 1], last)
+        } else {
+            (0.0, 0.0)
+        };
+        let delta = rewards[t] + gamma * next_value - values[t];
+        last = delta + gamma * lambda * next_adv;
+        adv[t] = last;
+    }
+    adv
+}
+
+/// Standardizes `x` in place to zero mean, unit std (no-op for n < 2 or
+/// zero variance).
+pub fn normalize_in_place(x: &mut [f32]) {
+    if x.len() < 2 {
+        return;
+    }
+    let mean = x.iter().sum::<f32>() / x.len() as f32;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / x.len() as f32;
+    if var <= 1e-12 {
+        return;
+    }
+    let inv_std = 1.0 / var.sqrt();
+    for v in x {
+        *v = (*v - mean) * inv_std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_hand_example() {
+        let r = [1.0, 2.0, 3.0];
+        let t = [false, false, true];
+        let g = discounted_returns(&r, &t, 0.5);
+        // G2 = 3, G1 = 2 + 0.5·3 = 3.5, G0 = 1 + 0.5·3.5 = 2.75
+        assert_eq!(g, vec![2.75, 3.5, 3.0]);
+    }
+
+    #[test]
+    fn returns_reset_at_terminals() {
+        let r = [1.0, 1.0, 1.0, 1.0];
+        let t = [false, true, false, true];
+        let g = discounted_returns(&r, &t, 0.9);
+        assert!((g[0] - 1.9).abs() < 1e-6);
+        assert_eq!(g[1], 1.0);
+        assert!((g[2] - 1.9).abs() < 1e-6);
+        assert_eq!(g[3], 1.0);
+    }
+
+    #[test]
+    fn gamma_zero_returns_are_rewards() {
+        let r = [2.0, -1.0, 0.5];
+        let t = [false, false, true];
+        assert_eq!(discounted_returns(&r, &t, 0.0), r.to_vec());
+    }
+
+    /// The telescoping identity behind Eq. (13): GAE with λ=1 equals
+    /// `G_t − V(s_t)` exactly.
+    #[test]
+    fn gae_lambda_one_equals_return_minus_value() {
+        let rewards = [1.0, -0.5, 2.0, 0.3, 1.1];
+        let values = [0.4, 0.2, -0.1, 0.9, 0.5];
+        let terminals = [false, false, true, false, true];
+        let gamma = 0.97;
+        let adv = gae_advantages(&rewards, &values, &terminals, gamma, 1.0);
+        let returns = discounted_returns(&rewards, &terminals, gamma);
+        for i in 0..rewards.len() {
+            let expect = returns[i] - values[i];
+            assert!((adv[i] - expect).abs() < 1e-5, "{i}: {} vs {expect}", adv[i]);
+        }
+    }
+
+    #[test]
+    fn gae_lambda_zero_is_td_error() {
+        let rewards = [1.0, 2.0];
+        let values = [0.5, 1.5];
+        let terminals = [false, true];
+        let adv = gae_advantages(&rewards, &values, &terminals, 0.9, 0.0);
+        assert!((adv[0] - (1.0 + 0.9 * 1.5 - 0.5)).abs() < 1e-6);
+        assert!((adv[1] - (2.0 - 1.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        normalize_in_place(&mut x);
+        let mean: f32 = x.iter().sum::<f32>() / 5.0;
+        let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 5.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_degenerate_inputs_safe() {
+        let mut single = vec![5.0];
+        normalize_in_place(&mut single);
+        assert_eq!(single, vec![5.0]);
+        let mut constant = vec![2.0, 2.0, 2.0];
+        normalize_in_place(&mut constant);
+        assert_eq!(constant, vec![2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the RL building blocks.
+
+use pfrl_rl::{discounted_returns, gae_advantages, RolloutBuffer};
+use pfrl_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    /// Returns are bounded by `max|r| / (1 − γ)` for γ < 1.
+    #[test]
+    fn returns_geometric_bound(
+        rewards in proptest::collection::vec(-10.0f32..10.0, 1..100),
+        gamma in 0.0f32..0.999,
+    ) {
+        let mut terminals = vec![false; rewards.len()];
+        *terminals.last_mut().unwrap() = true;
+        let g = discounted_returns(&rewards, &terminals, gamma);
+        let bound = 10.0 / (1.0 - gamma) + 1e-3;
+        prop_assert!(g.iter().all(|v| v.abs() <= bound));
+    }
+
+    /// The Bellman recursion holds exactly within an episode:
+    /// `G_t = r_t + γ·G_{t+1}`.
+    #[test]
+    fn returns_bellman_recursion(
+        rewards in proptest::collection::vec(-5.0f32..5.0, 2..60),
+        gamma in 0.0f32..=1.0,
+    ) {
+        let mut terminals = vec![false; rewards.len()];
+        *terminals.last_mut().unwrap() = true;
+        let g = discounted_returns(&rewards, &terminals, gamma);
+        for t in 0..rewards.len() - 1 {
+            let expect = rewards[t] + gamma * g[t + 1];
+            prop_assert!((g[t] - expect).abs() < 1e-3, "t={}: {} vs {}", t, g[t], expect);
+        }
+        prop_assert_eq!(g[rewards.len() - 1], rewards[rewards.len() - 1]);
+    }
+
+    /// GAE(λ=1) ≡ G − V for arbitrary multi-episode layouts.
+    #[test]
+    fn gae_telescopes_multi_episode(
+        episodes in proptest::collection::vec(1usize..10, 1..5),
+        gamma in 0.1f32..0.999,
+    ) {
+        let n: usize = episodes.iter().sum();
+        let rewards: Vec<f32> = (0..n).map(|i| ((i * 37 % 13) as f32) - 6.0).collect();
+        let values: Vec<f32> = (0..n).map(|i| ((i * 17 % 7) as f32) * 0.3).collect();
+        let mut terminals = vec![false; n];
+        let mut idx = 0;
+        for len in &episodes {
+            idx += len;
+            terminals[idx - 1] = true;
+        }
+        let adv = gae_advantages(&rewards, &values, &terminals, gamma, 1.0);
+        let ret = discounted_returns(&rewards, &terminals, gamma);
+        for t in 0..n {
+            prop_assert!((adv[t] - (ret[t] - values[t])).abs() < 1e-2,
+                "t={}: {} vs {}", t, adv[t], ret[t] - values[t]);
+        }
+    }
+
+    /// Buffer round-trip: everything pushed comes back out, in order.
+    #[test]
+    fn buffer_roundtrip(
+        transitions in proptest::collection::vec(
+            (proptest::collection::vec(-1.0f32..1.0, 4), 0usize..5, -3.0f32..3.0, -5.0f32..0.0),
+            1..40,
+        ),
+    ) {
+        let mut b = RolloutBuffer::new(4);
+        for (s, a, r, lp) in &transitions {
+            b.push(s, *a, *r, *lp);
+        }
+        b.end_episode();
+        prop_assert_eq!(b.len(), transitions.len());
+        let m: Matrix = b.states_matrix();
+        for (i, (s, a, r, lp)) in transitions.iter().enumerate() {
+            prop_assert_eq!(m.row(i), &s[..]);
+            prop_assert_eq!(b.actions()[i], *a);
+            prop_assert_eq!(b.rewards()[i], *r);
+            prop_assert_eq!(b.old_log_probs()[i], *lp);
+        }
+        prop_assert!(b.terminals()[transitions.len() - 1]);
+    }
+}

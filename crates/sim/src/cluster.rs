@@ -1,0 +1,175 @@
+//! A cluster of heterogeneous VMs with the paper's load-balance measure.
+
+use crate::vm::{RunningTask, Vm, VmSpec};
+use crate::RESOURCE_DIMS;
+use pfrl_workloads::TaskSpec;
+
+/// The VM collection `M_n` of one client.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    vms: Vec<Vm>,
+}
+
+impl Cluster {
+    /// Builds a cluster from VM specs.
+    ///
+    /// # Panics
+    /// If no VMs are given.
+    pub fn new(specs: &[VmSpec]) -> Self {
+        assert!(!specs.is_empty(), "Cluster needs at least one VM");
+        Self { vms: specs.iter().map(|&s| Vm::new(s)).collect() }
+    }
+
+    /// Number of VMs.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Always false (construction rejects empty clusters).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Immutable VM access.
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Mutable VM access.
+    pub fn vm_mut(&mut self, i: usize) -> &mut Vm {
+        &mut self.vms[i]
+    }
+
+    /// Indices of VMs that can fit `task` right now.
+    pub fn feasible(&self, task: &TaskSpec) -> Vec<usize> {
+        (0..self.vms.len()).filter(|&i| self.vms[i].can_fit(task)).collect()
+    }
+
+    /// Whether any VM fits `task`.
+    pub fn any_feasible(&self, task: &TaskSpec) -> bool {
+        self.vms.iter().any(|v| v.can_fit(task))
+    }
+
+    /// Releases all tasks completed by `now` across VMs, returning them.
+    pub fn advance_to(&mut self, now: u64) -> Vec<RunningTask> {
+        let mut done = Vec::new();
+        for vm in &mut self.vms {
+            done.extend(vm.advance_to(now));
+        }
+        done
+    }
+
+    /// Earliest completion time across all VMs, if anything is running.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.vms.iter().filter_map(Vm::next_completion).min()
+    }
+
+    /// Total running task count.
+    pub fn running_count(&self) -> usize {
+        self.vms.iter().map(|v| v.running().len()).sum()
+    }
+
+    /// `AvgLoad(t, i)` of Eq. (5): mean remaining fraction of resource `i`.
+    pub fn avg_load(&self, resource: usize) -> f32 {
+        self.vms.iter().map(|v| v.load(resource)).sum::<f32>() / self.vms.len() as f32
+    }
+
+    /// `LoadBal(t)` of Eq. (4): the `w_i`-weighted sum over resources of the
+    /// population standard deviation of per-VM loads. Lower = more balanced.
+    pub fn load_balance(&self, weights: &[f32; RESOURCE_DIMS]) -> f32 {
+        let n = self.vms.len() as f32;
+        let mut total = 0.0;
+        for (i, w) in weights.iter().enumerate() {
+            let avg = self.avg_load(i);
+            let var = self
+                .vms
+                .iter()
+                .map(|v| {
+                    let d = v.load(i) - avg;
+                    d * d
+                })
+                .sum::<f32>()
+                / n;
+            total += w * var.sqrt();
+        }
+        total
+    }
+
+    /// Mean utilization of resource `i` across VMs (diagnostics).
+    pub fn avg_utilization(&self, resource: usize) -> f32 {
+        self.vms.iter().map(|v| v.utilization(resource)).sum::<f32>() / self.vms.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64, vcpus: u32, mem: f32, dur: u64) -> TaskSpec {
+        TaskSpec { id, arrival: 0, vcpus, mem_gb: mem, duration: dur }
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(&[VmSpec::new(8, 64.0), VmSpec::new(4, 32.0), VmSpec::new(16, 128.0)])
+    }
+
+    #[test]
+    fn feasible_filters_correctly() {
+        let mut c = cluster();
+        assert_eq!(c.feasible(&task(0, 8, 64.0, 1)), vec![0, 2]);
+        assert_eq!(c.feasible(&task(0, 16, 1.0, 1)), vec![2]);
+        c.vm_mut(2).place(&task(1, 16, 1.0, 10), 0);
+        assert!(c.feasible(&task(2, 16, 1.0, 1)).is_empty());
+        assert!(!c.any_feasible(&task(2, 16, 1.0, 1)));
+        assert!(c.any_feasible(&task(2, 4, 4.0, 1)));
+    }
+
+    #[test]
+    fn idle_cluster_is_perfectly_balanced() {
+        let c = cluster();
+        assert_eq!(c.load_balance(&[0.5, 0.5]), 0.0);
+        assert_eq!(c.avg_load(0), 1.0);
+        assert_eq!(c.avg_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn load_balance_increases_with_skew() {
+        let mut c = cluster();
+        let balanced_before = c.load_balance(&[0.5, 0.5]);
+        // Fill one VM completely: maximal skew.
+        c.vm_mut(1).place(&task(0, 4, 32.0, 100), 0);
+        let after = c.load_balance(&[0.5, 0.5]);
+        assert!(after > balanced_before);
+        // Hand value: loads cpu = [1, 0, 1] → avg 2/3, std = sqrt(2/9)…
+        let expect_cpu_std = ((2.0 / 9.0) as f32).sqrt();
+        assert!((after - expect_cpu_std).abs() < 1e-5, "{after} vs {expect_cpu_std}");
+    }
+
+    #[test]
+    fn advance_collects_across_vms() {
+        let mut c = cluster();
+        c.vm_mut(0).place(&task(0, 1, 1.0, 5), 0);
+        c.vm_mut(2).place(&task(1, 1, 1.0, 3), 0);
+        assert_eq!(c.next_completion(), Some(3));
+        assert_eq!(c.running_count(), 2);
+        let done = c.advance_to(5);
+        assert_eq!(done.len(), 2);
+        assert_eq!(c.running_count(), 0);
+    }
+
+    #[test]
+    fn weighted_load_balance_respects_weights() {
+        let mut c = Cluster::new(&[VmSpec::new(4, 8.0), VmSpec::new(4, 8.0)]);
+        // Skew only memory: 1 vcpu but all memory on VM 0.
+        c.vm_mut(0).place(&task(0, 1, 8.0, 10), 0);
+        let cpu_only = c.load_balance(&[1.0, 0.0]);
+        let mem_only = c.load_balance(&[0.0, 1.0]);
+        assert!(mem_only > cpu_only);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VM")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::new(&[]);
+    }
+}

@@ -1,0 +1,606 @@
+//! Dependency-aware scheduling environment for workflow (DAG) workloads —
+//! the extension the paper lists as future work (Sec. 6).
+//!
+//! [`DagCloudEnv`] keeps the flat environment's observation layout, action
+//! space, and reward function (so trained agents and the federation
+//! machinery work unchanged), but tasks only enter the waiting queue when
+//! *all their dependencies have completed*. Response time is measured from
+//! the moment a task became ready (the schedulable analogue of arrival),
+//! and per-workflow makespans are tracked in addition to the episode
+//! metrics.
+
+use crate::cluster::Cluster;
+use crate::config::{EnvConfig, EnvDims};
+use crate::env::{Action, StepOutcome};
+use crate::metrics::{compute_metrics, EpisodeMetrics, TaskRecord};
+use crate::state::encode_state;
+use crate::vm::VmSpec;
+use crate::SchedulingEnv;
+use pfrl_workloads::workflow::Workflow;
+use pfrl_workloads::TaskSpec;
+use std::collections::VecDeque;
+
+/// Global (flattened) task index.
+type Gid = usize;
+
+/// The workflow scheduling environment.
+#[derive(Debug, Clone)]
+pub struct DagCloudEnv {
+    dims: EnvDims,
+    cfg: EnvConfig,
+    vm_specs: Vec<VmSpec>,
+    cluster: Cluster,
+    /// Flattened task bodies; `TaskSpec::id` is the global index.
+    tasks: Vec<TaskSpec>,
+    /// Workflow index of each task.
+    workflow_of: Vec<usize>,
+    /// Unfinished dependency count per task.
+    remaining_deps: Vec<usize>,
+    /// Reverse edges: tasks unlocked by each task's completion.
+    dependents: Vec<Vec<Gid>>,
+    /// Ready tasks, FIFO by readiness time. `arrival` is rewritten to the
+    /// readiness step so response/reward accounting matches the flat env.
+    queue: VecDeque<TaskSpec>,
+    /// Dep-free tasks whose workflow has not been submitted yet, sorted by
+    /// submission time (drained like arrivals).
+    future_roots: Vec<Gid>,
+    next_root: usize,
+    now: u64,
+    records: Vec<TaskRecord>,
+    /// Completion step per task (None while pending/running).
+    finished_at: Vec<Option<u64>>,
+    /// Tasks dropped by admission control (incl. descendants of dropped
+    /// tasks, which can never become ready).
+    rejected: usize,
+    outstanding: usize,
+    decisions: usize,
+    total_reward: f64,
+    done: bool,
+    truncated: bool,
+    n_workflows: usize,
+}
+
+impl DagCloudEnv {
+    /// Builds the environment (same dimension rules as [`crate::CloudEnv`]).
+    pub fn new(dims: EnvDims, vms: Vec<VmSpec>, cfg: EnvConfig) -> Self {
+        cfg.validate();
+        assert!(!vms.is_empty(), "DagCloudEnv needs at least one VM");
+        assert!(vms.len() <= dims.max_vms, "cluster exceeds dims.max_vms");
+        for v in &vms {
+            assert!(
+                v.vcpus <= dims.max_vcpus && v.mem_gb <= dims.max_mem_gb,
+                "VM exceeds dims maxima"
+            );
+        }
+        let cluster = Cluster::new(&vms);
+        Self {
+            dims,
+            cfg,
+            vm_specs: vms,
+            cluster,
+            tasks: Vec::new(),
+            workflow_of: Vec::new(),
+            remaining_deps: Vec::new(),
+            dependents: Vec::new(),
+            queue: VecDeque::new(),
+            future_roots: Vec::new(),
+            next_root: 0,
+            now: 0,
+            records: Vec::new(),
+            finished_at: Vec::new(),
+            rejected: 0,
+            outstanding: 0,
+            decisions: 0,
+            total_reward: 0.0,
+            done: true,
+            truncated: false,
+            n_workflows: 0,
+        }
+    }
+
+    /// Starts an episode over a batch of workflows.
+    pub fn reset(&mut self, workflows: Vec<Workflow>) {
+        self.cluster = Cluster::new(&self.vm_specs);
+        self.tasks.clear();
+        self.workflow_of.clear();
+        self.remaining_deps.clear();
+        self.dependents.clear();
+        self.queue.clear();
+        self.future_roots.clear();
+        self.next_root = 0;
+        self.now = 0;
+        self.records.clear();
+        self.finished_at.clear();
+        self.rejected = 0;
+        self.decisions = 0;
+        self.total_reward = 0.0;
+        self.truncated = false;
+        self.n_workflows = workflows.len();
+
+        // Flatten with global ids; apply admission control transitively.
+        for (w, wf) in workflows.iter().enumerate() {
+            assert!(wf.is_valid(), "workflow {w} violates DAG invariants");
+            let base = self.tasks.len();
+            let mut dropped = vec![false; wf.len()];
+            for (local, t) in wf.tasks.iter().enumerate() {
+                let gid = base + local;
+                let admissible = self
+                    .vm_specs
+                    .iter()
+                    .any(|s| t.spec.vcpus <= s.vcpus && t.spec.mem_gb <= s.mem_gb);
+                let parent_dropped = t.deps.iter().any(|&d| dropped[d as usize]);
+                let mut spec = t.spec;
+                spec.id = gid as u64;
+                self.tasks.push(spec);
+                self.workflow_of.push(w);
+                self.remaining_deps.push(t.deps.len());
+                self.dependents.push(Vec::new());
+                self.finished_at.push(None);
+                for &d in &t.deps {
+                    self.dependents[base + d as usize].push(gid);
+                }
+                if !admissible || parent_dropped {
+                    dropped[local] = true;
+                    self.rejected += 1;
+                    self.finished_at[gid] = Some(0); // never schedulable
+                } else if t.deps.is_empty() {
+                    self.future_roots.push(gid);
+                }
+            }
+        }
+        // Roots release at their workflow submission times.
+        self.future_roots.sort_by_key(|&g| self.tasks[g].arrival);
+        self.outstanding = self.tasks.len() - self.rejected;
+        self.done = self.outstanding == 0;
+        if !self.done {
+            self.release_roots();
+            if self.queue.is_empty() {
+                self.advance_auto();
+            }
+        }
+    }
+
+    /// Number of workflows in the episode.
+    pub fn n_workflows(&self) -> usize {
+        self.n_workflows
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Ready-queue length.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tasks rejected by (transitive) admission control.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Whether the episode hit the decision cap.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The live cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Head of the ready queue.
+    pub fn head_task(&self) -> Option<&TaskSpec> {
+        self.queue.front()
+    }
+
+    /// First feasible VM for the head task (baseline drivers).
+    pub fn first_fit_action(&self) -> Option<Action> {
+        let head = self.queue.front()?;
+        self.cluster.feasible(head).first().map(|&i| Action::Vm(i))
+    }
+
+    /// Placement records so far.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Makespan of each workflow (submission → last task completion);
+    /// `None` for workflows with unfinished tasks.
+    pub fn workflow_makespans(&self) -> Vec<Option<u64>> {
+        let mut spans = vec![Some(0u64); self.n_workflows];
+        for (gid, t) in self.tasks.iter().enumerate() {
+            let w = self.workflow_of[gid];
+            // Rejected tasks are marked finished_at = Some(0): they do not
+            // extend the span but do not invalidate it either.
+            match (self.finished_at[gid], spans[w]) {
+                (Some(f), Some(s)) => {
+                    let end = f.saturating_sub(t.arrival);
+                    spans[w] = Some(s.max(end));
+                }
+                _ => spans[w] = None,
+            }
+        }
+        spans
+    }
+
+    // ---- internals ----
+
+    /// Releases dep-free tasks whose submission time has passed.
+    fn release_roots(&mut self) {
+        while self.next_root < self.future_roots.len() {
+            let gid = self.future_roots[self.next_root];
+            if self.tasks[gid].arrival > self.now {
+                break;
+            }
+            self.next_root += 1;
+            self.enqueue_ready(gid, self.tasks[gid].arrival);
+        }
+    }
+
+    /// Puts task `gid` into the ready queue with readiness step `ready`.
+    fn enqueue_ready(&mut self, gid: Gid, ready: u64) {
+        let mut spec = self.tasks[gid];
+        spec.arrival = ready;
+        self.queue.push_back(spec);
+    }
+
+    /// Applies completions at the current time: mark finished, unlock
+    /// dependents.
+    fn handle_completions(&mut self, finished: Vec<crate::vm::RunningTask>) {
+        for rt in finished {
+            let gid = rt.task_id as usize;
+            self.finished_at[gid] = Some(rt.end());
+            for i in 0..self.dependents[gid].len() {
+                let dep = self.dependents[gid][i];
+                if self.finished_at[dep].is_some() {
+                    continue; // rejected descendant
+                }
+                self.remaining_deps[dep] -= 1;
+                if self.remaining_deps[dep] == 0 {
+                    // Ready now (submission time already passed: parents ran).
+                    self.enqueue_ready(dep, rt.end().max(self.tasks[dep].arrival));
+                }
+            }
+        }
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        debug_assert!(t > self.now);
+        self.now = t;
+        let finished = self.cluster.advance_to(t);
+        self.handle_completions(finished);
+        self.release_roots();
+    }
+
+    fn advance_one(&mut self) {
+        self.advance_to(self.now + 1);
+    }
+
+    fn advance_auto(&mut self) {
+        if !self.cfg.fast_forward {
+            self.advance_one();
+            return;
+        }
+        let mut target = u64::MAX;
+        if let Some(c) = self.cluster.next_completion() {
+            target = target.min(c);
+        }
+        if self.next_root < self.future_roots.len() {
+            target = target.min(self.tasks[self.future_roots[self.next_root]].arrival);
+        }
+        if target == u64::MAX || target <= self.now {
+            target = self.now + 1;
+        }
+        self.advance_to(target);
+    }
+}
+
+impl SchedulingEnv for DagCloudEnv {
+    fn dims(&self) -> &EnvDims {
+        &self.dims
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        let visible: Vec<TaskSpec> =
+            self.queue.iter().take(self.dims.queue_slots).copied().collect();
+        encode_state(&self.dims, &self.cluster, &visible, self.now)
+    }
+
+    fn step(&mut self, action: Action) -> StepOutcome {
+        assert!(!self.done, "step on finished episode");
+        self.decisions += 1;
+        let mut placed = false;
+
+        let reward = match action {
+            Action::Vm(i) if i >= self.cluster.len() => {
+                self.advance_one();
+                crate::reward::void_slot_penalty()
+            }
+            Action::Vm(i) => match self.queue.front().copied() {
+                None => {
+                    self.advance_auto();
+                    0.0
+                }
+                Some(head) => {
+                    if self.cluster.vms()[i].can_fit(&head) {
+                        placed = true;
+                        let lb_before =
+                            self.cluster.load_balance(&self.cfg.resource_weights);
+                        self.cluster.vm_mut(i).place(&head, self.now);
+                        let lb_after =
+                            self.cluster.load_balance(&self.cfg.resource_weights);
+                        self.queue.pop_front();
+                        self.outstanding -= 1;
+                        self.records.push(TaskRecord {
+                            task_id: head.id,
+                            vm: i,
+                            vcpus: head.vcpus,
+                            mem_gb: head.mem_gb,
+                            arrival: head.arrival,
+                            start: self.now,
+                            duration: head.duration,
+                        });
+                        crate::reward::placement_reward(
+                            &self.cfg,
+                            lb_before,
+                            lb_after,
+                            self.now - head.arrival,
+                            head.duration,
+                        )
+                    } else {
+                        let r = crate::reward::denial_penalty(
+                            &self.cfg,
+                            &self.cluster.vms()[i],
+                        );
+                        self.advance_one();
+                        r
+                    }
+                }
+            },
+            Action::Wait => {
+                let lazy = self
+                    .queue
+                    .front()
+                    .is_some_and(|head| self.cluster.any_feasible(head));
+                if lazy {
+                    self.advance_one();
+                    self.cfg.lazy_wait_penalty
+                } else {
+                    self.advance_auto();
+                    0.0
+                }
+            }
+        };
+
+        self.total_reward += reward as f64;
+        if self.outstanding == 0 {
+            // Fast-forward so all completions are registered (for
+            // workflow makespans), then finish.
+            while self.cluster.running_count() > 0 {
+                let t = self.cluster.next_completion().expect("running tasks");
+                self.advance_to(t);
+            }
+            self.done = true;
+        }
+        if self.decisions >= self.cfg.max_decisions && !self.done {
+            self.done = true;
+            self.truncated = true;
+        }
+        StepOutcome { reward, done: self.done, placed }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn metrics(&self) -> EpisodeMetrics {
+        // Unplaced = everything never recorded: still queued/blocked tasks
+        // plus admission-rejected ones (matching the flat env's accounting).
+        let unplaced = self.tasks.len() - self.records.len();
+        compute_metrics(
+            &self.records,
+            &self.vm_specs,
+            &self.cfg.resource_weights,
+            unplaced,
+            self.total_reward,
+        )
+    }
+
+    fn action_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.dims.action_dim()];
+        mask[self.dims.max_vms] = true;
+        if let Some(head) = self.queue.front() {
+            for i in self.cluster.feasible(head) {
+                mask[i] = true;
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfrl_workloads::workflow::DagTask;
+
+    fn dims() -> EnvDims {
+        EnvDims::new(2, 8, 64.0, 4)
+    }
+
+    fn env() -> DagCloudEnv {
+        DagCloudEnv::new(
+            dims(),
+            vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            EnvConfig::default(),
+        )
+    }
+
+    fn task(id: u64, vcpus: u32, dur: u64, deps: &[u64]) -> DagTask {
+        DagTask {
+            spec: TaskSpec { id, arrival: 0, vcpus, mem_gb: 1.0, duration: dur },
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// A diamond: 0 → {1, 2} → 3.
+    fn diamond() -> Workflow {
+        Workflow {
+            tasks: vec![
+                task(0, 1, 10, &[]),
+                task(1, 1, 5, &[0]),
+                task(2, 1, 8, &[0]),
+                task(3, 1, 3, &[1, 2]),
+            ],
+            submit: 0,
+        }
+    }
+
+    #[test]
+    fn only_roots_ready_initially() {
+        let mut e = env();
+        e.reset(vec![diamond()]);
+        assert_eq!(e.queue_len(), 1);
+        assert_eq!(e.head_task().unwrap().id, 0);
+    }
+
+    #[test]
+    fn dependents_release_only_after_completion() {
+        let mut e = env();
+        e.reset(vec![diamond()]);
+        e.step(Action::Vm(0)); // place task 0 at t=0, ends t=10
+        assert_eq!(e.queue_len(), 0);
+        // Nothing ready: wait fast-forwards to the completion at t=10.
+        e.step(Action::Wait);
+        assert_eq!(e.now(), 10);
+        assert_eq!(e.queue_len(), 2); // tasks 1 and 2 ready
+        // Their readiness time is the unlock time.
+        assert_eq!(e.head_task().unwrap().arrival, 10);
+    }
+
+    #[test]
+    fn full_diamond_executes_in_dependency_order() {
+        let mut e = env();
+        e.reset(vec![diamond()]);
+        let mut guard = 0;
+        while !e.is_done() && guard < 1000 {
+            let a = e.first_fit_action().unwrap_or(Action::Wait);
+            e.step(a);
+            guard += 1;
+        }
+        assert!(e.is_done() && !e.is_truncated());
+        assert_eq!(e.records().len(), 4);
+        // Task 3 starts only after both 1 and 2 finish (t = 10 + max(5,8)).
+        let rec3 = e.records().iter().find(|r| r.task_id == 3).unwrap();
+        assert_eq!(rec3.start, 18);
+        // Workflow makespan = 10 + 8 + 3 = 21 = critical path (no contention).
+        assert_eq!(e.workflow_makespans(), vec![Some(21)]);
+        assert_eq!(diamond().critical_path(), 21);
+    }
+
+    #[test]
+    fn parallel_siblings_run_concurrently() {
+        let mut e = env();
+        e.reset(vec![diamond()]);
+        e.step(Action::Vm(0));
+        e.step(Action::Wait); // to t=10
+        e.step(Action::Vm(0)); // task 1 on VM 0
+        e.step(Action::Vm(1)); // task 2 on VM 1 — same step, both at t=10
+        let starts: Vec<u64> = e
+            .records()
+            .iter()
+            .filter(|r| r.task_id == 1 || r.task_id == 2)
+            .map(|r| r.start)
+            .collect();
+        assert_eq!(starts, vec![10, 10]);
+    }
+
+    #[test]
+    fn late_submission_delays_roots() {
+        let mut wf = diamond();
+        wf.submit = 50;
+        for t in &mut wf.tasks {
+            t.spec.arrival = 50;
+        }
+        let mut e = env();
+        e.reset(vec![wf]);
+        // Reset fast-forwards to the first submission.
+        assert_eq!(e.now(), 50);
+        assert_eq!(e.queue_len(), 1);
+    }
+
+    #[test]
+    fn inadmissible_task_drops_descendants() {
+        let wf = Workflow {
+            tasks: vec![
+                task(0, 1, 5, &[]),
+                // Too big for any VM (max 8 vCPUs):
+                task(1, 32, 5, &[0]),
+                task(2, 1, 5, &[1]), // descendant of the dropped task
+                task(3, 1, 5, &[0]), // unaffected branch
+            ],
+            submit: 0,
+        };
+        let mut e = env();
+        e.reset(vec![wf]);
+        assert_eq!(e.rejected(), 2);
+        let mut guard = 0;
+        while !e.is_done() && guard < 1000 {
+            let a = e.first_fit_action().unwrap_or(Action::Wait);
+            e.step(a);
+            guard += 1;
+        }
+        assert!(e.is_done() && !e.is_truncated());
+        assert_eq!(e.records().len(), 2); // tasks 0 and 3 only
+    }
+
+    #[test]
+    fn two_workflows_interleave() {
+        let mut wf2 = diamond();
+        wf2.submit = 5;
+        for t in &mut wf2.tasks {
+            t.spec.arrival = 5;
+        }
+        let mut e = env();
+        e.reset(vec![diamond(), wf2]);
+        let mut guard = 0;
+        while !e.is_done() && guard < 2000 {
+            let a = e.first_fit_action().unwrap_or(Action::Wait);
+            e.step(a);
+            guard += 1;
+        }
+        assert_eq!(e.records().len(), 8);
+        let spans = e.workflow_makespans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.is_some()));
+        // Each workflow's span is at least its critical path.
+        for s in spans.into_iter().flatten() {
+            assert!(s >= 21);
+        }
+    }
+
+    #[test]
+    fn rewards_and_metrics_consistent() {
+        let mut e = env();
+        e.reset(vec![diamond()]);
+        let mut total = 0.0f64;
+        let mut guard = 0;
+        while !e.is_done() && guard < 1000 {
+            let a = e.first_fit_action().unwrap_or(Action::Wait);
+            total += e.step(a).reward as f64;
+            guard += 1;
+        }
+        let m = e.metrics();
+        assert!((m.total_reward - total).abs() < 1e-9);
+        assert_eq!(m.tasks_placed, 4);
+        assert!(m.avg_response >= 3.0);
+    }
+
+    #[test]
+    fn observation_shape_matches_dims() {
+        let mut e = env();
+        e.reset(vec![diamond()]);
+        assert_eq!(e.observe().len(), dims().state_dim());
+    }
+}

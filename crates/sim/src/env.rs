@@ -1,0 +1,599 @@
+//! The RL environment: episode loop, action semantics, and reward function
+//! (Sec. 4.2, Eqs. 2 and 6–9).
+
+use crate::cluster::Cluster;
+use crate::config::{EnvConfig, EnvDims};
+use crate::metrics::{compute_metrics, EpisodeMetrics, TaskRecord};
+use crate::state::encode_state;
+use crate::vm::VmSpec;
+use pfrl_workloads::TaskSpec;
+use std::collections::VecDeque;
+
+/// A scheduling action: assign the head-of-queue task to VM `i`, or wait
+/// one step (the `-1` of Eq. (2)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Place the head task on the VM with this index.
+    Vm(usize),
+    /// Do nothing this step.
+    Wait,
+}
+
+impl Action {
+    /// Decodes a policy-head index: `0..max_vms` are VM choices, `max_vms`
+    /// is wait.
+    ///
+    /// # Panics
+    /// If `index > max_vms`.
+    pub fn from_index(index: usize, max_vms: usize) -> Self {
+        assert!(index <= max_vms, "action index {index} out of range");
+        if index == max_vms {
+            Action::Wait
+        } else {
+            Action::Vm(index)
+        }
+    }
+
+    /// Encodes back to the policy-head index.
+    pub fn to_index(self, max_vms: usize) -> usize {
+        match self {
+            Action::Vm(i) => i,
+            Action::Wait => max_vms,
+        }
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Scalar reward.
+    pub reward: f32,
+    /// Whether the episode finished with this step.
+    pub done: bool,
+    /// True iff this step successfully placed a task.
+    pub placed: bool,
+}
+
+/// The cloud task-scheduling environment of one client.
+#[derive(Debug, Clone)]
+pub struct CloudEnv {
+    dims: EnvDims,
+    cfg: EnvConfig,
+    vm_specs: Vec<VmSpec>,
+    cluster: Cluster,
+    /// Episode trace, arrival-sorted.
+    tasks: Vec<TaskSpec>,
+    next_arrival: usize,
+    queue: VecDeque<TaskSpec>,
+    now: u64,
+    records: Vec<TaskRecord>,
+    /// Tasks rejected at admission because they exceed every VM's total
+    /// capacity (can occur with hybrid foreign workloads, Sec. 5.3).
+    rejected: usize,
+    decisions: usize,
+    total_reward: f64,
+    done: bool,
+    truncated: bool,
+}
+
+impl CloudEnv {
+    /// Builds an environment over `vms` with federation-wide `dims`.
+    ///
+    /// # Panics
+    /// If the cluster exceeds the dims (more VMs than `max_vms`, or a VM
+    /// larger than the normalization maxima), or config is invalid.
+    pub fn new(dims: EnvDims, vms: Vec<VmSpec>, cfg: EnvConfig) -> Self {
+        cfg.validate();
+        assert!(!vms.is_empty(), "CloudEnv needs at least one VM");
+        assert!(
+            vms.len() <= dims.max_vms,
+            "cluster has {} VMs but dims allow {}",
+            vms.len(),
+            dims.max_vms
+        );
+        for (i, v) in vms.iter().enumerate() {
+            assert!(
+                v.vcpus <= dims.max_vcpus && v.mem_gb <= dims.max_mem_gb,
+                "VM {i} ({}, {}) exceeds dims maxima",
+                v.vcpus,
+                v.mem_gb
+            );
+        }
+        let cluster = Cluster::new(&vms);
+        Self {
+            dims,
+            cfg,
+            vm_specs: vms,
+            cluster,
+            tasks: Vec::new(),
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            now: 0,
+            records: Vec::new(),
+            rejected: 0,
+            decisions: 0,
+            total_reward: 0.0,
+            done: true,
+            truncated: false,
+        }
+    }
+
+    /// Starts a new episode over `tasks` (will be arrival-sorted).
+    pub fn reset(&mut self, mut tasks: Vec<TaskSpec>) {
+        tasks.sort_by_key(|t| t.arrival);
+        self.cluster = Cluster::new(&self.vm_specs);
+        self.tasks = tasks;
+        self.next_arrival = 0;
+        self.queue.clear();
+        self.now = 0;
+        self.records.clear();
+        self.rejected = 0;
+        self.decisions = 0;
+        self.total_reward = 0.0;
+        self.truncated = false;
+        self.enqueue_arrivals();
+        self.done = self.queue.is_empty() && self.next_arrival >= self.tasks.len();
+        // An empty-queue start with pending future arrivals: skip dead time.
+        if !self.done && self.queue.is_empty() {
+            self.advance_auto();
+        }
+    }
+
+    /// Environment dims.
+    pub fn dims(&self) -> &EnvDims {
+        &self.dims
+    }
+
+    /// Environment config.
+    pub fn config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time (steps).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The VM specs of this cluster.
+    pub fn vm_specs(&self) -> &[VmSpec] {
+        &self.vm_specs
+    }
+
+    /// The live cluster state.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Number of tasks waiting (full backlog, not just visible slots).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the episode has ended.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Whether the episode ended by hitting the decision cap.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Agent decisions taken so far this episode.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// The current observation vector (Eq. 1 encoding).
+    pub fn observe(&self) -> Vec<f32> {
+        let visible: Vec<TaskSpec> =
+            self.queue.iter().take(self.dims.queue_slots).copied().collect();
+        encode_state(&self.dims, &self.cluster, &visible, self.now)
+    }
+
+    /// Feasibility mask over the action head: `mask[i]` for VM `i`,
+    /// `mask[max_vms]` for wait (always true).
+    pub fn action_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.dims.action_dim()];
+        mask[self.dims.max_vms] = true;
+        if let Some(head) = self.queue.front() {
+            for i in self.cluster.feasible(head) {
+                mask[i] = true;
+            }
+        }
+        mask
+    }
+
+    /// First feasible VM for the head task, if any (used by baselines).
+    pub fn first_fit_action(&self) -> Option<Action> {
+        let head = self.queue.front()?;
+        self.cluster.feasible(head).first().map(|&i| Action::Vm(i))
+    }
+
+    /// Head of the waiting queue, if any.
+    pub fn head_task(&self) -> Option<&TaskSpec> {
+        self.queue.front()
+    }
+
+    /// Executes one agent decision.
+    ///
+    /// # Panics
+    /// If called on a finished episode.
+    pub fn step(&mut self, action: Action) -> StepOutcome {
+        assert!(!self.done, "step on finished episode");
+        self.decisions += 1;
+        let mut placed = false;
+
+        let reward = match action {
+            Action::Vm(i) if i >= self.cluster.len() => {
+                // Void VM slot: maximal denial penalty (util treated as 1).
+                self.advance_one();
+                crate::reward::void_slot_penalty()
+            }
+            Action::Vm(i) => match self.queue.front().copied() {
+                None => {
+                    // Nothing to schedule; behave like a neutral wait.
+                    self.advance_auto();
+                    0.0
+                }
+                Some(head) => {
+                    if self.cluster.vms()[i].can_fit(&head) {
+                        placed = true;
+                        self.place(i, head)
+                    } else {
+                        let r = self.denial_penalty(i);
+                        self.advance_one();
+                        r
+                    }
+                }
+            },
+            Action::Wait => {
+                let lazy = self
+                    .queue
+                    .front()
+                    .is_some_and(|head| self.cluster.any_feasible(head));
+                if lazy {
+                    self.advance_one();
+                    self.cfg.lazy_wait_penalty
+                } else {
+                    self.advance_auto();
+                    0.0
+                }
+            }
+        };
+
+        self.total_reward += reward as f64;
+        if self.queue.is_empty() && self.next_arrival >= self.tasks.len() {
+            self.done = true;
+        }
+        if self.decisions >= self.cfg.max_decisions && !self.done {
+            self.done = true;
+            self.truncated = true;
+        }
+        StepOutcome { reward, done: self.done, placed }
+    }
+
+    /// Episode metrics (valid once the episode is done; callable anytime for
+    /// diagnostics on the records so far).
+    pub fn metrics(&self) -> EpisodeMetrics {
+        let unplaced =
+            self.queue.len() + (self.tasks.len() - self.next_arrival) + self.rejected;
+        compute_metrics(
+            &self.records,
+            &self.vm_specs,
+            &self.cfg.resource_weights,
+            unplaced,
+            self.total_reward,
+        )
+    }
+
+    /// The raw placement records (for custom analyses).
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Number of admission-rejected tasks this episode.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    /// Places the head task on VM `i` and returns the placement reward
+    /// `ρ·R_res + (1-ρ)·R_load` (Eqs. 6–8). Time does not advance: the agent
+    /// may schedule further queued tasks within the same step.
+    fn place(&mut self, i: usize, head: TaskSpec) -> f32 {
+        let lb_before = self.cluster.load_balance(&self.cfg.resource_weights);
+        self.cluster.vm_mut(i).place(&head, self.now);
+        let lb_after = self.cluster.load_balance(&self.cfg.resource_weights);
+        self.queue.pop_front();
+        self.records.push(TaskRecord {
+            task_id: head.id,
+            vm: i,
+            vcpus: head.vcpus,
+            mem_gb: head.mem_gb,
+            arrival: head.arrival,
+            start: self.now,
+            duration: head.duration,
+        });
+        crate::reward::placement_reward(
+            &self.cfg,
+            lb_before,
+            lb_after,
+            self.now - head.arrival,
+            head.duration,
+        )
+    }
+
+    /// Denial penalty `R_p = -exp(Σ w_i·util(a, i))` (Eq. 9).
+    fn denial_penalty(&self, i: usize) -> f32 {
+        crate::reward::denial_penalty(&self.cfg, &self.cluster.vms()[i])
+    }
+
+    /// Advances time by exactly one step.
+    fn advance_one(&mut self) {
+        self.advance_to(self.now + 1);
+    }
+
+    /// Advances to the next event (completion, else next arrival, else one
+    /// step) when no immediate decision is possible — compresses dead time
+    /// without changing semantics. Falls back to one step when
+    /// `fast_forward` is disabled.
+    fn advance_auto(&mut self) {
+        if !self.cfg.fast_forward {
+            self.advance_one();
+            return;
+        }
+        let mut target = u64::MAX;
+        if let Some(c) = self.cluster.next_completion() {
+            target = target.min(c);
+        }
+        if self.next_arrival < self.tasks.len() {
+            target = target.min(self.tasks[self.next_arrival].arrival);
+        }
+        if target == u64::MAX || target <= self.now {
+            target = self.now + 1;
+        }
+        self.advance_to(target);
+    }
+
+    /// Moves the clock to `t`, releasing completions and enqueueing arrivals.
+    fn advance_to(&mut self, t: u64) {
+        debug_assert!(t > self.now);
+        self.now = t;
+        self.cluster.advance_to(t);
+        self.enqueue_arrivals();
+    }
+
+    /// Enqueues every arrived task, applying admission control: a task that
+    /// cannot fit *any* VM at full (empty) capacity is rejected.
+    fn enqueue_arrivals(&mut self) {
+        while self.next_arrival < self.tasks.len()
+            && self.tasks[self.next_arrival].arrival <= self.now
+        {
+            let t = self.tasks[self.next_arrival];
+            self.next_arrival += 1;
+            let admissible = self
+                .vm_specs
+                .iter()
+                .any(|s| t.vcpus <= s.vcpus && t.mem_gb <= s.mem_gb);
+            if admissible {
+                self.queue.push_back(t);
+            } else {
+                self.rejected += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> EnvDims {
+        EnvDims::new(3, 8, 64.0, 4)
+    }
+
+    fn env() -> CloudEnv {
+        CloudEnv::new(
+            dims(),
+            vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            EnvConfig::default(),
+        )
+    }
+
+    fn task(id: u64, arrival: u64, vcpus: u32, mem: f32, dur: u64) -> TaskSpec {
+        TaskSpec { id, arrival, vcpus, mem_gb: mem, duration: dur }
+    }
+
+    #[test]
+    fn immediate_placement_reward_is_max_response_component() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 2, 8.0, 10)]);
+        let out = e.step(Action::Vm(0));
+        assert!(out.placed);
+        assert!(out.done);
+        // No wait → r_res = e^1; load worsened from perfect balance →
+        // r_load = load_c (small positive). Reward ≈ 0.5e + small.
+        let e1 = std::f32::consts::E;
+        assert!(out.reward > 0.5 * e1 && out.reward < 0.5 * e1 + 0.5, "{}", out.reward);
+    }
+
+    #[test]
+    fn denied_placement_penalized_and_time_advances() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 8, 64.0, 10), task(1, 0, 8, 64.0, 10)]);
+        let t0 = e.now();
+        e.step(Action::Vm(0)); // fills VM 0 completely
+        let out = e.step(Action::Vm(0)); // second task cannot fit VM 0
+        assert!(!out.placed);
+        // util of VM 0 is 1.0 on both resources → penalty = -e^1.
+        assert!((out.reward + std::f32::consts::E).abs() < 1e-5, "{}", out.reward);
+        assert_eq!(e.now(), t0 + 1);
+    }
+
+    #[test]
+    fn void_vm_slot_gets_max_penalty() {
+        let mut e = env(); // 2 real VMs, dims allow 3
+        e.reset(vec![task(0, 0, 1, 1.0, 5)]);
+        let out = e.step(Action::Vm(2));
+        assert!((out.reward + std::f32::consts::E).abs() < 1e-6);
+        assert!(!out.placed);
+    }
+
+    #[test]
+    fn lazy_wait_penalized() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 1, 1.0, 5)]);
+        let out = e.step(Action::Wait);
+        assert_eq!(out.reward, e.config().lazy_wait_penalty);
+    }
+
+    #[test]
+    fn forced_wait_neutral_and_fast_forwards() {
+        let mut e = env();
+        // First task fills everything for 30 steps; second arrives at 1 and
+        // cannot fit anywhere until the completion at 30.
+        e.reset(vec![task(0, 0, 8, 64.0, 30), task(1, 1, 8, 64.0, 5)]);
+        e.step(Action::Vm(0));
+        e.step(Action::Vm(1)); // denied on VM 1 (too small), advances to t=1
+        assert_eq!(e.now(), 1);
+        let out = e.step(Action::Wait); // head fits nowhere → jump to t=30
+        assert_eq!(out.reward, 0.0);
+        assert_eq!(e.now(), 30);
+        let out = e.step(Action::Vm(0));
+        assert!(out.placed && out.done);
+        // Second task waited 29 steps.
+        let rec = e.records().last().unwrap();
+        assert_eq!(rec.wait(), 29);
+        assert_eq!(rec.response(), 34);
+    }
+
+    #[test]
+    fn episode_ends_when_all_tasks_placed() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 1, 1.0, 5), task(1, 0, 1, 1.0, 5)]);
+        assert!(!e.is_done());
+        assert!(!e.step(Action::Vm(0)).done);
+        assert!(e.step(Action::Vm(1)).done);
+        let m = e.metrics();
+        assert_eq!(m.tasks_placed, 2);
+        assert_eq!(m.tasks_unplaced, 0);
+    }
+
+    #[test]
+    fn multiple_placements_same_time_step() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 1, 1.0, 5), task(1, 0, 1, 1.0, 5)]);
+        e.step(Action::Vm(0));
+        e.step(Action::Vm(0));
+        // Both placed at t = 0: no time advance on success.
+        assert!(e.records().iter().all(|r| r.start == 0));
+    }
+
+    #[test]
+    fn admission_control_rejects_oversized() {
+        let mut e = env(); // max VM is (8, 64)
+        e.reset(vec![task(0, 0, 16, 8.0, 5), task(1, 0, 1, 1.0, 5)]);
+        assert_eq!(e.rejected(), 1);
+        assert_eq!(e.queue_len(), 1);
+        e.step(Action::Vm(0));
+        assert!(e.is_done());
+        assert_eq!(e.metrics().tasks_unplaced, 1);
+    }
+
+    #[test]
+    fn truncation_at_decision_cap() {
+        let mut e = CloudEnv::new(
+            dims(),
+            vec![VmSpec::new(8, 64.0)],
+            EnvConfig { max_decisions: 5, ..Default::default() },
+        );
+        e.reset(vec![task(0, 0, 1, 1.0, 5); 100]);
+        let mut n = 0;
+        while !e.is_done() {
+            e.step(Action::Wait); // stubborn lazy agent
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(e.is_truncated());
+        assert!(e.metrics().tasks_unplaced > 0);
+    }
+
+    #[test]
+    fn observation_tracks_queue_and_time() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 4, 32.0, 10), task(1, 0, 2, 16.0, 10)]);
+        let s = e.observe();
+        assert_eq!(s.len(), e.dims().state_dim());
+        // Queue section starts after L·d + L·U entries.
+        let qs = 3 * 2 + 3 * 8;
+        assert_eq!(s[qs], 0.5); // 4/8 vcpus
+        assert_eq!(s[qs + 1], 0.5); // 32/64 mem
+        assert_eq!(s[qs + 2], 0.25); // second task 2/8
+    }
+
+    #[test]
+    fn reward_decreases_with_waiting() {
+        // Same task placed immediately vs after waiting: later placement
+        // must earn a smaller response component.
+        let place_at = |wait_steps: u64| -> f32 {
+            let mut e = env();
+            e.reset(vec![task(0, 0, 1, 1.0, 10)]);
+            for _ in 0..wait_steps {
+                e.step(Action::Wait); // lazy waits, penalized but allowed
+            }
+            e.step(Action::Vm(0)).reward
+        };
+        assert!(place_at(0) > place_at(5));
+        assert!(place_at(5) > place_at(20));
+    }
+
+    #[test]
+    fn empty_trace_is_immediately_done() {
+        let mut e = env();
+        e.reset(vec![]);
+        assert!(e.is_done());
+        assert_eq!(e.metrics().tasks_placed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn step_after_done_panics() {
+        let mut e = env();
+        e.reset(vec![]);
+        e.step(Action::Wait);
+    }
+
+    #[test]
+    fn action_mask_reflects_feasibility() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 8, 64.0, 5)]);
+        let mask = e.action_mask();
+        assert_eq!(mask, vec![true, false, false, true]); // VM 0 fits, VM 1 too small, slot 2 void, wait ok
+    }
+
+    #[test]
+    fn action_index_roundtrip() {
+        for idx in 0..=3 {
+            let a = Action::from_index(idx, 3);
+            assert_eq!(a.to_index(3), idx);
+        }
+        assert_eq!(Action::from_index(3, 3), Action::Wait);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_action_index_panics() {
+        let _ = Action::from_index(5, 3);
+    }
+
+    #[test]
+    fn delayed_arrivals_skip_dead_time_on_reset() {
+        let mut e = env();
+        e.reset(vec![task(0, 100, 1, 1.0, 5)]);
+        // Reset fast-forwards to the first arrival.
+        assert_eq!(e.now(), 100);
+        assert_eq!(e.queue_len(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Episode metrics: the four evaluation measures of Sec. 5.1
+//! (response time, makespan, utilization, load balancing).
+
+use crate::vm::VmSpec;
+use crate::RESOURCE_DIMS;
+
+/// Placement record of one completed-or-running task, kept by the
+/// environment for exact post-hoc metric computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRecord {
+    /// Task id.
+    pub task_id: u64,
+    /// VM it ran on.
+    pub vm: usize,
+    /// vCPUs occupied.
+    pub vcpus: u32,
+    /// Memory occupied (GiB).
+    pub mem_gb: f32,
+    /// Arrival step.
+    pub arrival: u64,
+    /// Placement step.
+    pub start: u64,
+    /// Execution time (steps).
+    pub duration: u64,
+}
+
+impl TaskRecord {
+    /// Waiting time `j^wait = start - arrival`.
+    pub fn wait(&self) -> u64 {
+        self.start - self.arrival
+    }
+
+    /// Response time `j^res = j^wait + j^run` (Eq. 3).
+    pub fn response(&self) -> u64 {
+        self.wait() + self.duration
+    }
+
+    /// Completion step.
+    pub fn end(&self) -> u64 {
+        self.start + self.duration
+    }
+}
+
+/// Aggregate metrics of one finished episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeMetrics {
+    /// Mean response time over placed tasks (Eq. 23), in steps.
+    pub avg_response: f64,
+    /// Completion time of the last task (steps from episode start).
+    pub makespan: f64,
+    /// Time- and VM-averaged weighted resource utilization (Eq. 24), `[0,1]`.
+    pub avg_utilization: f64,
+    /// Time-averaged load-balance measure (Eq. 25); lower is better.
+    pub avg_load_balance: f64,
+    /// Number of tasks placed.
+    pub tasks_placed: usize,
+    /// Number of tasks left unplaced (nonzero only on truncated episodes).
+    pub tasks_unplaced: usize,
+    /// Sum of rewards collected by the agent during the episode.
+    pub total_reward: f64,
+}
+
+/// Computes the episode metrics from placement records.
+///
+/// Utilization (Eq. 24) is computed exactly as the integral of per-VM
+/// utilization over `[0, makespan]`:
+/// `Σ_i w_i · Σ_m Σ_{tasks on m} demand_i/cap_{m,i} · duration / (|M|·T)`.
+///
+/// Load balance (Eq. 25) is the exact time average of `LoadBal(t)`
+/// obtained by sweeping placement/completion events.
+pub fn compute_metrics(
+    records: &[TaskRecord],
+    vms: &[VmSpec],
+    weights: &[f32; RESOURCE_DIMS],
+    tasks_unplaced: usize,
+    total_reward: f64,
+) -> EpisodeMetrics {
+    if records.is_empty() {
+        return EpisodeMetrics {
+            avg_response: 0.0,
+            makespan: 0.0,
+            avg_utilization: 0.0,
+            avg_load_balance: 0.0,
+            tasks_placed: 0,
+            tasks_unplaced,
+            total_reward,
+        };
+    }
+
+    let avg_response =
+        records.iter().map(|r| r.response() as f64).sum::<f64>() / records.len() as f64;
+    let makespan = records.iter().map(TaskRecord::end).max().expect("non-empty") as f64;
+
+    // Exact utilization integral.
+    let mut util = 0.0f64;
+    if makespan > 0.0 {
+        for r in records {
+            let spec = &vms[r.vm];
+            let cpu_frac = r.vcpus as f64 / spec.vcpus as f64;
+            let mem_frac = r.mem_gb as f64 / spec.mem_gb as f64;
+            util += (weights[0] as f64 * cpu_frac + weights[1] as f64 * mem_frac)
+                * r.duration as f64;
+        }
+        util /= vms.len() as f64 * makespan;
+    }
+
+    EpisodeMetrics {
+        avg_response,
+        makespan,
+        avg_utilization: util,
+        avg_load_balance: time_averaged_load_balance(records, vms, weights, makespan),
+        tasks_placed: records.len(),
+        tasks_unplaced,
+        total_reward,
+    }
+}
+
+/// Event-sweep computation of `(1/T)·∫ LoadBal(t) dt` over `[0, T]`.
+fn time_averaged_load_balance(
+    records: &[TaskRecord],
+    vms: &[VmSpec],
+    weights: &[f32; RESOURCE_DIMS],
+    makespan: f64,
+) -> f64 {
+    if makespan <= 0.0 {
+        return 0.0;
+    }
+    // Events: (time, vm, ±demand).
+    let mut events: Vec<(u64, usize, i64, f64)> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        events.push((r.start, r.vm, r.vcpus as i64, r.mem_gb as f64));
+        events.push((r.end(), r.vm, -(r.vcpus as i64), -(r.mem_gb as f64)));
+    }
+    events.sort_by_key(|e| e.0);
+
+    let n = vms.len() as f64;
+    let mut used_cpu = vec![0i64; vms.len()];
+    let mut used_mem = vec![0.0f64; vms.len()];
+    let load_bal = |used_cpu: &[i64], used_mem: &[f64]| -> f64 {
+        let mut total = 0.0;
+        for (res, w) in weights.iter().enumerate() {
+            let loads: Vec<f64> = (0..vms.len())
+                .map(|m| match res {
+                    0 => 1.0 - used_cpu[m] as f64 / vms[m].vcpus as f64,
+                    _ => 1.0 - used_mem[m] / vms[m].mem_gb as f64,
+                })
+                .collect();
+            let avg = loads.iter().sum::<f64>() / n;
+            let var = loads.iter().map(|l| (l - avg) * (l - avg)).sum::<f64>() / n;
+            total += *w as f64 * var.sqrt();
+        }
+        total
+    };
+
+    let mut integral = 0.0f64;
+    let mut prev_t = 0u64;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        if t > prev_t {
+            integral += load_bal(&used_cpu, &used_mem) * (t.min(makespan as u64) - prev_t) as f64;
+            prev_t = t;
+        }
+        // Apply all events at time t before the next interval.
+        while i < events.len() && events[i].0 == t {
+            let (_, vm, dc, dm) = events[i];
+            used_cpu[vm] += dc;
+            used_mem[vm] += dm;
+            i += 1;
+        }
+    }
+    integral / makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vm: usize, vcpus: u32, mem: f32, arrival: u64, start: u64, dur: u64) -> TaskRecord {
+        TaskRecord { task_id: 0, vm, vcpus, mem_gb: mem, arrival, start, duration: dur }
+    }
+
+    const W: [f32; 2] = [0.5, 0.5];
+
+    #[test]
+    fn response_and_makespan_hand_values() {
+        let vms = [VmSpec::new(4, 16.0), VmSpec::new(4, 16.0)];
+        let records = [rec(0, 2, 8.0, 0, 0, 10), rec(1, 2, 8.0, 0, 5, 10)];
+        let m = compute_metrics(&records, &vms, &W, 0, 0.0);
+        // responses: 10 and 15 → mean 12.5; makespan = 15.
+        assert_eq!(m.avg_response, 12.5);
+        assert_eq!(m.makespan, 15.0);
+        assert_eq!(m.tasks_placed, 2);
+    }
+
+    #[test]
+    fn utilization_full_single_vm() {
+        // One VM fully used for the whole makespan → utilization 1.
+        let vms = [VmSpec::new(4, 16.0)];
+        let records = [rec(0, 4, 16.0, 0, 0, 10)];
+        let m = compute_metrics(&records, &vms, &W, 0, 0.0);
+        assert!((m.avg_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_half_time_half_capacity() {
+        // VM at 50% capacity for half the makespan → 0.25 average.
+        let vms = [VmSpec::new(4, 16.0)];
+        let records = [rec(0, 2, 8.0, 0, 0, 5), rec(0, 4, 16.0, 0, 5, 5)];
+        let m = compute_metrics(&records, &vms, &W, 0, 0.0);
+        assert!((m.avg_utilization - 0.75).abs() < 1e-9, "{}", m.avg_utilization);
+    }
+
+    #[test]
+    fn load_balance_zero_for_symmetric_placement() {
+        let vms = [VmSpec::new(4, 16.0), VmSpec::new(4, 16.0)];
+        let records = [rec(0, 2, 8.0, 0, 0, 10), rec(1, 2, 8.0, 0, 0, 10)];
+        let m = compute_metrics(&records, &vms, &W, 0, 0.0);
+        assert!(m.avg_load_balance.abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_balance_positive_for_skewed_placement() {
+        let vms = [VmSpec::new(4, 16.0), VmSpec::new(4, 16.0)];
+        let records = [rec(0, 4, 16.0, 0, 0, 10)];
+        let m = compute_metrics(&records, &vms, &W, 0, 0.0);
+        // loads = [0, 1] both resources → std = 0.5 → weighted sum = 0.5,
+        // constant over the makespan.
+        assert!((m.avg_load_balance - 0.5).abs() < 1e-9, "{}", m.avg_load_balance);
+    }
+
+    #[test]
+    fn empty_records_safe() {
+        let vms = [VmSpec::new(4, 16.0)];
+        let m = compute_metrics(&[], &vms, &W, 3, -7.0);
+        assert_eq!(m.tasks_placed, 0);
+        assert_eq!(m.tasks_unplaced, 3);
+        assert_eq!(m.total_reward, -7.0);
+        assert_eq!(m.avg_response, 0.0);
+    }
+
+    #[test]
+    fn wait_time_included_in_response() {
+        let r = rec(0, 1, 1.0, 10, 25, 5);
+        assert_eq!(r.wait(), 15);
+        assert_eq!(r.response(), 20);
+        assert_eq!(r.end(), 30);
+    }
+}

@@ -1,0 +1,149 @@
+//! Extended optimization objectives (Sec. 4.2: "the reward function can be
+//! easily extended to accommodate other optimization objectives, such as
+//! makespan, cost, energy consumption and so on").
+//!
+//! This module computes energy and monetary cost from placement records —
+//! post-hoc episode objectives for analysis and reward shaping — using the
+//! standard linear datacenter power model (`P = P_idle + (P_peak −
+//! P_idle)·util`) and a public-cloud-style per-resource-hour price.
+
+use crate::metrics::TaskRecord;
+use crate::vm::VmSpec;
+
+/// Linear power model of one physical host backing a VM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Power at zero utilization, watts.
+    pub idle_watts: f64,
+    /// Power at full CPU utilization, watts.
+    pub peak_watts: f64,
+}
+
+impl EnergyModel {
+    /// A typical commodity-server model (idle ≈ 60% of peak).
+    pub fn commodity() -> Self {
+        Self { idle_watts: 150.0, peak_watts: 250.0 }
+    }
+
+    /// Instantaneous power at the given CPU utilization `[0, 1]`.
+    pub fn power_at(&self, util: f64) -> f64 {
+        self.idle_watts + (self.peak_watts - self.idle_watts) * util.clamp(0.0, 1.0)
+    }
+}
+
+/// Per-resource-hour pricing (on-demand-style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Dollars per vCPU-hour.
+    pub per_vcpu_hour: f64,
+    /// Dollars per GiB-hour of memory.
+    pub per_gb_hour: f64,
+}
+
+impl CostModel {
+    /// Public-cloud-shaped default pricing.
+    pub fn on_demand() -> Self {
+        Self { per_vcpu_hour: 0.04, per_gb_hour: 0.005 }
+    }
+}
+
+/// Total energy in watt-hours consumed by the cluster over `[0, makespan]`
+/// under the linear power model: every VM idles at `idle_watts` for the
+/// whole span, plus the utilization-proportional dynamic part integrated
+/// exactly from the records. One simulation step is one minute.
+pub fn total_energy_wh(
+    records: &[TaskRecord],
+    vms: &[VmSpec],
+    model: &EnergyModel,
+    makespan_steps: f64,
+) -> f64 {
+    let hours = makespan_steps / 60.0;
+    let idle = model.idle_watts * vms.len() as f64 * hours;
+    let dynamic_range = model.peak_watts - model.idle_watts;
+    let dynamic: f64 = records
+        .iter()
+        .map(|r| {
+            let util = r.vcpus as f64 / vms[r.vm].vcpus as f64;
+            dynamic_range * util * (r.duration as f64 / 60.0)
+        })
+        .sum();
+    idle + dynamic
+}
+
+/// Total monetary cost of the placed tasks: each task pays for its
+/// requested vCPUs and memory for its execution time.
+pub fn total_cost_dollars(records: &[TaskRecord], model: &CostModel) -> f64 {
+    records
+        .iter()
+        .map(|r| {
+            let hours = r.duration as f64 / 60.0;
+            r.vcpus as f64 * hours * model.per_vcpu_hour
+                + r.mem_gb as f64 * hours * model.per_gb_hour
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vm: usize, vcpus: u32, mem: f32, start: u64, dur: u64) -> TaskRecord {
+        TaskRecord { task_id: 0, vm, vcpus, mem_gb: mem, arrival: start, start, duration: dur }
+    }
+
+    #[test]
+    fn power_model_endpoints() {
+        let m = EnergyModel::commodity();
+        assert_eq!(m.power_at(0.0), 150.0);
+        assert_eq!(m.power_at(1.0), 250.0);
+        assert_eq!(m.power_at(0.5), 200.0);
+        assert_eq!(m.power_at(2.0), 250.0); // clamped
+    }
+
+    #[test]
+    fn idle_cluster_pays_only_idle_energy() {
+        let vms = [VmSpec::new(8, 64.0), VmSpec::new(8, 64.0)];
+        let m = EnergyModel::commodity();
+        // 2 VMs × 150 W × 1 h
+        let e = total_energy_wh(&[], &vms, &m, 60.0);
+        assert!((e - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_utilized_vm_pays_peak() {
+        let vms = [VmSpec::new(8, 64.0)];
+        let m = EnergyModel::commodity();
+        // One task using all 8 vCPUs for the whole hour:
+        let records = [rec(0, 8, 64.0, 0, 60)];
+        let e = total_energy_wh(&records, &vms, &m, 60.0);
+        assert!((e - 250.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn energy_scales_with_utilization() {
+        let vms = [VmSpec::new(8, 64.0)];
+        let m = EnergyModel::commodity();
+        let half = total_energy_wh(&[rec(0, 4, 8.0, 0, 60)], &vms, &m, 60.0);
+        let full = total_energy_wh(&[rec(0, 8, 8.0, 0, 60)], &vms, &m, 60.0);
+        assert!(half < full);
+        assert!((half - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_hand_example() {
+        let m = CostModel { per_vcpu_hour: 0.10, per_gb_hour: 0.01 };
+        // 2 vCPU + 10 GiB for 30 minutes: 2·0.5·0.10 + 10·0.5·0.01 = 0.15
+        let c = total_cost_dollars(&[rec(0, 2, 10.0, 0, 30)], &m);
+        assert!((c - 0.15).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn cost_additive_over_tasks() {
+        let m = CostModel::on_demand();
+        let a = [rec(0, 2, 4.0, 0, 60)];
+        let b = [rec(0, 4, 8.0, 0, 120)];
+        let both = [a[0], b[0]];
+        let sum = total_cost_dollars(&a, &m) + total_cost_dollars(&b, &m);
+        assert!((total_cost_dollars(&both, &m) - sum).abs() < 1e-12);
+    }
+}

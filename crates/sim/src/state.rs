@@ -1,0 +1,130 @@
+//! The padded state encoding of Eq. (1): `S = (S^VM, S^vCPU, S^Queue)`.
+
+use crate::cluster::Cluster;
+use crate::config::EnvDims;
+use pfrl_workloads::TaskSpec;
+
+/// Marker value for *void* slots (absent VMs / vCPUs), as in Fig. 6.
+pub const VOID: f32 = -1.0;
+
+/// Encodes the full observation into a fixed-length vector:
+///
+/// 1. `S^VM` — for each of `L` VM slots, the remaining capacity of each
+///    resource, normalized by the federation-wide maxima; void slots are
+///    [`VOID`].
+/// 2. `S^vCPU` — for each VM slot, `U` per-vCPU completion-progress entries
+///    in `[0, 1]` (0 = idle); vCPUs beyond a VM's actual count (or of absent
+///    VMs) are [`VOID`].
+/// 3. `S^Queue` — for each of `Q` queue slots, the normalized resource
+///    demands of the waiting task; empty slots are zero.
+pub fn encode_state(
+    dims: &EnvDims,
+    cluster: &Cluster,
+    queue_head: &[TaskSpec],
+    now: u64,
+) -> Vec<f32> {
+    let mut s = Vec::with_capacity(dims.state_dim());
+    let cpu_norm = dims.max_vcpus as f32;
+    let mem_norm = dims.max_mem_gb;
+
+    // S^VM: remaining capacity.
+    for i in 0..dims.max_vms {
+        if let Some(vm) = cluster.vms().get(i) {
+            s.push(vm.free_vcpus() as f32 / cpu_norm);
+            s.push(vm.free_mem() / mem_norm);
+        } else {
+            s.push(VOID);
+            s.push(VOID);
+        }
+    }
+
+    // S^vCPU: per-vCPU progress.
+    for i in 0..dims.max_vms {
+        match cluster.vms().get(i) {
+            Some(vm) => {
+                let progress = vm.vcpu_progress(now);
+                for k in 0..dims.max_vcpus as usize {
+                    s.push(progress.get(k).copied().unwrap_or(VOID));
+                }
+            }
+            None => s.extend(std::iter::repeat_n(VOID, dims.max_vcpus as usize)),
+        }
+    }
+
+    // S^Queue: waiting-task demands.
+    for q in 0..dims.queue_slots {
+        if let Some(t) = queue_head.get(q) {
+            s.push(t.vcpus as f32 / cpu_norm);
+            s.push(t.mem_gb / mem_norm);
+        } else {
+            s.push(0.0);
+            s.push(0.0);
+        }
+    }
+
+    debug_assert_eq!(s.len(), dims.state_dim());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmSpec;
+
+    fn task(id: u64, vcpus: u32, mem: f32, dur: u64) -> TaskSpec {
+        TaskSpec { id, arrival: 0, vcpus, mem_gb: mem, duration: dur }
+    }
+
+    #[test]
+    fn layout_and_length() {
+        let dims = EnvDims::new(3, 4, 32.0, 2);
+        let cluster = Cluster::new(&[VmSpec::new(4, 32.0), VmSpec::new(2, 16.0)]);
+        let queue = [task(0, 2, 8.0, 5)];
+        let s = encode_state(&dims, &cluster, &queue, 0);
+        assert_eq!(s.len(), dims.state_dim());
+        // S^VM: vm0 idle (1.0, 1.0), vm1 idle (0.5, 0.5), slot 2 void.
+        assert_eq!(&s[0..6], &[1.0, 1.0, 0.5, 0.5, VOID, VOID]);
+        // S^vCPU: vm0 has 4 idle, vm1 has 2 idle + 2 void, slot 2 all void.
+        assert_eq!(&s[6..10], &[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&s[10..14], &[0.0, 0.0, VOID, VOID]);
+        assert_eq!(&s[14..18], &[VOID, VOID, VOID, VOID]);
+        // S^Queue: task (2/4, 8/32) then empty slot.
+        assert_eq!(&s[18..22], &[0.5, 0.25, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn progress_appears_in_vcpu_section() {
+        let dims = EnvDims::new(1, 4, 32.0, 1);
+        let mut cluster = Cluster::new(&[VmSpec::new(4, 32.0)]);
+        cluster.vm_mut(0).place(&task(7, 2, 8.0, 10), 0);
+        let s = encode_state(&dims, &cluster, &[], 5);
+        // Remaining capacity reflects the placement.
+        assert_eq!(s[0], 0.5);
+        assert_eq!(s[1], 0.75);
+        // First two vCPUs at 50% progress.
+        assert_eq!(&s[2..6], &[0.5, 0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn values_in_expected_ranges() {
+        let dims = EnvDims::new(4, 8, 64.0, 3);
+        let mut cluster =
+            Cluster::new(&[VmSpec::new(8, 64.0), VmSpec::new(4, 16.0), VmSpec::new(2, 8.0)]);
+        cluster.vm_mut(0).place(&task(0, 3, 10.0, 7), 2);
+        let queue = [task(1, 8, 64.0, 3), task(2, 1, 0.5, 1)];
+        let s = encode_state(&dims, &cluster, &queue, 4);
+        for &v in &s {
+            assert!(v == VOID || (0.0..=1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn queue_truncated_to_visible_slots() {
+        let dims = EnvDims::new(1, 1, 1.0, 2);
+        let cluster = Cluster::new(&[VmSpec::new(1, 1.0)]);
+        let queue = [task(0, 1, 1.0, 1), task(1, 1, 1.0, 1), task(2, 1, 1.0, 1)];
+        // Only the first `queue_slots` tasks are encoded.
+        let s = encode_state(&dims, &cluster, &queue[..2.min(queue.len())], 0);
+        assert_eq!(s.len(), dims.state_dim());
+    }
+}

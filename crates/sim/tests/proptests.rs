@@ -1,0 +1,95 @@
+//! Property-based tests of the simulator primitives.
+
+use pfrl_sim::{Cluster, EnvConfig, EnvDims, VmSpec};
+use pfrl_workloads::TaskSpec;
+use proptest::prelude::*;
+
+fn arb_vm() -> impl Strategy<Value = VmSpec> {
+    (1u32..64, 1u32..512).prop_map(|(c, m)| VmSpec::new(c, m as f32))
+}
+
+fn arb_task() -> impl Strategy<Value = TaskSpec> {
+    (1u32..16, 1u32..128, 1u64..100).prop_map(|(c, m, d)| TaskSpec {
+        id: 0,
+        arrival: 0,
+        vcpus: c,
+        mem_gb: m as f32,
+        duration: d,
+    })
+}
+
+proptest! {
+    /// Placement followed by completion restores exactly the idle state.
+    #[test]
+    fn place_release_roundtrip(vm_spec in arb_vm(), task in arb_task()) {
+        prop_assume!(task.vcpus <= vm_spec.vcpus && task.mem_gb <= vm_spec.mem_gb);
+        let mut cluster = Cluster::new(&[vm_spec]);
+        let free_before = (cluster.vms()[0].free_vcpus(), cluster.vms()[0].free_mem());
+        cluster.vm_mut(0).place(&task, 0);
+        prop_assert_eq!(cluster.vms()[0].free_vcpus(), free_before.0 - task.vcpus);
+        let done = cluster.advance_to(task.duration);
+        prop_assert_eq!(done.len(), 1);
+        prop_assert_eq!(cluster.vms()[0].free_vcpus(), free_before.0);
+        prop_assert!((cluster.vms()[0].free_mem() - free_before.1).abs() < 1e-4);
+    }
+
+    /// LoadBal is zero iff all per-VM loads are equal; always non-negative.
+    #[test]
+    fn load_balance_nonnegative(
+        vms in proptest::collection::vec(arb_vm(), 1..6),
+        w_cpu in 0.0f32..1.0,
+    ) {
+        let cluster = Cluster::new(&vms);
+        let weights = [w_cpu, 1.0 - w_cpu];
+        let lb = cluster.load_balance(&weights);
+        // Idle cluster: every load is exactly 1.0 → perfectly balanced.
+        prop_assert!(lb.abs() < 1e-6);
+    }
+
+    /// Utilization and load are complementary and bounded.
+    #[test]
+    fn utilization_load_complementary(vm_spec in arb_vm(), task in arb_task()) {
+        prop_assume!(task.vcpus <= vm_spec.vcpus && task.mem_gb <= vm_spec.mem_gb);
+        let mut cluster = Cluster::new(&[vm_spec]);
+        cluster.vm_mut(0).place(&task, 0);
+        for r in 0..2 {
+            let u = cluster.vms()[0].utilization(r);
+            let l = cluster.vms()[0].load(r);
+            prop_assert!((0.0..=1.0).contains(&u));
+            prop_assert!((u + l - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// vCPU progress slots: occupied count equals the placed task's vCPUs,
+    /// values bounded in [0, 1].
+    #[test]
+    fn vcpu_progress_layout(vm_spec in arb_vm(), task in arb_task(), t in 0u64..200) {
+        prop_assume!(task.vcpus <= vm_spec.vcpus && task.mem_gb <= vm_spec.mem_gb);
+        let mut cluster = Cluster::new(&[vm_spec]);
+        cluster.vm_mut(0).place(&task, 0);
+        let slots = cluster.vms()[0].vcpu_progress(t.min(task.duration - 1));
+        prop_assert_eq!(slots.len(), vm_spec.vcpus as usize);
+        let occupied = slots.iter().filter(|&&p| p > 0.0).count();
+        prop_assert!(occupied <= task.vcpus as usize);
+        prop_assert!(slots.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// EnvDims arithmetic is internally consistent.
+    #[test]
+    fn dims_arithmetic(l in 1usize..12, u in 1u32..128, q in 1usize..10) {
+        let d = EnvDims::new(l, u, 64.0, q);
+        prop_assert_eq!(d.state_dim(), l * 2 + l * u as usize + q * 2);
+        prop_assert_eq!(d.action_dim(), l + 1);
+    }
+
+    /// Config validation accepts all in-range values.
+    #[test]
+    fn env_config_valid_range(rho in 0.0f32..=1.0, w in 0.0f32..=1.0) {
+        let cfg = EnvConfig {
+            rho,
+            resource_weights: [w, 1.0 - w],
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+}

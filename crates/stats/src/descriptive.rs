@@ -1,0 +1,161 @@
+//! Descriptive statistics over `f64` samples.
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// # Panics
+    /// If the sample is empty or contains non-finite values.
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "Summary::of: empty sample");
+        assert!(data.iter().all(|v| v.is_finite()), "Summary::of: non-finite value");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self {
+            n: data.len(),
+            mean: mean(data),
+            std: sample_std(data),
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Arithmetic mean (0.0 for empty input).
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<f64>() / data.len() as f64
+    }
+}
+
+/// Sample variance with `n-1` denominator (0.0 for n < 2).
+pub fn sample_variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn sample_std(data: &[f64]) -> f64 {
+    sample_variance(data).sqrt()
+}
+
+/// Median of an unsorted sample.
+///
+/// # Panics
+/// If the sample is empty.
+pub fn median(data: &[f64]) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    percentile_sorted(&sorted, 50.0)
+}
+
+/// Percentile `p ∈ [0, 100]` by linear interpolation on a sorted slice.
+///
+/// # Panics
+/// If the slice is empty or `p` out of range.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Index-paired element-wise difference `a - b`.
+///
+/// # Panics
+/// If lengths differ.
+pub fn paired_differences(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "paired_differences: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_textbook() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&data) - 5.0).abs() < 1e-12);
+        // population var = 4.0, sample var = 32/7
+        assert!((sample_variance(&data) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 25.0);
+        assert!((percentile_sorted(&sorted, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn summary_nan_panics() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn paired_differences_hand() {
+        assert_eq!(paired_differences(&[3.0, 5.0], &[1.0, 7.0]), vec![2.0, -2.0]);
+    }
+}

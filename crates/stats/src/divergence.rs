@@ -1,0 +1,122 @@
+//! Discrete distribution divergences, used by the Sec. 3.3 study comparing
+//! KL-divergence-based aggregation weights (Fig. 12) against attention and
+//! cosine weights.
+
+/// Kullback–Leibler divergence `D(p‖q) = Σ p·ln(p/q)` in nats.
+///
+/// Zero-probability bins in `p` contribute nothing; zero bins in `q` where
+/// `p > 0` are smoothed with `eps = 1e-12` rather than returning infinity,
+/// which matches how the weight-generation code must behave on histograms of
+/// finite samples.
+///
+/// # Panics
+/// If lengths differ or inputs are not (approximately) normalized.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "kl_divergence: length mismatch");
+    for (name, dist) in [("p", p), ("q", q)] {
+        let sum: f64 = dist.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "kl_divergence: {name} sums to {sum}, expected 1"
+        );
+        assert!(dist.iter().all(|&v| v >= 0.0), "kl_divergence: negative mass in {name}");
+    }
+    const EPS: f64 = 1e-12;
+    p.iter()
+        .zip(q)
+        .filter(|(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| pi * (pi / qi.max(EPS)).ln())
+        .sum()
+}
+
+/// Jensen–Shannon divergence (symmetric, bounded by `ln 2`).
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "js_divergence: length mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(a, b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Normalized histogram of `data` over `bins` equal-width bins spanning
+/// `[lo, hi]`; out-of-range values clamp into the edge bins, so the result
+/// always sums to 1 for non-empty input.
+///
+/// # Panics
+/// If `bins == 0`, `lo >= hi`, or `data` is empty.
+pub fn histogram(data: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0, "histogram: zero bins");
+    assert!(lo < hi, "histogram: lo {lo} >= hi {hi}");
+    assert!(!data.is_empty(), "histogram: empty data");
+    let mut counts = vec![0.0f64; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in data {
+        let idx = (((v - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1.0;
+    }
+    let total = data.len() as f64;
+    counts.iter_mut().for_each(|c| *c /= total);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_hand_value() {
+        // D([1/2,1/2] ‖ [1/4,3/4]) = 0.5 ln2 + 0.5 ln(2/3)
+        let d = kl_divergence(&[0.5, 0.5], &[0.25, 0.75]);
+        let expect = 0.5 * 2.0f64.ln() + 0.5 * (2.0f64 / 3.0).ln();
+        assert!((d - expect).abs() < 1e-12, "{d} vs {expect}");
+    }
+
+    #[test]
+    fn kl_is_asymmetric_and_nonnegative() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let dpq = kl_divergence(&p, &q);
+        let dqp = kl_divergence(&q, &p);
+        assert!(dpq > 0.0 && dqp > 0.0);
+        assert!((dpq - dqp).abs() > 1e-6);
+    }
+
+    #[test]
+    fn kl_smooths_zero_bins() {
+        let d = kl_divergence(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(d.is_finite() && d > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn kl_rejects_unnormalized() {
+        let _ = kl_divergence(&[0.5, 0.1], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [0.8, 0.2, 0.0];
+        let q = [0.1, 0.3, 0.6];
+        let a = js_divergence(&p, &q);
+        let b = js_divergence(&q, &p);
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0 && a <= std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn histogram_normalized_and_placed() {
+        let h = histogram(&[0.5, 1.5, 1.6, 2.5], 0.0, 3.0, 3);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(h, vec![0.25, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let h = histogram(&[-100.0, 100.0], 0.0, 1.0, 2);
+        assert_eq!(h, vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Two-sided Wilcoxon signed-rank test for paired samples (Table 4).
+//!
+//! Zero differences are dropped (Wilcoxon's original treatment, matching
+//! SciPy's default `zero_method="wilcox"`); tied absolute differences get
+//! average ranks. For `n ≤ 25` retained pairs the p-value is computed from
+//! the exact permutation distribution of the rank sum (enumerated by dynamic
+//! programming over doubled ranks so average ranks stay integral); for
+//! larger `n` a normal approximation with tie correction and continuity
+//! correction is used.
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences, `W⁺`.
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences, `W⁻`.
+    pub w_minus: f64,
+    /// Number of non-zero differences actually ranked.
+    pub n_used: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Whether the exact distribution was used (vs normal approximation).
+    pub exact: bool,
+}
+
+/// Runs the test on paired samples `a` and `b` (testing `a - b` symmetric
+/// about zero).
+///
+/// # Panics
+/// If lengths differ, or every difference is zero (the statistic is
+/// undefined), or fewer than 1 pair is supplied.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "wilcoxon: length mismatch");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    assert!(
+        !diffs.is_empty(),
+        "wilcoxon: all differences are zero; the test statistic is undefined"
+    );
+    let n = diffs.len();
+
+    // Rank |d| with average ranks for ties. Work in doubled ranks so ties
+    // like 1.5 stay integral for the exact enumeration.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| diffs[i].abs().partial_cmp(&diffs[j].abs()).expect("finite"));
+    let mut ranks2 = vec![0u64; n]; // doubled ranks
+    let mut tie_sizes: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[order[j + 1]].abs() == diffs[order[i]].abs() {
+            j += 1;
+        }
+        // positions i..=j share the average rank ((i+1)+(j+1))/2; doubled:
+        let avg2 = (i as u64 + 1) + (j as u64 + 1);
+        for &idx in &order[i..=j] {
+            ranks2[idx] = avg2;
+        }
+        if j > i {
+            tie_sizes.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+
+    let mut w_plus2: u64 = 0;
+    let mut w_minus2: u64 = 0;
+    for (d, &r2) in diffs.iter().zip(&ranks2) {
+        if *d > 0.0 {
+            w_plus2 += r2;
+        } else {
+            w_minus2 += r2;
+        }
+    }
+    let w_plus = w_plus2 as f64 / 2.0;
+    let w_minus = w_minus2 as f64 / 2.0;
+
+    let (p_value, exact) = if n <= 25 {
+        (exact_two_sided_p(&ranks2, w_plus2.min(w_minus2)), true)
+    } else {
+        (normal_two_sided_p(n, &tie_sizes, w_plus), false)
+    };
+
+    WilcoxonResult { w_plus, w_minus, n_used: n, p_value: p_value.min(1.0), exact }
+}
+
+/// Exact two-sided p-value: `P(min(W⁺, W⁻) ≤ w_min)` under the null, where
+/// each rank independently lands in the positive or negative pile.
+///
+/// Enumerates the distribution of the (doubled) positive rank sum by DP:
+/// `count[s]` = number of sign assignments with doubled rank sum `s`.
+fn exact_two_sided_p(ranks2: &[u64], w_min2: u64) -> f64 {
+    let total: u64 = ranks2.iter().sum();
+    let mut counts = vec![0.0f64; total as usize + 1];
+    counts[0] = 1.0;
+    let mut reach = 0usize;
+    for &r in ranks2 {
+        let r = r as usize;
+        reach = (reach + r).min(total as usize);
+        for s in (0..=reach).rev() {
+            if s >= r && counts[s - r] > 0.0 {
+                counts[s] += counts[s - r];
+            }
+        }
+    }
+    let denom = 2.0f64.powi(ranks2.len() as i32);
+    // Two-sided: mass at or below w_min on BOTH tails. By symmetry of the
+    // null distribution around total/2, P(W⁺ ≤ w) == P(W⁻ ≤ w), so
+    // p = 2 · P(W⁺ ≤ w_min), minus the double-counted middle if the two
+    // tails overlap (only possible when w_min ≥ total/2, i.e. p would be 1).
+    let low_mass: f64 = counts[..=(w_min2 as usize).min(total as usize)].iter().sum();
+    (2.0 * low_mass / denom).min(1.0)
+}
+
+/// Normal approximation with tie correction and 0.5 continuity correction.
+fn normal_two_sided_p(n: usize, tie_sizes: &[usize], w_plus: f64) -> f64 {
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let tie_corr: f64 =
+        tie_sizes.iter().map(|&t| (t * t * t - t) as f64).sum::<f64>() / 48.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_corr;
+    if var <= 0.0 {
+        return 1.0;
+    }
+    let z = (w_plus - mean).abs() - 0.5;
+    let z = z.max(0.0) / var.sqrt();
+    2.0 * normal_sf(z)
+}
+
+/// Standard normal survival function `P(Z > z)` via the complementary error
+/// function (Abramowitz–Stegun 7.1.26 rational approximation, |err| < 1.5e-7).
+fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let result = poly * (-x * x).exp();
+    if sign_neg {
+        2.0 - result
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// n = 10 with every difference positive: the most extreme outcome.
+    /// Exact two-sided p = 2/2^10 ≈ 1.953e-3, the value SciPy reports and
+    /// (to approximation error) what the paper's Table 4 shows (1.93e-3).
+    #[test]
+    fn table4_configuration_all_positive_n10() {
+        let a: Vec<f64> = (1..=10).map(|i| i as f64 + 10.0).collect();
+        let b: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.exact);
+        assert_eq!(r.w_plus, 55.0);
+        assert_eq!(r.w_minus, 0.0);
+        assert!((r.p_value - 2.0 / 1024.0).abs() < 1e-12, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_arguments_same_p() {
+        let a = [1.0, 5.0, 3.0, 9.0, 2.0, 8.0];
+        let b = [2.0, 4.0, 6.0, 1.0, 7.0, 3.0];
+        let r1 = wilcoxon_signed_rank(&a, &b);
+        let r2 = wilcoxon_signed_rank(&b, &a);
+        assert_eq!(r1.p_value, r2.p_value);
+        assert_eq!(r1.w_plus, r2.w_minus);
+    }
+
+    /// Textbook example (Conover-style data with one zero and one tie pair):
+    /// the rank statistics are checked by hand and the exact p-value is
+    /// cross-checked against a brute-force enumeration of all 2^9 sign
+    /// assignments below.
+    #[test]
+    fn hand_ranked_example_with_zero_and_ties() {
+        let x = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let y = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        // diffs (zero dropped): [15,-7,5,20,-9,17,-12,5,-10]
+        // |d| ranks: 5→1.5 (twice), 7→3, 9→4, 10→5, 12→6, 15→7, 17→8, 20→9
+        let r = wilcoxon_signed_rank(&x, &y);
+        assert_eq!(r.n_used, 9);
+        assert!(r.exact);
+        assert_eq!(r.w_plus, 27.0); // 7 + 1.5 + 9 + 8 + 1.5
+        assert_eq!(r.w_minus, 18.0); // 3 + 4 + 6 + 5
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    /// Brute-force validation of the exact DP: enumerate all sign
+    /// assignments of the ranks and compute the two-sided p directly.
+    #[test]
+    fn exact_p_matches_brute_force_enumeration() {
+        let a = [125.0, 115.0, 130.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let b = [110.0, 122.0, 125.0, 120.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let r = wilcoxon_signed_rank(&a, &b);
+        // Recompute doubled ranks exactly as the implementation defines them.
+        let diffs: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let n = diffs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| diffs[i].abs().partial_cmp(&diffs[j].abs()).unwrap());
+        let mut ranks2 = vec![0u64; n];
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && diffs[order[j + 1]].abs() == diffs[order[i]].abs() {
+                j += 1;
+            }
+            let avg2 = (i as u64 + 1) + (j as u64 + 1);
+            for &idx in &order[i..=j] {
+                ranks2[idx] = avg2;
+            }
+            i = j + 1;
+        }
+        let w_min2 = (2.0 * r.w_plus.min(r.w_minus)) as u64;
+        // Enumerate all 2^n assignments; count those with min tail ≤ w_min.
+        let total2: u64 = ranks2.iter().sum();
+        let mut low = 0u64;
+        for mask in 0u32..(1 << n) {
+            let wp2: u64 =
+                (0..n).filter(|&k| mask & (1 << k) != 0).map(|k| ranks2[k]).sum();
+            if wp2 <= w_min2 || (total2 - wp2) <= w_min2 {
+                low += 1;
+            }
+        }
+        let brute = low as f64 / (1u64 << n) as f64;
+        assert!(
+            (r.p_value - brute).abs() < 1e-12,
+            "implementation {} vs brute force {}",
+            r.p_value,
+            brute
+        );
+    }
+
+    /// n = 3, all differences positive, distinct magnitudes: W⁻ = 0 and the
+    /// exact two-sided p is 2·P(W ≤ 0) = 2/8.
+    #[test]
+    fn tiny_exact_case_by_hand() {
+        let r = wilcoxon_signed_rank(&[2.0, 4.0, 7.0], &[1.0, 2.0, 4.0]);
+        assert_eq!(r.w_minus, 0.0);
+        assert_eq!(r.w_plus, 6.0);
+        assert!((r.p_value - 0.25).abs() < 1e-12, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn zero_differences_dropped() {
+        let a = [1.0, 2.0, 3.0, 10.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert_eq!(r.n_used, 1);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all differences are zero")]
+    fn all_zero_panics() {
+        let a = [1.0, 2.0];
+        let _ = wilcoxon_signed_rank(&a, &a);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        // |diffs| = [1, 1, 2]: ranks 1.5, 1.5, 3.
+        let a = [2.0, 0.0, 5.0];
+        let b = [1.0, 1.0, 3.0];
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert_eq!(r.w_plus, 4.5);
+        assert_eq!(r.w_minus, 1.5);
+        assert!((r.w_plus + r.w_minus - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_n_uses_normal_approximation() {
+        // 30 pairs, alternating small effects: ~null ⇒ p not tiny.
+        let a: Vec<f64> = (0..30).map(|i| i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let b: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(!r.exact);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn large_n_strong_effect_small_p() {
+        let a: Vec<f64> = (0..40).map(|i| i as f64 + 1.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(!r.exact);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-12);
+    }
+
+    #[test]
+    fn p_value_always_in_unit_interval() {
+        let cases: [(&[f64], &[f64]); 3] = [
+            (&[1.0, 2.0], &[2.0, 1.0]),
+            (&[5.0, 5.0, 5.0, 1.0], &[1.0, 1.0, 1.0, 5.0]),
+            (&[1.0, 2.0, 3.0, 4.0, 5.0], &[5.0, 4.0, 3.0, 2.0, 1.0]),
+        ];
+        for (a, b) in cases {
+            let r = wilcoxon_signed_rank(a, b);
+            assert!(r.p_value > 0.0 && r.p_value <= 1.0, "p = {}", r.p_value);
+        }
+    }
+}

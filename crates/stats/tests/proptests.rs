@@ -1,0 +1,110 @@
+//! Property-based tests of the statistics crate.
+
+use pfrl_stats::{
+    histogram, kl_divergence, wilcoxon_signed_rank, EmpiricalCdf, Summary,
+};
+use pfrl_stats::descriptive::{mean, median, sample_variance};
+use proptest::prelude::*;
+
+proptest! {
+    /// The Wilcoxon p-value is always in (0, 1], and the rank sums always
+    /// total n(n+1)/2 over the non-zero differences.
+    #[test]
+    fn wilcoxon_p_in_unit_interval(
+        pairs in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..40),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assume!(a.iter().zip(&b).any(|(x, y)| x != y));
+        let r = wilcoxon_signed_rank(&a, &b);
+        prop_assert!(r.p_value > 0.0 && r.p_value <= 1.0, "p = {}", r.p_value);
+        let n = r.n_used as f64;
+        prop_assert!((r.w_plus + r.w_minus - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    /// Wilcoxon is antisymmetric in its arguments.
+    #[test]
+    fn wilcoxon_antisymmetric(
+        pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..25),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assume!(a.iter().zip(&b).any(|(x, y)| x != y));
+        let r1 = wilcoxon_signed_rank(&a, &b);
+        let r2 = wilcoxon_signed_rank(&b, &a);
+        prop_assert_eq!(r1.w_plus, r2.w_minus);
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    /// The empirical CDF is monotone, 0 below the min, 1 at/above the max.
+    #[test]
+    fn cdf_monotone(sample in proptest::collection::vec(-100.0f64..100.0, 1..80)) {
+        let cdf = EmpiricalCdf::new(&sample);
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(cdf.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(cdf.eval(hi), 1.0);
+        let mut prev = 0.0;
+        for i in -10..=10 {
+            let x = lo + (hi - lo) * (i as f64 + 10.0) / 20.0;
+            let f = cdf.eval(x);
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    /// Quantile inverts eval: `F(quantile(q)) ≥ q`.
+    #[test]
+    fn quantile_inverts(sample in proptest::collection::vec(-50.0f64..50.0, 1..60), q in 0.01f64..1.0) {
+        let cdf = EmpiricalCdf::new(&sample);
+        let v = cdf.quantile(q);
+        prop_assert!(cdf.eval(v) >= q - 1e-12);
+    }
+
+    /// KL divergence is non-negative and zero on identical distributions.
+    #[test]
+    fn kl_nonnegative(weights in proptest::collection::vec(0.01f64..1.0, 2..10)) {
+        let total: f64 = weights.iter().sum();
+        let p: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        prop_assert!(kl_divergence(&p, &p).abs() < 1e-10);
+        // Against uniform:
+        let u = vec![1.0 / p.len() as f64; p.len()];
+        prop_assert!(kl_divergence(&p, &u) >= -1e-12);
+    }
+
+    /// Histograms are normalized for any in-range data.
+    #[test]
+    fn histogram_normalized(
+        data in proptest::collection::vec(-1000.0f64..1000.0, 1..100),
+        bins in 1usize..30,
+    ) {
+        let h = histogram(&data, -1000.0, 1000.0, bins);
+        prop_assert_eq!(h.len(), bins);
+        prop_assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(h.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Summary invariants: min ≤ p25 ≤ median ≤ p75 ≤ max, and the mean
+    /// lies within [min, max].
+    #[test]
+    fn summary_ordering(sample in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::of(&sample);
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    /// Mean/median shift-equivariance: f(x + c) = f(x) + c.
+    #[test]
+    fn location_equivariance(
+        sample in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        c in -50.0f64..50.0,
+    ) {
+        let shifted: Vec<f64> = sample.iter().map(|v| v + c).collect();
+        prop_assert!((mean(&shifted) - mean(&sample) - c).abs() < 1e-7);
+        prop_assert!((median(&shifted) - median(&sample) - c).abs() < 1e-7);
+        prop_assert!((sample_variance(&shifted) - sample_variance(&sample)).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,109 @@
+//! Seeded weight initializers.
+//!
+//! All initializers take an explicit RNG so that the federated experiments
+//! can derive independent, reproducible parameter streams per client.
+
+use crate::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for the tanh MLPs used by
+/// the PPO agents.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    sample_uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with `a = sqrt(6 / fan_in)`,
+/// appropriate for ReLU layers.
+pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / fan_in as f32).sqrt();
+    sample_uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// Uniform matrix in `[lo, hi)`, shaped `rows × cols`.
+pub fn sample_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+    let dist = Uniform::new(lo, hi);
+    let data = (0..rows * cols).map(|_| dist.sample(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Standard-normal matrix scaled by `std`, shaped `rows × cols`.
+///
+/// Uses Box–Muller on the crate's own uniform draws so the values depend only
+/// on the RNG stream, not on `rand`'s normal-distribution implementation
+/// details (keeps seeds stable across `rand` versions).
+pub fn sample_gaussian(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < rows * cols {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound_and_shape() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = xavier_uniform(100, 50, &mut rng);
+        assert_eq!(m.shape(), (100, 50));
+        let a = (6.0_f32 / 150.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a));
+        // Not degenerate: plenty of distinct values.
+        let first = m.as_slice()[0];
+        assert!(m.as_slice().iter().any(|&v| v != first));
+    }
+
+    #[test]
+    fn he_bound_wider_than_xavier_for_same_fans() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let he = he_uniform(10, 10, &mut rng);
+        let bound = (6.0_f32 / 10.0).sqrt();
+        assert!(he.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = xavier_uniform(8, 8, &mut SmallRng::seed_from_u64(42));
+        let b = xavier_uniform(8, 8, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = xavier_uniform(8, 8, &mut SmallRng::seed_from_u64(1));
+        let b = xavier_uniform(8, 8, &mut SmallRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_correct() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let m = sample_gaussian(200, 200, 2.0, &mut rng);
+        let mean = crate::ops::mean(m.as_slice());
+        let std = crate::ops::std_dev(m.as_slice());
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((std - 2.0).abs() < 0.05, "std {std}");
+    }
+
+    #[test]
+    fn gaussian_odd_element_count() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = sample_gaussian(3, 3, 1.0, &mut rng);
+        assert_eq!(m.len(), 9);
+        assert!(!m.has_non_finite());
+    }
+}

@@ -1,0 +1,19 @@
+//! Dense, row-major, BLAS-free matrix kernels used by the PFRL-DM stack.
+//!
+//! The networks in the paper are tiny (a single hidden layer of 64 units),
+//! so a straightforward cache-friendly triple loop with the inner loop over
+//! contiguous rows of the right-hand operand is more than fast enough, and —
+//! unlike an external BLAS — fully deterministic across platforms, which the
+//! federated experiments rely on for reproducibility.
+//!
+//! The crate exposes:
+//!
+//! * [`Matrix`] — an owned `rows × cols` matrix of `f32` in row-major order;
+//! * free-function kernels in [`ops`] (GEMM variants, softmax, reductions);
+//! * weight initializers in [`init`] (Xavier/He, seeded).
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use matrix::Matrix;

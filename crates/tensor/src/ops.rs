@@ -1,0 +1,381 @@
+//! Matrix/vector kernels: GEMM variants, element-wise ops, softmax,
+//! reductions.
+//!
+//! GEMM loop order is `i-k-j` so the innermost loop walks contiguous memory
+//! in both the output row and the `b` row, which auto-vectorizes well for
+//! the small operand sizes used by the PFRL-DM networks.
+
+use crate::Matrix;
+
+/// `out = a · b` where `a` is `m×k` and `b` is `k×n`.
+///
+/// # Panics
+/// On inner-dimension mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: {}x{} · {}x{} inner dims differ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let orow = out.row_mut(i);
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// `out = a · bᵀ` where `a` is `m×k` and `b` is `n×k` (so `out` is `m×n`).
+///
+/// Each output element is a dot product of two contiguous rows, which makes
+/// this the preferred kernel for attention scores (`Q·Kᵀ`) and for the
+/// backward pass of a linear layer.
+pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transpose_b: a is {}x{}, b is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            out[(i, j)] = dot(arow, b.row(j));
+        }
+    }
+    out
+}
+
+/// `out = aᵀ · b` where `a` is `k×m` and `b` is `k×n` (so `out` is `m×n`).
+///
+/// Used for weight gradients: `dW = xᵀ · dy`.
+pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_transpose_a: a is {}x{}, b is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for p in 0..k {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for (i, &av) in arow.iter().enumerate().take(m) {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = out.row_mut(i);
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// If lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` element-wise.
+///
+/// # Panics
+/// If lengths differ.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a += b` element-wise (shape-checked).
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign: shape mismatch");
+    axpy(1.0, b.as_slice(), a.as_mut_slice());
+}
+
+/// `a *= s` element-wise.
+pub fn scale(a: &mut Matrix, s: f32) {
+    for v in a.as_mut_slice() {
+        *v *= s;
+    }
+}
+
+/// Adds row vector `bias` (length `cols`) to every row of `a`.
+pub fn add_row_bias(a: &mut Matrix, bias: &[f32]) {
+    assert_eq!(a.cols(), bias.len(), "add_row_bias: bias length mismatch");
+    for r in 0..a.rows() {
+        axpy(1.0, bias, a.row_mut(r));
+    }
+}
+
+/// Numerically-stable in-place softmax over a single slice.
+///
+/// Subtracts the max before exponentiating; an all-`-inf` row becomes
+/// uniform rather than NaN.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        let u = 1.0 / x.len() as f32;
+        x.iter_mut().for_each(|v| *v = u);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    x.iter_mut().for_each(|v| *v *= inv);
+}
+
+/// Applies [`softmax_inplace`] to every row of `a`.
+pub fn softmax_rows(a: &mut Matrix) {
+    for r in 0..a.rows() {
+        softmax_inplace(a.row_mut(r));
+    }
+}
+
+/// Stable log-softmax of a slice into a freshly allocated `Vec`.
+pub fn log_softmax(x: &[f32]) -> Vec<f32> {
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = x.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+    x.iter().map(|v| v - max - log_sum).collect()
+}
+
+/// Index of the maximum element (first on ties).
+///
+/// # Panics
+/// On an empty slice.
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Arithmetic mean of a slice (0.0 for empty input).
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f32>() / x.len() as f32
+    }
+}
+
+/// Population standard deviation of a slice (0.0 for len < 2).
+pub fn std_dev(x: &[f32]) -> f32 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    (x.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / x.len() as f32).sqrt()
+}
+
+/// Clips every element of `x` into `[lo, hi]`.
+pub fn clamp_slice(x: &mut [f32], lo: f32, hi: f32) {
+    for v in x {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Rescales `x` so its L2 norm is at most `max_norm` (global-norm gradient
+/// clipping). Returns the pre-clip norm.
+pub fn clip_l2_norm(x: &mut [f32], max_norm: f32) -> f32 {
+    let norm = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        x.iter_mut().for_each(|v| *v *= s);
+    }
+    norm
+}
+
+/// Cosine similarity between two equal-length vectors; 0.0 if either is a
+/// zero vector.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 3.0], &[0.0, 4.0, 5.5]]);
+        assert_eq!(matmul(&a, &Matrix::identity(3)), a);
+        assert_eq!(matmul(&Matrix::identity(2), &a), a);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[1.0, 0.5, -1.0]]);
+        // a (2x3) · bᵀ (3x2) = 2x2
+        let via_kernel = matmul_transpose_b(&a, &b);
+        let via_explicit = matmul(&a, &b.transposed());
+        assert_eq!(via_kernel, via_explicit);
+        // aᵀ (3x2) · b (2x3) = 3x3
+        let via_kernel = matmul_transpose_a(&a, &b);
+        let via_explicit = matmul(&a.transposed(), &b);
+        assert_eq!(via_kernel, via_explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![101.0, 102.0, 103.0];
+        softmax_inplace(&mut x);
+        softmax_inplace(&mut y);
+        assert_close(x.iter().sum::<f32>(), 1.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert_close(*a, *b);
+        }
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_handles_neg_infinity_mask() {
+        let mut x = vec![f32::NEG_INFINITY, 0.0, f32::NEG_INFINITY];
+        softmax_inplace(&mut x);
+        assert_close(x[1], 1.0);
+        assert_close(x[0], 0.0);
+    }
+
+    #[test]
+    fn softmax_all_masked_degrades_to_uniform() {
+        let mut x = vec![f32::NEG_INFINITY; 4];
+        softmax_inplace(&mut x);
+        for v in x {
+            assert_close(v, 0.25);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = vec![0.5, -1.0, 2.0, 0.0];
+        let ls = log_softmax(&x);
+        let mut sm = x.clone();
+        softmax_inplace(&mut sm);
+        for (l, s) in ls.iter().zip(&sm) {
+            assert_close(l.exp(), *s);
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn mean_std_hand_values() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(mean(&x), 5.0);
+        assert_close(std_dev(&x), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn clip_l2_norm_scales_down_only() {
+        let mut x = vec![3.0, 4.0]; // norm 5
+        let pre = clip_l2_norm(&mut x, 1.0);
+        assert_close(pre, 5.0);
+        assert_close(x.iter().map(|v| v * v).sum::<f32>().sqrt(), 1.0);
+        let mut y = vec![0.3, 0.4]; // norm 0.5, below cap
+        clip_l2_norm(&mut y, 1.0);
+        assert_close(y[0], 0.3);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds_and_zero_vector() {
+        assert_close(cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]), 1.0);
+        assert_close(cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]), -1.0);
+        assert_close(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn add_row_bias_broadcasts() {
+        let mut a = Matrix::zeros(3, 2);
+        add_row_bias(&mut a, &[1.0, -1.0]);
+        for r in 0..3 {
+            assert_eq!(a.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.5);
+        add_assign(&mut a, &b);
+        assert_eq!(a, Matrix::filled(2, 2, 3.5));
+    }
+}

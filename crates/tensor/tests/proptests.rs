@@ -1,0 +1,103 @@
+//! Property-based tests for the matrix kernels.
+
+use pfrl_tensor::{ops, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d)),
+            proptest::collection::vec(-5.0f32..5.0, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d)),
+        )
+    })
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in small_matrix(12)) {
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn matmul_matches_naive_definition((a, b) in matmul_pair(8)) {
+        let c = ops::matmul(&a, &b);
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let expect: f32 = (0..a.cols()).map(|p| a[(i, p)] * b[(p, j)]).sum();
+                prop_assert!((c[(i, j)] - expect).abs() < 1e-3,
+                    "({},{}) = {} expected {}", i, j, c[(i, j)], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_consistent((a, b) in matmul_pair(8)) {
+        // a: m×k, b: k×n. a·b == matmul_transpose_b(a, bᵀ) == matmul_transpose_a(aᵀ, b)
+        let direct = ops::matmul(&a, &b);
+        let via_tb = ops::matmul_transpose_b(&a, &b.transposed());
+        let via_ta = ops::matmul_transpose_a(&a.transposed(), &b);
+        prop_assert!(approx_eq(&direct, &via_tb, 1e-3));
+        prop_assert!(approx_eq(&direct, &via_ta, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_rows(mut m in small_matrix(10)) {
+        ops::softmax_rows(&mut m);
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
+        }
+    }
+
+    #[test]
+    fn log_softmax_exp_is_softmax(v in proptest::collection::vec(-20.0f32..20.0, 1..16)) {
+        let ls = ops::log_softmax(&v);
+        let mut sm = v.clone();
+        ops::softmax_inplace(&mut sm);
+        for (l, s) in ls.iter().zip(&sm) {
+            prop_assert!((l.exp() - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clip_l2_never_increases_norm(
+        mut v in proptest::collection::vec(-100.0f32..100.0, 1..32),
+        cap in 0.01f32..10.0,
+    ) {
+        let before: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        ops::clip_l2_norm(&mut v, cap);
+        let after: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(after <= cap * 1.001 || after <= before * 1.001);
+    }
+
+    #[test]
+    fn cosine_similarity_in_unit_interval(
+        a in proptest::collection::vec(-10.0f32..10.0, 4),
+        b in proptest::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let c = ops::cosine_similarity(&a, &b);
+        prop_assert!((-1.0001..=1.0001).contains(&c), "cosine {}", c);
+    }
+
+    #[test]
+    fn argmax_returns_maximal_element(v in proptest::collection::vec(-1e6f32..1e6, 1..64)) {
+        let i = ops::argmax(&v);
+        prop_assert!(v.iter().all(|&x| x <= v[i]));
+    }
+}

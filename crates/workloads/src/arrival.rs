@@ -1,0 +1,177 @@
+//! Task arrival processes with a 24-hour rate profile (Fig. 4).
+//!
+//! Arrivals follow a non-homogeneous Poisson process: inter-arrival gaps are
+//! exponential with the rate of the current hour-of-day, so datasets differ
+//! both in overall intensity and in diurnal shape (flat HPC queues vs.
+//! strongly diurnal interactive clouds).
+
+use rand::Rng;
+
+/// Minutes per simulated hour.
+pub const STEPS_PER_HOUR: u64 = 60;
+
+/// A 24-entry hourly arrival-rate profile, in tasks per hour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalProfile {
+    /// `rates[h]` = expected arrivals during hour-of-day `h`.
+    pub hourly_rates: [f64; 24],
+}
+
+impl ArrivalProfile {
+    /// Constant rate at all hours.
+    pub fn flat(rate_per_hour: f64) -> Self {
+        assert!(rate_per_hour > 0.0, "arrival rate must be positive");
+        Self { hourly_rates: [rate_per_hour; 24] }
+    }
+
+    /// Diurnal profile: sinusoid between `low` (at `trough_hour`) and `high`
+    /// (12h later), the classic interactive-cloud shape.
+    pub fn diurnal(low: f64, high: f64, trough_hour: usize) -> Self {
+        assert!(low > 0.0 && high >= low, "need 0 < low <= high");
+        let mut rates = [0.0; 24];
+        for (h, r) in rates.iter_mut().enumerate() {
+            let phase =
+                (h as f64 - trough_hour as f64) / 24.0 * std::f64::consts::TAU;
+            // cos = 1 at the trough hour.
+            *r = low + (high - low) * 0.5 * (1.0 - phase.cos());
+        }
+        Self { hourly_rates: rates }
+    }
+
+    /// Bursty profile: `base` rate with `burst` rate during the listed hours
+    /// (batch-submission spikes seen in the K8S / Alibaba traces).
+    pub fn bursty(base: f64, burst: f64, burst_hours: &[usize]) -> Self {
+        assert!(base > 0.0 && burst >= base, "need 0 < base <= burst");
+        let mut rates = [base; 24];
+        for &h in burst_hours {
+            rates[h % 24] = burst;
+        }
+        Self { hourly_rates: rates }
+    }
+
+    /// Rate (tasks/hour) in effect at absolute step `t`.
+    pub fn rate_at(&self, step: u64) -> f64 {
+        let hour = (step / STEPS_PER_HOUR) % 24;
+        self.hourly_rates[hour as usize]
+    }
+
+    /// Mean rate across the day.
+    pub fn mean_rate(&self) -> f64 {
+        self.hourly_rates.iter().sum::<f64>() / 24.0
+    }
+
+    /// Samples `n` arrival times (in steps, non-decreasing, starting near 0)
+    /// from the non-homogeneous Poisson process.
+    pub fn sample_arrivals(&self, n: usize, rng: &mut impl Rng) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0f64; // continuous time in steps
+        for _ in 0..n {
+            // Exponential gap at the rate of the current hour (piecewise-
+            // constant thinning approximation; fine at our granularity).
+            let rate_per_step = (self.rate_at(t as u64) / STEPS_PER_HOUR as f64).max(1e-9);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate_per_step;
+            out.push(t as u64);
+        }
+        out
+    }
+
+    /// Empirical hourly arrival counts of a set of arrival steps, for the
+    /// Fig. 4 reproduction. Index = hour-of-day, value = mean tasks/hour.
+    pub fn empirical_hourly_counts(arrivals: &[u64]) -> [f64; 24] {
+        let mut counts = [0.0f64; 24];
+        let mut hours_seen = [0.0f64; 24];
+        if arrivals.is_empty() {
+            return counts;
+        }
+        let total_hours = arrivals.last().unwrap() / STEPS_PER_HOUR + 1;
+        for h in 0..total_hours {
+            hours_seen[(h % 24) as usize] += 1.0;
+        }
+        for &a in arrivals {
+            counts[((a / STEPS_PER_HOUR) % 24) as usize] += 1.0;
+        }
+        for (c, seen) in counts.iter_mut().zip(&hours_seen) {
+            if *seen > 0.0 {
+                *c /= seen;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_profile_constant() {
+        let p = ArrivalProfile::flat(10.0);
+        assert_eq!(p.rate_at(0), 10.0);
+        assert_eq!(p.rate_at(23 * 60 + 59), 10.0);
+        assert_eq!(p.mean_rate(), 10.0);
+    }
+
+    #[test]
+    fn diurnal_profile_peaks_opposite_trough() {
+        let p = ArrivalProfile::diurnal(2.0, 20.0, 4);
+        assert!((p.hourly_rates[4] - 2.0).abs() < 1e-9);
+        assert!((p.hourly_rates[16] - 20.0).abs() < 1e-9);
+        assert!(p.hourly_rates.iter().all(|&r| (2.0 - 1e-9..=20.0 + 1e-9).contains(&r)));
+    }
+
+    #[test]
+    fn bursty_profile_spikes() {
+        let p = ArrivalProfile::bursty(1.0, 30.0, &[9, 14]);
+        assert_eq!(p.hourly_rates[9], 30.0);
+        assert_eq!(p.hourly_rates[14], 30.0);
+        assert_eq!(p.hourly_rates[0], 1.0);
+    }
+
+    #[test]
+    fn arrivals_sorted_and_sized() {
+        let p = ArrivalProfile::flat(60.0); // 1 task per step on average
+        let a = p.sample_arrivals(500, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a.len(), 500);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mean_interarrival_matches_rate() {
+        let p = ArrivalProfile::flat(30.0); // 0.5 tasks/step => mean gap 2 steps
+        let a = p.sample_arrivals(4000, &mut SmallRng::seed_from_u64(2));
+        let span = *a.last().unwrap() as f64;
+        let mean_gap = span / 4000.0;
+        assert!((mean_gap - 2.0).abs() < 0.2, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn diurnal_empirical_counts_track_profile() {
+        let p = ArrivalProfile::diurnal(5.0, 100.0, 0);
+        let a = p.sample_arrivals(20_000, &mut SmallRng::seed_from_u64(3));
+        let counts = ArrivalProfile::empirical_hourly_counts(&a);
+        // Peak hour (12) should see far more arrivals than trough hour (0).
+        assert!(
+            counts[12] > counts[0] * 3.0,
+            "peak {} trough {}",
+            counts[12],
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = ArrivalProfile::diurnal(2.0, 8.0, 6);
+        let a = p.sample_arrivals(50, &mut SmallRng::seed_from_u64(9));
+        let b = p.sample_arrivals(50, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalProfile::flat(0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The ten dataset presets (Sec. 3 of the paper).
+//!
+//! Each preset is a [`WorkloadModel`] whose parameters encode the
+//! qualitative fingerprint of the corresponding real trace:
+//!
+//! * **Google 2011** — huge volume of small short tasks, strongly diurnal;
+//! * **Alibaba 2017/2018** — mixed batch+service, larger containers, bursty
+//!   submission waves in 2018;
+//! * **HPC-KS/HF/WZ** — few large long jobs, nearly flat submission rate;
+//! * **KVM-2019/2020 (Chameleon)** — small VM-shaped requests that live for
+//!   hours (educational projects);
+//! * **CERIT-SC** — mixed scientific workload with a long-job tail;
+//! * **K8S** — container-native: tiny, short, very bursty.
+//!
+//! The absolute values are synthetic (see DESIGN.md, Substitutions); the
+//! *relative* heterogeneity across datasets is the property the PFRL-DM
+//! experiments depend on, and is preserved by construction.
+
+use crate::arrival::ArrivalProfile;
+use crate::duration::DurationModel;
+use crate::model::WorkloadModel;
+use crate::resources::{class, ResourceModel};
+
+/// Identifier of one of the paper's ten workload datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    /// Google 2011 cluster trace.
+    Google,
+    /// Alibaba cluster trace, 2017 release.
+    Alibaba2017,
+    /// Alibaba cluster trace, 2018 release.
+    Alibaba2018,
+    /// HPC cloud service center "KS".
+    HpcKs,
+    /// HPC cloud service center "HF".
+    HpcHf,
+    /// HPC cloud service center "WZ".
+    HpcWz,
+    /// Chameleon OpenStack KVM trace, 2019.
+    Kvm2019,
+    /// Chameleon OpenStack KVM trace, 2020.
+    Kvm2020,
+    /// CERIT Scientific Cloud trace.
+    CeritSc,
+    /// CERIT Kubernetes trace.
+    K8s,
+}
+
+impl DatasetId {
+    /// All ten datasets in the paper's Table 3 client order.
+    pub const ALL: [DatasetId; 10] = [
+        DatasetId::Google,
+        DatasetId::Alibaba2017,
+        DatasetId::Alibaba2018,
+        DatasetId::HpcKs,
+        DatasetId::HpcHf,
+        DatasetId::HpcWz,
+        DatasetId::Kvm2019,
+        DatasetId::Kvm2020,
+        DatasetId::CeritSc,
+        DatasetId::K8s,
+    ];
+
+    /// The dataset's display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Google => "Google",
+            DatasetId::Alibaba2017 => "Alibaba-2017",
+            DatasetId::Alibaba2018 => "Alibaba-2018",
+            DatasetId::HpcKs => "HPC-KS",
+            DatasetId::HpcHf => "HPC-HF",
+            DatasetId::HpcWz => "HPC-WZ",
+            DatasetId::Kvm2019 => "KVM-2019",
+            DatasetId::Kvm2020 => "KVM-2020",
+            DatasetId::CeritSc => "CERIT-SC",
+            DatasetId::K8s => "K8S",
+        }
+    }
+
+    /// The generative model for this dataset.
+    pub fn model(self) -> WorkloadModel {
+        match self {
+            DatasetId::Google => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::diurnal(20.0, 80.0, 4),
+                resources: ResourceModel::new(vec![
+                    class(1, 0.5, 2.0, 0.45),
+                    class(2, 1.0, 4.0, 0.30),
+                    class(4, 2.0, 8.0, 0.20),
+                    class(8, 4.0, 16.0, 0.05),
+                ]),
+                duration: DurationModel::lognormal((8.0f64).ln(), 1.2, 1, 480),
+            },
+            DatasetId::Alibaba2017 => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::diurnal(15.0, 60.0, 3),
+                resources: ResourceModel::new(vec![
+                    class(1, 1.0, 4.0, 0.30),
+                    class(2, 2.0, 8.0, 0.30),
+                    class(4, 4.0, 16.0, 0.25),
+                    class(8, 8.0, 32.0, 0.15),
+                ]),
+                duration: DurationModel::lognormal((15.0f64).ln(), 1.0, 1, 720),
+            },
+            DatasetId::Alibaba2018 => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::bursty(12.0, 50.0, &[1, 9, 13, 21]),
+                resources: ResourceModel::new(vec![
+                    class(2, 2.0, 8.0, 0.30),
+                    class(4, 4.0, 16.0, 0.30),
+                    class(8, 8.0, 32.0, 0.25),
+                    class(16, 16.0, 64.0, 0.15),
+                ]),
+                duration: DurationModel::mixture(
+                    DurationModel::lognormal((10.0f64).ln(), 0.8, 1, 240),
+                    DurationModel::lognormal((120.0f64).ln(), 0.7, 30, 1440),
+                    0.25,
+                ),
+            },
+            DatasetId::HpcKs => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::flat(6.0),
+                resources: ResourceModel::new(vec![
+                    class(8, 16.0, 64.0, 0.40),
+                    class(16, 32.0, 128.0, 0.30),
+                    class(32, 64.0, 160.0, 0.30),
+                ]),
+                duration: DurationModel::lognormal((120.0f64).ln(), 0.9, 10, 1440),
+            },
+            DatasetId::HpcHf => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::flat(8.0),
+                resources: ResourceModel::new(vec![
+                    class(4, 8.0, 32.0, 0.30),
+                    class(8, 32.0, 96.0, 0.40),
+                    class(16, 64.0, 117.0, 0.30),
+                ]),
+                duration: DurationModel::lognormal((90.0f64).ln(), 1.0, 5, 1440),
+            },
+            DatasetId::HpcWz => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::flat(5.0),
+                resources: ResourceModel::new(vec![
+                    class(8, 32.0, 96.0, 0.30),
+                    class(16, 64.0, 160.0, 0.40),
+                    class(32, 96.0, 232.0, 0.30),
+                ]),
+                duration: DurationModel::mixture(
+                    DurationModel::lognormal((45.0f64).ln(), 0.8, 5, 480),
+                    DurationModel::lognormal((400.0f64).ln(), 0.6, 60, 2880),
+                    0.30,
+                ),
+            },
+            DatasetId::Kvm2019 => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::diurnal(3.0, 12.0, 5),
+                resources: ResourceModel::new(vec![
+                    class(1, 1.0, 4.0, 0.40),
+                    class(2, 2.0, 8.0, 0.35),
+                    class(4, 4.0, 16.0, 0.25),
+                ]),
+                duration: DurationModel::lognormal((180.0f64).ln(), 1.1, 10, 2880),
+            },
+            DatasetId::Kvm2020 => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::diurnal(4.0, 14.0, 5),
+                resources: ResourceModel::new(vec![
+                    class(1, 1.0, 4.0, 0.30),
+                    class(2, 2.0, 8.0, 0.30),
+                    class(4, 4.0, 16.0, 0.30),
+                    class(8, 8.0, 32.0, 0.10),
+                ]),
+                duration: DurationModel::lognormal((150.0f64).ln(), 1.2, 10, 2880),
+            },
+            DatasetId::CeritSc => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::bursty(10.0, 35.0, &[8, 20]),
+                resources: ResourceModel::new(vec![
+                    class(1, 2.0, 8.0, 0.35),
+                    class(2, 4.0, 16.0, 0.25),
+                    class(8, 16.0, 64.0, 0.25),
+                    class(16, 32.0, 117.0, 0.15),
+                ]),
+                duration: DurationModel::mixture(
+                    DurationModel::lognormal((20.0f64).ln(), 0.9, 1, 360),
+                    DurationModel::lognormal((300.0f64).ln(), 0.7, 60, 2880),
+                    0.20,
+                ),
+            },
+            DatasetId::K8s => WorkloadModel {
+                name: self.name(),
+                arrival: ArrivalProfile::bursty(25.0, 90.0, &[9, 10, 14, 15]),
+                resources: ResourceModel::new(vec![
+                    class(1, 0.25, 2.0, 0.60),
+                    class(2, 1.0, 4.0, 0.30),
+                    class(4, 2.0, 8.0, 0.10),
+                ]),
+                duration: DurationModel::lognormal((5.0f64).ln(), 1.0, 1, 240),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfrl_stats::descriptive::mean;
+
+    #[test]
+    fn all_models_produce_valid_tasks() {
+        for id in DatasetId::ALL {
+            let tasks = id.model().sample(300, 7);
+            assert_eq!(tasks.len(), 300, "{id}");
+            assert!(tasks.iter().all(|t| t.is_valid()), "{id}");
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = DatasetId::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    /// The heterogeneity property the paper's experiments depend on:
+    /// datasets differ markedly in mean demand and mean duration.
+    #[test]
+    fn datasets_are_mutually_heterogeneous() {
+        let stats: Vec<(f64, f64)> = DatasetId::ALL
+            .iter()
+            .map(|id| {
+                let tasks = id.model().sample(2000, 11);
+                let cpu = mean(&tasks.iter().map(|t| t.vcpus as f64).collect::<Vec<_>>());
+                let dur = mean(&tasks.iter().map(|t| t.duration as f64).collect::<Vec<_>>());
+                (cpu, dur)
+            })
+            .collect();
+        // K8S has the smallest mean CPU demand; HPC-WZ the largest.
+        let k8s = stats[9].0;
+        let hpcwz = stats[5].0;
+        assert!(hpcwz > 5.0 * k8s, "HPC-WZ {hpcwz} vs K8S {k8s}");
+        // Google tasks are much shorter than KVM VMs.
+        let google_dur = stats[0].1;
+        let kvm_dur = stats[6].1;
+        assert!(kvm_dur > 3.0 * google_dur, "KVM {kvm_dur} vs Google {google_dur}");
+    }
+
+    #[test]
+    fn hpc_arrivals_flat_k8s_bursty() {
+        let hpc = DatasetId::HpcKs.model().arrival;
+        let spread = hpc
+            .hourly_rates
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - hpc.hourly_rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(spread, 0.0);
+        let k8s = DatasetId::K8s.model().arrival;
+        assert!(k8s.hourly_rates[9] > 3.0 * k8s.hourly_rates[0]);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DatasetId::Alibaba2017.to_string(), "Alibaba-2017");
+    }
+}

@@ -1,0 +1,156 @@
+//! Task execution-time models (Fig. 5).
+//!
+//! Real cloud execution times are heavy-tailed; the standard parametric fit
+//! is a lognormal, optionally mixed with a second lognormal for the
+//! long-job mode that HPC and VM traces exhibit.
+
+use rand::Rng;
+
+/// Execution-time distribution, in simulation steps (minutes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurationModel {
+    /// `exp(N(mu, sigma²))`, clamped to `[min_steps, max_steps]`.
+    LogNormal {
+        /// Mean of the underlying normal (of ln minutes).
+        mu: f64,
+        /// Std-dev of the underlying normal.
+        sigma: f64,
+        /// Lower clamp in steps.
+        min_steps: u64,
+        /// Upper clamp in steps.
+        max_steps: u64,
+    },
+    /// Two-mode mixture: with probability `p_long` draw from `long`,
+    /// otherwise from `short`.
+    Mixture {
+        /// Short-job component.
+        short: Box<DurationModel>,
+        /// Long-job component.
+        long: Box<DurationModel>,
+        /// Probability of the long component.
+        p_long: f64,
+    },
+}
+
+impl DurationModel {
+    /// Convenience constructor for the common lognormal case.
+    pub fn lognormal(mu: f64, sigma: f64, min_steps: u64, max_steps: u64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(min_steps >= 1 && min_steps <= max_steps, "bad clamp range");
+        DurationModel::LogNormal { mu, sigma, min_steps, max_steps }
+    }
+
+    /// Two-component mixture.
+    pub fn mixture(short: DurationModel, long: DurationModel, p_long: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_long), "p_long out of [0,1]");
+        DurationModel::Mixture { short: Box::new(short), long: Box::new(long), p_long }
+    }
+
+    /// Draws one duration in steps (always ≥ 1).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        match self {
+            DurationModel::LogNormal { mu, sigma, min_steps, max_steps } => {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z =
+                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let val = (mu + sigma * z).exp();
+                (val.round() as u64).clamp(*min_steps, *max_steps)
+            }
+            DurationModel::Mixture { short, long, p_long } => {
+                if rng.gen_range(0.0..1.0) < *p_long {
+                    long.sample(rng)
+                } else {
+                    short.sample(rng)
+                }
+            }
+        }
+    }
+
+    /// Median duration in steps (exact for lognormal, mixture via component
+    /// medians weighted — an approximation used only for diagnostics).
+    pub fn approx_median(&self) -> f64 {
+        match self {
+            DurationModel::LogNormal { mu, min_steps, max_steps, .. } => {
+                mu.exp().clamp(*min_steps as f64, *max_steps as f64)
+            }
+            DurationModel::Mixture { short, long, p_long } => {
+                short.approx_median() * (1.0 - p_long) + long.approx_median() * p_long
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_within_clamp() {
+        let d = DurationModel::lognormal(2.0, 1.5, 1, 100);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((1..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_close_to_exp_mu() {
+        // median of exp(N(mu, sigma²)) = exp(mu)
+        let d = DurationModel::lognormal(3.0, 0.8, 1, 100_000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        let expect = 3.0f64.exp();
+        assert!(
+            (median - expect).abs() / expect < 0.1,
+            "median {median} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let d = DurationModel::lognormal(2.0, 0.0, 1, 1000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let expect = 2.0f64.exp().round() as u64;
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), expect);
+        }
+    }
+
+    #[test]
+    fn mixture_produces_both_modes() {
+        let d = DurationModel::mixture(
+            DurationModel::lognormal(1.0, 0.1, 1, 10),
+            DurationModel::lognormal(6.0, 0.1, 100, 10_000),
+            0.3,
+        );
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let short = samples.iter().filter(|&&v| v <= 10).count();
+        let long = samples.iter().filter(|&&v| v >= 100).count();
+        assert_eq!(short + long, 2000, "no mid-range values with these components");
+        let p_long = long as f64 / 2000.0;
+        assert!((p_long - 0.3).abs() < 0.05, "p_long {p_long}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_long")]
+    fn bad_mixture_probability() {
+        let _ = DurationModel::mixture(
+            DurationModel::lognormal(1.0, 0.1, 1, 10),
+            DurationModel::lognormal(1.0, 0.1, 1, 10),
+            1.5,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp")]
+    fn bad_clamp_range() {
+        let _ = DurationModel::lognormal(1.0, 0.1, 10, 5);
+    }
+}

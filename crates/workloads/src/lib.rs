@@ -1,0 +1,49 @@
+//! Synthetic heterogeneous cloud workload generators modeled on the ten
+//! real traces used by the PFRL-DM paper (Sec. 3, Table 1–3).
+//!
+//! The paper treats each trace "as a distribution" and samples 3500 tasks per
+//! client; privacy/licensing puts the raw traces out of reach for this
+//! reproduction, so each [`DatasetId`] carries a parametric generative model
+//! ([`WorkloadModel`]) whose arrival-rate profile, CPU/memory request
+//! distributions, and execution-time distribution are chosen to match the
+//! qualitative shapes the paper reports in Figs. 2–5 — and, crucially, to be
+//! *mutually heterogeneous* across datasets, which is the property all of
+//! the paper's experiments exercise.
+//!
+//! Time unit convention: **1 simulation time step = 1 minute**. Durations
+//! and inter-arrival gaps are expressed in steps.
+//!
+//! # Example
+//!
+//! ```
+//! use pfrl_workloads::{DatasetId, WorkloadModel};
+//!
+//! let model = DatasetId::Google.model();
+//! let tasks = model.sample(100, 42);
+//! assert_eq!(tasks.len(), 100);
+//! // Arrivals are sorted and demands positive.
+//! assert!(tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! assert!(tasks.iter().all(|t| t.vcpus >= 1 && t.mem_gb > 0.0));
+//! ```
+
+pub mod arrival;
+pub mod dataset;
+pub mod duration;
+pub mod machines;
+pub mod mix;
+pub mod model;
+pub mod resources;
+pub mod split;
+pub mod task;
+pub mod workflow;
+
+pub use arrival::ArrivalProfile;
+pub use dataset::DatasetId;
+pub use duration::DurationModel;
+pub use machines::{machine_table, MachineRow};
+pub use mix::hybrid_test_set;
+pub use model::WorkloadModel;
+pub use resources::ResourceModel;
+pub use split::{combined_heterogeneous, train_test_split, Split};
+pub use task::TaskSpec;
+pub use workflow::{DagTask, Workflow, WorkflowModel};

@@ -1,0 +1,144 @@
+//! Machine specifications of the source clusters (the paper's Table 1).
+//!
+//! These rows are descriptive metadata used by the Table 1 reproduction and
+//! as the reference points from which the client VM presets (Tables 2–3)
+//! were drawn; the simulator itself takes explicit VM lists.
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineRow {
+    /// Source trace the machines belong to.
+    pub source: &'static str,
+    /// CPUs per node, `(min, max)`.
+    pub cpus: (u32, u32),
+    /// Memory per node in GiB, `(min, max)`.
+    pub mem_gib: (u32, u32),
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Platform annotation from the paper (empty when unlisted).
+    pub platform: &'static str,
+}
+
+/// The fifteen machine-specification rows of Table 1.
+pub fn machine_table() -> Vec<MachineRow> {
+    vec![
+        MachineRow { source: "Google", cpus: (20, 24), mem_gib: (7, 62), nodes: 6, platform: "" },
+        MachineRow {
+            source: "Alibaba-2017",
+            cpus: (48, 48),
+            mem_gib: (94, 127),
+            nodes: 1551,
+            platform: "OpenStack",
+        },
+        MachineRow {
+            source: "Alibaba-2018",
+            cpus: (40, 40),
+            mem_gib: (62, 63),
+            nodes: 101,
+            platform: "",
+        },
+        MachineRow {
+            source: "K8S",
+            cpus: (128, 128),
+            mem_gib: (512, 512),
+            nodes: 20,
+            platform: "Kubernetes",
+        },
+        MachineRow { source: "KVM-2019", cpus: (8, 8), mem_gib: (64, 64), nodes: 18, platform: "" },
+        MachineRow {
+            source: "CERIT-SC",
+            cpus: (8, 8),
+            mem_gib: (117, 117),
+            nodes: 33,
+            platform: "Grid-workers",
+        },
+        MachineRow {
+            source: "CERIT-SC",
+            cpus: (16, 16),
+            mem_gib: (117, 117),
+            nodes: 113,
+            platform: "Grid-workers",
+        },
+        MachineRow {
+            source: "CERIT-SC",
+            cpus: (40, 40),
+            mem_gib: (232, 488),
+            nodes: 36,
+            platform: "Grid-workers",
+        },
+        MachineRow {
+            source: "CERIT-SC",
+            cpus: (40, 40),
+            mem_gib: (944, 990),
+            nodes: 28,
+            platform: "Grid-workers",
+        },
+        MachineRow {
+            source: "Alibaba PAI",
+            cpus: (64, 64),
+            mem_gib: (512, 512),
+            nodes: 798,
+            platform: "Alibaba PAI",
+        },
+        MachineRow {
+            source: "Alibaba PAI",
+            cpus: (96, 96),
+            mem_gib: (512, 512),
+            nodes: 497,
+            platform: "Alibaba PAI",
+        },
+        MachineRow {
+            source: "Alibaba PAI",
+            cpus: (96, 96),
+            mem_gib: (512, 512),
+            nodes: 280,
+            platform: "Alibaba PAI",
+        },
+        MachineRow {
+            source: "Alibaba PAI",
+            cpus: (96, 96),
+            mem_gib: (384, 384),
+            nodes: 135,
+            platform: "Alibaba PAI",
+        },
+        MachineRow {
+            source: "Alibaba PAI",
+            cpus: (96, 96),
+            mem_gib: (384, 512),
+            nodes: 104,
+            platform: "Alibaba PAI",
+        },
+        MachineRow {
+            source: "Alibaba PAI",
+            cpus: (96, 96),
+            mem_gib: (512, 512),
+            nodes: 83,
+            platform: "Alibaba PAI",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_rows_as_in_paper() {
+        assert_eq!(machine_table().len(), 15);
+    }
+
+    #[test]
+    fn rows_well_formed() {
+        for r in machine_table() {
+            assert!(r.cpus.0 >= 1 && r.cpus.0 <= r.cpus.1, "{r:?}");
+            assert!(r.mem_gib.0 >= 1 && r.mem_gib.0 <= r.mem_gib.1, "{r:?}");
+            assert!(r.nodes >= 1, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn node_counts_match_paper_totals() {
+        let total: u32 = machine_table().iter().map(|r| r.nodes).sum();
+        assert_eq!(total, 6 + 1551 + 101 + 20 + 18 + 33 + 113 + 36 + 28 + 798 + 497 + 280 + 135 + 104 + 83);
+    }
+}

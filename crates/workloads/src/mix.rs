@@ -1,0 +1,133 @@
+//! Hybrid workload test sets (Sec. 5.3 generalization study).
+//!
+//! "20% of the original dataset is retained, while the remaining portion is
+//! randomly drawn from the datasets of the other 9 clients."
+
+use crate::TaskSpec;
+use pfrl_stats::seeding::derive_seed;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Builds client `own_index`'s hybrid test set: `own_frac` of its own test
+/// tasks plus `(1 - own_frac)` drawn uniformly from the other clients'
+/// test sets. The result has the same size as `sets[own_index]` and is
+/// arrival-sorted with renumbered ids.
+///
+/// # Panics
+/// If `own_index` is out of bounds, `own_frac` outside `[0, 1]`, or fewer
+/// than two clients are supplied.
+pub fn hybrid_test_set(
+    sets: &[Vec<TaskSpec>],
+    own_index: usize,
+    own_frac: f64,
+    seed: u64,
+) -> Vec<TaskSpec> {
+    assert!(sets.len() >= 2, "hybrid_test_set needs >= 2 clients");
+    assert!(own_index < sets.len(), "own_index out of bounds");
+    assert!((0.0..=1.0).contains(&own_frac), "own_frac out of [0,1]");
+    let own = &sets[own_index];
+    let n = own.len();
+    let n_own = ((n as f64) * own_frac).round() as usize;
+
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, own_index as u64));
+    let mut out: Vec<TaskSpec> = Vec::with_capacity(n);
+
+    // Retain a random own subset.
+    let mut own_idx: Vec<usize> = (0..n).collect();
+    own_idx.shuffle(&mut rng);
+    out.extend(own_idx.into_iter().take(n_own).map(|i| own[i]));
+
+    // Fill the rest from the other clients, uniformly at random.
+    let others: Vec<usize> =
+        (0..sets.len()).filter(|&k| k != own_index && !sets[k].is_empty()).collect();
+    assert!(!others.is_empty(), "all other clients are empty");
+    while out.len() < n {
+        let k = others[rng.gen_range(0..others.len())];
+        let t = sets[k][rng.gen_range(0..sets[k].len())];
+        out.push(t);
+    }
+
+    // Re-normalize arrivals/ids as a coherent trace.
+    out.sort_by_key(|t| t.arrival);
+    let base = out.first().map_or(0, |t| t.arrival);
+    for (i, t) in out.iter_mut().enumerate() {
+        t.id = i as u64;
+        t.arrival -= base;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n: usize, cpu: u32) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec {
+                id: i as u64,
+                arrival: i as u64,
+                vcpus: cpu,
+                mem_gb: 1.0,
+                duration: 3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn size_preserved_and_mix_ratio_respected() {
+        // Own client uses cpu=1; others cpu=2..=4, so provenance is visible.
+        let sets = vec![mk(100, 1), mk(100, 2), mk(100, 3), mk(100, 4)];
+        let hybrid = hybrid_test_set(&sets, 0, 0.2, 42);
+        assert_eq!(hybrid.len(), 100);
+        let own_count = hybrid.iter().filter(|t| t.vcpus == 1).count();
+        assert_eq!(own_count, 20);
+    }
+
+    #[test]
+    fn foreign_tasks_drawn_from_all_others() {
+        let sets = vec![mk(200, 1), mk(200, 2), mk(200, 3), mk(200, 4)];
+        let hybrid = hybrid_test_set(&sets, 0, 0.2, 1);
+        for cpu in [2, 3, 4] {
+            assert!(
+                hybrid.iter().any(|t| t.vcpus == cpu),
+                "no tasks from client with cpu={cpu}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_normalized_trace() {
+        let sets = vec![mk(50, 1), mk(50, 2)];
+        let hybrid = hybrid_test_set(&sets, 1, 0.2, 5);
+        assert_eq!(hybrid[0].arrival, 0);
+        assert!(hybrid.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (i, t) in hybrid.iter().enumerate() {
+            assert_eq!(t.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_client_dependent() {
+        let sets = vec![mk(60, 1), mk(60, 2), mk(60, 3)];
+        let a = hybrid_test_set(&sets, 0, 0.2, 9);
+        let b = hybrid_test_set(&sets, 0, 0.2, 9);
+        assert_eq!(a, b);
+        let c = hybrid_test_set(&sets, 1, 0.2, 9);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn own_frac_one_keeps_everything_own() {
+        let sets = vec![mk(30, 1), mk(30, 2)];
+        let hybrid = hybrid_test_set(&sets, 0, 1.0, 3);
+        assert!(hybrid.iter().all(|t| t.vcpus == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 clients")]
+    fn single_client_rejected() {
+        let _ = hybrid_test_set(&[mk(10, 1)], 0, 0.2, 0);
+    }
+}

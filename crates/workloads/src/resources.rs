@@ -1,0 +1,166 @@
+//! Per-task resource request models (Figs. 2–3).
+//!
+//! CPU requests in real traces concentrate on a handful of discrete values
+//! (1, 2, 4, 8, … vCPUs) with dataset-specific weights; memory requests are
+//! drawn per CPU class with jitter, which reproduces the CPU/memory
+//! correlation visible in the paper's distribution plots.
+
+use rand::Rng;
+
+/// A discrete CPU class with an associated memory range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceClass {
+    /// vCPUs requested.
+    pub vcpus: u32,
+    /// Memory range in GiB (uniform within).
+    pub mem_gb: (f32, f32),
+    /// Relative sampling weight.
+    pub weight: f64,
+}
+
+/// The resource request distribution of one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceModel {
+    classes: Vec<ResourceClass>,
+    total_weight: f64,
+}
+
+impl ResourceModel {
+    /// Builds a model from non-empty classes with positive weights.
+    ///
+    /// # Panics
+    /// If `classes` is empty or any class is malformed.
+    pub fn new(classes: Vec<ResourceClass>) -> Self {
+        assert!(!classes.is_empty(), "ResourceModel: no classes");
+        for (i, c) in classes.iter().enumerate() {
+            assert!(c.vcpus >= 1, "class {i}: zero vcpus");
+            assert!(
+                c.mem_gb.0 > 0.0 && c.mem_gb.0 <= c.mem_gb.1,
+                "class {i}: bad memory range"
+            );
+            assert!(c.weight > 0.0, "class {i}: non-positive weight");
+        }
+        let total_weight = classes.iter().map(|c| c.weight).sum();
+        Self { classes, total_weight }
+    }
+
+    /// Draws one `(vcpus, mem_gb)` request.
+    pub fn sample(&self, rng: &mut impl Rng) -> (u32, f32) {
+        let mut pick = rng.gen_range(0.0..self.total_weight);
+        let mut chosen = &self.classes[self.classes.len() - 1];
+        for c in &self.classes {
+            if pick < c.weight {
+                chosen = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let mem = if chosen.mem_gb.0 == chosen.mem_gb.1 {
+            chosen.mem_gb.0
+        } else {
+            rng.gen_range(chosen.mem_gb.0..chosen.mem_gb.1)
+        };
+        (chosen.vcpus, mem)
+    }
+
+    /// The configured classes.
+    pub fn classes(&self) -> &[ResourceClass] {
+        &self.classes
+    }
+
+    /// Expected vCPU request.
+    pub fn mean_vcpus(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.vcpus as f64 * c.weight)
+            .sum::<f64>()
+            / self.total_weight
+    }
+
+    /// Largest possible vCPU request.
+    pub fn max_vcpus(&self) -> u32 {
+        self.classes.iter().map(|c| c.vcpus).max().expect("non-empty")
+    }
+
+    /// Largest possible memory request.
+    pub fn max_mem_gb(&self) -> f32 {
+        self.classes.iter().map(|c| c.mem_gb.1).fold(0.0, f32::max)
+    }
+}
+
+/// Shorthand used by the dataset presets.
+pub fn class(vcpus: u32, mem_lo: f32, mem_hi: f32, weight: f64) -> ResourceClass {
+    ResourceClass { vcpus, mem_gb: (mem_lo, mem_hi), weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model() -> ResourceModel {
+        ResourceModel::new(vec![
+            class(1, 0.5, 2.0, 0.6),
+            class(2, 2.0, 4.0, 0.3),
+            class(8, 16.0, 32.0, 0.1),
+        ])
+    }
+
+    #[test]
+    fn samples_only_configured_classes() {
+        let m = model();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let (cpu, mem) = m.sample(&mut rng);
+            match cpu {
+                1 => assert!((0.5..=2.0).contains(&mem)),
+                2 => assert!((2.0..=4.0).contains(&mem)),
+                8 => assert!((16.0..=32.0).contains(&mem)),
+                other => panic!("unexpected cpu class {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn weights_respected_in_frequency() {
+        let m = model();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut count1 = 0;
+        for _ in 0..n {
+            if m.sample(&mut rng).0 == 1 {
+                count1 += 1;
+            }
+        }
+        let frac = count1 as f64 / n as f64;
+        assert!((frac - 0.6).abs() < 0.02, "class-1 fraction {frac}");
+    }
+
+    #[test]
+    fn mean_and_max_accessors() {
+        let m = model();
+        assert!((m.mean_vcpus() - (0.6 + 0.6 + 0.8)).abs() < 1e-12);
+        assert_eq!(m.max_vcpus(), 8);
+        assert_eq!(m.max_mem_gb(), 32.0);
+    }
+
+    #[test]
+    fn fixed_memory_class_allowed() {
+        let m = ResourceModel::new(vec![class(4, 8.0, 8.0, 1.0)]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(m.sample(&mut rng), (4, 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no classes")]
+    fn empty_rejected() {
+        let _ = ResourceModel::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad memory range")]
+    fn inverted_memory_rejected() {
+        let _ = ResourceModel::new(vec![class(1, 4.0, 2.0, 1.0)]);
+    }
+}

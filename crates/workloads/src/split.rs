@@ -1,0 +1,150 @@
+//! Train/test splits and the combined heterogeneous dataset (Sec. 3.1).
+
+use crate::TaskSpec;
+use pfrl_stats::seeding::derive_seed;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test partition of a task set.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training tasks (arrival-sorted, ids renumbered).
+    pub train: Vec<TaskSpec>,
+    /// Testing tasks (arrival-sorted, ids renumbered).
+    pub test: Vec<TaskSpec>,
+}
+
+/// Renumbers ids and rebases arrivals to start at 0, preserving gaps.
+fn normalize(mut tasks: Vec<TaskSpec>) -> Vec<TaskSpec> {
+    tasks.sort_by_key(|t| t.arrival);
+    let base = tasks.first().map_or(0, |t| t.arrival);
+    for (i, t) in tasks.iter_mut().enumerate() {
+        t.id = i as u64;
+        t.arrival -= base;
+    }
+    tasks
+}
+
+/// Randomly splits `tasks` into `train_frac` training / rest testing
+/// (the paper uses 60/40). Sampling is without replacement and
+/// deterministic in `seed`.
+///
+/// # Panics
+/// If `train_frac` is outside `(0, 1)`.
+pub fn train_test_split(tasks: &[TaskSpec], train_frac: f64, seed: u64) -> Split {
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train_frac {train_frac} must be in (0,1)"
+    );
+    let mut idx: Vec<usize> = (0..tasks.len()).collect();
+    idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let n_train = ((tasks.len() as f64) * train_frac).round() as usize;
+    let (train_idx, test_idx) = idx.split_at(n_train.min(tasks.len()));
+    Split {
+        train: normalize(train_idx.iter().map(|&i| tasks[i]).collect()),
+        test: normalize(test_idx.iter().map(|&i| tasks[i]).collect()),
+    }
+}
+
+/// Builds the combined heterogeneous dataset of Sec. 3.1: an equal-size
+/// subsample from each client's task set, merged and re-normalized. The
+/// result has `per_client × sets.len()` tasks (or fewer if a client has
+/// fewer tasks).
+pub fn combined_heterogeneous(sets: &[Vec<TaskSpec>], per_client: usize, seed: u64) -> Vec<TaskSpec> {
+    let mut all = Vec::new();
+    for (k, set) in sets.iter().enumerate() {
+        let mut idx: Vec<usize> = (0..set.len()).collect();
+        idx.shuffle(&mut SmallRng::seed_from_u64(derive_seed(seed, k as u64)));
+        for &i in idx.iter().take(per_client) {
+            all.push(set[i]);
+        }
+    }
+    normalize(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_tasks(n: usize, stride: u64) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec {
+                id: i as u64,
+                arrival: i as u64 * stride,
+                vcpus: 1 + (i % 4) as u32,
+                mem_gb: 1.0 + i as f32,
+                duration: 5,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sixty_forty_split_sizes() {
+        let tasks = mk_tasks(100, 3);
+        let s = train_test_split(&tasks, 0.6, 1);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.test.len(), 40);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let tasks = mk_tasks(50, 2);
+        let s = train_test_split(&tasks, 0.6, 2);
+        // mem_gb values are unique per task in mk_tasks, so use them as keys.
+        let mut seen: Vec<i64> = s
+            .train
+            .iter()
+            .chain(&s.test)
+            .map(|t| t.mem_gb as i64)
+            .collect();
+        seen.sort_unstable();
+        let expect: Vec<i64> = (0..50).map(|i| (1 + i) as i64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn normalization_rebases_and_renumbers() {
+        let tasks = mk_tasks(10, 7);
+        let s = train_test_split(&tasks, 0.5, 3);
+        for part in [&s.train, &s.test] {
+            assert_eq!(part[0].arrival, 0);
+            for (i, t) in part.iter().enumerate() {
+                assert_eq!(t.id, i as u64);
+            }
+            assert!(part.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        }
+    }
+
+    #[test]
+    fn deterministic_split() {
+        let tasks = mk_tasks(30, 1);
+        let a = train_test_split(&tasks, 0.6, 9);
+        let b = train_test_split(&tasks, 0.6, 9);
+        assert_eq!(a.train, b.train);
+        let c = train_test_split(&tasks, 0.6, 10);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn combined_takes_equally_from_each() {
+        let sets = vec![mk_tasks(40, 1), mk_tasks(40, 5), mk_tasks(40, 9)];
+        let comb = combined_heterogeneous(&sets, 10, 4);
+        assert_eq!(comb.len(), 30);
+        assert_eq!(comb[0].arrival, 0);
+        assert!(comb.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn combined_handles_short_clients() {
+        let sets = vec![mk_tasks(3, 1), mk_tasks(40, 2)];
+        let comb = combined_heterogeneous(&sets, 10, 4);
+        assert_eq!(comb.len(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn bad_fraction_rejected() {
+        let _ = train_test_split(&mk_tasks(10, 1), 1.0, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! The task record produced by every workload generator.
+
+/// One schedulable task, as known to the scheduler upon arrival.
+///
+/// Per the paper (Sec. 4.1), resource demands are known on arrival; the
+/// duration is *not* exposed to the agent (the simulator uses it to advance
+/// vCPU progress, which the agent observes instead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Monotonically increasing id within a sampled task set.
+    pub id: u64,
+    /// Arrival time in simulation steps (minutes).
+    pub arrival: u64,
+    /// Requested vCPUs (`j_i^1` in Eq. 1 terms).
+    pub vcpus: u32,
+    /// Requested memory in GiB (`j_i^2`).
+    pub mem_gb: f32,
+    /// Execution time in steps once placed (hidden from the agent).
+    pub duration: u64,
+}
+
+impl TaskSpec {
+    /// Validates the internal invariants every generator must uphold.
+    pub fn is_valid(&self) -> bool {
+        self.vcpus >= 1 && self.mem_gb > 0.0 && self.duration >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_checks() {
+        let good = TaskSpec { id: 0, arrival: 0, vcpus: 2, mem_gb: 4.0, duration: 10 };
+        assert!(good.is_valid());
+        assert!(!TaskSpec { vcpus: 0, ..good }.is_valid());
+        assert!(!TaskSpec { mem_gb: 0.0, ..good }.is_valid());
+        assert!(!TaskSpec { duration: 0, ..good }.is_valid());
+    }
+}

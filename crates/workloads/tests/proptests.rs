@@ -1,0 +1,71 @@
+//! Property-based tests of the workload generators and set operations.
+
+use pfrl_workloads::{
+    combined_heterogeneous, hybrid_test_set, train_test_split, DatasetId, TaskSpec,
+};
+use proptest::prelude::*;
+
+fn any_dataset() -> impl Strategy<Value = DatasetId> {
+    (0usize..10).prop_map(|i| DatasetId::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generator produces exactly `n` valid, arrival-sorted tasks.
+    #[test]
+    fn samples_valid_and_sorted(id in any_dataset(), n in 1usize..200, seed in 0u64..1000) {
+        let tasks = id.model().sample(n, seed);
+        prop_assert_eq!(tasks.len(), n);
+        prop_assert!(tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (i, t) in tasks.iter().enumerate() {
+            prop_assert!(t.is_valid());
+            prop_assert_eq!(t.id, i as u64);
+        }
+    }
+
+    /// Sampling is a pure function of (model, n, seed).
+    #[test]
+    fn sampling_deterministic(id in any_dataset(), n in 1usize..60, seed in 0u64..1000) {
+        prop_assert_eq!(id.model().sample(n, seed), id.model().sample(n, seed));
+    }
+
+    /// The train/test split partitions the input by count for any fraction.
+    #[test]
+    fn split_partitions(
+        n in 2usize..150,
+        frac in 0.05f64..0.95,
+        seed in 0u64..100,
+    ) {
+        let tasks: Vec<TaskSpec> = DatasetId::Google.model().sample(n, 3);
+        let s = train_test_split(&tasks, frac, seed);
+        prop_assert_eq!(s.train.len() + s.test.len(), n);
+        let expect_train = ((n as f64) * frac).round() as usize;
+        prop_assert_eq!(s.train.len(), expect_train.min(n));
+    }
+
+    /// A hybrid test set always matches the owner's size and remains a
+    /// normalized trace.
+    #[test]
+    fn hybrid_preserves_size(own_frac in 0.0f64..1.0, seed in 0u64..100) {
+        let sets: Vec<Vec<TaskSpec>> = (0..4)
+            .map(|i| DatasetId::ALL[i].model().sample(40, i as u64))
+            .collect();
+        let h = hybrid_test_set(&sets, 1, own_frac, seed);
+        prop_assert_eq!(h.len(), 40);
+        prop_assert_eq!(h[0].arrival, 0);
+        prop_assert!(h.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    /// The combined pool size is per_client × clients (when pools are big
+    /// enough) and the result is a normalized trace.
+    #[test]
+    fn combined_sizes(per in 1usize..30, seed in 0u64..100) {
+        let sets: Vec<Vec<TaskSpec>> = (0..3)
+            .map(|i| DatasetId::ALL[i].model().sample(30, i as u64))
+            .collect();
+        let c = combined_heterogeneous(&sets, per, seed);
+        prop_assert_eq!(c.len(), per.min(30) * 3);
+        prop_assert!(c.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+}

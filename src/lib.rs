@@ -1,0 +1,10 @@
+//! `pfrl-dm` — workspace-root crate of the PFRL-DM reproduction.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`; the library surface simply re-exports
+//! [`pfrl_core`], so `use pfrl_dm::presets::…` works from the examples.
+//!
+//! See the README for the project overview and `DESIGN.md` for the
+//! system inventory and experiment index.
+
+pub use pfrl_core::*;

@@ -1,0 +1,127 @@
+//! Cross-crate property tests: the simulator must uphold its physical
+//! invariants under arbitrary (including adversarial) action sequences.
+
+use pfrl_sim::{Action, CloudEnv, EnvConfig, EnvDims, VmSpec};
+use pfrl_workloads::TaskSpec;
+use proptest::prelude::*;
+
+fn dims() -> EnvDims {
+    EnvDims::new(3, 8, 64.0, 4)
+}
+
+fn mk_env() -> CloudEnv {
+    CloudEnv::new(
+        dims(),
+        vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0), VmSpec::new(2, 16.0)],
+        EnvConfig { max_decisions: 5_000, ..Default::default() },
+    )
+}
+
+fn arb_tasks(max: usize) -> impl Strategy<Value = Vec<TaskSpec>> {
+    proptest::collection::vec(
+        (0u64..200, 1u32..10, 1u32..70, 1u64..50).prop_map(|(arrival, vcpus, mem, dur)| {
+            TaskSpec { id: 0, arrival, vcpus, mem_gb: mem as f32, duration: dur }
+        }),
+        1..max,
+    )
+    .prop_map(|mut ts| {
+        for (i, t) in ts.iter_mut().enumerate() {
+            t.id = i as u64;
+        }
+        ts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No VM is ever over capacity, no matter what the agent does.
+    #[test]
+    fn capacity_never_exceeded(tasks in arb_tasks(30), actions in proptest::collection::vec(0usize..4, 1..400)) {
+        let mut env = mk_env();
+        env.reset(tasks);
+        for &a in &actions {
+            if env.is_done() {
+                break;
+            }
+            env.step(Action::from_index(a, 3));
+            for vm in env.cluster().vms() {
+                prop_assert!(vm.used_vcpus() <= vm.spec.vcpus);
+                prop_assert!(vm.used_mem() <= vm.spec.mem_gb + 1e-3);
+            }
+        }
+    }
+
+    /// Task conservation: placed + queued + pending + rejected = total.
+    #[test]
+    fn tasks_conserved(tasks in arb_tasks(25), actions in proptest::collection::vec(0usize..4, 1..300)) {
+        let total = tasks.len();
+        let mut env = mk_env();
+        env.reset(tasks);
+        for &a in &actions {
+            if env.is_done() {
+                break;
+            }
+            env.step(Action::from_index(a, 3));
+        }
+        let m = env.metrics();
+        prop_assert_eq!(m.tasks_placed + m.tasks_unplaced, total);
+    }
+
+    /// Placement records are physically consistent: start ≥ arrival, and
+    /// simulation time never decreases.
+    #[test]
+    fn records_consistent(tasks in arb_tasks(25), actions in proptest::collection::vec(0usize..4, 1..300)) {
+        let mut env = mk_env();
+        env.reset(tasks.clone());
+        let mut last_now = env.now();
+        for &a in &actions {
+            if env.is_done() {
+                break;
+            }
+            env.step(Action::from_index(a, 3));
+            prop_assert!(env.now() >= last_now, "time went backwards");
+            last_now = env.now();
+        }
+        for r in env.records() {
+            prop_assert!(r.start >= r.arrival, "task started before it arrived");
+            let original = &tasks[r.task_id as usize];
+            prop_assert_eq!(r.vcpus, original.vcpus);
+            prop_assert_eq!(r.duration, original.duration);
+        }
+    }
+
+    /// Observations always have the declared shape and bounded values.
+    #[test]
+    fn observations_well_formed(tasks in arb_tasks(20), actions in proptest::collection::vec(0usize..4, 1..150)) {
+        let mut env = mk_env();
+        env.reset(tasks);
+        for &a in &actions {
+            if env.is_done() {
+                break;
+            }
+            let s = env.observe();
+            prop_assert_eq!(s.len(), dims().state_dim());
+            for &v in &s {
+                prop_assert!(v == -1.0 || (0.0..=1.0).contains(&v), "state value {} out of range", v);
+            }
+            env.step(Action::from_index(a, 3));
+        }
+    }
+
+    /// A first-fit driver always finishes (no truncation) on admissible
+    /// workloads, and every placed task's response ≥ its duration.
+    #[test]
+    fn first_fit_always_completes(tasks in arb_tasks(30)) {
+        let mut env = mk_env();
+        env.reset(tasks);
+        while !env.is_done() {
+            let a = env.first_fit_action().unwrap_or(Action::Wait);
+            env.step(a);
+        }
+        prop_assert!(!env.is_truncated());
+        for r in env.records() {
+            prop_assert!(r.response() >= r.duration);
+        }
+    }
+}

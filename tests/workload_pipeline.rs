@@ -1,0 +1,79 @@
+//! Integration tests of the workload pipeline: dataset models → splits →
+//! hybrid mixes → simulator episodes → metrics, across crate boundaries.
+
+use pfrl_sim::{CloudEnv, EnvConfig, HeuristicPolicy, VmSpec};
+use pfrl_core::presets::{table2_clients, table3_clients, TABLE2_DIMS, TABLE3_DIMS};
+use pfrl_workloads::{combined_heterogeneous, hybrid_test_set, train_test_split, DatasetId};
+
+#[test]
+fn every_table3_client_completes_heuristic_episodes() {
+    for c in table3_clients(150, 0) {
+        let mut env = CloudEnv::new(TABLE3_DIMS, c.vms.clone(), EnvConfig::default());
+        env.reset(c.train_tasks.clone());
+        let m = pfrl_sim::run_heuristic(&mut env, HeuristicPolicy::FirstFit, 1);
+        assert!(!env.is_truncated(), "{} truncated", c.name);
+        assert!(m.tasks_placed > 0, "{} placed nothing", c.name);
+        assert!(m.avg_utilization > 0.0 && m.avg_utilization <= 1.0, "{}", c.name);
+        assert!(m.makespan >= m.avg_response, "{}: makespan < avg response", c.name);
+    }
+}
+
+#[test]
+fn split_then_hybrid_composes() {
+    let clients = table2_clients(200, 1);
+    let splits: Vec<_> = clients
+        .iter()
+        .map(|c| train_test_split(&c.train_tasks, 0.6, 7))
+        .collect();
+    let test_sets: Vec<_> = splits.iter().map(|s| s.test.clone()).collect();
+    for i in 0..test_sets.len() {
+        let hybrid = hybrid_test_set(&test_sets, i, 0.2, 9);
+        assert_eq!(hybrid.len(), test_sets[i].len());
+        // Hybrid traces must replay cleanly on the owning client's cluster.
+        let mut env = CloudEnv::new(TABLE2_DIMS, clients[i].vms.clone(), EnvConfig::default());
+        env.reset(hybrid);
+        let m = pfrl_sim::run_heuristic(&mut env, HeuristicPolicy::BestFit, 3);
+        assert_eq!(m.tasks_placed + m.tasks_unplaced, test_sets[i].len());
+    }
+}
+
+#[test]
+fn combined_pool_runs_on_every_client() {
+    let clients = table2_clients(120, 2);
+    let pools: Vec<_> = clients.iter().map(|c| c.train_tasks.clone()).collect();
+    let combined = combined_heterogeneous(&pools, 30, 5);
+    assert_eq!(combined.len(), 120);
+    for c in &clients {
+        let mut env = CloudEnv::new(TABLE2_DIMS, c.vms.clone(), EnvConfig::default());
+        env.reset(combined.clone());
+        let m = pfrl_sim::run_heuristic(&mut env, HeuristicPolicy::FirstFit, 1);
+        // Foreign tasks may be inadmissible, but the episode must finish.
+        assert!(!env.is_truncated(), "{}", c.name);
+        assert_eq!(m.tasks_placed + m.tasks_unplaced, 120);
+    }
+}
+
+#[test]
+fn dataset_heterogeneity_visible_in_episode_metrics() {
+    // Running the same cluster over K8S vs HPC-WZ workloads must produce
+    // very different response times (short containers vs long HPC jobs).
+    let vms = vec![VmSpec::new(64, 512.0), VmSpec::new(64, 512.0)];
+    let run = |d: DatasetId| {
+        let mut env = CloudEnv::new(TABLE3_DIMS, vms.clone(), EnvConfig::default());
+        env.reset(d.model().sample(100, 3));
+        pfrl_sim::run_heuristic(&mut env, HeuristicPolicy::BestFit, 1).avg_response
+    };
+    let k8s = run(DatasetId::K8s);
+    let hpc = run(DatasetId::HpcWz);
+    assert!(hpc > 5.0 * k8s, "HPC-WZ response {hpc} vs K8S {k8s}");
+}
+
+#[test]
+fn sampling_is_reproducible_across_the_stack() {
+    let a = table3_clients(50, 9);
+    let b = table3_clients(50, 9);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.train_tasks, y.train_tasks);
+        assert_eq!(x.vms.len(), y.vms.len());
+    }
+}
