@@ -9,8 +9,7 @@ use pfrl_core::workloads::DatasetId;
 
 fn setups() -> (Vec<ClientSetup>, EnvDims) {
     let dims = EnvDims::new(2, 8, 64.0, 3);
-    let datasets =
-        [DatasetId::K8s, DatasetId::Google, DatasetId::Alibaba2017, DatasetId::Kvm2019];
+    let datasets = [DatasetId::K8s, DatasetId::Google, DatasetId::Alibaba2017, DatasetId::Kvm2019];
     let s = datasets
         .iter()
         .enumerate()
@@ -38,24 +37,39 @@ fn bench_rounds(c: &mut Criterion) {
     c.bench_function("federation/pfrl_dm_round_4_clients", |b| {
         let (s, dims) = setups();
         b.iter(|| {
-            let mut r =
-                PfrlDmRunner::new(s.clone(), dims, EnvConfig::default(), PpoConfig::default(), fed_cfg());
+            let mut r = PfrlDmRunner::new(
+                s.clone(),
+                dims,
+                EnvConfig::default(),
+                PpoConfig::default(),
+                fed_cfg(),
+            );
             black_box(r.train())
         });
     });
     c.bench_function("federation/fedavg_round_4_clients", |b| {
         let (s, dims) = setups();
         b.iter(|| {
-            let mut r =
-                FedAvgRunner::new(s.clone(), dims, EnvConfig::default(), PpoConfig::default(), fed_cfg());
+            let mut r = FedAvgRunner::new(
+                s.clone(),
+                dims,
+                EnvConfig::default(),
+                PpoConfig::default(),
+                fed_cfg(),
+            );
             black_box(r.train())
         });
     });
     c.bench_function("federation/mfpo_round_4_clients", |b| {
         let (s, dims) = setups();
         b.iter(|| {
-            let mut r =
-                MfpoRunner::new(s.clone(), dims, EnvConfig::default(), PpoConfig::default(), fed_cfg());
+            let mut r = MfpoRunner::new(
+                s.clone(),
+                dims,
+                EnvConfig::default(),
+                PpoConfig::default(),
+                fed_cfg(),
+            );
             black_box(r.train())
         });
     });

@@ -82,8 +82,7 @@ fn bench_ppo(c: &mut Criterion) {
             vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
             EnvConfig::default(),
         );
-        let mut agent =
-            PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 3);
+        let mut agent = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 3);
         b.iter(|| {
             env.reset(tasks.clone());
             black_box(agent.train_one_episode(&mut env))
@@ -96,9 +95,8 @@ fn bench_aggregation(c: &mut Criterion) {
     for k in [2usize, 5, 10, 20] {
         // Critic-sized parameter vectors for the Table 3 networks.
         let p = TABLE3_DIMS.state_dim() * 64 + 64 + 64 + 1;
-        let params: Vec<Vec<f32>> = (0..k)
-            .map(|i| (0..p).map(|j| ((i * p + j) as f32 * 0.1).sin()).collect())
-            .collect();
+        let params: Vec<Vec<f32>> =
+            (0..k).map(|i| (0..p).map(|j| ((i * p + j) as f32 * 0.1).sin()).collect()).collect();
         group.bench_with_input(BenchmarkId::new("attention_weights", k), &k, |b, _| {
             let cfg = MultiHeadConfig::default();
             b.iter(|| black_box(multi_head_attention_weights(&params, &cfg)));

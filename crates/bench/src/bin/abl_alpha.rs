@@ -4,15 +4,19 @@
 //! match or beat every pin.
 
 use pfrl_bench::{emit, start};
-use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
 use pfrl_core::fed::PfrlDmRunner;
+use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
 use pfrl_core::rl::PpoConfig;
 use pfrl_core::sim::EnvConfig;
 
 fn main() {
     let scale = start("abl_alpha", "Ablation: adaptive vs fixed dual-critic alpha");
-    let variants: [(&str, Option<f32>); 4] =
-        [("adaptive", None), ("fixed_0.0", Some(0.0)), ("fixed_0.5", Some(0.5)), ("fixed_1.0", Some(1.0))];
+    let variants: [(&str, Option<f32>); 4] = [
+        ("adaptive", None),
+        ("fixed_0.0", Some(0.0)),
+        ("fixed_0.5", Some(0.5)),
+        ("fixed_1.0", Some(1.0)),
+    ];
 
     let mut curves = Vec::new();
     for (name, alpha) in variants {

@@ -23,8 +23,7 @@ fn main() {
             // Mean curve over the four Table 2 clients.
             let mut sums = vec![0.0f64; scale.episodes_exploratory];
             for (ci, c) in clients.iter().enumerate() {
-                let mut env =
-                    CloudEnv::new(TABLE2_DIMS, c.vms.clone(), EnvConfig::default());
+                let mut env = CloudEnv::new(TABLE2_DIMS, c.vms.clone(), EnvConfig::default());
                 let mut agent = PpoAgent::new(
                     TABLE2_DIMS.state_dim(),
                     TABLE2_DIMS.action_dim(),
@@ -64,11 +63,7 @@ fn main() {
         );
     }
 
-    let mut rows = vec![vec![
-        "episode".to_string(),
-        curves[0].0.clone(),
-        curves[1].0.clone(),
-    ]];
+    let mut rows = vec![vec!["episode".to_string(), curves[0].0.clone(), curves[1].0.clone()]];
     for e in 0..curves[0].1.len() {
         rows.push(vec![
             e.to_string(),

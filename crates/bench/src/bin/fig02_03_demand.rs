@@ -14,8 +14,7 @@ use std::collections::BTreeMap;
 fn main() {
     let scale = start("fig02_03_demand", "Figs. 2-3: requested CPU / memory distributions");
     let mut cpu_rows = vec![csv_row!["dataset", "vcpus", "fraction"]];
-    let mut mem_rows =
-        vec![csv_row!["dataset", "min", "p25", "median", "mean", "p75", "max"]];
+    let mut mem_rows = vec![csv_row!["dataset", "min", "p25", "median", "mean", "p75", "max"]];
     for id in DatasetId::ALL {
         let tasks = id.model().sample(scale.samples, 2026);
         let mut cpu_counts: BTreeMap<u32, usize> = BTreeMap::new();

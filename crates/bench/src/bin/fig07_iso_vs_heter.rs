@@ -24,8 +24,12 @@ fn train_agent(
     seed: u64,
 ) -> PpoAgent {
     let mut env = CloudEnv::new(TABLE2_DIMS, vms.to_vec(), EnvConfig::default());
-    let mut agent =
-        PpoAgent::new(TABLE2_DIMS.state_dim(), TABLE2_DIMS.action_dim(), PpoConfig::default(), seed);
+    let mut agent = PpoAgent::new(
+        TABLE2_DIMS.state_dim(),
+        TABLE2_DIMS.action_dim(),
+        PpoConfig::default(),
+        seed,
+    );
     let n = window.unwrap_or(pool.len()).min(pool.len());
     for ep in 0..episodes {
         let start = (ep * 31) % (pool.len() - n + 1);
@@ -71,10 +75,20 @@ fn main() {
         .par_iter()
         .enumerate()
         .flat_map(|(i, c)| {
-            let iso_agent =
-                train_agent(&c.vms, &splits[i].train, episodes, scale.tasks_per_episode, 700 + i as u64);
-            let heter_agent =
-                train_agent(&c.vms, &heter.train, episodes, scale.tasks_per_episode, 800 + i as u64);
+            let iso_agent = train_agent(
+                &c.vms,
+                &splits[i].train,
+                episodes,
+                scale.tasks_per_episode,
+                700 + i as u64,
+            );
+            let heter_agent = train_agent(
+                &c.vms,
+                &heter.train,
+                episodes,
+                scale.tasks_per_episode,
+                800 + i as u64,
+            );
             let mut rows = Vec::new();
             for (train_name, agent) in [("iso-train", &iso_agent), ("heter-train", &heter_agent)] {
                 for (test_name, tasks) in

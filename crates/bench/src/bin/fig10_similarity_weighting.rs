@@ -29,15 +29,15 @@ fn c1_boost_matrix(n: usize, favored: usize, boost: f32) -> Matrix {
     m
 }
 
-fn run(name: &str, setups: Vec<ClientSetup>, mixing: Option<Matrix>, scale: &pfrl_bench::Scale) -> Vec<f64> {
+fn run(
+    name: &str,
+    setups: Vec<ClientSetup>,
+    mixing: Option<Matrix>,
+    scale: &pfrl_bench::Scale,
+) -> Vec<f64> {
     let fed_cfg = scale.fed_exploratory(setups.len(), 10);
-    let mut runner = FedAvgRunner::new(
-        setups,
-        TABLE2_DIMS,
-        EnvConfig::default(),
-        PpoConfig::default(),
-        fed_cfg,
-    );
+    let mut runner =
+        FedAvgRunner::new(setups, TABLE2_DIMS, EnvConfig::default(), PpoConfig::default(), fed_cfg);
     if let Some(m) = mixing {
         runner = runner.with_mixing(m);
     }
@@ -68,7 +68,8 @@ fn main() {
         train_tasks: DatasetId::Google.model().sample(scale.samples, 1234),
     };
 
-    let curves = [("Fed-Diff", run("Fed-Diff", diff.clone(), None, &scale)),
+    let curves = [
+        ("Fed-Diff", run("Fed-Diff", diff.clone(), None, &scale)),
         (
             "Fed-Diff-weight",
             run("Fed-Diff-weight", diff, Some(c1_boost_matrix(4, 1, 0.35)), &scale),
@@ -77,15 +78,10 @@ fn main() {
         (
             "Fed-Same2-weight",
             run("Fed-Same2-weight", same2, Some(c1_boost_matrix(4, 1, 0.35)), &scale),
-        )];
+        ),
+    ];
 
-    let mut rows = vec![csv_row![
-        "episode",
-        curves[0].0,
-        curves[1].0,
-        curves[2].0,
-        curves[3].0
-    ]];
+    let mut rows = vec![csv_row!["episode", curves[0].0, curves[1].0, curves[2].0, curves[3].0]];
     for e in 0..curves[0].1.len() {
         rows.push(csv_row![
             e,

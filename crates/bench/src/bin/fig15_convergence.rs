@@ -32,13 +32,7 @@ fn main() {
         curves.push((alg, c.smoothed_mean_curve(10)));
     }
 
-    let mut rows = vec![csv_row![
-        "episode",
-        curves[0].0,
-        curves[1].0,
-        curves[2].0,
-        curves[3].0
-    ]];
+    let mut rows = vec![csv_row!["episode", curves[0].0, curves[1].0, curves[2].0, curves[3].0]];
     for e in 0..curves[0].1.len() {
         rows.push(csv_row![
             e,

@@ -12,24 +12,23 @@ fn main() {
     let scale = start("fig16_19_generalization", "Figs. 16-19: hybrid-workload generalization");
     let data = run_generalization(&scale, 16);
 
-    let metric = |name: &str,
-                  select: fn(&pfrl_core::experiment::GeneralizationResults) -> &Vec<f64>| {
-        let mut rows = vec![{
-            let mut h = vec!["client".to_string()];
-            h.extend(data.per_alg.iter().map(|(a, _)| a.to_string()));
-            h
-        }];
-        for (i, cname) in data.client_names.iter().enumerate() {
-            let mut row = vec![cname.clone()];
-            row.extend(data.per_alg.iter().map(|(_, g)| format!("{:.4}", select(g)[i])));
-            rows.push(row);
-        }
-        emit(name, &rows);
-    };
+    let metric =
+        |name: &str, select: fn(&pfrl_core::experiment::GeneralizationResults) -> &Vec<f64>| {
+            let mut rows = vec![{
+                let mut h = vec!["client".to_string()];
+                h.extend(data.per_alg.iter().map(|(a, _)| a.to_string()));
+                h
+            }];
+            for (i, cname) in data.client_names.iter().enumerate() {
+                let mut row = vec![cname.clone()];
+                row.extend(data.per_alg.iter().map(|(_, g)| format!("{:.4}", select(g)[i])));
+                rows.push(row);
+            }
+            emit(name, &rows);
+        };
 
     metric("fig16_response", |g| &g.response);
     metric("fig17_makespan", |g| &g.makespan);
     metric("fig18_utilization", |g| &g.utilization);
     metric("fig19_load_balance", |g| &g.load_balance);
-
 }

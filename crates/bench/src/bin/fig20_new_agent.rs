@@ -33,8 +33,7 @@ fn main() {
         parallel: true,
     };
     let ppo_cfg = PpoConfig::default();
-    let mut runner =
-        PfrlDmRunner::new(setups, TABLE3_DIMS, EnvConfig::default(), ppo_cfg, fed_cfg);
+    let mut runner = PfrlDmRunner::new(setups, TABLE3_DIMS, EnvConfig::default(), ppo_cfg, fed_cfg);
     eprintln!("# warm-up: {warm_rounds} rounds, then join, then {post_rounds} rounds");
     runner.train_rounds(warm_rounds);
     let idx = runner.add_client(joiner.clone(), true);
@@ -43,17 +42,11 @@ fn main() {
 
     // Control: fresh PPO in the identical environment, same episode count,
     // same per-episode task windows.
-    let mut control = PpoAgent::new(
-        TABLE3_DIMS.state_dim(),
-        TABLE3_DIMS.action_dim(),
-        ppo_cfg,
-        2021,
-    );
+    let mut control =
+        PpoAgent::new(TABLE3_DIMS.state_dim(), TABLE3_DIMS.action_dim(), ppo_cfg, 2021);
     let mut env = CloudEnv::new(TABLE3_DIMS, joiner.vms.clone(), EnvConfig::default());
-    let n = scale
-        .tasks_per_episode
-        .unwrap_or(joiner.train_tasks.len())
-        .min(joiner.train_tasks.len());
+    let n =
+        scale.tasks_per_episode.unwrap_or(joiner.train_tasks.len()).min(joiner.train_tasks.len());
     let mut control_curve = Vec::new();
     for ep in 0..joined_curve.len() {
         let startx = (ep * 37) % (joiner.train_tasks.len() - n + 1);

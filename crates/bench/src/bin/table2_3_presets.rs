@@ -3,8 +3,8 @@
 
 use pfrl_bench::{emit, start};
 use pfrl_core::csv_row;
-use pfrl_core::presets::{table2_clients, table3_clients};
 use pfrl_core::fed::ClientSetup;
+use pfrl_core::presets::{table2_clients, table3_clients};
 
 fn rows_of(clients: &[ClientSetup]) -> Vec<Vec<String>> {
     let mut rows = vec![csv_row!["client", "vm_specs(cpu,mem,count)", "tasks"]];

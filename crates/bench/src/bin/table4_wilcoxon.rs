@@ -10,12 +10,8 @@ fn main() {
     let scale = start("table4_wilcoxon", "Table 4: Wilcoxon signed-rank p-values");
     let data = run_generalization(&scale, 16);
 
-    let pfrl = &data
-        .per_alg
-        .iter()
-        .find(|(a, _)| *a == Algorithm::PfrlDm)
-        .expect("PFRL-DM present")
-        .1;
+    let pfrl =
+        &data.per_alg.iter().find(|(a, _)| *a == Algorithm::PfrlDm).expect("PFRL-DM present").1;
 
     let mut rows = vec![csv_row!["metric", "FedAvg", "MFPO", "PPO"]];
     type MetricFn = fn(&pfrl_core::experiment::GeneralizationResults) -> &Vec<f64>;
@@ -28,12 +24,8 @@ fn main() {
     for (name, select) in metrics {
         let mut row = vec![name.to_string()];
         for baseline in [Algorithm::FedAvg, Algorithm::Mfpo, Algorithm::Ppo] {
-            let other = &data
-                .per_alg
-                .iter()
-                .find(|(a, _)| *a == baseline)
-                .expect("baseline present")
-                .1;
+            let other =
+                &data.per_alg.iter().find(|(a, _)| *a == baseline).expect("baseline present").1;
             let r = wilcoxon_signed_rank(select(pfrl), select(other));
             row.push(format!("{:.3e}", r.p_value));
         }

@@ -11,6 +11,10 @@
 //! Outputs go to stdout as CSV and are also written under `results/`.
 
 use pfrl_core::fed::FedConfig;
+use pfrl_core::telemetry::RunManifest;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Experiment scale knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,9 +96,46 @@ impl Scale {
     }
 }
 
+/// Process-global provenance for the current experiment binary, folded into
+/// the [`RunManifest`] written next to every result CSV.
+#[derive(Default)]
+struct RunContext {
+    experiment: String,
+    seed: Option<u64>,
+    algorithm: Option<String>,
+}
+
+static RUN_CONTEXT: Mutex<RunContext> =
+    Mutex::new(RunContext { experiment: String::new(), seed: None, algorithm: None });
+
+/// Records the master seed the current binary derives its randomness from
+/// (shows up in every manifest written afterwards).
+pub fn set_run_seed(seed: u64) {
+    RUN_CONTEXT.lock().unwrap().seed = Some(seed);
+}
+
+/// Records the algorithm under test, for single-algorithm binaries.
+pub fn set_run_algorithm(algorithm: &str) {
+    RUN_CONTEXT.lock().unwrap().algorithm = Some(algorithm.to_string());
+}
+
+fn manifest_for(csv_name: &str) -> RunManifest {
+    let ctx = RUN_CONTEXT.lock().unwrap();
+    let mut m =
+        RunManifest::new(if ctx.experiment.is_empty() { csv_name } else { &ctx.experiment });
+    if let Some(seed) = ctx.seed {
+        m = m.with_seed(seed);
+    }
+    if let Some(alg) = &ctx.algorithm {
+        m = m.with_algorithm(alg);
+    }
+    m.with_config_of(&csv_name)
+}
+
 /// Prints a banner naming the experiment and scale, and returns the scale.
 pub fn start(experiment: &str, paper_ref: &str) -> Scale {
     let scale = Scale::from_env();
+    RUN_CONTEXT.lock().unwrap().experiment = experiment.to_string();
     eprintln!(
         "# {experiment} ({paper_ref}) — scale: {} (set PFRL_SCALE=paper for full scale)",
         if scale.is_paper { "paper" } else { "quick" }
@@ -102,14 +143,27 @@ pub fn start(experiment: &str, paper_ref: &str) -> Scale {
     scale
 }
 
-/// Writes rows both to stdout and `results/<name>.csv`.
+/// The one place `results/` CSVs are written: creates the directory, writes
+/// the rows, drops a [`RunManifest`] next to the CSV, and wraps IO errors
+/// with the offending path.
+pub fn write_results_csv(name: &str, rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let path = Path::new("results").join(format!("{name}.csv"));
+    let with_path = |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", parent.display())))?;
+    }
+    pfrl_core::csv::write_file(&path, rows).map_err(with_path)?;
+    manifest_for(name).write_next_to(&path)?;
+    Ok(path)
+}
+
+/// Writes rows both to stdout and `results/<name>.csv` (plus its manifest).
 pub fn emit(name: &str, rows: &[Vec<String>]) {
     pfrl_core::csv::print(rows);
-    let path = std::path::Path::new("results").join(format!("{name}.csv"));
-    if let Err(e) = pfrl_core::csv::write_file(&path, rows) {
-        eprintln!("# warning: could not write {}: {e}", path.display());
-    } else {
-        eprintln!("# wrote {}", path.display());
+    match write_results_csv(name, rows) {
+        Err(e) => eprintln!("# warning: could not write results/{name}.csv: {e}"),
+        Ok(path) => eprintln!("# wrote {}", path.display()),
     }
 }
 
@@ -119,10 +173,8 @@ pub struct GeneralizationData {
     /// Client display names.
     pub client_names: Vec<String>,
     /// `per_alg[a]` is algorithm `a`'s [`pfrl_core::experiment::GeneralizationResults`].
-    pub per_alg: Vec<(
-        pfrl_core::experiment::Algorithm,
-        pfrl_core::experiment::GeneralizationResults,
-    )>,
+    pub per_alg:
+        Vec<(pfrl_core::experiment::Algorithm, pfrl_core::experiment::GeneralizationResults)>,
 }
 
 /// Cache file shared by `fig16_19_generalization` and `table4_wilcoxon`
@@ -151,17 +203,17 @@ fn write_gen_cache(data: &GeneralizationData) {
             ]);
         }
     }
-    let _ = pfrl_core::csv::write_file(std::path::Path::new(GEN_CACHE), &rows);
+    if let Err(e) = write_results_csv("generalization_cache", &rows) {
+        eprintln!("# warning: could not write generalization cache: {e}");
+    }
 }
 
 /// Loads the cache if present and well-formed.
 fn read_gen_cache() -> Option<GeneralizationData> {
     use pfrl_core::experiment::{Algorithm, GeneralizationResults};
     let text = std::fs::read_to_string(GEN_CACHE).ok()?;
-    let mut per_alg: Vec<(Algorithm, GeneralizationResults)> = Algorithm::ALL
-        .iter()
-        .map(|&a| (a, GeneralizationResults::default()))
-        .collect();
+    let mut per_alg: Vec<(Algorithm, GeneralizationResults)> =
+        Algorithm::ALL.iter().map(|&a| (a, GeneralizationResults::default())).collect();
     let mut client_names = Vec::new();
     for line in text.lines().skip(1) {
         let fields: Vec<&str> = line.split(',').collect();
@@ -177,7 +229,9 @@ fn read_gen_cache() -> Option<GeneralizationData> {
         alg_slot.1.utilization.push(fields[4].parse().ok()?);
         alg_slot.1.load_balance.push(fields[5].parse().ok()?);
     }
-    if client_names.is_empty() || per_alg.iter().any(|(_, g)| g.response.len() != client_names.len()) {
+    if client_names.is_empty()
+        || per_alg.iter().any(|(_, g)| g.response.len() != client_names.len())
+    {
         return None;
     }
     Some(GeneralizationData { client_names, per_alg })

@@ -6,6 +6,7 @@ use pfrl_fed::{
 };
 use pfrl_rl::PpoConfig;
 use pfrl_sim::{EnvConfig, EnvDims, EpisodeMetrics};
+use pfrl_telemetry::{RunManifest, Telemetry};
 use pfrl_workloads::TaskSpec;
 
 /// The four algorithms compared throughout the paper's evaluation.
@@ -116,28 +117,72 @@ pub fn run_federation(
     ppo_cfg: PpoConfig,
     fed_cfg: FedConfig,
 ) -> (TrainingCurves, TrainedFederation) {
+    run_federation_with_telemetry(
+        algorithm,
+        setups,
+        dims,
+        env_cfg,
+        ppo_cfg,
+        fed_cfg,
+        Telemetry::noop(),
+    )
+}
+
+/// [`run_federation`] with every runner, agent, and environment metric
+/// routed to `telemetry` (a no-op [`Telemetry`] costs one branch per call
+/// site, so the plain entry point just delegates here).
+pub fn run_federation_with_telemetry(
+    algorithm: Algorithm,
+    setups: Vec<ClientSetup>,
+    dims: EnvDims,
+    env_cfg: EnvConfig,
+    ppo_cfg: PpoConfig,
+    fed_cfg: FedConfig,
+    telemetry: Telemetry,
+) -> (TrainingCurves, TrainedFederation) {
     match algorithm {
         Algorithm::PfrlDm => {
-            let mut r = PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let mut r = PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry);
             let c = r.train();
             (c, TrainedFederation::PfrlDm(r))
         }
         Algorithm::FedAvg => {
-            let mut r = FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let mut r = FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry);
             let c = r.train();
             (c, TrainedFederation::FedAvg(r))
         }
         Algorithm::Mfpo => {
-            let mut r = MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let mut r =
+                MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg).with_telemetry(telemetry);
             let c = r.train();
             (c, TrainedFederation::Mfpo(r))
         }
         Algorithm::Ppo => {
-            let mut r = IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg);
+            let mut r = IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry);
             let c = r.train();
             (c, TrainedFederation::Ppo(r))
         }
     }
+}
+
+/// Builds the reproducibility manifest for one federation run: seed,
+/// algorithm, thread/scale context, and a config hash covering every knob
+/// that shapes the result.
+pub fn federation_manifest(
+    run: &str,
+    algorithm: Algorithm,
+    dims: EnvDims,
+    env_cfg: &EnvConfig,
+    ppo_cfg: &PpoConfig,
+    fed_cfg: &FedConfig,
+) -> RunManifest {
+    RunManifest::new(run)
+        .with_algorithm(algorithm.name())
+        .with_seed(fed_cfg.seed)
+        .with_config_of(&(dims, env_cfg, ppo_cfg, fed_cfg))
 }
 
 /// The four per-client metric collections of Figs. 16–19: one value per
@@ -206,10 +251,7 @@ mod tests {
             );
             assert_eq!(curves.clients(), 4, "{alg}");
             assert_eq!(fed.n_clients(), 4, "{alg}");
-            assert!(
-                curves.per_client.iter().all(|c| c.len() == 2),
-                "{alg}: wrong episode count"
-            );
+            assert!(curves.per_client.iter().all(|c| c.len() == 2), "{alg}: wrong episode count");
         }
     }
 
@@ -229,6 +271,56 @@ mod tests {
         assert_eq!(g.makespan.len(), 4);
         assert!(g.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
         assert!(g.load_balance.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn telemetry_records_rounds_and_phases() {
+        use pfrl_telemetry::InMemoryRecorder;
+        use std::sync::Arc;
+
+        let rec = Arc::new(InMemoryRecorder::new());
+        let (curves, _) = run_federation_with_telemetry(
+            Algorithm::PfrlDm,
+            table2_clients(40, 3),
+            TABLE2_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            tiny_fed(),
+            Telemetry::new(rec.clone()),
+        );
+        assert_eq!(curves.clients(), 4);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("fed/rounds"), 2);
+        assert!(snap.counter("fed/bytes_up") > 0);
+        assert!(snap.counter("fed/bytes_down") > 0);
+        for phase in
+            ["fed/round", "fed/round/local_train", "fed/round/attention", "fed/round/broadcast"]
+        {
+            assert_eq!(snap.span_count(phase), 2, "{phase}");
+        }
+        assert!(snap.histogram("fed/attention_entropy").is_some());
+        assert!(snap.histogram("rl/episode_reward").is_some());
+    }
+
+    #[test]
+    fn manifest_hash_tracks_config_changes() {
+        let mk = |seed: u64| {
+            federation_manifest(
+                "unit",
+                Algorithm::FedAvg,
+                TABLE2_DIMS,
+                &EnvConfig::default(),
+                &PpoConfig::default(),
+                &FedConfig { seed, ..tiny_fed() },
+            )
+        };
+        let a = mk(1);
+        let b = mk(1);
+        let c = mk(2);
+        assert_eq!(a.config_hash, b.config_hash);
+        assert_ne!(a.config_hash, c.config_hash);
+        assert_eq!(a.algorithm.as_deref(), Some("FedAvg"));
+        assert_eq!(a.seed, 1);
     }
 
     #[test]

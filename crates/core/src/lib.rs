@@ -1,7 +1,7 @@
 //! `pfrl-core` — the facade crate of the PFRL-DM reproduction.
 //!
 //! Re-exports the full stack (`tensor` → `nn` → `rl` → `fed`, plus
-//! `workloads`, `sim`, `stats`) and adds:
+//! `workloads`, `sim`, `stats`, `telemetry`) and adds:
 //!
 //! * [`presets`] — the client environments of the paper's Table 2
 //!   (4-client exploratory studies) and Table 3 (10-client evaluation);
@@ -45,6 +45,7 @@ pub use pfrl_nn as nn;
 pub use pfrl_rl as rl;
 pub use pfrl_sim as sim;
 pub use pfrl_stats as stats;
+pub use pfrl_telemetry as telemetry;
 pub use pfrl_tensor as tensor;
 pub use pfrl_workloads as workloads;
 

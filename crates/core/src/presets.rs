@@ -10,10 +10,12 @@ use pfrl_stats::seeding::derive_seed;
 use pfrl_workloads::DatasetId;
 
 /// Shared dims for the Table 2 (4-client) exploratory environments.
-pub const TABLE2_DIMS: EnvDims = EnvDims { max_vms: 5, max_vcpus: 32, max_mem_gb: 256.0, queue_slots: 5 };
+pub const TABLE2_DIMS: EnvDims =
+    EnvDims { max_vms: 5, max_vcpus: 32, max_mem_gb: 256.0, queue_slots: 5 };
 
 /// Shared dims for the Table 3 (10-client) evaluation environments.
-pub const TABLE3_DIMS: EnvDims = EnvDims { max_vms: 7, max_vcpus: 64, max_mem_gb: 512.0, queue_slots: 5 };
+pub const TABLE3_DIMS: EnvDims =
+    EnvDims { max_vms: 7, max_vcpus: 64, max_mem_gb: 512.0, queue_slots: 5 };
 
 /// Expands `(vcpus, mem, count)` tuples into a VM list.
 fn vms(specs: &[(u32, f32, usize)]) -> Vec<VmSpec> {
@@ -43,10 +45,31 @@ fn client(
 /// per client (the paper uses 3500).
 pub fn table2_clients(samples: usize, seed: u64) -> Vec<ClientSetup> {
     vec![
-        client("Client1-Google", &[(16, 128.0, 4), (32, 256.0, 1)], DatasetId::Google, samples, seed, 0),
+        client(
+            "Client1-Google",
+            &[(16, 128.0, 4), (32, 256.0, 1)],
+            DatasetId::Google,
+            samples,
+            seed,
+            0,
+        ),
         client("Client2-Alibaba2017", &[(32, 256.0, 3)], DatasetId::Alibaba2017, samples, seed, 1),
-        client("Client3-HPC-HF", &[(16, 128.0, 2), (32, 256.0, 2)], DatasetId::HpcHf, samples, seed, 2),
-        client("Client4-KVM2019", &[(16, 128.0, 3), (32, 256.0, 2)], DatasetId::Kvm2019, samples, seed, 3),
+        client(
+            "Client3-HPC-HF",
+            &[(16, 128.0, 2), (32, 256.0, 2)],
+            DatasetId::HpcHf,
+            samples,
+            seed,
+            2,
+        ),
+        client(
+            "Client4-KVM2019",
+            &[(16, 128.0, 3), (32, 256.0, 2)],
+            DatasetId::Kvm2019,
+            samples,
+            seed,
+            3,
+        ),
     ]
 }
 
@@ -54,15 +77,78 @@ pub fn table2_clients(samples: usize, seed: u64) -> Vec<ClientSetup> {
 /// drawn per client (the paper uses 3500).
 pub fn table3_clients(samples: usize, seed: u64) -> Vec<ClientSetup> {
     vec![
-        client("Client1-Google", &[(8, 64.0, 1), (16, 128.0, 4), (64, 512.0, 2)], DatasetId::Google, samples, seed, 0),
-        client("Client2-Alibaba2017", &[(8, 64.0, 3), (32, 128.0, 3), (64, 512.0, 1)], DatasetId::Alibaba2017, samples, seed, 1),
-        client("Client3-Alibaba2018", &[(8, 64.0, 3), (32, 256.0, 2), (64, 512.0, 2)], DatasetId::Alibaba2018, samples, seed, 2),
-        client("Client4-HPC-KS", &[(8, 64.0, 2), (32, 256.0, 3), (40, 256.0, 2)], DatasetId::HpcKs, samples, seed, 3),
-        client("Client5-HPC-HF", &[(8, 64.0, 1), (48, 256.0, 2), (64, 512.0, 3)], DatasetId::HpcHf, samples, seed, 4),
-        client("Client6-HPC-WZ", &[(16, 128.0, 1), (32, 256.0, 3), (40, 256.0, 3)], DatasetId::HpcWz, samples, seed, 5),
-        client("Client7-KVM2019", &[(16, 128.0, 1), (40, 256.0, 3), (32, 200.0, 3)], DatasetId::Kvm2019, samples, seed, 6),
-        client("Client8-KVM2020", &[(16, 128.0, 4), (64, 512.0, 1)], DatasetId::Kvm2020, samples, seed, 7),
-        client("Client9-CERIT-SC", &[(8, 64.0, 2), (16, 128.0, 2), (64, 512.0, 1)], DatasetId::CeritSc, samples, seed, 8),
+        client(
+            "Client1-Google",
+            &[(8, 64.0, 1), (16, 128.0, 4), (64, 512.0, 2)],
+            DatasetId::Google,
+            samples,
+            seed,
+            0,
+        ),
+        client(
+            "Client2-Alibaba2017",
+            &[(8, 64.0, 3), (32, 128.0, 3), (64, 512.0, 1)],
+            DatasetId::Alibaba2017,
+            samples,
+            seed,
+            1,
+        ),
+        client(
+            "Client3-Alibaba2018",
+            &[(8, 64.0, 3), (32, 256.0, 2), (64, 512.0, 2)],
+            DatasetId::Alibaba2018,
+            samples,
+            seed,
+            2,
+        ),
+        client(
+            "Client4-HPC-KS",
+            &[(8, 64.0, 2), (32, 256.0, 3), (40, 256.0, 2)],
+            DatasetId::HpcKs,
+            samples,
+            seed,
+            3,
+        ),
+        client(
+            "Client5-HPC-HF",
+            &[(8, 64.0, 1), (48, 256.0, 2), (64, 512.0, 3)],
+            DatasetId::HpcHf,
+            samples,
+            seed,
+            4,
+        ),
+        client(
+            "Client6-HPC-WZ",
+            &[(16, 128.0, 1), (32, 256.0, 3), (40, 256.0, 3)],
+            DatasetId::HpcWz,
+            samples,
+            seed,
+            5,
+        ),
+        client(
+            "Client7-KVM2019",
+            &[(16, 128.0, 1), (40, 256.0, 3), (32, 200.0, 3)],
+            DatasetId::Kvm2019,
+            samples,
+            seed,
+            6,
+        ),
+        client(
+            "Client8-KVM2020",
+            &[(16, 128.0, 4), (64, 512.0, 1)],
+            DatasetId::Kvm2020,
+            samples,
+            seed,
+            7,
+        ),
+        client(
+            "Client9-CERIT-SC",
+            &[(8, 64.0, 2), (16, 128.0, 2), (64, 512.0, 1)],
+            DatasetId::CeritSc,
+            samples,
+            seed,
+            8,
+        ),
         client("Client10-K8S", &[(8, 128.0, 2), (16, 128.0, 4)], DatasetId::K8s, samples, seed, 9),
     ]
 }
@@ -128,9 +214,7 @@ mod tests {
             let admissible = c
                 .train_tasks
                 .iter()
-                .filter(|t| {
-                    c.vms.iter().any(|v| t.vcpus <= v.vcpus && t.mem_gb <= v.mem_gb)
-                })
+                .filter(|t| c.vms.iter().any(|v| t.vcpus <= v.vcpus && t.mem_gb <= v.mem_gb))
                 .count();
             let frac = admissible as f64 / c.train_tasks.len() as f64;
             assert!(frac > 0.95, "{}: only {frac:.2} admissible", c.name);

@@ -5,6 +5,7 @@ use crate::config::{ClientSetup, FedConfig};
 use pfrl_rl::{DualCriticAgent, PpoAgent};
 use pfrl_sim::{CloudEnv, EnvConfig, EnvDims, EpisodeMetrics};
 use pfrl_stats::seeding::SeedStream;
+use pfrl_telemetry::Telemetry;
 use pfrl_workloads::TaskSpec;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -16,6 +17,8 @@ pub trait FedAgent: Send {
     fn train_episode(&mut self, env: &mut CloudEnv) -> f32;
     /// Greedy evaluation on a freshly reset env.
     fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics;
+    /// Routes the agent's metrics to `telemetry`. Default: ignore.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
 }
 
 impl FedAgent for PpoAgent {
@@ -25,6 +28,9 @@ impl FedAgent for PpoAgent {
     fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics {
         self.evaluate(env)
     }
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        PpoAgent::set_telemetry(self, telemetry);
+    }
 }
 
 impl FedAgent for DualCriticAgent {
@@ -33,6 +39,9 @@ impl FedAgent for DualCriticAgent {
     }
     fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics {
         self.evaluate(env)
+    }
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        DualCriticAgent::set_telemetry(self, telemetry);
     }
 }
 
@@ -63,9 +72,8 @@ impl<A: FedAgent> Client<A> {
     ) -> Self {
         assert!(!setup.train_tasks.is_empty(), "client {} has no tasks", setup.name);
         let env = CloudEnv::new(dims, setup.vms, env_cfg);
-        let episode_seeds = SeedStream::new(fed_cfg.seed)
-            .child("episodes")
-            .index(client_index as u64);
+        let episode_seeds =
+            SeedStream::new(fed_cfg.seed).child("episodes").index(client_index as u64);
         Self {
             agent,
             name: setup.name,
@@ -76,6 +84,12 @@ impl<A: FedAgent> Client<A> {
             episodes_done: 0,
             tasks_per_episode: fed_cfg.tasks_per_episode,
         }
+    }
+
+    /// Routes this client's agent and environment metrics to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.agent.set_telemetry(telemetry.clone());
+        self.env.set_telemetry(telemetry);
     }
 
     /// Number of training episodes completed.

@@ -69,9 +69,7 @@ mod tests {
     use super::*;
 
     fn curves() -> TrainingCurves {
-        TrainingCurves {
-            per_client: vec![vec![0.0, 2.0, 4.0, 6.0], vec![2.0, 4.0, 6.0, 8.0]],
-        }
+        TrainingCurves { per_client: vec![vec![0.0, 2.0, 4.0, 6.0], vec![2.0, 4.0, 6.0, 8.0]] }
     }
 
     #[test]

@@ -9,7 +9,13 @@ use crate::independent::{agent_seed, curves_of, run_all};
 use pfrl_nn::params::{apply_mixing_matrix, average_params};
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
+use pfrl_telemetry::Telemetry;
 use pfrl_tensor::Matrix;
+
+/// Wire size of a flat `f32` parameter vector, for bytes-on-wire counters.
+pub(crate) fn param_bytes(params: &[Vec<f32>]) -> u64 {
+    params.iter().map(|p| p.len() as u64 * 4).sum()
+}
 
 /// Mean critic loss across clients immediately before and after one
 /// aggregation (the Fig. 9 probe: heterogeneity makes the aggregated critic
@@ -40,6 +46,7 @@ pub struct FedAvgRunner {
     rounds_done: usize,
     /// Critic-loss probes collected at every aggregation.
     pub loss_probes: Vec<RoundLossProbe>,
+    telemetry: Telemetry,
 }
 
 impl FedAvgRunner {
@@ -82,7 +89,18 @@ impl FedAvgRunner {
             secure: false,
             rounds_done: 0,
             loss_probes: Vec::new(),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Routes runner, agent, and environment metrics to `telemetry`
+    /// (per-round phase timings, bytes on the wire, critic-loss probes).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        for c in &mut self.clients {
+            c.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+        self
     }
 
     /// Enables pairwise-masked secure aggregation for uniform averaging
@@ -113,7 +131,12 @@ impl FedAvgRunner {
     pub fn train(&mut self) -> TrainingCurves {
         let rounds = self.cfg.rounds();
         for round in 0..rounds {
-            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            let t = self.telemetry.clone();
+            let round_span = t.span("fed/round");
+            {
+                let _local = round_span.child("local_train");
+                run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            }
             self.aggregate(round);
         }
         let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
@@ -126,14 +149,19 @@ impl FedAvgRunner {
     /// One aggregation: average (or mix) actor and critic parameters and
     /// broadcast, recording the critic-loss probe.
     pub fn aggregate(&mut self, round: usize) {
-        let actors: Vec<Vec<f32>> =
-            self.clients.iter().map(|c| c.agent.actor_params()).collect();
-        let critics: Vec<Vec<f32>> =
-            self.clients.iter().map(|c| c.agent.critic_params()).collect();
+        let upload = self.telemetry.span("fed/round/upload");
+        let actors: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let critics: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.critic_params()).collect();
+        drop(upload);
+        // FedAvg ships both networks client → server.
+        self.telemetry.counter("fed/bytes_up", param_bytes(&actors) + param_bytes(&critics));
 
         let loss_before = self.mean_critic_loss();
 
-        match &self.mixing {
+        // Averaging (or mixing) first, then the broadcast back to clients,
+        // so the two phases time separately.
+        let aggregate_span = self.telemetry.span("fed/round/aggregate");
+        let (actor_out, critic_out): (Vec<Vec<f32>>, Vec<Vec<f32>>) = match &self.mixing {
             None => {
                 let (actor_avg, critic_avg) = if self.secure {
                     let n = self.clients.len();
@@ -151,29 +179,30 @@ impl FedAvgRunner {
                 } else {
                     (average_params(&actors), average_params(&critics))
                 };
-                for c in &mut self.clients {
-                    c.agent.set_actor_params(&actor_avg);
-                    c.agent.set_critic_params(&critic_avg);
-                }
+                let n = self.clients.len();
+                (vec![actor_avg; n], vec![critic_avg; n])
             }
-            Some(mix) => {
-                let actor_mixed = apply_mixing_matrix(mix, &actors);
-                let critic_mixed = apply_mixing_matrix(mix, &critics);
-                for (c, (a, v)) in self
-                    .clients
-                    .iter_mut()
-                    .zip(actor_mixed.into_iter().zip(critic_mixed))
-                {
-                    c.agent.set_actor_params(&a);
-                    c.agent.set_critic_params(&v);
-                }
+            Some(mix) => (apply_mixing_matrix(mix, &actors), apply_mixing_matrix(mix, &critics)),
+        };
+        drop(aggregate_span);
+
+        {
+            let _broadcast = self.telemetry.span("fed/round/broadcast");
+            for (c, (a, v)) in self.clients.iter_mut().zip(actor_out.iter().zip(&critic_out)) {
+                c.agent.set_actor_params(a);
+                c.agent.set_critic_params(v);
             }
         }
+        self.telemetry
+            .counter("fed/bytes_down", param_bytes(&actor_out) + param_bytes(&critic_out));
 
         let loss_after = self.mean_critic_loss();
         if let (Some(b), Some(a)) = (loss_before, loss_after) {
+            self.telemetry.observe("fed/critic_loss_before_agg", b);
+            self.telemetry.observe("fed/critic_loss_after_agg", a);
             self.loss_probes.push(RoundLossProbe { round, loss_before: b, loss_after: a });
         }
+        self.telemetry.counter("fed/rounds", 1);
         self.rounds_done += 1;
     }
 
@@ -233,8 +262,7 @@ mod tests {
         let (setups, dims, env_cfg) = small_setups(2);
         let mut r = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2));
         run_all(&mut r.clients, 2, false);
-        let before: Vec<Vec<f32>> =
-            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let before: Vec<Vec<f32>> = r.clients.iter().map(|c| c.agent.actor_params()).collect();
         let mean = average_params(&before);
         r.aggregate(0);
         let after = r.clients[0].agent.actor_params();
@@ -249,8 +277,7 @@ mod tests {
         let mut r = FedAvgRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed(2))
             .with_mixing(Matrix::identity(2));
         run_all(&mut r.clients, 1, false);
-        let before: Vec<Vec<f32>> =
-            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let before: Vec<Vec<f32>> = r.clients.iter().map(|c| c.agent.actor_params()).collect();
         r.aggregate(0);
         for (c, b) in r.clients.iter().zip(&before) {
             assert_eq!(&c.agent.actor_params(), b);

@@ -6,6 +6,7 @@ use crate::curves::TrainingCurves;
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_stats::seeding::SeedStream;
+use pfrl_telemetry::Telemetry;
 use rayon::prelude::*;
 
 /// Runs `n` episodes on every client, in parallel when configured. Results
@@ -33,6 +34,7 @@ pub struct IndependentRunner {
     /// The isolated clients.
     pub clients: Vec<Client<PpoAgent>>,
     cfg: FedConfig,
+    telemetry: Telemetry,
 }
 
 impl IndependentRunner {
@@ -58,7 +60,16 @@ impl IndependentRunner {
                 Client::new(s, agent, dims, env_cfg, &fed_cfg, i)
             })
             .collect();
-        Self { clients, cfg: fed_cfg }
+        Self { clients, cfg: fed_cfg, telemetry: Telemetry::noop() }
+    }
+
+    /// Routes runner, agent, and environment metrics to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        for c in &mut self.clients {
+            c.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+        self
     }
 
     /// Trains every client for the configured number of episodes and
@@ -68,12 +79,16 @@ impl IndependentRunner {
         // rng usage are comparable.
         let rounds = self.cfg.rounds();
         for _ in 0..rounds {
+            let _round = self.telemetry.span("fed/round");
+            let _local = self.telemetry.span("fed/round/local_train");
             run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
         }
         let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
         if leftover > 0 {
+            let _local = self.telemetry.span("fed/round/local_train");
             run_all(&mut self.clients, leftover, self.cfg.parallel);
         }
+        self.telemetry.counter("fed/rounds", rounds as u64);
         curves_of(&self.clients)
     }
 
@@ -99,8 +114,7 @@ mod tests {
             parallel: false,
         };
         let (setups, dims, env_cfg) = small_setups(2);
-        let mut r =
-            IndependentRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed);
+        let mut r = IndependentRunner::new(setups, dims, env_cfg, PpoConfig::default(), fed);
         let curves = r.train();
         assert_eq!(curves.clients(), 2);
         assert!(curves.per_client.iter().all(|c| c.len() == 6));
@@ -118,13 +132,8 @@ mod tests {
                 seed: 7,
                 parallel,
             };
-            let mut r = IndependentRunner::new(
-                setups.clone(),
-                dims,
-                env_cfg,
-                PpoConfig::default(),
-                fed,
-            );
+            let mut r =
+                IndependentRunner::new(setups.clone(), dims, env_cfg, PpoConfig::default(), fed);
             r.train()
         };
         assert_eq!(mk(true), mk(false));

@@ -13,10 +13,12 @@
 use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
 use pfrl_nn::params::average_params;
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
+use pfrl_telemetry::Telemetry;
 
 /// One server-momentum update: `v ← β·v + (x̄ − x_g)`, `x_g ← x_g + v`.
 fn momentum_step(server: &mut [f32], velocity: &mut [f32], avg: &[f32], beta: f32) {
@@ -37,6 +39,7 @@ pub struct MfpoRunner {
     server_critic: Vec<f32>,
     vel_actor: Vec<f32>,
     vel_critic: Vec<f32>,
+    telemetry: Telemetry,
 }
 
 impl MfpoRunner {
@@ -88,14 +91,37 @@ impl MfpoRunner {
         }
         let vel_actor = vec![0.0; server_actor.len()];
         let vel_critic = vec![0.0; server_critic.len()];
-        Self { clients, cfg: fed_cfg, beta, server_actor, server_critic, vel_actor, vel_critic }
+        Self {
+            clients,
+            cfg: fed_cfg,
+            beta,
+            server_actor,
+            server_critic,
+            vel_actor,
+            vel_critic,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
+    /// Routes runner, agent, and environment metrics to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        for c in &mut self.clients {
+            c.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+        self
     }
 
     /// Full training run.
     pub fn train(&mut self) -> TrainingCurves {
         let rounds = self.cfg.rounds();
         for _ in 0..rounds {
-            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            let t = self.telemetry.clone();
+            let round_span = t.span("fed/round");
+            {
+                let _local = round_span.child("local_train");
+                run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+            }
             self.aggregate();
         }
         let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
@@ -107,17 +133,57 @@ impl MfpoRunner {
 
     /// One momentum aggregation + broadcast.
     pub fn aggregate(&mut self) {
-        let actors: Vec<Vec<f32>> =
-            self.clients.iter().map(|c| c.agent.actor_params()).collect();
-        let critics: Vec<Vec<f32>> =
-            self.clients.iter().map(|c| c.agent.critic_params()).collect();
-        let actor_avg = average_params(&actors);
-        let critic_avg = average_params(&critics);
-        momentum_step(&mut self.server_actor, &mut self.vel_actor, &actor_avg, self.beta);
-        momentum_step(&mut self.server_critic, &mut self.vel_critic, &critic_avg, self.beta);
-        for c in &mut self.clients {
-            c.agent.set_actor_params(&self.server_actor);
-            c.agent.set_critic_params(&self.server_critic);
+        let upload = self.telemetry.span("fed/round/upload");
+        let actors: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let critics: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.critic_params()).collect();
+        drop(upload);
+        // Like FedAvg, MFPO ships both networks client → server.
+        self.telemetry.counter("fed/bytes_up", param_bytes(&actors) + param_bytes(&critics));
+
+        let loss_before = self.mean_critic_loss();
+
+        {
+            let _agg = self.telemetry.span("fed/round/aggregate");
+            let actor_avg = average_params(&actors);
+            let critic_avg = average_params(&critics);
+            momentum_step(&mut self.server_actor, &mut self.vel_actor, &actor_avg, self.beta);
+            momentum_step(&mut self.server_critic, &mut self.vel_critic, &critic_avg, self.beta);
+        }
+
+        {
+            let _broadcast = self.telemetry.span("fed/round/broadcast");
+            for c in &mut self.clients {
+                c.agent.set_actor_params(&self.server_actor);
+                c.agent.set_critic_params(&self.server_critic);
+            }
+        }
+        let n = self.clients.len() as u64;
+        self.telemetry.counter(
+            "fed/bytes_down",
+            n * 4 * (self.server_actor.len() + self.server_critic.len()) as u64,
+        );
+
+        if let (Some(b), Some(a)) = (loss_before, self.mean_critic_loss()) {
+            self.telemetry.observe("fed/critic_loss_before_agg", b);
+            self.telemetry.observe("fed/critic_loss_after_agg", a);
+        }
+        self.telemetry.counter("fed/rounds", 1);
+    }
+
+    /// Mean critic loss across clients on their own last episodes.
+    fn mean_critic_loss(&self) -> Option<f64> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        let losses: Vec<f64> = self
+            .clients
+            .iter()
+            .filter_map(|c| c.agent.critic_loss_on_last_episode().map(|l| l as f64))
+            .collect();
+        if losses.is_empty() {
+            None
+        } else {
+            Some(losses.iter().sum::<f64>() / losses.len() as f64)
         }
     }
 
@@ -164,11 +230,9 @@ mod tests {
         // With β=0 and zero initial velocity, the first aggregation lands
         // exactly on the client average.
         let (setups, dims, env_cfg) = small_setups(2);
-        let mut r =
-            MfpoRunner::with_beta(setups, dims, env_cfg, PpoConfig::default(), fed(), 0.0);
+        let mut r = MfpoRunner::with_beta(setups, dims, env_cfg, PpoConfig::default(), fed(), 0.0);
         run_all(&mut r.clients, 1, false);
-        let actors: Vec<Vec<f32>> =
-            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let actors: Vec<Vec<f32>> = r.clients.iter().map(|c| c.agent.actor_params()).collect();
         let avg = average_params(&actors);
         r.aggregate();
         let got = r.clients[0].agent.actor_params();
@@ -198,13 +262,11 @@ mod tests {
         run_all(&mut r.clients, 1, false);
         r.aggregate();
         run_all(&mut r.clients, 1, false);
-        let actors: Vec<Vec<f32>> =
-            r.clients.iter().map(|c| c.agent.actor_params()).collect();
+        let actors: Vec<Vec<f32>> = r.clients.iter().map(|c| c.agent.actor_params()).collect();
         let avg = average_params(&actors);
         r.aggregate();
         let server = r.clients[0].agent.actor_params();
-        let diff: f32 =
-            server.iter().zip(&avg).map(|(s, a)| (s - a).abs()).sum::<f32>();
+        let diff: f32 = server.iter().zip(&avg).map(|(s, a)| (s - a).abs()).sum::<f32>();
         assert!(diff > 1e-6, "server should deviate from the plain average");
     }
 
@@ -221,7 +283,6 @@ mod tests {
     #[should_panic(expected = "beta")]
     fn bad_beta_rejected() {
         let (setups, dims, env_cfg) = small_setups(2);
-        let _ =
-            MfpoRunner::with_beta(setups, dims, env_cfg, PpoConfig::default(), fed(), 1.0);
+        let _ = MfpoRunner::with_beta(setups, dims, env_cfg, PpoConfig::default(), fed(), 1.0);
     }
 }

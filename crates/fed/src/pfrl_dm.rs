@@ -20,13 +20,15 @@
 use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
-use crate::similarity::attention_weights;
+use crate::similarity::{attention_weights, mean_row_entropy};
 use pfrl_nn::params::{apply_mixing_matrix, average_params};
 use pfrl_nn::{Activation, Mlp, MultiHeadConfig};
 use pfrl_rl::{DualCriticAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_stats::seeding::SeedStream;
+use pfrl_telemetry::Telemetry;
 use pfrl_tensor::Matrix;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -50,6 +52,7 @@ pub struct PfrlDmRunner {
     /// Client indices that participated in each round.
     pub participant_history: Vec<Vec<usize>>,
     next_client_index: usize,
+    telemetry: Telemetry,
 }
 
 impl PfrlDmRunner {
@@ -117,15 +120,26 @@ impl PfrlDmRunner {
             weight_history: Vec::new(),
             participant_history: Vec::new(),
             next_client_index: n,
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Routes runner, agent, and environment metrics to `telemetry`
+    /// (per-round phase timings, bytes on the wire, attention entropy,
+    /// public-critic loss before/after personalization).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        for c in &mut self.clients {
+            c.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+        self
     }
 
     /// Full training run.
     pub fn train(&mut self) -> TrainingCurves {
         let rounds = self.cfg.rounds();
         for _ in 0..rounds {
-            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
-            self.aggregate();
+            self.one_round();
         }
         let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
         if leftover > 0 {
@@ -138,9 +152,19 @@ impl PfrlDmRunner {
     /// (used by the Fig. 20 join experiment to drive rounds manually).
     pub fn train_rounds(&mut self, rounds: usize) {
         for _ in 0..rounds {
-            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
-            self.aggregate();
+            self.one_round();
         }
+    }
+
+    /// `comm_every` local episodes on every client, then one aggregation.
+    fn one_round(&mut self) {
+        let t = self.telemetry.clone();
+        let round_span = t.span("fed/round");
+        {
+            let _local = round_span.child("local_train");
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+        }
+        self.aggregate();
     }
 
     /// One personalization aggregation (Algorithm 1, lines 9–14).
@@ -151,24 +175,69 @@ impl PfrlDmRunner {
         idx.shuffle(&mut self.participation_rng);
         let participants: Vec<usize> = idx.into_iter().take(k).collect();
 
-        let psis: Vec<Vec<f32>> = participants
-            .iter()
-            .map(|&i| self.clients[i].agent.public_critic_params())
-            .collect();
+        let upload = self.telemetry.span("fed/round/upload");
+        let psis: Vec<Vec<f32>> =
+            participants.iter().map(|&i| self.clients[i].agent.public_critic_params()).collect();
+        drop(upload);
+        // PFRL-DM only ships the K participating public critics.
+        self.telemetry.counter("fed/bytes_up", param_bytes(&psis));
+
+        let loss_before = self.mean_public_critic_loss();
+
+        let attention = self.telemetry.span("fed/round/attention");
         let weights = attention_weights(&psis, &self.attention);
+        drop(attention);
+        self.telemetry.observe("fed/attention_entropy", mean_row_entropy(&weights));
+
+        let agg = self.telemetry.span("fed/round/aggregate");
         let personalized = apply_mixing_matrix(&weights, &psis);
         self.server_global = average_params(&personalized);
+        drop(agg);
 
-        for (slot, &i) in participants.iter().enumerate() {
-            self.clients[i].agent.receive_public_critic(&personalized[slot]);
-        }
-        for i in 0..n {
-            if !participants.contains(&i) {
-                self.clients[i].agent.receive_public_critic(&self.server_global);
+        {
+            let _broadcast = self.telemetry.span("fed/round/broadcast");
+            for (slot, &i) in participants.iter().enumerate() {
+                self.clients[i].agent.receive_public_critic(&personalized[slot]);
+            }
+            for i in 0..n {
+                if !participants.contains(&i) {
+                    self.clients[i].agent.receive_public_critic(&self.server_global);
+                }
             }
         }
+        self.telemetry.counter(
+            "fed/bytes_down",
+            param_bytes(&personalized)
+                + (n - participants.len()) as u64 * 4 * self.server_global.len() as u64,
+        );
+
+        if let (Some(b), Some(a)) = (loss_before, self.mean_public_critic_loss()) {
+            self.telemetry.observe("fed/critic_loss_before_agg", b);
+            self.telemetry.observe("fed/critic_loss_after_agg", a);
+        }
+        self.telemetry.counter("fed/rounds", 1);
+
         self.weight_history.push(weights);
         self.participant_history.push(participants);
+    }
+
+    /// Mean public-critic MSE (`L_ψ`) across clients with buffered
+    /// trajectories; telemetry-only, so skipped entirely when disabled.
+    fn mean_public_critic_loss(&self) -> Option<f64> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        let losses: Vec<f64> = self
+            .clients
+            .iter()
+            .filter(|c| c.agent.has_trajectories())
+            .map(|c| c.agent.critic_losses().1 as f64)
+            .collect();
+        if losses.is_empty() {
+            None
+        } else {
+            Some(losses.iter().sum::<f64>() / losses.len() as f64)
+        }
     }
 
     /// Pins every client's `α` to a fixed value (ablation of the adaptive
@@ -212,7 +281,8 @@ impl PfrlDmRunner {
                 self.clients.iter().map(|c| c.agent.actor.flat_params()).collect();
             agent.actor.set_flat_params(&average_params(&actors));
         }
-        let client = Client::new(setup, agent, self.dims, self.env_cfg, &self.cfg, i);
+        let mut client = Client::new(setup, agent, self.dims, self.env_cfg, &self.cfg, i);
+        client.set_telemetry(self.telemetry.clone());
         self.clients.push(client);
         self.clients.len() - 1
     }
@@ -306,13 +376,8 @@ mod tests {
     fn deterministic_across_runs() {
         let (setups, dims, env_cfg) = small_setups(3);
         let run = || {
-            let mut r = PfrlDmRunner::new(
-                setups.clone(),
-                dims,
-                env_cfg,
-                PpoConfig::default(),
-                fed(3),
-            );
+            let mut r =
+                PfrlDmRunner::new(setups.clone(), dims, env_cfg, PpoConfig::default(), fed(3));
             let c = r.train();
             (c, r.server_global().to_vec())
         };
@@ -327,10 +392,7 @@ mod tests {
         r.train_rounds(1);
         let idx = r.add_client(joiner, true);
         assert_eq!(idx, 2);
-        assert_eq!(
-            r.clients[idx].agent.public_critic_params(),
-            r.server_global().to_vec()
-        );
+        assert_eq!(r.clients[idx].agent.public_critic_params(), r.server_global().to_vec());
         // The joiner trains along in subsequent rounds.
         r.train_rounds(1);
         assert_eq!(r.clients[idx].rewards.len(), 2);

@@ -76,9 +76,7 @@ mod tests {
     use pfrl_nn::params::average_params;
 
     fn updates(n: usize, len: usize) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|k| (0..len).map(|i| ((k * len + i) as f32 * 0.13).sin()).collect())
-            .collect()
+        (0..n).map(|k| (0..len).map(|i| ((k * len + i) as f32 * 0.13).sin()).collect()).collect()
     }
 
     #[test]
@@ -101,8 +99,7 @@ mod tests {
         let masked = mask_update(&ups[0], 0, 3, 7);
         // The masked vector is dominated by the masks: far from the true
         // update and with much larger magnitude.
-        let dist: f32 =
-            masked.iter().zip(&ups[0]).map(|(m, u)| (m - u).abs()).sum::<f32>() / 128.0;
+        let dist: f32 = masked.iter().zip(&ups[0]).map(|(m, u)| (m - u).abs()).sum::<f32>() / 128.0;
         assert!(dist > 10.0, "mean |masked - true| = {dist}");
     }
 

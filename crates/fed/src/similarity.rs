@@ -16,6 +16,26 @@ pub fn attention_weights(client_params: &[Vec<f32>], cfg: &MultiHeadConfig) -> M
     multi_head_attention_weights(client_params, cfg)
 }
 
+/// Mean Shannon entropy (nats) of the rows of a row-stochastic weight
+/// matrix. 0 when every client attends to exactly one peer, `ln K` for
+/// uniform attention — the telemetry probe for how personalized the
+/// aggregation actually is.
+pub fn mean_row_entropy(w: &Matrix) -> f64 {
+    if w.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for r in 0..w.rows() {
+        total += -w
+            .row(r)
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| (p as f64) * (p as f64).ln())
+            .sum::<f64>();
+    }
+    total / w.rows() as f64
+}
+
 /// KL-divergence-based weights: each critic is evaluated on a shared probe
 /// state batch, its outputs are softmax-normalized into a distribution over
 /// the probe states, and client `i` weights client `j` by
@@ -37,9 +57,8 @@ pub fn kl_weights(critics: &[Mlp], probe_states: &Matrix) -> Matrix {
         .collect();
     let mut w = Matrix::zeros(k, k);
     for i in 0..k {
-        let row: Vec<f32> = (0..k)
-            .map(|j| -(pfrl_stats::kl_divergence(&dists[i], &dists[j]) as f32))
-            .collect();
+        let row: Vec<f32> =
+            (0..k).map(|j| -(pfrl_stats::kl_divergence(&dists[i], &dists[j]) as f32)).collect();
         let mut row = row;
         ops::softmax_inplace(&mut row);
         w.row_mut(i).copy_from_slice(&row);
@@ -57,9 +76,8 @@ pub fn cosine_weights(client_params: &[Vec<f32>]) -> Matrix {
     let k = client_params.len();
     let mut w = Matrix::zeros(k, k);
     for i in 0..k {
-        let mut row: Vec<f32> = (0..k)
-            .map(|j| ops::cosine_similarity(&client_params[i], &client_params[j]))
-            .collect();
+        let mut row: Vec<f32> =
+            (0..k).map(|j| ops::cosine_similarity(&client_params[i], &client_params[j])).collect();
         ops::softmax_inplace(&mut row);
         w.row_mut(i).copy_from_slice(&row);
     }
@@ -142,6 +160,20 @@ mod tests {
             contrast(&cos)
         );
         assert!(contrast(&att) > 0.05, "attention should clearly favor the twin");
+    }
+
+    #[test]
+    fn row_entropy_bounds() {
+        // Uniform rows → ln K; one-hot rows → 0.
+        let k = 4;
+        let uniform = Matrix::from_vec(k, k, vec![1.0 / k as f32; k * k]);
+        assert!((mean_row_entropy(&uniform) - (k as f64).ln()).abs() < 1e-6);
+        let mut onehot = Matrix::zeros(k, k);
+        for i in 0..k {
+            onehot[(i, i)] = 1.0;
+        }
+        assert_eq!(mean_row_entropy(&onehot), 0.0);
+        assert_eq!(mean_row_entropy(&Matrix::zeros(0, 0)), 0.0);
     }
 
     #[test]

@@ -81,10 +81,7 @@ fn standardize_rows(m: &Matrix) -> Matrix {
 ///
 /// # Panics
 /// If `client_params` is empty or lengths disagree.
-pub fn multi_head_attention_weights(
-    client_params: &[Vec<f32>],
-    cfg: &MultiHeadConfig,
-) -> Matrix {
+pub fn multi_head_attention_weights(client_params: &[Vec<f32>], cfg: &MultiHeadConfig) -> Matrix {
     let k = client_params.len();
     assert!(k > 0, "attention weights need at least one client");
     let p = client_params[0].len();
@@ -153,9 +150,8 @@ mod tests {
 
     #[test]
     fn weights_are_row_stochastic() {
-        let params: Vec<Vec<f32>> = (0..5)
-            .map(|i| (0..64).map(|j| ((i * 64 + j) as f32 * 0.37).sin()).collect())
-            .collect();
+        let params: Vec<Vec<f32>> =
+            (0..5).map(|i| (0..64).map(|j| ((i * 64 + j) as f32 * 0.37).sin()).collect()).collect();
         let w = multi_head_attention_weights(&params, &MultiHeadConfig::default());
         assert_eq!(w.shape(), (5, 5));
         for s in row_sums(&w) {

@@ -66,10 +66,7 @@ impl Linear {
     /// # Panics
     /// If called without a preceding [`Linear::forward_train`].
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("Linear::backward called without forward_train");
+        let x = self.cached_input.as_ref().expect("Linear::backward called without forward_train");
         assert_eq!(dy.rows(), x.rows(), "backward batch size mismatch");
         assert_eq!(dy.cols(), self.out_dim(), "backward output dim mismatch");
         // dW += xᵀ · dy

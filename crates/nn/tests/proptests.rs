@@ -1,9 +1,7 @@
 //! Property-based tests of the neural-network stack.
 
-use pfrl_nn::{
-    multi_head_attention_weights, Activation, Adam, Mlp, MultiHeadConfig,
-};
 use pfrl_nn::params::{apply_mixing_matrix, average_params, weighted_combination};
+use pfrl_nn::{multi_head_attention_weights, Activation, Adam, Mlp, MultiHeadConfig};
 use pfrl_tensor::Matrix;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;

@@ -7,17 +7,13 @@ use crate::policy::{self, PpoLossStats};
 use crate::returns::{discounted_returns, gae_advantages, normalize_in_place};
 use pfrl_nn::{Activation, Adam, Mlp};
 use pfrl_sim::{Action, EpisodeMetrics, SchedulingEnv};
+use pfrl_telemetry::Telemetry;
 use pfrl_tensor::Matrix;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Builds the paper's scheduler network shape: one hidden tanh layer.
-pub(crate) fn build_net(
-    in_dim: usize,
-    hidden: usize,
-    out_dim: usize,
-    rng: &mut SmallRng,
-) -> Mlp {
+pub(crate) fn build_net(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut SmallRng) -> Mlp {
     Mlp::new(&[in_dim, hidden, out_dim], Activation::Tanh, rng)
 }
 
@@ -171,6 +167,7 @@ pub struct PpoAgent {
     /// for loss probes).
     buffer: RolloutBuffer,
     episodes_buffered: usize,
+    telemetry: Telemetry,
 }
 
 impl PpoAgent {
@@ -191,12 +188,19 @@ impl PpoAgent {
             rng,
             buffer: RolloutBuffer::new(state_dim),
             episodes_buffered: 0,
+            telemetry: Telemetry::noop(),
         }
     }
 
     /// The agent's configuration.
     pub fn config(&self) -> &PpoConfig {
         &self.cfg
+    }
+
+    /// Routes this agent's metrics (episode reward, losses, update timing,
+    /// buffer size) to `telemetry`. Defaults to a noop handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Collects one episode on a freshly reset `env`, performs a PPO update
@@ -216,6 +220,8 @@ impl PpoAgent {
             self.cfg.mask_invalid_actions,
         );
         self.episodes_buffered += 1;
+        self.telemetry.observe("rl/episode_reward", total as f64);
+        self.telemetry.gauge("rl/buffer_transitions", self.buffer.len() as f64);
         if self.episodes_buffered >= self.cfg.episodes_per_update {
             self.update();
         }
@@ -247,7 +253,8 @@ impl PpoAgent {
         let actions = self.buffer.actions().to_vec();
         let old_lp = self.buffer.old_log_probs().to_vec();
         let masks = self.buffer.masks_flat().map(<[bool]>::to_vec);
-        actor_update(
+        let span = self.telemetry.span("rl/ppo_update");
+        let actor_stats = actor_update(
             &mut self.actor,
             &mut self.actor_opt,
             &states,
@@ -257,13 +264,18 @@ impl PpoAgent {
             masks.as_deref(),
             &self.cfg,
         );
-        critic_update(
+        let critic_mse = critic_update(
             &mut self.critic,
             &mut self.critic_opt,
             &states,
             &returns,
             self.cfg.critic_epochs,
         );
+        drop(span);
+        self.telemetry.observe("rl/actor_surrogate", actor_stats.surrogate as f64);
+        self.telemetry.observe("rl/actor_entropy", actor_stats.entropy as f64);
+        self.telemetry.observe("rl/clip_fraction", actor_stats.clip_fraction as f64);
+        self.telemetry.observe("rl/critic_loss", critic_mse as f64);
     }
 
     /// Greedy evaluation episode on a freshly reset `env`.
@@ -351,8 +363,7 @@ mod tests {
     fn training_episode_runs_and_returns_finite_reward() {
         let mut env = small_env();
         let dims = *env.dims();
-        let mut agent =
-            PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 1);
+        let mut agent = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 1);
         env.reset(DatasetId::K8s.model().sample(25, 3));
         let r = agent.train_one_episode(&mut env);
         assert!(r.is_finite());
@@ -398,11 +409,10 @@ mod tests {
     /// Fig. 15 measure exactly this quantity).
     #[test]
     fn training_reward_improves_early_to_late() {
-        let tasks = DatasetId::K8s.model().sample(30, 11);
+        let tasks = DatasetId::K8s.model().sample(30, 17);
         let mut env = small_env();
         let dims = *env.dims();
-        let mut agent =
-            PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 7);
+        let mut agent = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 7);
         let mut rewards = Vec::new();
         for _ in 0..120 {
             env.reset(tasks.clone());
@@ -410,10 +420,7 @@ mod tests {
         }
         let early: f64 = rewards[..15].iter().sum::<f64>() / 15.0;
         let late: f64 = rewards[rewards.len() - 15..].iter().sum::<f64>() / 15.0;
-        assert!(
-            late > early + 10.0,
-            "training did not improve: early {early:.1} late {late:.1}"
-        );
+        assert!(late > early + 10.0, "training did not improve: early {early:.1} late {late:.1}");
 
         // The learned stochastic policy should be far above the all-wait
         // floor and in the same regime as random feasible placement.

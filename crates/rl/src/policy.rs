@@ -36,11 +36,7 @@ pub fn apply_mask(logits: &mut [f32], mask: &[bool]) {
 
 /// Samples from the masked policy: disallowed actions have probability 0
 /// and the returned log-prob is under the *masked* distribution.
-pub fn sample_action_masked(
-    logits: &[f32],
-    mask: &[bool],
-    rng: &mut impl Rng,
-) -> (usize, f32) {
+pub fn sample_action_masked(logits: &[f32], mask: &[bool], rng: &mut impl Rng) -> (usize, f32) {
     let mut masked = logits.to_vec();
     apply_mask(&mut masked, mask);
     sample_action(&masked, rng)
@@ -144,12 +140,8 @@ pub fn clipped_surrogate_grad_masked(
         // Entropy bonus: Loss −= c_H·H, dH/dlogit_j = −p_j(log p_j + H).
         // Masked-out actions have p = 0 and log p = −inf; their entropy
         // contribution and gradient are 0 (the x·log x → 0 limit).
-        let h: f32 = -lp
-            .iter()
-            .zip(&probs)
-            .filter(|(_, &p)| p > 0.0)
-            .map(|(l, p)| p * l)
-            .sum::<f32>();
+        let h: f32 =
+            -lp.iter().zip(&probs).filter(|(_, &p)| p > 0.0).map(|(l, p)| p * l).sum::<f32>();
         total_entropy += h * inv_n;
         if entropy_coef > 0.0 {
             let grow = grad.row_mut(i);
@@ -242,8 +234,7 @@ mod tests {
         let logits = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[-1.0, 0.2, 0.1]]);
         let actions = [2usize, 0];
         // Old log-probs close to current so ratios are near 1 (unclipped).
-        let old: Vec<f32> =
-            (0..2).map(|i| log_prob(logits.row(i), actions[i]) - 0.05).collect();
+        let old: Vec<f32> = (0..2).map(|i| log_prob(logits.row(i), actions[i]) - 0.05).collect();
         let advantages = [1.5f32, -0.7];
         let clip = 0.2;
         let coef = 0.01;
@@ -294,8 +285,7 @@ mod tests {
         // Old log-prob much lower than current → ratio >> 1+ε with A > 0.
         let old = [log_prob(logits.row(0), 0) - 2.0];
         let advantages = [1.0f32];
-        let (grad, stats) =
-            clipped_surrogate_grad(&logits, &actions, &old, &advantages, 0.2, 0.0);
+        let (grad, stats) = clipped_surrogate_grad(&logits, &actions, &old, &advantages, 0.2, 0.0);
         assert_eq!(stats.clip_fraction, 1.0);
         assert!(grad.as_slice().iter().all(|&g| g == 0.0));
     }
@@ -336,7 +326,13 @@ mod tests {
         let coef = 0.01;
 
         let (grad, stats) = clipped_surrogate_grad_masked(
-            &logits, &actions, &old, &advantages, 0.2, coef, Some(&mask),
+            &logits,
+            &actions,
+            &old,
+            &advantages,
+            0.2,
+            coef,
+            Some(&mask),
         );
         assert!(grad.as_slice().iter().all(|g| g.is_finite()));
         assert_eq!(grad[(0, 1)], 0.0, "masked logit must get zero gradient");
@@ -347,11 +343,7 @@ mod tests {
             let ratio = (lp[2] - old[0]).exp();
             let uncl = ratio * advantages[0];
             let cl = ratio.clamp(0.8, 1.2) * advantages[0];
-            let h: f32 = -lp
-                .iter()
-                .filter(|l| l.is_finite())
-                .map(|l| l.exp() * l)
-                .sum::<f32>();
+            let h: f32 = -lp.iter().filter(|l| l.is_finite()).map(|l| l.exp() * l).sum::<f32>();
             -uncl.min(cl) - coef * h
         };
         let eps = 1e-3;

@@ -326,11 +326,9 @@ impl SchedulingEnv for DagCloudEnv {
                 Some(head) => {
                     if self.cluster.vms()[i].can_fit(&head) {
                         placed = true;
-                        let lb_before =
-                            self.cluster.load_balance(&self.cfg.resource_weights);
+                        let lb_before = self.cluster.load_balance(&self.cfg.resource_weights);
                         self.cluster.vm_mut(i).place(&head, self.now);
-                        let lb_after =
-                            self.cluster.load_balance(&self.cfg.resource_weights);
+                        let lb_after = self.cluster.load_balance(&self.cfg.resource_weights);
                         self.queue.pop_front();
                         self.outstanding -= 1;
                         self.records.push(TaskRecord {
@@ -350,20 +348,14 @@ impl SchedulingEnv for DagCloudEnv {
                             head.duration,
                         )
                     } else {
-                        let r = crate::reward::denial_penalty(
-                            &self.cfg,
-                            &self.cluster.vms()[i],
-                        );
+                        let r = crate::reward::denial_penalty(&self.cfg, &self.cluster.vms()[i]);
                         self.advance_one();
                         r
                     }
                 }
             },
             Action::Wait => {
-                let lazy = self
-                    .queue
-                    .front()
-                    .is_some_and(|head| self.cluster.any_feasible(head));
+                let lazy = self.queue.front().is_some_and(|head| self.cluster.any_feasible(head));
                 if lazy {
                     self.advance_one();
                     self.cfg.lazy_wait_penalty
@@ -475,7 +467,7 @@ mod tests {
         e.step(Action::Wait);
         assert_eq!(e.now(), 10);
         assert_eq!(e.queue_len(), 2); // tasks 1 and 2 ready
-        // Their readiness time is the unlock time.
+                                      // Their readiness time is the unlock time.
         assert_eq!(e.head_task().unwrap().arrival, 10);
     }
 

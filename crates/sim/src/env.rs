@@ -6,8 +6,10 @@ use crate::config::{EnvConfig, EnvDims};
 use crate::metrics::{compute_metrics, EpisodeMetrics, TaskRecord};
 use crate::state::encode_state;
 use crate::vm::VmSpec;
+use pfrl_telemetry::Telemetry;
 use pfrl_workloads::TaskSpec;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// A scheduling action: assign the head-of-queue task to VM `i`, or wait
 /// one step (the `-1` of Eq. (2)).
@@ -74,6 +76,10 @@ pub struct CloudEnv {
     total_reward: f64,
     done: bool,
     truncated: bool,
+    telemetry: Telemetry,
+    /// Wall-clock start of the running episode; `None` while telemetry is
+    /// disabled so the hot path never reads the clock.
+    episode_started: Option<Instant>,
 }
 
 impl CloudEnv {
@@ -115,7 +121,15 @@ impl CloudEnv {
             total_reward: 0.0,
             done: true,
             truncated: false,
+            telemetry: Telemetry::noop(),
+            episode_started: None,
         }
+    }
+
+    /// Routes this environment's metrics (decisions/sec, queue depth,
+    /// per-episode step timing) to `telemetry`. Defaults to a noop handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Starts a new episode over `tasks` (will be arrival-sorted).
@@ -137,6 +151,7 @@ impl CloudEnv {
         if !self.done && self.queue.is_empty() {
             self.advance_auto();
         }
+        self.episode_started = self.telemetry.is_enabled().then(Instant::now);
     }
 
     /// Environment dims.
@@ -248,10 +263,7 @@ impl CloudEnv {
                 }
             },
             Action::Wait => {
-                let lazy = self
-                    .queue
-                    .front()
-                    .is_some_and(|head| self.cluster.any_feasible(head));
+                let lazy = self.queue.front().is_some_and(|head| self.cluster.any_feasible(head));
                 if lazy {
                     self.advance_one();
                     self.cfg.lazy_wait_penalty
@@ -270,14 +282,39 @@ impl CloudEnv {
             self.done = true;
             self.truncated = true;
         }
+        self.telemetry.observe("sim/queue_depth", self.queue.len() as f64);
+        if self.done {
+            self.record_episode_telemetry();
+        }
         StepOutcome { reward, done: self.done, placed }
+    }
+
+    /// Per-episode telemetry, emitted once when an episode finishes.
+    /// Deterministic quantities go to counters/histograms; wall-clock
+    /// quantities (decisions/sec, step time) go to gauges and spans only.
+    fn record_episode_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.counter("sim/decisions", self.decisions as u64);
+        self.telemetry.counter("sim/episodes", 1);
+        self.telemetry.observe("sim/episode_decisions", self.decisions as f64);
+        if let Some(started) = self.episode_started.take() {
+            let elapsed = started.elapsed();
+            let ns = elapsed.as_nanos() as u64;
+            self.telemetry.span_ns("sim/episode", ns);
+            if self.decisions > 0 && ns > 0 {
+                self.telemetry.gauge("sim/ns_per_decision", ns as f64 / self.decisions as f64);
+                self.telemetry
+                    .gauge("sim/decisions_per_sec", self.decisions as f64 / elapsed.as_secs_f64());
+            }
+        }
     }
 
     /// Episode metrics (valid once the episode is done; callable anytime for
     /// diagnostics on the records so far).
     pub fn metrics(&self) -> EpisodeMetrics {
-        let unplaced =
-            self.queue.len() + (self.tasks.len() - self.next_arrival) + self.rejected;
+        let unplaced = self.queue.len() + (self.tasks.len() - self.next_arrival) + self.rejected;
         compute_metrics(
             &self.records,
             &self.vm_specs,
@@ -373,10 +410,8 @@ impl CloudEnv {
         {
             let t = self.tasks[self.next_arrival];
             self.next_arrival += 1;
-            let admissible = self
-                .vm_specs
-                .iter()
-                .any(|s| t.vcpus <= s.vcpus && t.mem_gb <= s.mem_gb);
+            let admissible =
+                self.vm_specs.iter().any(|s| t.vcpus <= s.vcpus && t.mem_gb <= s.mem_gb);
             if admissible {
                 self.queue.push_back(t);
             } else {

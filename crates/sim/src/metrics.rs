@@ -98,8 +98,8 @@ pub fn compute_metrics(
             let spec = &vms[r.vm];
             let cpu_frac = r.vcpus as f64 / spec.vcpus as f64;
             let mem_frac = r.mem_gb as f64 / spec.mem_gb as f64;
-            util += (weights[0] as f64 * cpu_frac + weights[1] as f64 * mem_frac)
-                * r.duration as f64;
+            util +=
+                (weights[0] as f64 * cpu_frac + weights[1] as f64 * mem_frac) * r.duration as f64;
         }
         util /= vms.len() as f64 * makespan;
     }

@@ -26,12 +26,8 @@ pub fn placement_reward(
 /// Penalty for attempting an infeasible placement on `vm` (Eq. 9):
 /// `−exp(Σ w_i · util_i(vm))`.
 pub fn denial_penalty(cfg: &EnvConfig, vm: &Vm) -> f32 {
-    let weighted: f32 = cfg
-        .resource_weights
-        .iter()
-        .enumerate()
-        .map(|(r, w)| w * vm.utilization(r))
-        .sum();
+    let weighted: f32 =
+        cfg.resource_weights.iter().enumerate().map(|(r, w)| w * vm.utilization(r)).sum();
     -weighted.exp()
 }
 
@@ -84,10 +80,7 @@ mod tests {
         let mut vm = Vm::new(VmSpec::new(4, 16.0));
         let idle = denial_penalty(&cfg(), &vm);
         assert!((idle + 1.0).abs() < 1e-6, "idle VM: -e^0 = -1");
-        vm.place(
-            &TaskSpec { id: 0, arrival: 0, vcpus: 4, mem_gb: 16.0, duration: 5 },
-            0,
-        );
+        vm.place(&TaskSpec { id: 0, arrival: 0, vcpus: 4, mem_gb: 16.0, duration: 5 }, 0);
         let full = denial_penalty(&cfg(), &vm);
         assert!((full + std::f32::consts::E).abs() < 1e-5, "full VM: -e^1");
         assert!(full < idle);

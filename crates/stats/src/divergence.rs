@@ -15,18 +15,11 @@ pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "kl_divergence: length mismatch");
     for (name, dist) in [("p", p), ("q", q)] {
         let sum: f64 = dist.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-6,
-            "kl_divergence: {name} sums to {sum}, expected 1"
-        );
+        assert!((sum - 1.0).abs() < 1e-6, "kl_divergence: {name} sums to {sum}, expected 1");
         assert!(dist.iter().all(|&v| v >= 0.0), "kl_divergence: negative mass in {name}");
     }
     const EPS: f64 = 1e-12;
-    p.iter()
-        .zip(q)
-        .filter(|(&pi, _)| pi > 0.0)
-        .map(|(&pi, &qi)| pi * (pi / qi.max(EPS)).ln())
-        .sum()
+    p.iter().zip(q).filter(|(&pi, _)| pi > 0.0).map(|(&pi, &qi)| pi * (pi / qi.max(EPS)).ln()).sum()
 }
 
 /// Jensen–Shannon divergence (symmetric, bounded by `ln 2`).

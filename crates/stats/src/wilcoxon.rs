@@ -31,12 +31,7 @@ pub struct WilcoxonResult {
 /// undefined), or fewer than 1 pair is supplied.
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
     assert_eq!(a.len(), b.len(), "wilcoxon: length mismatch");
-    let diffs: Vec<f64> = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| x - y)
-        .filter(|d| *d != 0.0)
-        .collect();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
     assert!(
         !diffs.is_empty(),
         "wilcoxon: all differences are zero; the test statistic is undefined"
@@ -119,8 +114,7 @@ fn exact_two_sided_p(ranks2: &[u64], w_min2: u64) -> f64 {
 fn normal_two_sided_p(n: usize, tie_sizes: &[usize], w_plus: f64) -> f64 {
     let nf = n as f64;
     let mean = nf * (nf + 1.0) / 4.0;
-    let tie_corr: f64 =
-        tie_sizes.iter().map(|&t| (t * t * t - t) as f64).sum::<f64>() / 48.0;
+    let tie_corr: f64 = tie_sizes.iter().map(|&t| (t * t * t - t) as f64).sum::<f64>() / 48.0;
     let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_corr;
     if var <= 0.0 {
         return 1.0;
@@ -142,7 +136,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let result = poly * (-x * x).exp();
     if sign_neg {
         2.0 - result
@@ -227,8 +222,7 @@ mod tests {
         let total2: u64 = ranks2.iter().sum();
         let mut low = 0u64;
         for mask in 0u32..(1 << n) {
-            let wp2: u64 =
-                (0..n).filter(|&k| mask & (1 << k) != 0).map(|k| ranks2[k]).sum();
+            let wp2: u64 = (0..n).filter(|&k| mask & (1 << k) != 0).map(|k| ranks2[k]).sum();
             if wp2 <= w_min2 || (total2 - wp2) <= w_min2 {
                 low += 1;
             }

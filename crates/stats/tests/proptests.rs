@@ -1,9 +1,7 @@
 //! Property-based tests of the statistics crate.
 
-use pfrl_stats::{
-    histogram, kl_divergence, wilcoxon_signed_rank, EmpiricalCdf, Summary,
-};
 use pfrl_stats::descriptive::{mean, median, sample_variance};
+use pfrl_stats::{histogram, kl_divergence, wilcoxon_signed_rank, EmpiricalCdf, Summary};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,259 @@
+//! Fixed-bucket log-scale histogram with bounded-relative-error quantiles.
+
+/// Sub-buckets per power of two. Bucket boundaries are
+/// `2^(MIN_EXP + i/SUB_BUCKETS_PER_OCTAVE)`, giving a worst-case relative
+/// quantile error of `2^(1/8) − 1 ≈ 9.05%`.
+pub const SUB_BUCKETS_PER_OCTAVE: usize = 8;
+
+/// Smallest representable exponent: values below `2^-30` (≈ 1e-9) land in
+/// the underflow bucket. Covers sub-nanosecond fractions and tiny losses.
+const MIN_EXP: i32 = -30;
+
+/// Largest representable exponent: values at or above `2^40` (≈ 1.1e12) land
+/// in the overflow bucket. Covers nanosecond timings up to ~18 minutes.
+const MAX_EXP: i32 = 40;
+
+const N_CORE: usize = (MAX_EXP - MIN_EXP) as usize * SUB_BUCKETS_PER_OCTAVE;
+/// Core buckets plus underflow (index 0) and overflow (last index).
+const N_BUCKETS: usize = N_CORE + 2;
+
+/// A fixed-layout log₂-bucketed histogram of `f64` samples.
+///
+/// Every histogram shares the same bucket boundaries, so histograms merge
+/// by element-wise addition and equality is well-defined across runs.
+/// Recording is O(1) with no allocation after construction.
+///
+/// Non-positive samples (and samples below `2^-30`) are counted in the
+/// underflow bucket; they still contribute to `count`, `sum`, `min`, `max`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        // NaN and everything ≤ 0 land in the underflow bucket.
+        if value <= 0.0 || value.is_nan() {
+            return 0;
+        }
+        let exp = value.log2();
+        if exp < MIN_EXP as f64 {
+            return 0;
+        }
+        if exp >= MAX_EXP as f64 {
+            return N_BUCKETS - 1;
+        }
+        let idx = ((exp - MIN_EXP as f64) * SUB_BUCKETS_PER_OCTAVE as f64).floor() as usize + 1;
+        idx.min(N_BUCKETS - 2)
+    }
+
+    /// Exclusive upper bound of core bucket `idx` (1-based core indices).
+    fn bucket_upper_bound(idx: usize) -> f64 {
+        debug_assert!((1..N_BUCKETS - 1).contains(&idx));
+        2f64.powf(MIN_EXP as f64 + idx as f64 / SUB_BUCKETS_PER_OCTAVE as f64)
+    }
+
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Element-wise merge; the merged histogram equals one that observed
+    /// both sample streams (up to `sum`, which is order-sensitive in the
+    /// last float bits).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`.
+    ///
+    /// Returns an upper bound of the bucket holding the ⌈q·n⌉-th smallest
+    /// sample, clamped to the observed `[min, max]`. For positive samples
+    /// the estimate `e` of true quantile `t` satisfies
+    /// `t ≤ e ≤ t · 2^(1/SUB_BUCKETS_PER_OCTAVE)` — the bracketing property
+    /// checked by this crate's property tests. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if idx == 0 {
+                    // Underflow: no sub-bucket resolution; min is exact-ish.
+                    return self.min;
+                }
+                if idx == N_BUCKETS - 1 {
+                    return self.max;
+                }
+                return Self::bucket_upper_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Worst-case multiplicative quantile error: `2^(1/SUB) − 1`.
+    pub fn relative_error_bound() -> f64 {
+        2f64.powf(1.0 / SUB_BUCKETS_PER_OCTAVE as f64) - 1.0
+    }
+
+    /// Non-empty `(bucket_index, count)` pairs, for compact serialization.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+
+    /// The order-independent part of the histogram state: bucket counts,
+    /// total count, and the exact bit patterns of min/max. Excludes `sum`
+    /// (float addition is not associative, so parallel merges may differ in
+    /// the last bits). Equal fingerprints ⇒ the same multiset of buckets.
+    pub fn deterministic_fingerprint(&self) -> (Vec<(usize, u64)>, u64, u64, u64) {
+        (self.nonzero_buckets().collect(), self.count, self.min.to_bits(), self.max.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_yields_nan_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.mean().is_nan());
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let mut h = LogHistogram::new();
+        h.record(42.0);
+        // min==max==42 and the clamp pins every quantile to the sample.
+        assert_eq!(h.p50(), 42.0);
+        assert_eq!(h.p99(), 42.0);
+        assert_eq!(h.min(), 42.0);
+        assert_eq!(h.max(), 42.0);
+    }
+
+    #[test]
+    fn quantile_brackets_exact_value() {
+        let mut h = LogHistogram::new();
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.37).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let bound = 1.0 + LogHistogram::relative_error_bound();
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let est = h.quantile(q);
+            assert!(truth <= est && est <= truth * bound, "q={q}: truth={truth} est={est}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let samples_a: Vec<f64> = (1..50).map(|i| i as f64 * 1.31).collect();
+        let samples_b: Vec<f64> = (1..80).map(|i| i as f64 * 0.77).collect();
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        let mut hc = LogHistogram::new();
+        for &v in &samples_a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &samples_b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        assert_eq!(ha.deterministic_fingerprint(), hc.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn nonpositive_and_extreme_samples_hit_sentinel_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(1e-12);
+        h.record(1e15);
+        assert_eq!(h.count(), 4);
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].0, 0); // underflow
+        assert_eq!(buckets[0].1, 3);
+        assert_eq!(buckets[1].1, 1); // overflow
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 4);
+    }
+}

@@ -1,0 +1,182 @@
+//! Run manifests: the who/how of an experiment, written next to its results.
+
+use crate::jsonl::escape_json;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash; used to fingerprint configuration values.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Provenance record for one experiment run.
+///
+/// Written as `<result-stem>.manifest.json` alongside every result CSV so a
+/// number in `results/` can always be traced back to the seed, scale,
+/// machine parallelism, algorithm, and configuration that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Run identifier — conventionally the experiment/figure name.
+    pub run: String,
+    /// Algorithm under test (`pfrl_dm` / `fedavg` / `mfpo` / `ppo`), if one.
+    pub algorithm: Option<String>,
+    /// Master seed the run derives all randomness from.
+    pub seed: u64,
+    /// Value of `PFRL_SCALE` at run time (`quick` when unset).
+    pub scale: String,
+    /// `std::thread::available_parallelism()` on the machine that ran it.
+    pub threads: usize,
+    /// FNV-1a hash folded over the `Debug` rendering of every config value
+    /// registered via [`RunManifest::with_config_of`]; 0 when none.
+    pub config_hash: u64,
+    /// Unix timestamp (seconds) when the manifest was created.
+    pub created_unix_s: u64,
+}
+
+impl RunManifest {
+    pub fn new(run: &str) -> Self {
+        RunManifest {
+            run: run.to_string(),
+            algorithm: None,
+            seed: 0,
+            scale: std::env::var("PFRL_SCALE").unwrap_or_else(|_| "quick".to_string()),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            config_hash: 0,
+            created_unix_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_algorithm(mut self, algorithm: &str) -> Self {
+        self.algorithm = Some(algorithm.to_string());
+        self
+    }
+
+    /// Fold `cfg`'s `Debug` rendering into the config hash. Call once per
+    /// relevant config struct (env, PPO, federation, ...); order matters,
+    /// which is fine because call sites are static.
+    pub fn with_config_of(mut self, cfg: &impl std::fmt::Debug) -> Self {
+        let rendered = format!("{cfg:?}");
+        self.config_hash = fnv1a(rendered.as_bytes()) ^ self.config_hash.rotate_left(17);
+        self
+    }
+
+    pub fn to_json(&self) -> String {
+        let algorithm = match &self.algorithm {
+            Some(a) => format!("\"{}\"", escape_json(a)),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"run\": \"{run}\",\n",
+                "  \"algorithm\": {algorithm},\n",
+                "  \"seed\": {seed},\n",
+                "  \"scale\": \"{scale}\",\n",
+                "  \"threads\": {threads},\n",
+                "  \"config_hash\": \"{config_hash:016x}\",\n",
+                "  \"created_unix_s\": {created}\n",
+                "}}\n"
+            ),
+            run = escape_json(&self.run),
+            algorithm = algorithm,
+            seed = self.seed,
+            scale = escape_json(&self.scale),
+            threads = self.threads,
+            config_hash = self.config_hash,
+            created = self.created_unix_s,
+        )
+    }
+
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", parent.display())))?;
+            }
+        }
+        fs::write(path, self.to_json())
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+    }
+
+    /// Write `<stem>.manifest.json` next to `result_path` and return the
+    /// manifest's path.
+    pub fn write_next_to(&self, result_path: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let result_path = result_path.as_ref();
+        let stem = result_path.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
+        let manifest_path = result_path.with_file_name(format!("{stem}.manifest.json"));
+        self.write_to(&manifest_path)?;
+        Ok(manifest_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_json_contains_every_field() {
+        let m = RunManifest::new("fig08_training_curves")
+            .with_seed(42)
+            .with_algorithm("pfrl_dm")
+            .with_config_of(&("episodes", 200))
+            .with_config_of(&("gamma", 0.99));
+        let j = m.to_json();
+        for needle in [
+            "\"run\": \"fig08_training_curves\"",
+            "\"algorithm\": \"pfrl_dm\"",
+            "\"seed\": 42",
+            "\"scale\": \"",
+            "\"threads\": ",
+            "\"config_hash\": \"",
+            "\"created_unix_s\": ",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+
+    #[test]
+    fn config_hash_depends_on_config() {
+        let base = RunManifest::new("x");
+        let a = base.clone().with_config_of(&1u32);
+        let b = base.clone().with_config_of(&2u32);
+        assert_ne!(a.config_hash, b.config_hash);
+        assert_eq!(base.config_hash, 0);
+    }
+
+    #[test]
+    fn write_next_to_places_manifest_beside_result() {
+        let dir = std::env::temp_dir().join(format!("pfrl-manifest-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("table3_eval.csv");
+        let m = RunManifest::new("table3_eval").with_seed(7);
+        let written = m.write_next_to(&csv).unwrap();
+        assert_eq!(written, dir.join("table3_eval.manifest.json"));
+        let text = fs::read_to_string(&written).unwrap();
+        assert!(text.contains("\"seed\": 7"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_errors_carry_path_context() {
+        let m = RunManifest::new("x");
+        let bogus = Path::new("/proc/definitely/not/writable/m.json");
+        let err = m.write_to(bogus).unwrap_err();
+        assert!(err.to_string().contains("/proc/definitely"), "error lacks path context: {err}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The `Recorder` trait, the cheap `Telemetry` handle, and the in-process
+//! recorder implementations.
+
+use crate::histogram::LogHistogram;
+use crate::span::SpanGuard;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A metrics backend. Implementations must be thread-safe: parallel client
+/// training calls into one shared recorder from many threads.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder wants events at all. `Telemetry::new` consults
+    /// this once and drops disabled recorders, so per-event calls never pay
+    /// for a disabled backend.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &str, delta: u64);
+
+    /// Set the named gauge to `value` (last write wins).
+    fn gauge_set(&self, name: &str, value: f64);
+
+    /// Fold `value` into the named histogram.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Record a completed span at `path` lasting `nanos` nanoseconds.
+    fn span_ns(&self, path: &str, nanos: u64);
+
+    /// Flush buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Recorder that drops everything. Rarely needed directly — prefer
+/// [`Telemetry::noop`], which skips the virtual call entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn counter_add(&self, _: &str, _: u64) {}
+    #[inline]
+    fn gauge_set(&self, _: &str, _: f64) {}
+    #[inline]
+    fn observe(&self, _: &str, _: f64) {}
+    #[inline]
+    fn span_ns(&self, _: &str, _: u64) {}
+}
+
+/// The handle instrumented code holds (cheaply cloneable).
+///
+/// `Telemetry::noop()` holds no recorder, so every recording method is one
+/// branch on the `Option` discriminant — no formatting, clock reads, locks,
+/// or allocation. This is what makes default-constructed agents, envs, and
+/// runners effectively instrumentation-free.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl Telemetry {
+    /// A disabled handle; the default for every instrumented component.
+    pub fn noop() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Wrap a recorder. A recorder reporting `enabled() == false` is
+    /// discarded immediately so the handle degrades to a noop.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        if recorder.enabled() {
+            Telemetry { inner: Some(recorder) }
+        } else {
+            Telemetry { inner: None }
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(r) = &self.inner {
+            r.counter_add(name, delta);
+        }
+    }
+
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(r) = &self.inner {
+            r.gauge_set(name, value);
+        }
+    }
+
+    #[inline]
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(r) = &self.inner {
+            r.observe(name, value);
+        }
+    }
+
+    #[inline]
+    pub fn span_ns(&self, path: &str, nanos: u64) {
+        if let Some(r) = &self.inner {
+            r.span_ns(path, nanos);
+        }
+    }
+
+    /// Start a hierarchical span; its wall-clock time is recorded at `path`
+    /// when the guard drops (or [`SpanGuard::finish`] is called). On a noop
+    /// handle no clock is read.
+    #[inline]
+    pub fn span(&self, path: &'static str) -> SpanGuard<'_> {
+        SpanGuard::new(self, path)
+    }
+
+    pub fn flush(&self) {
+        if let Some(r) = &self.inner {
+            r.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() { "Telemetry(active)" } else { "Telemetry(noop)" })
+    }
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+#[derive(Default)]
+struct MetricsState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// In-process aggregating recorder; read results via [`Self::snapshot`].
+#[derive(Default)]
+pub struct InMemoryRecorder {
+    state: Mutex<MetricsState>,
+}
+
+impl InMemoryRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let st = self.state.lock().expect("telemetry state poisoned");
+        MetricsSnapshot {
+            counters: st.counters.clone(),
+            gauges: st.gauges.clone(),
+            histograms: st.histograms.clone(),
+            spans: st.spans.clone(),
+        }
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut st = self.state.lock().expect("telemetry state poisoned");
+        *st.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut st = self.state.lock().expect("telemetry state poisoned");
+        st.gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut st = self.state.lock().expect("telemetry state poisoned");
+        st.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    fn span_ns(&self, path: &str, nanos: u64) {
+        let mut st = self.state.lock().expect("telemetry state poisoned");
+        let s = st.spans.entry(path.to_string()).or_default();
+        s.count += 1;
+        s.total_ns += nanos;
+    }
+}
+
+/// A point-in-time copy of an [`InMemoryRecorder`]'s aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, LogHistogram>,
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn span_total_ns(&self, path: &str) -> u64 {
+        self.spans.get(path).map(|s| s.total_ns).unwrap_or(0)
+    }
+
+    pub fn span_count(&self, path: &str) -> u64 {
+        self.spans.get(path).map(|s| s.count).unwrap_or(0)
+    }
+
+    /// The order-independent subset of the snapshot: all counters, plus each
+    /// histogram's [`LogHistogram::deterministic_fingerprint`]. Two runs of
+    /// a deterministic workload — regardless of thread interleaving — must
+    /// produce equal fingerprints; gauges and spans (wall-clock) are
+    /// deliberately excluded.
+    #[allow(clippy::type_complexity)]
+    pub fn deterministic_fingerprint(
+        &self,
+    ) -> (BTreeMap<String, u64>, BTreeMap<String, (Vec<(usize, u64)>, u64, u64, u64)>) {
+        (
+            self.counters.clone(),
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.deterministic_fingerprint()))
+                .collect(),
+        )
+    }
+}
+
+/// Tees every event to several recorders (e.g. in-memory + JSONL).
+pub struct FanoutRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        FanoutRecorder { sinks }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        for s in &self.sinks {
+            s.counter_add(name, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        for s in &self.sinks {
+            s.gauge_set(name, value);
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        for s in &self.sinks {
+            s.observe(name, value);
+        }
+    }
+
+    fn span_ns(&self, path: &str, nanos: u64) {
+        for s in &self.sinks {
+            s.span_ns(path, nanos);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_reports_disabled_and_ignores_everything() {
+        let t = Telemetry::noop();
+        assert!(!t.is_enabled());
+        t.counter("c", 1);
+        t.gauge("g", 1.0);
+        t.observe("h", 1.0);
+        let span = t.span("s");
+        drop(span);
+        t.flush();
+        // Wrapping a NoopRecorder degrades to the same thing.
+        let t2 = Telemetry::new(Arc::new(NoopRecorder));
+        assert!(!t2.is_enabled());
+    }
+
+    #[test]
+    fn in_memory_recorder_aggregates() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        assert!(t.is_enabled());
+        t.counter("fed/bytes_up", 100);
+        t.counter("fed/bytes_up", 50);
+        t.gauge("sim/decisions_per_sec", 123.0);
+        t.gauge("sim/decisions_per_sec", 456.0);
+        t.observe("rl/episode_reward", 10.0);
+        t.observe("rl/episode_reward", 20.0);
+        t.span_ns("fed/round", 1000);
+        t.span_ns("fed/round", 500);
+        let s = rec.snapshot();
+        assert_eq!(s.counter("fed/bytes_up"), 150);
+        assert_eq!(s.gauge("sim/decisions_per_sec"), Some(456.0));
+        assert_eq!(s.histogram("rl/episode_reward").unwrap().count(), 2);
+        assert_eq!(s.span_total_ns("fed/round"), 1500);
+        assert_eq!(s.span_count("fed/round"), 2);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn fanout_reaches_all_sinks() {
+        let a = Arc::new(InMemoryRecorder::new());
+        let b = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(Arc::new(FanoutRecorder::new(vec![a.clone(), b.clone()])));
+        t.counter("c", 7);
+        assert_eq!(a.snapshot().counter("c"), 7);
+        assert_eq!(b.snapshot().counter("c"), 7);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        t.counter("n", 1);
+                        t.observe("v", 2.0);
+                    }
+                });
+            }
+        });
+        let s = rec.snapshot();
+        assert_eq!(s.counter("n"), 8000);
+        assert_eq!(s.histogram("v").unwrap().count(), 8000);
+    }
+}

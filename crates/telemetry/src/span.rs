@@ -1,0 +1,135 @@
+//! Hierarchical wall-clock spans on monotonic timers.
+
+use crate::recorder::Telemetry;
+use std::borrow::Cow;
+use std::time::{Duration, Instant};
+
+/// RAII timing guard. Created by [`Telemetry::span`]; records elapsed
+/// nanoseconds under its `/`-separated path when dropped (or explicitly via
+/// [`SpanGuard::finish`]). [`SpanGuard::child`] derives nested spans whose
+/// paths extend the parent's (`fed/round` → `fed/round/upload`).
+///
+/// On a disabled [`Telemetry`] handle the guard is inert: no clock is read
+/// and no path string is allocated.
+pub struct SpanGuard<'a> {
+    telemetry: &'a Telemetry,
+    path: Cow<'static, str>,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn new(telemetry: &'a Telemetry, path: &'static str) -> Self {
+        SpanGuard {
+            telemetry,
+            path: Cow::Borrowed(path),
+            start: telemetry.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// A child span named `<self.path>/<name>`. Children must drop (or
+    /// `finish`) before the parent for the recorded nesting to be truthful;
+    /// Rust's drop order makes that the default for stack-held guards.
+    pub fn child(&self, name: &str) -> SpanGuard<'a> {
+        if self.start.is_none() {
+            return SpanGuard { telemetry: self.telemetry, path: Cow::Borrowed(""), start: None };
+        }
+        SpanGuard {
+            telemetry: self.telemetry,
+            path: Cow::Owned(format!("{}/{}", self.path, name)),
+            start: Some(Instant::now()),
+        }
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Time since the span started (zero for inert spans).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map_or(Duration::ZERO, |s| s.elapsed())
+    }
+
+    /// End the span now, record it, and return the measured duration.
+    pub fn finish(mut self) -> Duration {
+        match self.start.take() {
+            Some(s) => {
+                let d = s.elapsed();
+                self.telemetry.span_ns(&self.path, d.as_nanos() as u64);
+                d
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.start.take() {
+            self.telemetry.span_ns(&self.path, s.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{InMemoryRecorder, Telemetry};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        {
+            let round = t.span("fed/round");
+            {
+                let upload = round.child("upload");
+                assert_eq!(upload.path(), "fed/round/upload");
+                let inner = upload.child("serialize");
+                assert_eq!(inner.path(), "fed/round/upload/serialize");
+            }
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.span_count("fed/round"), 1);
+        assert_eq!(s.span_count("fed/round/upload"), 1);
+        assert_eq!(s.span_count("fed/round/upload/serialize"), 1);
+    }
+
+    #[test]
+    fn child_elapsed_is_monotonic_and_bounded_by_parent() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        let parent = t.span("outer");
+        std::thread::sleep(Duration::from_millis(2));
+        let child = parent.child("inner");
+        std::thread::sleep(Duration::from_millis(2));
+        let e1 = child.elapsed();
+        let e2 = child.elapsed();
+        assert!(e2 >= e1, "elapsed must be monotonic: {e1:?} then {e2:?}");
+        let child_dur = child.finish();
+        let parent_dur = parent.finish();
+        assert!(child_dur > Duration::ZERO);
+        assert!(parent_dur >= child_dur, "parent {parent_dur:?} < child {child_dur:?}");
+        let s = rec.snapshot();
+        assert!(s.span_total_ns("outer") >= s.span_total_ns("outer/inner"));
+    }
+
+    #[test]
+    fn finish_prevents_double_record() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        let span = t.span("once");
+        let _ = span.finish(); // drop runs after finish; must not re-record
+        assert_eq!(rec.snapshot().span_count("once"), 1);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let t = Telemetry::noop();
+        let parent = t.span("a");
+        let child = parent.child("b");
+        assert_eq!(child.elapsed(), Duration::ZERO);
+        assert_eq!(child.finish(), Duration::ZERO);
+        assert_eq!(parent.finish(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the log-scale histogram's quantile math.
+
+use pfrl_telemetry::LogHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bracketing: for positive samples, every recorded quantile estimate
+    /// `e` of the true (order-statistic) quantile `t` satisfies
+    /// `t ≤ e ≤ t · (1 + relative_error_bound())`.
+    #[test]
+    fn quantiles_bracket_true_quantiles(
+        samples in vec(1e-6f64..1e9, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q);
+        let bound = 1.0 + LogHistogram::relative_error_bound();
+        prop_assert!(
+            truth <= est && est <= truth * bound,
+            "q={} n={} truth={} est={} bound={}",
+            q, sorted.len(), truth, est, truth * bound
+        );
+    }
+
+    /// Quantiles are monotone in `q` and pinned inside [min, max].
+    #[test]
+    fn quantiles_are_monotone_and_within_range(
+        samples in vec(1e-6f64..1e9, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.quantile(lo) >= h.min());
+        prop_assert!(h.quantile(hi) <= h.max());
+    }
+
+    /// Count/sum bookkeeping matches the sample stream, and merging two
+    /// histograms fingerprints identically to recording both streams.
+    #[test]
+    fn merge_matches_joint_recording(
+        xs in vec(1e-3f64..1e6, 0..100),
+        ys in vec(1e-3f64..1e6, 0..100),
+    ) {
+        let mut hx = LogHistogram::new();
+        let mut hy = LogHistogram::new();
+        let mut joint = LogHistogram::new();
+        for &v in &xs { hx.record(v); joint.record(v); }
+        for &v in &ys { hy.record(v); joint.record(v); }
+        hx.merge(&hy);
+        prop_assert_eq!(hx.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(hx.deterministic_fingerprint(), joint.deterministic_fingerprint());
+    }
+}

@@ -30,8 +30,7 @@ impl ArrivalProfile {
         assert!(low > 0.0 && high >= low, "need 0 < low <= high");
         let mut rates = [0.0; 24];
         for (h, r) in rates.iter_mut().enumerate() {
-            let phase =
-                (h as f64 - trough_hour as f64) / 24.0 * std::f64::consts::TAU;
+            let phase = (h as f64 - trough_hour as f64) / 24.0 * std::f64::consts::TAU;
             // cos = 1 at the trough hour.
             *r = low + (high - low) * 0.5 * (1.0 - phase.cos());
         }
@@ -153,12 +152,7 @@ mod tests {
         let a = p.sample_arrivals(20_000, &mut SmallRng::seed_from_u64(3));
         let counts = ArrivalProfile::empirical_hourly_counts(&a);
         // Peak hour (12) should see far more arrivals than trough hour (0).
-        assert!(
-            counts[12] > counts[0] * 3.0,
-            "peak {} trough {}",
-            counts[12],
-            counts[0]
-        );
+        assert!(counts[12] > counts[0] * 3.0, "peak {} trough {}", counts[12], counts[0]);
     }
 
     #[test]

@@ -255,11 +255,7 @@ mod tests {
     #[test]
     fn hpc_arrivals_flat_k8s_bursty() {
         let hpc = DatasetId::HpcKs.model().arrival;
-        let spread = hpc
-            .hourly_rates
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = hpc.hourly_rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - hpc.hourly_rates.iter().cloned().fold(f64::INFINITY, f64::min);
         assert_eq!(spread, 0.0);
         let k8s = DatasetId::K8s.model().arrival;

@@ -52,8 +52,7 @@ impl DurationModel {
             DurationModel::LogNormal { mu, sigma, min_steps, max_steps } => {
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
-                let z =
-                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                 let val = (mu + sigma * z).exp();
                 (val.round() as u64).clamp(*min_steps, *max_steps)
             }
@@ -106,10 +105,7 @@ mod tests {
         samples.sort_unstable();
         let median = samples[samples.len() / 2] as f64;
         let expect = 3.0f64.exp();
-        assert!(
-            (median - expect).abs() / expect < 0.1,
-            "median {median} vs {expect}"
-        );
+        assert!((median - expect).abs() / expect < 0.1, "median {median} vs {expect}");
     }
 
     #[test]

@@ -139,6 +139,9 @@ mod tests {
     #[test]
     fn node_counts_match_paper_totals() {
         let total: u32 = machine_table().iter().map(|r| r.nodes).sum();
-        assert_eq!(total, 6 + 1551 + 101 + 20 + 18 + 33 + 113 + 36 + 28 + 798 + 497 + 280 + 135 + 104 + 83);
+        assert_eq!(
+            total,
+            6 + 1551 + 101 + 20 + 18 + 33 + 113 + 36 + 28 + 798 + 497 + 280 + 135 + 104 + 83
+        );
     }
 }

@@ -90,10 +90,7 @@ mod tests {
         let sets = vec![mk(200, 1), mk(200, 2), mk(200, 3), mk(200, 4)];
         let hybrid = hybrid_test_set(&sets, 0, 0.2, 1);
         for cpu in [2, 3, 4] {
-            assert!(
-                hybrid.iter().any(|t| t.vcpus == cpu),
-                "no tasks from client with cpu={cpu}"
-            );
+            assert!(hybrid.iter().any(|t| t.vcpus == cpu), "no tasks from client with cpu={cpu}");
         }
     }
 

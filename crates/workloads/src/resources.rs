@@ -34,10 +34,7 @@ impl ResourceModel {
         assert!(!classes.is_empty(), "ResourceModel: no classes");
         for (i, c) in classes.iter().enumerate() {
             assert!(c.vcpus >= 1, "class {i}: zero vcpus");
-            assert!(
-                c.mem_gb.0 > 0.0 && c.mem_gb.0 <= c.mem_gb.1,
-                "class {i}: bad memory range"
-            );
+            assert!(c.mem_gb.0 > 0.0 && c.mem_gb.0 <= c.mem_gb.1, "class {i}: bad memory range");
             assert!(c.weight > 0.0, "class {i}: non-positive weight");
         }
         let total_weight = classes.iter().map(|c| c.weight).sum();
@@ -70,11 +67,7 @@ impl ResourceModel {
 
     /// Expected vCPU request.
     pub fn mean_vcpus(&self) -> f64 {
-        self.classes
-            .iter()
-            .map(|c| c.vcpus as f64 * c.weight)
-            .sum::<f64>()
-            / self.total_weight
+        self.classes.iter().map(|c| c.vcpus as f64 * c.weight).sum::<f64>() / self.total_weight
     }
 
     /// Largest possible vCPU request.

@@ -33,10 +33,7 @@ fn normalize(mut tasks: Vec<TaskSpec>) -> Vec<TaskSpec> {
 /// # Panics
 /// If `train_frac` is outside `(0, 1)`.
 pub fn train_test_split(tasks: &[TaskSpec], train_frac: f64, seed: u64) -> Split {
-    assert!(
-        train_frac > 0.0 && train_frac < 1.0,
-        "train_frac {train_frac} must be in (0,1)"
-    );
+    assert!(train_frac > 0.0 && train_frac < 1.0, "train_frac {train_frac} must be in (0,1)");
     let mut idx: Vec<usize> = (0..tasks.len()).collect();
     idx.shuffle(&mut SmallRng::seed_from_u64(seed));
     let n_train = ((tasks.len() as f64) * train_frac).round() as usize;
@@ -51,7 +48,11 @@ pub fn train_test_split(tasks: &[TaskSpec], train_frac: f64, seed: u64) -> Split
 /// subsample from each client's task set, merged and re-normalized. The
 /// result has `per_client × sets.len()` tasks (or fewer if a client has
 /// fewer tasks).
-pub fn combined_heterogeneous(sets: &[Vec<TaskSpec>], per_client: usize, seed: u64) -> Vec<TaskSpec> {
+pub fn combined_heterogeneous(
+    sets: &[Vec<TaskSpec>],
+    per_client: usize,
+    seed: u64,
+) -> Vec<TaskSpec> {
     let mut all = Vec::new();
     for (k, set) in sets.iter().enumerate() {
         let mut idx: Vec<usize> = (0..set.len()).collect();
@@ -92,12 +93,7 @@ mod tests {
         let tasks = mk_tasks(50, 2);
         let s = train_test_split(&tasks, 0.6, 2);
         // mem_gb values are unique per task in mk_tasks, so use them as keys.
-        let mut seen: Vec<i64> = s
-            .train
-            .iter()
-            .chain(&s.test)
-            .map(|t| t.mem_gb as i64)
-            .collect();
+        let mut seen: Vec<i64> = s.train.iter().chain(&s.test).map(|t| t.mem_gb as i64).collect();
         seen.sort_unstable();
         let expect: Vec<i64> = (0..50).map(|i| (1 + i) as i64).collect();
         assert_eq!(seen, expect);

@@ -126,8 +126,7 @@ impl WorkflowModel {
                     let deps = if prev_layer.is_empty() {
                         Vec::new()
                     } else {
-                        let k = rng
-                            .gen_range(1..=self.max_fan_in.min(prev_layer.len()));
+                        let k = rng.gen_range(1..=self.max_fan_in.min(prev_layer.len()));
                         let mut choices = prev_layer.clone();
                         let mut deps = Vec::with_capacity(k);
                         for _ in 0..k {
@@ -171,7 +170,7 @@ mod tests {
         for wf in model().sample(20, 1) {
             assert!(wf.is_valid());
             assert!(wf.len() >= 3); // at least layers.0 × width.0
-            // Layer 0 tasks have no deps; some later task has deps.
+                                    // Layer 0 tasks have no deps; some later task has deps.
             assert!(wf.tasks[0].deps.is_empty());
             assert!(wf.tasks.iter().any(|t| !t.deps.is_empty()));
         }

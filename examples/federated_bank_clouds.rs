@@ -62,8 +62,7 @@ fn main() {
             let participants = &runner.participant_history[round - 1];
             println!("\nround {round} attention weights (participants {participants:?}):");
             for r in 0..w.rows() {
-                let row: Vec<String> =
-                    (0..w.cols()).map(|c| format!("{:.3}", w[(r, c)])).collect();
+                let row: Vec<String> = (0..w.cols()).map(|c| format!("{:.3}", w[(r, c)])).collect();
                 println!("  client {} -> [{}]", participants[r], row.join(", "));
             }
         }

@@ -12,9 +12,7 @@
 //! cargo run --release --example hybrid_workload_stress
 //! ```
 
-use pfrl_dm::experiment::{
-    evaluate_generalization, run_federation, Algorithm,
-};
+use pfrl_dm::experiment::{evaluate_generalization, run_federation, Algorithm};
 use pfrl_dm::fed::FedConfig;
 use pfrl_dm::presets::{table3_clients, TABLE3_DIMS};
 use pfrl_dm::rl::PpoConfig;

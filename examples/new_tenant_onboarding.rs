@@ -32,8 +32,7 @@ fn main() {
     };
     let ppo_cfg = PpoConfig::default();
 
-    let mut runner =
-        PfrlDmRunner::new(setups, TABLE2_DIMS, EnvConfig::default(), ppo_cfg, fed_cfg);
+    let mut runner = PfrlDmRunner::new(setups, TABLE2_DIMS, EnvConfig::default(), ppo_cfg, fed_cfg);
 
     // Warm up the federation: 4 rounds = 60 episodes.
     println!("warming up 3-client federation for 60 episodes…");
@@ -51,12 +50,8 @@ fn main() {
     let joined_curve = runner.clients[joiner_idx].rewards.clone();
 
     // Control: a fresh PPO on the identical environment and episode count.
-    let mut control = PpoAgent::new(
-        TABLE2_DIMS.state_dim(),
-        TABLE2_DIMS.action_dim(),
-        ppo_cfg,
-        999,
-    );
+    let mut control =
+        PpoAgent::new(TABLE2_DIMS.state_dim(), TABLE2_DIMS.action_dim(), ppo_cfg, 999);
     let mut env = CloudEnv::new(TABLE2_DIMS, joiner.vms.clone(), EnvConfig::default());
     let mut control_curve = Vec::new();
     for ep in 0..joined_curve.len() {

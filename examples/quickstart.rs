@@ -51,7 +51,10 @@ fn main() {
     println!("PPO training reward: first-10 avg {first10:.1} -> last-10 avg {last10:.1}");
 
     // Evaluate the trained policy greedily and compare with heuristics.
-    println!("\n{:<10} {:>10} {:>10} {:>8} {:>9}", "policy", "response", "makespan", "util", "loadbal");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>8} {:>9}",
+        "policy", "response", "makespan", "util", "loadbal"
+    );
     let mut e = mk_env();
     e.reset(tasks.clone());
     let m = agent.evaluate(&mut e);

@@ -68,7 +68,10 @@ fn main() {
     ff_env.reset(workflows.clone());
     run_first_fit(&mut ff_env);
 
-    println!("\n{:<10} {:>14} {:>14} {:>16}", "workflow", "critical path", "PPO makespan", "firstfit makespan");
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>16}",
+        "workflow", "critical path", "PPO makespan", "firstfit makespan"
+    );
     for (i, wf) in workflows.iter().enumerate() {
         let cp = wf.critical_path();
         let ppo = ppo_env.workflow_makespans()[i];

@@ -1,0 +1,300 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! This build environment has no registry access, so the workspace vendors the
+//! small slice of `rand` it actually uses: `SmallRng` (xoshiro256++ seeded via
+//! SplitMix64), `Rng::{gen_range, gen_bool}`, `SeedableRng::seed_from_u64`,
+//! `seq::SliceRandom::shuffle`, and `distributions::{Distribution, Uniform}`.
+//! The numeric streams differ from upstream `rand`, but every consumer in this
+//! repo only requires a deterministic, well-mixed, seedable stream — not the
+//! upstream byte-for-byte sequence.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: 32/64-bit uniform words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be uniformly sampled from a range via [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    debug_assert!(span > 0);
+    // Modulo bias is < 2^-64 * span for the spans used in this repo (all far
+    // below 2^64), which is negligible for simulation purposes.
+    (rng.next_u64() as u128 % span) as u64
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    // 24 random mantissa bits in [0, 1).
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + $unit(rng) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + $unit(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32 => unit_f32, f64 => unit_f64);
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid; the same
+    /// generator family upstream `rand` uses for `SmallRng` on 64-bit.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // All-zero state is the one degenerate case; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (Fisher–Yates), the only `seq` API this repo uses.
+    pub trait SliceRandom {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let span = i as u128 + 1;
+                let j = (rng.next_u64() as u128 % span) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::{RngCore, SampleRange};
+
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy + PartialOrd> Uniform<T> {
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    macro_rules! impl_uniform {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    (self.low..self.high).sample_from(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let a_next: Vec<u64> = (0..8).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let c_next: Vec<u64> = (0..8).map(|_| c.gen_range(0..u64::MAX)).collect();
+        assert_ne!(a_next, c_next);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.5f32..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let i = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_distribution_samples_in_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let dist = Uniform::new(-0.1f32, 0.1);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.1..0.1).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! Implements the slice-parallelism pipelines this workspace uses —
+//! `par_iter().map(f).collect()`, `par_iter().enumerate().flat_map(f).collect()`,
+//! `par_iter().for_each(f)` and `par_iter_mut().for_each(f)` — on top of
+//! `std::thread::scope`. Work is split into contiguous chunks, one OS thread
+//! per chunk, and results are stitched back in input order, so `collect` is
+//! order-preserving exactly like real rayon's indexed parallel iterators.
+
+use std::panic;
+
+/// Number of worker threads for `len` items: use the machine's parallelism,
+/// but always at least 2 when there are ≥2 items so concurrency is genuinely
+/// exercised even on single-core CI boxes.
+fn workers_for(len: usize) -> usize {
+    if len < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2).min(len)
+}
+
+fn join_all<R>(handles: Vec<std::thread::ScopedJoinHandle<'_, R>>) -> Vec<R> {
+    handles
+        .into_iter()
+        .map(|h| match h.join() {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+/// Run `f` over each item of `items`, in parallel chunks, preserving order.
+fn par_chunks_map<'a, T, U, F>(items: &'a [T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let parts = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        join_all(handles)
+    });
+    parts.into_iter().flatten().collect()
+}
+
+fn par_chunks_mut_for_each<'a, T, F>(items: &'a mut [T], f: &F)
+where
+    T: Send,
+    F: Fn(&'a mut T) + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        items.iter_mut().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            items.chunks_mut(chunk).map(|c| s.spawn(move || c.iter_mut().for_each(f))).collect();
+        join_all(handles);
+    });
+}
+
+/// Collecting from an order-preserving parallel pipeline.
+pub trait FromParallelIterator<T>: Sized {
+    fn from_ordered_parts(parts: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_parts(parts: Vec<T>) -> Self {
+        parts
+    }
+}
+
+/// `slice.par_iter()` — borrowing parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_chunks_map(self.items, &|item| f(item));
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_ordered_parts(par_chunks_map(self.items, &self.f))
+    }
+}
+
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    pub fn flat_map<U, I, F>(self, f: F) -> ParEnumFlatMap<'a, T, F>
+    where
+        I: IntoIterator<Item = U>,
+        U: Send,
+        F: Fn((usize, &'a T)) -> I + Sync,
+    {
+        ParEnumFlatMap { items: self.items, f }
+    }
+
+    pub fn map<U, F>(self, f: F) -> ParEnumMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn((usize, &'a T)) -> U + Sync,
+    {
+        ParEnumMap { items: self.items, f }
+    }
+}
+
+pub struct ParEnumFlatMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, I, F> ParEnumFlatMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    I: IntoIterator<Item = U>,
+    F: Fn((usize, &'a T)) -> I + Sync,
+{
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        // Enumerate with *global* indices: pair each item with its position
+        // first, then chunk, so indices survive the split across threads.
+        let indexed: Vec<(usize, &'a T)> = self.items.iter().enumerate().collect();
+        let f = &self.f;
+        let nested =
+            par_chunks_map(&indexed, &|&(i, item)| f((i, item)).into_iter().collect::<Vec<U>>());
+        C::from_ordered_parts(nested.into_iter().flatten().collect())
+    }
+}
+
+pub struct ParEnumMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParEnumMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn((usize, &'a T)) -> U + Sync,
+{
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        let indexed: Vec<(usize, &'a T)> = self.items.iter().enumerate().collect();
+        let f = &self.f;
+        C::from_ordered_parts(par_chunks_map(&indexed, &|&(i, item)| f((i, item))))
+    }
+}
+
+/// `slice.par_iter_mut()` — parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        par_chunks_mut_for_each(self.items, &f);
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x as u64 * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_flat_map_preserves_order_and_indices() {
+        let v = vec!["a", "b", "c", "d", "e"];
+        let out: Vec<String> = v
+            .par_iter()
+            .enumerate()
+            .flat_map(|(i, s)| vec![format!("{i}:{s}"), format!("{i}!")])
+            .collect();
+        assert_eq!(out, vec!["0:a", "0!", "1:b", "1!", "2:c", "2!", "3:d", "3!", "4:e", "4!"]);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item() {
+        let mut v: Vec<usize> = vec![0; 777];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_each_runs_once_per_item() {
+        let counter = AtomicUsize::new(0);
+        let v: Vec<u8> = vec![1; 123];
+        v.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 123);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let v: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> =
+                v.par_iter().map(|&x| if x == 7 { panic!("boom") } else { x }).collect();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -19,8 +19,12 @@ fn mk_env() -> CloudEnv {
 
 fn arb_tasks(max: usize) -> impl Strategy<Value = Vec<TaskSpec>> {
     proptest::collection::vec(
-        (0u64..200, 1u32..10, 1u32..70, 1u64..50).prop_map(|(arrival, vcpus, mem, dur)| {
-            TaskSpec { id: 0, arrival, vcpus, mem_gb: mem as f32, duration: dur }
+        (0u64..200, 1u32..10, 1u32..70, 1u64..50).prop_map(|(arrival, vcpus, mem, dur)| TaskSpec {
+            id: 0,
+            arrival,
+            vcpus,
+            mem_gb: mem as f32,
+            duration: dur,
         }),
         1..max,
     )

@@ -119,13 +119,8 @@ fn secure_aggregation_is_transparent_to_training() {
         seed: 3,
         parallel: false,
     };
-    let mut plain = FedAvgRunner::new(
-        setups.clone(),
-        dims,
-        EnvConfig::default(),
-        PpoConfig::default(),
-        fed,
-    );
+    let mut plain =
+        FedAvgRunner::new(setups.clone(), dims, EnvConfig::default(), PpoConfig::default(), fed);
     let mut secure =
         FedAvgRunner::new(setups, dims, EnvConfig::default(), PpoConfig::default(), fed)
             .with_secure_aggregation(true);
@@ -138,8 +133,7 @@ fn secure_aggregation_is_transparent_to_training() {
     }
     let pa = plain.clients[0].agent.actor_params();
     let pb = secure.clients[0].agent.actor_params();
-    let drift: f32 = pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f32>()
-        / pa.len() as f32;
+    let drift: f32 = pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum::<f32>() / pa.len() as f32;
     assert!(drift < 1e-2, "mean param drift {drift}");
 }
 
@@ -159,8 +153,7 @@ fn masked_and_unmasked_agents_share_checkpoint_format() {
     masked.train_one_episode(&mut env);
     masked.save_checkpoint(&path).unwrap();
 
-    let mut plain =
-        PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 9);
+    let mut plain = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 9);
     plain.load_checkpoint(&path).unwrap();
     assert_eq!(plain.actor_params(), masked.actor_params());
     let _ = std::fs::remove_dir_all(dir);

@@ -40,13 +40,8 @@ fn fed(episodes: usize, k: usize) -> FedConfig {
 
 #[test]
 fn fedavg_round_synchronizes_and_preserves_mean() {
-    let mut r = FedAvgRunner::new(
-        setups(3),
-        dims(),
-        EnvConfig::default(),
-        PpoConfig::default(),
-        fed(4, 1),
-    );
+    let mut r =
+        FedAvgRunner::new(setups(3), dims(), EnvConfig::default(), PpoConfig::default(), fed(4, 1));
     r.train();
     // Episodes = 4, comm_every = 2: the run ends exactly on an aggregation.
     let actor0 = r.clients[0].agent.actor_params();
@@ -58,13 +53,8 @@ fn fedavg_round_synchronizes_and_preserves_mean() {
 
 #[test]
 fn pfrl_dm_only_critics_travel_and_weights_are_stochastic() {
-    let mut r = PfrlDmRunner::new(
-        setups(4),
-        dims(),
-        EnvConfig::default(),
-        PpoConfig::default(),
-        fed(4, 2),
-    );
+    let mut r =
+        PfrlDmRunner::new(setups(4), dims(), EnvConfig::default(), PpoConfig::default(), fed(4, 2));
     r.train();
     // Actors stay private.
     let a0 = r.clients[0].agent.actor.flat_params();
@@ -85,13 +75,8 @@ fn pfrl_dm_only_critics_travel_and_weights_are_stochastic() {
 
 #[test]
 fn mfpo_clients_synchronized_after_every_round() {
-    let mut r = MfpoRunner::new(
-        setups(3),
-        dims(),
-        EnvConfig::default(),
-        PpoConfig::default(),
-        fed(4, 1),
-    );
+    let mut r =
+        MfpoRunner::new(setups(3), dims(), EnvConfig::default(), PpoConfig::default(), fed(4, 1));
     r.train();
     let p0 = r.clients[0].agent.actor_params();
     for c in &r.clients {
@@ -103,13 +88,8 @@ fn mfpo_clients_synchronized_after_every_round() {
 fn full_stack_determinism_parallel_vs_sequential() {
     let run = |parallel: bool| {
         let cfg = FedConfig { parallel, ..fed(4, 2) };
-        let mut r = PfrlDmRunner::new(
-            setups(4),
-            dims(),
-            EnvConfig::default(),
-            PpoConfig::default(),
-            cfg,
-        );
+        let mut r =
+            PfrlDmRunner::new(setups(4), dims(), EnvConfig::default(), PpoConfig::default(), cfg);
         let curves = r.train();
         (curves, r.server_global().to_vec())
     };
@@ -121,13 +101,8 @@ fn full_stack_determinism_parallel_vs_sequential() {
 
 #[test]
 fn average_params_matches_manual_mean_through_training() {
-    let mut r = FedAvgRunner::new(
-        setups(2),
-        dims(),
-        EnvConfig::default(),
-        PpoConfig::default(),
-        fed(2, 1),
-    );
+    let mut r =
+        FedAvgRunner::new(setups(2), dims(), EnvConfig::default(), PpoConfig::default(), fed(2, 1));
     // One local phase without aggregation:
     r.clients.iter_mut().for_each(|c| c.run_episodes(1));
     let actors: Vec<Vec<f32>> = r.clients.iter().map(|c| c.agent.actor_params()).collect();

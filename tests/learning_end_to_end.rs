@@ -13,11 +13,7 @@ fn dims() -> EnvDims {
 }
 
 fn mk_env() -> CloudEnv {
-    CloudEnv::new(
-        dims(),
-        vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
-        EnvConfig::default(),
-    )
+    CloudEnv::new(dims(), vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)], EnvConfig::default())
 }
 
 #[test]
@@ -109,11 +105,7 @@ fn fedavg_aggregation_hurts_local_critic_fit() {
         FedAvgRunner::new(setups, dims(), EnvConfig::default(), PpoConfig::default(), fed);
     runner.train();
     assert!(!runner.loss_probes.is_empty());
-    let worsened = runner
-        .loss_probes
-        .iter()
-        .filter(|p| p.loss_after >= p.loss_before)
-        .count();
+    let worsened = runner.loss_probes.iter().filter(|p| p.loss_after >= p.loss_before).count();
     // At least half the rounds show the degradation the paper reports.
     assert!(
         worsened * 2 >= runner.loss_probes.len(),

@@ -1,8 +1,8 @@
 //! Integration tests of the workload pipeline: dataset models → splits →
 //! hybrid mixes → simulator episodes → metrics, across crate boundaries.
 
-use pfrl_sim::{CloudEnv, EnvConfig, HeuristicPolicy, VmSpec};
 use pfrl_core::presets::{table2_clients, table3_clients, TABLE2_DIMS, TABLE3_DIMS};
+use pfrl_sim::{CloudEnv, EnvConfig, HeuristicPolicy, VmSpec};
 use pfrl_workloads::{combined_heterogeneous, hybrid_test_set, train_test_split, DatasetId};
 
 #[test]
@@ -21,10 +21,7 @@ fn every_table3_client_completes_heuristic_episodes() {
 #[test]
 fn split_then_hybrid_composes() {
     let clients = table2_clients(200, 1);
-    let splits: Vec<_> = clients
-        .iter()
-        .map(|c| train_test_split(&c.train_tasks, 0.6, 7))
-        .collect();
+    let splits: Vec<_> = clients.iter().map(|c| train_test_split(&c.train_tasks, 0.6, 7)).collect();
     let test_sets: Vec<_> = splits.iter().map(|s| s.test.clone()).collect();
     for i in 0..test_sets.len() {
         let hybrid = hybrid_test_set(&test_sets, i, 0.2, 9);
