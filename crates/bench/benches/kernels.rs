@@ -1,0 +1,164 @@
+//! Criterion microbenchmarks of the tensor kernels behind the hot path:
+//! every matmul variant (allocating vs `_into`), single-row matvec, fused
+//! vs unfused linear forward at PPO shapes, and the attention Q·Kᵀ score
+//! product. Shapes mirror the PPO minibatch (`batch × 64 × 64`) and the
+//! per-decision row (`1 × state_dim`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfrl_core::nn::{Activation, Linear, Mlp};
+use pfrl_core::tensor::{ops, Matrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("kernels/matmul");
+    for &batch in &[32usize, 128, 512] {
+        let a = random_matrix(batch, 64, &mut rng);
+        let b = random_matrix(64, 64, &mut rng);
+
+        group.bench_function(BenchmarkId::new("alloc", batch), |bench| {
+            bench.iter(|| black_box(ops::matmul(black_box(&a), black_box(&b))));
+        });
+        group.bench_function(BenchmarkId::new("into", batch), |bench| {
+            let mut out = Matrix::default();
+            ops::matmul_into(&a, &b, &mut out);
+            bench.iter(|| {
+                ops::matmul_into(black_box(&a), black_box(&b), &mut out);
+                black_box(out.as_slice()[0])
+            });
+        });
+
+        // aᵀ-form: gradients w.r.t. weights (`xᵀ · dy`).
+        let at = a.transposed();
+        group.bench_function(BenchmarkId::new("transpose_a_into", batch), |bench| {
+            let mut out = Matrix::default();
+            ops::matmul_transpose_a_into(&at, &a, &mut out);
+            bench.iter(|| {
+                ops::matmul_transpose_a_into(black_box(&at), black_box(&a), &mut out);
+                black_box(out.as_slice()[0])
+            });
+        });
+
+        // bᵀ-form: backward `dy · Wᵀ` and attention scores.
+        let bt = b.transposed();
+        group.bench_function(BenchmarkId::new("transpose_b_alloc", batch), |bench| {
+            bench.iter(|| black_box(ops::matmul_transpose_b(black_box(&a), black_box(&bt))));
+        });
+        group.bench_function(BenchmarkId::new("transpose_b_into", batch), |bench| {
+            let (mut out, mut scratch) = (Matrix::default(), Matrix::default());
+            ops::matmul_transpose_b_into(&a, &bt, &mut out, &mut scratch);
+            bench.iter(|| {
+                ops::matmul_transpose_b_into(black_box(&a), black_box(&bt), &mut out, &mut scratch);
+                black_box(out.as_slice()[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let w = random_matrix(64, 64, &mut rng);
+    let x: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    c.bench_function("kernels/matvec/alloc", |b| {
+        b.iter(|| black_box(ops::matvec(black_box(&x), black_box(&w))));
+    });
+    c.bench_function("kernels/matvec/into", |b| {
+        let mut out = Vec::new();
+        ops::matvec_into(&x, &w, &mut out);
+        b.iter(|| {
+            ops::matvec_into(black_box(&x), black_box(&w), &mut out);
+            black_box(out[0])
+        });
+    });
+}
+
+fn bench_linear_fused(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let layer = Linear::new(64, 64, &mut rng);
+    let mut group = c.benchmark_group("kernels/linear_64x64");
+    for &batch in &[32usize, 128, 512] {
+        let x = random_matrix(batch, 64, &mut rng);
+
+        // Unfused baseline: matmul then a second broadcast-add pass.
+        group.bench_function(BenchmarkId::new("unfused", batch), |bench| {
+            bench.iter(|| black_box(layer.forward(black_box(&x))));
+        });
+        // Fused: zero + accumulate + bias in one row pass into a workspace.
+        group.bench_function(BenchmarkId::new("fused_into", batch), |bench| {
+            let mut out = Matrix::default();
+            layer.forward_into(&x, &mut out);
+            bench.iter(|| {
+                layer.forward_into(black_box(&x), &mut out);
+                black_box(out.as_slice()[0])
+            });
+        });
+    }
+    group.finish();
+
+    let x_row: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    c.bench_function("kernels/linear_64x64/row_into", |b| {
+        let mut out = Vec::new();
+        layer.forward_row_into(&x_row, &mut out);
+        b.iter(|| {
+            layer.forward_row_into(black_box(&x_row), &mut out);
+            black_box(out[0])
+        });
+    });
+}
+
+fn bench_attention_scores(c: &mut Criterion) {
+    // Q·Kᵀ at the attention-weight generator's working shape: one query row
+    // per client and the shared key bank (clients × d_k).
+    let mut rng = SmallRng::seed_from_u64(17);
+    let q = random_matrix(16, 32, &mut rng);
+    let k = random_matrix(16, 32, &mut rng);
+
+    c.bench_function("kernels/attention_qkt/alloc", |b| {
+        b.iter(|| black_box(ops::matmul_transpose_b(black_box(&q), black_box(&k))));
+    });
+    c.bench_function("kernels/attention_qkt/into", |b| {
+        let (mut out, mut scratch) = (Matrix::default(), Matrix::default());
+        ops::matmul_transpose_b_into(&q, &k, &mut out, &mut scratch);
+        b.iter(|| {
+            ops::matmul_transpose_b_into(black_box(&q), black_box(&k), &mut out, &mut scratch);
+            black_box(out.as_slice()[0])
+        });
+    });
+}
+
+fn bench_mlp_one(c: &mut Criterion) {
+    // The per-decision path: one forward through the PPO actor shape.
+    let mut rng = SmallRng::seed_from_u64(19);
+    let mut net = Mlp::new(&[39, 64, 64, 11], Activation::Tanh, &mut rng);
+    let x: Vec<f32> = (0..39).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    c.bench_function("kernels/mlp_forward_one/alloc", |b| {
+        b.iter(|| black_box(net.forward_one(black_box(&x))));
+    });
+    c.bench_function("kernels/mlp_forward_one/into", |b| {
+        let mut out = Vec::new();
+        net.forward_one_into(&x, &mut out);
+        b.iter(|| {
+            net.forward_one_into(black_box(&x), &mut out);
+            black_box(out[0])
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_variants,
+    bench_matvec,
+    bench_linear_fused,
+    bench_attention_scores,
+    bench_mlp_one
+);
+criterion_main!(benches);

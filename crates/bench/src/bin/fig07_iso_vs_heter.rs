@@ -45,7 +45,7 @@ fn train_agent(
     agent
 }
 
-fn eval_response(agent: &PpoAgent, vms: &[pfrl_core::sim::VmSpec], tasks: &[TaskSpec]) -> f64 {
+fn eval_response(agent: &mut PpoAgent, vms: &[pfrl_core::sim::VmSpec], tasks: &[TaskSpec]) -> f64 {
     let mut env = CloudEnv::new(TABLE2_DIMS, vms.to_vec(), EnvConfig::default());
     env.reset(tasks.to_vec());
     agent.evaluate(&mut env).avg_response
@@ -75,14 +75,14 @@ fn main() {
         .par_iter()
         .enumerate()
         .flat_map(|(i, c)| {
-            let iso_agent = train_agent(
+            let mut iso_agent = train_agent(
                 &c.vms,
                 &splits[i].train,
                 episodes,
                 scale.tasks_per_episode,
                 700 + i as u64,
             );
-            let heter_agent = train_agent(
+            let mut heter_agent = train_agent(
                 &c.vms,
                 &heter.train,
                 episodes,
@@ -90,7 +90,9 @@ fn main() {
                 800 + i as u64,
             );
             let mut rows = Vec::new();
-            for (train_name, agent) in [("iso-train", &iso_agent), ("heter-train", &heter_agent)] {
+            for (train_name, agent) in
+                [("iso-train", &mut iso_agent), ("heter-train", &mut heter_agent)]
+            {
                 for (test_name, tasks) in
                     [("iso-test", &splits[i].test), ("heter-test", &heter.test)]
                 {

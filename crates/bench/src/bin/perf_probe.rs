@@ -17,6 +17,10 @@ use std::time::Instant;
 
 const SEED: u64 = 17;
 const OUT: &str = "BENCH_schedule_throughput.json";
+/// Append-only throughput history: one JSON line per probe run, keyed by
+/// the git commit and the run-manifest config hash so regressions can be
+/// attributed to either a code change or a config change.
+const HISTORY: &str = "BENCH_schedule_throughput.history.jsonl";
 
 fn fed_cfg() -> FedConfig {
     FedConfig {
@@ -102,6 +106,57 @@ fn alg_json(r: &ProbeResult) -> String {
     )
 }
 
+/// Short hash of the checked-out commit, or `"unknown"` outside a git repo.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends one compact history line per probe run to [`HISTORY`].
+fn append_history(results: &[ProbeResult], manifest: &pfrl_core::telemetry::RunManifest) {
+    let algs: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let decisions = r.snap.counter("sim/decisions");
+            format!(
+                concat!(
+                    "{{\"name\": \"{}\", \"wall_s\": {:.3}, ",
+                    "\"decisions_per_sec\": {:.1}, \"local_train_ns\": {}}}"
+                ),
+                r.alg.name(),
+                r.wall_s,
+                decisions as f64 / r.wall_s.max(1e-9),
+                r.snap.span_total_ns("fed/round/local_train"),
+            )
+        })
+        .collect();
+    let line = format!(
+        concat!(
+            "{{\"ts_unix_s\": {}, \"git_commit\": \"{}\", \"config_hash\": \"{:016x}\", ",
+            "\"scale\": \"{}\", \"seed\": {}, \"algorithms\": [{}]}}\n"
+        ),
+        manifest.created_unix_s,
+        git_commit(),
+        manifest.config_hash,
+        manifest.scale,
+        SEED,
+        algs.join(", "),
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open(HISTORY) {
+        Ok(mut f) => match f.write_all(line.as_bytes()) {
+            Ok(()) => eprintln!("# appended to {HISTORY}"),
+            Err(e) => eprintln!("# warning: could not append to {HISTORY}: {e}"),
+        },
+        Err(e) => eprintln!("# warning: could not open {HISTORY}: {e}"),
+    }
+}
+
 fn main() {
     let scale = pfrl_bench::start("perf_probe", "telemetry throughput probe");
     pfrl_bench::set_run_seed(SEED);
@@ -157,4 +212,5 @@ fn main() {
     if let Err(e) = manifest.write_next_to(OUT) {
         eprintln!("# warning: could not write manifest: {e}");
     }
+    append_history(&results, &manifest);
 }

@@ -15,8 +15,9 @@ use rand::SeedableRng;
 pub trait FedAgent: Send {
     /// One training episode on a freshly reset env; returns total reward.
     fn train_episode(&mut self, env: &mut CloudEnv) -> f32;
-    /// Greedy evaluation on a freshly reset env.
-    fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics;
+    /// Greedy evaluation on a freshly reset env (`&mut self`: the agents
+    /// route per-decision tensors through internal scratch buffers).
+    fn evaluate_episode(&mut self, env: &mut CloudEnv) -> EpisodeMetrics;
     /// Routes the agent's metrics to `telemetry`. Default: ignore.
     fn set_telemetry(&mut self, _telemetry: Telemetry) {}
 }
@@ -25,7 +26,7 @@ impl FedAgent for PpoAgent {
     fn train_episode(&mut self, env: &mut CloudEnv) -> f32 {
         self.train_one_episode(env)
     }
-    fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics {
+    fn evaluate_episode(&mut self, env: &mut CloudEnv) -> EpisodeMetrics {
         self.evaluate(env)
     }
     fn set_telemetry(&mut self, telemetry: Telemetry) {
@@ -37,7 +38,7 @@ impl FedAgent for DualCriticAgent {
     fn train_episode(&mut self, env: &mut CloudEnv) -> f32 {
         self.train_one_episode(env)
     }
-    fn evaluate_episode(&self, env: &mut CloudEnv) -> EpisodeMetrics {
+    fn evaluate_episode(&mut self, env: &mut CloudEnv) -> EpisodeMetrics {
         self.evaluate(env)
     }
     fn set_telemetry(&mut self, telemetry: Telemetry) {

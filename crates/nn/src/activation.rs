@@ -16,9 +16,15 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation in place.
     pub fn forward_inplace(self, x: &mut Matrix) {
+        self.forward_slice_inplace(x.as_mut_slice());
+    }
+
+    /// Slice form of [`Activation::forward_inplace`] — the per-decision
+    /// inference path works on plain row vectors.
+    pub fn forward_slice_inplace(self, x: &mut [f32]) {
         match self {
-            Activation::Tanh => x.map_inplace(f32::tanh),
-            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Tanh => x.iter_mut().for_each(|v| *v = v.tanh()),
+            Activation::Relu => x.iter_mut().for_each(|v| *v = v.max(0.0)),
             Activation::Identity => {}
         }
     }

@@ -20,6 +20,12 @@ pub struct Adam {
     m: Vec<f32>,
     v: Vec<f32>,
     t: u64,
+    /// Workspace: clipped-gradient copy, flat params, flat grads. Retained
+    /// across steps so [`Adam::step`]/[`Adam::step_mlp`] stop allocating
+    /// after the first call.
+    clip_buf: Vec<f32>,
+    flat_p: Vec<f32>,
+    flat_g: Vec<f32>,
 }
 
 impl Adam {
@@ -34,6 +40,9 @@ impl Adam {
             m: vec![0.0; param_count],
             v: vec![0.0; param_count],
             t: 0,
+            clip_buf: Vec::new(),
+            flat_p: Vec::new(),
+            flat_g: Vec::new(),
         }
     }
 
@@ -80,11 +89,11 @@ impl Adam {
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), self.m.len(), "Adam: params length changed");
         assert_eq!(grads.len(), self.m.len(), "Adam: grads length mismatch");
-        let mut clipped;
         let grads = if let Some(max) = self.max_grad_norm {
-            clipped = grads.to_vec();
-            ops::clip_l2_norm(&mut clipped, max);
-            &clipped[..]
+            self.clip_buf.clear();
+            self.clip_buf.extend_from_slice(grads);
+            ops::clip_l2_norm(&mut self.clip_buf, max);
+            &self.clip_buf[..]
         } else {
             grads
         };
@@ -102,11 +111,20 @@ impl Adam {
     }
 
     /// Convenience: one Adam step on an [`Mlp`]'s accumulated gradients.
+    ///
+    /// The flat parameter/gradient vectors live in the optimizer's
+    /// workspace and are reused across steps (allocation-free after the
+    /// first call).
     pub fn step_mlp(&mut self, net: &mut Mlp) {
-        let grads = net.flat_grads();
-        let mut params = net.flat_params();
+        // Temporarily move the buffers out so `step` can borrow `self`.
+        let mut params = std::mem::take(&mut self.flat_p);
+        let mut grads = std::mem::take(&mut self.flat_g);
+        net.flat_grads_into(&mut grads);
+        net.flat_params_into(&mut params);
         self.step(&mut params, &grads);
         net.set_flat_params(&params);
+        self.flat_p = params;
+        self.flat_g = grads;
     }
 }
 

@@ -42,13 +42,47 @@ impl Default for MultiHeadConfig {
 /// # Panics
 /// If `q.cols() != k.cols()` or `k.rows() != v.rows()`.
 pub fn scaled_dot_product_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> (Matrix, Matrix) {
+    let mut ws = AttentionWorkspace::default();
+    scaled_dot_product_attention_into(q, k, v, &mut ws);
+    let AttentionWorkspace { context, scores, .. } = ws;
+    (context, scores)
+}
+
+/// Reusable buffers for [`scaled_dot_product_attention_into`]: the scores
+/// and context matrices plus the transpose scratch of the `Q·Kᵀ` kernel.
+/// One workspace cycled through same-shaped calls stops allocating after
+/// the first.
+#[derive(Debug, Clone, Default)]
+pub struct AttentionWorkspace {
+    /// Row-stochastic attention weights from the last call.
+    pub scores: Matrix,
+    /// Attention output (`scores · V`) from the last call.
+    pub context: Matrix,
+    kt_scratch: Matrix,
+}
+
+impl AttentionWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`scaled_dot_product_attention`] into a reusable workspace; results land
+/// in `ws.context` / `ws.scores` and are bitwise identical to the
+/// allocating form.
+pub fn scaled_dot_product_attention_into(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    ws: &mut AttentionWorkspace,
+) {
     assert_eq!(q.cols(), k.cols(), "attention: Q/K feature dims differ");
     assert_eq!(k.rows(), v.rows(), "attention: K/V token counts differ");
-    let mut scores = ops::matmul_transpose_b(q, k);
-    ops::scale(&mut scores, 1.0 / (k.cols() as f32).sqrt());
-    ops::softmax_rows(&mut scores);
-    let out = ops::matmul(&scores, v);
-    (out, scores)
+    ops::matmul_transpose_b_into(q, k, &mut ws.scores, &mut ws.kt_scratch);
+    ops::scale(&mut ws.scores, 1.0 / (k.cols() as f32).sqrt());
+    ops::softmax_rows(&mut ws.scores);
+    ops::matmul_into(&ws.scores, v, &mut ws.context);
 }
 
 /// Standardizes each row to zero mean and unit L2 norm.
@@ -93,6 +127,10 @@ pub fn multi_head_attention_weights(client_params: &[Vec<f32>], cfg: &MultiHeadC
     let tokens = standardize_rows(&tokens);
 
     let mut accum = Matrix::zeros(k, k);
+    // Per-head projection/score buffers, reused across heads.
+    let mut q = Matrix::default();
+    let mut scores = Matrix::default();
+    let mut qt_scratch = Matrix::default();
     for h in 0..cfg.heads.max(1) {
         // Frozen random projection, re-derived per head from the seed. The
         // Q and K projections are tied (W^Q_h = W^K_h): with independent
@@ -103,8 +141,8 @@ pub fn multi_head_attention_weights(client_params: &[Vec<f32>], cfg: &MultiHeadC
         let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(h as u64));
         let sigma = 1.0 / (p as f32).sqrt();
         let wq = init::sample_gaussian(p, cfg.d_k, sigma, &mut rng);
-        let q = ops::matmul(&tokens, &wq);
-        let mut scores = ops::matmul_transpose_b(&q, &q);
+        ops::matmul_into(&tokens, &wq, &mut q);
+        ops::matmul_transpose_b_into(&q, &q, &mut scores, &mut qt_scratch);
         // Undo the d_k·σ² expectation factor, then apply the temperature.
         ops::scale(&mut scores, cfg.temperature / (cfg.d_k as f32 * sigma * sigma));
         ops::softmax_rows(&mut scores);

@@ -8,6 +8,11 @@ use rand::Rng;
 /// `forward_train` caches the input so a subsequent [`Linear::backward`] can
 /// compute `dW = xᵀ · dy`, `db = Σ_rows dy`, and `dx = dy · Wᵀ`. Gradients
 /// accumulate across calls until [`Linear::zero_grad`].
+///
+/// The `_into` variants reuse caller-owned output buffers plus two private
+/// scratch matrices, so a layer cycled through same-shaped batches stops
+/// allocating after the first pass. The allocating methods are wrappers
+/// over them — both forms produce bitwise-identical results.
 #[derive(Debug, Clone)]
 pub struct Linear {
     /// Weight matrix, `in_dim × out_dim`.
@@ -19,6 +24,10 @@ pub struct Linear {
     /// Accumulated bias gradient, same length as `b`.
     pub db: Vec<f32>,
     cached_input: Option<Matrix>,
+    /// Scratch for the per-call `xᵀ·dy` before accumulation into `dw`.
+    dw_scratch: Matrix,
+    /// Scratch holding `Wᵀ` for the `dx = dy · Wᵀ` kernel.
+    wt_scratch: Matrix,
 }
 
 impl Linear {
@@ -30,6 +39,8 @@ impl Linear {
             dw: Matrix::zeros(in_dim, out_dim),
             db: vec![0.0; out_dim],
             cached_input: None,
+            dw_scratch: Matrix::zeros(0, 0),
+            wt_scratch: Matrix::zeros(0, 0),
         }
     }
 
@@ -50,15 +61,66 @@ impl Linear {
 
     /// Forward pass without caching (inference).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = ops::matmul(x, &self.w);
-        ops::add_row_bias(&mut y, &self.b);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// Fused forward pass into a reusable buffer: matmul and bias add in a
+    /// single sweep over each output row (one pass over `out` instead of
+    /// two). Per element the operation sequence is unchanged — all `x·W`
+    /// terms accumulate in inner-index order, then the bias is added last —
+    /// so results are bitwise identical to `matmul` + `add_row_bias`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            x.cols(),
+            self.in_dim(),
+            "Linear::forward: input dim {} vs layer {}",
+            x.cols(),
+            self.in_dim()
+        );
+        let (m, n) = (x.rows(), self.out_dim());
+        out.resize(m, n);
+        for i in 0..m {
+            let xrow = x.row(i);
+            let orow = out.row_mut(i);
+            orow.iter_mut().for_each(|v| *v = 0.0);
+            for (p, &av) in xrow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let wrow = self.w.row(p);
+                for (o, &wv) in orow.iter_mut().zip(wrow) {
+                    *o += av * wv;
+                }
+            }
+            ops::axpy(1.0, &self.b, orow);
+        }
+    }
+
+    /// Single-row fused forward (`matvec` + bias) for per-decision
+    /// inference. Bitwise identical to [`Linear::forward`] on a `1×k`
+    /// matrix.
+    pub fn forward_row_into(&self, x: &[f32], out: &mut Vec<f32>) {
+        ops::matvec_into(x, &self.w, out);
+        ops::axpy(1.0, &self.b, out);
     }
 
     /// Forward pass that caches `x` for the backward pass.
     pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
-        self.cached_input = Some(x.clone());
-        self.forward(x)
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_train_into(x, &mut y);
+        y
+    }
+
+    /// [`Linear::forward_train`] into a reusable buffer; the cached input
+    /// is copied into a retained allocation instead of freshly cloned.
+    pub fn forward_train_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        match &mut self.cached_input {
+            Some(c) => c.copy_from(x),
+            None => self.cached_input = Some(x.clone()),
+        }
+        self.forward_into(x, out);
     }
 
     /// Backward pass: accumulates `dw`/`db` and returns `dx`.
@@ -66,18 +128,29 @@ impl Linear {
     /// # Panics
     /// If called without a preceding [`Linear::forward_train`].
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.cached_input.as_ref().expect("Linear::backward called without forward_train");
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(dy, &mut dx);
+        dx
+    }
+
+    /// [`Linear::backward`] writing `dx` into a reusable buffer. The
+    /// per-call `xᵀ·dy` product still lands in a scratch matrix and is then
+    /// accumulated into `dw` — folding it directly into `dw` would change
+    /// the addition order and thus the low bits.
+    pub fn backward_into(&mut self, dy: &Matrix, dx: &mut Matrix) {
+        let Linear { w, dw, db, cached_input, dw_scratch, wt_scratch, .. } = self;
+        let x = cached_input.as_ref().expect("Linear::backward called without forward_train");
         assert_eq!(dy.rows(), x.rows(), "backward batch size mismatch");
-        assert_eq!(dy.cols(), self.out_dim(), "backward output dim mismatch");
+        assert_eq!(dy.cols(), w.cols(), "backward output dim mismatch");
         // dW += xᵀ · dy
-        let dw = ops::matmul_transpose_a(x, dy);
-        ops::add_assign(&mut self.dw, &dw);
+        ops::matmul_transpose_a_into(x, dy, dw_scratch);
+        ops::add_assign(dw, dw_scratch);
         // db += column sums of dy
         for r in 0..dy.rows() {
-            ops::axpy(1.0, dy.row(r), &mut self.db);
+            ops::axpy(1.0, dy.row(r), db);
         }
         // dx = dy · Wᵀ
-        ops::matmul_transpose_b(dy, &self.w)
+        ops::matmul_transpose_b_into(dy, w, dx, wt_scratch);
     }
 
     /// Clears accumulated gradients (keeps the cached input).

@@ -10,13 +10,28 @@ use rand::Rng;
 /// Training protocol: `forward_train` caches per-layer activations, then
 /// `backward` accumulates gradients, then an optimizer consumes
 /// `flat_grads()` / mutates via `set_flat_params`.
+///
+/// The `_into` methods take `&mut self` and route all intermediate tensors
+/// through a private workspace (two ping-pong matrices for batch
+/// activations/gradients, two row vectors for single-state inference), so
+/// steady-state training and inference stop allocating after the first
+/// same-shaped call. The classic `&self` methods stay as allocating
+/// wrappers for cold paths; both produce bitwise-identical results.
 #[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Linear>,
     activation: Activation,
     /// Post-activation outputs of each hidden layer from the last
-    /// `forward_train`, used by `backward`.
+    /// `forward_train`, used by `backward`. Buffers are reused across
+    /// calls via `Matrix::copy_from`-style overwrites.
     hidden_outputs: Vec<Matrix>,
+    /// Ping-pong workspace matrices for `forward_into` activations and
+    /// `backward` inter-layer gradients (never live at the same time).
+    ws_a: Matrix,
+    ws_b: Matrix,
+    /// Row-vector workspace for `forward_one_into`.
+    row_a: Vec<f32>,
+    row_b: Vec<f32>,
 }
 
 impl Mlp {
@@ -28,7 +43,15 @@ impl Mlp {
     pub fn new(sizes: &[usize], activation: Activation, rng: &mut impl Rng) -> Self {
         assert!(sizes.len() >= 2, "Mlp needs at least input and output sizes");
         let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
-        Self { layers, activation, hidden_outputs: Vec::new() }
+        Self {
+            layers,
+            activation,
+            hidden_outputs: Vec::new(),
+            ws_a: Matrix::zeros(0, 0),
+            ws_b: Matrix::zeros(0, 0),
+            row_a: Vec::new(),
+            row_b: Vec::new(),
+        }
     }
 
     /// Input dimension.
@@ -58,7 +81,8 @@ impl Mlp {
         self.layers.iter().map(Linear::param_count).sum()
     }
 
-    /// Inference forward pass (no caching).
+    /// Inference forward pass (no caching). Allocates; cold paths only —
+    /// the hot path is [`Mlp::forward_into`].
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let last = self.layers.len() - 1;
         let mut h = x.clone();
@@ -71,25 +95,78 @@ impl Mlp {
         h
     }
 
-    /// Convenience: forward pass on a single input vector.
+    /// Inference forward pass into a reusable output buffer, routing
+    /// intermediate activations through the internal workspace
+    /// (allocation-free after warmup; bitwise identical to
+    /// [`Mlp::forward`]).
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        let last = self.layers.len() - 1;
+        let Mlp { layers, activation, ws_a, ws_b, .. } = self;
+        for (i, layer) in layers.iter().enumerate() {
+            let src: &Matrix = if i == 0 { x } else { ws_a };
+            if i == last {
+                layer.forward_into(src, out);
+            } else {
+                layer.forward_into(src, ws_b);
+                activation.forward_inplace(ws_b);
+                std::mem::swap(ws_a, ws_b);
+            }
+        }
+    }
+
+    /// Convenience: forward pass on a single input vector (allocates).
     pub fn forward_one(&self, x: &[f32]) -> Vec<f32> {
         let m = Matrix::from_vec(1, x.len(), x.to_vec());
         self.forward(&m).into_vec()
     }
 
-    /// Training forward pass: caches intermediate activations for `backward`.
-    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+    /// Per-decision fast path: single-vector forward through the fused
+    /// `matvec` + bias kernel into a reusable output vector, with no
+    /// `Matrix` wrapping. Bitwise identical to [`Mlp::forward_one`].
+    pub fn forward_one_into(&mut self, x: &[f32], out: &mut Vec<f32>) {
         let last = self.layers.len() - 1;
-        self.hidden_outputs.clear();
-        let mut h = x.clone();
-        for i in 0..self.layers.len() {
-            h = self.layers[i].forward_train(&h);
-            if i != last {
-                self.activation.forward_inplace(&mut h);
-                self.hidden_outputs.push(h.clone());
+        let Mlp { layers, activation, row_a, row_b, .. } = self;
+        for (i, layer) in layers.iter().enumerate() {
+            let src: &[f32] = if i == 0 { x } else { row_a };
+            if i == last {
+                layer.forward_row_into(src, out);
+            } else {
+                layer.forward_row_into(src, row_b);
+                activation.forward_slice_inplace(row_b);
+                std::mem::swap(row_a, row_b);
             }
         }
-        h
+    }
+
+    /// Training forward pass: caches intermediate activations for `backward`.
+    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_train_into(x, &mut out);
+        out
+    }
+
+    /// [`Mlp::forward_train`] into a reusable output buffer. The cached
+    /// hidden activations overwrite the buffers retained from the previous
+    /// call instead of being freshly cloned.
+    pub fn forward_train_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        let last = self.layers.len() - 1;
+        while self.hidden_outputs.len() < last {
+            self.hidden_outputs.push(Matrix::zeros(0, 0));
+        }
+        self.hidden_outputs.truncate(last);
+        let Mlp { layers, activation, hidden_outputs, .. } = self;
+        for i in 0..layers.len() {
+            if i == last {
+                let src = if i == 0 { x } else { &hidden_outputs[i - 1] };
+                layers[i].forward_train_into(src, out);
+            } else {
+                let (prev, rest) = hidden_outputs.split_at_mut(i);
+                let src = if i == 0 { x } else { &prev[i - 1] };
+                let dst = &mut rest[0];
+                layers[i].forward_train_into(src, dst);
+                activation.forward_inplace(dst);
+            }
+        }
     }
 
     /// Backward pass from the gradient of the loss w.r.t. the network output.
@@ -99,13 +176,31 @@ impl Mlp {
     /// # Panics
     /// If no `forward_train` preceded it.
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(d_out, &mut dx);
+        dx
+    }
+
+    /// [`Mlp::backward`] writing the input gradient into a reusable buffer;
+    /// inter-layer gradients ping-pong through the internal workspace
+    /// (which is free during the backward pass).
+    pub fn backward_into(&mut self, d_out: &Matrix, dx: &mut Matrix) {
         let last = self.layers.len() - 1;
-        let mut grad = self.layers[last].backward(d_out);
-        for i in (0..last).rev() {
-            self.activation.backward_inplace(&self.hidden_outputs[i], &mut grad);
-            grad = self.layers[i].backward(&grad);
+        let Mlp { layers, activation, hidden_outputs, ws_a, ws_b, .. } = self;
+        if last == 0 {
+            layers[0].backward_into(d_out, dx);
+            return;
         }
-        grad
+        layers[last].backward_into(d_out, ws_a);
+        for i in (0..last).rev() {
+            activation.backward_inplace(&hidden_outputs[i], ws_a);
+            if i == 0 {
+                layers[0].backward_into(ws_a, dx);
+            } else {
+                layers[i].backward_into(ws_a, ws_b);
+                std::mem::swap(ws_a, ws_b);
+            }
+        }
     }
 
     /// Clears accumulated gradients in every layer.
@@ -116,10 +211,17 @@ impl Mlp {
     /// Flattens all parameters (layer by layer, `W` then `b`) into one vector.
     pub fn flat_params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for l in &self.layers {
-            l.write_params(&mut out);
-        }
+        self.flat_params_into(&mut out);
         out
+    }
+
+    /// [`Mlp::flat_params`] into a reusable vector (cleared first; retains
+    /// capacity across calls).
+    pub fn flat_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in &self.layers {
+            l.write_params(out);
+        }
     }
 
     /// Loads parameters from a flat vector produced by [`Mlp::flat_params`]
@@ -146,10 +248,17 @@ impl Mlp {
     /// [`Mlp::flat_params`].
     pub fn flat_grads(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for l in &self.layers {
-            l.write_grads(&mut out);
-        }
+        self.flat_grads_into(&mut out);
         out
+    }
+
+    /// [`Mlp::flat_grads`] into a reusable vector (cleared first; retains
+    /// capacity across calls).
+    pub fn flat_grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for l in &self.layers {
+            l.write_grads(out);
+        }
     }
 
     /// Direct access to the layers (used by tests and diagnostics).

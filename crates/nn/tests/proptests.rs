@@ -5,7 +5,7 @@ use pfrl_nn::{multi_head_attention_weights, Activation, Adam, Mlp, MultiHeadConf
 use pfrl_tensor::Matrix;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn mlp_strategy() -> impl Strategy<Value = Mlp> {
     (1usize..6, 1usize..8, 1usize..4, 0u64..1000).prop_map(|(i, h, o, seed)| {
@@ -108,5 +108,101 @@ proptest! {
             opt.step(&mut p, &zeros);
         }
         prop_assert_eq!(p, orig);
+    }
+}
+
+// --- `_into` path equivalence ---------------------------------------------
+//
+// The workspace-reusing forward/backward variants must be bit-for-bit equal
+// to the allocating originals, including when the output buffer starts out
+// dirty and wrong-shaped (the steady-state training situation).
+
+fn batch_for(net: &Mlp, rows: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..rows * net.in_dim()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    Matrix::from_vec(rows, net.in_dim(), data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linear_forward_into_bitwise_equals(net in mlp_strategy(), rows in 1usize..6, seed in 0u64..500) {
+        let layer = &net.layers()[0];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f32> =
+            (0..rows * layer.in_dim()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let x = Matrix::from_vec(rows, layer.in_dim(), data);
+        let fresh = layer.forward(&x);
+        let mut out = Matrix::filled(3, 7, f32::NAN);
+        layer.forward_into(&x, &mut out);
+        prop_assert_eq!(out.shape(), fresh.shape());
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+        // Row form matches the matching matrix row exactly.
+        let mut row_out = vec![f32::NAN; 9];
+        layer.forward_row_into(x.row(0), &mut row_out);
+        prop_assert_eq!(row_out.as_slice(), fresh.row(0));
+    }
+
+    #[test]
+    fn mlp_forward_into_bitwise_equals(net in mlp_strategy(), rows in 1usize..6, seed in 0u64..500) {
+        let mut net = net;
+        let x = batch_for(&net, rows, seed);
+        let fresh = net.forward(&x);
+        let mut out = Matrix::filled(2, 5, f32::NAN);
+        net.forward_into(&x, &mut out);
+        prop_assert_eq!(out.shape(), fresh.shape());
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn mlp_forward_one_into_bitwise_equals(net in mlp_strategy(), seed in 0u64..500) {
+        let mut net = net;
+        let x = batch_for(&net, 1, seed);
+        let fresh = net.forward_one(x.row(0));
+        let mut out = vec![f32::NAN; 11];
+        net.forward_one_into(x.row(0), &mut out);
+        prop_assert_eq!(&out, &fresh);
+    }
+
+    #[test]
+    fn mlp_forward_train_into_bitwise_equals(net in mlp_strategy(), rows in 1usize..6, seed in 0u64..500) {
+        let mut a = net.clone();
+        let mut b = net;
+        let x = batch_for(&a, rows, seed);
+        let fresh = a.forward_train(&x);
+        let mut out = Matrix::filled(1, 4, f32::NAN);
+        b.forward_train_into(&x, &mut out);
+        prop_assert_eq!(out.shape(), fresh.shape());
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn mlp_backward_into_bitwise_equals(net in mlp_strategy(), rows in 1usize..6, seed in 0u64..500) {
+        let mut a = net.clone();
+        let mut b = net;
+        let x = batch_for(&a, rows, seed);
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(1));
+        let grad_data: Vec<f32> =
+            (0..rows * a.out_dim()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d_out = Matrix::from_vec(rows, a.out_dim(), grad_data);
+
+        let ya = a.forward_train(&x);
+        a.zero_grad();
+        let dx_a = a.backward(&d_out);
+
+        let mut yb = Matrix::filled(2, 2, f32::NAN);
+        b.forward_train_into(&x, &mut yb);
+        b.zero_grad();
+        let mut dx_b = Matrix::filled(5, 1, f32::NAN);
+        b.backward_into(&d_out, &mut dx_b);
+
+        prop_assert_eq!(yb.as_slice(), ya.as_slice());
+        prop_assert_eq!(dx_b.shape(), dx_a.shape());
+        prop_assert_eq!(dx_b.as_slice(), dx_a.as_slice());
+        let (mut ga, mut gb) = (Vec::new(), Vec::new());
+        a.flat_grads_into(&mut ga);
+        b.flat_grads_into(&mut gb);
+        prop_assert_eq!(ga, gb);
     }
 }

@@ -3,8 +3,10 @@
 
 use crate::buffer::RolloutBuffer;
 use crate::config::PpoConfig;
-use crate::policy::{self, PpoLossStats};
-use crate::returns::{discounted_returns, gae_advantages, normalize_in_place};
+use crate::policy::{self, PolicyScratch, PpoLossStats};
+use crate::returns::{
+    discounted_returns, discounted_returns_into, gae_advantages_into, normalize_in_place,
+};
 use pfrl_nn::{Activation, Adam, Mlp};
 use pfrl_sim::{Action, EpisodeMetrics, SchedulingEnv};
 use pfrl_telemetry::Telemetry;
@@ -17,32 +19,68 @@ pub(crate) fn build_net(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut 
     Mlp::new(&[in_dim, hidden, out_dim], Activation::Tanh, rng)
 }
 
+/// Reusable buffers for an agent's two hot paths — the per-decision
+/// rollout/eval loop and the PPO minibatch update. Each agent owns one;
+/// every buffer retains its capacity across episodes and updates, so
+/// steady-state training and inference allocate nothing after warmup.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AgentScratch {
+    // Per-decision path.
+    pub(crate) state: Vec<f32>,
+    pub(crate) logits: Vec<f32>,
+    pub(crate) mask: Vec<bool>,
+    pub(crate) policy: PolicyScratch,
+    // Minibatch batch tensors (borrowed shared while the epoch scratch is
+    // borrowed mutably — kept as sibling fields so the borrows are disjoint).
+    pub(crate) states: Matrix,
+    pub(crate) returns: Vec<f32>,
+    pub(crate) values: Vec<f32>,
+    pub(crate) advantages: Vec<f32>,
+    pub(crate) value_mat: Matrix,
+    pub(crate) value_mat2: Matrix,
+    pub(crate) epoch: EpochScratch,
+}
+
+/// Per-epoch intermediates of [`actor_update`] / [`critic_update`]:
+/// network outputs, the loss gradient, and the input-gradient sink.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EpochScratch {
+    pub(crate) policy: PolicyScratch,
+    pub(crate) logit_mat: Matrix,
+    pub(crate) value_mat: Matrix,
+    pub(crate) grad: Matrix,
+    pub(crate) dx: Matrix,
+}
+
 /// Runs one episode with `actor`, filling `buffer`; returns the total
 /// (undiscounted) episode reward. Shared by both agent types and by both
-/// environment kinds (flat and DAG).
+/// environment kinds (flat and DAG). All per-decision tensors live in
+/// `scratch`.
 pub(crate) fn collect_episode_opts<E: SchedulingEnv + ?Sized>(
-    actor: &Mlp,
+    actor: &mut Mlp,
     env: &mut E,
     buffer: &mut RolloutBuffer,
     rng: &mut SmallRng,
     mask_actions: bool,
+    scratch: &mut AgentScratch,
 ) -> f32 {
     assert!(!env.is_done(), "collect_episode needs a freshly reset env");
     let max_vms = env.dims().max_vms;
     let mut total = 0.0f32;
+    let AgentScratch { state, logits, mask, policy, .. } = scratch;
     loop {
-        let state = env.observe();
-        let logits = actor.forward_one(&state);
+        env.observe_into(state);
+        actor.forward_one_into(state, logits);
         let outcome;
         if mask_actions {
-            let mask = env.action_mask();
-            let (a, lp) = policy::sample_action_masked(&logits, &mask, rng);
+            env.action_mask_into(mask);
+            let (a, lp) = policy::sample_action_masked_scratch(logits, mask, rng, policy);
             outcome = env.step(Action::from_index(a, max_vms));
-            buffer.push_masked(&state, a, outcome.reward, lp, &mask);
+            buffer.push_masked(state, a, outcome.reward, lp, mask);
         } else {
-            let (a, lp) = policy::sample_action(&logits, rng);
+            let (a, lp) = policy::sample_action_scratch(logits, rng, policy);
             outcome = env.step(Action::from_index(a, max_vms));
-            buffer.push(&state, a, outcome.reward, lp);
+            buffer.push(state, a, outcome.reward, lp);
         }
         total += outcome.reward;
         if outcome.done {
@@ -54,19 +92,22 @@ pub(crate) fn collect_episode_opts<E: SchedulingEnv + ?Sized>(
 
 /// Greedy (argmax) rollout; returns final episode metrics.
 pub(crate) fn evaluate_greedy_opts<E: SchedulingEnv + ?Sized>(
-    actor: &Mlp,
+    actor: &mut Mlp,
     env: &mut E,
     mask_actions: bool,
+    scratch: &mut AgentScratch,
 ) -> EpisodeMetrics {
     assert!(!env.is_done(), "evaluate_greedy needs a freshly reset env");
     let max_vms = env.dims().max_vms;
+    let AgentScratch { state, logits, mask, .. } = scratch;
     loop {
-        let state = env.observe();
-        let mut logits = actor.forward_one(&state);
+        env.observe_into(state);
+        actor.forward_one_into(state, logits);
         if mask_actions {
-            policy::apply_mask(&mut logits, &env.action_mask());
+            env.action_mask_into(mask);
+            policy::apply_mask(logits, mask);
         }
-        let a = policy::greedy_action(&logits);
+        let a = policy::greedy_action(logits);
         if env.step(Action::from_index(a, max_vms)).done {
             return env.metrics();
         }
@@ -75,7 +116,8 @@ pub(crate) fn evaluate_greedy_opts<E: SchedulingEnv + ?Sized>(
 
 /// One clipped-surrogate policy update (all epochs) on a prepared batch.
 /// `masks` (flattened `n × action_dim`) must be the masks the rollout was
-/// collected under, or `None` for unmasked rollouts.
+/// collected under, or `None` for unmasked rollouts. The per-epoch logits,
+/// gradient, and input-gradient sink all live in `scratch`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn actor_update(
     actor: &mut Mlp,
@@ -86,21 +128,25 @@ pub(crate) fn actor_update(
     advantages: &[f32],
     masks: Option<&[bool]>,
     cfg: &PpoConfig,
+    scratch: &mut EpochScratch,
 ) -> PpoLossStats {
     let mut last = PpoLossStats { surrogate: 0.0, entropy: 0.0, clip_fraction: 0.0 };
+    let EpochScratch { policy, logit_mat, grad, dx, .. } = scratch;
     for _ in 0..cfg.update_epochs {
-        let logits = actor.forward_train(states);
-        let (grad, stats) = policy::clipped_surrogate_grad_masked(
-            &logits,
+        actor.forward_train_into(states, logit_mat);
+        let stats = policy::clipped_surrogate_grad_masked_into(
+            logit_mat,
             actions,
             old_log_probs,
             advantages,
             cfg.clip,
             cfg.entropy_coef,
             masks,
+            grad,
+            policy,
         );
         actor.zero_grad();
-        actor.backward(&grad);
+        actor.backward_into(grad, dx);
         opt.step_mlp(actor);
         last = stats;
     }
@@ -108,22 +154,25 @@ pub(crate) fn actor_update(
 }
 
 /// One squared-error regression pass of a value network onto returns
-/// (Eqs. 16–17); returns the pre-update MSE.
+/// (Eqs. 16–17); returns the pre-update MSE. The per-epoch value/gradient
+/// matrices live in `scratch`.
 pub(crate) fn critic_update(
     critic: &mut Mlp,
     opt: &mut Adam,
     states: &Matrix,
     returns: &[f32],
     epochs: usize,
+    scratch: &mut EpochScratch,
 ) -> f32 {
     let n = states.rows();
     let mut first_loss = 0.0f32;
+    let EpochScratch { value_mat, grad, dx, .. } = scratch;
     for epoch in 0..epochs {
-        let values = critic.forward_train(states);
-        let mut grad = Matrix::zeros(n, 1);
+        critic.forward_train_into(states, value_mat);
+        grad.resize(n, 1);
         let mut loss = 0.0f32;
         for i in 0..n {
-            let err = values[(i, 0)] - returns[i];
+            let err = value_mat[(i, 0)] - returns[i];
             loss += err * err;
             grad[(i, 0)] = 2.0 * err / n as f32;
         }
@@ -132,10 +181,29 @@ pub(crate) fn critic_update(
             first_loss = loss;
         }
         critic.zero_grad();
-        critic.backward(&grad);
+        critic.backward_into(grad, dx);
         opt.step_mlp(critic);
     }
     first_loss
+}
+
+/// MSE of `critic` on `(states, returns)` through scratch buffers, without
+/// updating anything — the allocation-free loss probe used inside updates.
+pub(crate) fn critic_loss_into(
+    critic: &mut Mlp,
+    states: &Matrix,
+    returns: &[f32],
+    values: &mut Matrix,
+) -> f32 {
+    critic.forward_into(states, values);
+    let n = states.rows();
+    (0..n)
+        .map(|i| {
+            let e = values[(i, 0)] - returns[i];
+            e * e
+        })
+        .sum::<f32>()
+        / n as f32
 }
 
 /// Mean squared error of a critic's predictions against returns, without
@@ -168,6 +236,7 @@ pub struct PpoAgent {
     buffer: RolloutBuffer,
     episodes_buffered: usize,
     telemetry: Telemetry,
+    scratch: AgentScratch,
 }
 
 impl PpoAgent {
@@ -189,6 +258,7 @@ impl PpoAgent {
             buffer: RolloutBuffer::new(state_dim),
             episodes_buffered: 0,
             telemetry: Telemetry::noop(),
+            scratch: AgentScratch::default(),
         }
     }
 
@@ -213,11 +283,12 @@ impl PpoAgent {
             self.episodes_buffered = 0;
         }
         let total = collect_episode_opts(
-            &self.actor,
+            &mut self.actor,
             env,
             &mut self.buffer,
             &mut self.rng,
             self.cfg.mask_invalid_actions,
+            &mut self.scratch,
         );
         self.episodes_buffered += 1;
         self.telemetry.observe("rl/episode_reward", total as f64);
@@ -228,48 +299,57 @@ impl PpoAgent {
         total
     }
 
-    /// PPO update on the retained buffer (no-op when empty).
+    /// PPO update on the retained buffer (no-op when empty). The batch
+    /// tensors (states, returns, values, advantages) and every per-epoch
+    /// intermediate live in the agent's scratch, so repeated updates at a
+    /// stable batch size allocate nothing.
     pub fn update(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
-        let states = self.buffer.states_matrix();
-        let returns =
-            discounted_returns(self.buffer.rewards(), self.buffer.terminals(), self.cfg.gamma);
-        let values: Vec<f32> = {
-            let v = self.critic.forward(&states);
-            (0..v.rows()).map(|i| v[(i, 0)]).collect()
-        };
-        let mut advantages = gae_advantages(
+        self.buffer.states_matrix_into(&mut self.scratch.states);
+        discounted_returns_into(
             self.buffer.rewards(),
-            &values,
+            self.buffer.terminals(),
+            self.cfg.gamma,
+            &mut self.scratch.returns,
+        );
+        self.critic.forward_into(&self.scratch.states, &mut self.scratch.value_mat);
+        self.scratch.values.clear();
+        for i in 0..self.scratch.value_mat.rows() {
+            let v = self.scratch.value_mat[(i, 0)];
+            self.scratch.values.push(v);
+        }
+        gae_advantages_into(
+            self.buffer.rewards(),
+            &self.scratch.values,
             self.buffer.terminals(),
             self.cfg.gamma,
             self.cfg.gae_lambda,
+            &mut self.scratch.advantages,
         );
         if self.cfg.normalize_advantages {
-            normalize_in_place(&mut advantages);
+            normalize_in_place(&mut self.scratch.advantages);
         }
-        let actions = self.buffer.actions().to_vec();
-        let old_lp = self.buffer.old_log_probs().to_vec();
-        let masks = self.buffer.masks_flat().map(<[bool]>::to_vec);
         let span = self.telemetry.span("rl/ppo_update");
         let actor_stats = actor_update(
             &mut self.actor,
             &mut self.actor_opt,
-            &states,
-            &actions,
-            &old_lp,
-            &advantages,
-            masks.as_deref(),
+            &self.scratch.states,
+            self.buffer.actions(),
+            self.buffer.old_log_probs(),
+            &self.scratch.advantages,
+            self.buffer.masks_flat(),
             &self.cfg,
+            &mut self.scratch.epoch,
         );
         let critic_mse = critic_update(
             &mut self.critic,
             &mut self.critic_opt,
-            &states,
-            &returns,
+            &self.scratch.states,
+            &self.scratch.returns,
             self.cfg.critic_epochs,
+            &mut self.scratch.epoch,
         );
         drop(span);
         self.telemetry.observe("rl/actor_surrogate", actor_stats.surrogate as f64);
@@ -278,9 +358,11 @@ impl PpoAgent {
         self.telemetry.observe("rl/critic_loss", critic_mse as f64);
     }
 
-    /// Greedy evaluation episode on a freshly reset `env`.
-    pub fn evaluate<E: SchedulingEnv + ?Sized>(&self, env: &mut E) -> EpisodeMetrics {
-        evaluate_greedy_opts(&self.actor, env, self.cfg.mask_invalid_actions)
+    /// Greedy evaluation episode on a freshly reset `env`. Takes `&mut self`
+    /// to route per-decision tensors through the agent's scratch buffers;
+    /// no learnable state changes.
+    pub fn evaluate<E: SchedulingEnv + ?Sized>(&mut self, env: &mut E) -> EpisodeMetrics {
+        evaluate_greedy_opts(&mut self.actor, env, self.cfg.mask_invalid_actions, &mut self.scratch)
     }
 
     /// Critic MSE on the last collected episode (for the Fig. 9 probe).
@@ -375,7 +457,7 @@ mod tests {
     fn evaluation_places_tasks() {
         let mut env = small_env();
         let dims = *env.dims();
-        let agent = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 2);
+        let mut agent = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 2);
         env.reset(DatasetId::K8s.model().sample(25, 3));
         let m = agent.evaluate(&mut env);
         assert_eq!(m.tasks_placed + m.tasks_unplaced, 25);

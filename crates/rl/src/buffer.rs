@@ -127,6 +127,13 @@ impl RolloutBuffer {
         Matrix::from_vec(self.len(), self.state_dim, self.states.clone())
     }
 
+    /// [`RolloutBuffer::states_matrix`] into a reusable matrix
+    /// (allocation-free once the buffer's capacity is warm).
+    pub fn states_matrix_into(&self, out: &mut Matrix) {
+        out.resize(self.len(), self.state_dim);
+        out.as_mut_slice().copy_from_slice(&self.states);
+    }
+
     /// Taken actions.
     pub fn actions(&self) -> &[usize] {
         &self.actions

@@ -16,11 +16,14 @@
 //! for balancing global knowledge against local experience.
 
 use crate::agent::{
-    actor_update, build_net, collect_episode_opts, critic_loss, critic_update, evaluate_greedy_opts,
+    actor_update, build_net, collect_episode_opts, critic_loss, critic_loss_into, critic_update,
+    evaluate_greedy_opts, AgentScratch,
 };
 use crate::buffer::RolloutBuffer;
 use crate::config::PpoConfig;
-use crate::returns::{discounted_returns, gae_advantages, normalize_in_place};
+use crate::returns::{
+    discounted_returns, discounted_returns_into, gae_advantages_into, normalize_in_place,
+};
 use pfrl_nn::{Adam, Mlp};
 use pfrl_sim::{EpisodeMetrics, SchedulingEnv};
 use pfrl_telemetry::Telemetry;
@@ -48,6 +51,7 @@ pub struct DualCriticAgent {
     buffer: RolloutBuffer,
     episodes_buffered: usize,
     telemetry: Telemetry,
+    scratch: AgentScratch,
 }
 
 impl DualCriticAgent {
@@ -77,6 +81,7 @@ impl DualCriticAgent {
             buffer: RolloutBuffer::new(state_dim),
             episodes_buffered: 0,
             telemetry: Telemetry::noop(),
+            scratch: AgentScratch::default(),
         }
     }
 
@@ -110,15 +115,6 @@ impl DualCriticAgent {
         &self.cfg
     }
 
-    /// Blended state values over the buffered states (Eq. 14).
-    fn blended_values(&self, states: &pfrl_tensor::Matrix) -> Vec<f32> {
-        let v_local = self.local_critic.forward(states);
-        let v_public = self.public_critic.forward(states);
-        (0..states.rows())
-            .map(|i| self.alpha * v_local[(i, 0)] + (1.0 - self.alpha) * v_public[(i, 0)])
-            .collect()
-    }
-
     /// Collects one episode on a freshly reset `env`, runs the dual-critic
     /// PPO update once `episodes_per_update` episodes are batched, and
     /// returns the total episode reward.
@@ -128,11 +124,12 @@ impl DualCriticAgent {
             self.episodes_buffered = 0;
         }
         let total = collect_episode_opts(
-            &self.actor,
+            &mut self.actor,
             env,
             &mut self.buffer,
             &mut self.rng,
             self.cfg.mask_invalid_actions,
+            &mut self.scratch,
         );
         self.episodes_buffered += 1;
         self.telemetry.observe("rl/episode_reward", total as f64);
@@ -144,52 +141,69 @@ impl DualCriticAgent {
     }
 
     /// Dual-critic PPO update on the retained buffer (no-op when empty).
+    /// Batch tensors and per-epoch intermediates live in the agent's
+    /// scratch, so repeated updates at a stable batch size allocate
+    /// nothing — including the α refresh (Eq. 15), which reuses the batch's
+    /// states/returns instead of re-deriving them from the buffer.
     pub fn update(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
-        let states = self.buffer.states_matrix();
-        let returns =
-            discounted_returns(self.buffer.rewards(), self.buffer.terminals(), self.cfg.gamma);
-        let values = self.blended_values(&states);
-        let mut advantages = gae_advantages(
+        self.buffer.states_matrix_into(&mut self.scratch.states);
+        discounted_returns_into(
             self.buffer.rewards(),
-            &values,
+            self.buffer.terminals(),
+            self.cfg.gamma,
+            &mut self.scratch.returns,
+        );
+        // Blended state values over the batch (Eq. 14).
+        self.local_critic.forward_into(&self.scratch.states, &mut self.scratch.value_mat);
+        self.public_critic.forward_into(&self.scratch.states, &mut self.scratch.value_mat2);
+        self.scratch.values.clear();
+        for i in 0..self.scratch.states.rows() {
+            let v = self.alpha * self.scratch.value_mat[(i, 0)]
+                + (1.0 - self.alpha) * self.scratch.value_mat2[(i, 0)];
+            self.scratch.values.push(v);
+        }
+        gae_advantages_into(
+            self.buffer.rewards(),
+            &self.scratch.values,
             self.buffer.terminals(),
             self.cfg.gamma,
             self.cfg.gae_lambda,
+            &mut self.scratch.advantages,
         );
         if self.cfg.normalize_advantages {
-            normalize_in_place(&mut advantages);
+            normalize_in_place(&mut self.scratch.advantages);
         }
-        let actions = self.buffer.actions().to_vec();
-        let old_lp = self.buffer.old_log_probs().to_vec();
-        let masks = self.buffer.masks_flat().map(<[bool]>::to_vec);
         let span = self.telemetry.span("rl/ppo_update");
         let actor_stats = actor_update(
             &mut self.actor,
             &mut self.actor_opt,
-            &states,
-            &actions,
-            &old_lp,
-            &advantages,
-            masks.as_deref(),
+            &self.scratch.states,
+            self.buffer.actions(),
+            self.buffer.old_log_probs(),
+            &self.scratch.advantages,
+            self.buffer.masks_flat(),
             &self.cfg,
+            &mut self.scratch.epoch,
         );
         // Both value functions regress on the same returns (Eqs. 16–17).
         let local_mse = critic_update(
             &mut self.local_critic,
             &mut self.local_opt,
-            &states,
-            &returns,
+            &self.scratch.states,
+            &self.scratch.returns,
             self.cfg.critic_epochs,
+            &mut self.scratch.epoch,
         );
         let public_mse = critic_update(
             &mut self.public_critic,
             &mut self.public_opt,
-            &states,
-            &returns,
+            &self.scratch.states,
+            &self.scratch.returns,
             self.cfg.critic_epochs,
+            &mut self.scratch.epoch,
         );
         drop(span);
         self.telemetry.observe("rl/actor_surrogate", actor_stats.surrogate as f64);
@@ -197,8 +211,26 @@ impl DualCriticAgent {
         self.telemetry.observe("rl/clip_fraction", actor_stats.clip_fraction as f64);
         self.telemetry.observe("rl/critic_loss_local", local_mse as f64);
         self.telemetry.observe("rl/critic_loss_public", public_mse as f64);
-        // Parameters changed → refresh α (Eq. 15).
-        self.refresh_alpha();
+        // Parameters changed → refresh α (Eq. 15). Same formula as
+        // `refresh_alpha`, evaluated through scratch buffers; the batch's
+        // states/returns are value-identical to re-deriving them from the
+        // buffer, so α is bit-for-bit the same.
+        if self.fixed_alpha.is_none() {
+            let l_local = critic_loss_into(
+                &mut self.local_critic,
+                &self.scratch.states,
+                &self.scratch.returns,
+                &mut self.scratch.value_mat,
+            );
+            let l_public = critic_loss_into(
+                &mut self.public_critic,
+                &self.scratch.states,
+                &self.scratch.returns,
+                &mut self.scratch.value_mat2,
+            );
+            let tau = (0.5 * (l_local + l_public)).max(1e-6);
+            self.alpha = 1.0 / (1.0 + (-(l_public - l_local) / tau).exp());
+        }
         self.telemetry.observe("rl/alpha", self.alpha as f64);
     }
 
@@ -240,9 +272,11 @@ impl DualCriticAgent {
         !self.buffer.is_empty()
     }
 
-    /// Greedy evaluation episode on a freshly reset `env`.
-    pub fn evaluate<E: SchedulingEnv + ?Sized>(&self, env: &mut E) -> EpisodeMetrics {
-        evaluate_greedy_opts(&self.actor, env, self.cfg.mask_invalid_actions)
+    /// Greedy evaluation episode on a freshly reset `env`. Takes `&mut self`
+    /// to route per-decision tensors through the agent's scratch buffers;
+    /// no learnable state changes.
+    pub fn evaluate<E: SchedulingEnv + ?Sized>(&mut self, env: &mut E) -> EpisodeMetrics {
+        evaluate_greedy_opts(&mut self.actor, env, self.cfg.mask_invalid_actions, &mut self.scratch)
     }
 
     /// Saves actor + both critics to a checkpoint file.
@@ -454,7 +488,7 @@ mod tests {
 
     #[test]
     fn evaluate_runs_greedy_episode() {
-        let a = agent(6);
+        let mut a = agent(6);
         let mut env = small_env();
         env.reset(DatasetId::K8s.model().sample(15, 2));
         let m = a.evaluate(&mut env);

@@ -5,21 +5,56 @@
 use pfrl_tensor::{ops, Matrix};
 use rand::Rng;
 
-/// Samples an action index from `softmax(logits)` and returns
-/// `(action, log_prob)`.
-pub fn sample_action(logits: &[f32], rng: &mut impl Rng) -> (usize, f32) {
-    let log_probs = ops::log_softmax(logits);
+/// Reusable row buffers for the per-decision sampling path and the
+/// surrogate-gradient inner loop. One scratch cycled through same-sized
+/// calls stops allocating after the first.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyScratch {
+    row: Vec<f32>,
+    lp: Vec<f32>,
+    probs: Vec<f32>,
+}
+
+impl PolicyScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Inverse-CDF sample over `exp(lp)`; shared by both sampling entry points
+/// so they consume the RNG identically.
+fn sample_index(lp: &[f32], rng: &mut impl Rng) -> usize {
     let u: f32 = rng.gen_range(0.0..1.0);
     let mut cum = 0.0f32;
-    let mut action = log_probs.len() - 1;
-    for (i, lp) in log_probs.iter().enumerate() {
-        cum += lp.exp();
+    let mut action = lp.len() - 1;
+    for (i, l) in lp.iter().enumerate() {
+        cum += l.exp();
         if u < cum {
             action = i;
             break;
         }
     }
-    (action, log_probs[action])
+    action
+}
+
+/// Samples an action index from `softmax(logits)` and returns
+/// `(action, log_prob)`.
+pub fn sample_action(logits: &[f32], rng: &mut impl Rng) -> (usize, f32) {
+    let mut scratch = PolicyScratch::default();
+    sample_action_scratch(logits, rng, &mut scratch)
+}
+
+/// [`sample_action`] through a reusable [`PolicyScratch`] (the agents'
+/// per-decision hot path; bitwise identical, including RNG consumption).
+pub fn sample_action_scratch(
+    logits: &[f32],
+    rng: &mut impl Rng,
+    scratch: &mut PolicyScratch,
+) -> (usize, f32) {
+    ops::log_softmax_into(logits, &mut scratch.lp);
+    let action = sample_index(&scratch.lp, rng);
+    (action, scratch.lp[action])
 }
 
 /// Applies an action mask to logits in place: disallowed entries become
@@ -37,9 +72,24 @@ pub fn apply_mask(logits: &mut [f32], mask: &[bool]) {
 /// Samples from the masked policy: disallowed actions have probability 0
 /// and the returned log-prob is under the *masked* distribution.
 pub fn sample_action_masked(logits: &[f32], mask: &[bool], rng: &mut impl Rng) -> (usize, f32) {
-    let mut masked = logits.to_vec();
-    apply_mask(&mut masked, mask);
-    sample_action(&masked, rng)
+    let mut scratch = PolicyScratch::default();
+    sample_action_masked_scratch(logits, mask, rng, &mut scratch)
+}
+
+/// [`sample_action_masked`] through a reusable [`PolicyScratch`].
+pub fn sample_action_masked_scratch(
+    logits: &[f32],
+    mask: &[bool],
+    rng: &mut impl Rng,
+    scratch: &mut PolicyScratch,
+) -> (usize, f32) {
+    let PolicyScratch { row, lp, .. } = scratch;
+    row.clear();
+    row.extend_from_slice(logits);
+    apply_mask(row, mask);
+    ops::log_softmax_into(row, lp);
+    let action = sample_index(lp, rng);
+    (action, lp[action])
 }
 
 /// Greedy action: argmax of the logits.
@@ -93,6 +143,37 @@ pub fn clipped_surrogate_grad_masked(
     entropy_coef: f32,
     masks: Option<&[bool]>,
 ) -> (Matrix, PpoLossStats) {
+    let mut grad = Matrix::default();
+    let mut scratch = PolicyScratch::default();
+    let stats = clipped_surrogate_grad_masked_into(
+        logits,
+        actions,
+        old_log_probs,
+        advantages,
+        clip,
+        entropy_coef,
+        masks,
+        &mut grad,
+        &mut scratch,
+    );
+    (grad, stats)
+}
+
+/// [`clipped_surrogate_grad_masked`] writing the gradient into a reusable
+/// matrix, with the per-row log-softmax buffers drawn from `scratch` — the
+/// PPO minibatch loop's allocation-free form (bitwise identical).
+#[allow(clippy::too_many_arguments)]
+pub fn clipped_surrogate_grad_masked_into(
+    logits: &Matrix,
+    actions: &[usize],
+    old_log_probs: &[f32],
+    advantages: &[f32],
+    clip: f32,
+    entropy_coef: f32,
+    masks: Option<&[bool]>,
+    grad: &mut Matrix,
+    scratch: &mut PolicyScratch,
+) -> PpoLossStats {
     let n = logits.rows();
     let cols = logits.cols();
     assert_eq!(actions.len(), n, "actions length mismatch");
@@ -103,18 +184,22 @@ pub fn clipped_surrogate_grad_masked(
     }
     let inv_n = 1.0 / n as f32;
 
-    let mut grad = Matrix::zeros(n, cols);
+    grad.resize(n, cols);
+    grad.fill_zero();
     let mut surrogate = 0.0f32;
     let mut total_entropy = 0.0f32;
     let mut clipped_count = 0usize;
+    let PolicyScratch { row, lp, probs } = scratch;
 
     for i in 0..n {
-        let mut row = logits.row(i).to_vec();
+        row.clear();
+        row.extend_from_slice(logits.row(i));
         if let Some(m) = masks {
-            apply_mask(&mut row, &m[i * cols..(i + 1) * cols]);
+            apply_mask(row, &m[i * cols..(i + 1) * cols]);
         }
-        let lp = ops::log_softmax(&row);
-        let probs: Vec<f32> = lp.iter().map(|l| l.exp()).collect();
+        ops::log_softmax_into(row, lp);
+        probs.clear();
+        probs.extend(lp.iter().map(|l| l.exp()));
         let a = actions[i];
         let adv = advantages[i];
         let ratio = (lp[a] - old_log_probs[i]).exp();
@@ -141,7 +226,7 @@ pub fn clipped_surrogate_grad_masked(
         // Masked-out actions have p = 0 and log p = −inf; their entropy
         // contribution and gradient are 0 (the x·log x → 0 limit).
         let h: f32 =
-            -lp.iter().zip(&probs).filter(|(_, &p)| p > 0.0).map(|(l, p)| p * l).sum::<f32>();
+            -lp.iter().zip(probs.iter()).filter(|(_, &p)| p > 0.0).map(|(l, p)| p * l).sum::<f32>();
         total_entropy += h * inv_n;
         if entropy_coef > 0.0 {
             let grow = grad.row_mut(i);
@@ -153,14 +238,11 @@ pub fn clipped_surrogate_grad_masked(
         }
     }
 
-    (
-        grad,
-        PpoLossStats {
-            surrogate,
-            entropy: total_entropy,
-            clip_fraction: clipped_count as f32 / n as f32,
-        },
-    )
+    PpoLossStats {
+        surrogate,
+        entropy: total_entropy,
+        clip_fraction: clipped_count as f32 / n as f32,
+    }
 }
 
 /// [`clipped_surrogate_grad_masked`] without masks (the paper's default).

@@ -6,8 +6,21 @@
 /// # Panics
 /// If lengths differ.
 pub fn discounted_returns(rewards: &[f32], terminals: &[bool], gamma: f32) -> Vec<f32> {
+    let mut out = Vec::new();
+    discounted_returns_into(rewards, terminals, gamma, &mut out);
+    out
+}
+
+/// [`discounted_returns`] into a reusable buffer (cleared first).
+pub fn discounted_returns_into(
+    rewards: &[f32],
+    terminals: &[bool],
+    gamma: f32,
+    out: &mut Vec<f32>,
+) {
     assert_eq!(rewards.len(), terminals.len(), "rewards/terminals mismatch");
-    let mut out = vec![0.0f32; rewards.len()];
+    out.clear();
+    out.resize(rewards.len(), 0.0);
     let mut g = 0.0f32;
     for t in (0..rewards.len()).rev() {
         if terminals[t] {
@@ -16,7 +29,6 @@ pub fn discounted_returns(rewards: &[f32], terminals: &[bool], gamma: f32) -> Ve
         g = rewards[t] + gamma * g;
         out[t] = g;
     }
-    out
 }
 
 /// GAE(λ) advantages. With `λ = 1` this telescopes to `G_t − V(s_t)`,
@@ -33,10 +45,25 @@ pub fn gae_advantages(
     gamma: f32,
     lambda: f32,
 ) -> Vec<f32> {
+    let mut adv = Vec::new();
+    gae_advantages_into(rewards, values, terminals, gamma, lambda, &mut adv);
+    adv
+}
+
+/// [`gae_advantages`] into a reusable buffer (cleared first).
+pub fn gae_advantages_into(
+    rewards: &[f32],
+    values: &[f32],
+    terminals: &[bool],
+    gamma: f32,
+    lambda: f32,
+    adv: &mut Vec<f32>,
+) {
     assert_eq!(rewards.len(), values.len(), "rewards/values mismatch");
     assert_eq!(rewards.len(), terminals.len(), "rewards/terminals mismatch");
     let n = rewards.len();
-    let mut adv = vec![0.0f32; n];
+    adv.clear();
+    adv.resize(n, 0.0);
     let mut last = 0.0f32;
     for t in (0..n).rev() {
         let (next_value, next_adv) = if terminals[t] {
@@ -50,7 +77,6 @@ pub fn gae_advantages(
         last = delta + gamma * lambda * next_adv;
         adv[t] = last;
     }
-    adv
 }
 
 /// Standardizes `x` in place to zero mean, unit std (no-op for n < 2 or

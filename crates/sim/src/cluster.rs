@@ -50,13 +50,33 @@ impl Cluster {
         self.vms.iter().any(|v| v.can_fit(task))
     }
 
+    /// Clears all running tasks on every VM, retaining buffer capacity
+    /// (episode reset on warm workspaces).
+    pub fn reset(&mut self) {
+        for vm in &mut self.vms {
+            vm.reset();
+        }
+    }
+
     /// Releases all tasks completed by `now` across VMs, returning them.
     pub fn advance_to(&mut self, now: u64) -> Vec<RunningTask> {
         let mut done = Vec::new();
-        for vm in &mut self.vms {
-            done.extend(vm.advance_to(now));
-        }
+        self.advance_to_into(now, &mut done);
         done
+    }
+
+    /// [`Cluster::advance_to`] appending into a reusable buffer.
+    pub fn advance_to_into(&mut self, now: u64, done: &mut Vec<RunningTask>) {
+        for vm in &mut self.vms {
+            vm.advance_to_into(now, done);
+        }
+    }
+
+    /// Releases all tasks completed by `now` without collecting them.
+    pub fn release_to(&mut self, now: u64) {
+        for vm in &mut self.vms {
+            vm.release_to(now);
+        }
     }
 
     /// Earliest completion time across all VMs, if anything is running.

@@ -13,7 +13,6 @@ use crate::cluster::Cluster;
 use crate::config::{EnvConfig, EnvDims};
 use crate::env::{Action, StepOutcome};
 use crate::metrics::{compute_metrics, EpisodeMetrics, TaskRecord};
-use crate::state::encode_state;
 use crate::vm::VmSpec;
 use crate::SchedulingEnv;
 use pfrl_workloads::workflow::Workflow;
@@ -58,6 +57,8 @@ pub struct DagCloudEnv {
     done: bool,
     truncated: bool,
     n_workflows: usize,
+    /// Reusable buffer for tasks released by [`Cluster::advance_to_into`].
+    finished_scratch: Vec<crate::vm::RunningTask>,
 }
 
 impl DagCloudEnv {
@@ -94,13 +95,14 @@ impl DagCloudEnv {
             total_reward: 0.0,
             done: true,
             truncated: false,
+            finished_scratch: Vec::new(),
             n_workflows: 0,
         }
     }
 
     /// Starts an episode over a batch of workflows.
     pub fn reset(&mut self, workflows: Vec<Workflow>) {
-        self.cluster = Cluster::new(&self.vm_specs);
+        self.cluster.reset();
         self.tasks.clear();
         self.workflow_of.clear();
         self.remaining_deps.clear();
@@ -198,7 +200,7 @@ impl DagCloudEnv {
     /// First feasible VM for the head task (baseline drivers).
     pub fn first_fit_action(&self) -> Option<Action> {
         let head = self.queue.front()?;
-        self.cluster.feasible(head).first().map(|&i| Action::Vm(i))
+        self.cluster.vms().iter().position(|v| v.can_fit(head)).map(Action::Vm)
     }
 
     /// Placement records so far.
@@ -248,7 +250,7 @@ impl DagCloudEnv {
 
     /// Applies completions at the current time: mark finished, unlock
     /// dependents.
-    fn handle_completions(&mut self, finished: Vec<crate::vm::RunningTask>) {
+    fn handle_completions(&mut self, finished: &[crate::vm::RunningTask]) {
         for rt in finished {
             let gid = rt.task_id as usize;
             self.finished_at[gid] = Some(rt.end());
@@ -269,8 +271,11 @@ impl DagCloudEnv {
     fn advance_to(&mut self, t: u64) {
         debug_assert!(t > self.now);
         self.now = t;
-        let finished = self.cluster.advance_to(t);
-        self.handle_completions(finished);
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        finished.clear();
+        self.cluster.advance_to_into(t, &mut finished);
+        self.handle_completions(&finished);
+        self.finished_scratch = finished;
         self.release_roots();
     }
 
@@ -303,9 +308,19 @@ impl SchedulingEnv for DagCloudEnv {
     }
 
     fn observe(&self) -> Vec<f32> {
-        let visible: Vec<TaskSpec> =
-            self.queue.iter().take(self.dims.queue_slots).copied().collect();
-        encode_state(&self.dims, &self.cluster, &visible, self.now)
+        let mut out = Vec::new();
+        self.observe_into(&mut out);
+        out
+    }
+
+    fn observe_into(&self, out: &mut Vec<f32>) {
+        crate::state::encode_state_into(
+            &self.dims,
+            &self.cluster,
+            self.queue.iter().take(self.dims.queue_slots),
+            self.now,
+            out,
+        );
     }
 
     fn step(&mut self, action: Action) -> StepOutcome {
@@ -401,14 +416,22 @@ impl SchedulingEnv for DagCloudEnv {
     }
 
     fn action_mask(&self) -> Vec<bool> {
-        let mut mask = vec![false; self.dims.action_dim()];
-        mask[self.dims.max_vms] = true;
+        let mut mask = Vec::new();
+        self.action_mask_into(&mut mask);
+        mask
+    }
+
+    fn action_mask_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(self.dims.action_dim(), false);
+        out[self.dims.max_vms] = true;
         if let Some(head) = self.queue.front() {
-            for i in self.cluster.feasible(head) {
-                mask[i] = true;
+            for (i, vm) in self.cluster.vms().iter().enumerate() {
+                if vm.can_fit(head) {
+                    out[i] = true;
+                }
             }
         }
-        mask
     }
 }
 

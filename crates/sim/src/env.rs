@@ -4,7 +4,6 @@
 use crate::cluster::Cluster;
 use crate::config::{EnvConfig, EnvDims};
 use crate::metrics::{compute_metrics, EpisodeMetrics, TaskRecord};
-use crate::state::encode_state;
 use crate::vm::VmSpec;
 use pfrl_telemetry::Telemetry;
 use pfrl_workloads::TaskSpec;
@@ -135,7 +134,7 @@ impl CloudEnv {
     /// Starts a new episode over `tasks` (will be arrival-sorted).
     pub fn reset(&mut self, mut tasks: Vec<TaskSpec>) {
         tasks.sort_by_key(|t| t.arrival);
-        self.cluster = Cluster::new(&self.vm_specs);
+        self.cluster.reset();
         self.tasks = tasks;
         self.next_arrival = 0;
         self.queue.clear();
@@ -201,28 +200,49 @@ impl CloudEnv {
 
     /// The current observation vector (Eq. 1 encoding).
     pub fn observe(&self) -> Vec<f32> {
-        let visible: Vec<TaskSpec> =
-            self.queue.iter().take(self.dims.queue_slots).copied().collect();
-        encode_state(&self.dims, &self.cluster, &visible, self.now)
+        let mut out = Vec::new();
+        self.observe_into(&mut out);
+        out
+    }
+
+    /// [`CloudEnv::observe`] into a reusable buffer — the per-decision
+    /// inference path allocates nothing after warmup.
+    pub fn observe_into(&self, out: &mut Vec<f32>) {
+        crate::state::encode_state_into(
+            &self.dims,
+            &self.cluster,
+            self.queue.iter().take(self.dims.queue_slots),
+            self.now,
+            out,
+        );
     }
 
     /// Feasibility mask over the action head: `mask[i]` for VM `i`,
     /// `mask[max_vms]` for wait (always true).
     pub fn action_mask(&self) -> Vec<bool> {
-        let mut mask = vec![false; self.dims.action_dim()];
-        mask[self.dims.max_vms] = true;
+        let mut mask = Vec::new();
+        self.action_mask_into(&mut mask);
+        mask
+    }
+
+    /// [`CloudEnv::action_mask`] into a reusable buffer.
+    pub fn action_mask_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(self.dims.action_dim(), false);
+        out[self.dims.max_vms] = true;
         if let Some(head) = self.queue.front() {
-            for i in self.cluster.feasible(head) {
-                mask[i] = true;
+            for (i, vm) in self.cluster.vms().iter().enumerate() {
+                if vm.can_fit(head) {
+                    out[i] = true;
+                }
             }
         }
-        mask
     }
 
     /// First feasible VM for the head task, if any (used by baselines).
     pub fn first_fit_action(&self) -> Option<Action> {
         let head = self.queue.front()?;
-        self.cluster.feasible(head).first().map(|&i| Action::Vm(i))
+        self.cluster.vms().iter().position(|v| v.can_fit(head)).map(Action::Vm)
     }
 
     /// Head of the waiting queue, if any.
@@ -398,7 +418,7 @@ impl CloudEnv {
     fn advance_to(&mut self, t: u64) {
         debug_assert!(t > self.now);
         self.now = t;
-        self.cluster.advance_to(t);
+        self.cluster.release_to(t);
         self.enqueue_arrivals();
     }
 

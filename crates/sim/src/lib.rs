@@ -70,6 +70,12 @@ pub trait SchedulingEnv {
     fn dims(&self) -> &EnvDims;
     /// Current observation (Eq. 1 layout).
     fn observe(&self) -> Vec<f32>;
+    /// [`SchedulingEnv::observe`] into a reusable buffer. The default
+    /// delegates to the allocating form; both environments override it so
+    /// the per-decision hot path allocates nothing after warmup.
+    fn observe_into(&self, out: &mut Vec<f32>) {
+        *out = self.observe();
+    }
     /// Executes one agent decision.
     fn step(&mut self, action: Action) -> StepOutcome;
     /// Whether the episode has ended.
@@ -80,6 +86,11 @@ pub trait SchedulingEnv {
     /// always true). Used by masked-policy agents (an ablation; the paper
     /// itself relies on penalties instead).
     fn action_mask(&self) -> Vec<bool>;
+    /// [`SchedulingEnv::action_mask`] into a reusable buffer (see
+    /// [`SchedulingEnv::observe_into`]).
+    fn action_mask_into(&self, out: &mut Vec<bool>) {
+        *out = self.action_mask();
+    }
 }
 
 impl SchedulingEnv for CloudEnv {
@@ -88,6 +99,9 @@ impl SchedulingEnv for CloudEnv {
     }
     fn observe(&self) -> Vec<f32> {
         CloudEnv::observe(self)
+    }
+    fn observe_into(&self, out: &mut Vec<f32>) {
+        CloudEnv::observe_into(self, out)
     }
     fn step(&mut self, action: Action) -> StepOutcome {
         CloudEnv::step(self, action)
@@ -100,5 +114,8 @@ impl SchedulingEnv for CloudEnv {
     }
     fn action_mask(&self) -> Vec<bool> {
         CloudEnv::action_mask(self)
+    }
+    fn action_mask_into(&self, out: &mut Vec<bool>) {
+        CloudEnv::action_mask_into(self, out)
     }
 }

@@ -139,14 +139,21 @@ fn time_averaged_load_balance(
     let load_bal = |used_cpu: &[i64], used_mem: &[f64]| -> f64 {
         let mut total = 0.0;
         for (res, w) in weights.iter().enumerate() {
-            let loads: Vec<f64> = (0..vms.len())
-                .map(|m| match res {
-                    0 => 1.0 - used_cpu[m] as f64 / vms[m].vcpus as f64,
-                    _ => 1.0 - used_mem[m] / vms[m].mem_gb as f64,
+            // Two passes over the (pure) per-VM load recomputed in the same
+            // `m` order an intermediate vec would have been summed in, so the
+            // result is bit-for-bit what the collected form produced.
+            let load_of = |m: usize| match res {
+                0 => 1.0 - used_cpu[m] as f64 / vms[m].vcpus as f64,
+                _ => 1.0 - used_mem[m] / vms[m].mem_gb as f64,
+            };
+            let avg = (0..vms.len()).map(load_of).sum::<f64>() / n;
+            let var = (0..vms.len())
+                .map(|m| {
+                    let d = load_of(m) - avg;
+                    d * d
                 })
-                .collect();
-            let avg = loads.iter().sum::<f64>() / n;
-            let var = loads.iter().map(|l| (l - avg) * (l - avg)).sum::<f64>() / n;
+                .sum::<f64>()
+                / n;
             total += *w as f64 * var.sqrt();
         }
         total

@@ -24,46 +24,57 @@ pub fn encode_state(
     now: u64,
 ) -> Vec<f32> {
     let mut s = Vec::with_capacity(dims.state_dim());
+    encode_state_into(dims, cluster, queue_head, now, &mut s);
+    s
+}
+
+/// [`encode_state`] into a reusable buffer (cleared first; retains capacity
+/// across calls, so per-decision observation stops allocating after the
+/// first episode). Accepts any iterator over the visible queue head so the
+/// environments can feed their `VecDeque` directly.
+pub fn encode_state_into<'a>(
+    dims: &EnvDims,
+    cluster: &Cluster,
+    queue_head: impl IntoIterator<Item = &'a TaskSpec>,
+    now: u64,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
     let cpu_norm = dims.max_vcpus as f32;
     let mem_norm = dims.max_mem_gb;
 
     // S^VM: remaining capacity.
     for i in 0..dims.max_vms {
         if let Some(vm) = cluster.vms().get(i) {
-            s.push(vm.free_vcpus() as f32 / cpu_norm);
-            s.push(vm.free_mem() / mem_norm);
+            out.push(vm.free_vcpus() as f32 / cpu_norm);
+            out.push(vm.free_mem() / mem_norm);
         } else {
-            s.push(VOID);
-            s.push(VOID);
+            out.push(VOID);
+            out.push(VOID);
         }
     }
 
     // S^vCPU: per-vCPU progress.
     for i in 0..dims.max_vms {
         match cluster.vms().get(i) {
-            Some(vm) => {
-                let progress = vm.vcpu_progress(now);
-                for k in 0..dims.max_vcpus as usize {
-                    s.push(progress.get(k).copied().unwrap_or(VOID));
-                }
-            }
-            None => s.extend(std::iter::repeat_n(VOID, dims.max_vcpus as usize)),
+            Some(vm) => vm.push_vcpu_progress(now, dims.max_vcpus as usize, VOID, out),
+            None => out.extend(std::iter::repeat_n(VOID, dims.max_vcpus as usize)),
         }
     }
 
     // S^Queue: waiting-task demands.
-    for q in 0..dims.queue_slots {
-        if let Some(t) = queue_head.get(q) {
-            s.push(t.vcpus as f32 / cpu_norm);
-            s.push(t.mem_gb / mem_norm);
+    let mut heads = queue_head.into_iter();
+    for _ in 0..dims.queue_slots {
+        if let Some(t) = heads.next() {
+            out.push(t.vcpus as f32 / cpu_norm);
+            out.push(t.mem_gb / mem_norm);
         } else {
-            s.push(0.0);
-            s.push(0.0);
+            out.push(0.0);
+            out.push(0.0);
         }
     }
 
-    debug_assert_eq!(s.len(), dims.state_dim());
-    s
+    debug_assert_eq!(out.len(), dims.state_dim());
 }
 
 #[cfg(test)]

