@@ -1,13 +1,15 @@
 //! Uniform experiment driver over the four algorithms.
 
 use pfrl_fed::{
-    ClientSetup, FedAvgRunner, FedConfig, IndependentRunner, MfpoRunner, PfrlDmRunner,
+    ClientSetup, FaultPlan, FedAvgRunner, FedConfig, IndependentRunner, MfpoRunner, PfrlDmRunner,
     TrainingCurves,
 };
 use pfrl_rl::PpoConfig;
 use pfrl_sim::{EnvConfig, EnvDims, EpisodeMetrics};
 use pfrl_telemetry::{RunManifest, Telemetry};
 use pfrl_workloads::TaskSpec;
+use std::io;
+use std::path::PathBuf;
 
 /// The four algorithms compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,6 +166,107 @@ pub fn run_federation_with_telemetry(
                 .with_telemetry(telemetry);
             let c = r.train();
             (c, TrainedFederation::Ppo(r))
+        }
+    }
+}
+
+/// Where and how often a resumable run checkpoints its federation state.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint file (written atomically: temp file + rename).
+    pub path: PathBuf,
+    /// Communication rounds between checkpoints (≥ 1).
+    pub every_rounds: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` after every round.
+    pub fn every_round(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into(), every_rounds: 1 }
+    }
+}
+
+/// Atomically persists a runner checkpoint: a partial write can never
+/// clobber the previous good checkpoint.
+fn persist_checkpoint(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Drives one runner round-by-round with periodic checkpoints; restores
+/// first when a checkpoint already exists on disk.
+macro_rules! drive_resumable {
+    ($runner:expr, $fed_cfg:expr, $ckpt:expr, $telemetry:expr) => {{
+        let mut r = $runner;
+        if $ckpt.path.exists() {
+            r.restore_checkpoint(&std::fs::read(&$ckpt.path)?)?;
+            $telemetry.counter("fed/checkpoint_restores", 1);
+        }
+        while r.rounds_done() < $fed_cfg.rounds() {
+            r.train_round();
+            if r.rounds_done() % $ckpt.every_rounds == 0 {
+                persist_checkpoint(&$ckpt.path, &r.checkpoint_bytes())?;
+                $telemetry.counter("fed/checkpoints", 1);
+            }
+        }
+        let curves = r.finish();
+        (curves, r)
+    }};
+}
+
+/// [`run_federation_with_telemetry`] with crash recovery: the federation
+/// state (server model, per-client personalized state, optimizer moments,
+/// RNG cursors, fault bookkeeping) is checkpointed every
+/// `ckpt.every_rounds` rounds, and an existing checkpoint at `ckpt.path`
+/// is restored before training. A run that is killed and re-invoked with
+/// the same arguments finishes with curves bit-identical to an
+/// uninterrupted run — every stochastic stream is either derived from
+/// `(seed, client, episode)` or serialized in the checkpoint.
+///
+/// `fault_plan` installs a deterministic fault schedule on the federated
+/// runners (pass [`FaultPlan::none()`] for a healthy run).
+#[allow(clippy::too_many_arguments)]
+pub fn run_federation_resumable(
+    algorithm: Algorithm,
+    setups: Vec<ClientSetup>,
+    dims: EnvDims,
+    env_cfg: EnvConfig,
+    ppo_cfg: PpoConfig,
+    fed_cfg: FedConfig,
+    fault_plan: FaultPlan,
+    ckpt: &CheckpointConfig,
+    telemetry: Telemetry,
+) -> io::Result<(TrainingCurves, TrainedFederation)> {
+    assert!(ckpt.every_rounds >= 1, "every_rounds must be >= 1");
+    match algorithm {
+        Algorithm::PfrlDm => {
+            let runner = PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry.clone())
+                .with_fault_plan(fault_plan);
+            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
+            Ok((c, TrainedFederation::PfrlDm(r)))
+        }
+        Algorithm::FedAvg => {
+            let runner = FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry.clone())
+                .with_fault_plan(fault_plan);
+            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
+            Ok((c, TrainedFederation::FedAvg(r)))
+        }
+        Algorithm::Mfpo => {
+            let runner = MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry.clone())
+                .with_fault_plan(fault_plan);
+            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
+            Ok((c, TrainedFederation::Mfpo(r)))
+        }
+        Algorithm::Ppo => {
+            let runner = IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry.clone())
+                .with_fault_plan(fault_plan);
+            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
+            Ok((c, TrainedFederation::Ppo(r)))
         }
     }
 }

@@ -98,6 +98,14 @@ impl<A: FedAgent> Client<A> {
         self.episodes_done
     }
 
+    /// Restores the episode cursor from a checkpoint (the reward history is
+    /// restored directly through the public `rewards` field). Episode seeds
+    /// derive from `(config seed, client index, episode index)`, so setting
+    /// the cursor is all that is needed to resume the episode stream.
+    pub(crate) fn restore_episode_cursor(&mut self, episodes_done: usize) {
+        self.episodes_done = episodes_done;
+    }
+
     /// The client's private training pool.
     pub fn train_tasks(&self) -> &[TaskSpec] {
         &self.train_tasks

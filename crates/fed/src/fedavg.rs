@@ -2,19 +2,46 @@
 //! the paper's traditional-FRL baseline — optionally with a fixed
 //! per-client mixing matrix for the Fig. 10 similarity-weighting study.
 
+use crate::checkpoint::{
+    read_client_fault, read_ppo_agent, write_client_fault, write_ppo_agent, Fingerprint, Reader,
+    Writer,
+};
 use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::fault::{AcceptedUpload, FaultPlan, FaultState, QuarantinePolicy};
 use crate::independent::{agent_seed, curves_of, run_all};
 use pfrl_nn::params::{apply_mixing_matrix, average_params};
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_telemetry::Telemetry;
 use pfrl_tensor::Matrix;
+use std::io;
 
 /// Wire size of a flat `f32` parameter vector, for bytes-on-wire counters.
 pub(crate) fn param_bytes(params: &[Vec<f32>]) -> u64 {
     params.iter().map(|p| p.len() as u64 * 4).sum()
+}
+
+/// Restricts an `N × N` mixing matrix to the participating subset: rows and
+/// columns of the survivors, with each row renormalized to sum 1 (uniform
+/// fallback when a row has no mass on the survivors). The full matrix is
+/// returned untouched when everyone participates, so fault-free runs stay
+/// bit-identical.
+pub(crate) fn restrict_mixing(mix: &Matrix, survivors: &[usize], n: usize) -> Matrix {
+    if survivors.len() == n {
+        return mix.clone();
+    }
+    let k = survivors.len();
+    let mut out = Matrix::zeros(k, k);
+    for (a, &i) in survivors.iter().enumerate() {
+        let row = mix.row(i);
+        let mass: f32 = survivors.iter().map(|&j| row[j]).sum();
+        for (b, &j) in survivors.iter().enumerate() {
+            out[(a, b)] = if mass > 1e-12 { row[j] / mass } else { 1.0 / k as f32 };
+        }
+    }
+    out
 }
 
 /// Mean critic loss across clients immediately before and after one
@@ -46,6 +73,7 @@ pub struct FedAvgRunner {
     rounds_done: usize,
     /// Critic-loss probes collected at every aggregation.
     pub loss_probes: Vec<RoundLossProbe>,
+    fault: FaultState,
     telemetry: Telemetry,
 }
 
@@ -82,6 +110,7 @@ impl FedAvgRunner {
             c.agent.set_actor_params(&actor0);
             c.agent.set_critic_params(&critic0);
         }
+        let n = clients.len();
         Self {
             clients,
             cfg: fed_cfg,
@@ -89,6 +118,7 @@ impl FedAvgRunner {
             secure: false,
             rounds_done: 0,
             loss_probes: Vec::new(),
+            fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
             telemetry: Telemetry::noop(),
         }
     }
@@ -99,7 +129,29 @@ impl FedAvgRunner {
         for c in &mut self.clients {
             c.set_telemetry(telemetry.clone());
         }
+        self.fault.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Installs a deterministic fault schedule (see [`crate::fault`]): the
+    /// scheduled dropouts, stragglers, corruptions, and stale uploads are
+    /// injected at the client→server boundary of every aggregation.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        let policy = *self.fault.policy();
+        let mut fault = FaultState::new(plan, policy, self.clients.len());
+        fault.set_telemetry(self.telemetry.clone());
+        self.fault = fault;
+        self
+    }
+
+    /// Overrides the update-quarantine policy (norm limit, eviction
+    /// threshold, staleness decay).
+    pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
+        let plan = *self.fault.plan();
+        let mut fault = FaultState::new(plan, policy, self.clients.len());
+        fault.set_telemetry(self.telemetry.clone());
+        self.fault = fault;
         self
     }
 
@@ -128,31 +180,73 @@ impl FedAvgRunner {
     }
 
     /// Full training run: `comm_every` local episodes, aggregate, repeat.
+    /// Resume-safe: starts from `rounds_done`, so a restored runner
+    /// continues the remaining schedule.
     pub fn train(&mut self) -> TrainingCurves {
-        let rounds = self.cfg.rounds();
-        for round in 0..rounds {
-            let t = self.telemetry.clone();
-            let round_span = t.span("fed/round");
-            {
-                let _local = round_span.child("local_train");
-                run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
-            }
-            self.aggregate(round);
+        while self.rounds_done < self.cfg.rounds() {
+            self.train_round();
         }
-        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
-        if leftover > 0 {
-            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        self.finish()
+    }
+
+    /// One communication round: `comm_every` local episodes on every client
+    /// (faulted clients keep training locally — only their communication
+    /// fails), then an aggregation.
+    pub fn train_round(&mut self) {
+        let t = self.telemetry.clone();
+        let round_span = t.span("fed/round");
+        {
+            let _local = round_span.child("local_train");
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+        }
+        let round = self.rounds_done;
+        self.aggregate(round);
+    }
+
+    /// Runs any leftover episodes past the last aggregation and returns the
+    /// curves. Idempotent: each client is trained up to the episode budget.
+    pub fn finish(&mut self) -> TrainingCurves {
+        let done = self.clients.first().map_or(0, |c| c.episodes_done());
+        if self.cfg.episodes > done {
+            run_all(&mut self.clients, self.cfg.episodes - done, self.cfg.parallel);
         }
         curves_of(&self.clients)
     }
 
-    /// One aggregation: average (or mix) actor and critic parameters and
-    /// broadcast, recording the critic-loss probe.
+    /// One aggregation over the round's surviving subset: collect uploads
+    /// from connected clients, gate them through the fault/quarantine
+    /// layer, average (or mix) actors and critics of the survivors, and
+    /// broadcast back to connected clients only. Records the critic-loss
+    /// probe.
     pub fn aggregate(&mut self, round: usize) {
+        let n = self.clients.len();
+        let presences = self.fault.begin_round(round);
+
         let upload = self.telemetry.span("fed/round/upload");
-        let actors: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.actor_params()).collect();
-        let critics: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.critic_params()).collect();
+        let mut accepted: Vec<AcceptedUpload> = Vec::new();
+        for (i, &p) in presences.iter().enumerate() {
+            if !p.is_present() {
+                self.fault.note_missed(i);
+                continue;
+            }
+            let streams =
+                vec![self.clients[i].agent.actor_params(), self.clients[i].agent.critic_params()];
+            if let Some(up) = self.fault.gate_upload(round, i, streams, p) {
+                accepted.push(up);
+            }
+        }
         drop(upload);
+        self.fault.record_participation(accepted.len());
+        if accepted.is_empty() {
+            // Nothing survived the gate: skip the aggregation entirely;
+            // clients keep training on their current parameters.
+            self.telemetry.counter("fed/rounds", 1);
+            self.rounds_done += 1;
+            return;
+        }
+        let survivors: Vec<usize> = accepted.iter().map(|u| u.client).collect();
+        let actors: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[0].clone()).collect();
+        let critics: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[1].clone()).collect();
         // FedAvg ships both networks client → server.
         self.telemetry.counter("fed/bytes_up", param_bytes(&actors) + param_bytes(&critics));
 
@@ -161,36 +255,56 @@ impl FedAvgRunner {
         // Averaging (or mixing) first, then the broadcast back to clients,
         // so the two phases time separately.
         let aggregate_span = self.telemetry.span("fed/round/aggregate");
-        let (actor_out, critic_out): (Vec<Vec<f32>>, Vec<Vec<f32>>) = match &self.mixing {
-            None => {
-                let (actor_avg, critic_avg) = if self.secure {
-                    let n = self.clients.len();
-                    let round_seed =
-                        self.cfg.seed ^ (0x5EC0_0000_0000_0000 | self.rounds_done as u64);
-                    let mask_all = |ups: &[Vec<f32>]| -> Vec<f32> {
-                        let masked: Vec<Vec<f32>> = ups
-                            .iter()
-                            .enumerate()
-                            .map(|(i, u)| crate::secure::mask_update(u, i, n, round_seed))
-                            .collect();
-                        crate::secure::aggregate_masked(&masked)
+        // `out[slot]` is the model for client `survivors[slot]`; `shared`
+        // is the uniform average every other connected client receives.
+        let (actor_out, critic_out, shared): (Vec<Vec<f32>>, Vec<Vec<f32>>, bool) =
+            match &self.mixing {
+                None => {
+                    let k = survivors.len();
+                    let (actor_avg, critic_avg) = if self.secure {
+                        let round_seed =
+                            self.cfg.seed ^ (0x5EC0_0000_0000_0000 | self.rounds_done as u64);
+                        // The masking cohort is the surviving subset (fixed
+                        // before masks are generated, so cancellation is
+                        // exact); slots re-base the pair indices.
+                        let mask_all = |ups: &[Vec<f32>]| -> Vec<f32> {
+                            let masked: Vec<Vec<f32>> = ups
+                                .iter()
+                                .enumerate()
+                                .map(|(slot, u)| crate::secure::mask_update(u, slot, k, round_seed))
+                                .collect();
+                            crate::secure::aggregate_masked(&masked, k)
+                                .expect("cohort fixed at masking time")
+                        };
+                        (mask_all(&actors), mask_all(&critics))
+                    } else {
+                        (average_params(&actors), average_params(&critics))
                     };
-                    (mask_all(&actors), mask_all(&critics))
-                } else {
-                    (average_params(&actors), average_params(&critics))
-                };
-                let n = self.clients.len();
-                (vec![actor_avg; n], vec![critic_avg; n])
-            }
-            Some(mix) => (apply_mixing_matrix(mix, &actors), apply_mixing_matrix(mix, &critics)),
-        };
+                    (vec![actor_avg; k], vec![critic_avg; k], true)
+                }
+                Some(mix) => {
+                    let sub = restrict_mixing(mix, &survivors, n);
+                    (apply_mixing_matrix(&sub, &actors), apply_mixing_matrix(&sub, &critics), false)
+                }
+            };
         drop(aggregate_span);
 
         {
             let _broadcast = self.telemetry.span("fed/round/broadcast");
-            for (c, (a, v)) in self.clients.iter_mut().zip(actor_out.iter().zip(&critic_out)) {
-                c.agent.set_actor_params(a);
-                c.agent.set_critic_params(v);
+            for (slot, &i) in survivors.iter().enumerate() {
+                self.clients[i].agent.set_actor_params(&actor_out[slot]);
+                self.clients[i].agent.set_critic_params(&critic_out[slot]);
+            }
+            if shared {
+                // Connected clients whose uploads were quarantined away
+                // still receive the round's uniform average.
+                for (i, &p) in presences.iter().enumerate() {
+                    if p.is_present() && !survivors.contains(&i) {
+                        self.clients[i].agent.set_actor_params(&actor_out[0]);
+                        self.clients[i].agent.set_critic_params(&critic_out[0]);
+                        self.fault.note_refreshed(i);
+                    }
+                }
             }
         }
         self.telemetry
@@ -224,6 +338,85 @@ impl FedAvgRunner {
     /// The schedule in use.
     pub fn config(&self) -> &FedConfig {
         &self.cfg
+    }
+
+    /// Communication rounds completed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            algo: 1,
+            seed: self.cfg.seed,
+            episodes: self.cfg.episodes,
+            comm_every: self.cfg.comm_every,
+            participation_k: self.cfg.participation_k,
+            n_clients: self.clients.len(),
+        }
+    }
+
+    /// Serializes the full training state (round cursor, loss probes,
+    /// per-client agent snapshots and reward histories, fault bookkeeping)
+    /// into a standalone checkpoint. Construction-time configuration
+    /// (mixing matrix, secure flag, fault plan) is *not* stored — restore
+    /// into a runner built the same way.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.fingerprint().write(&mut w);
+        w.usize(self.rounds_done);
+        w.usize(self.loss_probes.len());
+        for p in &self.loss_probes {
+            w.usize(p.round);
+            w.f64(p.loss_before);
+            w.f64(p.loss_after);
+        }
+        for c in &self.clients {
+            w.vec_f64(&c.rewards);
+            w.usize(c.episodes_done());
+            write_ppo_agent(&mut w, &c.agent.snapshot());
+        }
+        for f in self.fault.client_states() {
+            write_client_fault(&mut w, f);
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by [`Self::checkpoint_bytes`] into a runner
+    /// built with the same configuration.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut r = Reader::new(bytes)?;
+        Fingerprint::check(&mut r, &self.fingerprint())?;
+        let rounds_done = r.usize()?;
+        let n_probes = r.usize()?;
+        let mut probes = Vec::with_capacity(n_probes);
+        for _ in 0..n_probes {
+            probes.push(RoundLossProbe {
+                round: r.usize()?,
+                loss_before: r.f64()?,
+                loss_after: r.f64()?,
+            });
+        }
+        let mut snaps = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            let rewards = r.vec_f64()?;
+            let episodes_done = r.usize()?;
+            snaps.push((rewards, episodes_done, read_ppo_agent(&mut r)?));
+        }
+        let mut faults = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            faults.push(read_client_fault(&mut r)?);
+        }
+        r.finish()?;
+        self.rounds_done = rounds_done;
+        self.loss_probes = probes;
+        for (c, (rewards, episodes_done, snap)) in self.clients.iter_mut().zip(snaps) {
+            c.rewards = rewards;
+            c.restore_episode_cursor(episodes_done);
+            c.agent.restore(&snap);
+        }
+        self.fault.restore_client_states(faults);
+        Ok(())
     }
 }
 

@@ -1,13 +1,16 @@
 //! Independent (non-federated) PPO training — the paper's "PPO" baseline.
 
+use crate::checkpoint::{read_ppo_agent, write_ppo_agent, Fingerprint, Reader, Writer};
 use crate::client::{Client, FedAgent};
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::fault::{FaultPlan, FaultState, QuarantinePolicy};
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_stats::seeding::SeedStream;
 use pfrl_telemetry::Telemetry;
 use rayon::prelude::*;
+use std::io;
 
 /// Runs `n` episodes on every client, in parallel when configured. Results
 /// are identical to the sequential order because clients share no state.
@@ -34,6 +37,8 @@ pub struct IndependentRunner {
     /// The isolated clients.
     pub clients: Vec<Client<PpoAgent>>,
     cfg: FedConfig,
+    rounds_done: usize,
+    fault: FaultState,
     telemetry: Telemetry,
 }
 
@@ -59,8 +64,15 @@ impl IndependentRunner {
                 );
                 Client::new(s, agent, dims, env_cfg, &fed_cfg, i)
             })
-            .collect();
-        Self { clients, cfg: fed_cfg, telemetry: Telemetry::noop() }
+            .collect::<Vec<_>>();
+        let n = clients.len();
+        Self {
+            clients,
+            cfg: fed_cfg,
+            rounds_done: 0,
+            fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
+            telemetry: Telemetry::noop(),
+        }
     }
 
     /// Routes runner, agent, and environment metrics to `telemetry`.
@@ -68,33 +80,121 @@ impl IndependentRunner {
         for c in &mut self.clients {
             c.set_telemetry(telemetry.clone());
         }
+        self.fault.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
         self
     }
 
+    /// Installs a deterministic fault schedule, for API parity with the
+    /// federated runners. Without communication there is nothing to drop
+    /// or quarantine, so the schedule only surfaces in telemetry (the
+    /// `fed/dropouts` / `fed/stragglers` counters and the participation
+    /// gauge) — training itself is untouched, which is exactly the
+    /// baseline's role in chaos experiments.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        let policy = *self.fault.policy();
+        let mut fault = FaultState::new(plan, policy, self.clients.len());
+        fault.set_telemetry(self.telemetry.clone());
+        self.fault = fault;
+        self
+    }
+
     /// Trains every client for the configured number of episodes and
-    /// returns the reward curves.
+    /// returns the reward curves. Resume-safe: starts from `rounds_done`.
     pub fn train(&mut self) -> TrainingCurves {
         // Chunked identically to the federated runners so wall-clock and
         // rng usage are comparable.
-        let rounds = self.cfg.rounds();
-        for _ in 0..rounds {
-            let _round = self.telemetry.span("fed/round");
+        while self.rounds_done < self.cfg.rounds() {
+            self.train_round();
+        }
+        self.finish()
+    }
+
+    /// One round-sized chunk of local training.
+    pub fn train_round(&mut self) {
+        let _round = self.telemetry.span("fed/round");
+        {
             let _local = self.telemetry.span("fed/round/local_train");
             run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
         }
-        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
-        if leftover > 0 {
-            let _local = self.telemetry.span("fed/round/local_train");
-            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        let round = self.rounds_done;
+        let presences = self.fault.begin_round(round);
+        let present = presences.iter().filter(|p| p.is_present()).count();
+        for (i, p) in presences.iter().enumerate() {
+            if !p.is_present() {
+                self.fault.note_missed(i);
+            }
         }
-        self.telemetry.counter("fed/rounds", rounds as u64);
+        self.fault.record_participation(present);
+        self.telemetry.counter("fed/rounds", 1);
+        self.rounds_done += 1;
+    }
+
+    /// Runs any leftover episodes and returns the curves. Idempotent: each
+    /// client is trained up to the episode budget.
+    pub fn finish(&mut self) -> TrainingCurves {
+        let done = self.clients.first().map_or(0, |c| c.episodes_done());
+        if self.cfg.episodes > done {
+            let _local = self.telemetry.span("fed/round/local_train");
+            run_all(&mut self.clients, self.cfg.episodes - done, self.cfg.parallel);
+        }
         curves_of(&self.clients)
     }
 
     /// The schedule in use.
     pub fn config(&self) -> &FedConfig {
         &self.cfg
+    }
+
+    /// Round-sized training chunks completed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            algo: 0,
+            seed: self.cfg.seed,
+            episodes: self.cfg.episodes,
+            comm_every: self.cfg.comm_every,
+            participation_k: self.cfg.participation_k,
+            n_clients: self.clients.len(),
+        }
+    }
+
+    /// Serializes the full training state (round cursor, per-client agent
+    /// snapshots and reward histories).
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.fingerprint().write(&mut w);
+        w.usize(self.rounds_done);
+        for c in &self.clients {
+            w.vec_f64(&c.rewards);
+            w.usize(c.episodes_done());
+            write_ppo_agent(&mut w, &c.agent.snapshot());
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by [`Self::checkpoint_bytes`].
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut r = Reader::new(bytes)?;
+        Fingerprint::check(&mut r, &self.fingerprint())?;
+        let rounds_done = r.usize()?;
+        let mut snaps = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            let rewards = r.vec_f64()?;
+            let episodes_done = r.usize()?;
+            snaps.push((rewards, episodes_done, read_ppo_agent(&mut r)?));
+        }
+        r.finish()?;
+        self.rounds_done = rounds_done;
+        for (c, (rewards, episodes_done, snap)) in self.clients.iter_mut().zip(snaps) {
+            c.rewards = rewards;
+            c.restore_episode_cursor(episodes_done);
+            c.agent.restore(&snap);
+        }
+        Ok(())
     }
 }
 

@@ -18,9 +18,11 @@
 //! stochastic stream is seeded per `(experiment, client, episode)`, so runs
 //! are bit-for-bit reproducible at any thread count.
 
+pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod curves;
+pub mod fault;
 pub mod fedavg;
 pub mod independent;
 pub mod mfpo;
@@ -31,9 +33,13 @@ pub mod similarity;
 pub use client::Client;
 pub use config::{ClientSetup, FedConfig};
 pub use curves::TrainingCurves;
+pub use fault::{
+    AbsenceReason, AcceptedUpload, ClientFault, Corruption, FaultEvent, FaultPlan, FaultState,
+    Presence, QuarantinePolicy, UpdateFault,
+};
 pub use fedavg::{FedAvgRunner, RoundLossProbe};
 pub use independent::IndependentRunner;
 pub use mfpo::MfpoRunner;
 pub use pfrl_dm::PfrlDmRunner;
-pub use secure::{aggregate_masked, mask_update};
+pub use secure::{aggregate_masked, mask_update, SecureAggError};
 pub use similarity::{attention_weights, cosine_weights, kl_weights};

@@ -10,15 +10,21 @@
 //! (FedAvg-M form): `v ← β·v + (x̄ − x_g)`, `x_g ← x_g + v`, broadcast
 //! `x_g`, applied to both actor and critic.
 
+use crate::checkpoint::{
+    read_client_fault, read_ppo_agent, write_client_fault, write_ppo_agent, Fingerprint, Reader,
+    Writer,
+};
 use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::fault::{AcceptedUpload, FaultPlan, FaultState, QuarantinePolicy};
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
 use pfrl_nn::params::average_params;
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_telemetry::Telemetry;
+use std::io;
 
 /// One server-momentum update: `v ← β·v + (x̄ − x_g)`, `x_g ← x_g + v`.
 fn momentum_step(server: &mut [f32], velocity: &mut [f32], avg: &[f32], beta: f32) {
@@ -39,6 +45,8 @@ pub struct MfpoRunner {
     server_critic: Vec<f32>,
     vel_actor: Vec<f32>,
     vel_critic: Vec<f32>,
+    rounds_done: usize,
+    fault: FaultState,
     telemetry: Telemetry,
 }
 
@@ -91,6 +99,7 @@ impl MfpoRunner {
         }
         let vel_actor = vec![0.0; server_actor.len()];
         let vel_critic = vec![0.0; server_critic.len()];
+        let n = clients.len();
         Self {
             clients,
             cfg: fed_cfg,
@@ -99,6 +108,8 @@ impl MfpoRunner {
             server_critic,
             vel_actor,
             vel_critic,
+            rounds_done: 0,
+            fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
             telemetry: Telemetry::noop(),
         }
     }
@@ -108,35 +119,90 @@ impl MfpoRunner {
         for c in &mut self.clients {
             c.set_telemetry(telemetry.clone());
         }
+        self.fault.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
         self
     }
 
-    /// Full training run.
+    /// Installs a deterministic fault schedule (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        let policy = *self.fault.policy();
+        let mut fault = FaultState::new(plan, policy, self.clients.len());
+        fault.set_telemetry(self.telemetry.clone());
+        self.fault = fault;
+        self
+    }
+
+    /// Overrides the update-quarantine policy.
+    pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
+        let plan = *self.fault.plan();
+        let mut fault = FaultState::new(plan, policy, self.clients.len());
+        fault.set_telemetry(self.telemetry.clone());
+        self.fault = fault;
+        self
+    }
+
+    /// Full training run. Resume-safe: starts from `rounds_done`.
     pub fn train(&mut self) -> TrainingCurves {
-        let rounds = self.cfg.rounds();
-        for _ in 0..rounds {
-            let t = self.telemetry.clone();
-            let round_span = t.span("fed/round");
-            {
-                let _local = round_span.child("local_train");
-                run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
-            }
-            self.aggregate();
+        while self.rounds_done < self.cfg.rounds() {
+            self.train_round();
         }
-        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
-        if leftover > 0 {
-            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        self.finish()
+    }
+
+    /// One communication round: local episodes then a momentum aggregation.
+    pub fn train_round(&mut self) {
+        let t = self.telemetry.clone();
+        let round_span = t.span("fed/round");
+        {
+            let _local = round_span.child("local_train");
+            run_all(&mut self.clients, self.cfg.comm_every, self.cfg.parallel);
+        }
+        self.aggregate();
+    }
+
+    /// Runs any leftover episodes past the last aggregation and returns the
+    /// curves. Idempotent: each client is trained up to the episode budget.
+    pub fn finish(&mut self) -> TrainingCurves {
+        let done = self.clients.first().map_or(0, |c| c.episodes_done());
+        if self.cfg.episodes > done {
+            run_all(&mut self.clients, self.cfg.episodes - done, self.cfg.parallel);
         }
         curves_of(&self.clients)
     }
 
-    /// One momentum aggregation + broadcast.
+    /// One momentum aggregation + broadcast over the round's surviving
+    /// subset: the client average feeding the server momentum is taken over
+    /// gated uploads only, and the refreshed server model is broadcast to
+    /// connected clients only.
     pub fn aggregate(&mut self) {
+        let round = self.rounds_done;
+        let presences = self.fault.begin_round(round);
+
         let upload = self.telemetry.span("fed/round/upload");
-        let actors: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.actor_params()).collect();
-        let critics: Vec<Vec<f32>> = self.clients.iter().map(|c| c.agent.critic_params()).collect();
+        let mut accepted: Vec<AcceptedUpload> = Vec::new();
+        for (i, &p) in presences.iter().enumerate() {
+            if !p.is_present() {
+                self.fault.note_missed(i);
+                continue;
+            }
+            let streams =
+                vec![self.clients[i].agent.actor_params(), self.clients[i].agent.critic_params()];
+            if let Some(up) = self.fault.gate_upload(round, i, streams, p) {
+                accepted.push(up);
+            }
+        }
         drop(upload);
+        self.fault.record_participation(accepted.len());
+        if accepted.is_empty() {
+            // No surviving uploads: the server model (and its momentum)
+            // stays put, nothing is broadcast.
+            self.telemetry.counter("fed/rounds", 1);
+            self.rounds_done += 1;
+            return;
+        }
+        let actors: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[0].clone()).collect();
+        let critics: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[1].clone()).collect();
         // Like FedAvg, MFPO ships both networks client → server.
         self.telemetry.counter("fed/bytes_up", param_bytes(&actors) + param_bytes(&critics));
 
@@ -150,17 +216,22 @@ impl MfpoRunner {
             momentum_step(&mut self.server_critic, &mut self.vel_critic, &critic_avg, self.beta);
         }
 
+        let mut receivers = 0u64;
         {
             let _broadcast = self.telemetry.span("fed/round/broadcast");
-            for c in &mut self.clients {
-                c.agent.set_actor_params(&self.server_actor);
-                c.agent.set_critic_params(&self.server_critic);
+            for (i, &p) in presences.iter().enumerate() {
+                if !p.is_present() {
+                    continue;
+                }
+                self.clients[i].agent.set_actor_params(&self.server_actor);
+                self.clients[i].agent.set_critic_params(&self.server_critic);
+                self.fault.note_refreshed(i);
+                receivers += 1;
             }
         }
-        let n = self.clients.len() as u64;
         self.telemetry.counter(
             "fed/bytes_down",
-            n * 4 * (self.server_actor.len() + self.server_critic.len()) as u64,
+            receivers * 4 * (self.server_actor.len() + self.server_critic.len()) as u64,
         );
 
         if let (Some(b), Some(a)) = (loss_before, self.mean_critic_loss()) {
@@ -168,6 +239,7 @@ impl MfpoRunner {
             self.telemetry.observe("fed/critic_loss_after_agg", a);
         }
         self.telemetry.counter("fed/rounds", 1);
+        self.rounds_done += 1;
     }
 
     /// Mean critic loss across clients on their own last episodes.
@@ -190,6 +262,87 @@ impl MfpoRunner {
     /// The schedule in use.
     pub fn config(&self) -> &FedConfig {
         &self.cfg
+    }
+
+    /// Communication rounds completed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            algo: 2,
+            seed: self.cfg.seed,
+            episodes: self.cfg.episodes,
+            comm_every: self.cfg.comm_every,
+            participation_k: self.cfg.participation_k,
+            n_clients: self.clients.len(),
+        }
+    }
+
+    /// Serializes the full training state — server model and momentum
+    /// velocities, round cursor, per-client agent snapshots and reward
+    /// histories, fault bookkeeping. Restore into a runner built with the
+    /// same configuration (including `beta`).
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.fingerprint().write(&mut w);
+        w.f32(self.beta);
+        w.usize(self.rounds_done);
+        w.vec_f32(&self.server_actor);
+        w.vec_f32(&self.server_critic);
+        w.vec_f32(&self.vel_actor);
+        w.vec_f32(&self.vel_critic);
+        for c in &self.clients {
+            w.vec_f64(&c.rewards);
+            w.usize(c.episodes_done());
+            write_ppo_agent(&mut w, &c.agent.snapshot());
+        }
+        for f in self.fault.client_states() {
+            write_client_fault(&mut w, f);
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by [`Self::checkpoint_bytes`].
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut r = Reader::new(bytes)?;
+        Fingerprint::check(&mut r, &self.fingerprint())?;
+        let beta = r.f32()?;
+        if beta != self.beta {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint beta {beta} vs runner beta {}", self.beta),
+            ));
+        }
+        let rounds_done = r.usize()?;
+        let server_actor = r.vec_f32()?;
+        let server_critic = r.vec_f32()?;
+        let vel_actor = r.vec_f32()?;
+        let vel_critic = r.vec_f32()?;
+        let mut snaps = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            let rewards = r.vec_f64()?;
+            let episodes_done = r.usize()?;
+            snaps.push((rewards, episodes_done, read_ppo_agent(&mut r)?));
+        }
+        let mut faults = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            faults.push(read_client_fault(&mut r)?);
+        }
+        r.finish()?;
+        self.rounds_done = rounds_done;
+        self.server_actor = server_actor;
+        self.server_critic = server_critic;
+        self.vel_actor = vel_actor;
+        self.vel_critic = vel_critic;
+        for (c, (rewards, episodes_done, snap)) in self.clients.iter_mut().zip(snaps) {
+            c.rewards = rewards;
+            c.restore_episode_cursor(episodes_done);
+            c.agent.restore(&snap);
+        }
+        self.fault.restore_client_states(faults);
+        Ok(())
     }
 
     /// Current L2 norm of the actor velocity (diagnostics: how much history

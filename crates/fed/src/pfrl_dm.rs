@@ -17,9 +17,14 @@
 //! Only critic parameters ever travel — the paper's communication-cost
 //! advantage over FedAvg, which must ship actor + critic.
 
+use crate::checkpoint::{
+    read_client_fault, read_dual_agent, read_matrix, write_client_fault, write_dual_agent,
+    write_matrix, Fingerprint, Reader, Writer,
+};
 use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::fault::{AcceptedUpload, FaultPlan, FaultState, QuarantinePolicy};
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
 use crate::similarity::{attention_weights, mean_row_entropy};
@@ -33,6 +38,7 @@ use pfrl_tensor::Matrix;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::io;
 
 /// PFRL-DM federation runner.
 pub struct PfrlDmRunner {
@@ -52,6 +58,8 @@ pub struct PfrlDmRunner {
     /// Client indices that participated in each round.
     pub participant_history: Vec<Vec<usize>>,
     next_client_index: usize,
+    rounds_done: usize,
+    fault: FaultState,
     telemetry: Telemetry,
 }
 
@@ -120,6 +128,8 @@ impl PfrlDmRunner {
             weight_history: Vec::new(),
             participant_history: Vec::new(),
             next_client_index: n,
+            rounds_done: 0,
+            fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
             telemetry: Telemetry::noop(),
         }
     }
@@ -131,33 +141,63 @@ impl PfrlDmRunner {
         for c in &mut self.clients {
             c.set_telemetry(telemetry.clone());
         }
+        self.fault.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
         self
     }
 
-    /// Full training run.
+    /// Installs a deterministic fault schedule (see [`crate::fault`]): the
+    /// scheduled dropouts, stragglers, corruptions, and stale uploads are
+    /// injected at the client→server boundary of every aggregation. The
+    /// round's participant *sampling* is untouched — faults act on the
+    /// sampled cohort, so the same training seed explores the same
+    /// participation sequence with and without faults.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        let policy = *self.fault.policy();
+        let mut fault = FaultState::new(plan, policy, self.clients.len());
+        fault.set_telemetry(self.telemetry.clone());
+        self.fault = fault;
+        self
+    }
+
+    /// Overrides the update-quarantine policy (norm limit, eviction
+    /// threshold, staleness decay).
+    pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
+        let plan = *self.fault.plan();
+        let mut fault = FaultState::new(plan, policy, self.clients.len());
+        fault.set_telemetry(self.telemetry.clone());
+        self.fault = fault;
+        self
+    }
+
+    /// Full training run. Resume-safe: starts from `rounds_done`.
     pub fn train(&mut self) -> TrainingCurves {
-        let rounds = self.cfg.rounds();
-        for _ in 0..rounds {
-            self.one_round();
+        while self.rounds_done < self.cfg.rounds() {
+            self.train_round();
         }
-        let leftover = self.cfg.episodes - rounds * self.cfg.comm_every;
-        if leftover > 0 {
-            run_all(&mut self.clients, leftover, self.cfg.parallel);
+        self.finish()
+    }
+
+    /// Runs `n` more rounds (used by the Fig. 20 join experiment to drive
+    /// rounds manually).
+    pub fn train_rounds(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.train_round();
+        }
+    }
+
+    /// Runs any leftover episodes past the last aggregation and returns the
+    /// curves. Idempotent: each client is trained up to the episode budget.
+    pub fn finish(&mut self) -> TrainingCurves {
+        let done = self.clients.first().map_or(0, |c| c.episodes_done());
+        if self.cfg.episodes > done {
+            run_all(&mut self.clients, self.cfg.episodes - done, self.cfg.parallel);
         }
         curves_of(&self.clients)
     }
 
-    /// Runs `n` more episodes on every client followed by an aggregation
-    /// (used by the Fig. 20 join experiment to drive rounds manually).
-    pub fn train_rounds(&mut self, rounds: usize) {
-        for _ in 0..rounds {
-            self.one_round();
-        }
-    }
-
     /// `comm_every` local episodes on every client, then one aggregation.
-    fn one_round(&mut self) {
+    pub fn train_round(&mut self) {
         let t = self.telemetry.clone();
         let round_span = t.span("fed/round");
         {
@@ -167,19 +207,75 @@ impl PfrlDmRunner {
         self.aggregate();
     }
 
-    /// One personalization aggregation (Algorithm 1, lines 9–14).
+    /// One personalization aggregation (Algorithm 1, lines 9–14), over the
+    /// round's surviving participants:
+    ///
+    /// * the seeded `K`-of-`N` cohort is sampled as always, then the fault
+    ///   layer decides which members are connected and which uploads
+    ///   survive the quarantine gate;
+    /// * attention (Eqs. 18–22) runs over the surviving uploads only;
+    /// * a survivor returning after `s` silent rounds contributes the blend
+    ///   `decay^s · ψ + (1 − decay^s) · ψ_G` — its critic drifted alone, so
+    ///   its say shrinks with its staleness;
+    /// * absent clients keep their last personalized critic; connected
+    ///   non-participants receive `ψ_G` as before.
+    ///
+    /// When every upload of a round is lost the aggregation is skipped
+    /// outright (no weight/participant history entry): clients continue on
+    /// their current critics.
     pub fn aggregate(&mut self) {
+        let round = self.rounds_done;
         let n = self.clients.len();
         let k = self.cfg.participation_k.min(n);
         let mut idx: Vec<usize> = (0..n).collect();
         idx.shuffle(&mut self.participation_rng);
-        let participants: Vec<usize> = idx.into_iter().take(k).collect();
+        let candidates: Vec<usize> = idx.into_iter().take(k).collect();
+
+        let presences = self.fault.begin_round(round);
 
         let upload = self.telemetry.span("fed/round/upload");
-        let psis: Vec<Vec<f32>> =
-            participants.iter().map(|&i| self.clients[i].agent.public_critic_params()).collect();
+        let mut accepted: Vec<AcceptedUpload> = Vec::new();
+        for &i in &candidates {
+            if !presences[i].is_present() {
+                self.fault.note_missed(i);
+                continue;
+            }
+            let streams = vec![self.clients[i].agent.public_critic_params()];
+            if let Some(up) = self.fault.gate_upload(round, i, streams, presences[i]) {
+                accepted.push(up);
+            }
+        }
         drop(upload);
-        // PFRL-DM only ships the K participating public critics.
+        self.fault.record_participation(accepted.len());
+        if accepted.is_empty() {
+            for (i, p) in presences.iter().enumerate() {
+                if !candidates.contains(&i) && !p.is_present() {
+                    self.fault.note_missed(i);
+                }
+            }
+            self.telemetry.counter("fed/rounds", 1);
+            self.rounds_done += 1;
+            return;
+        }
+        let survivors: Vec<usize> = accepted.iter().map(|u| u.client).collect();
+        // Staleness-weighted re-entry: blend a returning straggler's upload
+        // toward the current ψ_G. Fresh uploads pass through untouched.
+        let psis: Vec<Vec<f32>> = accepted
+            .iter()
+            .map(|u| {
+                if u.missed_rounds == 0 {
+                    u.streams[0].clone()
+                } else {
+                    let w = self.fault.reentry_weight(u.missed_rounds);
+                    u.streams[0]
+                        .iter()
+                        .zip(&self.server_global)
+                        .map(|(x, g)| w * x + (1.0 - w) * g)
+                        .collect()
+                }
+            })
+            .collect();
+        // PFRL-DM only ships the surviving public critics.
         self.telemetry.counter("fed/bytes_up", param_bytes(&psis));
 
         let loss_before = self.mean_public_critic_loss();
@@ -194,21 +290,33 @@ impl PfrlDmRunner {
         self.server_global = average_params(&personalized);
         drop(agg);
 
+        let mut global_receivers = 0u64;
         {
             let _broadcast = self.telemetry.span("fed/round/broadcast");
-            for (slot, &i) in participants.iter().enumerate() {
+            for (slot, &i) in survivors.iter().enumerate() {
                 self.clients[i].agent.receive_public_critic(&personalized[slot]);
             }
-            for i in 0..n {
-                if !participants.contains(&i) {
+            for (i, p) in presences.iter().enumerate() {
+                if survivors.contains(&i) {
+                    continue;
+                }
+                if p.is_present() {
+                    // Connected non-participants (and participants whose
+                    // upload was quarantined with nothing to fall back on)
+                    // are refreshed with ψ_G.
                     self.clients[i].agent.receive_public_critic(&self.server_global);
+                    self.fault.note_refreshed(i);
+                    global_receivers += 1;
+                } else if !candidates.contains(&i) {
+                    // Absent non-candidates keep their last personalized
+                    // critic; absent candidates were already counted above.
+                    self.fault.note_missed(i);
                 }
             }
         }
         self.telemetry.counter(
             "fed/bytes_down",
-            param_bytes(&personalized)
-                + (n - participants.len()) as u64 * 4 * self.server_global.len() as u64,
+            param_bytes(&personalized) + global_receivers * 4 * self.server_global.len() as u64,
         );
 
         if let (Some(b), Some(a)) = (loss_before, self.mean_public_critic_loss()) {
@@ -216,9 +324,10 @@ impl PfrlDmRunner {
             self.telemetry.observe("fed/critic_loss_after_agg", a);
         }
         self.telemetry.counter("fed/rounds", 1);
+        self.rounds_done += 1;
 
         self.weight_history.push(weights);
-        self.participant_history.push(participants);
+        self.participant_history.push(survivors);
     }
 
     /// Mean public-critic MSE (`L_ψ`) across clients with buffered
@@ -284,7 +393,102 @@ impl PfrlDmRunner {
         let mut client = Client::new(setup, agent, self.dims, self.env_cfg, &self.cfg, i);
         client.set_telemetry(self.telemetry.clone());
         self.clients.push(client);
+        self.fault.add_client();
         self.clients.len() - 1
+    }
+
+    /// Communication rounds completed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            algo: 3,
+            seed: self.cfg.seed,
+            episodes: self.cfg.episodes,
+            comm_every: self.cfg.comm_every,
+            participation_k: self.cfg.participation_k,
+            n_clients: self.clients.len(),
+        }
+    }
+
+    /// Serializes the full training state: server global critic, the
+    /// participation RNG cursor, round cursor, weight/participant history,
+    /// per-client agent snapshots and reward histories, and fault
+    /// bookkeeping. Construction-time configuration (attention config,
+    /// fault plan) is *not* stored — restore into a runner built the same
+    /// way.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.fingerprint().write(&mut w);
+        w.usize(self.rounds_done);
+        w.vec_f32(&self.server_global);
+        w.rng_state(self.participation_rng.state());
+        w.usize(self.next_client_index);
+        w.usize(self.weight_history.len());
+        for m in &self.weight_history {
+            write_matrix(&mut w, m);
+        }
+        w.usize(self.participant_history.len());
+        for p in &self.participant_history {
+            w.vec_usize(p);
+        }
+        for c in &self.clients {
+            w.vec_f64(&c.rewards);
+            w.usize(c.episodes_done());
+            write_dual_agent(&mut w, &c.agent.snapshot());
+        }
+        for f in self.fault.client_states() {
+            write_client_fault(&mut w, f);
+        }
+        w.finish()
+    }
+
+    /// Restores state captured by [`Self::checkpoint_bytes`] into a runner
+    /// built with the same configuration; training then resumes to
+    /// bit-identical curves.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut r = Reader::new(bytes)?;
+        Fingerprint::check(&mut r, &self.fingerprint())?;
+        let rounds_done = r.usize()?;
+        let server_global = r.vec_f32()?;
+        let rng_state = r.rng_state()?;
+        let next_client_index = r.usize()?;
+        let n_weights = r.usize()?;
+        let mut weight_history = Vec::with_capacity(n_weights);
+        for _ in 0..n_weights {
+            weight_history.push(read_matrix(&mut r)?);
+        }
+        let n_parts = r.usize()?;
+        let mut participant_history = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            participant_history.push(r.vec_usize()?);
+        }
+        let mut snaps = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            let rewards = r.vec_f64()?;
+            let episodes_done = r.usize()?;
+            snaps.push((rewards, episodes_done, read_dual_agent(&mut r)?));
+        }
+        let mut faults = Vec::with_capacity(self.clients.len());
+        for _ in 0..self.clients.len() {
+            faults.push(read_client_fault(&mut r)?);
+        }
+        r.finish()?;
+        self.rounds_done = rounds_done;
+        self.server_global = server_global;
+        self.participation_rng = SmallRng::from_state(rng_state);
+        self.next_client_index = next_client_index;
+        self.weight_history = weight_history;
+        self.participant_history = participant_history;
+        for (c, (rewards, episodes_done, snap)) in self.clients.iter_mut().zip(snaps) {
+            c.rewards = rewards;
+            c.restore_episode_cursor(episodes_done);
+            c.agent.restore(&snap);
+        }
+        self.fault.restore_client_states(faults);
+        Ok(())
     }
 }
 

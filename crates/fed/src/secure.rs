@@ -50,24 +50,64 @@ pub fn mask_update(params: &[f32], idx: usize, n: usize, round_seed: u64) -> Vec
     out
 }
 
-/// Server-side aggregation of all `n` masked updates into their *mean*.
-/// Exact (up to float round-off) because the pairwise masks cancel.
-///
-/// # Panics
-/// If `masked` is empty or lengths differ.
-pub fn aggregate_masked(masked: &[Vec<f32>]) -> Vec<f32> {
-    assert!(!masked.is_empty(), "no masked updates");
+/// Why secure aggregation refused a batch of masked updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecureAggError {
+    /// The number of masked updates differs from the cohort size the masks
+    /// were built for. Aggregating anyway would leave masks uncancelled and
+    /// silently corrupt the mean — with partial participation the cohort
+    /// must be fixed *before* masking, so a mismatch here is a protocol
+    /// violation, not a recoverable dropout.
+    CohortMismatch {
+        /// Cohort size the masks were generated for.
+        expected: usize,
+        /// Masked updates actually received.
+        got: usize,
+    },
+    /// No masked updates at all.
+    Empty,
+    /// Update at the given index has a different length than the first.
+    RaggedLength(usize),
+}
+
+impl std::fmt::Display for SecureAggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecureAggError::CohortMismatch { expected, got } => {
+                write!(f, "masks built for {expected} clients but {got} updates arrived")
+            }
+            SecureAggError::Empty => write!(f, "no masked updates"),
+            SecureAggError::RaggedLength(k) => write!(f, "masked update {k} has wrong length"),
+        }
+    }
+}
+
+impl std::error::Error for SecureAggError {}
+
+/// Server-side aggregation of the masked updates into their *mean*. Exact
+/// (up to float round-off) because the pairwise masks cancel — but only
+/// when every one of the `expected` cohort members contributed, which is
+/// why the count is checked instead of assumed.
+pub fn aggregate_masked(masked: &[Vec<f32>], expected: usize) -> Result<Vec<f32>, SecureAggError> {
+    if masked.is_empty() {
+        return Err(SecureAggError::Empty);
+    }
+    if masked.len() != expected {
+        return Err(SecureAggError::CohortMismatch { expected, got: masked.len() });
+    }
     let len = masked[0].len();
     let mut sum = vec![0.0f32; len];
     for (k, m) in masked.iter().enumerate() {
-        assert_eq!(m.len(), len, "masked update {k} has wrong length");
+        if m.len() != len {
+            return Err(SecureAggError::RaggedLength(k));
+        }
         for (s, v) in sum.iter_mut().zip(m) {
             *s += v;
         }
     }
     let inv = 1.0 / masked.len() as f32;
     sum.iter_mut().for_each(|s| *s *= inv);
-    sum
+    Ok(sum)
 }
 
 #[cfg(test)]
@@ -86,7 +126,7 @@ mod tests {
             let plain = average_params(&ups);
             let masked: Vec<Vec<f32>> =
                 ups.iter().enumerate().map(|(i, u)| mask_update(u, i, n, 42)).collect();
-            let secure = aggregate_masked(&masked);
+            let secure = aggregate_masked(&masked, n).expect("full cohort");
             for (a, b) in plain.iter().zip(&secure) {
                 assert!((a - b).abs() < 1e-3, "n={n}: {a} vs {b}");
             }
@@ -126,8 +166,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wrong length")]
+    fn missing_cohort_member_is_an_error_not_garbage() {
+        // Mask for a 3-client cohort, then "lose" one upload: the masks no
+        // longer cancel, so the server must refuse rather than aggregate.
+        let ups = updates(3, 16);
+        let mut masked: Vec<Vec<f32>> =
+            ups.iter().enumerate().map(|(i, u)| mask_update(u, i, 3, 11)).collect();
+        masked.pop();
+        assert_eq!(
+            aggregate_masked(&masked, 3),
+            Err(SecureAggError::CohortMismatch { expected: 3, got: 2 })
+        );
+        assert_eq!(aggregate_masked(&[], 0), Err(SecureAggError::Empty));
+    }
+
+    #[test]
     fn ragged_updates_rejected() {
-        let _ = aggregate_masked(&[vec![0.0, 1.0], vec![0.0]]);
+        assert_eq!(
+            aggregate_masked(&[vec![0.0, 1.0], vec![0.0]], 2),
+            Err(SecureAggError::RaggedLength(1))
+        );
     }
 }

@@ -2,8 +2,21 @@
 //! gradient vectors so the same optimizer serves actor, critic, and public
 //! critic networks.
 
+use crate::params::validate_params;
 use crate::Mlp;
 use pfrl_tensor::ops;
+
+/// Optimizer moments captured mid-run, for checkpoint/resume of a training
+/// stream (hyperparameters are reconstructed from config, not stored here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// First-moment estimates.
+    pub m: Vec<f32>,
+    /// Second-moment estimates.
+    pub v: Vec<f32>,
+    /// Steps taken.
+    pub t: u64,
+}
 
 /// Adam state for a fixed-size parameter vector.
 ///
@@ -82,6 +95,23 @@ impl Adam {
         self.t = 0;
     }
 
+    /// Captures the optimizer's moment state for checkpointing.
+    pub fn snapshot_state(&self) -> AdamState {
+        AdamState { m: self.m.clone(), v: self.v.clone(), t: self.t }
+    }
+
+    /// Restores moment state captured by [`Self::snapshot_state`].
+    ///
+    /// # Panics
+    /// If the state's vector lengths disagree with this optimizer's.
+    pub fn restore_state(&mut self, state: &AdamState) {
+        assert_eq!(state.m.len(), self.m.len(), "Adam: restored m length mismatch");
+        assert_eq!(state.v.len(), self.v.len(), "Adam: restored v length mismatch");
+        self.m.copy_from_slice(&state.m);
+        self.v.copy_from_slice(&state.v);
+        self.t = state.t;
+    }
+
     /// One Adam update of `params` given `grads`.
     ///
     /// # Panics
@@ -89,6 +119,10 @@ impl Adam {
     pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), self.m.len(), "Adam: params length changed");
         assert_eq!(grads.len(), self.m.len(), "Adam: grads length mismatch");
+        debug_assert!(
+            validate_params(grads).is_ok(),
+            "Adam: non-finite gradient — corruption upstream of the optimizer"
+        );
         let grads = if let Some(max) = self.max_grad_norm {
             self.clip_buf.clear();
             self.clip_buf.extend_from_slice(grads);
@@ -108,6 +142,10 @@ impl Adam {
             let vhat = self.v[i] / b2t;
             params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
         }
+        debug_assert!(
+            validate_params(params).is_ok(),
+            "Adam: non-finite parameter after step — corrupted update"
+        );
     }
 
     /// Convenience: one Adam step on an [`Mlp`]'s accumulated gradients.

@@ -44,8 +44,8 @@ pub mod mlp;
 pub mod params;
 
 pub use activation::Activation;
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use attention::{multi_head_attention_weights, scaled_dot_product_attention, MultiHeadConfig};
 pub use linear::Linear;
 pub use mlp::Mlp;
-pub use params::{average_params, weighted_combination};
+pub use params::{average_params, validate_params, weighted_combination, ParamFault};

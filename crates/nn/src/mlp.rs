@@ -237,6 +237,10 @@ impl Mlp {
             self.param_count(),
             params.len()
         );
+        debug_assert!(
+            crate::params::validate_params(params).is_ok(),
+            "set_flat_params: non-finite parameter — corruption at the source"
+        );
         let mut rest = params;
         for l in &mut self.layers {
             rest = l.read_params(rest);

@@ -2,6 +2,40 @@
 
 use pfrl_tensor::Matrix;
 
+/// Why a parameter vector failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamFault {
+    /// A NaN at the given flat index.
+    Nan(usize),
+    /// An infinity at the given flat index.
+    Infinite(usize),
+}
+
+impl std::fmt::Display for ParamFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamFault::Nan(i) => write!(f, "NaN at flat index {i}"),
+            ParamFault::Infinite(i) => write!(f, "infinite value at flat index {i}"),
+        }
+    }
+}
+
+/// Checks every element of a flat parameter (or gradient) vector is finite,
+/// reporting the first offender. Used as a debug assertion on the Adam and
+/// flat-param hot paths and as the first stage of the federation's
+/// update-quarantine gate.
+pub fn validate_params(params: &[f32]) -> Result<(), ParamFault> {
+    for (i, &p) in params.iter().enumerate() {
+        if p.is_nan() {
+            return Err(ParamFault::Nan(i));
+        }
+        if p.is_infinite() {
+            return Err(ParamFault::Infinite(i));
+        }
+    }
+    Ok(())
+}
+
 /// Element-wise average of equally-long parameter vectors (FedAvg, Eq. 22).
 ///
 /// # Panics

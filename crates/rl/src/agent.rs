@@ -1,12 +1,13 @@
 //! The standard single-critic PPO agent (the paper's "independent PPO"
 //! baseline, and the client algorithm inside plain FedAvg).
 
-use crate::buffer::RolloutBuffer;
+use crate::buffer::{BufferSnapshot, RolloutBuffer};
 use crate::config::PpoConfig;
 use crate::policy::{self, PolicyScratch, PpoLossStats};
 use crate::returns::{
     discounted_returns, discounted_returns_into, gae_advantages_into, normalize_in_place,
 };
+use pfrl_nn::AdamState;
 use pfrl_nn::{Activation, Adam, Mlp};
 use pfrl_sim::{Action, EpisodeMetrics, SchedulingEnv};
 use pfrl_telemetry::Telemetry;
@@ -220,6 +221,27 @@ pub(crate) fn critic_loss(critic: &Mlp, states: &Matrix, returns: &[f32]) -> f32
         / n as f32
 }
 
+/// Everything a [`PpoAgent`] needs to resume training mid-stream with
+/// bit-identical results: parameters, optimizer moments, the RNG cursor,
+/// and the retained rollout batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpoAgentSnapshot {
+    /// Flat actor parameters.
+    pub actor: Vec<f32>,
+    /// Flat critic parameters.
+    pub critic: Vec<f32>,
+    /// Actor optimizer moments.
+    pub actor_opt: AdamState,
+    /// Critic optimizer moments.
+    pub critic_opt: AdamState,
+    /// Sampling RNG state (xoshiro256++ words).
+    pub rng: [u64; 4],
+    /// Retained rollout batch.
+    pub buffer: BufferSnapshot,
+    /// Episodes collected into the current batch.
+    pub episodes_buffered: usize,
+}
+
 /// Independent PPO agent: one actor, one critic.
 #[derive(Debug, Clone)]
 pub struct PpoAgent {
@@ -404,6 +426,34 @@ impl PpoAgent {
         self.actor_opt.reset_state();
         self.critic_opt.reset_state();
         Ok(())
+    }
+
+    /// Captures the complete resumable training state.
+    pub fn snapshot(&self) -> PpoAgentSnapshot {
+        PpoAgentSnapshot {
+            actor: self.actor.flat_params(),
+            critic: self.critic.flat_params(),
+            actor_opt: self.actor_opt.snapshot_state(),
+            critic_opt: self.critic_opt.snapshot_state(),
+            rng: self.rng.state(),
+            buffer: self.buffer.snapshot(),
+            episodes_buffered: self.episodes_buffered,
+        }
+    }
+
+    /// Restores state captured by [`Self::snapshot`] on an agent built with
+    /// the same dims and config; training continues bit-identically.
+    ///
+    /// # Panics
+    /// If parameter or optimizer lengths disagree with this agent's shape.
+    pub fn restore(&mut self, snap: &PpoAgentSnapshot) {
+        self.actor.set_flat_params(&snap.actor);
+        self.critic.set_flat_params(&snap.critic);
+        self.actor_opt.restore_state(&snap.actor_opt);
+        self.critic_opt.restore_state(&snap.critic_opt);
+        self.rng = SmallRng::from_state(snap.rng);
+        self.buffer.restore(&snap.buffer);
+        self.episodes_buffered = snap.episodes_buffered;
     }
 
     /// Flat actor parameters (FedAvg transmits both networks).

@@ -2,6 +2,29 @@
 
 use pfrl_tensor::Matrix;
 
+/// Full contents of a [`RolloutBuffer`], captured for checkpoint/resume.
+/// Retained trajectories shape both the next PPO update and the adaptive
+/// `α` of the dual-critic agent, so they are part of the resumable state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BufferSnapshot {
+    /// State dimension the buffer was built for.
+    pub state_dim: usize,
+    /// Mask width (0 when the rollout is unmasked).
+    pub mask_dim: usize,
+    /// Flattened `n × state_dim` states.
+    pub states: Vec<f32>,
+    /// Taken actions.
+    pub actions: Vec<usize>,
+    /// Collected rewards.
+    pub rewards: Vec<f32>,
+    /// Behavior-policy log-probabilities.
+    pub old_log_probs: Vec<f32>,
+    /// Episode-terminal flags.
+    pub terminals: Vec<bool>,
+    /// Flattened `n × mask_dim` action masks (empty when unmasked).
+    pub masks: Vec<bool>,
+}
+
 /// Transitions of one or more episodes, stored flat with terminal markers.
 #[derive(Debug, Clone, Default)]
 pub struct RolloutBuffer {
@@ -152,6 +175,42 @@ impl RolloutBuffer {
     /// Episode-terminal flags.
     pub fn terminals(&self) -> &[bool] {
         &self.terminals
+    }
+
+    /// Captures the buffer's full contents for checkpointing.
+    pub fn snapshot(&self) -> BufferSnapshot {
+        BufferSnapshot {
+            state_dim: self.state_dim,
+            mask_dim: self.mask_dim,
+            states: self.states.clone(),
+            actions: self.actions.clone(),
+            rewards: self.rewards.clone(),
+            old_log_probs: self.old_log_probs.clone(),
+            terminals: self.terminals.clone(),
+            masks: self.masks.clone(),
+        }
+    }
+
+    /// Restores contents captured by [`Self::snapshot`].
+    ///
+    /// # Panics
+    /// If the snapshot's per-transition vectors disagree in length, or its
+    /// flattened states/masks are not whole multiples of their dims.
+    pub fn restore(&mut self, snap: &BufferSnapshot) {
+        let n = snap.actions.len();
+        assert_eq!(snap.rewards.len(), n, "buffer snapshot: rewards length");
+        assert_eq!(snap.old_log_probs.len(), n, "buffer snapshot: log-probs length");
+        assert_eq!(snap.terminals.len(), n, "buffer snapshot: terminals length");
+        assert_eq!(snap.states.len(), n * snap.state_dim, "buffer snapshot: states length");
+        assert_eq!(snap.masks.len(), n * snap.mask_dim, "buffer snapshot: masks length");
+        self.state_dim = snap.state_dim;
+        self.mask_dim = snap.mask_dim;
+        self.states = snap.states.clone();
+        self.actions = snap.actions.clone();
+        self.rewards = snap.rewards.clone();
+        self.old_log_probs = snap.old_log_probs.clone();
+        self.terminals = snap.terminals.clone();
+        self.masks = snap.masks.clone();
     }
 }
 

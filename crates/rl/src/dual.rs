@@ -19,16 +19,46 @@ use crate::agent::{
     actor_update, build_net, collect_episode_opts, critic_loss, critic_loss_into, critic_update,
     evaluate_greedy_opts, AgentScratch,
 };
-use crate::buffer::RolloutBuffer;
+use crate::buffer::{BufferSnapshot, RolloutBuffer};
 use crate::config::PpoConfig;
 use crate::returns::{
     discounted_returns, discounted_returns_into, gae_advantages_into, normalize_in_place,
 };
+use pfrl_nn::AdamState;
 use pfrl_nn::{Adam, Mlp};
 use pfrl_sim::{EpisodeMetrics, SchedulingEnv};
 use pfrl_telemetry::Telemetry;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Everything a [`DualCriticAgent`] needs to resume training mid-stream
+/// with bit-identical results: all three networks, their optimizer moments,
+/// `α`, the RNG cursor, and the retained rollout batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualAgentSnapshot {
+    /// Flat actor parameters.
+    pub actor: Vec<f32>,
+    /// Flat local-critic parameters `φ`.
+    pub local_critic: Vec<f32>,
+    /// Flat public-critic parameters `ψ`.
+    pub public_critic: Vec<f32>,
+    /// Actor optimizer moments.
+    pub actor_opt: AdamState,
+    /// Local-critic optimizer moments.
+    pub local_opt: AdamState,
+    /// Public-critic optimizer moments.
+    pub public_opt: AdamState,
+    /// Current blend weight `α`.
+    pub alpha: f32,
+    /// Pinned `α`, if the adaptive Eq. 15 is disabled.
+    pub fixed_alpha: Option<f32>,
+    /// Sampling RNG state (xoshiro256++ words).
+    pub rng: [u64; 4],
+    /// Retained rollout batch.
+    pub buffer: BufferSnapshot,
+    /// Episodes collected into the current batch.
+    pub episodes_buffered: usize,
+}
 
 /// Dual-critic PPO client agent.
 #[derive(Debug, Clone)]
@@ -309,6 +339,42 @@ impl DualCriticAgent {
         self.public_opt.reset_state();
         self.refresh_alpha();
         Ok(())
+    }
+
+    /// Captures the complete resumable training state.
+    pub fn snapshot(&self) -> DualAgentSnapshot {
+        DualAgentSnapshot {
+            actor: self.actor.flat_params(),
+            local_critic: self.local_critic.flat_params(),
+            public_critic: self.public_critic.flat_params(),
+            actor_opt: self.actor_opt.snapshot_state(),
+            local_opt: self.local_opt.snapshot_state(),
+            public_opt: self.public_opt.snapshot_state(),
+            alpha: self.alpha,
+            fixed_alpha: self.fixed_alpha,
+            rng: self.rng.state(),
+            buffer: self.buffer.snapshot(),
+            episodes_buffered: self.episodes_buffered,
+        }
+    }
+
+    /// Restores state captured by [`Self::snapshot`] on an agent built with
+    /// the same dims and config; training continues bit-identically.
+    ///
+    /// # Panics
+    /// If parameter or optimizer lengths disagree with this agent's shape.
+    pub fn restore(&mut self, snap: &DualAgentSnapshot) {
+        self.actor.set_flat_params(&snap.actor);
+        self.local_critic.set_flat_params(&snap.local_critic);
+        self.public_critic.set_flat_params(&snap.public_critic);
+        self.actor_opt.restore_state(&snap.actor_opt);
+        self.local_opt.restore_state(&snap.local_opt);
+        self.public_opt.restore_state(&snap.public_opt);
+        self.alpha = snap.alpha;
+        self.fixed_alpha = snap.fixed_alpha;
+        self.rng = SmallRng::from_state(snap.rng);
+        self.buffer.restore(&snap.buffer);
+        self.episodes_buffered = snap.episodes_buffered;
     }
 
     /// Flat public-critic parameters `ψ` (what the client uploads).

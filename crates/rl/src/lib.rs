@@ -44,8 +44,8 @@ pub mod dual;
 pub mod policy;
 pub mod returns;
 
-pub use agent::PpoAgent;
-pub use buffer::RolloutBuffer;
+pub use agent::{PpoAgent, PpoAgentSnapshot};
+pub use buffer::{BufferSnapshot, RolloutBuffer};
 pub use config::PpoConfig;
-pub use dual::DualCriticAgent;
+pub use dual::{DualAgentSnapshot, DualCriticAgent};
 pub use returns::{discounted_returns, gae_advantages};

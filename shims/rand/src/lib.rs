@@ -160,6 +160,23 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpointing a stream mid-run.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`Self::state`],
+        /// continuing the stream exactly where it left off.
+        ///
+        /// # Panics
+        /// If the state is all zeros (the generator's one degenerate orbit).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "all-zero xoshiro state is degenerate");
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u32(&mut self) -> u32 {
