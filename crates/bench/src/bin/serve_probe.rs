@@ -1,0 +1,261 @@
+//! Serving-latency probe: trains a short 4-client federation of each of
+//! the four algorithms, exports every client's policy snapshot through the
+//! wire format, loads them into a `pfrl-serve` `DecisionService`, and
+//! drives a micro-batched decision load against all sessions at once.
+//!
+//! Per-decision latency (p50/p99, from the `serve/decision_us` telemetry
+//! histogram) and decision throughput land in `BENCH_serve_latency.json`
+//! at the repo root, with an append-only history in
+//! `BENCH_serve_latency.history.jsonl` — the same conventions as
+//! `perf_probe`'s throughput snapshot.
+
+use pfrl_core::experiment::{federation_manifest, run_federation, Algorithm};
+use pfrl_core::fed::FedConfig;
+use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::serve::{DecisionService, PolicyStore, ServeConfig, SessionId};
+use pfrl_core::sim::EnvConfig;
+use pfrl_core::telemetry::{
+    FanoutRecorder, InMemoryRecorder, JsonlSink, MetricsSnapshot, Recorder, Telemetry,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 23;
+const OUT: &str = "BENCH_serve_latency.json";
+const HISTORY: &str = "BENCH_serve_latency.history.jsonl";
+/// Episodes served per session — enough decisions for stable quantiles.
+const EPISODES_PER_SESSION: usize = 3;
+
+fn fed_cfg() -> FedConfig {
+    FedConfig {
+        episodes: 4,
+        comm_every: 2,
+        participation_k: 2,
+        tasks_per_episode: Some(20),
+        seed: SEED,
+        parallel: true,
+    }
+}
+
+struct ProbeResult {
+    alg: Algorithm,
+    sessions: usize,
+    wall_s: f64,
+    snap: MetricsSnapshot,
+}
+
+/// Trains `alg`, round-trips every client's snapshot through bytes, and
+/// serves `EPISODES_PER_SESSION` episodes per client through the batched
+/// decision path.
+fn probe(alg: Algorithm, scale_samples: usize, tasks_per_episode: usize) -> ProbeResult {
+    let (_, trained) = run_federation(
+        alg,
+        table2_clients(scale_samples, SEED),
+        TABLE2_DIMS,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed_cfg(),
+    );
+    // Export → serialize → load: the exact path a deployment would take.
+    let blobs: Vec<Vec<u8>> = trained.policy_snapshots().iter().map(|s| s.to_bytes()).collect();
+    let store = PolicyStore::from_blobs(blobs.iter().map(Vec::as_slice))
+        .expect("trained snapshots load cleanly");
+    let clients = trained.client_names();
+    let pools = trained.client_task_pools();
+
+    let slug = alg.name().to_lowercase().replace('-', "_");
+    let memory = Arc::new(InMemoryRecorder::new());
+    let mut sinks: Vec<Arc<dyn Recorder>> = vec![memory.clone()];
+    match JsonlSink::for_run(&format!("serve_probe_{slug}")) {
+        Ok(sink) => sinks.push(Arc::new(sink)),
+        Err(e) => eprintln!("# warning: JSONL sink disabled: {e}"),
+    }
+    let telemetry = Telemetry::new(Arc::new(FanoutRecorder::new(sinks)));
+
+    let mut svc =
+        DecisionService::new(store, ServeConfig::default()).with_telemetry(telemetry.clone());
+    let ids: Vec<SessionId> =
+        clients.iter().map(|c| svc.open_session(c).expect("session per client")).collect();
+
+    let t0 = Instant::now();
+    for episode in 0..EPISODES_PER_SESSION {
+        let mut open: Vec<bool> = Vec::new();
+        for (k, &id) in ids.iter().enumerate() {
+            let pool = &pools[k];
+            let n = tasks_per_episode.min(pool.len());
+            let start = (episode * n).min(pool.len() - n);
+            svc.begin_episode(id, &pool[start..start + n]).expect("known session");
+            open.push(true);
+        }
+        while open.iter().any(|&o| o) {
+            for (k, &id) in ids.iter().enumerate() {
+                if open[k] {
+                    // The queue is sized far above 4 in-flight requests, so
+                    // admission never rejects here; overload behavior has
+                    // its own tests.
+                    svc.submit(id).expect("queue has headroom");
+                }
+            }
+            for (id, d) in svc.decide_batch() {
+                if d.done {
+                    let k = ids.iter().position(|&x| x == id).expect("served id is known");
+                    open[k] = false;
+                }
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    telemetry.flush();
+    ProbeResult { alg, sessions: ids.len(), wall_s, snap: memory.snapshot() }
+}
+
+fn alg_json(r: &ProbeResult) -> String {
+    let decisions = r.snap.counter("serve/decisions");
+    let (p50, p99) =
+        r.snap.histogram("serve/decision_us").map_or((0.0, 0.0), |h| (h.p50(), h.p99()));
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{name}\",\n",
+            "      \"sessions\": {sessions},\n",
+            "      \"decisions\": {decisions},\n",
+            "      \"wall_s\": {wall_s:.4},\n",
+            "      \"decisions_per_sec\": {dps:.1},\n",
+            "      \"p50_us\": {p50:.2},\n",
+            "      \"p99_us\": {p99:.2},\n",
+            "      \"admitted\": {admitted},\n",
+            "      \"rejected\": {rejected},\n",
+            "      \"stale\": {stale}\n",
+            "    }}"
+        ),
+        name = r.alg.name(),
+        sessions = r.sessions,
+        decisions = decisions,
+        wall_s = r.wall_s,
+        dps = decisions as f64 / r.wall_s.max(1e-9),
+        p50 = p50,
+        p99 = p99,
+        admitted = r.snap.counter("serve/admitted"),
+        rejected = r.snap.counter("serve/rejected"),
+        stale = r.snap.counter("serve/stale"),
+    )
+}
+
+/// Short hash of the checked-out commit, or `"unknown"` outside a git repo.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends one compact history line per probe run to [`HISTORY`].
+fn append_history(results: &[ProbeResult], manifest: &pfrl_core::telemetry::RunManifest) {
+    let algs: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let decisions = r.snap.counter("serve/decisions");
+            let (p50, p99) =
+                r.snap.histogram("serve/decision_us").map_or((0.0, 0.0), |h| (h.p50(), h.p99()));
+            format!(
+                concat!(
+                    "{{\"name\": \"{}\", \"decisions\": {}, \"decisions_per_sec\": {:.1}, ",
+                    "\"p50_us\": {:.2}, \"p99_us\": {:.2}}}"
+                ),
+                r.alg.name(),
+                decisions,
+                decisions as f64 / r.wall_s.max(1e-9),
+                p50,
+                p99,
+            )
+        })
+        .collect();
+    let line = format!(
+        concat!(
+            "{{\"ts_unix_s\": {}, \"git_commit\": \"{}\", \"config_hash\": \"{:016x}\", ",
+            "\"scale\": \"{}\", \"seed\": {}, \"algorithms\": [{}]}}\n"
+        ),
+        manifest.created_unix_s,
+        git_commit(),
+        manifest.config_hash,
+        manifest.scale,
+        SEED,
+        algs.join(", "),
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open(HISTORY) {
+        Ok(mut f) => match f.write_all(line.as_bytes()) {
+            Ok(()) => eprintln!("# appended to {HISTORY}"),
+            Err(e) => eprintln!("# warning: could not append to {HISTORY}: {e}"),
+        },
+        Err(e) => eprintln!("# warning: could not open {HISTORY}: {e}"),
+    }
+}
+
+fn main() {
+    let scale = pfrl_bench::start("serve_probe", "policy-serving latency probe");
+    pfrl_bench::set_run_seed(SEED);
+    // Training is scaffolding here — serving is what's measured — so the
+    // pools are a fraction of the quick scale.
+    let samples = (scale.samples / 4).max(100);
+    let tasks_per_episode = (scale.samples / 8).max(25);
+
+    let results: Vec<ProbeResult> =
+        Algorithm::ALL.iter().map(|&alg| probe(alg, samples, tasks_per_episode)).collect();
+
+    for r in &results {
+        let decisions = r.snap.counter("serve/decisions");
+        let (p50, p99) =
+            r.snap.histogram("serve/decision_us").map_or((0.0, 0.0), |h| (h.p50(), h.p99()));
+        eprintln!(
+            "# {}: {} decisions in {:.3}s ({:.0}/s), p50 {:.1}us p99 {:.1}us",
+            r.alg.name(),
+            decisions,
+            r.wall_s,
+            decisions as f64 / r.wall_s.max(1e-9),
+            p50,
+            p99,
+        );
+    }
+
+    let algorithms: Vec<String> = results.iter().map(alg_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"run\": \"serve_probe\",\n",
+            "  \"scale\": \"{scale}\",\n",
+            "  \"clients\": 4,\n",
+            "  \"episodes_per_session\": {eps},\n",
+            "  \"seed\": {seed},\n",
+            "  \"algorithms\": [\n{algorithms}\n  ]\n",
+            "}}\n"
+        ),
+        scale = if scale.is_paper { "paper" } else { "quick" },
+        eps = EPISODES_PER_SESSION,
+        seed = SEED,
+        algorithms = algorithms.join(",\n"),
+    );
+    match std::fs::write(OUT, &json) {
+        Ok(()) => eprintln!("# wrote {OUT}"),
+        Err(e) => {
+            eprintln!("# error: could not write {OUT}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let manifest = federation_manifest(
+        "serve_probe",
+        Algorithm::PfrlDm,
+        TABLE2_DIMS,
+        &EnvConfig::default(),
+        &PpoConfig::default(),
+        &fed_cfg(),
+    );
+    if let Err(e) = manifest.write_next_to(OUT) {
+        eprintln!("# warning: could not write manifest: {e}");
+    }
+    append_history(&results, &manifest);
+}

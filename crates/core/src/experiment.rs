@@ -1,8 +1,8 @@
 //! Uniform experiment driver over the four algorithms.
 
 use pfrl_fed::{
-    ClientSetup, FaultPlan, FedAvgRunner, FedConfig, IndependentRunner, MfpoRunner, PfrlDmRunner,
-    TrainingCurves,
+    ClientSetup, FaultPlan, FedAvgRunner, FedConfig, FedError, FederatedRunner, IndependentRunner,
+    MfpoRunner, PfrlDmRunner, PolicySnapshot, TrainingCurves,
 };
 use pfrl_rl::PpoConfig;
 use pfrl_sim::{EnvConfig, EnvDims, EpisodeMetrics};
@@ -47,65 +47,67 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// A trained federation of any algorithm, kept for post-training
-/// evaluation (Sec. 5.3's generalization studies).
-pub enum TrainedFederation {
-    /// PFRL-DM runner.
-    PfrlDm(PfrlDmRunner),
-    /// FedAvg runner.
-    FedAvg(FedAvgRunner),
-    /// MFPO runner.
-    Mfpo(MfpoRunner),
-    /// Independent PPO runner.
-    Ppo(IndependentRunner),
+/// evaluation (Sec. 5.3's generalization studies) and policy export.
+///
+/// Every accessor dispatches through the [`FederatedRunner`] trait — there
+/// is no per-algorithm branching here, so a fifth policy family only needs
+/// a trait impl, not edits to this type.
+pub struct TrainedFederation {
+    algorithm: Algorithm,
+    runner: Box<dyn FederatedRunner>,
 }
 
 impl TrainedFederation {
+    /// Wraps a trained runner.
+    pub fn new(algorithm: Algorithm, runner: Box<dyn FederatedRunner>) -> Self {
+        Self { algorithm, runner }
+    }
+
+    /// The algorithm that trained this federation.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The trained runner, behind the uniform trait.
+    pub fn runner(&self) -> &dyn FederatedRunner {
+        &*self.runner
+    }
+
+    /// Mutable access to the trained runner.
+    pub fn runner_mut(&mut self) -> &mut dyn FederatedRunner {
+        &mut *self.runner
+    }
+
+    /// The concrete runner, when algorithm-specific state is needed (e.g.
+    /// PFRL-DM's attention weight history).
+    pub fn downcast_ref<R: FederatedRunner + 'static>(&self) -> Option<&R> {
+        self.runner.as_any().downcast_ref::<R>()
+    }
+
     /// Number of clients.
     pub fn n_clients(&self) -> usize {
-        match self {
-            TrainedFederation::PfrlDm(r) => r.clients.len(),
-            TrainedFederation::FedAvg(r) => r.clients.len(),
-            TrainedFederation::Mfpo(r) => r.clients.len(),
-            TrainedFederation::Ppo(r) => r.clients.len(),
-        }
+        self.runner.clients().len()
     }
 
     /// Client display names, in index order.
     pub fn client_names(&self) -> Vec<String> {
-        match self {
-            TrainedFederation::PfrlDm(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
-            TrainedFederation::FedAvg(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
-            TrainedFederation::Mfpo(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
-            TrainedFederation::Ppo(r) => r.clients.iter().map(|c| c.name.clone()).collect(),
-        }
+        self.runner.clients().iter().map(|c| c.name().to_string()).collect()
     }
 
     /// Each client's private training pool (used to build hybrid test sets).
     pub fn client_task_pools(&self) -> Vec<Vec<TaskSpec>> {
-        match self {
-            TrainedFederation::PfrlDm(r) => {
-                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
-            }
-            TrainedFederation::FedAvg(r) => {
-                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
-            }
-            TrainedFederation::Mfpo(r) => {
-                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
-            }
-            TrainedFederation::Ppo(r) => {
-                r.clients.iter().map(|c| c.train_tasks().to_vec()).collect()
-            }
-        }
+        self.runner.clients().iter().map(|c| c.train_tasks().to_vec()).collect()
     }
 
     /// Greedy evaluation of client `idx`'s trained policy on `tasks`.
-    pub fn evaluate_client(&mut self, idx: usize, tasks: Vec<TaskSpec>) -> EpisodeMetrics {
-        match self {
-            TrainedFederation::PfrlDm(r) => r.clients[idx].evaluate_on(tasks),
-            TrainedFederation::FedAvg(r) => r.clients[idx].evaluate_on(tasks),
-            TrainedFederation::Mfpo(r) => r.clients[idx].evaluate_on(tasks),
-            TrainedFederation::Ppo(r) => r.clients[idx].evaluate_on(tasks),
-        }
+    pub fn evaluate_client(&mut self, idx: usize, tasks: &[TaskSpec]) -> EpisodeMetrics {
+        self.runner.clients_mut()[idx].evaluate_on(tasks)
+    }
+
+    /// One inference-only [`PolicySnapshot`] per client — the export the
+    /// `pfrl-serve` layer loads.
+    pub fn policy_snapshots(&self) -> Vec<PolicySnapshot> {
+        self.runner.policy_snapshots()
     }
 }
 
@@ -142,31 +144,55 @@ pub fn run_federation_with_telemetry(
     fed_cfg: FedConfig,
     telemetry: Telemetry,
 ) -> (TrainingCurves, TrainedFederation) {
+    let mut runner = build_runner(
+        algorithm,
+        setups,
+        dims,
+        env_cfg,
+        ppo_cfg,
+        fed_cfg,
+        telemetry,
+        FaultPlan::none(),
+    );
+    let curves = runner.train_to_completion();
+    (curves, TrainedFederation::new(algorithm, runner))
+}
+
+/// Constructs the requested runner behind the uniform trait. This is the
+/// single place the driver distinguishes algorithms — everything after
+/// construction goes through [`FederatedRunner`].
+#[allow(clippy::too_many_arguments)]
+fn build_runner(
+    algorithm: Algorithm,
+    setups: Vec<ClientSetup>,
+    dims: EnvDims,
+    env_cfg: EnvConfig,
+    ppo_cfg: PpoConfig,
+    fed_cfg: FedConfig,
+    telemetry: Telemetry,
+    fault_plan: FaultPlan,
+) -> Box<dyn FederatedRunner> {
     match algorithm {
-        Algorithm::PfrlDm => {
-            let mut r = PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry);
-            let c = r.train();
-            (c, TrainedFederation::PfrlDm(r))
-        }
-        Algorithm::FedAvg => {
-            let mut r = FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry);
-            let c = r.train();
-            (c, TrainedFederation::FedAvg(r))
-        }
-        Algorithm::Mfpo => {
-            let mut r =
-                MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg).with_telemetry(telemetry);
-            let c = r.train();
-            (c, TrainedFederation::Mfpo(r))
-        }
-        Algorithm::Ppo => {
-            let mut r = IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry);
-            let c = r.train();
-            (c, TrainedFederation::Ppo(r))
-        }
+        Algorithm::PfrlDm => Box::new(
+            PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry)
+                .with_fault_plan(fault_plan),
+        ),
+        Algorithm::FedAvg => Box::new(
+            FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry)
+                .with_fault_plan(fault_plan),
+        ),
+        Algorithm::Mfpo => Box::new(
+            MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry)
+                .with_fault_plan(fault_plan),
+        ),
+        Algorithm::Ppo => Box::new(
+            IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
+                .with_telemetry(telemetry)
+                .with_fault_plan(fault_plan),
+        ),
     }
 }
 
@@ -195,24 +221,25 @@ fn persist_checkpoint(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
 }
 
 /// Drives one runner round-by-round with periodic checkpoints; restores
-/// first when a checkpoint already exists on disk.
-macro_rules! drive_resumable {
-    ($runner:expr, $fed_cfg:expr, $ckpt:expr, $telemetry:expr) => {{
-        let mut r = $runner;
-        if $ckpt.path.exists() {
-            r.restore_checkpoint(&std::fs::read(&$ckpt.path)?)?;
-            $telemetry.counter("fed/checkpoint_restores", 1);
+/// first when a checkpoint already exists on disk. Pure trait-object code —
+/// the same loop serves all algorithms.
+fn drive_resumable(
+    r: &mut dyn FederatedRunner,
+    ckpt: &CheckpointConfig,
+    telemetry: &Telemetry,
+) -> Result<TrainingCurves, FedError> {
+    if ckpt.path.exists() {
+        r.restore_checkpoint(&std::fs::read(&ckpt.path)?)?;
+        telemetry.counter("fed/checkpoint_restores", 1);
+    }
+    while r.rounds_done() < r.config().rounds() {
+        r.train_round();
+        if r.rounds_done().is_multiple_of(ckpt.every_rounds) {
+            persist_checkpoint(&ckpt.path, &r.checkpoint_bytes())?;
+            telemetry.counter("fed/checkpoints", 1);
         }
-        while r.rounds_done() < $fed_cfg.rounds() {
-            r.train_round();
-            if r.rounds_done() % $ckpt.every_rounds == 0 {
-                persist_checkpoint(&$ckpt.path, &r.checkpoint_bytes())?;
-                $telemetry.counter("fed/checkpoints", 1);
-            }
-        }
-        let curves = r.finish();
-        (curves, r)
-    }};
+    }
+    Ok(r.finish())
 }
 
 /// [`run_federation_with_telemetry`] with crash recovery: the federation
@@ -226,6 +253,9 @@ macro_rules! drive_resumable {
 ///
 /// `fault_plan` installs a deterministic fault schedule on the federated
 /// runners (pass [`FaultPlan::none()`] for a healthy run).
+///
+/// Checkpoint I/O and decode failures surface as [`FedError`]
+/// (`Io`/`Checkpoint` variants).
 #[allow(clippy::too_many_arguments)]
 pub fn run_federation_resumable(
     algorithm: Algorithm,
@@ -237,38 +267,20 @@ pub fn run_federation_resumable(
     fault_plan: FaultPlan,
     ckpt: &CheckpointConfig,
     telemetry: Telemetry,
-) -> io::Result<(TrainingCurves, TrainedFederation)> {
+) -> Result<(TrainingCurves, TrainedFederation), FedError> {
     assert!(ckpt.every_rounds >= 1, "every_rounds must be >= 1");
-    match algorithm {
-        Algorithm::PfrlDm => {
-            let runner = PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry.clone())
-                .with_fault_plan(fault_plan);
-            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
-            Ok((c, TrainedFederation::PfrlDm(r)))
-        }
-        Algorithm::FedAvg => {
-            let runner = FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry.clone())
-                .with_fault_plan(fault_plan);
-            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
-            Ok((c, TrainedFederation::FedAvg(r)))
-        }
-        Algorithm::Mfpo => {
-            let runner = MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry.clone())
-                .with_fault_plan(fault_plan);
-            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
-            Ok((c, TrainedFederation::Mfpo(r)))
-        }
-        Algorithm::Ppo => {
-            let runner = IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry.clone())
-                .with_fault_plan(fault_plan);
-            let (c, r) = drive_resumable!(runner, fed_cfg, ckpt, telemetry);
-            Ok((c, TrainedFederation::Ppo(r)))
-        }
-    }
+    let mut runner = build_runner(
+        algorithm,
+        setups,
+        dims,
+        env_cfg,
+        ppo_cfg,
+        fed_cfg,
+        telemetry.clone(),
+        fault_plan,
+    );
+    let curves = drive_resumable(&mut *runner, ckpt, &telemetry)?;
+    Ok((curves, TrainedFederation::new(algorithm, runner)))
 }
 
 /// Builds the reproducibility manifest for one federation run: seed,
@@ -316,7 +328,7 @@ pub fn evaluate_generalization(
     let mut out = GeneralizationResults::default();
     for i in 0..n {
         let hybrid = pfrl_workloads::hybrid_test_set(test_sets, i, own_frac, seed);
-        let m = fed.evaluate_client(i, hybrid);
+        let m = fed.evaluate_client(i, &hybrid);
         out.response.push(m.avg_response);
         out.makespan.push(m.makespan);
         out.utilization.push(m.avg_utilization);

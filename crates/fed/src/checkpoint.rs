@@ -30,7 +30,13 @@ pub(crate) struct Writer {
 
 impl Writer {
     pub fn new() -> Self {
-        Self { buf: MAGIC.to_vec() }
+        Self::with_magic(MAGIC)
+    }
+
+    /// A writer for a different container format sharing the same
+    /// primitive encoding (e.g. the policy-snapshot codec).
+    pub fn with_magic(magic: &[u8]) -> Self {
+        Self { buf: magic.to_vec() }
     }
 
     pub fn u8(&mut self, v: u8) {
@@ -95,6 +101,11 @@ impl Writer {
         }
     }
 
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
@@ -109,10 +120,15 @@ pub(crate) struct Reader<'a> {
 impl<'a> Reader<'a> {
     /// Opens a checkpoint, verifying the magic/version prefix.
     pub fn new(data: &'a [u8]) -> io::Result<Self> {
-        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
-            return Err(bad("not a federation checkpoint (bad magic)"));
+        Self::with_magic(data, MAGIC)
+    }
+
+    /// Opens a container with a caller-supplied magic/version prefix.
+    pub fn with_magic(data: &'a [u8], magic: &[u8]) -> io::Result<Self> {
+        if data.len() < magic.len() || &data[..magic.len()] != magic {
+            return Err(bad("bad magic (wrong container format or version)"));
         }
-        Ok(Self { data, pos: MAGIC.len() })
+        Ok(Self { data, pos: magic.len() })
     }
 
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
@@ -189,6 +205,12 @@ impl<'a> Reader<'a> {
 
     pub fn rng_state(&mut self) -> io::Result<[u64; 4]> {
         Ok([self.u64()?, self.u64()?, self.u64()?, self.u64()?])
+    }
+
+    pub fn str(&mut self) -> io::Result<String> {
+        let n = self.len_at_most(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("string is not valid UTF-8"))
     }
 
     /// Asserts the whole checkpoint was consumed.
@@ -418,6 +440,7 @@ mod tests {
         w.vec_usize(&[0, 9, 4]);
         w.vec_bool(&[true, false]);
         w.rng_state([1, 2, 3, 4]);
+        w.str("héllo");
         let bytes = w.finish();
         let mut r = Reader::new(&bytes).unwrap();
         assert_eq!(r.u8().unwrap(), 7);
@@ -431,6 +454,7 @@ mod tests {
         assert_eq!(r.vec_usize().unwrap(), vec![0, 9, 4]);
         assert_eq!(r.vec_bool().unwrap(), vec![true, false]);
         assert_eq!(r.rng_state().unwrap(), [1, 2, 3, 4]);
+        assert_eq!(r.str().unwrap(), "héllo");
         r.finish().unwrap();
     }
 

@@ -2,7 +2,9 @@
 //! workload pool.
 
 use crate::config::{ClientSetup, FedConfig};
-use pfrl_rl::{DualCriticAgent, PpoAgent};
+use crate::snapshot::PolicySnapshot;
+use pfrl_nn::Mlp;
+use pfrl_rl::{DualCriticAgent, PpoAgent, PpoConfig};
 use pfrl_sim::{CloudEnv, EnvConfig, EnvDims, EpisodeMetrics};
 use pfrl_stats::seeding::SeedStream;
 use pfrl_telemetry::Telemetry;
@@ -20,6 +22,11 @@ pub trait FedAgent: Send {
     fn evaluate_episode(&mut self, env: &mut CloudEnv) -> EpisodeMetrics;
     /// Routes the agent's metrics to `telemetry`. Default: ignore.
     fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+    /// The policy (actor) network — the part of the agent a serving
+    /// snapshot exports.
+    fn actor(&self) -> &Mlp;
+    /// The agent's PPO configuration (hidden width, masking flag).
+    fn ppo_config(&self) -> &PpoConfig;
 }
 
 impl FedAgent for PpoAgent {
@@ -32,6 +39,12 @@ impl FedAgent for PpoAgent {
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         PpoAgent::set_telemetry(self, telemetry);
     }
+    fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+    fn ppo_config(&self) -> &PpoConfig {
+        self.config()
+    }
 }
 
 impl FedAgent for DualCriticAgent {
@@ -43,6 +56,12 @@ impl FedAgent for DualCriticAgent {
     }
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         DualCriticAgent::set_telemetry(self, telemetry);
+    }
+    fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+    fn ppo_config(&self) -> &PpoConfig {
+        self.config()
     }
 }
 
@@ -145,10 +164,30 @@ impl<A: FedAgent> Client<A> {
     }
 
     /// Greedy evaluation of the current policy on an arbitrary task set
-    /// (e.g. a held-out or hybrid test set).
-    pub fn evaluate_on(&mut self, tasks: Vec<TaskSpec>) -> EpisodeMetrics {
-        self.env.reset(tasks);
+    /// (e.g. a held-out or hybrid test set). Borrows the tasks: the one
+    /// copy the environment needs (it re-sorts by arrival) happens here,
+    /// not at every call site.
+    pub fn evaluate_on(&mut self, tasks: &[TaskSpec]) -> EpisodeMetrics {
+        self.env.reset(tasks.to_vec());
         self.agent.evaluate_episode(&mut self.env)
+    }
+
+    /// Exports the client's current greedy policy plus its environment
+    /// definition as an inference-only snapshot. `algorithm` is the paper
+    /// name of the runner that trained it.
+    pub fn policy_snapshot(&self, algorithm: &str) -> PolicySnapshot {
+        let cfg = self.agent.ppo_config();
+        PolicySnapshot {
+            algorithm: algorithm.to_string(),
+            client: self.name.clone(),
+            version: self.episodes_done as u64,
+            dims: *self.env.dims(),
+            env_cfg: *self.env.config(),
+            vms: self.env.vm_specs().to_vec(),
+            hidden: cfg.hidden,
+            mask_actions: cfg.mask_invalid_actions,
+            actor_params: self.agent.actor().flat_params(),
+        }
     }
 }
 
@@ -214,7 +253,7 @@ mod tests {
     fn evaluate_on_external_tasks() {
         let cfg = FedConfig::default();
         let mut c = client(&cfg);
-        let m = c.evaluate_on(DatasetId::Google.model().sample(30, 2));
+        let m = c.evaluate_on(&DatasetId::Google.model().sample(30, 2));
         assert_eq!(m.tasks_placed + m.tasks_unplaced, 30);
     }
 

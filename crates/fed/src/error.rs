@@ -1,0 +1,114 @@
+//! The single error surface of the federation layer.
+//!
+//! Secure aggregation, the round-checkpoint codec, and the policy-snapshot
+//! codec each detect their own failure modes, but callers see one public
+//! [`FedError`] — no crate-private error shapes leak through the API, and
+//! adding a new failure source is a new variant here rather than a new
+//! error type downstream code must learn to match on.
+
+use std::io;
+
+/// Any failure surfaced by the federation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedError {
+    /// Secure aggregation: the number of masked updates differs from the
+    /// cohort size the masks were built for. Aggregating anyway would leave
+    /// masks uncancelled and silently corrupt the mean — with partial
+    /// participation the cohort must be fixed *before* masking, so a
+    /// mismatch here is a protocol violation, not a recoverable dropout.
+    CohortMismatch {
+        /// Cohort size the masks were generated for.
+        expected: usize,
+        /// Masked updates actually received.
+        got: usize,
+    },
+    /// Secure aggregation: an empty batch of masked updates.
+    EmptyCohort,
+    /// Secure aggregation: masked update at this index has a different
+    /// length than the first one.
+    RaggedUpdate(usize),
+    /// A round checkpoint that is malformed, truncated, or fingerprinted
+    /// for a different federation.
+    Checkpoint(String),
+    /// A policy snapshot that is malformed, truncated, or internally
+    /// inconsistent (e.g. parameter count disagreeing with the declared
+    /// network shape).
+    Snapshot(String),
+    /// An underlying I/O failure (reading or writing checkpoint files).
+    Io(io::ErrorKind, String),
+}
+
+impl FedError {
+    /// Wraps a checkpoint-codec decode failure.
+    pub(crate) fn checkpoint(e: io::Error) -> Self {
+        FedError::Checkpoint(e.to_string())
+    }
+
+    /// Wraps a snapshot-codec decode failure.
+    pub(crate) fn snapshot(e: io::Error) -> Self {
+        FedError::Snapshot(e.to_string())
+    }
+}
+
+impl std::fmt::Display for FedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FedError::CohortMismatch { expected, got } => {
+                write!(f, "expected {expected} masked updates, got {got}")
+            }
+            FedError::EmptyCohort => write!(f, "no masked updates"),
+            FedError::RaggedUpdate(k) => write!(f, "masked update {k} has wrong length"),
+            FedError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
+            FedError::Snapshot(msg) => write!(f, "invalid policy snapshot: {msg}"),
+            FedError::Io(kind, msg) => write!(f, "i/o error ({kind:?}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+impl From<io::Error> for FedError {
+    fn from(e: io::Error) -> Self {
+        FedError::Io(e.kind(), e.to_string())
+    }
+}
+
+impl From<FedError> for io::Error {
+    fn from(e: FedError) -> Self {
+        let kind = match &e {
+            FedError::Io(kind, _) => *kind,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(FedError, &str)> = vec![
+            (FedError::CohortMismatch { expected: 3, got: 2 }, "expected 3"),
+            (FedError::EmptyCohort, "no masked updates"),
+            (FedError::RaggedUpdate(1), "update 1"),
+            (FedError::Checkpoint("bad magic".into()), "invalid checkpoint"),
+            (FedError::Snapshot("truncated".into()), "invalid policy snapshot"),
+            (FedError::Io(io::ErrorKind::NotFound, "gone".into()), "i/o error"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn io_conversions_roundtrip_kind() {
+        let fed: FedError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert_eq!(fed, FedError::Io(io::ErrorKind::NotFound, "missing".into()));
+        let io_err: io::Error = FedError::Checkpoint("x".into()).into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        let io_err: io::Error = FedError::Io(io::ErrorKind::PermissionDenied, "p".into()).into();
+        assert_eq!(io_err.kind(), io::ErrorKind::PermissionDenied);
+    }
+}

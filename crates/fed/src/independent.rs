@@ -4,6 +4,7 @@ use crate::checkpoint::{read_ppo_agent, write_ppo_agent, Fingerprint, Reader, Wr
 use crate::client::{Client, FedAgent};
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::error::FedError;
 use crate::fault::{FaultPlan, FaultState, QuarantinePolicy};
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
@@ -176,8 +177,14 @@ impl IndependentRunner {
         w.finish()
     }
 
-    /// Restores state captured by [`Self::checkpoint_bytes`].
-    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+    /// Restores state captured by [`Self::checkpoint_bytes`]. Malformed,
+    /// truncated, or mismatched checkpoints surface as
+    /// [`FedError::Checkpoint`].
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), FedError> {
+        self.restore_impl(bytes).map_err(FedError::checkpoint)
+    }
+
+    fn restore_impl(&mut self, bytes: &[u8]) -> io::Result<()> {
         let mut r = Reader::new(bytes)?;
         Fingerprint::check(&mut r, &self.fingerprint())?;
         let rounds_done = r.usize()?;

@@ -22,17 +22,21 @@ pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod curves;
+pub mod error;
 pub mod fault;
 pub mod fedavg;
 pub mod independent;
 pub mod mfpo;
 pub mod pfrl_dm;
+pub mod runner;
 pub mod secure;
 pub mod similarity;
+pub mod snapshot;
 
 pub use client::Client;
 pub use config::{ClientSetup, FedConfig};
 pub use curves::TrainingCurves;
+pub use error::FedError;
 pub use fault::{
     AbsenceReason, AcceptedUpload, ClientFault, Corruption, FaultEvent, FaultPlan, FaultState,
     Presence, QuarantinePolicy, UpdateFault,
@@ -41,5 +45,7 @@ pub use fedavg::{FedAvgRunner, RoundLossProbe};
 pub use independent::IndependentRunner;
 pub use mfpo::MfpoRunner;
 pub use pfrl_dm::PfrlDmRunner;
-pub use secure::{aggregate_masked, mask_update, SecureAggError};
+pub use runner::{ClientView, FederatedRunner};
+pub use secure::{aggregate_masked, mask_update};
 pub use similarity::{attention_weights, cosine_weights, kl_weights};
+pub use snapshot::PolicySnapshot;

@@ -24,6 +24,7 @@ use crate::checkpoint::{
 use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
+use crate::error::FedError;
 use crate::fault::{AcceptedUpload, FaultPlan, FaultState, QuarantinePolicy};
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
@@ -448,7 +449,14 @@ impl PfrlDmRunner {
     /// Restores state captured by [`Self::checkpoint_bytes`] into a runner
     /// built with the same configuration; training then resumes to
     /// bit-identical curves.
-    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+    ///
+    /// Malformed, truncated, or mismatched checkpoints surface as
+    /// [`FedError::Checkpoint`].
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), FedError> {
+        self.restore_impl(bytes).map_err(FedError::checkpoint)
+    }
+
+    fn restore_impl(&mut self, bytes: &[u8]) -> io::Result<()> {
         let mut r = Reader::new(bytes)?;
         Fingerprint::check(&mut r, &self.fingerprint())?;
         let rounds_done = r.usize()?;

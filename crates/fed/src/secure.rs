@@ -13,6 +13,7 @@
 //! deployments add key agreement and dropout recovery, which are outside
 //! the paper's scope.
 
+use crate::error::FedError;
 use pfrl_stats::seeding::derive_seed;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -50,56 +51,24 @@ pub fn mask_update(params: &[f32], idx: usize, n: usize, round_seed: u64) -> Vec
     out
 }
 
-/// Why secure aggregation refused a batch of masked updates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SecureAggError {
-    /// The number of masked updates differs from the cohort size the masks
-    /// were built for. Aggregating anyway would leave masks uncancelled and
-    /// silently corrupt the mean — with partial participation the cohort
-    /// must be fixed *before* masking, so a mismatch here is a protocol
-    /// violation, not a recoverable dropout.
-    CohortMismatch {
-        /// Cohort size the masks were generated for.
-        expected: usize,
-        /// Masked updates actually received.
-        got: usize,
-    },
-    /// No masked updates at all.
-    Empty,
-    /// Update at the given index has a different length than the first.
-    RaggedLength(usize),
-}
-
-impl std::fmt::Display for SecureAggError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SecureAggError::CohortMismatch { expected, got } => {
-                write!(f, "masks built for {expected} clients but {got} updates arrived")
-            }
-            SecureAggError::Empty => write!(f, "no masked updates"),
-            SecureAggError::RaggedLength(k) => write!(f, "masked update {k} has wrong length"),
-        }
-    }
-}
-
-impl std::error::Error for SecureAggError {}
-
 /// Server-side aggregation of the masked updates into their *mean*. Exact
 /// (up to float round-off) because the pairwise masks cancel — but only
 /// when every one of the `expected` cohort members contributed, which is
-/// why the count is checked instead of assumed.
-pub fn aggregate_masked(masked: &[Vec<f32>], expected: usize) -> Result<Vec<f32>, SecureAggError> {
+/// why the count is checked instead of assumed. Refusals surface as
+/// [`FedError`] variants (`CohortMismatch` / `EmptyCohort` /
+/// `RaggedUpdate`).
+pub fn aggregate_masked(masked: &[Vec<f32>], expected: usize) -> Result<Vec<f32>, FedError> {
     if masked.is_empty() {
-        return Err(SecureAggError::Empty);
+        return Err(FedError::EmptyCohort);
     }
     if masked.len() != expected {
-        return Err(SecureAggError::CohortMismatch { expected, got: masked.len() });
+        return Err(FedError::CohortMismatch { expected, got: masked.len() });
     }
     let len = masked[0].len();
     let mut sum = vec![0.0f32; len];
     for (k, m) in masked.iter().enumerate() {
         if m.len() != len {
-            return Err(SecureAggError::RaggedLength(k));
+            return Err(FedError::RaggedUpdate(k));
         }
         for (s, v) in sum.iter_mut().zip(m) {
             *s += v;
@@ -175,16 +144,16 @@ mod tests {
         masked.pop();
         assert_eq!(
             aggregate_masked(&masked, 3),
-            Err(SecureAggError::CohortMismatch { expected: 3, got: 2 })
+            Err(FedError::CohortMismatch { expected: 3, got: 2 })
         );
-        assert_eq!(aggregate_masked(&[], 0), Err(SecureAggError::Empty));
+        assert_eq!(aggregate_masked(&[], 0), Err(FedError::EmptyCohort));
     }
 
     #[test]
     fn ragged_updates_rejected() {
         assert_eq!(
             aggregate_masked(&[vec![0.0, 1.0], vec![0.0]], 2),
-            Err(SecureAggError::RaggedLength(1))
+            Err(FedError::RaggedUpdate(1))
         );
     }
 }

@@ -1,0 +1,293 @@
+//! Micro-batched decision serving with admission control.
+//!
+//! [`DecisionService`] front-ends a set of [`Session`]s with a bounded
+//! request queue: producers [`submit`](DecisionService::submit) decision
+//! requests (rejected with [`ServeError::Overloaded`] once the queue is
+//! full — backpressure is explicit, never silent), and the serving loop
+//! drains them in arrival order with
+//! [`decide_batch`](DecisionService::decide_batch). Every decision is
+//! timed into the `serve/decision_us` histogram; queue depth, admissions,
+//! rejections, and served decisions are all observable through
+//! [`pfrl_telemetry`].
+
+use crate::session::{Decision, Session};
+use crate::store::PolicyStore;
+use pfrl_telemetry::Telemetry;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+/// Opaque handle to an open serving session.
+pub type SessionId = u64;
+
+/// Errors surfaced by the serving front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue is at capacity; the caller must back off.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// No snapshot exists for the requested client (or client/version).
+    UnknownPolicy(String),
+    /// The session id does not name an open session.
+    UnknownSession(SessionId),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServeError::UnknownPolicy(who) => write!(f, "no policy snapshot for {who}"),
+            ServeError::UnknownSession(id) => write!(f, "no open session {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Sizing knobs for the serving front end.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum queued (admitted, not yet served) decision requests.
+    pub queue_capacity: usize,
+    /// Maximum decisions served per [`DecisionService::decide_batch`] call.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 256, max_batch: 32 }
+    }
+}
+
+/// The serving front end: policy store + open sessions + bounded queue.
+pub struct DecisionService {
+    store: PolicyStore,
+    cfg: ServeConfig,
+    sessions: BTreeMap<SessionId, Session>,
+    queue: VecDeque<SessionId>,
+    next_id: SessionId,
+    telemetry: Telemetry,
+}
+
+impl DecisionService {
+    /// Builds a service over an immutable snapshot store.
+    pub fn new(store: PolicyStore, cfg: ServeConfig) -> Self {
+        assert!(cfg.queue_capacity >= 1, "queue_capacity must be >= 1");
+        assert!(cfg.max_batch >= 1, "max_batch must be >= 1");
+        Self {
+            store,
+            cfg,
+            sessions: BTreeMap::new(),
+            queue: VecDeque::with_capacity(cfg.queue_capacity),
+            next_id: 0,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
+    /// Routes serving metrics to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The underlying snapshot store.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    /// Opens a session on the latest snapshot for `client`.
+    pub fn open_session(&mut self, client: &str) -> Result<SessionId, ServeError> {
+        let snap = self
+            .store
+            .latest(client)
+            .ok_or_else(|| ServeError::UnknownPolicy(client.to_string()))?;
+        let session =
+            Session::new(snap).expect("store snapshots are pre-validated and instantiate cleanly");
+        Ok(self.install(session))
+    }
+
+    /// Opens a session pinned to an exact `(client, version)` snapshot.
+    pub fn open_session_at(&mut self, client: &str, version: u64) -> Result<SessionId, ServeError> {
+        let snap = self
+            .store
+            .get(client, version)
+            .ok_or_else(|| ServeError::UnknownPolicy(format!("{client}@v{version}")))?;
+        let session =
+            Session::new(snap).expect("store snapshots are pre-validated and instantiate cleanly");
+        Ok(self.install(session))
+    }
+
+    fn install(&mut self, session: Session) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(id, session);
+        self.telemetry.counter("serve/sessions_opened", 1);
+        id
+    }
+
+    /// Shared view of an open session.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
+    /// Mutable view of an open session (e.g. to run an episode inline).
+    pub fn session_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        self.sessions.get_mut(&id)
+    }
+
+    /// Closes a session, returning it; its queued requests become stale
+    /// and are dropped (and counted) when the batch loop reaches them.
+    pub fn close_session(&mut self, id: SessionId) -> Option<Session> {
+        self.sessions.remove(&id)
+    }
+
+    /// Starts a new episode over `tasks` on session `id`.
+    pub fn begin_episode(
+        &mut self,
+        id: SessionId,
+        tasks: &[pfrl_workloads::TaskSpec],
+    ) -> Result<(), ServeError> {
+        let s = self.sessions.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
+        s.begin_episode(tasks);
+        Ok(())
+    }
+
+    /// Admits one decision request for session `id`, or rejects it.
+    ///
+    /// Rejection is the admission-control contract: when the queue is at
+    /// capacity the caller gets [`ServeError::Overloaded`] immediately
+    /// instead of unbounded buffering.
+    pub fn submit(&mut self, id: SessionId) -> Result<(), ServeError> {
+        if !self.sessions.contains_key(&id) {
+            return Err(ServeError::UnknownSession(id));
+        }
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.telemetry.counter("serve/rejected", 1);
+            return Err(ServeError::Overloaded { capacity: self.cfg.queue_capacity });
+        }
+        self.queue.push_back(id);
+        self.telemetry.counter("serve/admitted", 1);
+        self.telemetry.gauge("serve/queue_depth", self.queue.len() as f64);
+        Ok(())
+    }
+
+    /// Admitted-but-unserved requests.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Serves up to `max_batch` queued requests in arrival order and
+    /// returns `(session, decision)` pairs. Requests whose session was
+    /// closed or whose episode already completed are dropped and counted
+    /// as `serve/stale`. Per-decision latency lands in the
+    /// `serve/decision_us` histogram.
+    pub fn decide_batch(&mut self) -> Vec<(SessionId, Decision)> {
+        let mut out = Vec::new();
+        let enabled = self.telemetry.is_enabled();
+        while out.len() < self.cfg.max_batch {
+            let Some(id) = self.queue.pop_front() else { break };
+            let Some(session) = self.sessions.get_mut(&id) else {
+                self.telemetry.counter("serve/stale", 1);
+                continue;
+            };
+            if session.is_done() {
+                self.telemetry.counter("serve/stale", 1);
+                continue;
+            }
+            let t0 = enabled.then(Instant::now);
+            let d = session.decide();
+            if let Some(t0) = t0 {
+                self.telemetry.observe("serve/decision_us", t0.elapsed().as_nanos() as f64 / 1e3);
+            }
+            out.push((id, d));
+        }
+        self.telemetry.counter("serve/decisions", out.len() as u64);
+        self.telemetry.gauge("serve/queue_depth", self.queue.len() as f64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{tiny_snapshot, tiny_tasks};
+    use pfrl_telemetry::InMemoryRecorder;
+    use std::sync::Arc;
+
+    fn service(cfg: ServeConfig) -> DecisionService {
+        let store =
+            PolicyStore::from_snapshots(vec![tiny_snapshot("a"), tiny_snapshot("b")]).unwrap();
+        DecisionService::new(store, cfg)
+    }
+
+    #[test]
+    fn overload_is_rejected_explicitly() {
+        let mut svc = service(ServeConfig { queue_capacity: 3, max_batch: 8 });
+        let id = svc.open_session("a").unwrap();
+        svc.begin_episode(id, &tiny_tasks(20)).unwrap();
+        for _ in 0..3 {
+            svc.submit(id).unwrap();
+        }
+        assert_eq!(svc.submit(id), Err(ServeError::Overloaded { capacity: 3 }));
+        assert_eq!(svc.queue_depth(), 3);
+        // Draining frees capacity again.
+        assert_eq!(svc.decide_batch().len(), 3);
+        assert_eq!(svc.queue_depth(), 0);
+        svc.submit(id).unwrap();
+    }
+
+    #[test]
+    fn batches_honor_max_batch_and_arrival_order() {
+        let mut svc = service(ServeConfig { queue_capacity: 16, max_batch: 2 });
+        let a = svc.open_session("a").unwrap();
+        let b = svc.open_session("b").unwrap();
+        svc.begin_episode(a, &tiny_tasks(20)).unwrap();
+        svc.begin_episode(b, &tiny_tasks(20)).unwrap();
+        for id in [a, b, a, b] {
+            svc.submit(id).unwrap();
+        }
+        let first = svc.decide_batch();
+        assert_eq!(first.iter().map(|(id, _)| *id).collect::<Vec<_>>(), [a, b]);
+        let second = svc.decide_batch();
+        assert_eq!(second.len(), 2);
+        assert!(svc.decide_batch().is_empty());
+    }
+
+    #[test]
+    fn unknown_targets_and_stale_requests_are_safe() {
+        let mut svc = service(ServeConfig::default());
+        assert!(matches!(svc.open_session("nope"), Err(ServeError::UnknownPolicy(_))));
+        assert!(matches!(svc.open_session_at("a", 999), Err(ServeError::UnknownPolicy(_))));
+        assert_eq!(svc.submit(42), Err(ServeError::UnknownSession(42)));
+        let id = svc.open_session("a").unwrap();
+        svc.begin_episode(id, &tiny_tasks(5)).unwrap();
+        svc.submit(id).unwrap();
+        svc.close_session(id).unwrap();
+        // The queued request now points at a closed session: dropped, not served.
+        assert!(svc.decide_batch().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_admissions_rejections_and_latency() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let store = PolicyStore::from_snapshots(vec![tiny_snapshot("a")]).unwrap();
+        let mut svc = DecisionService::new(store, ServeConfig { queue_capacity: 2, max_batch: 8 })
+            .with_telemetry(Telemetry::new(rec.clone()));
+        let id = svc.open_session("a").unwrap();
+        svc.begin_episode(id, &tiny_tasks(10)).unwrap();
+        svc.submit(id).unwrap();
+        svc.submit(id).unwrap();
+        let _ = svc.submit(id); // rejected
+        let served = svc.decide_batch().len() as u64;
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("serve/admitted"), 2);
+        assert_eq!(snap.counter("serve/rejected"), 1);
+        assert_eq!(snap.counter("serve/decisions"), served);
+        assert_eq!(snap.gauge("serve/queue_depth"), Some(0.0));
+        let h = snap.histogram("serve/decision_us").expect("latency histogram");
+        assert_eq!(h.count(), served);
+    }
+}

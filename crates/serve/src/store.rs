@@ -1,0 +1,120 @@
+//! Immutable store of versioned policy snapshots.
+//!
+//! A [`PolicyStore`] is built once — from in-memory [`PolicySnapshot`]s or
+//! from their serialized blobs — and never mutated afterwards, so serving
+//! threads can share it freely behind an `Arc` without locks. Snapshots
+//! are keyed by `(client, version)`; a client typically accumulates one
+//! version per export (the version is the training episode cursor), and
+//! [`PolicyStore::latest`] resolves the newest one.
+
+use pfrl_fed::{FedError, PolicySnapshot};
+
+/// Immutable, validated collection of policy snapshots.
+pub struct PolicyStore {
+    snaps: Vec<PolicySnapshot>,
+}
+
+impl PolicyStore {
+    /// Builds a store from already-decoded snapshots. Every snapshot is
+    /// [validated](PolicySnapshot::validate) and `(client, version)` pairs
+    /// must be unique; violations surface as [`FedError::Snapshot`].
+    pub fn from_snapshots(snaps: Vec<PolicySnapshot>) -> Result<Self, FedError> {
+        for s in &snaps {
+            s.validate()?;
+        }
+        for (i, a) in snaps.iter().enumerate() {
+            if snaps[..i].iter().any(|b| b.client == a.client && b.version == a.version) {
+                return Err(FedError::Snapshot(format!(
+                    "duplicate snapshot for client {:?} version {}",
+                    a.client, a.version
+                )));
+            }
+        }
+        Ok(Self { snaps })
+    }
+
+    /// Decodes and validates serialized snapshots (the
+    /// [`PolicySnapshot::to_bytes`] wire format) into a store.
+    pub fn from_blobs<'a>(blobs: impl IntoIterator<Item = &'a [u8]>) -> Result<Self, FedError> {
+        let snaps =
+            blobs.into_iter().map(PolicySnapshot::from_bytes).collect::<Result<Vec<_>, _>>()?;
+        Self::from_snapshots(snaps)
+    }
+
+    /// Number of snapshots held.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// All snapshots, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &PolicySnapshot> {
+        self.snaps.iter()
+    }
+
+    /// Distinct client names, in first-seen order.
+    pub fn clients(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.snaps {
+            if !out.contains(&s.client.as_str()) {
+                out.push(&s.client);
+            }
+        }
+        out
+    }
+
+    /// The snapshot at an exact `(client, version)`.
+    pub fn get(&self, client: &str, version: u64) -> Option<&PolicySnapshot> {
+        self.snaps.iter().find(|s| s.client == client && s.version == version)
+    }
+
+    /// The highest-versioned snapshot for `client`.
+    pub fn latest(&self, client: &str) -> Option<&PolicySnapshot> {
+        self.snaps.iter().filter(|s| s.client == client).max_by_key(|s| s.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::tiny_snapshot;
+
+    #[test]
+    fn versioning_resolves_latest_per_client() {
+        let mut v1 = tiny_snapshot("a");
+        v1.version = 1;
+        let mut v3 = tiny_snapshot("a");
+        v3.version = 3;
+        let b = tiny_snapshot("b");
+        let store = PolicyStore::from_snapshots(vec![v1, v3, b]).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.clients(), ["a", "b"]);
+        assert_eq!(store.latest("a").unwrap().version, 3);
+        assert_eq!(store.get("a", 1).unwrap().version, 1);
+        assert!(store.get("a", 2).is_none());
+        assert!(store.latest("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_and_invalid_snapshots_rejected() {
+        let dup = vec![tiny_snapshot("a"), tiny_snapshot("a")];
+        assert!(matches!(PolicyStore::from_snapshots(dup), Err(FedError::Snapshot(_))));
+        let mut bad = tiny_snapshot("a");
+        bad.actor_params.pop();
+        assert!(PolicyStore::from_snapshots(vec![bad]).is_err());
+    }
+
+    #[test]
+    fn blob_roundtrip_builds_identical_store() {
+        let snaps = [tiny_snapshot("a"), tiny_snapshot("b")];
+        let blobs: Vec<Vec<u8>> = snaps.iter().map(|s| s.to_bytes()).collect();
+        let store = PolicyStore::from_blobs(blobs.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("a", snaps[0].version).unwrap().actor_params, snaps[0].actor_params);
+        assert!(PolicyStore::from_blobs([b"junk".as_slice()]).is_err());
+    }
+}

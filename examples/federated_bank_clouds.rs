@@ -12,8 +12,8 @@
 //! cargo run --release --example federated_bank_clouds
 //! ```
 
-use pfrl_dm::experiment::{run_federation, Algorithm, TrainedFederation};
-use pfrl_dm::fed::FedConfig;
+use pfrl_dm::experiment::{run_federation, Algorithm};
+use pfrl_dm::fed::{FedConfig, PfrlDmRunner};
 use pfrl_dm::presets::{table2_clients, TABLE2_DIMS};
 use pfrl_dm::rl::PpoConfig;
 use pfrl_dm::sim::EnvConfig;
@@ -55,8 +55,9 @@ fn main() {
         results[1].1.final_mean(15)
     );
 
-    // Inspect the last round's attention weights: who listened to whom.
-    if let (_, _, TrainedFederation::PfrlDm(runner)) = &results[0] {
+    // Inspect the last round's attention weights: who listened to whom
+    // (algorithm-specific state, so reach past the uniform trait).
+    if let Some(runner) = results[0].2.downcast_ref::<PfrlDmRunner>() {
         if let Some(w) = runner.weight_history.last() {
             let round = runner.weight_history.len();
             let participants = &runner.participant_history[round - 1];

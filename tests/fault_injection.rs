@@ -2,9 +2,7 @@
 //! fault injection, partial-participation aggregation, update quarantine,
 //! and checkpoint/kill/resume — across all four runners.
 
-use pfrl_core::experiment::{
-    run_federation_resumable, Algorithm, CheckpointConfig, TrainedFederation,
-};
+use pfrl_core::experiment::{run_federation_resumable, Algorithm, CheckpointConfig};
 use pfrl_fed::{
     ClientSetup, FaultPlan, FedAvgRunner, FedConfig, IndependentRunner, MfpoRunner, PfrlDmRunner,
     QuarantinePolicy, TrainingCurves,
@@ -198,7 +196,7 @@ fn checkpoint_refuses_mismatched_federation() {
     let other = FedConfig { seed: 99, ..fed(4, false) };
     let mut b = FedAvgRunner::new(setups(3), d, e, p, other);
     let err = b.restore_checkpoint(&bytes).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(matches!(err, pfrl_fed::FedError::Checkpoint(_)), "got {err:?}");
     // Garbage is rejected up front.
     assert!(b.restore_checkpoint(b"garbage").is_err());
 }
@@ -227,11 +225,9 @@ fn resumable_driver_checkpoints_and_restores_on_disk() {
     // First invocation trains from scratch and leaves a checkpoint behind.
     let (curves_a, fed_a) = run();
     assert!(path.exists(), "checkpoint not persisted");
-    if let TrainedFederation::FedAvg(r) = &fed_a {
-        assert_eq!(r.rounds_done(), 2);
-    } else {
-        panic!("wrong federation kind");
-    }
+    assert_eq!(fed_a.algorithm(), Algorithm::FedAvg);
+    let r = fed_a.downcast_ref::<FedAvgRunner>().expect("wrong federation kind");
+    assert_eq!(r.rounds_done(), 2);
     // Second invocation restores the final checkpoint, skips all completed
     // rounds, and reproduces the identical curves (the post-round leftover
     // episodes replay deterministically from the restored cursors).

@@ -71,7 +71,7 @@ fn all_four_algorithms_complete_a_federation_and_evaluate() {
         // Evaluate every client on a foreign workload through the API.
         let foreign = DatasetId::K8s.model().sample(25, 99);
         for i in 0..trained.n_clients() {
-            let m = trained.evaluate_client(i, foreign.clone());
+            let m = trained.evaluate_client(i, &foreign);
             assert_eq!(m.tasks_placed + m.tasks_unplaced, 25, "{alg} client {i}");
         }
     }

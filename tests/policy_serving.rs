@@ -1,0 +1,121 @@
+//! End-to-end fidelity of the serving plane: for every federation
+//! algorithm, a policy exported through the snapshot wire format and
+//! served by `pfrl-serve` must reproduce the trainer's greedy decisions
+//! bit for bit — equal episode metrics on the same task set imply the
+//! identical decision sequence, since the environment is deterministic.
+
+use pfrl_core::experiment::{run_federation, Algorithm};
+use pfrl_core::fed::FedConfig;
+use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::serve::{DecisionService, PolicyStore, ServeConfig, ServeError, Session};
+use pfrl_core::sim::EnvConfig;
+use pfrl_core::workloads::DatasetId;
+
+fn tiny_fed(seed: u64) -> FedConfig {
+    FedConfig {
+        episodes: 2,
+        comm_every: 1,
+        participation_k: 2,
+        tasks_per_episode: Some(12),
+        seed,
+        parallel: false,
+    }
+}
+
+/// The tentpole guarantee: train → export → serialize → load → serve
+/// reproduces the in-memory agent's greedy evaluation exactly, for all
+/// four algorithms and every client.
+#[test]
+fn served_decisions_match_trained_agents_bit_for_bit() {
+    let eval_tasks = DatasetId::Google.model().sample(30, 77);
+    for alg in Algorithm::ALL {
+        let (_, mut trained) = run_federation(
+            alg,
+            table2_clients(40, 6),
+            TABLE2_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            tiny_fed(6),
+        );
+        let blobs: Vec<Vec<u8>> = trained.policy_snapshots().iter().map(|s| s.to_bytes()).collect();
+        let store = PolicyStore::from_blobs(blobs.iter().map(Vec::as_slice))
+            .unwrap_or_else(|e| panic!("{alg}: snapshots must load: {e}"));
+        assert_eq!(store.len(), trained.n_clients(), "{alg}");
+
+        for (i, name) in trained.client_names().iter().enumerate() {
+            let expected = trained.evaluate_client(i, &eval_tasks);
+            let snap = store.latest(name).unwrap_or_else(|| panic!("{alg}: no snapshot {name}"));
+            assert_eq!(snap.algorithm, alg.name(), "{alg}/{name}");
+            let mut session = Session::new(snap).expect("validated snapshot");
+            let served = session.run_episode(&eval_tasks);
+            assert_eq!(served, expected, "{alg}/{name}: served decisions diverge from trainer");
+        }
+    }
+}
+
+/// The same fidelity holds through the batched front end: submitting and
+/// draining via `DecisionService` is just a scheduled way of calling the
+/// same session decide path.
+#[test]
+fn batched_service_preserves_decision_fidelity() {
+    let eval_tasks = DatasetId::K8s.model().sample(25, 41);
+    let (_, mut trained) = run_federation(
+        Algorithm::PfrlDm,
+        table2_clients(40, 8),
+        TABLE2_DIMS,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        tiny_fed(8),
+    );
+    let expected = trained.evaluate_client(0, &eval_tasks);
+    let name = trained.client_names()[0].clone();
+
+    let store = PolicyStore::from_snapshots(trained.policy_snapshots()).unwrap();
+    let mut svc = DecisionService::new(store, ServeConfig { queue_capacity: 8, max_batch: 4 });
+    let id = svc.open_session(&name).unwrap();
+    svc.begin_episode(id, &eval_tasks).unwrap();
+    'serve: loop {
+        for _ in 0..4 {
+            match svc.submit(id) {
+                Ok(()) => {}
+                Err(ServeError::Overloaded { .. }) => break,
+                Err(e) => panic!("unexpected serve error: {e}"),
+            }
+        }
+        for (_, d) in svc.decide_batch() {
+            if d.done {
+                break 'serve;
+            }
+        }
+    }
+    let served = svc.session(id).unwrap().metrics();
+    assert_eq!(served, expected, "batched serving diverged from trainer");
+}
+
+/// Version bookkeeping survives the wire: a later export of the same
+/// client coexists with the earlier one and `latest` resolves it.
+#[test]
+fn reexported_policies_version_monotonically() {
+    let (_, trained) = run_federation(
+        Algorithm::FedAvg,
+        table2_clients(40, 9),
+        TABLE2_DIMS,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        tiny_fed(9),
+    );
+    let early = trained.policy_snapshots();
+    // A "later" export: same clients, higher training cursor.
+    let mut late = trained.policy_snapshots();
+    for s in &mut late {
+        s.version += 100;
+    }
+    let all: Vec<_> = early.iter().chain(late.iter()).cloned().collect();
+    let store = PolicyStore::from_snapshots(all).unwrap();
+    assert_eq!(store.len(), 2 * trained.n_clients());
+    for name in trained.client_names() {
+        let latest = store.latest(&name).unwrap();
+        assert_eq!(latest.version, early.iter().find(|s| s.client == name).unwrap().version + 100);
+    }
+}

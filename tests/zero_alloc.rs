@@ -11,8 +11,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pfrl_core::fed::PolicySnapshot;
 use pfrl_core::nn::{Activation, Mlp};
 use pfrl_core::rl::{policy, DualCriticAgent, PpoAgent, PpoConfig};
+use pfrl_core::serve::Session;
 use pfrl_core::sim::{Action, CloudEnv, EnvConfig, EnvDims, VmSpec};
 use pfrl_core::workloads::DatasetId;
 use rand::rngs::SmallRng;
@@ -148,5 +150,44 @@ fn hot_paths_are_allocation_free_after_warmup() {
         (calls, bytes),
         (0, 0),
         "greedy inference allocated {calls} times / {bytes} bytes after warmup"
+    );
+
+    // Steady-state serving: a `pfrl-serve` Session's decide loop over a
+    // full episode. Scratch lives in the crate's thread-local pool, so
+    // after one warmup episode (and the `begin_episode` task copy, which
+    // stays outside the measured region) each decision allocates nothing.
+    let mut rng = SmallRng::seed_from_u64(8);
+    let hidden = PpoConfig::default().hidden;
+    let serve_actor =
+        Mlp::new(&[dims.state_dim(), hidden, dims.action_dim()], Activation::Tanh, &mut rng);
+    let snapshot = PolicySnapshot {
+        algorithm: "PFRL-DM".into(),
+        client: "steady".into(),
+        version: 1,
+        dims,
+        env_cfg: EnvConfig::default(),
+        vms: vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+        hidden,
+        mask_actions: true,
+        actor_params: serve_actor.flat_params(),
+    };
+    let mut session = Session::new(&snapshot).expect("snapshot instantiates");
+    session.begin_episode(&tasks);
+    while !session.decide().done {}
+
+    session.begin_episode(&tasks);
+    let (calls, bytes, decisions) = count_allocs(|| {
+        let mut n = 1usize;
+        while !session.decide().done {
+            n += 1;
+        }
+        n
+    });
+    assert!(decisions > 0, "serving episode made no decisions");
+    assert!(session.metrics().tasks_placed > 0, "serving episode placed no tasks");
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "serve Session::decide allocated {calls} times / {bytes} bytes after warmup"
     );
 }
