@@ -1,0 +1,68 @@
+//! The CI learning-regression gate: runs the multi-seed evaluation matrix
+//! at a fixed-seed quick scale, writes `RESULTS.json` / `RESULTS.md`, and
+//! exits nonzero if any directional invariant is violated.
+//!
+//! * `PFRL_SCALE=paper` switches to the heavy publication scale.
+//! * `PFRL_EVAL_SEEDS=N` overrides the replication count (≥ 2).
+//! * `PFRL_EVAL_OUT=dir` redirects the output directory (default
+//!   `results/eval`).
+
+use pfrl_bench::set_run_seed;
+use pfrl_core::experiment::federation_manifest;
+use pfrl_eval::{check_invariants, run_matrix, EvalConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut cfg = match std::env::var("PFRL_SCALE").as_deref() {
+        Ok("paper") => EvalConfig::paper(),
+        _ => EvalConfig::quick(),
+    };
+    if let Ok(n) = std::env::var("PFRL_EVAL_SEEDS") {
+        cfg.n_seeds = n.parse().expect("PFRL_EVAL_SEEDS must be an integer");
+    }
+    cfg.validate();
+    set_run_seed(cfg.root_seed);
+    let out_dir =
+        PathBuf::from(std::env::var("PFRL_EVAL_OUT").unwrap_or_else(|_| "results/eval".into()));
+
+    eprintln!(
+        "# eval_gate — scale: {}, {} algorithms × {} families × {} seeds (set PFRL_SCALE=paper for full scale)",
+        cfg.scale,
+        cfg.algorithms.len(),
+        cfg.families.len(),
+        cfg.n_seeds
+    );
+
+    let t0 = std::time::Instant::now();
+    let report = run_matrix(&cfg);
+    eprintln!("# matrix done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let (json, md) = report.write_to(&out_dir).expect("write RESULTS");
+    // Provenance manifest next to the results (seed + full config hash).
+    let manifest = federation_manifest(
+        "eval_gate",
+        pfrl_core::experiment::Algorithm::PfrlDm,
+        cfg.families[0].dims(),
+        &cfg.env_cfg(),
+        &cfg.ppo_cfg(),
+        &cfg.fed_cfg(cfg.root_seed),
+    );
+    if let Err(e) = manifest.write_next_to(&json) {
+        eprintln!("# warning: could not write manifest: {e}");
+    }
+    eprintln!("# wrote {} and {}", json.display(), md.display());
+
+    // Print the summary tables to stderr for the CI log.
+    eprint!("{}", report.to_markdown());
+
+    let violations = check_invariants(&report);
+    if violations.is_empty() {
+        eprintln!("\n# GATE PASS: all directional invariants hold");
+    } else {
+        eprintln!("\n# GATE FAIL: {} violation(s)", violations.len());
+        for v in &violations {
+            eprintln!("#   - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -53,3 +53,4 @@ pub use pfrl_workloads as workloads;
 pub mod csv;
 pub mod experiment;
 pub mod presets;
+pub mod replicate;

@@ -1,0 +1,208 @@
+//! `pfrl-eval` — the multi-seed statistical replication harness.
+//!
+//! Single-seed reward curves say almost nothing: the variance across seeds
+//! dwarfs most algorithm gaps at small scale. This crate runs the full
+//! algorithm × workload-family matrix over `R` independent replications
+//! (fanned over the rayon pool via [`pfrl_core::replicate`]), reduces every
+//! (algorithm, family, metric) cell into a bootstrap confidence interval,
+//! runs paired Wilcoxon signed-rank tests of PFRL-DM against each baseline
+//! (Holm-corrected across the whole family of tests), and checks the
+//! directional invariants a learning-regression gate can fail CI on:
+//!
+//! 1. PFRL-DM's final-window reward is at least FedAvg's on the
+//!    heterogeneous split (the paper's central claim, Sec. 5.2);
+//! 2. every trained algorithm beats blind random dispatch on held-out
+//!    episode reward (an untrained-policy regression detector — uniform
+//!    logits are exactly blind dispatch);
+//! 3. no curve or metric in the whole matrix is NaN/infinite.
+//!
+//! The `eval_gate` binary in `pfrl-bench` drives [`run_matrix`] +
+//! [`check_invariants`] at a fixed-seed quick scale and exits nonzero on
+//! any violation; `RESULTS.json` / `RESULTS.md` carry the full evidence.
+//!
+//! # Pairing discipline
+//!
+//! Replication `r` of every algorithm uses the *same* derived seed
+//! (`replication_seed(family_root, r)`), and each replication's client
+//! setups and held-out test sets are a pure function of that seed — so at
+//! fixed `r` all algorithms see identical task pools, fleets, and test
+//! tasks. That is what makes the per-replication differences paired and
+//! the Wilcoxon test valid.
+
+pub mod family;
+pub mod gate;
+pub mod matrix;
+pub mod report;
+
+pub use family::WorkloadFamily;
+pub use gate::check_invariants;
+pub use matrix::{run_matrix, Cell, EvalReport, Metric, PairedComparison, RandomBaseline};
+
+use pfrl_core::experiment::Algorithm;
+use pfrl_core::fed::FedConfig;
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::EnvConfig;
+
+/// Everything one matrix run needs: which cells to fill, how many seeds,
+/// and the training/eval scales.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Algorithms down the rows (the gate needs at least PFRL-DM + FedAvg).
+    pub algorithms: Vec<Algorithm>,
+    /// Workload families across the columns.
+    pub families: Vec<WorkloadFamily>,
+    /// Independent replications per (algorithm, family) cell (≥ 2; the CI
+    /// gate uses ≥ 5).
+    pub n_seeds: usize,
+    /// Root seed; every replication seed derives from it through the
+    /// labeled `family`/`replication` streams.
+    pub root_seed: u64,
+    /// Tasks sampled per client before the 60/40 train/test split.
+    pub samples: usize,
+    /// Arrival-time compression factor (arrivals divided by this; ≥ 1).
+    /// Densifies load so placement decisions are visible — see
+    /// [`WorkloadFamily::replication`].
+    pub arrival_compression: u64,
+    /// Training episodes per client.
+    pub episodes: usize,
+    /// Local episodes between aggregation rounds.
+    pub comm_every: usize,
+    /// Clients aggregated per round.
+    pub participation_k: usize,
+    /// Tasks per training episode (`None` = full pool).
+    pub tasks_per_episode: Option<usize>,
+    /// Final-window length (episodes) for the converged-reward metric.
+    pub final_window: usize,
+    /// Bootstrap resamples per confidence interval.
+    pub resamples: usize,
+    /// Two-sided CI confidence level (e.g. 0.95).
+    pub confidence: f64,
+    /// Fan replications over the rayon pool.
+    pub parallel: bool,
+    /// Scale label stamped into the report ("quick" / "paper").
+    pub scale: &'static str,
+}
+
+impl EvalConfig {
+    /// The deterministic CI-gate scale: 5 seeds, tiny clients, minutes of
+    /// wall-clock in release mode.
+    pub fn quick() -> Self {
+        Self {
+            algorithms: Algorithm::ALL.to_vec(),
+            families: WorkloadFamily::ALL.to_vec(),
+            n_seeds: 5,
+            root_seed: 0x5EED_2026,
+            samples: 120,
+            arrival_compression: 8,
+            episodes: 30,
+            comm_every: 5,
+            participation_k: 2,
+            tasks_per_episode: Some(12),
+            final_window: 10,
+            resamples: 2000,
+            confidence: 0.95,
+            parallel: true,
+            scale: "quick",
+        }
+    }
+
+    /// The publication scale: more seeds, longer training, tighter
+    /// intervals. Expect hours of CPU.
+    pub fn paper() -> Self {
+        Self {
+            algorithms: Algorithm::ALL.to_vec(),
+            families: WorkloadFamily::ALL.to_vec(),
+            n_seeds: 10,
+            root_seed: 0x5EED_2026,
+            samples: 700,
+            arrival_compression: 8,
+            episodes: 160,
+            comm_every: 20,
+            participation_k: 2,
+            tasks_per_episode: Some(50),
+            final_window: 30,
+            resamples: 10_000,
+            confidence: 0.95,
+            parallel: true,
+            scale: "paper",
+        }
+    }
+
+    /// The federation schedule for one replication at this scale.
+    pub fn fed_cfg(&self, seed: u64) -> FedConfig {
+        FedConfig {
+            episodes: self.episodes,
+            comm_every: self.comm_every,
+            participation_k: self.participation_k,
+            tasks_per_episode: self.tasks_per_episode,
+            seed,
+            parallel: false, // replications own the pool
+        }
+    }
+
+    /// Environment options (paper defaults).
+    pub fn env_cfg(&self) -> EnvConfig {
+        EnvConfig::default()
+    }
+
+    /// Agent hyperparameters: paper defaults, but with invalid-action
+    /// masking enabled. With the paper's penalty mechanism (masking off),
+    /// an under-trained greedy policy can sink whole episodes into
+    /// infeasible placements, so the "beats random dispatch" invariant
+    /// would measure penalty-avoidance convergence rather than scheduling
+    /// quality; masking removes that failure mode at train *and* eval time
+    /// and gives the gate a robust directional signal at quick scale.
+    pub fn ppo_cfg(&self) -> PpoConfig {
+        PpoConfig { mask_invalid_actions: true, ..PpoConfig::default() }
+    }
+
+    /// Panics on configurations the matrix cannot run.
+    pub fn validate(&self) {
+        assert!(self.n_seeds >= 2, "need >= 2 seeds for paired statistics");
+        assert!(!self.algorithms.is_empty(), "no algorithms selected");
+        assert!(!self.families.is_empty(), "no workload families selected");
+        assert!(self.final_window >= 1, "final_window must be >= 1");
+        assert!(self.arrival_compression >= 1, "arrival_compression must be >= 1");
+        assert!(self.resamples >= 1, "resamples must be >= 1");
+        assert!(
+            self.confidence > 0.0 && self.confidence < 1.0,
+            "confidence {} outside (0, 1)",
+            self.confidence
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_valid_and_gate_sized() {
+        let q = EvalConfig::quick();
+        q.validate();
+        assert!(q.n_seeds >= 5, "the CI gate promises >= 5 seeds");
+        assert_eq!(q.scale, "quick");
+        assert_eq!(q.algorithms.len(), 4);
+        assert_eq!(q.families.len(), 2);
+    }
+
+    #[test]
+    fn paper_config_is_strictly_heavier() {
+        let q = EvalConfig::quick();
+        let p = EvalConfig::paper();
+        p.validate();
+        assert!(p.n_seeds > q.n_seeds);
+        assert!(p.samples > q.samples);
+        assert!(p.episodes > q.episodes);
+        assert!(p.resamples > q.resamples);
+        // Same root seed: paper runs extend, not replace, the quick seeds.
+        assert_eq!(p.root_seed, q.root_seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "need >= 2 seeds")]
+    fn single_seed_rejected() {
+        let cfg = EvalConfig { n_seeds: 1, ..EvalConfig::quick() };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,491 @@
+//! The replication matrix: every (algorithm, family) cell trained over `R`
+//! seeds, reduced to per-metric bootstrap CIs and paired significance
+//! tests.
+
+use crate::family::WorkloadFamily;
+use crate::EvalConfig;
+use pfrl_core::experiment::Algorithm;
+use pfrl_core::replicate::{replication_seed, run_replications, ReplicationSpec};
+use pfrl_core::sim::{run_heuristic, CloudEnv, HeuristicPolicy};
+use pfrl_core::stats::{
+    bootstrap_mean_ci, holm_adjust, wilcoxon_signed_rank, BootstrapCi, SeedStream,
+};
+
+/// The four reduced metrics of the comparison tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Mean training reward over the final window (convergence level;
+    /// higher is better).
+    FinalReward,
+    /// Mean episode reward of greedy evaluation on the held-out test sets
+    /// (higher is better). This is the gate's "beats random dispatch"
+    /// metric: the environment scores random dispatch with the identical
+    /// reward function, and unlike response time it stays discriminative
+    /// even when the fleets are underloaded and every placement is
+    /// near-immediate.
+    TestReward,
+    /// Mean response time of greedy evaluation on the held-out test sets
+    /// (steps; lower is better).
+    MeanResponse,
+    /// Mean load-balance measure on the held-out test sets (lower is
+    /// better).
+    LoadBalance,
+}
+
+impl Metric {
+    /// All metrics, in table column order.
+    pub const ALL: [Metric; 4] =
+        [Metric::FinalReward, Metric::TestReward, Metric::MeanResponse, Metric::LoadBalance];
+
+    /// Stable identifier used in JSON and seeds.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::FinalReward => "final_reward",
+            Metric::TestReward => "test_reward",
+            Metric::MeanResponse => "mean_response",
+            Metric::LoadBalance => "load_balance",
+        }
+    }
+
+    /// Whether smaller values win (response and load balance) or larger
+    /// (rewards).
+    pub fn lower_is_better(self) -> bool {
+        !matches!(self, Metric::FinalReward | Metric::TestReward)
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One (algorithm, family, metric) cell: the per-replication values in
+/// replication order, plus their bootstrap CI (absent when any value is
+/// non-finite — the gate turns that into a violation rather than a panic).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Row.
+    pub algorithm: Algorithm,
+    /// Column.
+    pub family: WorkloadFamily,
+    /// Which reduced measure.
+    pub metric: Metric,
+    /// One value per replication, in replication order.
+    pub values: Vec<f64>,
+    /// Bootstrap CI of the mean; `None` if the values contain NaN/inf.
+    pub ci: Option<BootstrapCi>,
+}
+
+impl Cell {
+    /// Sample mean over finite values (NaN if none are finite).
+    pub fn mean(&self) -> f64 {
+        let finite: Vec<f64> = self.values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        }
+    }
+}
+
+/// Random-dispatch reference per family: the same per-replication reduction
+/// (mean over clients of the held-out episode metric) under *blind* random
+/// dispatch — uniform over the entire action space, feasibility unchecked,
+/// penalties and all. That is what an untrained policy's uniform logits do,
+/// so it is the floor a learning regression sinks a trained agent toward.
+/// (Feasibility-aware random is near reward-optimal on underloaded fleets —
+/// no trained policy could be required to beat it, so it would make a
+/// useless gate reference.)
+#[derive(Debug, Clone)]
+pub struct RandomBaseline {
+    /// Which family these references belong to.
+    pub family: WorkloadFamily,
+    /// Mean episode reward per replication.
+    pub reward: Vec<f64>,
+    /// Mean response time per replication.
+    pub response: Vec<f64>,
+    /// Mean load balance per replication.
+    pub load_balance: Vec<f64>,
+}
+
+impl RandomBaseline {
+    /// Mean episode reward across replications.
+    pub fn reward_mean(&self) -> f64 {
+        self.reward.iter().sum::<f64>() / self.reward.len() as f64
+    }
+
+    /// Mean response time across replications.
+    pub fn response_mean(&self) -> f64 {
+        self.response.iter().sum::<f64>() / self.response.len() as f64
+    }
+}
+
+/// One paired Wilcoxon test: PFRL-DM against `baseline` on a
+/// (family, metric) cell pair, with the Holm-adjusted p-value over the
+/// whole family of tests in the report.
+#[derive(Debug, Clone)]
+pub struct PairedComparison {
+    /// Column the pair was measured on.
+    pub family: WorkloadFamily,
+    /// Metric compared.
+    pub metric: Metric,
+    /// The non-PFRL-DM side of the pair.
+    pub baseline: Algorithm,
+    /// Mean of (PFRL-DM − baseline) over replications.
+    pub mean_diff: f64,
+    /// Raw two-sided Wilcoxon p-value.
+    pub p_raw: f64,
+    /// Holm–Bonferroni adjusted p-value (across all tests in the report).
+    pub p_holm: f64,
+    /// Non-zero differences the test actually ranked.
+    pub n_used: usize,
+}
+
+/// Everything one matrix run produced; serialized by [`crate::report`].
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Scale label ("quick" / "paper").
+    pub scale: String,
+    /// Root seed the whole matrix derives from.
+    pub root_seed: u64,
+    /// Replications per cell.
+    pub n_seeds: usize,
+    /// CI confidence level.
+    pub confidence: f64,
+    /// Bootstrap resamples per CI.
+    pub resamples: usize,
+    /// All (algorithm, family, metric) cells.
+    pub cells: Vec<Cell>,
+    /// Random-dispatch references, one per family.
+    pub random: Vec<RandomBaseline>,
+    /// PFRL-DM vs baseline paired tests (empty if PFRL-DM not in the run).
+    pub comparisons: Vec<PairedComparison>,
+    /// Human-readable descriptions of every non-finite value found.
+    pub nan_findings: Vec<String>,
+}
+
+impl EvalReport {
+    /// Looks up one cell.
+    pub fn cell(
+        &self,
+        algorithm: Algorithm,
+        family: WorkloadFamily,
+        metric: Metric,
+    ) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.algorithm == algorithm && c.family == family && c.metric == metric)
+    }
+
+    /// The random-dispatch reference for `family`.
+    pub fn random_for(&self, family: WorkloadFamily) -> Option<&RandomBaseline> {
+        self.random.iter().find(|r| r.family == family)
+    }
+
+    /// Families present, in first-appearance order.
+    pub fn families(&self) -> Vec<WorkloadFamily> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.family) {
+                out.push(c.family);
+            }
+        }
+        out
+    }
+
+    /// Algorithms present, in first-appearance order.
+    pub fn algorithms(&self) -> Vec<Algorithm> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.algorithm) {
+                out.push(c.algorithm);
+            }
+        }
+        out
+    }
+}
+
+/// Per-replication reduced values for one (algorithm, family) cell, one
+/// `Vec` per [`Metric::ALL`] entry.
+type MetricValues = [Vec<f64>; 4];
+
+/// Runs the full matrix and reduces it. Deterministic in
+/// `cfg.root_seed` — thread counts, cell order, and `parallel` do not
+/// change a single bit of the output.
+pub fn run_matrix(cfg: &EvalConfig) -> EvalReport {
+    cfg.validate();
+    let mut cells = Vec::new();
+    let mut random = Vec::new();
+    let mut nan_findings = Vec::new();
+    // (family, metric, baseline, mean_diff, p_raw, n_used), Holm-adjusted
+    // jointly at the end.
+    let mut raw_tests: Vec<(WorkloadFamily, Metric, Algorithm, f64, f64, usize)> = Vec::new();
+
+    for &family in &cfg.families {
+        let family_root = family_root_seed(cfg.root_seed, family);
+        random.push(random_baseline(cfg, family, family_root));
+
+        let mut per_alg: Vec<(Algorithm, MetricValues)> = Vec::new();
+        for &alg in &cfg.algorithms {
+            let values = cell_values(cfg, family, family_root, alg, &mut nan_findings);
+            per_alg.push((alg, values));
+        }
+
+        for (alg, values) in &per_alg {
+            for (mi, metric) in Metric::ALL.into_iter().enumerate() {
+                let vals = values[mi].clone();
+                let ci = if vals.iter().all(|v| v.is_finite()) {
+                    let boot_seed = SeedStream::new(cfg.root_seed)
+                        .child("bootstrap")
+                        .child(family.name())
+                        .child(alg.name())
+                        .child(metric.name())
+                        .seed();
+                    Some(bootstrap_mean_ci(&vals, cfg.resamples, cfg.confidence, boot_seed))
+                } else {
+                    nan_findings.push(format!(
+                        "{}/{family}/{metric}: non-finite replication value",
+                        alg.name()
+                    ));
+                    None
+                };
+                cells.push(Cell { algorithm: *alg, family, metric, values: vals, ci });
+            }
+        }
+
+        // Paired tests: PFRL-DM against every other algorithm in the run.
+        if let Some((_, pfrl_values)) = per_alg.iter().find(|(a, _)| *a == Algorithm::PfrlDm) {
+            for (alg, values) in per_alg.iter().filter(|(a, _)| *a != Algorithm::PfrlDm) {
+                for (mi, metric) in Metric::ALL.into_iter().enumerate() {
+                    let a = &pfrl_values[mi];
+                    let b = &values[mi];
+                    if !a.iter().chain(b).all(|v| v.is_finite()) {
+                        continue; // already recorded as a NaN finding
+                    }
+                    let mean_diff = a.iter().sum::<f64>() / a.len() as f64
+                        - b.iter().sum::<f64>() / b.len() as f64;
+                    let (p_raw, n_used) = if a.iter().zip(b).all(|(x, y)| x == y) {
+                        (1.0, 0) // identical samples: no evidence either way
+                    } else {
+                        let w = wilcoxon_signed_rank(a, b);
+                        (w.p_value, w.n_used)
+                    };
+                    raw_tests.push((family, metric, *alg, mean_diff, p_raw, n_used));
+                }
+            }
+        }
+    }
+
+    let adjusted = holm_adjust(&raw_tests.iter().map(|t| t.4).collect::<Vec<f64>>());
+    let comparisons =
+        raw_tests
+            .into_iter()
+            .zip(adjusted)
+            .map(|((family, metric, baseline, mean_diff, p_raw, n_used), p_holm)| {
+                PairedComparison { family, metric, baseline, mean_diff, p_raw, p_holm, n_used }
+            })
+            .collect();
+
+    EvalReport {
+        scale: cfg.scale.to_string(),
+        root_seed: cfg.root_seed,
+        n_seeds: cfg.n_seeds,
+        confidence: cfg.confidence,
+        resamples: cfg.resamples,
+        cells,
+        random,
+        comparisons,
+        nan_findings,
+    }
+}
+
+/// The root seed of one family's replication axis — a labeled branch so
+/// families never share replication seeds with each other or with any
+/// per-client stream.
+fn family_root_seed(root: u64, family: WorkloadFamily) -> u64 {
+    SeedStream::new(root).child("family").child(family.name()).seed()
+}
+
+/// Trains `cfg.n_seeds` replications of `alg` on `family` and reduces each
+/// into the three metrics.
+fn cell_values(
+    cfg: &EvalConfig,
+    family: WorkloadFamily,
+    family_root: u64,
+    alg: Algorithm,
+    nan_findings: &mut Vec<String>,
+) -> MetricValues {
+    let samples = cfg.samples;
+    let compression = cfg.arrival_compression;
+    let env_cfg = cfg.env_cfg();
+    let ppo_cfg = cfg.ppo_cfg();
+    let mut reps = run_replications(alg, cfg.n_seeds, family_root, cfg.parallel, |seed, _rep| {
+        let fr = family.replication(samples, compression, seed);
+        ReplicationSpec {
+            setups: fr.setups,
+            dims: fr.dims,
+            env_cfg,
+            ppo_cfg,
+            fed_cfg: cfg.fed_cfg(seed),
+        }
+    });
+
+    let mut finals = Vec::with_capacity(reps.len());
+    let mut rewards = Vec::with_capacity(reps.len());
+    let mut responses = Vec::with_capacity(reps.len());
+    let mut balances = Vec::with_capacity(reps.len());
+    for r in &mut reps {
+        if r.curves.per_client.iter().flatten().any(|v| !v.is_finite()) {
+            nan_findings.push(format!(
+                "{}/{family}: non-finite training reward in replication {}",
+                alg.name(),
+                r.rep
+            ));
+        }
+        finals.push(r.curves.final_mean(cfg.final_window));
+
+        // Greedy evaluation on the held-out test sets (rebuilt from the
+        // replication seed — identical to the sets the random baseline and
+        // every other algorithm see at this rep).
+        let fr = family.replication(samples, compression, r.seed);
+        let mut reward_sum = 0.0;
+        let mut resp_sum = 0.0;
+        let mut bal_sum = 0.0;
+        let mut counted = 0usize;
+        for (k, test) in fr.test_sets.iter().enumerate() {
+            let m = r.federation.evaluate_client(k, test);
+            if m.tasks_placed == 0 {
+                nan_findings.push(format!(
+                    "{}/{family}: client {k} placed zero test tasks in replication {}",
+                    alg.name(),
+                    r.rep
+                ));
+                continue;
+            }
+            reward_sum += m.total_reward;
+            resp_sum += m.avg_response;
+            bal_sum += m.avg_load_balance;
+            counted += 1;
+        }
+        if counted > 0 {
+            rewards.push(reward_sum / counted as f64);
+            responses.push(resp_sum / counted as f64);
+            balances.push(bal_sum / counted as f64);
+        } else {
+            rewards.push(f64::NAN);
+            responses.push(f64::NAN);
+            balances.push(f64::NAN);
+        }
+    }
+    [finals, rewards, responses, balances]
+}
+
+/// The random-dispatch reference for one family: the same per-replication
+/// test sets, scheduled blind (uniform over the full action space).
+fn random_baseline(cfg: &EvalConfig, family: WorkloadFamily, family_root: u64) -> RandomBaseline {
+    let mut reward = Vec::with_capacity(cfg.n_seeds);
+    let mut response = Vec::with_capacity(cfg.n_seeds);
+    let mut load_balance = Vec::with_capacity(cfg.n_seeds);
+    for rep in 0..cfg.n_seeds {
+        let seed = replication_seed(family_root, rep);
+        let fr = family.replication(cfg.samples, cfg.arrival_compression, seed);
+        let mut reward_sum = 0.0;
+        let mut resp_sum = 0.0;
+        let mut bal_sum = 0.0;
+        for (k, test) in fr.test_sets.iter().enumerate() {
+            let mut env = CloudEnv::new(fr.dims, fr.setups[k].vms.clone(), cfg.env_cfg());
+            env.reset(test.clone());
+            let policy_seed = SeedStream::new(seed).child("random-dispatch").index(k as u64).seed();
+            let m = run_heuristic(&mut env, HeuristicPolicy::BlindRandom, policy_seed);
+            reward_sum += m.total_reward;
+            resp_sum += m.avg_response;
+            bal_sum += m.avg_load_balance;
+        }
+        reward.push(reward_sum / fr.test_sets.len() as f64);
+        response.push(resp_sum / fr.test_sets.len() as f64);
+        load_balance.push(bal_sum / fr.test_sets.len() as f64);
+    }
+    RandomBaseline { family, reward, response, load_balance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-seed micro-matrix over one family and two algorithms —
+    /// exercises the full reduction path in a few seconds.
+    fn micro_cfg() -> EvalConfig {
+        EvalConfig {
+            algorithms: vec![Algorithm::PfrlDm, Algorithm::FedAvg],
+            families: vec![WorkloadFamily::Heterogeneous],
+            n_seeds: 2,
+            samples: 40,
+            episodes: 2,
+            comm_every: 1,
+            participation_k: 2,
+            tasks_per_episode: Some(6),
+            final_window: 2,
+            resamples: 200,
+            ..EvalConfig::quick()
+        }
+    }
+
+    #[test]
+    fn micro_matrix_fills_every_cell() {
+        // At 2 training episodes the policies are essentially untrained, so
+        // a greedy eval legitimately may place zero tasks (recorded as a
+        // finding, NaN value, and missing CI) — the test checks structural
+        // consistency, not learning quality.
+        let report = run_matrix(&micro_cfg());
+        assert_eq!(report.cells.len(), 2 * Metric::ALL.len());
+        for c in &report.cells {
+            assert_eq!(c.values.len(), 2, "{}/{}/{}", c.algorithm, c.family, c.metric);
+            match &c.ci {
+                Some(ci) => {
+                    assert!(c.values.iter().all(|v| v.is_finite()));
+                    assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+                }
+                None => assert!(
+                    c.values.iter().any(|v| !v.is_finite()) && !report.nan_findings.is_empty()
+                ),
+            }
+        }
+        assert_eq!(report.random.len(), 1);
+        assert_eq!(report.random[0].response.len(), 2);
+        assert!(report.random[0].response_mean() >= 1.0);
+        // Training rewards are always finite, so the reward cells and their
+        // paired test must be present regardless of eval-time placements.
+        let reward_test = report
+            .comparisons
+            .iter()
+            .find(|t| t.metric == Metric::FinalReward)
+            .expect("final-reward comparison present");
+        assert!(reward_test.p_raw > 0.0 && reward_test.p_raw <= 1.0);
+        for t in &report.comparisons {
+            assert!(t.p_holm >= t.p_raw);
+        }
+    }
+
+    #[test]
+    fn matrix_is_deterministic_in_the_root_seed() {
+        let cfg = micro_cfg();
+        let a = run_matrix(&cfg);
+        let b = run_matrix(&cfg);
+        let c = run_matrix(&EvalConfig { parallel: false, ..cfg });
+        for ((x, y), z) in a.cells.iter().zip(&b.cells).zip(&c.cells) {
+            assert_eq!(x.values, y.values);
+            assert_eq!(x.values, z.values, "parallelism changed results");
+        }
+    }
+
+    #[test]
+    fn families_use_disjoint_replication_seeds() {
+        let het = family_root_seed(1, WorkloadFamily::Heterogeneous);
+        let iso = family_root_seed(1, WorkloadFamily::Iso);
+        assert_ne!(het, iso);
+        for rep in 0..16 {
+            assert_ne!(replication_seed(het, rep), replication_seed(iso, rep));
+        }
+    }
+}

@@ -16,6 +16,14 @@ use rand::SeedableRng;
 pub enum HeuristicPolicy {
     /// Uniform choice among feasible VMs (wait if none).
     Random,
+    /// Uniform over the *entire* action space — every VM slot (including
+    /// void ones) plus Wait, with no feasibility check. This is what an
+    /// untrained policy's uniform logits actually do, penalties and all,
+    /// which makes it the regression floor the eval gate holds trained
+    /// agents against. [`HeuristicPolicy::Random`] is feasibility-aware
+    /// and near reward-optimal on underloaded fleets, so it anchors the
+    /// top of the range instead.
+    BlindRandom,
     /// Lowest-index feasible VM.
     FirstFit,
     /// Feasible VM with the least remaining vCPUs after placement
@@ -29,6 +37,10 @@ pub enum HeuristicPolicy {
 impl HeuristicPolicy {
     /// Chooses an action for the current environment state.
     pub fn decide(self, env: &CloudEnv, rng: &mut SmallRng) -> Action {
+        if self == HeuristicPolicy::BlindRandom {
+            let a = rng.gen_range(0..env.dims().action_dim());
+            return if a == env.dims().max_vms { Action::Wait } else { Action::Vm(a) };
+        }
         let Some(head) = env.head_task() else {
             return Action::Wait;
         };
@@ -37,6 +49,7 @@ impl HeuristicPolicy {
             return Action::Wait;
         }
         match self {
+            HeuristicPolicy::BlindRandom => unreachable!("handled above"),
             HeuristicPolicy::Random => Action::Vm(feasible[rng.gen_range(0..feasible.len())]),
             HeuristicPolicy::FirstFit => Action::Vm(feasible[0]),
             HeuristicPolicy::BestFit => {
@@ -149,6 +162,28 @@ mod tests {
         let m = run_heuristic(&mut e, HeuristicPolicy::BestFit, 5);
         // 80 placements each worth > 0.5 (rho=0.5, r_res > 1, r_load > 0).
         assert!(m.total_reward > 0.0, "total reward {}", m.total_reward);
+    }
+
+    #[test]
+    fn blind_random_is_a_reward_floor() {
+        // Blind dispatch eats denial/void penalties that feasibility-aware
+        // random never sees, so on the same tasks its total reward must be
+        // strictly lower — that gap is what the eval gate's learning
+        // invariant stands on.
+        let tasks = google_tasks(80);
+        let mut e1 = env();
+        e1.reset(tasks.clone());
+        let aware = run_heuristic(&mut e1, HeuristicPolicy::Random, 21);
+        let mut e2 = env();
+        e2.reset(tasks);
+        let blind = run_heuristic(&mut e2, HeuristicPolicy::BlindRandom, 21);
+        assert!(
+            blind.total_reward < aware.total_reward,
+            "blind {} vs aware {}",
+            blind.total_reward,
+            aware.total_reward
+        );
+        assert_eq!(blind.tasks_placed + blind.tasks_unplaced, 80);
     }
 
     #[test]

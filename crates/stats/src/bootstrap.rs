@@ -1,0 +1,189 @@
+//! Bootstrap resampling for the multi-seed evaluation harness.
+//!
+//! The replication harness (`pfrl-eval`) reduces each
+//! (algorithm, workload, metric) cell — one value per independent seed —
+//! into a percentile-bootstrap confidence interval of the mean. The
+//! resampler is dependency-free and fully deterministic: resample draws
+//! come from a SplitMix64 stream seeded by the caller, so the same data
+//! and seed always produce the same interval regardless of thread count.
+
+use crate::seeding::splitmix64;
+
+/// A bootstrap confidence interval for the sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// The sample mean of the original data (not a resampled quantity).
+    pub mean: f64,
+    /// Lower percentile-bootstrap bound.
+    pub lo: f64,
+    /// Upper percentile-bootstrap bound.
+    pub hi: f64,
+    /// Confidence level the bounds correspond to (e.g. 0.95).
+    pub confidence: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+impl BootstrapCi {
+    /// Interval width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `v` lies inside the interval (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Minimal deterministic generator for resample index draws.
+struct Mix64 {
+    state: u64,
+}
+
+impl Mix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform draw in `0..n` via rejection-free multiply-shift (Lemire);
+    /// the tiny modulo bias is irrelevant at bootstrap sample sizes.
+    fn below(&mut self, n: usize) -> usize {
+        ((self.next() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `data`.
+///
+/// Draws `resamples` with-replacement resamples of the same size as
+/// `data`, computes each resample's mean, and reports the
+/// `(1±confidence)/2` percentiles of that distribution (linear
+/// interpolation). A single observation yields a degenerate interval at
+/// that value.
+///
+/// # Panics
+/// If `data` is empty or contains non-finite values, `resamples == 0`,
+/// or `confidence` is outside `(0, 1)`.
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapCi {
+    assert!(!data.is_empty(), "bootstrap_mean_ci: empty sample");
+    assert!(data.iter().all(|v| v.is_finite()), "bootstrap_mean_ci: non-finite value");
+    assert!(resamples >= 1, "bootstrap_mean_ci: need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "bootstrap_mean_ci: confidence {confidence} outside (0, 1)"
+    );
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return BootstrapCi { mean, lo: mean, hi: mean, confidence, resamples };
+    }
+
+    let mut rng = Mix64::new(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += data[rng.below(n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite resample means"));
+    let tail = (1.0 - confidence) / 2.0;
+    BootstrapCi {
+        mean,
+        lo: crate::descriptive::percentile_sorted(&means, tail * 100.0),
+        hi: crate::descriptive::percentile_sorted(&means, (1.0 - tail) * 100.0),
+        confidence,
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let data: Vec<f64> = (0..20).map(|i| (i as f64 * 0.77).sin() * 3.0).collect();
+        let a = bootstrap_mean_ci(&data, 500, 0.95, 7);
+        let b = bootstrap_mean_ci(&data, 500, 0.95, 7);
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&data, 500, 0.95, 8);
+        assert_ne!((a.lo, a.hi), (c.lo, c.hi));
+    }
+
+    #[test]
+    fn interval_brackets_the_mean_on_a_simple_sample() {
+        let data: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ci = bootstrap_mean_ci(&data, 2000, 0.95, 1);
+        assert!((ci.mean - 14.5).abs() < 1e-12);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.contains(ci.mean));
+        // For uniform 0..30 the 95% CI of the mean is a few units wide.
+        assert!(ci.width() > 1.0 && ci.width() < 14.0, "width {}", ci.width());
+    }
+
+    #[test]
+    fn constant_sample_degenerates_to_a_point() {
+        let ci = bootstrap_mean_ci(&[4.0; 12], 200, 0.9, 3);
+        assert_eq!((ci.lo, ci.mean, ci.hi), (4.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn single_observation_is_a_point_interval() {
+        let ci = bootstrap_mean_ci(&[2.5], 100, 0.95, 0);
+        assert_eq!((ci.lo, ci.mean, ci.hi), (2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn more_data_tightens_the_interval() {
+        // The same generating process with 16x the data: the CI of the mean
+        // must shrink (roughly by 4x; assert a conservative factor).
+        let small: Vec<f64> = (0..10).map(|i| ((i * 37) % 10) as f64).collect();
+        let large: Vec<f64> = (0..160).map(|i| ((i * 37) % 10) as f64).collect();
+        let ci_s = bootstrap_mean_ci(&small, 1500, 0.95, 5);
+        let ci_l = bootstrap_mean_ci(&large, 1500, 0.95, 5);
+        assert!(
+            ci_l.width() < ci_s.width() / 1.5,
+            "large {} vs small {}",
+            ci_l.width(),
+            ci_s.width()
+        );
+    }
+
+    #[test]
+    fn higher_confidence_widens_the_interval() {
+        let data: Vec<f64> = (0..25).map(|i| (i as f64 * 1.3).cos() * 5.0).collect();
+        let narrow = bootstrap_mean_ci(&data, 2000, 0.80, 11);
+        let wide = bootstrap_mean_ci(&data, 2000, 0.99, 11);
+        assert!(wide.width() > narrow.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let _ = bootstrap_mean_ci(&[], 100, 0.95, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let _ = bootstrap_mean_ci(&[1.0, f64::NAN], 100, 0.95, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_rejected() {
+        let _ = bootstrap_mean_ci(&[1.0, 2.0], 100, 1.0, 0);
+    }
+}

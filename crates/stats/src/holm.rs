@@ -1,0 +1,99 @@
+//! Holm–Bonferroni correction for families of hypothesis tests.
+//!
+//! The replication harness runs one paired test per
+//! (baseline, workload, metric) combination; reporting raw p-values over
+//! that family would inflate the false-positive rate. Holm's step-down
+//! procedure controls the family-wise error rate at least as powerfully
+//! as plain Bonferroni, with no independence assumptions.
+
+/// Holm–Bonferroni adjusted p-values, returned in the input order.
+///
+/// Sorting the p-values ascending as `p_(1) ≤ … ≤ p_(m)`, the adjusted
+/// value of `p_(i)` is `max_{j ≤ i} min(1, (m - j + 1) · p_(j))` — the
+/// running maximum enforces monotonicity so the step-down rejection rule
+/// ("reject while adjusted p ≤ α") is equivalent to the classical
+/// formulation.
+///
+/// # Panics
+/// If any p-value is NaN or outside `[0, 1]`.
+pub fn holm_adjust(p_values: &[f64]) -> Vec<f64> {
+    for &p in p_values {
+        assert!((0.0..=1.0).contains(&p), "holm_adjust: p-value {p} outside [0, 1]");
+    }
+    let m = p_values.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&i, &j| p_values[i].partial_cmp(&p_values[j]).expect("finite p-values"));
+
+    let mut adjusted = vec![0.0f64; m];
+    let mut running_max = 0.0f64;
+    for (rank, &idx) in order.iter().enumerate() {
+        let scaled = ((m - rank) as f64 * p_values[idx]).min(1.0);
+        running_max = running_max.max(scaled);
+        adjusted[idx] = running_max;
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Classic worked example: p = [0.01, 0.04, 0.03, 0.005], m = 4.
+        // Sorted: 0.005·4 = 0.02, 0.01·3 = 0.03, 0.03·2 = 0.06, 0.04·1 = 0.04
+        // → running max: 0.02, 0.03, 0.06, 0.06 (monotonicity clamps the last).
+        let adj = holm_adjust(&[0.01, 0.04, 0.03, 0.005]);
+        let expect = [0.03, 0.06, 0.06, 0.02];
+        for (a, e) in adj.iter().zip(&expect) {
+            assert!((a - e).abs() < 1e-12, "{adj:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn single_test_is_unchanged() {
+        assert_eq!(holm_adjust(&[0.07]), vec![0.07]);
+    }
+
+    #[test]
+    fn empty_family_is_empty() {
+        assert!(holm_adjust(&[]).is_empty());
+    }
+
+    #[test]
+    fn adjusted_values_are_capped_at_one() {
+        let adj = holm_adjust(&[0.9, 0.8, 0.7]);
+        assert!(adj.iter().all(|&p| p <= 1.0));
+        assert_eq!(adj, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn adjustment_never_decreases_a_p_value() {
+        let raw = [0.001, 0.2, 0.05, 0.6, 0.03];
+        let adj = holm_adjust(&raw);
+        for (r, a) in raw.iter().zip(&adj) {
+            assert!(a >= r, "{a} < {r}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_rank_order() {
+        let raw = [0.04, 0.01, 0.02, 0.03];
+        let adj = holm_adjust(&raw);
+        let mut pairs: Vec<(f64, f64)> = raw.iter().cloned().zip(adj.iter().cloned()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1), "{pairs:?}");
+    }
+
+    #[test]
+    fn ties_get_equal_adjustments() {
+        let adj = holm_adjust(&[0.02, 0.02, 0.5]);
+        assert_eq!(adj[0], adj[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_rejected() {
+        let _ = holm_adjust(&[0.5, 1.5]);
+    }
+}

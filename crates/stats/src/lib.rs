@@ -1,19 +1,24 @@
 //! Statistics for the PFRL-DM evaluation: descriptive summaries, empirical
 //! CDFs (Fig. 5), discrete divergences (Fig. 12), the Wilcoxon signed-rank
-//! test (Table 4), and deterministic seed derivation for the federated
-//! experiments.
+//! test (Table 4), bootstrap confidence intervals and Holm correction for
+//! the multi-seed replication harness, and deterministic seed derivation
+//! for the federated experiments.
 //!
 //! Everything here is dependency-free, `f64`-precision, and validated
 //! against hand-computed and textbook values in the unit tests.
 
+pub mod bootstrap;
 pub mod cdf;
 pub mod descriptive;
 pub mod divergence;
+pub mod holm;
 pub mod seeding;
 pub mod wilcoxon;
 
+pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
 pub use cdf::EmpiricalCdf;
 pub use descriptive::Summary;
 pub use divergence::{histogram, js_divergence, kl_divergence};
+pub use holm::holm_adjust;
 pub use seeding::{derive_seed, SeedStream};
 pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};

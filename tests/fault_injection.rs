@@ -63,6 +63,7 @@ fn run_with_plan(
 }
 
 #[test]
+#[ignore = "slow tier: 8 full trainings; the release-mode CI chaos step runs `--include-ignored`"]
 fn none_plan_matches_default_construction_for_all_runners() {
     let (d, e, p) = (dims(), EnvConfig::default(), PpoConfig::default());
     let f = fed(4, false);
@@ -78,6 +79,7 @@ fn none_plan_matches_default_construction_for_all_runners() {
 }
 
 #[test]
+#[ignore = "slow tier: 8 chaos trainings; the release-mode CI chaos step runs `--include-ignored`"]
 fn fault_plan_is_bit_identical_across_thread_counts() {
     // The same fault seed must replay the same schedule whether clients
     // train sequentially or on the rayon pool.
@@ -146,6 +148,7 @@ fn aggressive_quarantine_evicts_repeat_offenders() {
 /// the runner from scratch (simulating a process kill), restore, and finish
 /// — the curves must match an uninterrupted run bit-for-bit.
 #[test]
+#[ignore = "slow tier: 12 chaos trainings; the release-mode CI chaos step runs `--include-ignored`"]
 fn checkpoint_kill_resume_is_bit_identical() {
     let (d, e, p) = (dims(), EnvConfig::default(), PpoConfig::default());
     let f = fed(6, false);

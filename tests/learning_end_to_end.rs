@@ -17,6 +17,7 @@ fn mk_env() -> CloudEnv {
 }
 
 #[test]
+#[ignore = "slow tier: 160 training episodes; run via `--include-ignored` (CI scheduled job)"]
 fn ppo_and_dual_critic_both_improve() {
     let tasks = DatasetId::K8s.model().sample(25, 5);
     let d = dims();
@@ -81,6 +82,7 @@ fn all_four_algorithms_complete_a_federation_and_evaluate() {
 /// diverge, loading the FedAvg-averaged critic must not *improve* the mean
 /// local critic loss (it typically worsens it).
 #[test]
+#[ignore = "slow tier: 4-client divergence run; run via `--include-ignored` (CI scheduled job)"]
 fn fedavg_aggregation_hurts_local_critic_fit() {
     use pfrl_core::fed::{ClientSetup, FedAvgRunner};
     let datasets = [DatasetId::K8s, DatasetId::HpcWz, DatasetId::Kvm2019, DatasetId::Google];

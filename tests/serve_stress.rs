@@ -1,0 +1,163 @@
+//! Admission-control stress test for the serving front end.
+//!
+//! `DecisionService` is single-owner by design (callers serialize access),
+//! so the realistic deployment shape is a shared handle behind a lock with
+//! many request threads and a drain loop. This test drives that shape with
+//! deliberately bursty producers against a small bounded queue and checks
+//! the admission-control contract end to end:
+//!
+//! - overload is an explicit, immediate [`ServeError::Overloaded`], never
+//!   unbounded buffering or a block;
+//! - the system never deadlocks (the test itself completes);
+//! - the books balance exactly: every submitted request is either admitted
+//!   or rejected, and every admitted request is either decided, dropped as
+//!   stale, or still queued at shutdown — as seen both by the callers and
+//!   by the service's own telemetry counters.
+
+use pfrl_core::experiment::{run_federation, Algorithm};
+use pfrl_core::fed::FedConfig;
+use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::serve::{DecisionService, PolicyStore, ServeConfig, ServeError};
+use pfrl_core::sim::EnvConfig;
+use pfrl_core::telemetry::{InMemoryRecorder, Telemetry};
+use pfrl_core::workloads::DatasetId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const PRODUCERS: usize = 8;
+const BURSTS_PER_PRODUCER: usize = 60;
+const BURST_SIZE: usize = 10;
+const QUEUE_CAPACITY: usize = 16;
+
+fn stress_service(recorder: Arc<InMemoryRecorder>) -> DecisionService {
+    let (_, trained) = run_federation(
+        Algorithm::PfrlDm,
+        table2_clients(40, 5),
+        TABLE2_DIMS,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        FedConfig {
+            episodes: 2,
+            comm_every: 1,
+            participation_k: 2,
+            tasks_per_episode: Some(10),
+            seed: 5,
+            parallel: false,
+        },
+    );
+    let store = PolicyStore::from_snapshots(trained.policy_snapshots()).expect("snapshots load");
+    DecisionService::new(store, ServeConfig { queue_capacity: QUEUE_CAPACITY, max_batch: 4 })
+        .with_telemetry(Telemetry::new(recorder))
+}
+
+#[test]
+fn bursty_overload_rejects_explicitly_and_counters_balance() {
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let svc = Arc::new(Mutex::new(stress_service(recorder.clone())));
+
+    // One session per producer, each with a long episode so sessions stay
+    // decidable for most of the run (completed episodes exercise the stale
+    // path instead — both are legitimate fates for an admitted request).
+    let client = {
+        let svc = svc.lock().unwrap();
+        svc.store().clients()[0].to_string()
+    };
+    let tasks = DatasetId::Google.model().sample(200, 11);
+    let mut session_ids = Vec::with_capacity(PRODUCERS);
+    for _ in 0..PRODUCERS {
+        let mut svc = svc.lock().unwrap();
+        let id = svc.open_session(&client).expect("open session");
+        svc.begin_episode(id, &tasks).expect("begin episode");
+        session_ids.push(id);
+    }
+
+    let admitted = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let decided = Arc::new(AtomicU64::new(0));
+    let producers_done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let mut producers = Vec::with_capacity(PRODUCERS);
+        for &id in &session_ids {
+            let svc = Arc::clone(&svc);
+            let admitted = Arc::clone(&admitted);
+            let rejected = Arc::clone(&rejected);
+            producers.push(scope.spawn(move || {
+                for burst in 0..BURSTS_PER_PRODUCER {
+                    // A whole burst is fired under one lock hold — the
+                    // worst case for the queue, the point of the test.
+                    let mut svc = svc.lock().unwrap();
+                    for _ in 0..BURST_SIZE {
+                        match svc.submit(id) {
+                            Ok(()) => {
+                                admitted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServeError::Overloaded { capacity }) => {
+                                assert_eq!(capacity, QUEUE_CAPACITY);
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected serve error: {e}"),
+                        }
+                    }
+                    drop(svc);
+                    if burst % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+
+        // Drain loop: keeps consuming while producers run, then empties
+        // what is left so nothing is unaccounted for.
+        let drain_svc = Arc::clone(&svc);
+        let drain_decided = Arc::clone(&decided);
+        let drain_done = Arc::clone(&producers_done);
+        let drainer = scope.spawn(move || loop {
+            let outstanding = {
+                let mut svc = drain_svc.lock().unwrap();
+                let n = svc.decide_batch().len();
+                drain_decided.fetch_add(n as u64, Ordering::Relaxed);
+                n.max(svc.queue_depth())
+            };
+            if outstanding == 0 {
+                if drain_done.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+
+        for p in producers {
+            p.join().expect("producer panicked");
+        }
+        producers_done.store(true, Ordering::Release);
+        drainer.join().expect("drainer panicked");
+    });
+
+    let submitted = (PRODUCERS * BURSTS_PER_PRODUCER * BURST_SIZE) as u64;
+    let admitted = admitted.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+    let decided = decided.load(Ordering::Relaxed);
+
+    // Caller-side ledger: every request has exactly one fate at the door.
+    assert_eq!(admitted + rejected, submitted, "admission ledger out of balance");
+    assert!(rejected > 0, "bursts never overflowed a {QUEUE_CAPACITY}-slot queue");
+    assert!(admitted > 0, "nothing was ever admitted");
+
+    // Service-side ledger must agree with the callers exactly.
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter("serve/admitted"), admitted, "service admitted count diverges");
+    assert_eq!(snap.counter("serve/rejected"), rejected, "service rejected count diverges");
+
+    // Every admitted request was decided, dropped as stale (its episode
+    // finished first), or is still queued — no request vanishes.
+    let stale = snap.counter("serve/stale");
+    let queued = svc.lock().unwrap().queue_depth() as u64;
+    assert_eq!(
+        decided + stale + queued,
+        admitted,
+        "admitted requests unaccounted for: {decided} decided + {stale} stale + {queued} queued"
+    );
+    assert_eq!(snap.counter("serve/decisions"), decided, "decision counter diverges");
+}
