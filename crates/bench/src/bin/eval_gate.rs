@@ -6,10 +6,16 @@
 //! * `PFRL_EVAL_SEEDS=N` overrides the replication count (≥ 2).
 //! * `PFRL_EVAL_OUT=dir` redirects the output directory (default
 //!   `results/eval`).
+//! * `PFRL_EVAL_DRIFT=0` skips the non-stationary sweep (on by default:
+//!   the gate also runs the drift scenario and checks the adaptation
+//!   invariants — no NaN/inf, and every trained arm beats blind random on
+//!   post-shift held-out reward).
 
 use pfrl_bench::set_run_seed;
 use pfrl_core::experiment::federation_manifest;
-use pfrl_eval::{check_invariants, run_matrix, EvalConfig};
+use pfrl_eval::{
+    check_drift_invariants, check_invariants, run_drift, run_matrix, DriftConfig, EvalConfig,
+};
 use std::path::PathBuf;
 
 fn main() {
@@ -55,7 +61,28 @@ fn main() {
     // Print the summary tables to stderr for the CI log.
     eprint!("{}", report.to_markdown());
 
-    let violations = check_invariants(&report);
+    let mut violations = check_invariants(&report);
+
+    // The non-stationary sweep: same scale/seed-count knobs as the matrix.
+    if std::env::var("PFRL_EVAL_DRIFT").as_deref() != Ok("0") {
+        let mut dcfg = match cfg.scale {
+            "paper" => DriftConfig::paper(),
+            _ => DriftConfig::quick(),
+        };
+        if let Ok(n) = std::env::var("PFRL_EVAL_SEEDS") {
+            dcfg.n_seeds = n.parse().expect("PFRL_EVAL_SEEDS must be an integer");
+        }
+        dcfg.validate();
+        let t1 = std::time::Instant::now();
+        let drift = run_drift(&dcfg);
+        eprintln!("# drift sweep done in {:.1}s", t1.elapsed().as_secs_f64());
+        match drift.write_to(&out_dir) {
+            Ok((dj, dm)) => eprintln!("# wrote {} and {}", dj.display(), dm.display()),
+            Err(e) => eprintln!("# warning: could not write DRIFT_RESULTS: {e}"),
+        }
+        eprint!("{}", drift.to_markdown());
+        violations.extend(check_drift_invariants(&drift));
+    }
     if violations.is_empty() {
         eprintln!("\n# GATE PASS: all directional invariants hold");
     } else {

@@ -5,8 +5,10 @@ use pfrl_fed::{
     MfpoRunner, PfrlDmRunner, PolicySnapshot, TrainingCurves,
 };
 use pfrl_rl::PpoConfig;
+use pfrl_scenario::ScenarioBinding;
 use pfrl_sim::{EnvConfig, EnvDims, EpisodeMetrics};
 use pfrl_telemetry::{RunManifest, Telemetry};
+use pfrl_workloads::workflow::Workflow;
 use pfrl_workloads::TaskSpec;
 use std::io;
 use std::path::PathBuf;
@@ -111,6 +113,46 @@ impl TrainedFederation {
     }
 }
 
+/// Optional run-shaping knobs accepted by every entry point: a fault
+/// schedule, a workload-drift + churn scenario, and per-client DAG workflow
+/// pools. [`RunOptions::default`] is a plain healthy flat-task run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Deterministic fault schedule ([`FaultPlan::none`] by default).
+    pub fault_plan: FaultPlan,
+    /// Workload drift + client churn scenario (see [`pfrl_scenario`]).
+    pub scenario: Option<ScenarioBinding>,
+    /// Per-client DAG workflow pools; switches every client to workflow
+    /// scheduling on [`pfrl_sim::DagCloudEnv`].
+    pub workflows: Option<Vec<Vec<Workflow>>>,
+    /// Seeded per-episode window into each workflow pool (`None` replays
+    /// the full pool each episode). Only meaningful with `workflows`.
+    pub workflows_per_episode: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            fault_plan: FaultPlan::none(),
+            scenario: None,
+            workflows: None,
+            workflows_per_episode: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options carrying only a fault plan (the pre-scenario surface).
+    pub fn with_fault_plan(fault_plan: FaultPlan) -> Self {
+        Self { fault_plan, ..Self::default() }
+    }
+
+    /// Options carrying only a drift/churn scenario.
+    pub fn with_scenario(binding: ScenarioBinding) -> Self {
+        Self { scenario: Some(binding), ..Self::default() }
+    }
+}
+
 /// Trains `algorithm` over the given clients and returns the reward curves
 /// plus the trained federation.
 pub fn run_federation(
@@ -144,18 +186,50 @@ pub fn run_federation_with_telemetry(
     fed_cfg: FedConfig,
     telemetry: Telemetry,
 ) -> (TrainingCurves, TrainedFederation) {
-    let mut runner = build_runner(
+    run_federation_with_options(
         algorithm,
         setups,
         dims,
         env_cfg,
         ppo_cfg,
         fed_cfg,
+        &RunOptions::default(),
         telemetry,
-        FaultPlan::none(),
-    );
+    )
+}
+
+/// The fully general entry point: [`run_federation_with_telemetry`] plus
+/// the optional run-shaping knobs of [`RunOptions`] — fault schedule,
+/// drift/churn scenario, and DAG workflow pools.
+#[allow(clippy::too_many_arguments)]
+pub fn run_federation_with_options(
+    algorithm: Algorithm,
+    setups: Vec<ClientSetup>,
+    dims: EnvDims,
+    env_cfg: EnvConfig,
+    ppo_cfg: PpoConfig,
+    fed_cfg: FedConfig,
+    options: &RunOptions,
+    telemetry: Telemetry,
+) -> (TrainingCurves, TrainedFederation) {
+    let mut runner =
+        build_runner(algorithm, setups, dims, env_cfg, ppo_cfg, fed_cfg, telemetry, options);
     let curves = runner.train_to_completion();
     (curves, TrainedFederation::new(algorithm, runner))
+}
+
+/// Applies the post-construction builders shared by all four runners.
+macro_rules! configured {
+    ($runner:expr, $telemetry:expr, $options:expr) => {{
+        let mut r = $runner.with_telemetry($telemetry).with_fault_plan($options.fault_plan);
+        if let Some(binding) = &$options.scenario {
+            r = r.with_scenario(binding);
+        }
+        if let Some(pools) = &$options.workflows {
+            r = r.with_workflows(pools.clone(), $options.workflows_per_episode);
+        }
+        Box::new(r)
+    }};
 }
 
 /// Constructs the requested runner behind the uniform trait. This is the
@@ -170,28 +244,30 @@ fn build_runner(
     ppo_cfg: PpoConfig,
     fed_cfg: FedConfig,
     telemetry: Telemetry,
-    fault_plan: FaultPlan,
+    options: &RunOptions,
 ) -> Box<dyn FederatedRunner> {
     match algorithm {
-        Algorithm::PfrlDm => Box::new(
-            PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry)
-                .with_fault_plan(fault_plan),
+        Algorithm::PfrlDm => configured!(
+            PfrlDmRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg),
+            telemetry,
+            options
         ),
-        Algorithm::FedAvg => Box::new(
-            FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry)
-                .with_fault_plan(fault_plan),
+        Algorithm::FedAvg => configured!(
+            FedAvgRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg),
+            telemetry,
+            options
         ),
-        Algorithm::Mfpo => Box::new(
-            MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry)
-                .with_fault_plan(fault_plan),
-        ),
-        Algorithm::Ppo => Box::new(
-            IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg)
-                .with_telemetry(telemetry)
-                .with_fault_plan(fault_plan),
+        Algorithm::Mfpo => {
+            configured!(
+                MfpoRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg),
+                telemetry,
+                options
+            )
+        }
+        Algorithm::Ppo => configured!(
+            IndependentRunner::new(setups, dims, env_cfg, ppo_cfg, fed_cfg),
+            telemetry,
+            options
         ),
     }
 }
@@ -268,6 +344,37 @@ pub fn run_federation_resumable(
     ckpt: &CheckpointConfig,
     telemetry: Telemetry,
 ) -> Result<(TrainingCurves, TrainedFederation), FedError> {
+    run_federation_resumable_with_options(
+        algorithm,
+        setups,
+        dims,
+        env_cfg,
+        ppo_cfg,
+        fed_cfg,
+        &RunOptions::with_fault_plan(fault_plan),
+        ckpt,
+        telemetry,
+    )
+}
+
+/// [`run_federation_resumable`] with the full [`RunOptions`] surface
+/// (scenario and workflow pools in addition to the fault plan). Because
+/// scenario and workflow configuration are construction-time — like the
+/// fault plan, they are not serialized in checkpoints — a killed run
+/// re-invoked with the same options resumes to bit-identical curves even
+/// mid-drift.
+#[allow(clippy::too_many_arguments)]
+pub fn run_federation_resumable_with_options(
+    algorithm: Algorithm,
+    setups: Vec<ClientSetup>,
+    dims: EnvDims,
+    env_cfg: EnvConfig,
+    ppo_cfg: PpoConfig,
+    fed_cfg: FedConfig,
+    options: &RunOptions,
+    ckpt: &CheckpointConfig,
+    telemetry: Telemetry,
+) -> Result<(TrainingCurves, TrainedFederation), FedError> {
     assert!(ckpt.every_rounds >= 1, "every_rounds must be >= 1");
     let mut runner = build_runner(
         algorithm,
@@ -277,7 +384,7 @@ pub fn run_federation_resumable(
         ppo_cfg,
         fed_cfg,
         telemetry.clone(),
-        fault_plan,
+        options,
     );
     let curves = drive_resumable(&mut *runner, ckpt, &telemetry)?;
     Ok((curves, TrainedFederation::new(algorithm, runner)))

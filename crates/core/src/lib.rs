@@ -43,6 +43,7 @@
 pub use pfrl_fed as fed;
 pub use pfrl_nn as nn;
 pub use pfrl_rl as rl;
+pub use pfrl_scenario as scenario;
 pub use pfrl_serve as serve;
 pub use pfrl_sim as sim;
 pub use pfrl_stats as stats;

@@ -21,7 +21,7 @@
 //! axis disjoint from every existing stream by construction;
 //! `replication_seed` is the one place that derivation lives.
 
-use crate::experiment::{run_federation, Algorithm, TrainedFederation};
+use crate::experiment::{run_federation_with_options, Algorithm, RunOptions, TrainedFederation};
 use pfrl_fed::{ClientSetup, FedConfig, TrainingCurves};
 use pfrl_rl::PpoConfig;
 use pfrl_sim::{EnvConfig, EnvDims};
@@ -51,6 +51,9 @@ pub struct ReplicationSpec {
     /// run on the pool (one layer of parallelism, fanned at the widest
     /// axis).
     pub fed_cfg: FedConfig,
+    /// Run-shaping knobs: fault plan, drift/churn scenario, workflow pools
+    /// ([`RunOptions::default`] for a healthy flat-task run).
+    pub options: RunOptions,
 }
 
 /// One completed replication: its derived seed, the training curves, and
@@ -94,13 +97,15 @@ pub fn run_replications(
         if parallel {
             spec.fed_cfg.parallel = false;
         }
-        let (curves, federation) = run_federation(
+        let (curves, federation) = run_federation_with_options(
             algorithm,
             spec.setups,
             spec.dims,
             spec.env_cfg,
             spec.ppo_cfg,
             spec.fed_cfg,
+            &spec.options,
+            pfrl_telemetry::Telemetry::noop(),
         );
         Replication { rep, seed, curves, federation }
     };
@@ -131,6 +136,7 @@ mod tests {
                 seed,
                 parallel: false,
             },
+            options: RunOptions::default(),
         }
     }
 

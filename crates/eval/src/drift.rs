@@ -1,0 +1,828 @@
+//! Non-stationary evaluation: the algorithms under the canonical composite
+//! drift scenario (rate shift + flash crowd + dataset swap + churn, see
+//! [`ScenarioPlan::standard_drift`]), reduced to adaptation metrics.
+//!
+//! ROADMAP item 5's hypothesis is that *this* regime — not the stationary
+//! matrix — is where personalization should separate: after an abrupt
+//! workload shift, PFRL-DM's private critics can re-estimate local values
+//! without waiting for a global consensus model to catch up. Every arm
+//! trains through the identical seeded scenario (paired design: same
+//! replication seed ⇒ identical pre-shift pools, drift traces, and churn
+//! schedule for every arm), and each replication reduces to:
+//!
+//! * **time-to-recover** — episodes until the post-shift reward curve
+//!   regains its pre-shift baseline window mean;
+//! * **post-shift regret** — cumulative shortfall below that baseline;
+//! * **final reward** — convergence level at the horizon;
+//! * **post-shift held-out reward** — greedy evaluation on a fresh trace
+//!   drawn from the *shifted* distribution, against a blind-random floor.
+//!
+//! The update-order ablation (critic-first vs the paper's actor-first
+//! Algorithm 1 ordering) rides in the same sweep as an extra FedAvg arm,
+//! so its paired comparison shares every seed with the default ordering.
+
+use crate::family::WorkloadFamily;
+use pfrl_core::experiment::{run_federation_with_options, Algorithm, RunOptions};
+use pfrl_core::fed::FedConfig;
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::scenario::{adaptation_metrics, mean_curve, ScenarioBinding, ScenarioPlan};
+use pfrl_core::sim::{run_heuristic, CloudEnv, EnvConfig, HeuristicPolicy, VmSpec};
+use pfrl_core::stats::{
+    bootstrap_mean_ci, holm_adjust, wilcoxon_signed_rank, BootstrapCi, SeedStream,
+};
+use pfrl_core::telemetry::Telemetry;
+use rayon::prelude::*;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One row of the drift sweep: an algorithm plus its PPO update ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DriftArm {
+    /// Which federation algorithm trains.
+    pub algorithm: Algorithm,
+    /// Run the critic pass before the actor pass (ablation of the paper's
+    /// actor-first Algorithm 1 ordering).
+    pub critic_first: bool,
+}
+
+impl DriftArm {
+    /// Stable display name ("FedAvg", "FedAvg-critic-first", …).
+    pub fn name(&self) -> String {
+        if self.critic_first {
+            format!("{}-critic-first", self.algorithm.name())
+        } else {
+            self.algorithm.name().to_string()
+        }
+    }
+}
+
+impl std::fmt::Display for DriftArm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Scales and arms of one drift sweep.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Arms down the rows (the gate needs at least PFRL-DM + FedAvg).
+    pub arms: Vec<DriftArm>,
+    /// Independent replications per arm (≥ 2 for paired statistics).
+    pub n_seeds: usize,
+    /// Root seed; replication seeds derive through the labeled
+    /// `drift-replication` stream.
+    pub root_seed: u64,
+    /// Tasks sampled per client for the pre-scenario pools.
+    pub samples: usize,
+    /// Arrival-time compression (shared by pools and drift traces).
+    pub arrival_compression: u64,
+    /// Training episodes per client.
+    pub episodes: usize,
+    /// Episode at which the composite shift hits (strictly inside
+    /// `0..episodes`, with room for the recovery window on both sides).
+    pub shift_episode: usize,
+    /// Local episodes between aggregation rounds.
+    pub comm_every: usize,
+    /// Clients aggregated per round.
+    pub participation_k: usize,
+    /// Tasks per training episode (`None` = pool size).
+    pub tasks_per_episode: Option<usize>,
+    /// Episodes in the baseline / recovery smoothing window.
+    pub window: usize,
+    /// Bootstrap resamples per CI.
+    pub resamples: usize,
+    /// Two-sided CI confidence level.
+    pub confidence: f64,
+    /// Fan replications over the rayon pool.
+    pub parallel: bool,
+    /// Scale label stamped into the report ("quick" / "paper").
+    pub scale: &'static str,
+}
+
+/// The four algorithms (actor-first) plus the FedAvg critic-first ablation.
+fn default_arms() -> Vec<DriftArm> {
+    let mut arms: Vec<DriftArm> =
+        Algorithm::ALL.iter().map(|&a| DriftArm { algorithm: a, critic_first: false }).collect();
+    arms.push(DriftArm { algorithm: Algorithm::FedAvg, critic_first: true });
+    arms
+}
+
+impl DriftConfig {
+    /// The deterministic CI-gate scale: minutes of wall-clock in release.
+    pub fn quick() -> Self {
+        Self {
+            arms: default_arms(),
+            n_seeds: 5,
+            root_seed: 0x5EED_2026,
+            samples: 120,
+            arrival_compression: 8,
+            episodes: 30,
+            shift_episode: 15,
+            comm_every: 5,
+            participation_k: 2,
+            tasks_per_episode: Some(12),
+            window: 5,
+            resamples: 2000,
+            confidence: 0.95,
+            parallel: true,
+            scale: "quick",
+        }
+    }
+
+    /// The publication scale (nightly CI; expect hours of CPU).
+    pub fn paper() -> Self {
+        Self {
+            arms: default_arms(),
+            n_seeds: 10,
+            root_seed: 0x5EED_2026,
+            samples: 700,
+            arrival_compression: 8,
+            episodes: 160,
+            shift_episode: 80,
+            comm_every: 20,
+            participation_k: 2,
+            tasks_per_episode: Some(50),
+            window: 20,
+            resamples: 10_000,
+            confidence: 0.95,
+            parallel: true,
+            scale: "paper",
+        }
+    }
+
+    /// Panics on configurations the sweep cannot run.
+    pub fn validate(&self) {
+        assert!(self.n_seeds >= 2, "need >= 2 seeds for paired statistics");
+        assert!(!self.arms.is_empty(), "no arms selected");
+        assert!(self.window >= 1, "window must be >= 1");
+        assert!(self.arrival_compression >= 1, "arrival_compression must be >= 1");
+        assert!(self.resamples >= 1, "resamples must be >= 1");
+        assert!(
+            self.shift_episode >= self.window && self.shift_episode + 1 < self.episodes,
+            "shift episode {} leaves no room for baseline window {} or recovery in {} episodes",
+            self.shift_episode,
+            self.window,
+            self.episodes
+        );
+        assert!(
+            self.confidence > 0.0 && self.confidence < 1.0,
+            "confidence {} outside (0, 1)",
+            self.confidence
+        );
+    }
+}
+
+/// Per-replication reduced values of one arm, with bootstrap CIs (absent
+/// when any value is non-finite).
+#[derive(Debug, Clone)]
+pub struct DriftArmResult {
+    /// Which arm.
+    pub arm: DriftArm,
+    /// Time-to-recover (episodes; horizon-censored when never recovered).
+    pub ttr: Vec<f64>,
+    /// Fraction of replications that actually re-reached baseline.
+    pub recovered_frac: f64,
+    /// Post-shift cumulative regret below the pre-shift baseline.
+    pub regret: Vec<f64>,
+    /// Mean training reward over the final window.
+    pub final_reward: Vec<f64>,
+    /// Mean held-out episode reward on the post-shift distribution.
+    pub test_reward: Vec<f64>,
+    /// Bootstrap CI per metric, same order as the vectors above.
+    pub ttr_ci: Option<BootstrapCi>,
+    /// CI of `regret`.
+    pub regret_ci: Option<BootstrapCi>,
+    /// CI of `final_reward`.
+    pub final_reward_ci: Option<BootstrapCi>,
+    /// CI of `test_reward`.
+    pub test_reward_ci: Option<BootstrapCi>,
+}
+
+impl DriftArmResult {
+    /// Mean over finite values (NaN if none are finite).
+    fn mean(values: &[f64]) -> f64 {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        }
+    }
+
+    /// Mean time-to-recover.
+    pub fn ttr_mean(&self) -> f64 {
+        Self::mean(&self.ttr)
+    }
+
+    /// Mean post-shift regret.
+    pub fn regret_mean(&self) -> f64 {
+        Self::mean(&self.regret)
+    }
+
+    /// Mean post-shift held-out reward.
+    pub fn test_reward_mean(&self) -> f64 {
+        Self::mean(&self.test_reward)
+    }
+}
+
+/// One paired Wilcoxon test between two arms on one drift metric.
+#[derive(Debug, Clone)]
+pub struct DriftComparison {
+    /// Metric identifier ("ttr", "regret", "final_reward", "test_reward").
+    pub metric: &'static str,
+    /// First arm (differences are `a − b`).
+    pub a: String,
+    /// Second arm.
+    pub b: String,
+    /// Mean of the paired differences.
+    pub mean_diff: f64,
+    /// Raw two-sided Wilcoxon p-value.
+    pub p_raw: f64,
+    /// Holm-adjusted p-value across every test in the report.
+    pub p_holm: f64,
+    /// Non-zero differences the test ranked.
+    pub n_used: usize,
+}
+
+/// Everything one drift sweep produced.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Scale label ("quick" / "paper").
+    pub scale: String,
+    /// Root seed of the whole sweep.
+    pub root_seed: u64,
+    /// Replications per arm.
+    pub n_seeds: usize,
+    /// Episode the composite shift hits.
+    pub shift_episode: usize,
+    /// Baseline / recovery window length.
+    pub window: usize,
+    /// CI confidence level.
+    pub confidence: f64,
+    /// Per-arm reduced results, in arm order.
+    pub arms: Vec<DriftArmResult>,
+    /// Blind-random floor on the post-shift held-out traces, one value per
+    /// replication (arm-independent: the traces are a pure function of the
+    /// replication seed).
+    pub random_reward: Vec<f64>,
+    /// Paired tests: PFRL-DM vs every other actor-first arm, plus the
+    /// critic-first ablation pair.
+    pub comparisons: Vec<DriftComparison>,
+    /// Human-readable descriptions of every non-finite value found.
+    pub nan_findings: Vec<String>,
+}
+
+impl DriftReport {
+    /// Mean blind-random floor.
+    pub fn random_reward_mean(&self) -> f64 {
+        DriftArmResult::mean(&self.random_reward)
+    }
+
+    /// Looks up one arm's results by display name.
+    pub fn arm(&self, name: &str) -> Option<&DriftArmResult> {
+        self.arms.iter().find(|a| a.arm.name() == name)
+    }
+}
+
+/// The replication seed of the drift sweep — its own labeled stream, so it
+/// can never collide with the stationary matrix's `family`/`replication`
+/// streams or any per-client stream.
+pub fn drift_seed(root: u64, rep: usize) -> u64 {
+    SeedStream::new(root).child("drift-replication").index(rep as u64).seed()
+}
+
+/// Everything one (arm, replication) training run reduces to.
+struct RepOutcome {
+    ttr: f64,
+    recovered: bool,
+    regret: f64,
+    final_reward: f64,
+    test_reward: f64,
+    random_reward: f64,
+    findings: Vec<String>,
+}
+
+/// The composite scenario of one replication. Shared by every arm at that
+/// replication index — the pairing invariant.
+fn rep_scenario(cfg: &DriftConfig, seed: u64, n_clients: usize) -> ScenarioPlan {
+    ScenarioPlan::standard_drift(seed, cfg.shift_episode, cfg.comm_every, n_clients)
+        .with_compression(cfg.arrival_compression)
+}
+
+fn run_rep(cfg: &DriftConfig, arm: DriftArm, rep: usize) -> RepOutcome {
+    let seed = drift_seed(cfg.root_seed, rep);
+    let family = WorkloadFamily::Heterogeneous;
+    let fr = family.replication(cfg.samples, cfg.arrival_compression, seed);
+    let datasets = family.datasets();
+    let dims = fr.dims;
+    let fleets: Vec<Vec<VmSpec>> = fr.setups.iter().map(|s| s.vms.clone()).collect();
+    let plan = rep_scenario(cfg, seed, datasets.len());
+    let binding = ScenarioBinding::new(plan.clone(), datasets.to_vec());
+
+    let ppo_cfg = PpoConfig {
+        mask_invalid_actions: true,
+        critic_first: arm.critic_first,
+        ..PpoConfig::default()
+    };
+    let fed_cfg = FedConfig {
+        episodes: cfg.episodes,
+        comm_every: cfg.comm_every,
+        participation_k: cfg.participation_k,
+        tasks_per_episode: cfg.tasks_per_episode,
+        seed,
+        parallel: false, // replications own the pool
+    };
+    let (curves, mut trained) = run_federation_with_options(
+        arm.algorithm,
+        fr.setups,
+        dims,
+        EnvConfig::default(),
+        ppo_cfg,
+        fed_cfg,
+        &RunOptions::with_scenario(binding),
+        Telemetry::noop(),
+    );
+
+    let mut findings = Vec::new();
+    if curves.per_client.iter().flatten().any(|v| !v.is_finite()) {
+        findings.push(format!("{arm}: non-finite training reward in replication {rep}"));
+    }
+    let curve = mean_curve(&curves.per_client);
+    let adapt = adaptation_metrics(&curve, cfg.shift_episode, cfg.window);
+    let final_reward = curves.final_mean(cfg.window);
+
+    // Post-shift held-out trace: episode index `episodes` is one past the
+    // training horizon, so the stream is fresh, and the effective model
+    // there carries every permanent shift. The blind-random floor runs on
+    // the identical tasks.
+    let n_test = cfg.tasks_per_episode.unwrap_or(40).max(12) * 2;
+    let mut reward_sum = 0.0;
+    let mut random_sum = 0.0;
+    let mut counted = 0usize;
+    for (c, &dataset) in datasets.iter().enumerate() {
+        let tasks = plan.episode_tasks(c, dataset, n_test, cfg.episodes);
+        let m = trained.evaluate_client(c, &tasks);
+        if m.tasks_placed == 0 {
+            findings.push(format!("{arm}: client {c} placed zero post-shift tasks in rep {rep}"));
+            continue;
+        }
+        let mut env = CloudEnv::new(dims, fleets[c].clone(), EnvConfig::default());
+        env.reset(tasks);
+        let rng_seed = SeedStream::new(seed).child("drift-random").index(c as u64).seed();
+        let rm = run_heuristic(&mut env, HeuristicPolicy::BlindRandom, rng_seed);
+        reward_sum += m.total_reward;
+        random_sum += rm.total_reward;
+        counted += 1;
+    }
+    let (test_reward, random_reward) = if counted > 0 {
+        (reward_sum / counted as f64, random_sum / counted as f64)
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+
+    RepOutcome {
+        ttr: adapt.time_to_recover,
+        recovered: adapt.recovered,
+        regret: adapt.post_shift_regret,
+        final_reward,
+        test_reward,
+        random_reward,
+        findings,
+    }
+}
+
+/// Bootstrap CI over `values` when all are finite.
+fn ci_of(cfg: &DriftConfig, arm: &DriftArm, metric: &str, values: &[f64]) -> Option<BootstrapCi> {
+    if !values.iter().all(|v| v.is_finite()) {
+        return None;
+    }
+    let seed = SeedStream::new(cfg.root_seed)
+        .child("drift-bootstrap")
+        .child(&arm.name())
+        .child(metric)
+        .seed();
+    Some(bootstrap_mean_ci(values, cfg.resamples, cfg.confidence, seed))
+}
+
+/// Runs the full drift sweep. Deterministic in `cfg.root_seed` — thread
+/// counts and `parallel` do not change a single bit of the output.
+pub fn run_drift(cfg: &DriftConfig) -> DriftReport {
+    cfg.validate();
+    let mut arms = Vec::with_capacity(cfg.arms.len());
+    let mut nan_findings = Vec::new();
+    let mut random_reward: Vec<f64> = Vec::new();
+    // (metric, a, b, mean_diff, p_raw, n_used); Holm-adjusted jointly.
+    let mut raw_tests: Vec<(&'static str, String, String, f64, f64, usize)> = Vec::new();
+
+    for &arm in &cfg.arms {
+        let reps: Vec<usize> = (0..cfg.n_seeds).collect();
+        let run = |rep: &usize| run_rep(cfg, arm, *rep);
+        let outcomes: Vec<RepOutcome> = if cfg.parallel {
+            reps.par_iter().map(run).collect()
+        } else {
+            reps.iter().map(run).collect()
+        };
+
+        let ttr: Vec<f64> = outcomes.iter().map(|o| o.ttr).collect();
+        let regret: Vec<f64> = outcomes.iter().map(|o| o.regret).collect();
+        let final_reward: Vec<f64> = outcomes.iter().map(|o| o.final_reward).collect();
+        let test_reward: Vec<f64> = outcomes.iter().map(|o| o.test_reward).collect();
+        let recovered_frac =
+            outcomes.iter().filter(|o| o.recovered).count() as f64 / outcomes.len() as f64;
+        for o in &outcomes {
+            nan_findings.extend(o.findings.iter().cloned());
+        }
+        if random_reward.is_empty() {
+            // Arm-independent: same replication seeds ⇒ same held-out
+            // traces ⇒ same blind-random floor for every arm.
+            random_reward = outcomes.iter().map(|o| o.random_reward).collect();
+        }
+        arms.push(DriftArmResult {
+            ttr_ci: ci_of(cfg, &arm, "ttr", &ttr),
+            regret_ci: ci_of(cfg, &arm, "regret", &regret),
+            final_reward_ci: ci_of(cfg, &arm, "final_reward", &final_reward),
+            test_reward_ci: ci_of(cfg, &arm, "test_reward", &test_reward),
+            arm,
+            ttr,
+            recovered_frac,
+            regret,
+            final_reward,
+            test_reward,
+        });
+    }
+
+    // Paired tests. Headline: PFRL-DM against every other actor-first arm
+    // (does personalization separate under drift?). Ablation: critic-first
+    // against its actor-first sibling, same algorithm.
+    let headline = DriftArm { algorithm: Algorithm::PfrlDm, critic_first: false };
+    let mut pairs: Vec<(DriftArm, DriftArm)> = Vec::new();
+    for a in &arms {
+        if !a.arm.critic_first && a.arm != headline {
+            pairs.push((headline, a.arm));
+        }
+        if a.arm.critic_first {
+            pairs.push((a.arm, DriftArm { algorithm: a.arm.algorithm, critic_first: false }));
+        }
+    }
+    for (pa, pb) in pairs {
+        let (Some(ra), Some(rb)) =
+            (arms.iter().find(|r| r.arm == pa), arms.iter().find(|r| r.arm == pb))
+        else {
+            continue;
+        };
+        let metrics: [(&'static str, &[f64], &[f64]); 4] = [
+            ("ttr", &ra.ttr, &rb.ttr),
+            ("regret", &ra.regret, &rb.regret),
+            ("final_reward", &ra.final_reward, &rb.final_reward),
+            ("test_reward", &ra.test_reward, &rb.test_reward),
+        ];
+        for (metric, a, b) in metrics {
+            if !a.iter().chain(b).all(|v| v.is_finite()) {
+                continue; // already recorded as a NaN finding
+            }
+            let mean_diff =
+                a.iter().sum::<f64>() / a.len() as f64 - b.iter().sum::<f64>() / b.len() as f64;
+            let (p_raw, n_used) = if a.iter().zip(b).all(|(x, y)| x == y) {
+                (1.0, 0)
+            } else {
+                let w = wilcoxon_signed_rank(a, b);
+                (w.p_value, w.n_used)
+            };
+            raw_tests.push((metric, pa.name(), pb.name(), mean_diff, p_raw, n_used));
+        }
+    }
+
+    let adjusted = holm_adjust(&raw_tests.iter().map(|t| t.4).collect::<Vec<f64>>());
+    let comparisons = raw_tests
+        .into_iter()
+        .zip(adjusted)
+        .map(|((metric, a, b, mean_diff, p_raw, n_used), p_holm)| DriftComparison {
+            metric,
+            a,
+            b,
+            mean_diff,
+            p_raw,
+            p_holm,
+            n_used,
+        })
+        .collect();
+
+    DriftReport {
+        scale: cfg.scale.to_string(),
+        root_seed: cfg.root_seed,
+        n_seeds: cfg.n_seeds,
+        shift_episode: cfg.shift_episode,
+        window: cfg.window,
+        confidence: cfg.confidence,
+        arms,
+        random_reward,
+        comparisons,
+        nan_findings,
+    }
+}
+
+/// The drift gate: invariants a CI run can fail on.
+///
+/// 1. **Numerical health** — no NaN/inf in any reduced value, CI, or the
+///    random floor.
+/// 2. **Learning survived the shift** — every trained arm's mean held-out
+///    reward on the *post-shift* distribution beats the blind-random floor
+///    (an agent whose adaptation silently broke sinks to that floor).
+pub fn check_drift_invariants(report: &DriftReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    for f in &report.nan_findings {
+        violations.push(format!("non-finite: {f}"));
+    }
+    if !report.random_reward.iter().all(|v| v.is_finite()) {
+        violations.push("non-finite: blind-random floor".to_string());
+    }
+    let floor = report.random_reward_mean();
+    for a in &report.arms {
+        for (metric, values) in [
+            ("ttr", &a.ttr),
+            ("regret", &a.regret),
+            ("final_reward", &a.final_reward),
+            ("test_reward", &a.test_reward),
+        ] {
+            if values.iter().any(|v| !v.is_finite()) && report.nan_findings.is_empty() {
+                violations.push(format!("non-finite: {}/{metric} contains NaN", a.arm));
+            }
+        }
+        if !matches!(a.test_reward_mean().partial_cmp(&floor), Some(std::cmp::Ordering::Greater)) {
+            violations.push(format!(
+                "adaptation regression: {} post-shift held-out reward {:.2} does not beat blind random {:.2}",
+                a.arm,
+                a.test_reward_mean(),
+                floor
+            ));
+        }
+    }
+    violations
+}
+
+impl DriftReport {
+    /// The full report as a JSON document (hand-rolled, same idiom as
+    /// [`crate::report`]).
+    pub fn to_json(&self) -> String {
+        let f64s = |vs: &[f64]| {
+            let items: Vec<String> = vs
+                .iter()
+                .map(|&v| if v.is_finite() { format!("{v}") } else { format!("\"{v}\"") })
+                .collect();
+            format!("[{}]", items.join(","))
+        };
+        let jf = |v: f64| if v.is_finite() { format!("{v}") } else { format!("\"{v}\"") };
+        let ci = |c: &Option<BootstrapCi>| match c {
+            Some(c) => {
+                format!("{{\"mean\": {}, \"lo\": {}, \"hi\": {}}}", jf(c.mean), jf(c.lo), jf(c.hi))
+            }
+            None => "null".to_string(),
+        };
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scale\": {:?},\n", self.scale));
+        out.push_str(&format!("  \"root_seed\": {},\n", self.root_seed));
+        out.push_str(&format!("  \"n_seeds\": {},\n", self.n_seeds));
+        out.push_str(&format!("  \"shift_episode\": {},\n", self.shift_episode));
+        out.push_str(&format!("  \"window\": {},\n", self.window));
+        out.push_str(&format!("  \"confidence\": {},\n", self.confidence));
+        out.push_str("  \"arms\": [\n");
+        for (i, a) in self.arms.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"arm\": {:?}, \"time_to_recover\": {}, \"ttr_ci\": {}, \"recovered_frac\": {}, \"post_shift_regret\": {}, \"regret_ci\": {}, \"final_reward\": {}, \"final_reward_ci\": {}, \"test_reward\": {}, \"test_reward_ci\": {}}}{}\n",
+                a.arm.name(),
+                f64s(&a.ttr),
+                ci(&a.ttr_ci),
+                jf(a.recovered_frac),
+                f64s(&a.regret),
+                ci(&a.regret_ci),
+                f64s(&a.final_reward),
+                ci(&a.final_reward_ci),
+                f64s(&a.test_reward),
+                ci(&a.test_reward_ci),
+                if i + 1 < self.arms.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"random_reward\": {},\n  \"random_reward_mean\": {},\n",
+            f64s(&self.random_reward),
+            jf(self.random_reward_mean())
+        ));
+        out.push_str("  \"paired_tests\": [\n");
+        for (i, t) in self.comparisons.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"metric\": {:?}, \"a\": {:?}, \"b\": {:?}, \"mean_diff\": {}, \"p_raw\": {}, \"p_holm\": {}, \"n_used\": {}}}{}\n",
+                t.metric,
+                t.a,
+                t.b,
+                jf(t.mean_diff),
+                jf(t.p_raw),
+                jf(t.p_holm),
+                t.n_used,
+                if i + 1 < self.comparisons.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let findings: Vec<String> = self.nan_findings.iter().map(|f| format!("{f:?}")).collect();
+        out.push_str(&format!("  \"nan_findings\": [{}]\n", findings.join(",")));
+        out.push_str("}\n");
+        out
+    }
+
+    /// The drift tables as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# Non-stationary (drift) evaluation\n\n");
+        out.push_str(&format!(
+            "Scale `{}`, {} seeds per arm, composite shift at episode {}, window {}, root seed `{:#x}`.\n\n",
+            self.scale, self.n_seeds, self.shift_episode, self.window, self.root_seed
+        ));
+        out.push_str(
+            "Every arm trains through the identical seeded scenario (rate \
+             shift + flash crowd + dataset swap + churn) at each replication \
+             index; TTR is horizon-censored when the curve never regains its \
+             pre-shift baseline.\n\n",
+        );
+        out.push_str(
+            "| arm | time-to-recover (ep) | recovered | post-shift regret | final reward | post-shift held-out reward |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|\n");
+        let fmt_ci = |c: &Option<BootstrapCi>| match c {
+            Some(c) => format!("{:.2} ± {:.2}", c.mean, c.width() / 2.0),
+            None => "NaN".to_string(),
+        };
+        for a in &self.arms {
+            out.push_str(&format!(
+                "| {} | {} | {:.0}% | {} | {} | {} |\n",
+                a.arm.name(),
+                fmt_ci(&a.ttr_ci),
+                a.recovered_frac * 100.0,
+                fmt_ci(&a.regret_ci),
+                fmt_ci(&a.final_reward_ci),
+                fmt_ci(&a.test_reward_ci),
+            ));
+        }
+        out.push_str(&format!(
+            "| Blind random | — | — | — | — | {:.2} |\n",
+            self.random_reward_mean()
+        ));
+        if !self.comparisons.is_empty() {
+            out.push_str("\n## Paired Wilcoxon tests\n\n");
+            out.push_str("| metric | a | b | mean_diff (a − b) | p (raw) | p (Holm) |\n");
+            out.push_str("|---|---|---|---|---|---|\n");
+            for t in &self.comparisons {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {:+.3} | {:.4} | {:.4} |\n",
+                    t.metric, t.a, t.b, t.mean_diff, t.p_raw, t.p_holm
+                ));
+            }
+        }
+        if !self.nan_findings.is_empty() {
+            out.push_str("\n## Non-finite findings\n\n");
+            for f in &self.nan_findings {
+                out.push_str(&format!("- {f}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes `DRIFT_RESULTS.json` and `DRIFT_RESULTS.md` under `dir`.
+    pub fn write_to(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let json = dir.join("DRIFT_RESULTS.json");
+        let md = dir.join("DRIFT_RESULTS.md");
+        std::fs::write(&json, self.to_json())?;
+        std::fs::write(&md, self.to_markdown())?;
+        Ok((json, md))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-seed micro-sweep over two arms — the full reduction path in
+    /// seconds.
+    fn micro_cfg() -> DriftConfig {
+        DriftConfig {
+            arms: vec![
+                DriftArm { algorithm: Algorithm::FedAvg, critic_first: false },
+                DriftArm { algorithm: Algorithm::FedAvg, critic_first: true },
+            ],
+            n_seeds: 2,
+            samples: 40,
+            episodes: 6,
+            shift_episode: 3,
+            comm_every: 1,
+            participation_k: 2,
+            tasks_per_episode: Some(6),
+            window: 2,
+            resamples: 200,
+            ..DriftConfig::quick()
+        }
+    }
+
+    #[test]
+    fn micro_drift_sweep_reduces_every_arm() {
+        let report = run_drift(&micro_cfg());
+        assert_eq!(report.arms.len(), 2);
+        for a in &report.arms {
+            assert_eq!(a.ttr.len(), 2, "{}", a.arm);
+            assert!(a.ttr.iter().all(|v| v.is_finite() && *v >= 0.0));
+            assert!(a.regret.iter().all(|v| v.is_finite() && *v >= 0.0));
+            assert!(a.final_reward.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(report.random_reward.len(), 2);
+        // The ablation pair must be among the paired tests.
+        assert!(
+            report.comparisons.iter().any(|t| t.a == "FedAvg-critic-first" && t.b == "FedAvg"),
+            "{:?}",
+            report.comparisons
+        );
+        for t in &report.comparisons {
+            assert!(t.p_holm >= t.p_raw);
+        }
+    }
+
+    #[test]
+    fn drift_sweep_is_deterministic_and_thread_invariant() {
+        let cfg = micro_cfg();
+        let a = run_drift(&cfg);
+        let b = run_drift(&DriftConfig { parallel: false, ..cfg });
+        for (x, y) in a.arms.iter().zip(&b.arms) {
+            assert_eq!(x.ttr, y.ttr, "{}", x.arm);
+            assert_eq!(x.regret, y.regret);
+            assert_eq!(x.final_reward, y.final_reward);
+            assert_eq!(x.test_reward, y.test_reward);
+        }
+        assert_eq!(a.random_reward, b.random_reward);
+    }
+
+    #[test]
+    fn critic_first_ablation_commutes_bit_for_bit() {
+        let report = run_drift(&micro_cfg());
+        let actor = report.arm("FedAvg").unwrap();
+        let critic = report.arm("FedAvg-critic-first").unwrap();
+        // Actor and critic are disjoint networks and the advantages are
+        // computed from pre-update value estimates, so the two gradient
+        // passes commute — the ablation's honest result is *exactly* zero
+        // difference, and the paired test must degrade gracefully (p = 1)
+        // rather than divide by zero on all-tied differences.
+        assert_eq!(actor.final_reward, critic.final_reward);
+        assert_eq!(actor.ttr, critic.ttr);
+        let ablation = report
+            .comparisons
+            .iter()
+            .find(|t| t.a == "FedAvg-critic-first" && t.metric == "final_reward")
+            .unwrap();
+        assert_eq!(ablation.mean_diff, 0.0);
+        assert_eq!(ablation.p_raw, 1.0);
+    }
+
+    #[test]
+    fn drift_report_serializes() {
+        let report = run_drift(&micro_cfg());
+        let j = report.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"time_to_recover\""));
+        assert!(j.contains("FedAvg-critic-first"));
+        let md = report.to_markdown();
+        assert!(md.contains("time-to-recover"));
+        assert!(md.contains("Blind random"));
+    }
+
+    #[test]
+    fn gate_flags_floor_violations_and_nan() {
+        let mut report = run_drift(&micro_cfg());
+        // Force a floor violation.
+        let floor = report.random_reward_mean();
+        report.arms[0].test_reward = vec![floor - 100.0; 2];
+        let v = check_drift_invariants(&report);
+        assert!(v.iter().any(|m| m.contains("adaptation regression")), "{v:?}");
+        // Force a NaN.
+        report.arms[1].ttr[0] = f64::NAN;
+        report.nan_findings.push("synthetic".into());
+        let v = check_drift_invariants(&report);
+        assert!(v.iter().any(|m| m.contains("non-finite")), "{v:?}");
+    }
+
+    #[test]
+    fn quick_and_paper_configs_validate() {
+        DriftConfig::quick().validate();
+        let p = DriftConfig::paper();
+        p.validate();
+        assert!(p.episodes > DriftConfig::quick().episodes);
+        // Both carry the critic-first ablation arm.
+        assert!(p.arms.iter().any(|a| a.critic_first));
+        assert_eq!(p.arms.len(), Algorithm::ALL.len() + 1);
+    }
+
+    #[test]
+    fn drift_seeds_are_labeled_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for rep in 0..32 {
+            assert!(seen.insert(drift_seed(7, rep)), "collision at rep {rep}");
+        }
+    }
+}

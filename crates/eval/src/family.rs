@@ -8,6 +8,7 @@
 use pfrl_core::fed::ClientSetup;
 use pfrl_core::sim::{EnvDims, VmSpec};
 use pfrl_core::stats::SeedStream;
+use pfrl_core::workloads::workflow::{Workflow as DagWorkflow, WorkflowModel};
 use pfrl_core::workloads::{train_test_split, DatasetId, TaskSpec};
 
 /// The Table 2 fleets, as `(vCPUs, mem GiB, count)` tuples.
@@ -26,6 +27,12 @@ pub enum WorkloadFamily {
     /// All clients draw from the same trace (Google) — the iso-distribution
     /// control the heterogeneity claims are measured against.
     Iso,
+    /// The heterogeneous datasets rendered as DAG *workflows*: each client
+    /// trains on fork–join workflow pools (scheduled on
+    /// [`pfrl_core::sim::DagCloudEnv`]) generated over its dataset's task
+    /// distribution. Opt-in: not part of the default matrix (see
+    /// [`WorkloadFamily::in_default_matrix`]).
+    Workflow,
 }
 
 /// One replication's worth of a family: client setups (training pools
@@ -38,24 +45,50 @@ pub struct FamilyReplication {
     pub test_sets: Vec<Vec<TaskSpec>>,
     /// Environment dimensioning shared by all clients.
     pub dims: EnvDims,
+    /// Per-client DAG workflow training pools — `Some` only for the
+    /// [`WorkloadFamily::Workflow`] family (flat families train on
+    /// `setups[k].train_tasks` directly).
+    pub workflows: Option<Vec<Vec<DagWorkflow>>>,
 }
 
 impl WorkloadFamily {
-    /// Both families, in matrix column order.
-    pub const ALL: [WorkloadFamily; 2] = [WorkloadFamily::Heterogeneous, WorkloadFamily::Iso];
+    /// Every family, in matrix column order. This is the single source of
+    /// truth for the family list: anything iterating families (matrix,
+    /// gate, reports) derives from here, so a new variant cannot be
+    /// silently skipped — the `match`es below stop compiling instead.
+    pub const ALL: [WorkloadFamily; 3] =
+        [WorkloadFamily::Heterogeneous, WorkloadFamily::Iso, WorkloadFamily::Workflow];
+
+    /// Whether the family belongs in the default evaluation matrix. The
+    /// workflow family is opt-in (it measures DAG scheduling, a different
+    /// environment than the paper's flat Table 2 study).
+    pub fn in_default_matrix(self) -> bool {
+        match self {
+            WorkloadFamily::Heterogeneous | WorkloadFamily::Iso => true,
+            WorkloadFamily::Workflow => false,
+        }
+    }
+
+    /// The families of the default matrix, derived from [`Self::ALL`].
+    pub fn default_families() -> Vec<WorkloadFamily> {
+        Self::ALL.into_iter().filter(|f| f.in_default_matrix()).collect()
+    }
 
     /// Stable lowercase identifier (used in seeds, JSON, and markdown).
     pub fn name(self) -> &'static str {
         match self {
             WorkloadFamily::Heterogeneous => "heterogeneous",
             WorkloadFamily::Iso => "iso",
+            WorkloadFamily::Workflow => "workflow",
         }
     }
 
     /// The dataset each client samples from.
     pub fn datasets(self) -> [DatasetId; 4] {
         match self {
-            WorkloadFamily::Heterogeneous => {
+            // The workflow family keeps the heterogeneous dataset split —
+            // the varying axis is the task structure (DAGs), not the trace.
+            WorkloadFamily::Heterogeneous | WorkloadFamily::Workflow => {
                 [DatasetId::Google, DatasetId::Alibaba2017, DatasetId::HpcHf, DatasetId::Kvm2019]
             }
             WorkloadFamily::Iso => [DatasetId::Google; 4],
@@ -104,7 +137,26 @@ impl WorkloadFamily {
             });
             test_sets.push(split.test);
         }
-        FamilyReplication { setups, test_sets, dims: self.dims() }
+        let workflows = if self == WorkloadFamily::Workflow {
+            // One fork–join workflow pool per client over its dataset's
+            // task distribution; submissions densified like the flat
+            // arrivals so DAG scheduling sees queueing too.
+            let n_wf = (samples / 10).max(4);
+            let pools = self
+                .datasets()
+                .iter()
+                .enumerate()
+                .map(|(k, dataset)| {
+                    let mut model = WorkflowModel::scientific(dataset.model());
+                    model.mean_interarrival /= compression as f64;
+                    model.sample(n_wf, stream.child("family-wf").index(k as u64).seed())
+                })
+                .collect();
+            Some(pools)
+        } else {
+            None
+        };
+        FamilyReplication { setups, test_sets, dims: self.dims(), workflows }
     }
 }
 
@@ -157,6 +209,27 @@ mod tests {
                 assert!(v.mem_gb <= r.dims.max_mem_gb);
             }
         }
+    }
+
+    #[test]
+    fn workflow_family_builds_valid_pools() {
+        let r = WorkloadFamily::Workflow.replication(80, 4, 5);
+        let pools = r.workflows.as_ref().expect("workflow family carries pools");
+        assert_eq!(pools.len(), 4);
+        for pool in pools {
+            assert_eq!(pool.len(), 8);
+            assert!(pool.iter().all(|w| w.is_valid()));
+        }
+        // Deterministic in the seed; flat families carry no pools.
+        assert_eq!(r.workflows, WorkloadFamily::Workflow.replication(80, 4, 5).workflows);
+        assert!(WorkloadFamily::Heterogeneous.replication(40, 1, 5).workflows.is_none());
+    }
+
+    #[test]
+    fn default_families_derive_from_all() {
+        let d = WorkloadFamily::default_families();
+        assert_eq!(d, vec![WorkloadFamily::Heterogeneous, WorkloadFamily::Iso]);
+        assert!(d.len() < WorkloadFamily::ALL.len(), "workflow family is opt-in");
     }
 
     /// The family's native tasks must be schedulable on its fleets — a

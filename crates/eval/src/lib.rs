@@ -29,11 +29,13 @@
 //! tasks. That is what makes the per-replication differences paired and
 //! the Wilcoxon test valid.
 
+pub mod drift;
 pub mod family;
 pub mod gate;
 pub mod matrix;
 pub mod report;
 
+pub use drift::{check_drift_invariants, run_drift, DriftArm, DriftConfig, DriftReport};
 pub use family::WorkloadFamily;
 pub use gate::check_invariants;
 pub use matrix::{run_matrix, Cell, EvalReport, Metric, PairedComparison, RandomBaseline};
@@ -89,7 +91,7 @@ impl EvalConfig {
     pub fn quick() -> Self {
         Self {
             algorithms: Algorithm::ALL.to_vec(),
-            families: WorkloadFamily::ALL.to_vec(),
+            families: WorkloadFamily::default_families(),
             n_seeds: 5,
             root_seed: 0x5EED_2026,
             samples: 120,
@@ -111,7 +113,7 @@ impl EvalConfig {
     pub fn paper() -> Self {
         Self {
             algorithms: Algorithm::ALL.to_vec(),
-            families: WorkloadFamily::ALL.to_vec(),
+            families: WorkloadFamily::default_families(),
             n_seeds: 10,
             root_seed: 0x5EED_2026,
             samples: 700,

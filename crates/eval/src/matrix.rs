@@ -4,12 +4,14 @@
 
 use crate::family::WorkloadFamily;
 use crate::EvalConfig;
-use pfrl_core::experiment::Algorithm;
+use pfrl_core::experiment::{Algorithm, RunOptions};
 use pfrl_core::replicate::{replication_seed, run_replications, ReplicationSpec};
-use pfrl_core::sim::{run_heuristic, CloudEnv, HeuristicPolicy};
+use pfrl_core::sim::{run_blind_random, run_heuristic, CloudEnv, DagCloudEnv, HeuristicPolicy};
 use pfrl_core::stats::{
     bootstrap_mean_ci, holm_adjust, wilcoxon_signed_rank, BootstrapCi, SeedStream,
 };
+use pfrl_core::workloads::workflow::{DagTask, Workflow};
+use pfrl_core::workloads::TaskSpec;
 
 /// The four reduced metrics of the comparison tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -300,6 +302,16 @@ pub fn run_matrix(cfg: &EvalConfig) -> EvalReport {
     }
 }
 
+/// Wraps one flat task as a single-node workflow submitted at the task's
+/// arrival — the same wrapping the DAG-mode clients apply to held-out
+/// test tasks, so the random floor is measured on identical inputs.
+fn singleton_workflow(t: &TaskSpec) -> Workflow {
+    Workflow {
+        tasks: vec![DagTask { spec: TaskSpec { id: 0, ..*t }, deps: vec![] }],
+        submit: t.arrival,
+    }
+}
+
 /// The root seed of one family's replication axis — a labeled branch so
 /// families never share replication seeds with each other or with any
 /// per-client stream.
@@ -320,6 +332,10 @@ fn cell_values(
     let compression = cfg.arrival_compression;
     let env_cfg = cfg.env_cfg();
     let ppo_cfg = cfg.ppo_cfg();
+    // Workflow pools are drawn per episode through a seeded window sized to
+    // keep episode work comparable to the flat families' task budget (a
+    // fork–join workflow carries ~4 tasks per window unit).
+    let wf_per_episode = cfg.tasks_per_episode.map(|t| (t / 4).max(1));
     let mut reps = run_replications(alg, cfg.n_seeds, family_root, cfg.parallel, |seed, _rep| {
         let fr = family.replication(samples, compression, seed);
         ReplicationSpec {
@@ -328,6 +344,11 @@ fn cell_values(
             env_cfg,
             ppo_cfg,
             fed_cfg: cfg.fed_cfg(seed),
+            options: RunOptions {
+                workflows: fr.workflows,
+                workflows_per_episode: wf_per_episode,
+                ..RunOptions::default()
+            },
         }
     });
 
@@ -394,10 +415,21 @@ fn random_baseline(cfg: &EvalConfig, family: WorkloadFamily, family_root: u64) -
         let mut resp_sum = 0.0;
         let mut bal_sum = 0.0;
         for (k, test) in fr.test_sets.iter().enumerate() {
-            let mut env = CloudEnv::new(fr.dims, fr.setups[k].vms.clone(), cfg.env_cfg());
-            env.reset(test.clone());
             let policy_seed = SeedStream::new(seed).child("random-dispatch").index(k as u64).seed();
-            let m = run_heuristic(&mut env, HeuristicPolicy::BlindRandom, policy_seed);
+            // The workflow family evaluates on DagCloudEnv (held-out tasks
+            // wrapped as singleton workflows, exactly like the trained
+            // clients' greedy eval), so its random floor must run there
+            // too. Flat families keep the original CloudEnv path
+            // bit-for-bit.
+            let m = if family == WorkloadFamily::Workflow {
+                let mut env = DagCloudEnv::new(fr.dims, fr.setups[k].vms.clone(), cfg.env_cfg());
+                env.reset(test.iter().map(singleton_workflow).collect());
+                run_blind_random(&mut env, policy_seed)
+            } else {
+                let mut env = CloudEnv::new(fr.dims, fr.setups[k].vms.clone(), cfg.env_cfg());
+                env.reset(test.clone());
+                run_heuristic(&mut env, HeuristicPolicy::BlindRandom, policy_seed)
+            };
             reward_sum += m.total_reward;
             resp_sum += m.avg_response;
             bal_sum += m.avg_load_balance;
@@ -477,6 +509,25 @@ mod tests {
             assert_eq!(x.values, y.values);
             assert_eq!(x.values, z.values, "parallelism changed results");
         }
+    }
+
+    #[test]
+    fn workflow_family_micro_matrix_runs() {
+        let cfg = EvalConfig {
+            algorithms: vec![Algorithm::FedAvg],
+            families: vec![WorkloadFamily::Workflow],
+            ..micro_cfg()
+        };
+        let report = run_matrix(&cfg);
+        assert_eq!(report.cells.len(), Metric::ALL.len());
+        // DAG-env training must produce finite curves, and the random floor
+        // must actually schedule (it runs on DagCloudEnv for this family).
+        let cell = report
+            .cell(Algorithm::FedAvg, WorkloadFamily::Workflow, Metric::FinalReward)
+            .expect("workflow cell present");
+        assert!(cell.values.iter().all(|v| v.is_finite()));
+        assert_eq!(report.random.len(), 1);
+        assert!(report.random[0].response_mean() >= 1.0);
     }
 
     #[test]

@@ -5,9 +5,11 @@ use crate::config::{ClientSetup, FedConfig};
 use crate::snapshot::PolicySnapshot;
 use pfrl_nn::Mlp;
 use pfrl_rl::{DualCriticAgent, PpoAgent, PpoConfig};
-use pfrl_sim::{CloudEnv, EnvConfig, EnvDims, EpisodeMetrics};
+use pfrl_scenario::{ClientTrace, ScenarioBinding};
+use pfrl_sim::{CloudEnv, DagCloudEnv, EnvConfig, EnvDims, EpisodeMetrics, SchedulingEnv};
 use pfrl_stats::seeding::SeedStream;
 use pfrl_telemetry::Telemetry;
+use pfrl_workloads::workflow::{DagTask, Workflow};
 use pfrl_workloads::TaskSpec;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -16,10 +18,10 @@ use rand::SeedableRng;
 /// Minimal agent interface the federation machinery needs.
 pub trait FedAgent: Send {
     /// One training episode on a freshly reset env; returns total reward.
-    fn train_episode(&mut self, env: &mut CloudEnv) -> f32;
+    fn train_episode(&mut self, env: &mut dyn SchedulingEnv) -> f32;
     /// Greedy evaluation on a freshly reset env (`&mut self`: the agents
     /// route per-decision tensors through internal scratch buffers).
-    fn evaluate_episode(&mut self, env: &mut CloudEnv) -> EpisodeMetrics;
+    fn evaluate_episode(&mut self, env: &mut dyn SchedulingEnv) -> EpisodeMetrics;
     /// Routes the agent's metrics to `telemetry`. Default: ignore.
     fn set_telemetry(&mut self, _telemetry: Telemetry) {}
     /// The policy (actor) network — the part of the agent a serving
@@ -30,10 +32,10 @@ pub trait FedAgent: Send {
 }
 
 impl FedAgent for PpoAgent {
-    fn train_episode(&mut self, env: &mut CloudEnv) -> f32 {
+    fn train_episode(&mut self, env: &mut dyn SchedulingEnv) -> f32 {
         self.train_one_episode(env)
     }
-    fn evaluate_episode(&mut self, env: &mut CloudEnv) -> EpisodeMetrics {
+    fn evaluate_episode(&mut self, env: &mut dyn SchedulingEnv) -> EpisodeMetrics {
         self.evaluate(env)
     }
     fn set_telemetry(&mut self, telemetry: Telemetry) {
@@ -48,10 +50,10 @@ impl FedAgent for PpoAgent {
 }
 
 impl FedAgent for DualCriticAgent {
-    fn train_episode(&mut self, env: &mut CloudEnv) -> f32 {
+    fn train_episode(&mut self, env: &mut dyn SchedulingEnv) -> f32 {
         self.train_one_episode(env)
     }
-    fn evaluate_episode(&mut self, env: &mut CloudEnv) -> EpisodeMetrics {
+    fn evaluate_episode(&mut self, env: &mut dyn SchedulingEnv) -> EpisodeMetrics {
         self.evaluate(env)
     }
     fn set_telemetry(&mut self, telemetry: Telemetry) {
@@ -65,6 +67,39 @@ impl FedAgent for DualCriticAgent {
     }
 }
 
+/// The environment a client trains in: the paper's flat task stream, or the
+/// dependency-aware workflow environment (both share dims, action space, and
+/// reward shape, so the agents are oblivious to the choice).
+enum ClientEnv {
+    /// Flat per-task scheduling ([`CloudEnv`]).
+    Flat(CloudEnv),
+    /// DAG workflow scheduling ([`DagCloudEnv`]).
+    Dag(DagCloudEnv),
+}
+
+impl ClientEnv {
+    fn dims(&self) -> &EnvDims {
+        match self {
+            ClientEnv::Flat(e) => e.dims(),
+            ClientEnv::Dag(e) => e.dims(),
+        }
+    }
+
+    fn config(&self) -> &EnvConfig {
+        match self {
+            ClientEnv::Flat(e) => e.config(),
+            ClientEnv::Dag(e) => e.config(),
+        }
+    }
+
+    fn vm_specs(&self) -> &[pfrl_sim::VmSpec] {
+        match self {
+            ClientEnv::Flat(e) => e.vm_specs(),
+            ClientEnv::Dag(e) => e.vm_specs(),
+        }
+    }
+}
+
 /// One client of the federation.
 pub struct Client<A: FedAgent> {
     /// The learning agent.
@@ -73,11 +108,18 @@ pub struct Client<A: FedAgent> {
     pub name: String,
     /// Episode rewards collected so far.
     pub rewards: Vec<f64>,
-    env: CloudEnv,
+    env: ClientEnv,
     train_tasks: Vec<TaskSpec>,
     episode_seeds: SeedStream,
     episodes_done: usize,
     tasks_per_episode: Option<usize>,
+    /// Non-stationary trace override: when set, episode tasks come from the
+    /// scenario plan (pure in `(client, episode)`) instead of the pool.
+    scenario: Option<ClientTrace>,
+    /// Workflow pool (DAG mode only).
+    workflows: Vec<Workflow>,
+    /// Per-episode workflow window (DAG mode; `None` = full pool).
+    workflows_per_episode: Option<usize>,
 }
 
 impl<A: FedAgent> Client<A> {
@@ -98,18 +140,44 @@ impl<A: FedAgent> Client<A> {
             agent,
             name: setup.name,
             rewards: Vec::new(),
-            env,
+            env: ClientEnv::Flat(env),
             train_tasks: setup.train_tasks,
             episode_seeds,
             episodes_done: 0,
             tasks_per_episode: fed_cfg.tasks_per_episode,
+            scenario: None,
+            workflows: Vec::new(),
+            workflows_per_episode: None,
         }
     }
 
     /// Routes this client's agent and environment metrics to `telemetry`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.agent.set_telemetry(telemetry.clone());
-        self.env.set_telemetry(telemetry);
+        if let ClientEnv::Flat(env) = &mut self.env {
+            env.set_telemetry(telemetry);
+        }
+    }
+
+    /// Installs a scenario trace: from now on episode tasks are sampled
+    /// from the drifting plan instead of the static pool. The pool is kept
+    /// (it still defines `train_tasks()` for evaluation bookkeeping).
+    pub fn set_scenario_trace(&mut self, trace: ClientTrace) {
+        self.scenario = Some(trace);
+    }
+
+    /// Switches the client to the dependency-aware workflow environment,
+    /// training on windows of `pool` (same dims/config/VMs as the flat env
+    /// it replaces). `per_episode` bounds the workflows per episode window
+    /// (`None` = the whole pool every episode).
+    pub fn use_workflows(&mut self, pool: Vec<Workflow>, per_episode: Option<usize>) {
+        assert!(!pool.is_empty(), "client {} has no workflows", self.name);
+        let dims = *self.env.dims();
+        let cfg = *self.env.config();
+        let vms = self.env.vm_specs().to_vec();
+        self.env = ClientEnv::Dag(DagCloudEnv::new(dims, vms, cfg));
+        self.workflows = pool;
+        self.workflows_per_episode = per_episode;
     }
 
     /// Number of training episodes completed.
@@ -130,10 +198,14 @@ impl<A: FedAgent> Client<A> {
         &self.train_tasks
     }
 
-    /// Draws this episode's task window: a seeded random contiguous slice
-    /// of the pool, rebased to arrival 0 (or the full pool when
-    /// `tasks_per_episode` is `None`).
+    /// Draws this episode's task window. A scenario trace, when installed,
+    /// takes precedence (the drifting plan is the workload law); otherwise a
+    /// seeded random contiguous slice of the pool, rebased to arrival 0 (or
+    /// the full pool when `tasks_per_episode` is `None`).
     fn episode_tasks(&self, episode: usize) -> Vec<TaskSpec> {
+        if let Some(trace) = &self.scenario {
+            return trace.episode_tasks(episode);
+        }
         match self.tasks_per_episode {
             None => self.train_tasks.clone(),
             Some(n) if n >= self.train_tasks.len() => self.train_tasks.clone(),
@@ -152,12 +224,44 @@ impl<A: FedAgent> Client<A> {
         }
     }
 
+    /// Draws this episode's workflow window (DAG mode): the same seeded
+    /// windowing discipline as [`Self::episode_tasks`], with submission
+    /// times rebased to 0.
+    fn episode_workflows(&self, episode: usize) -> Vec<Workflow> {
+        let n = match self.workflows_per_episode {
+            None => return self.workflows.clone(),
+            Some(n) if n >= self.workflows.len() => return self.workflows.clone(),
+            Some(n) => n,
+        };
+        let seed = self.episode_seeds.index(episode as u64).seed();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let start = rng.gen_range(0..=self.workflows.len() - n);
+        let mut window = self.workflows[start..start + n].to_vec();
+        let base = window.first().map_or(0, |w| w.submit);
+        for wf in &mut window {
+            wf.submit -= base;
+            for t in &mut wf.tasks {
+                t.spec.arrival = wf.submit;
+            }
+        }
+        window
+    }
+
     /// Runs `n` training episodes, appending to `rewards`.
     pub fn run_episodes(&mut self, n: usize) {
         for _ in 0..n {
-            let tasks = self.episode_tasks(self.episodes_done);
-            self.env.reset(tasks);
-            let r = self.agent.train_episode(&mut self.env);
+            let episode = self.episodes_done;
+            let r = if matches!(self.env, ClientEnv::Dag(_)) {
+                let workflows = self.episode_workflows(episode);
+                let ClientEnv::Dag(env) = &mut self.env else { unreachable!() };
+                env.reset(workflows);
+                self.agent.train_episode(env)
+            } else {
+                let tasks = self.episode_tasks(episode);
+                let ClientEnv::Flat(env) = &mut self.env else { unreachable!() };
+                env.reset(tasks);
+                self.agent.train_episode(env)
+            };
             self.rewards.push(r as f64);
             self.episodes_done += 1;
         }
@@ -166,10 +270,27 @@ impl<A: FedAgent> Client<A> {
     /// Greedy evaluation of the current policy on an arbitrary task set
     /// (e.g. a held-out or hybrid test set). Borrows the tasks: the one
     /// copy the environment needs (it re-sorts by arrival) happens here,
-    /// not at every call site.
+    /// not at every call site. In DAG mode the tasks run as singleton
+    /// workflows, so flat- and workflow-trained policies share one
+    /// evaluation pipeline.
     pub fn evaluate_on(&mut self, tasks: &[TaskSpec]) -> EpisodeMetrics {
-        self.env.reset(tasks.to_vec());
-        self.agent.evaluate_episode(&mut self.env)
+        match &mut self.env {
+            ClientEnv::Flat(env) => {
+                env.reset(tasks.to_vec());
+                self.agent.evaluate_episode(env)
+            }
+            ClientEnv::Dag(env) => {
+                let workflows = tasks
+                    .iter()
+                    .map(|t| Workflow {
+                        tasks: vec![DagTask { spec: TaskSpec { id: 0, ..*t }, deps: vec![] }],
+                        submit: t.arrival,
+                    })
+                    .collect();
+                env.reset(workflows);
+                self.agent.evaluate_episode(env)
+            }
+        }
     }
 
     /// Exports the client's current greedy policy plus its environment
@@ -189,6 +310,32 @@ impl<A: FedAgent> Client<A> {
             actor_params: self.agent.actor().flat_params(),
         }
     }
+}
+
+/// Installs a scenario binding on a runner's clients and fault state: drift
+/// traces per client (only when the plan actually drifts — a churn-only plan
+/// leaves training traces untouched) plus the churn schedule. Shared by all
+/// four runners' `with_scenario` builders.
+pub(crate) fn install_scenario<A: FedAgent>(
+    clients: &mut [Client<A>],
+    fault: &mut crate::fault::FaultState,
+    binding: &ScenarioBinding,
+    tasks_per_episode: Option<usize>,
+) {
+    assert_eq!(
+        binding.datasets.len(),
+        clients.len(),
+        "scenario binding has {} datasets for {} clients",
+        binding.datasets.len(),
+        clients.len()
+    );
+    if binding.plan.has_drift() {
+        for (i, c) in clients.iter_mut().enumerate() {
+            let n = tasks_per_episode.unwrap_or(c.train_tasks().len());
+            c.set_scenario_trace(binding.trace_for(i, n));
+        }
+    }
+    fault.set_churn(binding.plan.churn().clone());
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@
 //! independent of the fault schedule.
 
 use pfrl_nn::params::validate_params;
+use pfrl_scenario::ChurnPlan;
 use pfrl_stats::seeding::SeedStream;
 use pfrl_telemetry::Telemetry;
 use rand::rngs::SmallRng;
@@ -285,6 +286,10 @@ pub enum AbsenceReason {
     Straggling,
     /// Permanently evicted by the quarantine gate.
     Evicted,
+    /// Outside the federation cohort this round per the churn plan (left,
+    /// or not joined yet). Unlike a dropout, this is scheduled membership,
+    /// not a failure — no fault counters fire and no straggle state ticks.
+    NotEnrolled,
 }
 
 /// A client's connectivity for one round, as decided by
@@ -347,6 +352,14 @@ pub struct FaultState {
     plan: FaultPlan,
     policy: QuarantinePolicy,
     clients: Vec<ClientFault>,
+    /// Cohort membership schedule (construction-time config, like `plan`:
+    /// never checkpointed — a restored runner re-derives membership by pure
+    /// replay).
+    churn: ChurnPlan,
+    /// Enrolled-client count of the latest [`Self::begin_round`], the
+    /// denominator of `fed/participation_fraction` (so scheduled churn does
+    /// not masquerade as dropout).
+    enrolled: usize,
     telemetry: Telemetry,
 }
 
@@ -361,8 +374,27 @@ impl FaultState {
             plan,
             policy,
             clients: vec![ClientFault::default(); n],
+            churn: ChurnPlan::none(),
+            enrolled: n,
             telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Installs the churn plan (construction-time config; replaces any
+    /// previous plan).
+    pub fn set_churn(&mut self, churn: ChurnPlan) {
+        self.enrolled = churn.enrolled_count(0, self.clients.len());
+        self.churn = churn;
+    }
+
+    /// The churn plan in force.
+    pub fn churn(&self) -> &ChurnPlan {
+        &self.churn
+    }
+
+    /// Enrolled-client count of the latest [`Self::begin_round`].
+    pub fn enrolled_now(&self) -> usize {
+        self.enrolled
     }
 
     /// Routes fault/quarantine counters to `telemetry`.
@@ -389,6 +421,7 @@ impl FaultState {
     /// Registers a newly joined client (healthy).
     pub fn add_client(&mut self) {
         self.clients.push(ClientFault::default());
+        self.enrolled += 1;
     }
 
     /// Number of tracked clients.
@@ -416,11 +449,32 @@ impl FaultState {
     }
 
     /// Decides every client's connectivity for `round`, advancing straggler
-    /// countdowns and emitting `fed/dropouts` / `fed/stragglers` counters.
+    /// countdowns and emitting `fed/dropouts` / `fed/stragglers` counters
+    /// (plus `fed/joins` / `fed/leaves` on churn transitions).
     pub fn begin_round(&mut self, round: usize) -> Vec<Presence> {
         let n = self.clients.len();
         let mut out = Vec::with_capacity(n);
+        let mut enrolled = 0usize;
         for i in 0..n {
+            // Churn is resolved before any fault state: an unenrolled client
+            // is simply not part of the cohort — its straggle countdown does
+            // not tick and no failure counters fire.
+            let in_cohort = self.churn.enrolled(round, i);
+            let was_in_cohort = if round == 0 {
+                self.churn.initially_enrolled(i)
+            } else {
+                self.churn.enrolled(round - 1, i)
+            };
+            match (was_in_cohort, in_cohort) {
+                (false, true) => self.telemetry.counter("fed/joins", 1),
+                (true, false) => self.telemetry.counter("fed/leaves", 1),
+                _ => {}
+            }
+            if !in_cohort {
+                out.push(Presence::Absent(AbsenceReason::NotEnrolled));
+                continue;
+            }
+            enrolled += 1;
             let c = &mut self.clients[i];
             if c.evicted {
                 out.push(Presence::Absent(AbsenceReason::Evicted));
@@ -450,6 +504,7 @@ impl FaultState {
                 None => out.push(Presence::Present { corrupt: None, stale_age: 0 }),
             }
         }
+        self.enrolled = enrolled;
         out
     }
 
@@ -546,8 +601,11 @@ impl FaultState {
     }
 
     /// Observes the round's participation fraction and flags empty rounds.
+    /// The denominator is the *currently enrolled* cohort of the latest
+    /// [`Self::begin_round`], not the all-time client count — scheduled
+    /// churn must not read as dropout.
     pub fn record_participation(&self, accepted: usize) {
-        let n = self.clients.len().max(1);
+        let n = self.enrolled.max(1);
         self.telemetry.observe("fed/participation_fraction", accepted as f64 / n as f64);
         if accepted == 0 {
             self.telemetry.counter("fed/skipped_rounds", 1);
@@ -720,6 +778,24 @@ mod tests {
         assert_eq!(fs.reentry_weight(0), 1.0);
         assert_eq!(fs.reentry_weight(1), 0.5);
         assert_eq!(fs.reentry_weight(3), 0.125);
+    }
+
+    #[test]
+    fn churn_drives_presence_and_enrolled_count() {
+        use pfrl_scenario::{ChurnEvent, ChurnKind};
+        let mut fs = FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), 3);
+        fs.set_churn(ChurnPlan::new(vec![
+            ChurnEvent { round: 1, client: 2, kind: ChurnKind::Leave },
+            ChurnEvent { round: 3, client: 2, kind: ChurnKind::Join },
+        ]));
+        assert_eq!(fs.enrolled_now(), 3);
+        assert!(fs.begin_round(0).iter().all(Presence::is_present));
+        let p1 = fs.begin_round(1);
+        assert_eq!(p1[2], Presence::Absent(AbsenceReason::NotEnrolled));
+        assert!(p1[0].is_present() && p1[1].is_present());
+        assert_eq!(fs.enrolled_now(), 2);
+        assert!(fs.begin_round(3)[2].is_present());
+        assert_eq!(fs.enrolled_now(), 3);
     }
 
     #[test]

@@ -140,8 +140,10 @@ impl FedAvgRunner {
     /// injected at the client→server boundary of every aggregation.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let policy = *self.fault.policy();
+        let churn = self.fault.churn().clone();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
+        fault.set_churn(churn);
         self.fault = fault;
         self
     }
@@ -150,9 +152,41 @@ impl FedAvgRunner {
     /// threshold, staleness decay).
     pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
         let plan = *self.fault.plan();
+        let churn = self.fault.churn().clone();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
+        fault.set_churn(churn);
         self.fault = fault;
+        self
+    }
+
+    /// Installs a deterministic scenario (workload drift + churn, see
+    /// [`pfrl_scenario`]): drifting clients regenerate their episode traces
+    /// from the plan, and the plan's churn schedule drives which clients are
+    /// in the cohort each round (leavers sit out aggregation; re-joiners
+    /// flow through the staleness re-entry blend).
+    pub fn with_scenario(mut self, binding: &pfrl_scenario::ScenarioBinding) -> Self {
+        crate::client::install_scenario(
+            &mut self.clients,
+            &mut self.fault,
+            binding,
+            self.cfg.tasks_per_episode,
+        );
+        self
+    }
+
+    /// Switches every client to DAG workflow scheduling: client `i` draws
+    /// its episodes from `pools[i]` (seeded windows of `per_episode`
+    /// workflows; `None` replays the full pool each episode).
+    pub fn with_workflows(
+        mut self,
+        pools: Vec<Vec<pfrl_workloads::workflow::Workflow>>,
+        per_episode: Option<usize>,
+    ) -> Self {
+        assert_eq!(pools.len(), self.clients.len(), "one workflow pool per client");
+        for (c, pool) in self.clients.iter_mut().zip(pools) {
+            c.use_workflows(pool, per_episode);
+        }
         self
     }
 

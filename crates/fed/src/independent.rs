@@ -94,9 +94,42 @@ impl IndependentRunner {
     /// baseline's role in chaos experiments.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let policy = *self.fault.policy();
+        let churn = self.fault.churn().clone();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
+        fault.set_churn(churn);
         self.fault = fault;
+        self
+    }
+
+    /// Installs a deterministic scenario (see [`pfrl_scenario`]): clients
+    /// regenerate their episode traces from the drift plan and the plan's
+    /// churn schedule drives cohort membership. For the isolated baseline
+    /// the churn only surfaces in telemetry — there is no cohort to leave —
+    /// but the drifting workloads hit training exactly as they do for the
+    /// federated runners.
+    pub fn with_scenario(mut self, binding: &pfrl_scenario::ScenarioBinding) -> Self {
+        crate::client::install_scenario(
+            &mut self.clients,
+            &mut self.fault,
+            binding,
+            self.cfg.tasks_per_episode,
+        );
+        self
+    }
+
+    /// Switches every client to DAG workflow scheduling: client `i` draws
+    /// its episodes from `pools[i]` (seeded windows of `per_episode`
+    /// workflows; `None` replays the full pool each episode).
+    pub fn with_workflows(
+        mut self,
+        pools: Vec<Vec<pfrl_workloads::workflow::Workflow>>,
+        per_episode: Option<usize>,
+    ) -> Self {
+        assert_eq!(pools.len(), self.clients.len(), "one workflow pool per client");
+        for (c, pool) in self.clients.iter_mut().zip(pools) {
+            c.use_workflows(pool, per_episode);
+        }
         self
     }
 

@@ -33,7 +33,7 @@ pub mod secure;
 pub mod similarity;
 pub mod snapshot;
 
-pub use client::Client;
+pub use client::{Client, FedAgent};
 pub use config::{ClientSetup, FedConfig};
 pub use curves::TrainingCurves;
 pub use error::FedError;
@@ -45,6 +45,7 @@ pub use fedavg::{FedAvgRunner, RoundLossProbe};
 pub use independent::IndependentRunner;
 pub use mfpo::MfpoRunner;
 pub use pfrl_dm::PfrlDmRunner;
+pub use pfrl_scenario as scenario;
 pub use runner::{ClientView, FederatedRunner};
 pub use secure::{aggregate_masked, mask_update};
 pub use similarity::{attention_weights, cosine_weights, kl_weights};

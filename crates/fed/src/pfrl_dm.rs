@@ -25,7 +25,9 @@ use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
 use crate::error::FedError;
-use crate::fault::{AcceptedUpload, FaultPlan, FaultState, QuarantinePolicy};
+use crate::fault::{
+    AbsenceReason, AcceptedUpload, FaultPlan, FaultState, Presence, QuarantinePolicy,
+};
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
 use crate::similarity::{attention_weights, mean_row_entropy};
@@ -155,8 +157,10 @@ impl PfrlDmRunner {
     /// participation sequence with and without faults.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let policy = *self.fault.policy();
+        let churn = self.fault.churn().clone();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
+        fault.set_churn(churn);
         self.fault = fault;
         self
     }
@@ -165,9 +169,42 @@ impl PfrlDmRunner {
     /// threshold, staleness decay).
     pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
         let plan = *self.fault.plan();
+        let churn = self.fault.churn().clone();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
+        fault.set_churn(churn);
         self.fault = fault;
+        self
+    }
+
+    /// Installs a deterministic scenario (workload drift + churn, see
+    /// [`pfrl_scenario`]): drifting clients regenerate their episode traces
+    /// from the plan, and the plan's churn schedule drives which clients
+    /// are eligible for the round's `K`-of-`N` cohort (leavers are skipped
+    /// by the sampler; re-joiners flow through the staleness re-entry
+    /// blend toward `ψ_G`).
+    pub fn with_scenario(mut self, binding: &pfrl_scenario::ScenarioBinding) -> Self {
+        crate::client::install_scenario(
+            &mut self.clients,
+            &mut self.fault,
+            binding,
+            self.cfg.tasks_per_episode,
+        );
+        self
+    }
+
+    /// Switches every client to DAG workflow scheduling: client `i` draws
+    /// its episodes from `pools[i]` (seeded windows of `per_episode`
+    /// workflows; `None` replays the full pool each episode).
+    pub fn with_workflows(
+        mut self,
+        pools: Vec<Vec<pfrl_workloads::workflow::Workflow>>,
+        per_episode: Option<usize>,
+    ) -> Self {
+        assert_eq!(pools.len(), self.clients.len(), "one workflow pool per client");
+        for (c, pool) in self.clients.iter_mut().zip(pools) {
+            c.use_workflows(pool, per_episode);
+        }
         self
     }
 
@@ -227,12 +264,21 @@ impl PfrlDmRunner {
     pub fn aggregate(&mut self) {
         let round = self.rounds_done;
         let n = self.clients.len();
-        let k = self.cfg.participation_k.min(n);
         let mut idx: Vec<usize> = (0..n).collect();
         idx.shuffle(&mut self.participation_rng);
-        let candidates: Vec<usize> = idx.into_iter().take(k).collect();
 
         let presences = self.fault.begin_round(round);
+        // Churn shrinks the eligible pool, never the RNG stream: the
+        // shuffle above always consumes the same randomness over all `N`
+        // clients, then scheduled leavers are filtered out of the ranked
+        // order. A churn-free run is therefore bit-identical to one with no
+        // churn plan installed.
+        let k = self.cfg.participation_k.min(self.fault.enrolled_now());
+        let candidates: Vec<usize> = idx
+            .into_iter()
+            .filter(|&i| presences[i] != Presence::Absent(AbsenceReason::NotEnrolled))
+            .take(k)
+            .collect();
 
         let upload = self.telemetry.span("fed/round/upload");
         let mut accepted: Vec<AcceptedUpload> = Vec::new();

@@ -354,6 +354,20 @@ impl PpoAgent {
             normalize_in_place(&mut self.scratch.advantages);
         }
         let span = self.telemetry.span("rl/ppo_update");
+        // Advantages above were computed from the pre-update value estimates,
+        // so the two passes commute data-wise; `critic_first` only swaps
+        // which network steps first (the update-order ablation).
+        let mut critic_mse = 0.0;
+        if self.cfg.critic_first {
+            critic_mse = critic_update(
+                &mut self.critic,
+                &mut self.critic_opt,
+                &self.scratch.states,
+                &self.scratch.returns,
+                self.cfg.critic_epochs,
+                &mut self.scratch.epoch,
+            );
+        }
         let actor_stats = actor_update(
             &mut self.actor,
             &mut self.actor_opt,
@@ -365,14 +379,16 @@ impl PpoAgent {
             &self.cfg,
             &mut self.scratch.epoch,
         );
-        let critic_mse = critic_update(
-            &mut self.critic,
-            &mut self.critic_opt,
-            &self.scratch.states,
-            &self.scratch.returns,
-            self.cfg.critic_epochs,
-            &mut self.scratch.epoch,
-        );
+        if !self.cfg.critic_first {
+            critic_mse = critic_update(
+                &mut self.critic,
+                &mut self.critic_opt,
+                &self.scratch.states,
+                &self.scratch.returns,
+                self.cfg.critic_epochs,
+                &mut self.scratch.epoch,
+            );
+        }
         drop(span);
         self.telemetry.observe("rl/actor_surrogate", actor_stats.surrogate as f64);
         self.telemetry.observe("rl/actor_entropy", actor_stats.entropy as f64);

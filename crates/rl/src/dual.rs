@@ -60,6 +60,38 @@ pub struct DualAgentSnapshot {
     pub episodes_buffered: usize,
 }
 
+/// Regresses both critics on the batched returns held in `scratch`; returns
+/// the pre-update `(L_φ, L_ψ)` MSEs. A free function over disjoint field
+/// borrows so [`DualCriticAgent::update`] can call it while its telemetry
+/// span is live, before or after the actor pass depending on
+/// [`PpoConfig::critic_first`].
+fn dual_critic_pass(
+    local_critic: &mut Mlp,
+    local_opt: &mut Adam,
+    public_critic: &mut Mlp,
+    public_opt: &mut Adam,
+    scratch: &mut AgentScratch,
+    epochs: usize,
+) -> (f32, f32) {
+    let local_mse = critic_update(
+        local_critic,
+        local_opt,
+        &scratch.states,
+        &scratch.returns,
+        epochs,
+        &mut scratch.epoch,
+    );
+    let public_mse = critic_update(
+        public_critic,
+        public_opt,
+        &scratch.states,
+        &scratch.returns,
+        epochs,
+        &mut scratch.epoch,
+    );
+    (local_mse, public_mse)
+}
+
 /// Dual-critic PPO client agent.
 #[derive(Debug, Clone)]
 pub struct DualCriticAgent {
@@ -207,6 +239,22 @@ impl DualCriticAgent {
             normalize_in_place(&mut self.scratch.advantages);
         }
         let span = self.telemetry.span("rl/ppo_update");
+        // Advantages above came from the pre-update blended values, so
+        // `critic_first` only reorders the gradient passes (the update-order
+        // ablation); both value functions regress on the same returns
+        // (Eqs. 16–17) either way, and the α refresh stays last.
+        let mut local_mse = 0.0;
+        let mut public_mse = 0.0;
+        if self.cfg.critic_first {
+            (local_mse, public_mse) = dual_critic_pass(
+                &mut self.local_critic,
+                &mut self.local_opt,
+                &mut self.public_critic,
+                &mut self.public_opt,
+                &mut self.scratch,
+                self.cfg.critic_epochs,
+            );
+        }
         let actor_stats = actor_update(
             &mut self.actor,
             &mut self.actor_opt,
@@ -218,23 +266,16 @@ impl DualCriticAgent {
             &self.cfg,
             &mut self.scratch.epoch,
         );
-        // Both value functions regress on the same returns (Eqs. 16–17).
-        let local_mse = critic_update(
-            &mut self.local_critic,
-            &mut self.local_opt,
-            &self.scratch.states,
-            &self.scratch.returns,
-            self.cfg.critic_epochs,
-            &mut self.scratch.epoch,
-        );
-        let public_mse = critic_update(
-            &mut self.public_critic,
-            &mut self.public_opt,
-            &self.scratch.states,
-            &self.scratch.returns,
-            self.cfg.critic_epochs,
-            &mut self.scratch.epoch,
-        );
+        if !self.cfg.critic_first {
+            (local_mse, public_mse) = dual_critic_pass(
+                &mut self.local_critic,
+                &mut self.local_opt,
+                &mut self.public_critic,
+                &mut self.public_opt,
+                &mut self.scratch,
+                self.cfg.critic_epochs,
+            );
+        }
         drop(span);
         self.telemetry.observe("rl/actor_surrogate", actor_stats.surrogate as f64);
         self.telemetry.observe("rl/actor_entropy", actor_stats.entropy as f64);

@@ -1,0 +1,134 @@
+//! Adaptation metrics for non-stationary runs.
+//!
+//! Both measures are defined against a *pre-shift baseline window*: the mean
+//! reward over the `window` episodes immediately before the shift. From
+//! there:
+//!
+//! * **time-to-recover** — episodes until the forward `window`-episode
+//!   smoothed reward first reaches the baseline again;
+//! * **post-shift regret** — cumulative shortfall `Σ max(0, baseline − r_t)`
+//!   over every post-shift episode.
+//!
+//! Everything is finite by construction (unrecovered runs report the
+//! post-shift horizon length, not infinity), so the metrics pass the same
+//! NaN/inf gates as the stationary evaluation.
+
+/// Adaptation summary for one reward curve around one shift point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptationMetrics {
+    /// Mean reward over the pre-shift baseline window.
+    pub pre_shift_baseline: f64,
+    /// Episodes from the shift until the smoothed reward reaches the
+    /// baseline again; equals the post-shift horizon when never recovered.
+    pub time_to_recover: f64,
+    /// Whether the curve actually recovered within the horizon.
+    pub recovered: bool,
+    /// Cumulative positive shortfall vs the baseline after the shift.
+    pub post_shift_regret: f64,
+}
+
+/// Computes [`AdaptationMetrics`] for `curve` with a drift onset at episode
+/// `shift`, using a `window`-episode baseline and smoothing window.
+///
+/// # Panics
+/// If the curve is empty, `shift` is outside it, or `window` is zero.
+pub fn adaptation_metrics(curve: &[f64], shift: usize, window: usize) -> AdaptationMetrics {
+    assert!(!curve.is_empty(), "adaptation metrics need a non-empty curve");
+    assert!(shift < curve.len(), "shift episode {shift} outside curve of length {}", curve.len());
+    assert!(window >= 1, "baseline window must be >= 1");
+
+    let pre = &curve[shift.saturating_sub(window)..shift];
+    // A shift at episode 0 has no pre-shift evidence; baseline falls back to
+    // the first observation so the metrics stay finite and comparable.
+    let baseline = if pre.is_empty() { curve[0] } else { mean(pre) };
+
+    let horizon = curve.len() - shift;
+    let mut time_to_recover = horizon as f64;
+    let mut recovered = false;
+    for t in shift..curve.len() {
+        let end = (t + window).min(curve.len());
+        if mean(&curve[t..end]) >= baseline {
+            time_to_recover = (t - shift) as f64;
+            recovered = true;
+            break;
+        }
+    }
+
+    let post_shift_regret = curve[shift..].iter().map(|&r| (baseline - r).max(0.0)).sum();
+
+    AdaptationMetrics {
+        pre_shift_baseline: baseline,
+        time_to_recover,
+        recovered,
+        post_shift_regret,
+    }
+}
+
+/// Episode-wise mean across per-client reward curves, truncated to the
+/// shortest curve. The drift evaluation aligns adaptation metrics on this
+/// federation-level curve rather than any single client's.
+pub fn mean_curve(per_client: &[Vec<f64>]) -> Vec<f64> {
+    let len = per_client.iter().map(Vec::len).min().unwrap_or(0);
+    (0..len).map(|t| mean(&per_client.iter().map(|c| c[t]).collect::<Vec<_>>())).collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_recovery_when_no_dip() {
+        let curve = vec![1.0; 20];
+        let m = adaptation_metrics(&curve, 10, 5);
+        assert_eq!(m.pre_shift_baseline, 1.0);
+        assert_eq!(m.time_to_recover, 0.0);
+        assert!(m.recovered);
+        assert_eq!(m.post_shift_regret, 0.0);
+    }
+
+    #[test]
+    fn dip_and_recovery_measured_from_shift() {
+        // Baseline 1.0; dip to 0 for 3 episodes, then back above baseline.
+        let mut curve = vec![1.0; 10];
+        curve.extend([0.0, 0.0, 0.0]);
+        curve.extend([2.0; 7]);
+        let m = adaptation_metrics(&curve, 10, 2);
+        assert_eq!(m.pre_shift_baseline, 1.0);
+        assert!(m.recovered);
+        // At t=12 the forward window [0.0, 2.0] averages 1.0 >= baseline.
+        assert_eq!(m.time_to_recover, 2.0);
+        assert_eq!(m.post_shift_regret, 3.0);
+    }
+
+    #[test]
+    fn unrecovered_run_caps_at_horizon_and_stays_finite() {
+        let mut curve = vec![1.0; 8];
+        curve.extend([0.5; 6]);
+        let m = adaptation_metrics(&curve, 8, 4);
+        assert!(!m.recovered);
+        assert_eq!(m.time_to_recover, 6.0);
+        assert!(m.time_to_recover.is_finite() && m.post_shift_regret.is_finite());
+        assert!((m.post_shift_regret - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_at_zero_uses_first_observation_as_baseline() {
+        let curve = vec![2.0, 1.0, 2.0, 3.0];
+        let m = adaptation_metrics(&curve, 0, 3);
+        assert_eq!(m.pre_shift_baseline, 2.0);
+        assert!(m.recovered);
+    }
+
+    #[test]
+    fn mean_curve_truncates_to_shortest() {
+        let a = vec![1.0, 3.0, 5.0];
+        let b = vec![3.0, 5.0];
+        let m = mean_curve(&[a, b]);
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_curve(&[]).is_empty());
+    }
+}

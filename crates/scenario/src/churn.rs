@@ -1,0 +1,151 @@
+//! Client churn: join/leave events on the federation cohort.
+//!
+//! Enrollment is resolved by *pure replay* of an explicit, sorted event
+//! list — no runtime bookkeeping — so cohort membership at any round is a
+//! function of the plan alone. That is what makes churn runs thread-count
+//! invariant and checkpoint/resume safe: a restored runner re-derives the
+//! same membership for every remaining round.
+
+/// Direction of one churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The client (re-)enters the federation at the event round.
+    Join,
+    /// The client leaves the federation at the event round.
+    Leave,
+}
+
+/// One scheduled membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Communication round the change takes effect (inclusive).
+    pub round: usize,
+    /// Client index affected.
+    pub client: usize,
+    /// Join or leave.
+    pub kind: ChurnKind,
+}
+
+/// An explicit, deterministic schedule of cohort membership changes.
+///
+/// A client whose *earliest* event is a [`ChurnKind::Join`] starts outside
+/// the federation (it is a late joiner); every other client starts
+/// enrolled. Between events, membership is constant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// The empty plan: every client is enrolled every round.
+    pub fn none() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// Builds a plan from events (sorted internally by round).
+    ///
+    /// # Panics
+    /// If two events target the same `(round, client)` pair.
+    pub fn new(mut events: Vec<ChurnEvent>) -> Self {
+        events.sort_by_key(|e| (e.round, e.client));
+        assert!(
+            events.windows(2).all(|w| (w[0].round, w[0].client) != (w[1].round, w[1].client)),
+            "duplicate churn event for one (round, client) pair"
+        );
+        Self { events }
+    }
+
+    /// Whether any membership change is scheduled.
+    pub fn is_active(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The scheduled events, sorted by round.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Whether `client` starts the run enrolled (false only for late
+    /// joiners — clients whose first event is a join).
+    pub fn initially_enrolled(&self, client: usize) -> bool {
+        match self.events.iter().find(|e| e.client == client) {
+            Some(e) => e.kind != ChurnKind::Join,
+            None => true,
+        }
+    }
+
+    /// Whether `client` is enrolled at `round`, by replaying every event at
+    /// or before `round`. Pure: same arguments, same answer, always.
+    pub fn enrolled(&self, round: usize, client: usize) -> bool {
+        let mut state = self.initially_enrolled(client);
+        for e in self.events.iter().filter(|e| e.client == client && e.round <= round) {
+            state = e.kind == ChurnKind::Join;
+        }
+        state
+    }
+
+    /// Number of enrolled clients at `round` out of `n` total.
+    pub fn enrolled_count(&self, round: usize, n: usize) -> usize {
+        (0..n).filter(|&c| self.enrolled(round, c)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: usize, client: usize, kind: ChurnKind) -> ChurnEvent {
+        ChurnEvent { round, client, kind }
+    }
+
+    #[test]
+    fn empty_plan_keeps_everyone_enrolled() {
+        let p = ChurnPlan::none();
+        assert!(!p.is_active());
+        for round in 0..20 {
+            for client in 0..6 {
+                assert!(p.enrolled(round, client));
+            }
+        }
+        assert_eq!(p.enrolled_count(7, 6), 6);
+    }
+
+    #[test]
+    fn leave_then_rejoin_replays_purely() {
+        let p = ChurnPlan::new(vec![ev(3, 1, ChurnKind::Leave), ev(6, 1, ChurnKind::Join)]);
+        assert!(p.initially_enrolled(1));
+        assert!(p.enrolled(2, 1));
+        assert!(!p.enrolled(3, 1), "leave takes effect at its round");
+        assert!(!p.enrolled(5, 1));
+        assert!(p.enrolled(6, 1), "rejoin takes effect at its round");
+        assert!(p.enrolled(100, 1));
+        // Other clients are untouched.
+        assert!((0..10).all(|r| p.enrolled(r, 0)));
+        assert_eq!(p.enrolled_count(4, 3), 2);
+    }
+
+    #[test]
+    fn late_joiner_starts_outside() {
+        let p = ChurnPlan::new(vec![ev(5, 2, ChurnKind::Join)]);
+        assert!(!p.initially_enrolled(2));
+        assert!(!p.enrolled(0, 2));
+        assert!(!p.enrolled(4, 2));
+        assert!(p.enrolled(5, 2));
+    }
+
+    #[test]
+    fn events_sorted_regardless_of_input_order() {
+        let p = ChurnPlan::new(vec![ev(9, 0, ChurnKind::Join), ev(2, 0, ChurnKind::Leave)]);
+        assert_eq!(p.events()[0].round, 2);
+        // Earliest event is the leave, so client 0 starts enrolled.
+        assert!(p.initially_enrolled(0));
+        assert!(!p.enrolled(5, 0));
+        assert!(p.enrolled(9, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate churn event")]
+    fn duplicate_round_client_rejected() {
+        let _ = ChurnPlan::new(vec![ev(1, 0, ChurnKind::Leave), ev(1, 0, ChurnKind::Join)]);
+    }
+}

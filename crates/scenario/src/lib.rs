@@ -1,0 +1,33 @@
+//! `pfrl-scenario` — the deterministic non-stationary scenario engine.
+//!
+//! Every experiment so far froze the world at construction time: each
+//! client's trace was sampled once, and the federation cohort was fixed for
+//! the whole run. This crate makes *what happens over the course of a run*
+//! a first-class, seeded, reproducible object, mirroring the `FaultPlan`
+//! idiom of `pfrl-fed`:
+//!
+//! * [`ScenarioPlan`] — a pure schedule of **workload drift** events
+//!   ([`DriftKind::RateShift`] diurnal intensity shifts,
+//!   [`DriftKind::FlashCrowd`] arrival bursts, [`DriftKind::DatasetSwap`]
+//!   workload-identity changes). `episode_tasks(client, dataset, n, episode)`
+//!   derives its RNG from `(plan seed, client, episode)` alone, so drift
+//!   runs replay bit-identically at any thread count and resume from any
+//!   checkpoint without extra state.
+//! * [`ChurnPlan`] — explicit **join/leave** events on the federation
+//!   cohort, resolved by pure replay (`enrolled(round, client)`); the fault
+//!   runtime routes re-entering clients through its existing
+//!   staleness-decay blending.
+//! * [`adaptation_metrics`] — **time-to-recover** to the pre-shift reward
+//!   level and **post-shift cumulative regret** against the pre-shift
+//!   baseline window, the two measures the drift evaluation reports.
+//!
+//! The crate depends only on `pfrl-workloads` and `pfrl-stats`; the
+//! federation runtime (`pfrl-fed`) consumes it, not the other way around.
+
+pub mod adapt;
+pub mod churn;
+pub mod plan;
+
+pub use adapt::{adaptation_metrics, mean_curve, AdaptationMetrics};
+pub use churn::{ChurnEvent, ChurnKind, ChurnPlan};
+pub use plan::{ClientTrace, DriftKind, DriftPhase, DriftScope, ScenarioBinding, ScenarioPlan};

@@ -1,0 +1,424 @@
+//! The scenario plan: a pure, seeded schedule of workload drift composed
+//! with a churn plan.
+//!
+//! Like `FaultPlan`, a [`ScenarioPlan`] carries no runtime state. The
+//! workload in force for `(client, episode)` is resolved by folding the
+//! drift phases that cover that point, and the episode's tasks are sampled
+//! from a seed derived from `(plan seed, client, episode)` — so two runs of
+//! the same plan agree bit-for-bit regardless of thread count, and a
+//! checkpoint taken mid-drift resumes into exactly the same trace stream.
+
+use crate::churn::{ChurnEvent, ChurnKind, ChurnPlan};
+use pfrl_stats::seeding::SeedStream;
+use pfrl_workloads::{scale_arrivals, DatasetId, TaskSpec, WorkloadModel};
+
+/// Which clients a drift phase applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftScope {
+    /// Every client drifts together (a global regime change).
+    AllClients,
+    /// Only the given client drifts (a local distribution shift).
+    Client(usize),
+}
+
+impl DriftScope {
+    /// Whether the scope covers `client`.
+    pub fn applies_to(self, client: usize) -> bool {
+        match self {
+            DriftScope::AllClients => true,
+            DriftScope::Client(c) => c == client,
+        }
+    }
+}
+
+/// What a drift phase does to the workload law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftKind {
+    /// Multiplies every hourly arrival rate by `factor` — the diurnal
+    /// intensity shift (same task mix, different load).
+    RateShift {
+        /// Arrival-rate multiplier (> 0).
+        factor: f64,
+    },
+    /// A sudden arrival burst: same mechanics as a rate shift but meant to
+    /// run for a short phase (flash crowds are transient by definition).
+    FlashCrowd {
+        /// Arrival-rate multiplier during the burst (> 1 for a crowd).
+        factor: f64,
+    },
+    /// The client's trace generator changes family: its dataset rotates
+    /// `rotate` places forward in [`DatasetId::ALL`].
+    DatasetSwap {
+        /// Forward rotation through the dataset table (mod its length).
+        rotate: u64,
+    },
+}
+
+/// One drift phase: a kind applied to a scope over an episode interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPhase {
+    /// First episode the phase is in force (inclusive).
+    pub start: usize,
+    /// Length in episodes; `None` = in force for the rest of the run.
+    pub duration: Option<usize>,
+    /// The perturbation.
+    pub kind: DriftKind,
+    /// Who it hits.
+    pub scope: DriftScope,
+}
+
+impl DriftPhase {
+    /// Whether the phase is in force at `episode` for `client`.
+    pub fn covers(&self, client: usize, episode: usize) -> bool {
+        if !self.scope.applies_to(client) || episode < self.start {
+            return false;
+        }
+        match self.duration {
+            None => true,
+            Some(d) => episode < self.start + d,
+        }
+    }
+}
+
+/// A deterministic, seeded non-stationary scenario: drift phases plus a
+/// churn plan, sharing one root seed for all trace sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPlan {
+    /// Root seed of every scenario trace stream (independent of the
+    /// training seed).
+    pub seed: u64,
+    /// Drift phases, applied in declaration order when several cover the
+    /// same `(client, episode)` point.
+    pub phases: Vec<DriftPhase>,
+    /// Cohort membership schedule.
+    pub churn: ChurnPlan,
+    /// Arrival-time compression applied to every sampled trace (divides
+    /// arrivals; ≥ 1). Matches the eval harness's densification knob so
+    /// drift runs play in the same load regime as the stationary matrix.
+    pub compression: u64,
+}
+
+impl ScenarioPlan {
+    /// The empty scenario: no drift, no churn, no trace override. Installing
+    /// it must not perturb a run in any way.
+    pub fn none() -> Self {
+        Self { seed: 0, phases: Vec::new(), churn: ChurnPlan::none(), compression: 1 }
+    }
+
+    /// An empty plan carrying a seed, for builder-style composition.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::none() }
+    }
+
+    /// Builder: appends a drift phase.
+    pub fn with_phase(mut self, phase: DriftPhase) -> Self {
+        if let DriftKind::RateShift { factor } | DriftKind::FlashCrowd { factor } = phase.kind {
+            assert!(factor > 0.0 && factor.is_finite(), "drift factor {factor} must be positive");
+        }
+        if let Some(d) = phase.duration {
+            assert!(d >= 1, "drift phase duration must be >= 1 episode");
+        }
+        self.phases.push(phase);
+        self
+    }
+
+    /// Builder: installs the churn plan.
+    pub fn with_churn(mut self, churn: ChurnPlan) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Builder: sets the arrival compression (≥ 1).
+    pub fn with_compression(mut self, compression: u64) -> Self {
+        assert!(compression >= 1, "compression must be >= 1");
+        self.compression = compression;
+        self
+    }
+
+    /// Whether the plan perturbs anything (drift or churn).
+    pub fn is_active(&self) -> bool {
+        !self.phases.is_empty() || self.churn.is_active()
+    }
+
+    /// Whether any drift phase exists (trace generation is overridden only
+    /// in that case — a churn-only plan leaves the training traces alone).
+    pub fn has_drift(&self) -> bool {
+        !self.phases.is_empty()
+    }
+
+    /// The earliest drift onset, if any — the episode adaptation metrics
+    /// align on.
+    pub fn first_shift(&self) -> Option<usize> {
+        self.phases.iter().map(|p| p.start).min()
+    }
+
+    /// The churn schedule.
+    pub fn churn(&self) -> &ChurnPlan {
+        &self.churn
+    }
+
+    /// The dataset identity in force for `(client, episode)` after folding
+    /// every covering [`DriftKind::DatasetSwap`].
+    pub fn effective_dataset(&self, client: usize, base: DatasetId, episode: usize) -> DatasetId {
+        let all = DatasetId::ALL;
+        let mut idx = all.iter().position(|&d| d == base).expect("dataset in ALL") as u64;
+        for p in self.phases.iter().filter(|p| p.covers(client, episode)) {
+            if let DriftKind::DatasetSwap { rotate } = p.kind {
+                idx = (idx + rotate) % all.len() as u64;
+            }
+        }
+        all[idx as usize]
+    }
+
+    /// The workload law in force for `(client, episode)`: the effective
+    /// dataset's model with every covering rate factor applied.
+    pub fn effective_model(&self, client: usize, base: DatasetId, episode: usize) -> WorkloadModel {
+        let mut model = self.effective_dataset(client, base, episode).model();
+        let mut factor = 1.0f64;
+        for p in self.phases.iter().filter(|p| p.covers(client, episode)) {
+            if let DriftKind::RateShift { factor: f } | DriftKind::FlashCrowd { factor: f } = p.kind
+            {
+                factor *= f;
+            }
+        }
+        if factor != 1.0 {
+            model = scale_arrivals(&model, factor);
+        }
+        model
+    }
+
+    /// Samples episode `episode`'s tasks for `client`: `n` tasks from the
+    /// effective model, arrivals compressed and rebased to 0, ids `0..n`.
+    /// Pure in `(self, client, base, n, episode)` — the property every
+    /// determinism and resume guarantee rests on.
+    pub fn episode_tasks(
+        &self,
+        client: usize,
+        base: DatasetId,
+        n: usize,
+        episode: usize,
+    ) -> Vec<TaskSpec> {
+        let seed = SeedStream::new(self.seed)
+            .child("trace")
+            .index(client as u64)
+            .index(episode as u64)
+            .seed();
+        let mut tasks = self.effective_model(client, base, episode).sample(n, seed);
+        let first = tasks.first().map_or(0, |t| t.arrival);
+        for t in &mut tasks {
+            t.arrival = (t.arrival - first) / self.compression;
+        }
+        tasks
+    }
+
+    /// The canonical composite scenario the drift evaluation, the bench
+    /// probe, and the determinism tests share: a permanent 1.5× rate shift
+    /// plus a 3-episode 4× flash crowd at `shift_episode` (all clients), a
+    /// dataset swap on client 0, and — with ≥ 2 clients — the last client
+    /// leaving at the shift round and rejoining two rounds later (flowing
+    /// through the fault runtime's staleness re-entry blending).
+    pub fn standard_drift(
+        seed: u64,
+        shift_episode: usize,
+        comm_every: usize,
+        n_clients: usize,
+    ) -> Self {
+        assert!(comm_every >= 1, "comm_every must be >= 1");
+        let shift_round = shift_episode / comm_every.max(1);
+        let mut churn = Vec::new();
+        if n_clients >= 2 {
+            let leaver = n_clients - 1;
+            churn.push(ChurnEvent { round: shift_round, client: leaver, kind: ChurnKind::Leave });
+            churn.push(ChurnEvent {
+                round: shift_round + 2,
+                client: leaver,
+                kind: ChurnKind::Join,
+            });
+        }
+        ScenarioPlan::new(seed)
+            .with_phase(DriftPhase {
+                start: shift_episode,
+                duration: None,
+                kind: DriftKind::RateShift { factor: 1.5 },
+                scope: DriftScope::AllClients,
+            })
+            .with_phase(DriftPhase {
+                start: shift_episode,
+                duration: Some(3),
+                kind: DriftKind::FlashCrowd { factor: 4.0 },
+                scope: DriftScope::AllClients,
+            })
+            .with_phase(DriftPhase {
+                start: shift_episode,
+                duration: None,
+                kind: DriftKind::DatasetSwap { rotate: 1 },
+                scope: DriftScope::Client(0),
+            })
+            .with_churn(ChurnPlan::new(churn))
+    }
+}
+
+/// One client's bound view of a plan: everything `episode_tasks` needs,
+/// packaged so the federation runtime can hold it without knowing which
+/// client index or dataset it was built for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientTrace {
+    plan: ScenarioPlan,
+    client: usize,
+    dataset: DatasetId,
+    tasks_per_episode: usize,
+}
+
+impl ClientTrace {
+    /// Binds `plan` to one client.
+    pub fn new(plan: ScenarioPlan, client: usize, dataset: DatasetId, tasks: usize) -> Self {
+        assert!(tasks >= 1, "need at least one task per episode");
+        Self { plan, client, dataset, tasks_per_episode: tasks }
+    }
+
+    /// The episode's tasks (see [`ScenarioPlan::episode_tasks`]).
+    pub fn episode_tasks(&self, episode: usize) -> Vec<TaskSpec> {
+        self.plan.episode_tasks(self.client, self.dataset, self.tasks_per_episode, episode)
+    }
+}
+
+/// A plan plus the per-client base datasets it drives — the unit the
+/// experiment driver passes to a federation runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioBinding {
+    /// The scenario schedule.
+    pub plan: ScenarioPlan,
+    /// Base dataset per client, in client-index order.
+    pub datasets: Vec<DatasetId>,
+}
+
+impl ScenarioBinding {
+    /// Binds a plan to per-client datasets.
+    pub fn new(plan: ScenarioPlan, datasets: Vec<DatasetId>) -> Self {
+        Self { plan, datasets }
+    }
+
+    /// The bound trace for `client`, sampling `tasks` tasks per episode.
+    pub fn trace_for(&self, client: usize, tasks: usize) -> ClientTrace {
+        ClientTrace::new(self.plan.clone(), client, self.datasets[client], tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate_phase(start: usize, duration: Option<usize>, factor: f64) -> DriftPhase {
+        DriftPhase {
+            start,
+            duration,
+            kind: DriftKind::RateShift { factor },
+            scope: DriftScope::AllClients,
+        }
+    }
+
+    #[test]
+    fn none_plan_is_inert() {
+        let p = ScenarioPlan::none();
+        assert!(!p.is_active());
+        assert!(!p.has_drift());
+        assert_eq!(p.first_shift(), None);
+        assert_eq!(p.effective_dataset(0, DatasetId::Google, 10), DatasetId::Google);
+        assert_eq!(p.effective_model(0, DatasetId::Google, 10), DatasetId::Google.model());
+    }
+
+    #[test]
+    fn phases_cover_their_interval_only() {
+        let p = DriftPhase {
+            start: 5,
+            duration: Some(3),
+            kind: DriftKind::FlashCrowd { factor: 4.0 },
+            scope: DriftScope::Client(1),
+        };
+        assert!(!p.covers(1, 4));
+        assert!(p.covers(1, 5));
+        assert!(p.covers(1, 7));
+        assert!(!p.covers(1, 8));
+        assert!(!p.covers(0, 6), "scoped to client 1 only");
+    }
+
+    #[test]
+    fn rate_factors_compose_multiplicatively() {
+        let p = ScenarioPlan::new(1)
+            .with_phase(rate_phase(0, None, 2.0))
+            .with_phase(rate_phase(10, None, 3.0));
+        let early = p.effective_model(0, DatasetId::Google, 5);
+        let late = p.effective_model(0, DatasetId::Google, 10);
+        let base = DatasetId::Google.model();
+        assert!((early.arrival.mean_rate() / base.arrival.mean_rate() - 2.0).abs() < 1e-9);
+        assert!((late.arrival.mean_rate() / base.arrival.mean_rate() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_swap_rotates_through_the_table() {
+        let p = ScenarioPlan::new(1).with_phase(DriftPhase {
+            start: 8,
+            duration: None,
+            kind: DriftKind::DatasetSwap { rotate: 1 },
+            scope: DriftScope::Client(0),
+        });
+        assert_eq!(p.effective_dataset(0, DatasetId::Google, 7), DatasetId::Google);
+        let swapped = p.effective_dataset(0, DatasetId::Google, 8);
+        assert_ne!(swapped, DatasetId::Google);
+        // The last table entry wraps to the first.
+        let last = *DatasetId::ALL.last().unwrap();
+        assert_eq!(p.effective_dataset(0, last, 8), DatasetId::ALL[0]);
+        // Other clients keep their identity.
+        assert_eq!(p.effective_dataset(1, DatasetId::Google, 8), DatasetId::Google);
+    }
+
+    #[test]
+    fn episode_tasks_pure_and_shifted() {
+        let p = ScenarioPlan::new(42).with_phase(rate_phase(5, None, 8.0)).with_compression(2);
+        let a = p.episode_tasks(0, DatasetId::Google, 40, 3);
+        let b = p.episode_tasks(0, DatasetId::Google, 40, 3);
+        assert_eq!(a, b, "trace not a pure function of (client, episode)");
+        assert_eq!(a.len(), 40);
+        assert_eq!(a[0].arrival, 0, "arrivals must be rebased");
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Different clients and different episodes draw different traces.
+        assert_ne!(a, p.episode_tasks(1, DatasetId::Google, 40, 3));
+        assert_ne!(a, p.episode_tasks(0, DatasetId::Google, 40, 4));
+        // Post-shift episodes are denser on average (8× the arrival rate).
+        let pre_span = p.episode_tasks(0, DatasetId::Google, 40, 4).last().unwrap().arrival;
+        let post_span = p.episode_tasks(0, DatasetId::Google, 40, 5).last().unwrap().arrival;
+        assert!(post_span < pre_span, "post-shift span {post_span} vs pre {pre_span}");
+    }
+
+    #[test]
+    fn standard_drift_composes_all_three_event_types() {
+        let p = ScenarioPlan::standard_drift(9, 12, 4, 4);
+        assert!(p.is_active() && p.has_drift());
+        assert_eq!(p.first_shift(), Some(12));
+        assert_eq!(p.phases.len(), 3);
+        // Churn: last client leaves at round 3, rejoins at round 5.
+        assert!(p.churn().enrolled(2, 3));
+        assert!(!p.churn().enrolled(3, 3));
+        assert!(!p.churn().enrolled(4, 3));
+        assert!(p.churn().enrolled(5, 3));
+        // Client 0 swaps identity post-shift; client 1 keeps it.
+        assert_ne!(p.effective_dataset(0, DatasetId::Google, 12), DatasetId::Google);
+        assert_eq!(p.effective_dataset(1, DatasetId::Google, 12), DatasetId::Google);
+    }
+
+    #[test]
+    fn binding_builds_per_client_traces() {
+        let plan = ScenarioPlan::standard_drift(7, 6, 2, 2);
+        let b = ScenarioBinding::new(plan, vec![DatasetId::Google, DatasetId::K8s]);
+        let t0 = b.trace_for(0, 12);
+        let t1 = b.trace_for(1, 12);
+        assert_eq!(t0.episode_tasks(2).len(), 12);
+        assert_ne!(t0.episode_tasks(2), t1.episode_tasks(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_factor_rejected() {
+        let _ = ScenarioPlan::new(0).with_phase(rate_phase(0, None, -1.0));
+    }
+}

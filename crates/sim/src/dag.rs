@@ -192,6 +192,16 @@ impl DagCloudEnv {
         &self.cluster
     }
 
+    /// The environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Specs of the VMs the environment was built with.
+    pub fn vm_specs(&self) -> &[VmSpec] {
+        &self.vm_specs
+    }
+
     /// Head of the ready queue.
     pub fn head_task(&self) -> Option<&TaskSpec> {
         self.queue.front()

@@ -51,7 +51,7 @@ pub mod reward;
 pub mod state;
 pub mod vm;
 
-pub use baselines::{run_heuristic, HeuristicPolicy};
+pub use baselines::{run_blind_random, run_heuristic, HeuristicPolicy};
 pub use cluster::Cluster;
 pub use config::{EnvConfig, EnvDims};
 pub use dag::DagCloudEnv;

@@ -1,0 +1,139 @@
+//! Time-varying (non-stationary) workload wrappers.
+//!
+//! The base [`WorkloadModel`]s are stationary: one sample call draws from a
+//! fixed arrival/resource/duration law. Real clouds drift — diurnal shifts
+//! in arrival intensity, flash crowds, and outright changes of workload
+//! identity. This module supplies the two building blocks the scenario
+//! engine (`pfrl-scenario`) composes:
+//!
+//! * [`scale_arrivals`] — a rate-scaled copy of a model (same marginal task
+//!   distributions, `factor`× the arrival intensity at every hour);
+//! * [`PiecewiseModel`] — an episode-indexed schedule of models, so one
+//!   generator can change law mid-training while staying a pure function of
+//!   `(episode, seed)`.
+
+use crate::{ArrivalProfile, TaskSpec, WorkloadModel};
+
+/// A copy of `model` with every hourly arrival rate multiplied by
+/// `factor` (> 0). Resource and duration laws are untouched, so the drifted
+/// workload differs only in load intensity — the classic diurnal-shift /
+/// flash-crowd perturbation.
+pub fn scale_arrivals(model: &WorkloadModel, factor: f64) -> WorkloadModel {
+    assert!(factor > 0.0 && factor.is_finite(), "arrival scale factor {factor} must be positive");
+    let mut rates = model.arrival.hourly_rates;
+    for r in &mut rates {
+        *r *= factor;
+    }
+    WorkloadModel { arrival: ArrivalProfile { hourly_rates: rates }, ..model.clone() }
+}
+
+/// An episode-indexed piecewise-stationary workload: segment `i` applies
+/// from its start episode (inclusive) until the next segment's start.
+///
+/// Segments must be sorted by start episode and begin at episode 0, so
+/// every episode has exactly one generating model — the property that keeps
+/// drift runs resumable (the model in force is a pure function of the
+/// episode index, never of elapsed wall-clock or mutable state).
+#[derive(Debug, Clone)]
+pub struct PiecewiseModel {
+    /// `(start_episode, model)` pairs, sorted ascending, first start = 0.
+    pub segments: Vec<(usize, WorkloadModel)>,
+}
+
+impl PiecewiseModel {
+    /// A single-segment (stationary) schedule.
+    pub fn stationary(model: WorkloadModel) -> Self {
+        Self { segments: vec![(0, model)] }
+    }
+
+    /// Builds a schedule, validating the segment invariants.
+    ///
+    /// # Panics
+    /// If `segments` is empty, unsorted, or does not start at episode 0.
+    pub fn new(segments: Vec<(usize, WorkloadModel)>) -> Self {
+        assert!(!segments.is_empty(), "piecewise model needs at least one segment");
+        assert_eq!(segments[0].0, 0, "first segment must start at episode 0");
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "segment starts must be strictly increasing"
+        );
+        Self { segments }
+    }
+
+    /// The model in force at `episode`.
+    pub fn model_at(&self, episode: usize) -> &WorkloadModel {
+        let idx = self.segments.iter().rposition(|(start, _)| *start <= episode).expect("start 0");
+        &self.segments[idx].1
+    }
+
+    /// Samples `episode`'s tasks from the model in force — a pure function
+    /// of `(self, episode, seed)`.
+    pub fn sample_episode(&self, episode: usize, n: usize, seed: u64) -> Vec<TaskSpec> {
+        self.model_at(episode).sample(n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetId;
+
+    #[test]
+    fn scaled_arrivals_density_increases() {
+        let base = DatasetId::Google.model();
+        let fast = scale_arrivals(&base, 4.0);
+        assert_eq!(fast.resources, base.resources);
+        assert_eq!(fast.duration, base.duration);
+        for (a, b) in fast.arrival.hourly_rates.iter().zip(&base.arrival.hourly_rates) {
+            assert!((a / b - 4.0).abs() < 1e-12);
+        }
+        // Same seed, same count: the denser process finishes sooner.
+        let slow_span = base.sample(200, 7).last().unwrap().arrival;
+        let fast_span = fast.sample(200, 7).last().unwrap().arrival;
+        assert!(fast_span < slow_span, "scaled {fast_span} vs base {slow_span}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_scale_rejected() {
+        let _ = scale_arrivals(&DatasetId::Google.model(), 0.0);
+    }
+
+    #[test]
+    fn piecewise_selects_by_episode() {
+        let a = DatasetId::Google.model();
+        let b = DatasetId::Alibaba2017.model();
+        let pw = PiecewiseModel::new(vec![(0, a.clone()), (10, b.clone())]);
+        assert_eq!(pw.model_at(0).name, a.name);
+        assert_eq!(pw.model_at(9).name, a.name);
+        assert_eq!(pw.model_at(10).name, b.name);
+        assert_eq!(pw.model_at(999).name, b.name);
+    }
+
+    #[test]
+    fn piecewise_sampling_is_deterministic_and_shifts_at_boundary() {
+        let pw = PiecewiseModel::new(vec![
+            (0, DatasetId::Google.model()),
+            (5, scale_arrivals(&DatasetId::Google.model(), 8.0)),
+        ]);
+        assert_eq!(pw.sample_episode(3, 30, 1), pw.sample_episode(3, 30, 1));
+        // Across the boundary the same seed draws from a different law.
+        assert_ne!(pw.sample_episode(4, 30, 1), pw.sample_episode(5, 30, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "start at episode 0")]
+    fn piecewise_must_cover_episode_zero() {
+        let _ = PiecewiseModel::new(vec![(3, DatasetId::Google.model())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_rejects_unsorted_segments() {
+        let _ = PiecewiseModel::new(vec![
+            (0, DatasetId::Google.model()),
+            (7, DatasetId::K8s.model()),
+            (7, DatasetId::Google.model()),
+        ]);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod arrival;
 pub mod dataset;
+pub mod drift;
 pub mod duration;
 pub mod machines;
 pub mod mix;
@@ -39,6 +40,7 @@ pub mod workflow;
 
 pub use arrival::ArrivalProfile;
 pub use dataset::DatasetId;
+pub use drift::{scale_arrivals, PiecewiseModel};
 pub use duration::DurationModel;
 pub use machines::{machine_table, MachineRow};
 pub use mix::hybrid_test_set;

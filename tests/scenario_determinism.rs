@@ -1,0 +1,237 @@
+//! Determinism contract of the scenario engine: a seeded scenario plan
+//! (workload drift + flash crowd + dataset swap + client churn) replays
+//! bit-identically whatever the thread count, survives kill-resume from a
+//! `FEDCKPT` checkpoint taken mid-drift, and surfaces churn honestly in
+//! telemetry — the same invariance contract `tests/fault_injection.rs`
+//! proves for fault plans.
+
+use pfrl_core::experiment::{
+    run_federation_resumable_with_options, Algorithm, CheckpointConfig, RunOptions,
+};
+use pfrl_fed::scenario::{
+    adaptation_metrics, mean_curve, AdaptationMetrics, ChurnEvent, ChurnKind, ChurnPlan,
+    ScenarioBinding, ScenarioPlan,
+};
+use pfrl_fed::{
+    ClientSetup, FaultPlan, FedAvgRunner, FedConfig, IndependentRunner, MfpoRunner, PfrlDmRunner,
+    TrainingCurves,
+};
+use pfrl_rl::PpoConfig;
+use pfrl_sim::{EnvConfig, EnvDims, VmSpec};
+use pfrl_telemetry::{InMemoryRecorder, Telemetry};
+use pfrl_workloads::DatasetId;
+use std::sync::Arc;
+
+const DATASETS: [DatasetId; 4] =
+    [DatasetId::K8s, DatasetId::Google, DatasetId::Alibaba2017, DatasetId::Kvm2019];
+
+fn dims() -> EnvDims {
+    EnvDims::new(2, 8, 64.0, 3)
+}
+
+fn setups(n: usize) -> Vec<ClientSetup> {
+    (0..n)
+        .map(|i| ClientSetup {
+            name: format!("client{i}"),
+            vms: vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            train_tasks: DATASETS[i % DATASETS.len()].model().sample(60, 300 + i as u64),
+        })
+        .collect()
+}
+
+fn fed(episodes: usize, parallel: bool) -> FedConfig {
+    FedConfig {
+        episodes,
+        comm_every: 2,
+        participation_k: 2,
+        tasks_per_episode: Some(12),
+        seed: 33,
+        parallel,
+    }
+}
+
+/// The canonical composite scenario: permanent rate shift + flash crowd +
+/// dataset swap at episode 3, one client leaving and re-joining around the
+/// corresponding round.
+fn drift_binding() -> ScenarioBinding {
+    let plan = ScenarioPlan::standard_drift(7, 3, 2, 4);
+    ScenarioBinding::new(plan, DATASETS.to_vec())
+}
+
+/// Trains one runner of each algorithm under the composite scenario.
+fn run_with_scenario(alg: Algorithm, episodes: usize, parallel: bool) -> TrainingCurves {
+    let (s, d, e) = (setups(4), dims(), EnvConfig::default());
+    let p = PpoConfig::default();
+    let f = fed(episodes, parallel);
+    let b = drift_binding();
+    match alg {
+        Algorithm::PfrlDm => PfrlDmRunner::new(s, d, e, p, f).with_scenario(&b).train(),
+        Algorithm::FedAvg => FedAvgRunner::new(s, d, e, p, f).with_scenario(&b).train(),
+        Algorithm::Mfpo => MfpoRunner::new(s, d, e, p, f).with_scenario(&b).train(),
+        Algorithm::Ppo => IndependentRunner::new(s, d, e, p, f).with_scenario(&b).train(),
+    }
+}
+
+/// The adaptation reduction the drift sweep applies to a training run.
+fn adapt_of(curves: &TrainingCurves) -> AdaptationMetrics {
+    adaptation_metrics(&mean_curve(&curves.per_client), 3, 2)
+}
+
+#[test]
+fn inert_scenario_matches_default_construction() {
+    let (d, e, p) = (dims(), EnvConfig::default(), PpoConfig::default());
+    let f = fed(4, false);
+    // A plan with no drift phases and no churn must not perturb training —
+    // clients keep their frozen pools and the cohort never changes.
+    let inert = ScenarioBinding::new(ScenarioPlan::none(), DATASETS.to_vec());
+    let base = FedAvgRunner::new(setups(4), d, e, p, f).train();
+    let with = FedAvgRunner::new(setups(4), d, e, p, f).with_scenario(&inert).train();
+    assert_eq!(with, base, "inert scenario perturbed FedAvg training");
+    let base = PfrlDmRunner::new(setups(4), d, e, p, f).train();
+    let with = PfrlDmRunner::new(setups(4), d, e, p, f).with_scenario(&inert).train();
+    assert_eq!(with, base, "inert scenario perturbed PFRL-DM training");
+}
+
+#[test]
+#[ignore = "slow tier: 8 drift trainings; the release-mode CI chaos step runs `--include-ignored`"]
+fn drift_scenario_is_bit_identical_across_thread_counts() {
+    // The scenario is a pure function of (episode, client, seed): the same
+    // plan must replay identically whether clients train sequentially or
+    // on the rayon pool — curves and the adaptation reduction both.
+    for alg in Algorithm::ALL {
+        let sequential = run_with_scenario(alg, 6, false);
+        let parallel = run_with_scenario(alg, 6, true);
+        assert_eq!(sequential, parallel, "{alg}: drift schedule depends on thread count");
+        assert_eq!(
+            adapt_of(&sequential),
+            adapt_of(&parallel),
+            "{alg}: adaptation metrics depend on thread count"
+        );
+    }
+}
+
+#[test]
+#[ignore = "slow tier: 4 drift trainings; the release-mode CI chaos step runs `--include-ignored`"]
+fn checkpoint_kill_resume_mid_drift_is_bit_identical() {
+    let (d, e, p) = (dims(), EnvConfig::default(), PpoConfig::default());
+    let f = fed(8, false);
+    let b = drift_binding();
+
+    // Checkpoint after round 2 = 4 episodes: past the episode-3 shift and
+    // inside the flash crowd, with the churned client still absent. The
+    // binding is construction-time config (like the fault plan), so the
+    // rebuilt runner re-derives the identical drift traces and churn
+    // schedule and the restored run must not diverge.
+    let full = {
+        let mut r = PfrlDmRunner::new(setups(4), d, e, p, f).with_scenario(&b);
+        r.train()
+    };
+    let mut half = PfrlDmRunner::new(setups(4), d, e, p, f).with_scenario(&b);
+    half.train_round();
+    half.train_round();
+    let bytes = half.checkpoint_bytes();
+    drop(half);
+    let mut resumed = PfrlDmRunner::new(setups(4), d, e, p, f).with_scenario(&b);
+    resumed.restore_checkpoint(&bytes).expect("restore");
+    assert_eq!(resumed.rounds_done(), 2);
+    let resumed_curves = resumed.train();
+    assert_eq!(resumed_curves, full, "PFRL-DM: mid-drift resume diverged");
+    assert_eq!(adapt_of(&resumed_curves), adapt_of(&full));
+
+    let full = {
+        let mut r = FedAvgRunner::new(setups(4), d, e, p, f).with_scenario(&b);
+        r.train()
+    };
+    let mut half = FedAvgRunner::new(setups(4), d, e, p, f).with_scenario(&b);
+    half.train_round();
+    half.train_round();
+    let bytes = half.checkpoint_bytes();
+    let mut resumed = FedAvgRunner::new(setups(4), d, e, p, f).with_scenario(&b);
+    resumed.restore_checkpoint(&bytes).expect("restore");
+    assert_eq!(resumed.train(), full, "FedAvg: mid-drift resume diverged");
+}
+
+#[test]
+fn resumable_driver_restores_scenario_runs_on_disk() {
+    let dir = std::env::temp_dir().join(format!("pfrl-scenario-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("drift.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let ckpt = CheckpointConfig::every_round(&path);
+    // Scenario *and* fault plan together: the drift traces, churn schedule,
+    // and fault schedule must all re-derive identically on restore.
+    let options = RunOptions {
+        fault_plan: FaultPlan::new(17).with_dropout(0.2),
+        ..RunOptions::with_scenario(drift_binding())
+    };
+    let run = || {
+        run_federation_resumable_with_options(
+            Algorithm::FedAvg,
+            setups(4),
+            dims(),
+            EnvConfig::default(),
+            PpoConfig::default(),
+            fed(5, false),
+            &options,
+            &ckpt,
+            Telemetry::noop(),
+        )
+        .expect("resumable run")
+    };
+    let (curves_a, _) = run();
+    assert!(path.exists(), "checkpoint not persisted");
+    let (curves_b, _) = run();
+    assert_eq!(curves_a, curves_b, "restored drift run diverged from original");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn churn_surfaces_in_telemetry_counters() {
+    let rec = Arc::new(InMemoryRecorder::new());
+    // Client 3 leaves at round 1 and re-joins at round 3.
+    let churn = ChurnPlan::new(vec![
+        ChurnEvent { round: 1, client: 3, kind: ChurnKind::Leave },
+        ChurnEvent { round: 3, client: 3, kind: ChurnKind::Join },
+    ]);
+    let binding = ScenarioBinding::new(ScenarioPlan::new(5).with_churn(churn), DATASETS.to_vec());
+    let mut r = PfrlDmRunner::new(
+        setups(4),
+        dims(),
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed(10, false),
+    )
+    .with_telemetry(Telemetry::new(rec.clone()))
+    .with_scenario(&binding);
+    let curves = r.train();
+    assert!(curves.per_client.iter().all(|c| c.iter().all(|v| v.is_finite())));
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("fed/leaves"), 1, "leave transition not counted");
+    assert_eq!(snap.counter("fed/joins"), 1, "join transition not counted");
+}
+
+/// Regression test for the participation-fraction denominator: a round's
+/// fraction is accepted / *currently enrolled*, not accepted / all-time N —
+/// scheduled churn must not masquerade as dropout.
+#[test]
+fn participation_fraction_denominates_over_enrolled_cohort() {
+    let rec = Arc::new(InMemoryRecorder::new());
+    // Client 3's earliest event is a Join far past the horizon, so it
+    // starts outside the federation and never enters: 3 enrolled clients
+    // throughout. With K >= 4 and no faults every enrolled client is
+    // accepted every round, so the fraction must be exactly 3/3 = 1.0 in
+    // every round; the old fixed-N denominator would report 3/4.
+    let churn = ChurnPlan::new(vec![ChurnEvent { round: 1000, client: 3, kind: ChurnKind::Join }]);
+    let binding = ScenarioBinding::new(ScenarioPlan::new(5).with_churn(churn), DATASETS.to_vec());
+    let cfg = FedConfig { participation_k: 4, ..fed(6, false) };
+    let mut r =
+        FedAvgRunner::new(setups(4), dims(), EnvConfig::default(), PpoConfig::default(), cfg)
+            .with_telemetry(Telemetry::new(rec.clone()))
+            .with_scenario(&binding);
+    let _ = r.train();
+    let snap = rec.snapshot();
+    let h = snap.histogram("fed/participation_fraction").expect("fraction observed");
+    assert!(h.count() >= 3, "expected one observation per round");
+    assert_eq!(h.min(), 1.0, "fraction under-reported: denominator is not the enrolled cohort");
+    assert_eq!(h.max(), 1.0);
+}
