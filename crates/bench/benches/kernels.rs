@@ -134,6 +134,41 @@ fn bench_attention_scores(c: &mut Criterion) {
     });
 }
 
+fn bench_attention_scale(c: &mut Criterion) {
+    // The full multi-head attention weight generator at federation scale:
+    // dense softmax over all K client tokens vs the top-k sparse path
+    // (paper-default k = 8). Parameter length mirrors a small public
+    // critic; the `_into` workspace form is used so the measurement is the
+    // steady-state aggregation cost, not first-round allocation.
+    use pfrl_core::nn::{multi_head_attention_weights_into, AttentionScratch, MultiHeadConfig};
+
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut group = c.benchmark_group("kernels/attention_scale");
+    for &k in &[4usize, 64, 256] {
+        let params: Vec<Vec<f32>> =
+            (0..k).map(|_| (0..257).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        for (name, top_k) in [("dense", None), ("top8", Some(MultiHeadConfig::PAPER_TOP_K))] {
+            let cfg = MultiHeadConfig { top_k, ..Default::default() };
+            group.bench_function(BenchmarkId::new(name, k), |bench| {
+                let mut ws = AttentionScratch::new();
+                let mut out = Matrix::default();
+                multi_head_attention_weights_into(&params, &cfg, false, &mut ws, &mut out);
+                bench.iter(|| {
+                    multi_head_attention_weights_into(
+                        black_box(&params),
+                        &cfg,
+                        false,
+                        &mut ws,
+                        &mut out,
+                    );
+                    black_box(out.as_slice()[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_mlp_one(c: &mut Criterion) {
     // The per-decision path: one forward through the PPO actor shape.
     let mut rng = SmallRng::seed_from_u64(19);
@@ -159,6 +194,7 @@ criterion_group!(
     bench_matvec,
     bench_linear_fused,
     bench_attention_scores,
+    bench_attention_scale,
     bench_mlp_one
 );
 criterion_main!(benches);

@@ -10,11 +10,16 @@
 //!   the gate also runs the drift scenario and checks the adaptation
 //!   invariants — no NaN/inf, and every trained arm beats blind random on
 //!   post-shift held-out reward).
+//! * `PFRL_EVAL_TOPK=0` skips the top-k equivalence check (on by default:
+//!   a 12-client cohort trained with dense vs top-8 sparse attention from
+//!   identical seeds; the sparse arm's final reward must stay inside the
+//!   dense arm's bootstrap CI).
 
 use pfrl_bench::set_run_seed;
 use pfrl_core::experiment::federation_manifest;
 use pfrl_eval::{
-    check_drift_invariants, check_invariants, run_drift, run_matrix, DriftConfig, EvalConfig,
+    check_drift_invariants, check_invariants, check_topk_invariant, run_drift, run_matrix,
+    run_topk_check, DriftConfig, EvalConfig, TopkConfig,
 };
 use std::path::PathBuf;
 
@@ -83,6 +88,33 @@ fn main() {
         eprint!("{}", drift.to_markdown());
         violations.extend(check_drift_invariants(&drift));
     }
+
+    // Top-k equivalence: the sparse attention path must not change what the
+    // federation learns. Runs at the pinned-seed quick scale regardless of
+    // PFRL_SCALE — the matrix's 2-client cohorts can never exercise the
+    // mask, so this dedicated larger-cohort check is the only coverage.
+    if std::env::var("PFRL_EVAL_TOPK").as_deref() != Ok("0") {
+        let tcfg = TopkConfig::quick();
+        let t2 = std::time::Instant::now();
+        let topk = run_topk_check(&tcfg);
+        match topk.dense_ci.as_ref() {
+            Some(ci) => eprintln!(
+                "# top-k check done in {:.1}s — dense [{:.2}, {:.2}], top-{} mean {:.2} at K={}",
+                t2.elapsed().as_secs_f64(),
+                ci.lo,
+                ci.hi,
+                topk.top_k,
+                topk.topk_mean(),
+                topk.n_clients
+            ),
+            None => eprintln!(
+                "# top-k check done in {:.1}s — dense arm non-finite",
+                t2.elapsed().as_secs_f64()
+            ),
+        }
+        violations.extend(check_topk_invariant(&topk));
+    }
+
     if violations.is_empty() {
         eprintln!("\n# GATE PASS: all directional invariants hold");
     } else {

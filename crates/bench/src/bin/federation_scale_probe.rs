@@ -1,0 +1,264 @@
+//! Federation-scale benchmark (ISSUE 7 tentpole): sweeps the client count
+//! K and measures how the PFRL-DM aggregation phase scales, dense vs
+//! top-k sparse attention.
+//!
+//! For each K the probe builds a K-client federation (tiny task pools —
+//! local training is *not* the subject), runs one untimed warm-up
+//! aggregation to size the upload arena and attention scratch, then times
+//! `rounds_per_point` steady-state aggregations. Per point it records the
+//! mean per-round aggregation wall time, bytes on the wire (up/down, per
+//! round), pooled arena capacity, and process peak RSS.
+//!
+//! * `PFRL_SCALE=quick` (default): K ∈ {4, 16, 64, 256}
+//! * `PFRL_SCALE=paper` (nightly): adds K ∈ {512, 1024}
+//! * `PFRL_MAX_K=<n>`: caps the sweep (CI smoke uses 64)
+//!
+//! Output: `BENCH_federation_scale.json` (+ `.history.jsonl` keyed by git
+//! commit + a run manifest). `peak_rss_kb` is `VmHWM` — process-wide and
+//! monotonic, so points are swept in ascending-K order and the reading is
+//! only an upper bound for the K that produced it.
+
+use pfrl_core::experiment::{federation_manifest, Algorithm};
+use pfrl_core::fed::{ClientSetup, FedConfig, PfrlDmRunner};
+use pfrl_core::nn::MultiHeadConfig;
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::{EnvConfig, EnvDims, VmSpec};
+use pfrl_core::telemetry::{InMemoryRecorder, Telemetry};
+use pfrl_core::workloads::DatasetId;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 99;
+const OUT: &str = "BENCH_federation_scale.json";
+const HISTORY: &str = "BENCH_federation_scale.history.jsonl";
+const ROUNDS_PER_POINT: usize = 4;
+
+fn dims() -> EnvDims {
+    EnvDims::new(2, 8, 64.0, 3)
+}
+
+fn fed_cfg(n: usize) -> FedConfig {
+    FedConfig {
+        episodes: 2,
+        comm_every: 1,
+        participation_k: n,
+        tasks_per_episode: Some(8),
+        seed: SEED,
+        parallel: true,
+    }
+}
+
+/// Process peak RSS (`VmHWM`) in kB; 0 where `/proc` is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).map(str::to_string))
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+struct Point {
+    k: usize,
+    agg_wall_us_mean: f64,
+    bytes_up_per_round: u64,
+    bytes_down_per_round: u64,
+    arena_bytes: u64,
+    peak_rss_kb: u64,
+}
+
+fn probe_point(k: usize, top_k: Option<usize>) -> Point {
+    let setups: Vec<ClientSetup> = (0..k)
+        .map(|i| ClientSetup {
+            name: format!("client{i}"),
+            vms: vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+            train_tasks: DatasetId::K8s.model().sample(8, SEED + i as u64),
+        })
+        .collect();
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let att = MultiHeadConfig { top_k, ..Default::default() };
+    let mut runner = PfrlDmRunner::with_attention(
+        setups,
+        dims(),
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed_cfg(k),
+        att,
+    )
+    .with_telemetry(Telemetry::new(recorder.clone()));
+    runner.set_record_history(false);
+
+    // Warm-up: sizes the arena, attention scratch, and every workspace.
+    runner.aggregate();
+    let warm = recorder.snapshot();
+
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS_PER_POINT {
+        runner.aggregate();
+    }
+    let wall = t0.elapsed();
+    let snap = recorder.snapshot();
+
+    let per_round =
+        |name: &str| (snap.counter(name) - warm.counter(name)) / ROUNDS_PER_POINT as u64;
+    Point {
+        k,
+        agg_wall_us_mean: wall.as_secs_f64() * 1e6 / ROUNDS_PER_POINT as f64,
+        bytes_up_per_round: per_round("fed/bytes_up"),
+        bytes_down_per_round: per_round("fed/bytes_down"),
+        arena_bytes: runner.arena_bytes(),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn point_json(p: &Point) -> String {
+    format!(
+        concat!(
+            "        {{\"k\": {}, \"agg_wall_us_mean\": {:.1}, ",
+            "\"bytes_up_per_round\": {}, \"bytes_down_per_round\": {}, ",
+            "\"arena_bytes\": {}, \"peak_rss_kb\": {}}}"
+        ),
+        p.k,
+        p.agg_wall_us_mean,
+        p.bytes_up_per_round,
+        p.bytes_down_per_round,
+        p.arena_bytes,
+        p.peak_rss_kb,
+    )
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let scale = pfrl_bench::start("federation_scale_probe", "aggregation scaling, dense vs top-k");
+    pfrl_bench::set_run_seed(SEED);
+
+    let mut ks: Vec<usize> = vec![4, 16, 64, 256];
+    if scale.is_paper {
+        ks.extend([512, 1024]);
+    }
+    if let Ok(cap) = std::env::var("PFRL_MAX_K") {
+        let cap: usize = cap.parse().expect("PFRL_MAX_K must be an integer");
+        ks.retain(|&k| k <= cap);
+    }
+
+    // Ascending K within each arm keeps the monotonic VmHWM readings
+    // attributable; the dense arm runs first and therefore owns the
+    // high-water mark at equal K.
+    let arms: [(&str, Option<usize>); 2] =
+        [("dense", None), ("top8", Some(MultiHeadConfig::PAPER_TOP_K))];
+    let results: Vec<(&str, Option<usize>, Vec<Point>)> = arms
+        .iter()
+        .map(|&(name, top_k)| {
+            let points: Vec<Point> = ks
+                .iter()
+                .map(|&k| {
+                    let p = probe_point(k, top_k);
+                    eprintln!(
+                        "# {name} K={k}: {:.1} us/round agg, {} B up, arena {} B, rss {} kB",
+                        p.agg_wall_us_mean, p.bytes_up_per_round, p.arena_bytes, p.peak_rss_kb
+                    );
+                    p
+                })
+                .collect();
+            (name, top_k, points)
+        })
+        .collect();
+
+    let arms_json: Vec<String> = results
+        .iter()
+        .map(|(name, top_k, points)| {
+            let pts: Vec<String> = points.iter().map(point_json).collect();
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"name\": \"{name}\",\n",
+                    "      \"top_k\": {top_k},\n",
+                    "      \"points\": [\n{pts}\n      ]\n",
+                    "    }}"
+                ),
+                name = name,
+                top_k = top_k.map_or("null".to_string(), |k| k.to_string()),
+                pts = pts.join(",\n"),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"run\": \"federation_scale_probe\",\n",
+            "  \"scale\": \"{scale}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"rounds_per_point\": {rounds},\n",
+            "  \"note\": \"peak_rss_kb is VmHWM: process-wide, monotonic; ",
+            "points are swept in ascending K, dense arm first\",\n",
+            "  \"arms\": [\n{arms}\n  ]\n",
+            "}}\n"
+        ),
+        scale = if scale.is_paper { "paper" } else { "quick" },
+        seed = SEED,
+        rounds = ROUNDS_PER_POINT,
+        arms = arms_json.join(",\n"),
+    );
+    match std::fs::write(OUT, &json) {
+        Ok(()) => eprintln!("# wrote {OUT}"),
+        Err(e) => {
+            eprintln!("# error: could not write {OUT}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let manifest = federation_manifest(
+        "federation_scale_probe",
+        Algorithm::PfrlDm,
+        dims(),
+        &EnvConfig::default(),
+        &PpoConfig::default(),
+        &fed_cfg(*ks.last().unwrap_or(&4)),
+    );
+    if let Err(e) = manifest.write_next_to(OUT) {
+        eprintln!("# warning: could not write manifest: {e}");
+    }
+
+    let arm_summaries: Vec<String> = results
+        .iter()
+        .map(|(name, _, points)| {
+            let last = points.last().expect("at least one K");
+            format!(
+                "{{\"name\": \"{}\", \"max_k\": {}, \"agg_wall_us_mean\": {:.1}}}",
+                name, last.k, last.agg_wall_us_mean
+            )
+        })
+        .collect();
+    let line = format!(
+        concat!(
+            "{{\"ts_unix_s\": {}, \"git_commit\": \"{}\", \"config_hash\": \"{:016x}\", ",
+            "\"scale\": \"{}\", \"seed\": {}, \"arms\": [{}]}}\n"
+        ),
+        manifest.created_unix_s,
+        git_commit(),
+        manifest.config_hash,
+        manifest.scale,
+        SEED,
+        arm_summaries.join(", "),
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open(HISTORY) {
+        Ok(mut f) => match f.write_all(line.as_bytes()) {
+            Ok(()) => eprintln!("# appended to {HISTORY}"),
+            Err(e) => eprintln!("# warning: could not append to {HISTORY}: {e}"),
+        },
+        Err(e) => eprintln!("# warning: could not open {HISTORY}: {e}"),
+    }
+}

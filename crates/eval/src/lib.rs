@@ -34,11 +34,13 @@ pub mod family;
 pub mod gate;
 pub mod matrix;
 pub mod report;
+pub mod topk;
 
 pub use drift::{check_drift_invariants, run_drift, DriftArm, DriftConfig, DriftReport};
 pub use family::WorkloadFamily;
 pub use gate::check_invariants;
 pub use matrix::{run_matrix, Cell, EvalReport, Metric, PairedComparison, RandomBaseline};
+pub use topk::{check_topk_invariant, run_topk_check, TopkConfig, TopkReport};
 
 use pfrl_core::experiment::Algorithm;
 use pfrl_core::fed::FedConfig;

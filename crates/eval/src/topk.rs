@@ -1,0 +1,292 @@
+//! The top-k equivalence gate: sparse attention must not change what the
+//! federation learns.
+//!
+//! The top-k sparse attention path (paper-default k = 8) is a *performance*
+//! optimization of the PFRL-DM aggregator: per head, only the k largest
+//! scores per client row survive the softmax. The evaluation matrix runs
+//! 4-client federations with a participation cohort of 2, where any k ≥ 2
+//! is trivially dense — so the matrix alone can never detect a top-k
+//! learning regression. This module runs the one check that can: a cohort
+//! strictly larger than k (so the mask actually drops scores), trained
+//! dense and top-k from identical seeds, with the invariant that the top-k
+//! arm's final-window reward stays inside the dense arm's bootstrap CI.
+//!
+//! Seeds are pinned at quick scale, so a violation is a deterministic
+//! regression signal, not flakiness.
+
+use pfrl_core::fed::{ClientSetup, FedConfig, FederatedRunner, PfrlDmRunner};
+use pfrl_core::nn::MultiHeadConfig;
+use pfrl_core::replicate::replication_seed;
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::{EnvConfig, VmSpec};
+use pfrl_core::stats::{bootstrap_mean_ci, BootstrapCi, SeedStream};
+
+use crate::family::WorkloadFamily;
+
+/// One top-k equivalence run: cohort geometry, training schedule, and the
+/// CI the dense arm is reduced to.
+#[derive(Debug, Clone)]
+pub struct TopkConfig {
+    /// Federation size; must exceed `top_k` or the sparse path is a no-op
+    /// and the check is vacuous (enforced by [`TopkConfig::validate`]).
+    pub n_clients: usize,
+    /// The sparse cutoff under test (paper default: 8).
+    pub top_k: usize,
+    /// Paired replications per arm (≥ 2).
+    pub n_seeds: usize,
+    /// Root seed; replication seeds derive through a labeled stream.
+    pub root_seed: u64,
+    /// Tasks sampled per client training pool.
+    pub samples: usize,
+    /// Arrival-time compression (≥ 1), as in the matrix families.
+    pub arrival_compression: u64,
+    /// Training episodes per client.
+    pub episodes: usize,
+    /// Local episodes between aggregation rounds.
+    pub comm_every: usize,
+    /// Tasks per training episode (`None` = full pool).
+    pub tasks_per_episode: Option<usize>,
+    /// Final-window length for the converged-reward reduction.
+    pub final_window: usize,
+    /// Bootstrap resamples for the dense arm's CI.
+    pub resamples: usize,
+    /// Two-sided CI confidence level.
+    pub confidence: f64,
+}
+
+impl TopkConfig {
+    /// The CI-gate scale: a 12-client cohort (so top-8 masks a third of
+    /// every score row), 3 pinned seeds, a few seconds of release-mode
+    /// wall-clock.
+    pub fn quick() -> Self {
+        Self {
+            n_clients: 12,
+            top_k: MultiHeadConfig::PAPER_TOP_K,
+            n_seeds: 3,
+            root_seed: 0x5EED_2026,
+            samples: 40,
+            arrival_compression: 8,
+            episodes: 6,
+            comm_every: 2,
+            tasks_per_episode: Some(8),
+            final_window: 3,
+            resamples: 2000,
+            confidence: 0.95,
+        }
+    }
+
+    /// Panics on configurations that cannot produce a meaningful check.
+    pub fn validate(&self) {
+        assert!(
+            self.n_clients > self.top_k,
+            "top-k check is vacuous: cohort {} <= top_k {} keeps every score",
+            self.n_clients,
+            self.top_k
+        );
+        assert!(self.top_k >= 1, "top_k must be >= 1");
+        assert!(self.n_seeds >= 2, "need >= 2 seeds for a bootstrap CI");
+        assert!(self.arrival_compression >= 1, "arrival_compression must be >= 1");
+        assert!(self.final_window >= 1, "final_window must be >= 1");
+        assert!(
+            self.confidence > 0.0 && self.confidence < 1.0,
+            "confidence {} outside (0, 1)",
+            self.confidence
+        );
+    }
+}
+
+/// The reduced evidence of one top-k equivalence run.
+#[derive(Debug, Clone)]
+pub struct TopkReport {
+    /// Cohort size the arms trained at.
+    pub n_clients: usize,
+    /// The sparse cutoff under test.
+    pub top_k: usize,
+    /// Final-window reward per replication, dense attention.
+    pub dense_finals: Vec<f64>,
+    /// Final-window reward per replication, top-k attention (same seeds).
+    pub topk_finals: Vec<f64>,
+    /// Bootstrap CI of the dense mean; `None` if any value is non-finite.
+    pub dense_ci: Option<BootstrapCi>,
+}
+
+impl TopkReport {
+    /// Sample mean of the top-k arm (NaN if empty).
+    pub fn topk_mean(&self) -> f64 {
+        self.topk_finals.iter().sum::<f64>() / self.topk_finals.len() as f64
+    }
+}
+
+/// A heterogeneous `n_clients`-client cohort: datasets cycle through the
+/// Table 2 assignment, every client gets a small two-VM fleet, and the
+/// pools are a pure function of `seed` (so the dense and top-k arms train
+/// on identical data).
+fn cohort(cfg: &TopkConfig, seed: u64) -> Vec<ClientSetup> {
+    let stream = SeedStream::new(seed);
+    let datasets = WorkloadFamily::Heterogeneous.datasets();
+    (0..cfg.n_clients)
+        .map(|k| {
+            let dataset = datasets[k % datasets.len()];
+            let mut pool = dataset
+                .model()
+                .sample(cfg.samples, stream.child("topk-pool").index(k as u64).seed());
+            for t in &mut pool {
+                t.arrival /= cfg.arrival_compression;
+            }
+            ClientSetup {
+                name: format!("TopkClient{}-{}", k + 1, dataset.name()),
+                vms: vec![VmSpec::new(16, 128.0), VmSpec::new(32, 256.0)],
+                train_tasks: pool,
+            }
+        })
+        .collect()
+}
+
+/// Trains one arm to completion and reduces it to the final-window reward.
+fn arm_final(cfg: &TopkConfig, seed: u64, top_k: Option<usize>) -> f64 {
+    let fed = FedConfig {
+        episodes: cfg.episodes,
+        comm_every: cfg.comm_every,
+        participation_k: cfg.n_clients,
+        tasks_per_episode: cfg.tasks_per_episode,
+        seed,
+        parallel: false,
+    };
+    let att = MultiHeadConfig { top_k, ..Default::default() };
+    let mut runner = PfrlDmRunner::with_attention(
+        cohort(cfg, seed),
+        WorkloadFamily::Heterogeneous.dims(),
+        EnvConfig::default(),
+        PpoConfig { mask_invalid_actions: true, ..PpoConfig::default() },
+        fed,
+        att,
+    );
+    runner.train_to_completion().final_mean(cfg.final_window)
+}
+
+/// Runs both arms over the paired seeds. Deterministic in `root_seed`.
+pub fn run_topk_check(cfg: &TopkConfig) -> TopkReport {
+    cfg.validate();
+    let root = SeedStream::new(cfg.root_seed).child("topk-gate").seed();
+    let mut dense_finals = Vec::with_capacity(cfg.n_seeds);
+    let mut topk_finals = Vec::with_capacity(cfg.n_seeds);
+    for rep in 0..cfg.n_seeds {
+        let seed = replication_seed(root, rep);
+        dense_finals.push(arm_final(cfg, seed, None));
+        topk_finals.push(arm_final(cfg, seed, Some(cfg.top_k)));
+    }
+    let dense_ci = dense_finals.iter().all(|v| v.is_finite()).then(|| {
+        let boot_seed = SeedStream::new(cfg.root_seed).child("topk-bootstrap").seed();
+        bootstrap_mean_ci(&dense_finals, cfg.resamples, cfg.confidence, boot_seed)
+    });
+    TopkReport { n_clients: cfg.n_clients, top_k: cfg.top_k, dense_finals, topk_finals, dense_ci }
+}
+
+/// The gate invariant: the top-k arm's mean final reward lies inside the
+/// dense arm's bootstrap CI (and everything is finite). Returns one
+/// human-readable violation per failure, like [`crate::check_invariants`].
+pub fn check_topk_invariant(report: &TopkReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if report.topk_finals.iter().any(|v| !v.is_finite()) {
+        violations.push(format!(
+            "non-finite: top-{} arm produced a non-finite final reward",
+            report.top_k
+        ));
+        return violations;
+    }
+    let Some(ci) = &report.dense_ci else {
+        violations
+            .push("non-finite: dense attention arm produced a non-finite final reward".into());
+        return violations;
+    };
+    let mean = report.topk_mean();
+    if !(ci.lo..=ci.hi).contains(&mean) {
+        violations.push(format!(
+            "top-k regression: top-{} final reward {:.3} outside the dense CI [{:.3}, {:.3}] at K={}",
+            report.top_k, mean, ci.lo, ci.hi, report.n_clients
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(dense: Vec<f64>, topk: Vec<f64>) -> TopkReport {
+        let dense_ci =
+            dense.iter().all(|v| v.is_finite()).then(|| bootstrap_mean_ci(&dense, 200, 0.95, 3));
+        TopkReport { n_clients: 12, top_k: 8, dense_finals: dense, topk_finals: topk, dense_ci }
+    }
+
+    #[test]
+    fn matching_arms_pass() {
+        let r = synthetic(vec![10.0, 11.0, 12.0], vec![10.5, 11.0, 11.5]);
+        assert!(check_topk_invariant(&r).is_empty());
+    }
+
+    #[test]
+    fn collapsed_topk_arm_fails() {
+        let r = synthetic(vec![10.0, 11.0, 12.0], vec![1.0, 1.5, 2.0]);
+        let v = check_topk_invariant(&r);
+        assert!(v.iter().any(|m| m.contains("top-k regression")), "{v:?}");
+    }
+
+    #[test]
+    fn inflated_topk_arm_fails_too() {
+        // Above the CI is just as much a semantics change as below it.
+        let r = synthetic(vec![10.0, 11.0, 12.0], vec![30.0, 31.0, 32.0]);
+        let v = check_topk_invariant(&r);
+        assert!(v.iter().any(|m| m.contains("top-k regression")), "{v:?}");
+    }
+
+    #[test]
+    fn non_finite_values_fail() {
+        let r = synthetic(vec![10.0, 11.0, 12.0], vec![10.0, f64::NAN, 11.0]);
+        assert!(check_topk_invariant(&r).iter().any(|m| m.contains("non-finite")));
+        let r = synthetic(vec![10.0, f64::NAN, 12.0], vec![10.0, 11.0, 11.5]);
+        assert!(check_topk_invariant(&r).iter().any(|m| m.contains("non-finite")));
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuous")]
+    fn cohort_not_exceeding_top_k_is_rejected() {
+        let cfg = TopkConfig { n_clients: 8, top_k: 8, ..TopkConfig::quick() };
+        cfg.validate();
+    }
+
+    #[test]
+    fn quick_config_masks_a_nontrivial_fraction() {
+        let q = TopkConfig::quick();
+        q.validate();
+        assert!(q.n_clients > q.top_k + 1, "cohort must make the mask bite");
+        assert_eq!(q.top_k, MultiHeadConfig::PAPER_TOP_K);
+    }
+
+    /// A micro end-to-end run: tiny cohort and schedule, but the mask is
+    /// still non-vacuous (5 clients, top-3). Checks structure and
+    /// determinism, not learning quality.
+    #[test]
+    fn micro_run_is_deterministic_and_filled() {
+        let cfg = TopkConfig {
+            n_clients: 5,
+            top_k: 3,
+            n_seeds: 2,
+            samples: 16,
+            episodes: 2,
+            comm_every: 1,
+            tasks_per_episode: Some(6),
+            final_window: 2,
+            resamples: 200,
+            ..TopkConfig::quick()
+        };
+        let a = run_topk_check(&cfg);
+        let b = run_topk_check(&cfg);
+        assert_eq!(a.dense_finals, b.dense_finals);
+        assert_eq!(a.topk_finals, b.topk_finals);
+        assert_eq!(a.dense_finals.len(), 2);
+        assert_eq!(a.topk_finals.len(), 2);
+        assert!(a.dense_finals.iter().chain(&a.topk_finals).all(|v| v.is_finite()));
+        assert!(a.dense_ci.is_some());
+    }
+}

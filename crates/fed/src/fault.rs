@@ -452,8 +452,17 @@ impl FaultState {
     /// countdowns and emitting `fed/dropouts` / `fed/stragglers` counters
     /// (plus `fed/joins` / `fed/leaves` on churn transitions).
     pub fn begin_round(&mut self, round: usize) -> Vec<Presence> {
+        let mut out = Vec::with_capacity(self.clients.len());
+        self.begin_round_into(round, &mut out);
+        out
+    }
+
+    /// [`Self::begin_round`] into a reusable buffer — what the runners'
+    /// pooled aggregation paths call, allocation-free once `out`'s capacity
+    /// covers the cohort.
+    pub fn begin_round_into(&mut self, round: usize, out: &mut Vec<Presence>) {
         let n = self.clients.len();
-        let mut out = Vec::with_capacity(n);
+        out.clear();
         let mut enrolled = 0usize;
         for i in 0..n {
             // Churn is resolved before any fault state: an unenrolled client
@@ -505,7 +514,6 @@ impl FaultState {
             }
         }
         self.enrolled = enrolled;
-        out
     }
 
     /// Records that client `i` contributed nothing this round (absent, or
@@ -539,11 +547,13 @@ impl FaultState {
         };
 
         // Injection: a delayed packet delivers an old upload instead.
+        // `clone_from` writes over the arena-pooled buffers in place, so
+        // even injected staleness costs no fresh allocation at steady state.
         if stale_age > 0 {
             let hist = &self.clients[client].history;
             if !hist.is_empty() {
                 let idx = hist.len().saturating_sub(stale_age);
-                streams = hist[idx].clone();
+                streams.clone_from(&hist[idx]);
                 self.telemetry.counter("fed/stale_uploads", 1);
             }
         }
@@ -563,7 +573,12 @@ impl FaultState {
                 let c = &mut self.clients[client];
                 c.rejections = 0;
                 c.missed_rounds = 0;
-                c.last_good = Some(streams.clone());
+                // Reuse the retained last-good capacity instead of cloning
+                // a fresh copy every accepted round.
+                match &mut c.last_good {
+                    Some(lg) => lg.clone_from(&streams),
+                    None => c.last_good = Some(streams.clone()),
+                }
                 if self.plan.stale > 0.0 {
                     c.history.push_back(streams.clone());
                     while c.history.len() > self.plan.stale_max_age {
@@ -580,9 +595,12 @@ impl FaultState {
                     c.evicted = true;
                     self.telemetry.counter("fed/evictions", 1);
                 }
-                match c.last_good.clone() {
-                    Some(streams) => {
+                match &c.last_good {
+                    Some(lg) => {
                         self.telemetry.counter("fed/quarantine_fallbacks", 1);
+                        // Substitute in place: the rejected upload's pooled
+                        // buffers become the fallback contribution.
+                        streams.clone_from(lg);
                         Some(AcceptedUpload { client, streams, missed_rounds: missed })
                     }
                     None => {

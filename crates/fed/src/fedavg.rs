@@ -10,9 +10,10 @@ use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
 use crate::error::FedError;
-use crate::fault::{AcceptedUpload, FaultPlan, FaultState, QuarantinePolicy};
+use crate::fault::{AcceptedUpload, FaultPlan, FaultState, Presence, QuarantinePolicy};
 use crate::independent::{agent_seed, curves_of, run_all};
-use pfrl_nn::params::{apply_mixing_matrix, average_params};
+use crate::runner::UploadArena;
+use pfrl_nn::params::{apply_mixing_matrix_into, average_params_into};
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_telemetry::Telemetry;
@@ -59,6 +60,19 @@ pub struct RoundLossProbe {
     pub loss_after: f64,
 }
 
+/// Reusable per-round aggregation buffers: cleared and refilled every
+/// round so the steady-state aggregate path stays off the heap.
+#[derive(Default)]
+struct AggWorkspace {
+    presences: Vec<Presence>,
+    accepted: Vec<AcceptedUpload>,
+    survivors: Vec<usize>,
+    actors: Vec<Vec<f32>>,
+    critics: Vec<Vec<f32>>,
+    actor_out: Vec<Vec<f32>>,
+    critic_out: Vec<Vec<f32>>,
+}
+
 /// FedAvg federation runner.
 pub struct FedAvgRunner {
     /// Participating clients.
@@ -76,6 +90,8 @@ pub struct FedAvgRunner {
     pub loss_probes: Vec<RoundLossProbe>,
     fault: FaultState,
     telemetry: Telemetry,
+    arena: UploadArena,
+    agg: AggWorkspace,
 }
 
 impl FedAvgRunner {
@@ -121,6 +137,8 @@ impl FedAvgRunner {
             loss_probes: Vec::new(),
             fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
             telemetry: Telemetry::noop(),
+            arena: UploadArena::new(),
+            agg: AggWorkspace::default(),
         }
     }
 
@@ -255,95 +273,150 @@ impl FedAvgRunner {
     /// probe.
     pub fn aggregate(&mut self, round: usize) {
         let n = self.clients.len();
-        let presences = self.fault.begin_round(round);
+        self.fault.begin_round_into(round, &mut self.agg.presences);
 
         let upload = self.telemetry.span("fed/round/upload");
-        let mut accepted: Vec<AcceptedUpload> = Vec::new();
-        for (i, &p) in presences.iter().enumerate() {
+        self.agg.accepted.clear();
+        for i in 0..n {
+            let p = self.agg.presences[i];
             if !p.is_present() {
                 self.fault.note_missed(i);
                 continue;
             }
-            let streams =
-                vec![self.clients[i].agent.actor_params(), self.clients[i].agent.critic_params()];
+            // Uploads flow through the pooled arena: one warm
+            // `[actor, critic]` buffer pair per client instead of two
+            // fresh allocations.
+            let mut streams = self.arena.acquire(2);
+            self.clients[i].agent.actor_params_into(&mut streams[0]);
+            self.clients[i].agent.critic_params_into(&mut streams[1]);
             if let Some(up) = self.fault.gate_upload(round, i, streams, p) {
-                accepted.push(up);
+                self.agg.accepted.push(up);
             }
         }
         drop(upload);
-        self.fault.record_participation(accepted.len());
-        if accepted.is_empty() {
+        self.fault.record_participation(self.agg.accepted.len());
+        if self.agg.accepted.is_empty() {
             // Nothing survived the gate: skip the aggregation entirely;
             // clients keep training on their current parameters.
             self.telemetry.counter("fed/rounds", 1);
             self.rounds_done += 1;
             return;
         }
-        let survivors: Vec<usize> = accepted.iter().map(|u| u.client).collect();
-        let actors: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[0].clone()).collect();
-        let critics: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[1].clone()).collect();
+        let agg_start = std::time::Instant::now();
+        let k = self.agg.accepted.len();
+        self.agg.survivors.clear();
+        self.agg.survivors.extend(self.agg.accepted.iter().map(|u| u.client));
+        self.agg.actors.truncate(k);
+        self.agg.critics.truncate(k);
+        while self.agg.actors.len() < k {
+            self.agg.actors.push(Vec::new());
+        }
+        while self.agg.critics.len() < k {
+            self.agg.critics.push(Vec::new());
+        }
+        for (dst, u) in self.agg.actors.iter_mut().zip(&self.agg.accepted) {
+            dst.clone_from(&u.streams[0]);
+        }
+        for (dst, u) in self.agg.critics.iter_mut().zip(&self.agg.accepted) {
+            dst.clone_from(&u.streams[1]);
+        }
+        // The upload buffers are copied out; park them for the next round.
+        for up in self.agg.accepted.drain(..) {
+            self.arena.release(up.streams);
+        }
         // FedAvg ships both networks client → server.
-        self.telemetry.counter("fed/bytes_up", param_bytes(&actors) + param_bytes(&critics));
+        self.telemetry.counter(
+            "fed/bytes_up",
+            param_bytes(&self.agg.actors) + param_bytes(&self.agg.critics),
+        );
 
         let loss_before = self.mean_critic_loss();
 
         // Averaging (or mixing) first, then the broadcast back to clients,
         // so the two phases time separately.
         let aggregate_span = self.telemetry.span("fed/round/aggregate");
-        // `out[slot]` is the model for client `survivors[slot]`; `shared`
-        // is the uniform average every other connected client receives.
-        let (actor_out, critic_out, shared): (Vec<Vec<f32>>, Vec<Vec<f32>>, bool) =
-            match &self.mixing {
-                None => {
-                    let k = survivors.len();
-                    let (actor_avg, critic_avg) = if self.secure {
-                        let round_seed =
-                            self.cfg.seed ^ (0x5EC0_0000_0000_0000 | self.rounds_done as u64);
-                        // The masking cohort is the surviving subset (fixed
-                        // before masks are generated, so cancellation is
-                        // exact); slots re-base the pair indices.
-                        let mask_all = |ups: &[Vec<f32>]| -> Vec<f32> {
-                            let masked: Vec<Vec<f32>> = ups
-                                .iter()
-                                .enumerate()
-                                .map(|(slot, u)| crate::secure::mask_update(u, slot, k, round_seed))
-                                .collect();
-                            crate::secure::aggregate_masked(&masked, k)
-                                .expect("cohort fixed at masking time")
-                        };
-                        (mask_all(&actors), mask_all(&critics))
-                    } else {
-                        (average_params(&actors), average_params(&critics))
+        // Uniform FedAvg computes one shared average (`shared == true`,
+        // held in `*_out[0]` — the old `vec![avg; k]` broadcast list is
+        // never materialized); a mixing matrix yields one model per
+        // survivor slot.
+        let shared: bool = match &self.mixing {
+            None => {
+                self.agg.actor_out.truncate(1);
+                self.agg.critic_out.truncate(1);
+                if self.agg.actor_out.is_empty() {
+                    self.agg.actor_out.push(Vec::new());
+                }
+                if self.agg.critic_out.is_empty() {
+                    self.agg.critic_out.push(Vec::new());
+                }
+                if self.secure {
+                    let round_seed =
+                        self.cfg.seed ^ (0x5EC0_0000_0000_0000 | self.rounds_done as u64);
+                    // The masking cohort is the surviving subset (fixed
+                    // before masks are generated, so cancellation is
+                    // exact); slots re-base the pair indices.
+                    let mask_all = |ups: &[Vec<f32>]| -> Vec<f32> {
+                        let masked: Vec<Vec<f32>> = ups
+                            .iter()
+                            .enumerate()
+                            .map(|(slot, u)| crate::secure::mask_update(u, slot, k, round_seed))
+                            .collect();
+                        crate::secure::aggregate_masked(&masked, k)
+                            .expect("cohort fixed at masking time")
                     };
-                    (vec![actor_avg; k], vec![critic_avg; k], true)
+                    self.agg.actor_out[0] = mask_all(&self.agg.actors);
+                    self.agg.critic_out[0] = mask_all(&self.agg.critics);
+                } else {
+                    average_params_into(&self.agg.actors, &mut self.agg.actor_out[0]);
+                    average_params_into(&self.agg.critics, &mut self.agg.critic_out[0]);
                 }
-                Some(mix) => {
-                    let sub = restrict_mixing(mix, &survivors, n);
-                    (apply_mixing_matrix(&sub, &actors), apply_mixing_matrix(&sub, &critics), false)
-                }
-            };
+                true
+            }
+            Some(mix) => {
+                let sub = restrict_mixing(mix, &self.agg.survivors, n);
+                apply_mixing_matrix_into(
+                    &sub,
+                    &self.agg.actors,
+                    self.cfg.parallel,
+                    &mut self.agg.actor_out,
+                );
+                apply_mixing_matrix_into(
+                    &sub,
+                    &self.agg.critics,
+                    self.cfg.parallel,
+                    &mut self.agg.critic_out,
+                );
+                false
+            }
+        };
         drop(aggregate_span);
 
         {
             let _broadcast = self.telemetry.span("fed/round/broadcast");
-            for (slot, &i) in survivors.iter().enumerate() {
-                self.clients[i].agent.set_actor_params(&actor_out[slot]);
-                self.clients[i].agent.set_critic_params(&critic_out[slot]);
+            for slot in 0..k {
+                let i = self.agg.survivors[slot];
+                let src = if shared { 0 } else { slot };
+                self.clients[i].agent.set_actor_params(&self.agg.actor_out[src]);
+                self.clients[i].agent.set_critic_params(&self.agg.critic_out[src]);
             }
             if shared {
                 // Connected clients whose uploads were quarantined away
                 // still receive the round's uniform average.
-                for (i, &p) in presences.iter().enumerate() {
-                    if p.is_present() && !survivors.contains(&i) {
-                        self.clients[i].agent.set_actor_params(&actor_out[0]);
-                        self.clients[i].agent.set_critic_params(&critic_out[0]);
+                for i in 0..n {
+                    if self.agg.presences[i].is_present() && !self.agg.survivors.contains(&i) {
+                        self.clients[i].agent.set_actor_params(&self.agg.actor_out[0]);
+                        self.clients[i].agent.set_critic_params(&self.agg.critic_out[0]);
                         self.fault.note_refreshed(i);
                     }
                 }
             }
         }
-        self.telemetry
-            .counter("fed/bytes_down", param_bytes(&actor_out) + param_bytes(&critic_out));
+        // Same accounting as materializing one model per survivor slot
+        // (the uniform arm broadcasts the identical average k times).
+        let per_model = (self.agg.actor_out[0].len() + self.agg.critic_out[0].len()) as u64 * 4;
+        self.telemetry.counter("fed/bytes_down", k as u64 * per_model);
+        self.telemetry.observe("fed/agg_wall_us", agg_start.elapsed().as_secs_f64() * 1e6);
+        self.telemetry.gauge("fed/arena_bytes", self.arena.pooled_bytes() as f64);
 
         let loss_after = self.mean_critic_loss();
         if let (Some(b), Some(a)) = (loss_before, loss_after) {
@@ -358,15 +431,18 @@ impl FedAvgRunner {
     /// Mean critic loss across clients on their own last episodes, `None`
     /// before any training happened.
     fn mean_critic_loss(&self) -> Option<f64> {
-        let losses: Vec<f64> = self
-            .clients
-            .iter()
-            .filter_map(|c| c.agent.critic_loss_on_last_episode().map(|l| l as f64))
-            .collect();
-        if losses.is_empty() {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for c in &self.clients {
+            if let Some(l) = c.agent.critic_loss_on_last_episode() {
+                sum += l as f64;
+                count += 1;
+            }
+        }
+        if count == 0 {
             None
         } else {
-            Some(losses.iter().sum::<f64>() / losses.len() as f64)
+            Some(sum / count as f64)
         }
     }
 
@@ -378,6 +454,11 @@ impl FedAvgRunner {
     /// Communication rounds completed so far.
     pub fn rounds_done(&self) -> usize {
         self.rounds_done
+    }
+
+    /// Bytes of `f32` capacity pooled in the upload arena between rounds.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena.pooled_bytes()
     }
 
     fn fingerprint(&self) -> Fingerprint {
@@ -466,6 +547,7 @@ impl FedAvgRunner {
 mod tests {
     use super::*;
     use crate::config::tests_support::small_setups;
+    use pfrl_nn::params::average_params;
 
     fn fed(episodes: usize) -> FedConfig {
         FedConfig {

@@ -185,6 +185,11 @@ impl IndependentRunner {
         self.rounds_done
     }
 
+    /// Independent training never uploads, so no arena capacity is pooled.
+    pub fn arena_bytes(&self) -> u64 {
+        0
+    }
+
     fn fingerprint(&self) -> Fingerprint {
         Fingerprint {
             algo: 0,

@@ -18,10 +18,11 @@ use crate::client::Client;
 use crate::config::{ClientSetup, FedConfig};
 use crate::curves::TrainingCurves;
 use crate::error::FedError;
-use crate::fault::{AcceptedUpload, FaultPlan, FaultState, QuarantinePolicy};
+use crate::fault::{AcceptedUpload, FaultPlan, FaultState, Presence, QuarantinePolicy};
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
-use pfrl_nn::params::average_params;
+use crate::runner::UploadArena;
+use pfrl_nn::params::average_params_into;
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_telemetry::Telemetry;
@@ -34,6 +35,17 @@ fn momentum_step(server: &mut [f32], velocity: &mut [f32], avg: &[f32], beta: f3
         *v = beta * *v + delta;
         *s += *v;
     }
+}
+
+/// Reusable per-round aggregation buffers (see `fedavg::AggWorkspace`).
+#[derive(Default)]
+struct AggWorkspace {
+    presences: Vec<Presence>,
+    accepted: Vec<AcceptedUpload>,
+    actors: Vec<Vec<f32>>,
+    critics: Vec<Vec<f32>>,
+    actor_avg: Vec<f32>,
+    critic_avg: Vec<f32>,
 }
 
 /// Momentum-FRL runner.
@@ -49,6 +61,8 @@ pub struct MfpoRunner {
     rounds_done: usize,
     fault: FaultState,
     telemetry: Telemetry,
+    arena: UploadArena,
+    agg: AggWorkspace,
 }
 
 impl MfpoRunner {
@@ -112,6 +126,8 @@ impl MfpoRunner {
             rounds_done: 0,
             fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
             telemetry: Telemetry::noop(),
+            arena: UploadArena::new(),
+            agg: AggWorkspace::default(),
         }
     }
 
@@ -211,50 +227,85 @@ impl MfpoRunner {
     /// connected clients only.
     pub fn aggregate(&mut self) {
         let round = self.rounds_done;
-        let presences = self.fault.begin_round(round);
+        let n = self.clients.len();
+        self.fault.begin_round_into(round, &mut self.agg.presences);
 
         let upload = self.telemetry.span("fed/round/upload");
-        let mut accepted: Vec<AcceptedUpload> = Vec::new();
-        for (i, &p) in presences.iter().enumerate() {
+        self.agg.accepted.clear();
+        for i in 0..n {
+            let p = self.agg.presences[i];
             if !p.is_present() {
                 self.fault.note_missed(i);
                 continue;
             }
-            let streams =
-                vec![self.clients[i].agent.actor_params(), self.clients[i].agent.critic_params()];
+            // Uploads flow through the pooled arena (see `UploadArena`).
+            let mut streams = self.arena.acquire(2);
+            self.clients[i].agent.actor_params_into(&mut streams[0]);
+            self.clients[i].agent.critic_params_into(&mut streams[1]);
             if let Some(up) = self.fault.gate_upload(round, i, streams, p) {
-                accepted.push(up);
+                self.agg.accepted.push(up);
             }
         }
         drop(upload);
-        self.fault.record_participation(accepted.len());
-        if accepted.is_empty() {
+        self.fault.record_participation(self.agg.accepted.len());
+        if self.agg.accepted.is_empty() {
             // No surviving uploads: the server model (and its momentum)
             // stays put, nothing is broadcast.
             self.telemetry.counter("fed/rounds", 1);
             self.rounds_done += 1;
             return;
         }
-        let actors: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[0].clone()).collect();
-        let critics: Vec<Vec<f32>> = accepted.iter().map(|u| u.streams[1].clone()).collect();
+        let agg_start = std::time::Instant::now();
+        let k = self.agg.accepted.len();
+        self.agg.actors.truncate(k);
+        self.agg.critics.truncate(k);
+        while self.agg.actors.len() < k {
+            self.agg.actors.push(Vec::new());
+        }
+        while self.agg.critics.len() < k {
+            self.agg.critics.push(Vec::new());
+        }
+        for (dst, u) in self.agg.actors.iter_mut().zip(&self.agg.accepted) {
+            dst.clone_from(&u.streams[0]);
+        }
+        for (dst, u) in self.agg.critics.iter_mut().zip(&self.agg.accepted) {
+            dst.clone_from(&u.streams[1]);
+        }
+        // The upload buffers are copied out; park them for the next round.
+        for up in self.agg.accepted.drain(..) {
+            self.arena.release(up.streams);
+        }
         // Like FedAvg, MFPO ships both networks client → server.
-        self.telemetry.counter("fed/bytes_up", param_bytes(&actors) + param_bytes(&critics));
+        self.telemetry.counter(
+            "fed/bytes_up",
+            param_bytes(&self.agg.actors) + param_bytes(&self.agg.critics),
+        );
 
         let loss_before = self.mean_critic_loss();
 
         {
             let _agg = self.telemetry.span("fed/round/aggregate");
-            let actor_avg = average_params(&actors);
-            let critic_avg = average_params(&critics);
-            momentum_step(&mut self.server_actor, &mut self.vel_actor, &actor_avg, self.beta);
-            momentum_step(&mut self.server_critic, &mut self.vel_critic, &critic_avg, self.beta);
+            average_params_into(&self.agg.actors, &mut self.agg.actor_avg);
+            average_params_into(&self.agg.critics, &mut self.agg.critic_avg);
+            momentum_step(
+                &mut self.server_actor,
+                &mut self.vel_actor,
+                &self.agg.actor_avg,
+                self.beta,
+            );
+            momentum_step(
+                &mut self.server_critic,
+                &mut self.vel_critic,
+                &self.agg.critic_avg,
+                self.beta,
+            );
         }
 
         let mut receivers = 0u64;
         {
             let _broadcast = self.telemetry.span("fed/round/broadcast");
-            for (i, &p) in presences.iter().enumerate() {
-                if !p.is_present() {
+            for i in 0..n {
+                if !self.agg.presences[i].is_present() {
                     continue;
                 }
                 self.clients[i].agent.set_actor_params(&self.server_actor);
@@ -267,6 +318,8 @@ impl MfpoRunner {
             "fed/bytes_down",
             receivers * 4 * (self.server_actor.len() + self.server_critic.len()) as u64,
         );
+        self.telemetry.observe("fed/agg_wall_us", agg_start.elapsed().as_secs_f64() * 1e6);
+        self.telemetry.gauge("fed/arena_bytes", self.arena.pooled_bytes() as f64);
 
         if let (Some(b), Some(a)) = (loss_before, self.mean_critic_loss()) {
             self.telemetry.observe("fed/critic_loss_before_agg", b);
@@ -281,15 +334,18 @@ impl MfpoRunner {
         if !self.telemetry.is_enabled() {
             return None;
         }
-        let losses: Vec<f64> = self
-            .clients
-            .iter()
-            .filter_map(|c| c.agent.critic_loss_on_last_episode().map(|l| l as f64))
-            .collect();
-        if losses.is_empty() {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for c in &self.clients {
+            if let Some(l) = c.agent.critic_loss_on_last_episode() {
+                sum += l as f64;
+                count += 1;
+            }
+        }
+        if count == 0 {
             None
         } else {
-            Some(losses.iter().sum::<f64>() / losses.len() as f64)
+            Some(sum / count as f64)
         }
     }
 
@@ -301,6 +357,11 @@ impl MfpoRunner {
     /// Communication rounds completed so far.
     pub fn rounds_done(&self) -> usize {
         self.rounds_done
+    }
+
+    /// Bytes of `f32` capacity pooled in the upload arena between rounds.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena.pooled_bytes()
     }
 
     fn fingerprint(&self) -> Fingerprint {
@@ -397,6 +458,7 @@ impl MfpoRunner {
 mod tests {
     use super::*;
     use crate::config::tests_support::small_setups;
+    use pfrl_nn::params::average_params;
 
     fn fed() -> FedConfig {
         FedConfig {

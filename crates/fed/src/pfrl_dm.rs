@@ -30,9 +30,10 @@ use crate::fault::{
 };
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
-use crate::similarity::{attention_weights, mean_row_entropy};
-use pfrl_nn::params::{apply_mixing_matrix, average_params};
-use pfrl_nn::{Activation, Mlp, MultiHeadConfig};
+use crate::runner::UploadArena;
+use crate::similarity::{attention_weights_into, mean_row_entropy};
+use pfrl_nn::params::{apply_mixing_matrix_into, average_params, average_params_into};
+use pfrl_nn::{Activation, AttentionScratch, Mlp, MultiHeadConfig};
 use pfrl_rl::{DualCriticAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_stats::seeding::SeedStream;
@@ -42,6 +43,23 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::io;
+
+/// Reusable per-round aggregation buffers: cohort/cursor vectors, the
+/// blended uploads, the attention workspace, and the personalized outputs.
+/// Pure scratch — never checkpointed; a steady-state round touches the
+/// heap only if a buffer has to grow past its warm capacity.
+#[derive(Default)]
+struct AggWorkspace {
+    idx: Vec<usize>,
+    presences: Vec<Presence>,
+    candidates: Vec<usize>,
+    accepted: Vec<AcceptedUpload>,
+    survivors: Vec<usize>,
+    psis: Vec<Vec<f32>>,
+    personalized: Vec<Vec<f32>>,
+    attention: AttentionScratch,
+    weights: Matrix,
+}
 
 /// PFRL-DM federation runner.
 pub struct PfrlDmRunner {
@@ -64,6 +82,9 @@ pub struct PfrlDmRunner {
     rounds_done: usize,
     fault: FaultState,
     telemetry: Telemetry,
+    arena: UploadArena,
+    agg: AggWorkspace,
+    record_history: bool,
 }
 
 impl PfrlDmRunner {
@@ -134,7 +155,19 @@ impl PfrlDmRunner {
             rounds_done: 0,
             fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
             telemetry: Telemetry::noop(),
+            arena: UploadArena::new(),
+            agg: AggWorkspace::default(),
+            record_history: true,
         }
+    }
+
+    /// Toggles per-round weight/participant history recording. Each entry
+    /// clones a `K×K` matrix — at federation scale that is the dominant
+    /// steady-state allocation, so the scale probe and the zero-alloc gate
+    /// turn it off. On by default (Fig. 11 inspection and checkpoint
+    /// contents are unchanged).
+    pub fn set_record_history(&mut self, on: bool) {
+        self.record_history = on;
     }
 
     /// Routes runner, agent, and environment metrics to `telemetry`
@@ -264,39 +297,48 @@ impl PfrlDmRunner {
     pub fn aggregate(&mut self) {
         let round = self.rounds_done;
         let n = self.clients.len();
-        let mut idx: Vec<usize> = (0..n).collect();
-        idx.shuffle(&mut self.participation_rng);
+        self.agg.idx.clear();
+        self.agg.idx.extend(0..n);
+        self.agg.idx.shuffle(&mut self.participation_rng);
 
-        let presences = self.fault.begin_round(round);
+        self.fault.begin_round_into(round, &mut self.agg.presences);
         // Churn shrinks the eligible pool, never the RNG stream: the
         // shuffle above always consumes the same randomness over all `N`
         // clients, then scheduled leavers are filtered out of the ranked
         // order. A churn-free run is therefore bit-identical to one with no
         // churn plan installed.
         let k = self.cfg.participation_k.min(self.fault.enrolled_now());
-        let candidates: Vec<usize> = idx
-            .into_iter()
-            .filter(|&i| presences[i] != Presence::Absent(AbsenceReason::NotEnrolled))
-            .take(k)
-            .collect();
+        self.agg.candidates.clear();
+        for &i in &self.agg.idx {
+            if self.agg.candidates.len() == k {
+                break;
+            }
+            if self.agg.presences[i] != Presence::Absent(AbsenceReason::NotEnrolled) {
+                self.agg.candidates.push(i);
+            }
+        }
 
         let upload = self.telemetry.span("fed/round/upload");
-        let mut accepted: Vec<AcceptedUpload> = Vec::new();
-        for &i in &candidates {
-            if !presences[i].is_present() {
+        self.agg.accepted.clear();
+        for slot in 0..self.agg.candidates.len() {
+            let i = self.agg.candidates[slot];
+            if !self.agg.presences[i].is_present() {
                 self.fault.note_missed(i);
                 continue;
             }
-            let streams = vec![self.clients[i].agent.public_critic_params()];
-            if let Some(up) = self.fault.gate_upload(round, i, streams, presences[i]) {
-                accepted.push(up);
+            // Uploads flow through the pooled arena: K uploads reuse K
+            // warm buffers instead of allocating K fresh ParamVecs.
+            let mut streams = self.arena.acquire(1);
+            self.clients[i].agent.public_critic_params_into(&mut streams[0]);
+            if let Some(up) = self.fault.gate_upload(round, i, streams, self.agg.presences[i]) {
+                self.agg.accepted.push(up);
             }
         }
         drop(upload);
-        self.fault.record_participation(accepted.len());
-        if accepted.is_empty() {
-            for (i, p) in presences.iter().enumerate() {
-                if !candidates.contains(&i) && !p.is_present() {
+        self.fault.record_participation(self.agg.accepted.len());
+        if self.agg.accepted.is_empty() {
+            for i in 0..n {
+                if !self.agg.candidates.contains(&i) && !self.agg.presences[i].is_present() {
                     self.fault.note_missed(i);
                 }
             }
@@ -304,57 +346,78 @@ impl PfrlDmRunner {
             self.rounds_done += 1;
             return;
         }
-        let survivors: Vec<usize> = accepted.iter().map(|u| u.client).collect();
+        let agg_start = std::time::Instant::now();
+        self.agg.survivors.clear();
+        self.agg.survivors.extend(self.agg.accepted.iter().map(|u| u.client));
         // Staleness-weighted re-entry: blend a returning straggler's upload
         // toward the current ψ_G. Fresh uploads pass through untouched.
-        let psis: Vec<Vec<f32>> = accepted
-            .iter()
-            .map(|u| {
-                if u.missed_rounds == 0 {
-                    u.streams[0].clone()
-                } else {
-                    let w = self.fault.reentry_weight(u.missed_rounds);
+        let n_acc = self.agg.accepted.len();
+        self.agg.psis.truncate(n_acc);
+        while self.agg.psis.len() < n_acc {
+            self.agg.psis.push(Vec::new());
+        }
+        for (dst, u) in self.agg.psis.iter_mut().zip(&self.agg.accepted) {
+            if u.missed_rounds == 0 {
+                dst.clone_from(&u.streams[0]);
+            } else {
+                let w = self.fault.reentry_weight(u.missed_rounds);
+                dst.clear();
+                dst.extend(
                     u.streams[0]
                         .iter()
                         .zip(&self.server_global)
-                        .map(|(x, g)| w * x + (1.0 - w) * g)
-                        .collect()
-                }
-            })
-            .collect();
+                        .map(|(x, g)| w * x + (1.0 - w) * g),
+                );
+            }
+        }
+        // The upload buffers are copied out; park them for the next round.
+        for up in self.agg.accepted.drain(..) {
+            self.arena.release(up.streams);
+        }
         // PFRL-DM only ships the surviving public critics.
-        self.telemetry.counter("fed/bytes_up", param_bytes(&psis));
+        self.telemetry.counter("fed/bytes_up", param_bytes(&self.agg.psis));
 
         let loss_before = self.mean_public_critic_loss();
 
         let attention = self.telemetry.span("fed/round/attention");
-        let weights = attention_weights(&psis, &self.attention);
+        attention_weights_into(
+            &self.agg.psis,
+            &self.attention,
+            self.cfg.parallel,
+            &mut self.agg.attention,
+            &mut self.agg.weights,
+        );
         drop(attention);
-        self.telemetry.observe("fed/attention_entropy", mean_row_entropy(&weights));
+        self.telemetry.observe("fed/attention_entropy", mean_row_entropy(&self.agg.weights));
 
         let agg = self.telemetry.span("fed/round/aggregate");
-        let personalized = apply_mixing_matrix(&weights, &psis);
-        self.server_global = average_params(&personalized);
+        apply_mixing_matrix_into(
+            &self.agg.weights,
+            &self.agg.psis,
+            self.cfg.parallel,
+            &mut self.agg.personalized,
+        );
+        average_params_into(&self.agg.personalized, &mut self.server_global);
         drop(agg);
 
         let mut global_receivers = 0u64;
         {
             let _broadcast = self.telemetry.span("fed/round/broadcast");
-            for (slot, &i) in survivors.iter().enumerate() {
-                self.clients[i].agent.receive_public_critic(&personalized[slot]);
+            for (slot, &i) in self.agg.survivors.iter().enumerate() {
+                self.clients[i].agent.receive_public_critic(&self.agg.personalized[slot]);
             }
-            for (i, p) in presences.iter().enumerate() {
-                if survivors.contains(&i) {
+            for i in 0..n {
+                if self.agg.survivors.contains(&i) {
                     continue;
                 }
-                if p.is_present() {
+                if self.agg.presences[i].is_present() {
                     // Connected non-participants (and participants whose
                     // upload was quarantined with nothing to fall back on)
                     // are refreshed with ψ_G.
                     self.clients[i].agent.receive_public_critic(&self.server_global);
                     self.fault.note_refreshed(i);
                     global_receivers += 1;
-                } else if !candidates.contains(&i) {
+                } else if !self.agg.candidates.contains(&i) {
                     // Absent non-candidates keep their last personalized
                     // critic; absent candidates were already counted above.
                     self.fault.note_missed(i);
@@ -363,8 +426,14 @@ impl PfrlDmRunner {
         }
         self.telemetry.counter(
             "fed/bytes_down",
-            param_bytes(&personalized) + global_receivers * 4 * self.server_global.len() as u64,
+            param_bytes(&self.agg.personalized)
+                + global_receivers * 4 * self.server_global.len() as u64,
         );
+        // Wall-clock of the aggregation phase (blend → attention → mixing →
+        // broadcast). Excluded from the deterministic telemetry fingerprint
+        // like every wall-clock metric.
+        self.telemetry.observe("fed/agg_wall_us", agg_start.elapsed().as_secs_f64() * 1e6);
+        self.telemetry.gauge("fed/arena_bytes", self.arena.pooled_bytes() as f64);
 
         if let (Some(b), Some(a)) = (loss_before, self.mean_public_critic_loss()) {
             self.telemetry.observe("fed/critic_loss_before_agg", b);
@@ -373,8 +442,10 @@ impl PfrlDmRunner {
         self.telemetry.counter("fed/rounds", 1);
         self.rounds_done += 1;
 
-        self.weight_history.push(weights);
-        self.participant_history.push(survivors);
+        if self.record_history {
+            self.weight_history.push(self.agg.weights.clone());
+            self.participant_history.push(self.agg.survivors.clone());
+        }
     }
 
     /// Mean public-critic MSE (`L_ψ`) across clients with buffered
@@ -383,16 +454,18 @@ impl PfrlDmRunner {
         if !self.telemetry.is_enabled() {
             return None;
         }
-        let losses: Vec<f64> = self
-            .clients
-            .iter()
-            .filter(|c| c.agent.has_trajectories())
-            .map(|c| c.agent.critic_losses().1 as f64)
-            .collect();
-        if losses.is_empty() {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for c in &self.clients {
+            if c.agent.has_trajectories() {
+                sum += c.agent.critic_losses().1 as f64;
+                count += 1;
+            }
+        }
+        if count == 0 {
             None
         } else {
-            Some(losses.iter().sum::<f64>() / losses.len() as f64)
+            Some(sum / count as f64)
         }
     }
 
@@ -447,6 +520,11 @@ impl PfrlDmRunner {
     /// Communication rounds completed so far.
     pub fn rounds_done(&self) -> usize {
         self.rounds_done
+    }
+
+    /// Bytes of `f32` capacity pooled in the upload arena between rounds.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena.pooled_bytes()
     }
 
     fn fingerprint(&self) -> Fingerprint {

@@ -62,6 +62,57 @@ impl<A: FedAgent> ClientView for Client<A> {
     }
 }
 
+/// Runner-owned pool of upload buffers: one *stream group* (a
+/// `Vec<Vec<f32>>`, e.g. `[actor, critic]` for FedAvg or `[ψ]` for
+/// PFRL-DM) per in-flight upload. K uploads per round cycle K groups
+/// through [`UploadArena::acquire`]/[`UploadArena::release`] instead of
+/// allocating K fresh `ParamVec`s; after the first round every buffer has
+/// its steady-state capacity and the upload phase stops touching the heap.
+///
+/// The arena never checkpoints — it is pure capacity, not state.
+#[derive(Debug, Default)]
+pub struct UploadArena {
+    free: Vec<Vec<Vec<f32>>>,
+}
+
+impl UploadArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a stream group of exactly `streams` cleared vectors,
+    /// reusing pooled capacity when available.
+    pub fn acquire(&mut self, streams: usize) -> Vec<Vec<f32>> {
+        let mut group = self.free.pop().unwrap_or_default();
+        group.truncate(streams);
+        for s in &mut group {
+            s.clear();
+        }
+        while group.len() < streams {
+            group.push(Vec::new());
+        }
+        group
+    }
+
+    /// Returns a group to the pool for reuse in a later round.
+    pub fn release(&mut self, group: Vec<Vec<f32>>) {
+        self.free.push(group);
+    }
+
+    /// Bytes of `f32` capacity currently parked in the pool (the
+    /// `fed/arena_bytes` gauge). Excludes groups checked out by in-flight
+    /// uploads, so a steady-state round reports the full pool between
+    /// rounds.
+    pub fn pooled_bytes(&self) -> u64 {
+        self.free
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|s| (s.capacity() * std::mem::size_of::<f32>()) as u64)
+            .sum()
+    }
+}
+
 /// The uniform federation-runner API implemented by all four algorithms.
 ///
 /// Round-by-round training, checkpoint/restore, client access, and policy
@@ -86,6 +137,9 @@ pub trait FederatedRunner: Send {
     fn clients(&self) -> Vec<&dyn ClientView>;
     /// Mutable views over the clients, in index order.
     fn clients_mut(&mut self) -> Vec<&mut dyn ClientView>;
+    /// Bytes of upload-buffer capacity pooled in the runner's
+    /// [`UploadArena`] (0 for runners that never upload).
+    fn arena_bytes(&self) -> u64;
     /// Escape hatch to the concrete runner (e.g. for PFRL-DM's attention
     /// weight history).
     fn as_any(&self) -> &dyn Any;
@@ -129,6 +183,9 @@ macro_rules! impl_federated_runner {
             }
             fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), FedError> {
                 <$ty>::restore_checkpoint(self, bytes)
+            }
+            fn arena_bytes(&self) -> u64 {
+                <$ty>::arena_bytes(self)
             }
             fn clients(&self) -> Vec<&dyn ClientView> {
                 self.clients.iter().map(|c| c as &dyn ClientView).collect()

@@ -45,7 +45,13 @@ pub mod params;
 
 pub use activation::Activation;
 pub use adam::{Adam, AdamState};
-pub use attention::{multi_head_attention_weights, scaled_dot_product_attention, MultiHeadConfig};
+pub use attention::{
+    multi_head_attention_weights, multi_head_attention_weights_into, scaled_dot_product_attention,
+    AttentionScratch, MultiHeadConfig,
+};
 pub use linear::Linear;
 pub use mlp::Mlp;
-pub use params::{average_params, validate_params, weighted_combination, ParamFault};
+pub use params::{
+    apply_mixing_matrix_into, average_params, average_params_into, validate_params,
+    weighted_combination, weighted_combination_into, ParamFault,
+};

@@ -1,6 +1,7 @@
 //! Flat-parameter-vector arithmetic used by the federated aggregators.
 
 use pfrl_tensor::Matrix;
+use rayon::prelude::*;
 
 /// Why a parameter vector failed validation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +56,24 @@ pub fn average_params(params: &[Vec<f32>]) -> Vec<f32> {
     out
 }
 
+/// [`average_params`] into a reusable output vector: allocation-free once
+/// `out`'s capacity suffices, and bitwise identical to the allocating form
+/// (same client-order accumulation, same final scale).
+pub fn average_params_into(params: &[Vec<f32>], out: &mut Vec<f32>) {
+    assert!(!params.is_empty(), "average_params: no clients");
+    let n = params[0].len();
+    out.clear();
+    out.resize(n, 0.0);
+    for (k, p) in params.iter().enumerate() {
+        assert_eq!(p.len(), n, "average_params: client {k} has mismatched length");
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / params.len() as f32;
+    out.iter_mut().for_each(|v| *v *= inv);
+}
+
 /// Weighted combination `Σ_k w_k · θ_k` (one personalized model, Eq. 21).
 ///
 /// # Panics
@@ -73,6 +92,33 @@ pub fn weighted_combination(weights: &[f32], params: &[Vec<f32>]) -> Vec<f32> {
     out
 }
 
+/// [`weighted_combination`] into a reusable output vector, skipping clients
+/// whose weight is exactly `0.0` — the representation the top-k attention
+/// mask produces (masked scores become exp(-inf) = exact zero after the
+/// softmax), so a sparse `K`-row costs O(k·P) instead of O(K·P).
+///
+/// For finite parameter vectors the skip is exact: `x + 0.0·v` rounds to
+/// `x` for every finite `x` the accumulator can hold (it starts at `+0.0`
+/// and a round-to-nearest sum never produces `-0.0` from a `+0.0` start),
+/// so dense weights — which a softmax never makes exactly zero — give
+/// results bitwise identical to [`weighted_combination`].
+pub fn weighted_combination_into(weights: &[f32], params: &[Vec<f32>], out: &mut Vec<f32>) {
+    assert_eq!(weights.len(), params.len(), "weights/params count mismatch");
+    assert!(!params.is_empty(), "weighted_combination: no clients");
+    let n = params[0].len();
+    out.clear();
+    out.resize(n, 0.0);
+    for (w, p) in weights.iter().zip(params) {
+        assert_eq!(p.len(), n, "weighted_combination: mismatched length");
+        if *w == 0.0 {
+            continue;
+        }
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += w * v;
+        }
+    }
+}
+
 /// Applies a `K×K` mixing matrix to `K` parameter vectors, producing `K`
 /// personalized vectors: `out_k = Σ_j W[k][j] · θ_j` — the server step of
 /// Algorithm 1, line 12.
@@ -83,6 +129,34 @@ pub fn apply_mixing_matrix(mix: &Matrix, params: &[Vec<f32>]) -> Vec<Vec<f32>> {
     let k = params.len();
     assert_eq!(mix.shape(), (k, k), "mixing matrix must be {k}x{k}");
     (0..k).map(|i| weighted_combination(mix.row(i), params)).collect()
+}
+
+/// [`apply_mixing_matrix`] into a reusable vector-of-vectors via the
+/// zero-skipping [`weighted_combination_into`]; allocation-free once every
+/// row's capacity suffices. Output rows are independent, so `parallel`
+/// fans them over the rayon pool without changing a single float op —
+/// bit-identity at any thread count.
+pub fn apply_mixing_matrix_into(
+    mix: &Matrix,
+    params: &[Vec<f32>],
+    parallel: bool,
+    out: &mut Vec<Vec<f32>>,
+) {
+    let k = params.len();
+    assert_eq!(mix.shape(), (k, k), "mixing matrix must be {k}x{k}");
+    out.truncate(k);
+    while out.len() < k {
+        out.push(Vec::new());
+    }
+    if parallel {
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, row)| weighted_combination_into(mix.row(i), params, row));
+    } else {
+        for (i, row) in out.iter_mut().enumerate() {
+            weighted_combination_into(mix.row(i), params, row);
+        }
+    }
 }
 
 /// Squared L2 distance between two parameter vectors (diagnostics).
@@ -152,6 +226,32 @@ mod tests {
     fn wrong_mixing_shape_panics() {
         let p = vec![vec![1.0], vec![2.0]];
         let _ = apply_mixing_matrix(&Matrix::zeros(3, 3), &p);
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms() {
+        let p = vec![vec![1.0, 5.0, -2.0], vec![3.0, 7.0, 0.5], vec![5.0, 9.0, -1.25]];
+        let mut avg = vec![f32::NAN; 1];
+        average_params_into(&p, &mut avg);
+        assert_eq!(avg, average_params(&p));
+        let w = [0.1, 0.0, 0.9];
+        let mut comb = vec![f32::NAN; 7];
+        weighted_combination_into(&w, &p, &mut comb);
+        assert_eq!(comb, weighted_combination(&w, &p));
+        let mix = Matrix::from_rows(&[&[0.2, 0.8, 0.0], &[0.0, 1.0, 0.0], &[0.5, 0.0, 0.5]]);
+        for parallel in [false, true] {
+            let mut out = vec![vec![f32::NAN; 2]; 5];
+            apply_mixing_matrix_into(&mix, &p, parallel, &mut out);
+            assert_eq!(out, apply_mixing_matrix(&mix, &p), "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn zero_skip_is_exact_on_identity_mixing() {
+        let p = vec![vec![1.0, -2.0], vec![3.0, 4.0], vec![-5.0, 6.0]];
+        let mut out = Vec::new();
+        apply_mixing_matrix_into(&Matrix::identity(3), &p, false, &mut out);
+        assert_eq!(out, p);
     }
 
     #[test]

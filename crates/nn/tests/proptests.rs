@@ -1,7 +1,10 @@
 //! Property-based tests of the neural-network stack.
 
 use pfrl_nn::params::{apply_mixing_matrix, average_params, weighted_combination};
-use pfrl_nn::{multi_head_attention_weights, Activation, Adam, Mlp, MultiHeadConfig};
+use pfrl_nn::{
+    multi_head_attention_weights, multi_head_attention_weights_into, Activation, Adam,
+    AttentionScratch, Mlp, MultiHeadConfig,
+};
 use pfrl_tensor::Matrix;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -92,6 +95,66 @@ proptest! {
             let sum: f32 = w.row(r).iter().sum();
             prop_assert!((sum - 1.0).abs() < 1e-3, "row {} sums to {}", r, sum);
             prop_assert!(w.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// A top-k cutoff at least as large as the cohort is a no-op: the
+    /// sparse path must reproduce the dense mixing weights bit for bit.
+    #[test]
+    fn top_k_geq_cohort_is_bitwise_dense(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 16), 1..6),
+        extra in 0usize..4,
+    ) {
+        let dense = MultiHeadConfig::default();
+        let sparse = MultiHeadConfig { top_k: Some(params.len() + extra), ..dense };
+        let wd = multi_head_attention_weights(&params, &dense);
+        let ws = multi_head_attention_weights(&params, &sparse);
+        prop_assert_eq!(wd.as_slice(), ws.as_slice());
+    }
+
+    /// The workspace (`_into`) attention form is bit-identical to the
+    /// allocating form, dense and top-k alike, including when the scratch
+    /// is reused across differently-shaped calls.
+    #[test]
+    fn attention_into_bitwise_equals_allocating(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 16), 1..8),
+        top_k in 1usize..10,
+        use_top_k in 0usize..2,
+    ) {
+        let cfg = MultiHeadConfig {
+            top_k: (use_top_k == 1).then_some(top_k),
+            ..Default::default()
+        };
+        let fresh = multi_head_attention_weights(&params, &cfg);
+        let mut ws = AttentionScratch::new();
+        let mut out = Matrix::default();
+        // Dirty the scratch with a different shape first: reuse must not
+        // leak state between cohorts.
+        multi_head_attention_weights_into(&[vec![1.0; 4], vec![2.0; 4]], &cfg, false, &mut ws, &mut out);
+        multi_head_attention_weights_into(&params, &cfg, false, &mut ws, &mut out);
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+    }
+
+    /// Top-k masking keeps every row a distribution: entries in [0, 1],
+    /// rows summing to 1, and — since each head keeps at most k scores —
+    /// at most `heads · k` nonzeros per row after head averaging.
+    #[test]
+    fn top_k_rows_stay_stochastic(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 16), 2..8),
+        top_k in 1usize..6,
+    ) {
+        let cfg = MultiHeadConfig { top_k: Some(top_k), ..Default::default() };
+        let w = multi_head_attention_weights(&params, &cfg);
+        for r in 0..w.rows() {
+            let sum: f32 = w.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-3, "row {} sums to {}", r, sum);
+            prop_assert!(w.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let nonzero = w.row(r).iter().filter(|&&v| v > 0.0).count();
+            prop_assert!(nonzero <= (cfg.heads * top_k).min(params.len()),
+                "row {} has {} nonzeros with top_k={}", r, nonzero, top_k);
         }
     }
 

@@ -477,6 +477,12 @@ impl PpoAgent {
         self.actor.flat_params()
     }
 
+    /// [`Self::actor_params`] into a reusable buffer — the upload form the
+    /// pooled arena uses, allocation-free once capacity suffices.
+    pub fn actor_params_into(&self, out: &mut Vec<f32>) {
+        self.actor.flat_params_into(out);
+    }
+
     /// Replaces the actor parameters.
     pub fn set_actor_params(&mut self, p: &[f32]) {
         self.actor.set_flat_params(p);
@@ -485,6 +491,11 @@ impl PpoAgent {
     /// Flat critic parameters.
     pub fn critic_params(&self) -> Vec<f32> {
         self.critic.flat_params()
+    }
+
+    /// [`Self::critic_params`] into a reusable buffer.
+    pub fn critic_params_into(&self, out: &mut Vec<f32>) {
+        self.critic.flat_params_into(out);
     }
 
     /// Replaces the critic parameters.

@@ -423,6 +423,12 @@ impl DualCriticAgent {
         self.public_critic.flat_params()
     }
 
+    /// [`Self::public_critic_params`] into a reusable buffer — the upload
+    /// form the pooled arena uses, allocation-free once capacity suffices.
+    pub fn public_critic_params_into(&self, out: &mut Vec<f32>) {
+        self.public_critic.flat_params_into(out);
+    }
+
     /// Installs a (personalized) public critic from the server and
     /// refreshes `α` against the buffered trajectories, per Algorithm 1.
     /// The public critic's optimizer state is reset: stale momentum from

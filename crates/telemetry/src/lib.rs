@@ -18,9 +18,11 @@
 //! single branch on an `Option` discriminant — nothing is formatted, timed,
 //! allocated, or locked (verified by `crates/bench/benches/telemetry_overhead.rs`).
 //!
-//! Determinism contract: wall-clock quantities flow **only** through gauges
-//! and spans. Counters and observations carry values that are themselves
-//! deterministic, and both aggregate commutatively (sums and bucket counts),
+//! Determinism contract: wall-clock quantities flow **only** through gauges,
+//! spans, and histograms whose name contains `wall` (e.g. `fed/agg_wall_us`),
+//! all of which are excluded from the fingerprint. Remaining counters and
+//! observations carry values that are themselves deterministic, and both
+//! aggregate commutatively (sums and bucket counts),
 //! so recorded counter/histogram state is bit-for-bit identical whether
 //! clients train sequentially or under rayon (`FedConfig::parallel`) — the
 //! same reproducibility guarantee `pfrl-fed` makes for model parameters.

@@ -228,7 +228,9 @@ impl MetricsSnapshot {
     /// histogram's [`LogHistogram::deterministic_fingerprint`]. Two runs of
     /// a deterministic workload — regardless of thread interleaving — must
     /// produce equal fingerprints; gauges and spans (wall-clock) are
-    /// deliberately excluded.
+    /// deliberately excluded, as are histograms whose name contains `wall`
+    /// (e.g. `fed/agg_wall_us`): those carry elapsed-time samples, the one
+    /// class of observation that is *not* deterministic by construction.
     #[allow(clippy::type_complexity)]
     pub fn deterministic_fingerprint(
         &self,
@@ -237,6 +239,7 @@ impl MetricsSnapshot {
             self.counters.clone(),
             self.histograms
                 .iter()
+                .filter(|(k, _)| !k.contains("wall"))
                 .map(|(k, h)| (k.clone(), h.deterministic_fingerprint()))
                 .collect(),
         )
@@ -339,6 +342,17 @@ mod tests {
         t.counter("c", 7);
         assert_eq!(a.snapshot().counter("c"), 7);
         assert_eq!(b.snapshot().counter("c"), 7);
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_clock_histograms() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        t.observe("fed/agg_wall_us", 123.0);
+        t.observe("rl/episode_reward", 1.0);
+        let (_, hists) = rec.snapshot().deterministic_fingerprint();
+        assert!(hists.contains_key("rl/episode_reward"));
+        assert!(!hists.contains_key("fed/agg_wall_us"), "wall-clock samples must not fingerprint");
     }
 
     #[test]

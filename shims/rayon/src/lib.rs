@@ -186,6 +186,36 @@ where
     }
 }
 
+/// Run `f` once per element of `items`, consuming them, split across the
+/// scoped worker pool. Order of execution is unspecified (like rayon's
+/// `for_each`); every element is visited exactly once.
+fn par_owned_for_each<E, F>(items: Vec<E>, f: &F)
+where
+    E: Send,
+    F: Fn(E) + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut groups: Vec<Vec<E>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let g: Vec<E> = it.by_ref().take(chunk).collect();
+        if g.is_empty() {
+            break;
+        }
+        groups.push(g);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            groups.into_iter().map(|g| s.spawn(move || g.into_iter().for_each(f))).collect();
+        join_all(handles);
+    });
+}
+
 /// `slice.par_iter_mut()` — parallel iterator over `&mut [T]`.
 pub struct ParIterMut<'a, T> {
     items: &'a mut [T],
@@ -197,6 +227,74 @@ impl<'a, T: Send> ParIterMut<'a, T> {
         F: Fn(&'a mut T) + Sync,
     {
         par_chunks_mut_for_each(self.items, &f);
+    }
+
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { items: self.items }
+    }
+}
+
+pub struct ParIterMutEnumerate<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut T)) + Sync,
+    {
+        let indexed: Vec<(usize, &'a mut T)> = self.items.iter_mut().enumerate().collect();
+        par_owned_for_each(indexed, &f);
+    }
+}
+
+/// `slice.par_chunks_mut(n)` — parallel iterator over disjoint mutable
+/// chunks, mirroring rayon's `ParallelSliceMut`.
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        let chunks: Vec<&'a mut [T]> = self.items.chunks_mut(self.size).collect();
+        par_owned_for_each(chunks, &f);
+    }
+
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { items: self.items, size: self.size }
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &'a mut [T])> =
+            self.items.chunks_mut(self.size).enumerate().collect();
+        par_owned_for_each(chunks, &f);
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel disjoint mutable chunks of `size` elements (last may be
+    /// shorter). Panics if `size` is zero, like rayon.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParChunksMut { items: self, size }
     }
 }
 
@@ -239,7 +337,9 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
 }
 
 pub mod prelude {
-    pub use crate::{FromParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{
+        FromParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -280,6 +380,27 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 123);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_sees_global_indices() {
+        let mut v: Vec<usize> = vec![0; 321];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_once() {
+        let mut v: Vec<usize> = vec![1; 103];
+        v.par_chunks_mut(10).for_each(|chunk| chunk.iter_mut().for_each(|x| *x += 1));
+        assert!(v.iter().all(|&x| x == 2));
+        let mut w: Vec<usize> = vec![0; 95];
+        w.par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i));
+        for (j, &x) in w.iter().enumerate() {
+            assert_eq!(x, j / 7);
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! observe-histograms carry only values derived from the (deterministic)
 //! computation, never from the clock, so a federation run records the same
 //! deterministic fingerprint whether clients train sequentially or on the
-//! rayon pool. Wall-clock only ever flows through gauges and spans, which
-//! the fingerprint excludes.
+//! rayon pool. Wall-clock only ever flows through gauges, spans, and
+//! `*wall*`-named histograms (`fed/agg_wall_us`), all of which the
+//! fingerprint excludes.
 
 use pfrl_core::experiment::{run_federation_with_telemetry, Algorithm};
 use pfrl_core::fed::FedConfig;

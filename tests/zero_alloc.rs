@@ -11,8 +11,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pfrl_core::fed::PolicySnapshot;
-use pfrl_core::nn::{Activation, Mlp};
+use pfrl_core::fed::{
+    ClientSetup, FedAvgRunner, FedConfig, MfpoRunner, PfrlDmRunner, PolicySnapshot,
+};
+use pfrl_core::nn::{Activation, Mlp, MultiHeadConfig};
 use pfrl_core::rl::{policy, DualCriticAgent, PpoAgent, PpoConfig};
 use pfrl_core::serve::Session;
 use pfrl_core::sim::{Action, CloudEnv, EnvConfig, EnvDims, VmSpec};
@@ -189,5 +191,82 @@ fn hot_paths_are_allocation_free_after_warmup() {
         (calls, bytes),
         (0, 0),
         "serve Session::decide allocated {calls} times / {bytes} bytes after warmup"
+    );
+
+    // Steady-state federated aggregation at K=64 — the federation-scale hot
+    // path: top-k sparse attention, the pooled upload arena, and every
+    // per-round workspace. After two warm-up rounds (first sizes the arena
+    // and scratch, second exercises the warmed `last_good` fallback copies),
+    // a full PFRL-DM aggregate() must not touch the heap. History recording
+    // is switched off — `weight_history` would otherwise retain a K×K matrix
+    // per round by design.
+    let fed_setups = |n: usize, seed: u64| -> Vec<ClientSetup> {
+        (0..n)
+            .map(|i| ClientSetup {
+                name: format!("agg{i}"),
+                vms: vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+                train_tasks: DatasetId::K8s.model().sample(8, seed + i as u64),
+            })
+            .collect()
+    };
+    let fed_cfg = |n: usize| FedConfig {
+        episodes: 2,
+        comm_every: 1,
+        participation_k: n,
+        tasks_per_episode: Some(8),
+        seed: 77,
+        parallel: false,
+    };
+    let att = MultiHeadConfig { top_k: Some(MultiHeadConfig::PAPER_TOP_K), ..Default::default() };
+    let mut dm = PfrlDmRunner::with_attention(
+        fed_setups(64, 900),
+        dims,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed_cfg(64),
+        att,
+    );
+    dm.set_record_history(false);
+    dm.aggregate();
+    dm.aggregate();
+    let (calls, bytes, _) = count_allocs(|| dm.aggregate());
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "PFRL-DM K=64 top-k aggregation allocated {calls} times / {bytes} bytes after warmup"
+    );
+
+    // The same audit for the FedAvg and MFPO aggregate paths at K=256: the
+    // arena and the reusable workspaces must leave nothing per-round.
+    let mut fa = FedAvgRunner::new(
+        fed_setups(256, 2000),
+        dims,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed_cfg(256),
+    );
+    fa.aggregate(0);
+    fa.aggregate(1);
+    let (calls, bytes, _) = count_allocs(|| fa.aggregate(2));
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "FedAvg K=256 aggregation allocated {calls} times / {bytes} bytes after warmup"
+    );
+
+    let mut mf = MfpoRunner::new(
+        fed_setups(256, 3000),
+        dims,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed_cfg(256),
+    );
+    mf.aggregate();
+    mf.aggregate();
+    let (calls, bytes, _) = count_allocs(|| mf.aggregate());
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "MFPO K=256 aggregation allocated {calls} times / {bytes} bytes after warmup"
     );
 }
