@@ -14,12 +14,18 @@
 //!   a 12-client cohort trained with dense vs top-8 sparse attention from
 //!   identical seeds; the sparse arm's final reward must stay inside the
 //!   dense arm's bootstrap CI).
+//! * `PFRL_EVAL_ROBUST=0` skips the poisoning-resilience sweep (on by
+//!   default: sign-flip coalitions vs the trimmed-mean defense; under a
+//!   10% coalition the defended PFRL-DM arm must stay inside its
+//!   attack-free CI and beat blind random, and with no adversaries the
+//!   defense must cost nothing).
 
 use pfrl_bench::set_run_seed;
 use pfrl_core::experiment::federation_manifest;
 use pfrl_eval::{
-    check_drift_invariants, check_invariants, check_topk_invariant, run_drift, run_matrix,
-    run_topk_check, DriftConfig, EvalConfig, TopkConfig,
+    check_drift_invariants, check_invariants, check_robustness_invariants, check_topk_invariant,
+    run_drift, run_matrix, run_robustness, run_topk_check, DriftConfig, EvalConfig,
+    RobustnessConfig, TopkConfig,
 };
 use std::path::PathBuf;
 
@@ -113,6 +119,29 @@ fn main() {
             ),
         }
         violations.extend(check_topk_invariant(&topk));
+    }
+
+    // Poisoning resilience: seeded sign-flip coalitions against the
+    // robust-aggregation defense. Same scale/seed-count knobs as the
+    // matrix.
+    if std::env::var("PFRL_EVAL_ROBUST").as_deref() != Ok("0") {
+        let mut rcfg = match cfg.scale {
+            "paper" => RobustnessConfig::paper(),
+            _ => RobustnessConfig::quick(),
+        };
+        if let Ok(n) = std::env::var("PFRL_EVAL_SEEDS") {
+            rcfg.n_seeds = n.parse().expect("PFRL_EVAL_SEEDS must be an integer");
+        }
+        rcfg.validate();
+        let t3 = std::time::Instant::now();
+        let robust = run_robustness(&rcfg);
+        eprintln!("# robustness sweep done in {:.1}s", t3.elapsed().as_secs_f64());
+        match robust.write_to(&out_dir) {
+            Ok((rj, rm)) => eprintln!("# wrote {} and {}", rj.display(), rm.display()),
+            Err(e) => eprintln!("# warning: could not write ROBUSTNESS_RESULTS: {e}"),
+        }
+        eprint!("{}", robust.to_markdown());
+        violations.extend(check_robustness_invariants(&robust));
     }
 
     if violations.is_empty() {

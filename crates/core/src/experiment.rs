@@ -1,8 +1,8 @@
 //! Uniform experiment driver over the four algorithms.
 
 use pfrl_fed::{
-    ClientSetup, FaultPlan, FedAvgRunner, FedConfig, FedError, FederatedRunner, IndependentRunner,
-    MfpoRunner, PfrlDmRunner, PolicySnapshot, TrainingCurves,
+    AttackPlan, ClientSetup, FaultPlan, FedAvgRunner, FedConfig, FedError, FederatedRunner,
+    IndependentRunner, MfpoRunner, PfrlDmRunner, PolicySnapshot, RobustConfig, TrainingCurves,
 };
 use pfrl_rl::PpoConfig;
 use pfrl_scenario::ScenarioBinding;
@@ -128,6 +128,14 @@ pub struct RunOptions {
     /// Seeded per-episode window into each workflow pool (`None` replays
     /// the full pool each episode). Only meaningful with `workflows`.
     pub workflows_per_episode: Option<usize>,
+    /// Deterministic adversarial-upload schedule ([`AttackPlan::none`] by
+    /// default): a seeded coalition poisons its uploads at the quarantine
+    /// gate (see [`pfrl_fed::attack`]).
+    pub attack_plan: AttackPlan,
+    /// Server-side robust aggregation config ([`RobustConfig::default`] is
+    /// a plain mean with no screens — bit-identical to the pre-robustness
+    /// path; see [`pfrl_fed::robust`]).
+    pub robust: RobustConfig,
 }
 
 impl Default for RunOptions {
@@ -137,6 +145,8 @@ impl Default for RunOptions {
             scenario: None,
             workflows: None,
             workflows_per_episode: None,
+            attack_plan: AttackPlan::none(),
+            robust: RobustConfig::default(),
         }
     }
 }
@@ -150,6 +160,12 @@ impl RunOptions {
     /// Options carrying only a drift/churn scenario.
     pub fn with_scenario(binding: ScenarioBinding) -> Self {
         Self { scenario: Some(binding), ..Self::default() }
+    }
+
+    /// Options carrying an adversarial coalition and the aggregation
+    /// defense evaluated against it (the robustness-sweep surface).
+    pub fn with_attack(attack_plan: AttackPlan, robust: RobustConfig) -> Self {
+        Self { attack_plan, robust, ..Self::default() }
     }
 }
 
@@ -221,7 +237,11 @@ pub fn run_federation_with_options(
 /// Applies the post-construction builders shared by all four runners.
 macro_rules! configured {
     ($runner:expr, $telemetry:expr, $options:expr) => {{
-        let mut r = $runner.with_telemetry($telemetry).with_fault_plan($options.fault_plan);
+        let mut r = $runner
+            .with_telemetry($telemetry)
+            .with_fault_plan($options.fault_plan)
+            .with_attack_plan($options.attack_plan)
+            .with_robust_aggregator($options.robust);
         if let Some(binding) = &$options.scenario {
             r = r.with_scenario(binding);
         }

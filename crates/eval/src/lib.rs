@@ -34,12 +34,17 @@ pub mod family;
 pub mod gate;
 pub mod matrix;
 pub mod report;
+pub mod robustness;
 pub mod topk;
 
 pub use drift::{check_drift_invariants, run_drift, DriftArm, DriftConfig, DriftReport};
 pub use family::WorkloadFamily;
 pub use gate::check_invariants;
 pub use matrix::{run_matrix, Cell, EvalReport, Metric, PairedComparison, RandomBaseline};
+pub use robustness::{
+    check_robustness_invariants, run_robustness, Defense, RobustnessArm, RobustnessConfig,
+    RobustnessReport,
+};
 pub use topk::{check_topk_invariant, run_topk_check, TopkConfig, TopkReport};
 
 use pfrl_core::experiment::Algorithm;

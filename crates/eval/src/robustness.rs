@@ -1,0 +1,921 @@
+//! The poisoning-resilience sweep: adversarial coalitions vs robust
+//! aggregation, with a CI gate.
+//!
+//! The stationary matrix and the drift sweep both assume every client is
+//! honest-but-faulty. This module measures what a *Byzantine* coalition
+//! (seeded sign-flip uploads, see `pfrl_fed::attack`) does to each
+//! algorithm, and whether the robust aggregation layer
+//! (`pfrl_fed::robust`) actually buys resilience:
+//!
+//! * **arms** — algorithm × defense × adversary fraction, every arm
+//!   trained from the same paired replication seeds (identical pools,
+//!   fleets, and coalitions at fixed rep);
+//! * **resilience gate** — under the smallest non-zero fraction ≤ 25%,
+//!   the defended arm's final reward must stay inside its own attack-free
+//!   bootstrap CI *and* its held-out reward must beat blind random;
+//! * **no-resilience-tax gate** — with zero adversaries the defended arm
+//!   must stay inside the undefended (plain-mean) arm's CI: the screens
+//!   and trimmed mean may not change what an honest federation learns;
+//! * **honest evidence** — the undefended arm's degradation under attack
+//!   is *reported* (ROBUSTNESS_RESULTS.md, BENCH_robustness.json), never
+//!   gated: whether a 30% coalition breaks a β = 0.2 trimmed mean is a
+//!   breakdown-point fact, not a regression.
+//!
+//! Seeds are pinned, so a gate violation is a deterministic regression
+//! signal, not flakiness.
+
+use crate::family::WorkloadFamily;
+use pfrl_core::experiment::{run_federation_with_options, Algorithm, RunOptions};
+use pfrl_core::fed::{AttackPlan, ClientSetup, FedConfig, RobustConfig};
+use pfrl_core::rl::PpoConfig;
+use pfrl_core::sim::{run_heuristic, CloudEnv, EnvConfig, HeuristicPolicy, VmSpec};
+use pfrl_core::stats::{bootstrap_mean_ci, BootstrapCi, SeedStream};
+use pfrl_core::telemetry::{InMemoryRecorder, Telemetry};
+use rayon::prelude::*;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One named defense profile of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Defense {
+    /// Stable display label ("mean", "trimmed_mean", …).
+    pub label: &'static str,
+    /// The server-side config installed on every runner of the arm.
+    pub robust: RobustConfig,
+}
+
+impl Defense {
+    /// The undefended baseline: plain mean, no screens — bit-identical to
+    /// the pre-robustness aggregation path.
+    pub fn undefended() -> Self {
+        Self { label: "mean", robust: RobustConfig::default() }
+    }
+
+    /// The recommended defended profile ([`RobustConfig::defended`]).
+    pub fn defended() -> Self {
+        Self { label: "trimmed_mean", robust: RobustConfig::defended() }
+    }
+}
+
+/// One cell of the sweep: who trains, how the server aggregates, and how
+/// much of the federation is adversarial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessArm {
+    /// The federation algorithm under attack.
+    pub algorithm: Algorithm,
+    /// The server-side defense profile.
+    pub defense: Defense,
+    /// Expected adversary fraction (per-client Bernoulli over the seeded
+    /// coalition stream; 0.0 = attack-free).
+    pub fraction: f64,
+}
+
+impl RobustnessArm {
+    /// Stable display name, e.g. `PFRL-DM/trimmed_mean@f=0.10`.
+    pub fn name(&self) -> String {
+        format!("{}/{}@f={:.2}", self.algorithm.name(), self.defense.label, self.fraction)
+    }
+
+    /// An undefended arm under active attack exists only as breakdown
+    /// evidence: it is *allowed* to collapse (including to NaN held-out
+    /// reward when the poisoned policy places zero tasks), so the
+    /// numerical-health gate does not apply to it.
+    pub fn is_sacrificial(&self) -> bool {
+        self.fraction > 0.0 && self.defense.label == "mean"
+    }
+}
+
+impl std::fmt::Display for RobustnessArm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Scales and axes of one robustness sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessConfig {
+    /// Algorithms under attack (the gate needs at least PFRL-DM).
+    pub algorithms: Vec<Algorithm>,
+    /// Defense profiles (the gates need the undefended mean plus at least
+    /// one defended profile).
+    pub defenses: Vec<Defense>,
+    /// Adversary fractions swept (must include 0.0 for the clean CIs).
+    pub fractions: Vec<f64>,
+    /// Sign-flip scale λ of the attack model.
+    pub lambda: f32,
+    /// Federation size (full participation, so screens always see the
+    /// whole cohort).
+    pub n_clients: usize,
+    /// Paired replications per arm (≥ 2).
+    pub n_seeds: usize,
+    /// Root seed; replication seeds derive through the labeled
+    /// `robust-replication` stream.
+    pub root_seed: u64,
+    /// Tasks sampled per client training pool.
+    pub samples: usize,
+    /// Arrival-time compression (≥ 1), as in the matrix families.
+    pub arrival_compression: u64,
+    /// Training episodes per client.
+    pub episodes: usize,
+    /// Local episodes between aggregation rounds.
+    pub comm_every: usize,
+    /// Tasks per training episode (`None` = full pool).
+    pub tasks_per_episode: Option<usize>,
+    /// Final-window length for the converged-reward reduction.
+    pub final_window: usize,
+    /// Bootstrap resamples per CI.
+    pub resamples: usize,
+    /// Two-sided CI confidence level.
+    pub confidence: f64,
+    /// Fan replications over the rayon pool.
+    pub parallel: bool,
+    /// Scale label stamped into the report ("quick" / "paper").
+    pub scale: &'static str,
+}
+
+impl RobustnessConfig {
+    /// The CI-gate scale: 10 clients, 3 pinned seeds, the full
+    /// {algorithm × defense × fraction} cross — a couple of minutes of
+    /// release-mode wall-clock.
+    pub fn quick() -> Self {
+        Self {
+            algorithms: vec![Algorithm::PfrlDm, Algorithm::FedAvg],
+            defenses: vec![Defense::undefended(), Defense::defended()],
+            fractions: vec![0.0, 0.1, 0.3],
+            lambda: 1.0,
+            n_clients: 10,
+            n_seeds: 3,
+            root_seed: 0x5EED_2026,
+            samples: 40,
+            arrival_compression: 8,
+            episodes: 6,
+            comm_every: 2,
+            tasks_per_episode: Some(8),
+            final_window: 3,
+            resamples: 2000,
+            confidence: 0.95,
+            parallel: true,
+            scale: "quick",
+        }
+    }
+
+    /// The publication scale: more seeds and longer training; expect tens
+    /// of minutes of CPU.
+    pub fn paper() -> Self {
+        Self {
+            n_seeds: 5,
+            samples: 120,
+            episodes: 20,
+            comm_every: 4,
+            tasks_per_episode: Some(12),
+            final_window: 6,
+            resamples: 10_000,
+            scale: "paper",
+            ..Self::quick()
+        }
+    }
+
+    /// Panics on configurations that cannot produce a meaningful sweep.
+    pub fn validate(&self) {
+        assert!(!self.algorithms.is_empty(), "no algorithms selected");
+        assert!(!self.defenses.is_empty(), "no defenses selected");
+        assert!(
+            self.fractions.contains(&0.0),
+            "fractions must include 0.0: the gates compare against the attack-free CIs"
+        );
+        assert!(
+            self.fractions.iter().all(|f| (0.0..=1.0).contains(f)),
+            "adversary fractions must lie in [0, 1]"
+        );
+        assert!(self.lambda.is_finite() && self.lambda > 0.0, "lambda must be positive");
+        assert!(self.n_clients >= 4, "need >= 4 clients for the screens to engage");
+        assert!(self.n_seeds >= 2, "need >= 2 seeds for a bootstrap CI");
+        assert!(self.arrival_compression >= 1, "arrival_compression must be >= 1");
+        assert!(self.final_window >= 1, "final_window must be >= 1");
+        assert!(
+            self.confidence > 0.0 && self.confidence < 1.0,
+            "confidence {} outside (0, 1)",
+            self.confidence
+        );
+        for d in &self.defenses {
+            d.robust.validate();
+        }
+    }
+
+    /// The smallest non-zero fraction within the defended profile's
+    /// plausible breakdown margin — the one the resilience gate pins to.
+    /// `None` when the sweep carries no such fraction (e.g. a
+    /// smoke-scale `{0, 0.3}` sweep: a 30% coalition exceeds the β = 0.2
+    /// trimmed mean's breakdown point, so gating there would demand the
+    /// impossible).
+    pub fn gate_fraction(&self) -> Option<f64> {
+        self.fractions
+            .iter()
+            .copied()
+            .filter(|&f| f > 0.0 && f <= 0.25)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// All arms of the sweep, in report order.
+    pub fn arms(&self) -> Vec<RobustnessArm> {
+        let mut arms = Vec::new();
+        for &algorithm in &self.algorithms {
+            for &defense in &self.defenses {
+                for &fraction in &self.fractions {
+                    arms.push(RobustnessArm { algorithm, defense, fraction });
+                }
+            }
+        }
+        arms
+    }
+}
+
+/// The replication seed of the robustness sweep — its own labeled stream,
+/// disjoint from the matrix/drift/top-k streams.
+pub fn robustness_seed(root: u64, rep: usize) -> u64 {
+    SeedStream::new(root).child("robust-replication").index(rep as u64).seed()
+}
+
+/// One arm's reduced evidence.
+#[derive(Debug, Clone)]
+pub struct RobustnessArmResult {
+    /// The arm this row belongs to.
+    pub arm: RobustnessArm,
+    /// Final-window training reward per replication.
+    pub finals: Vec<f64>,
+    /// Held-out greedy-eval reward per replication (mean over clients).
+    pub test_reward: Vec<f64>,
+    /// Bootstrap CI of the final-window mean; `None` on non-finite data.
+    pub final_ci: Option<BootstrapCi>,
+    /// Bootstrap CI of the held-out mean; `None` on non-finite data.
+    pub test_ci: Option<BootstrapCi>,
+    /// Mean poisoned uploads per replication (`fed/attacked_uploads`).
+    pub attacked_per_rep: f64,
+    /// Mean screen rejections per replication (`fed/screened`).
+    pub screened_per_rep: f64,
+    /// Mean evictions per replication (`fed/evictions`).
+    pub evicted_per_rep: f64,
+}
+
+impl RobustnessArmResult {
+    fn mean(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            f64::NAN
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Sample mean of the final-window rewards.
+    pub fn final_mean(&self) -> f64 {
+        Self::mean(&self.finals)
+    }
+
+    /// Sample mean of the held-out rewards.
+    pub fn test_mean(&self) -> f64 {
+        Self::mean(&self.test_reward)
+    }
+}
+
+/// The full evidence of one robustness sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessReport {
+    /// Scale label ("quick" / "paper").
+    pub scale: String,
+    /// Root seed of the sweep.
+    pub root_seed: u64,
+    /// Replications per arm.
+    pub n_seeds: usize,
+    /// Expected coalition size axis, as configured.
+    pub fractions: Vec<f64>,
+    /// The fraction the resilience gate pins to (`None` = gate skipped).
+    pub gate_fraction: Option<f64>,
+    /// CI confidence level.
+    pub confidence: f64,
+    /// One row per arm, in [`RobustnessConfig::arms`] order.
+    pub arms: Vec<RobustnessArmResult>,
+    /// Blind-random floor on the held-out traces, one value per
+    /// replication (arm-independent: the traces are paired).
+    pub random_reward: Vec<f64>,
+    /// Any non-finite findings collected during the runs.
+    pub nan_findings: Vec<String>,
+}
+
+impl RobustnessReport {
+    /// Mean blind-random floor.
+    pub fn random_reward_mean(&self) -> f64 {
+        RobustnessArmResult::mean(&self.random_reward)
+    }
+
+    /// Looks up one arm's results.
+    pub fn arm(
+        &self,
+        algorithm: Algorithm,
+        defense: &str,
+        fraction: f64,
+    ) -> Option<&RobustnessArmResult> {
+        self.arms.iter().find(|a| {
+            a.arm.algorithm == algorithm
+                && a.arm.defense.label == defense
+                && a.arm.fraction == fraction
+        })
+    }
+}
+
+/// A heterogeneous cohort: datasets cycle through the Table 2 assignment,
+/// every client gets a small two-VM fleet, and the pools are a pure
+/// function of `seed` — so every arm of a replication trains on identical
+/// data while the coalition poisons its uploads.
+fn cohort(cfg: &RobustnessConfig, seed: u64) -> Vec<ClientSetup> {
+    let stream = SeedStream::new(seed);
+    let datasets = WorkloadFamily::Heterogeneous.datasets();
+    (0..cfg.n_clients)
+        .map(|k| {
+            let dataset = datasets[k % datasets.len()];
+            let mut pool = dataset
+                .model()
+                .sample(cfg.samples, stream.child("robust-pool").index(k as u64).seed());
+            for t in &mut pool {
+                t.arrival /= cfg.arrival_compression;
+            }
+            ClientSetup {
+                name: format!("RobustClient{}-{}", k + 1, dataset.name()),
+                vms: vec![VmSpec::new(16, 128.0), VmSpec::new(32, 256.0)],
+                train_tasks: pool,
+            }
+        })
+        .collect()
+}
+
+/// Everything one (arm, replication) run reduces to.
+struct RepOutcome {
+    final_reward: f64,
+    test_reward: f64,
+    random_reward: f64,
+    attacked: u64,
+    screened: u64,
+    evicted: u64,
+    findings: Vec<String>,
+}
+
+fn run_rep(cfg: &RobustnessConfig, arm: RobustnessArm, rep: usize) -> RepOutcome {
+    let seed = robustness_seed(cfg.root_seed, rep);
+    let setups = cohort(cfg, seed);
+    let fleets: Vec<Vec<VmSpec>> = setups.iter().map(|s| s.vms.clone()).collect();
+    let dims = WorkloadFamily::Heterogeneous.dims();
+    let fed_cfg = FedConfig {
+        episodes: cfg.episodes,
+        comm_every: cfg.comm_every,
+        participation_k: cfg.n_clients,
+        tasks_per_episode: cfg.tasks_per_episode,
+        seed,
+        parallel: false, // replications own the pool
+    };
+    // The coalition stream is per-replication: different reps draw
+    // different adversary subsets, so the CIs average over coalition
+    // geometry as well as training noise.
+    let attack = if arm.fraction > 0.0 {
+        AttackPlan::new(SeedStream::new(seed).child("attack").seed())
+            .with_sign_flip(arm.fraction, cfg.lambda)
+    } else {
+        AttackPlan::none()
+    };
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let (curves, mut trained) = run_federation_with_options(
+        arm.algorithm,
+        setups,
+        dims,
+        EnvConfig::default(),
+        PpoConfig { mask_invalid_actions: true, ..PpoConfig::default() },
+        fed_cfg,
+        &RunOptions::with_attack(attack, arm.defense.robust),
+        Telemetry::new(recorder.clone()),
+    );
+
+    let mut findings = Vec::new();
+    if curves.per_client.iter().flatten().any(|v| !v.is_finite()) {
+        findings.push(format!("{arm}: non-finite training reward in replication {rep}"));
+    }
+    let final_reward = curves.final_mean(cfg.final_window);
+
+    // Held-out greedy eval on fresh seeded traces; the blind-random floor
+    // runs on the identical tasks.
+    let datasets = WorkloadFamily::Heterogeneous.datasets();
+    let n_test = cfg.tasks_per_episode.unwrap_or(40).max(12) * 2;
+    let stream = SeedStream::new(seed);
+    let mut reward_sum = 0.0;
+    let mut random_sum = 0.0;
+    let mut counted = 0usize;
+    for c in 0..cfg.n_clients {
+        let dataset = datasets[c % datasets.len()];
+        let mut tasks =
+            dataset.model().sample(n_test, stream.child("robust-test").index(c as u64).seed());
+        for t in &mut tasks {
+            t.arrival /= cfg.arrival_compression;
+        }
+        let m = trained.evaluate_client(c, &tasks);
+        if m.tasks_placed == 0 {
+            findings.push(format!("{arm}: client {c} placed zero held-out tasks in rep {rep}"));
+            continue;
+        }
+        let mut env = CloudEnv::new(dims, fleets[c].clone(), EnvConfig::default());
+        env.reset(tasks);
+        let rng_seed = stream.child("robust-random").index(c as u64).seed();
+        let rm = run_heuristic(&mut env, HeuristicPolicy::BlindRandom, rng_seed);
+        reward_sum += m.total_reward;
+        random_sum += rm.total_reward;
+        counted += 1;
+    }
+    let (test_reward, random_reward) = if counted > 0 {
+        (reward_sum / counted as f64, random_sum / counted as f64)
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+
+    let snap = recorder.snapshot();
+    RepOutcome {
+        final_reward,
+        test_reward,
+        random_reward,
+        attacked: snap.counter("fed/attacked_uploads"),
+        screened: snap.counter("fed/screened"),
+        evicted: snap.counter("fed/evictions"),
+        findings,
+    }
+}
+
+/// Bootstrap CI over `values` when all are finite.
+fn ci_of(
+    cfg: &RobustnessConfig,
+    arm: &RobustnessArm,
+    metric: &str,
+    values: &[f64],
+) -> Option<BootstrapCi> {
+    if !values.iter().all(|v| v.is_finite()) {
+        return None;
+    }
+    let seed = SeedStream::new(cfg.root_seed)
+        .child("robust-bootstrap")
+        .child(&arm.name())
+        .child(metric)
+        .seed();
+    Some(bootstrap_mean_ci(values, cfg.resamples, cfg.confidence, seed))
+}
+
+/// Runs the full sweep. Deterministic in `cfg.root_seed` — thread counts
+/// and `parallel` do not change a single bit of the output.
+pub fn run_robustness(cfg: &RobustnessConfig) -> RobustnessReport {
+    cfg.validate();
+    let mut arms = Vec::new();
+    let mut nan_findings = Vec::new();
+    let mut random_reward: Vec<f64> = Vec::new();
+    for arm in cfg.arms() {
+        let reps: Vec<usize> = (0..cfg.n_seeds).collect();
+        let run = |rep: &usize| run_rep(cfg, arm, *rep);
+        let outcomes: Vec<RepOutcome> = if cfg.parallel {
+            reps.par_iter().map(run).collect()
+        } else {
+            reps.iter().map(run).collect()
+        };
+        let finals: Vec<f64> = outcomes.iter().map(|o| o.final_reward).collect();
+        let test_reward: Vec<f64> = outcomes.iter().map(|o| o.test_reward).collect();
+        // Sacrificial arms (undefended under attack) are expected to
+        // collapse — their findings are breakdown evidence, not health
+        // violations, and the table already shows the non-finite CI.
+        if !arm.is_sacrificial() {
+            for o in &outcomes {
+                nan_findings.extend(o.findings.iter().cloned());
+            }
+        }
+        if random_reward.is_empty() {
+            // Arm-independent: same replication seeds ⇒ same held-out
+            // traces ⇒ same blind-random floor for every arm.
+            random_reward = outcomes.iter().map(|o| o.random_reward).collect();
+        }
+        let per_rep = |f: fn(&RepOutcome) -> u64| {
+            outcomes.iter().map(|o| f(o) as f64).sum::<f64>() / outcomes.len().max(1) as f64
+        };
+        arms.push(RobustnessArmResult {
+            final_ci: ci_of(cfg, &arm, "final", &finals),
+            test_ci: ci_of(cfg, &arm, "test", &test_reward),
+            arm,
+            finals,
+            test_reward,
+            attacked_per_rep: per_rep(|o| o.attacked),
+            screened_per_rep: per_rep(|o| o.screened),
+            evicted_per_rep: per_rep(|o| o.evicted),
+        });
+    }
+    RobustnessReport {
+        scale: cfg.scale.to_string(),
+        root_seed: cfg.root_seed,
+        n_seeds: cfg.n_seeds,
+        fractions: cfg.fractions.clone(),
+        gate_fraction: cfg.gate_fraction(),
+        confidence: cfg.confidence,
+        arms,
+        random_reward,
+        nan_findings,
+    }
+}
+
+/// The poisoning-resilience gate: invariants a CI run can fail on.
+///
+/// 1. **Numerical health** — no NaN/inf in any reduced value, CI, or the
+///    random floor. Undefended arms under active attack are exempt: a
+///    large sign-flip coalition can legitimately destroy the plain-mean
+///    policy outright (zero held-out placements ⇒ NaN reward), and that
+///    collapse *is* the evidence the defended arms are measured against.
+/// 2. **Resilience** (only when [`RobustnessReport::gate_fraction`] is
+///    set) — for every *defended* PFRL-DM arm at the gate fraction: its
+///    final-window reward stays inside its own attack-free CI, and its
+///    held-out reward beats the blind-random floor. The undefended mean
+///    is deliberately not gated here — its degradation is the evidence
+///    the defense is measured against, and is reported instead.
+/// 3. **No resilience tax** — with zero adversaries, every defended arm's
+///    final reward stays inside the undefended arm's CI for the same
+///    algorithm: the defense may not change what an honest federation
+///    learns.
+pub fn check_robustness_invariants(report: &RobustnessReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    for f in &report.nan_findings {
+        violations.push(format!("non-finite: {f}"));
+    }
+    if !report.random_reward.iter().all(|v| v.is_finite()) {
+        violations.push("non-finite: blind-random floor".to_string());
+    }
+    for a in &report.arms {
+        if a.arm.is_sacrificial() {
+            continue;
+        }
+        if !a.finals.iter().chain(&a.test_reward).all(|v| v.is_finite()) {
+            violations.push(format!("non-finite: arm {} produced a non-finite reward", a.arm));
+        }
+    }
+    if !violations.is_empty() {
+        return violations;
+    }
+    let floor = report.random_reward_mean();
+
+    // 2. Resilience at the gate fraction, defended arms of the paper's
+    // algorithm only.
+    if let Some(gate_f) = report.gate_fraction {
+        for a in &report.arms {
+            if a.arm.algorithm != Algorithm::PfrlDm
+                || a.arm.defense.label == "mean"
+                || a.arm.fraction != gate_f
+            {
+                continue;
+            }
+            let clean = report.arm(a.arm.algorithm, a.arm.defense.label, 0.0);
+            match clean.and_then(|c| c.final_ci.as_ref()) {
+                Some(ci) => {
+                    let mean = a.final_mean();
+                    if !(ci.lo..=ci.hi).contains(&mean) {
+                        violations.push(format!(
+                            "poisoning regression: {} final reward {:.3} outside its attack-free CI [{:.3}, {:.3}]",
+                            a.arm, mean, ci.lo, ci.hi
+                        ));
+                    }
+                }
+                None => violations.push(format!(
+                    "missing baseline: no attack-free CI for defended arm {}",
+                    a.arm
+                )),
+            }
+            if a.test_mean() <= floor {
+                violations.push(format!(
+                    "poisoning regression: {} held-out reward {:.2} does not beat blind random {:.2}",
+                    a.arm,
+                    a.test_mean(),
+                    floor
+                ));
+            }
+        }
+    }
+
+    // 3. No resilience tax at fraction 0.
+    for a in &report.arms {
+        if a.arm.defense.label == "mean" || a.arm.fraction != 0.0 {
+            continue;
+        }
+        let undefended = report.arm(a.arm.algorithm, "mean", 0.0);
+        match undefended.and_then(|u| u.final_ci.as_ref()) {
+            Some(ci) => {
+                let mean = a.final_mean();
+                if !(ci.lo..=ci.hi).contains(&mean) {
+                    violations.push(format!(
+                        "resilience tax: attack-free {} final reward {:.3} outside the plain-mean CI [{:.3}, {:.3}]",
+                        a.arm, mean, ci.lo, ci.hi
+                    ));
+                }
+            }
+            None => violations
+                .push(format!("missing baseline: no plain-mean attack-free CI for {}", a.arm)),
+        }
+    }
+    violations
+}
+
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+fn f64s(values: &[f64]) -> String {
+    let inner: Vec<String> = values.iter().map(|&v| jf(v)).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+impl RobustnessReport {
+    /// Serializes the full evidence (hand-rolled JSON — no serde in the
+    /// dependency tree, see `report.rs`).
+    pub fn to_json(&self) -> String {
+        let ci = |c: &Option<BootstrapCi>| match c {
+            Some(c) => {
+                format!("{{\"mean\": {}, \"lo\": {}, \"hi\": {}}}", jf(c.mean), jf(c.lo), jf(c.hi))
+            }
+            None => "null".to_string(),
+        };
+        let arms: Vec<String> = self
+            .arms
+            .iter()
+            .map(|a| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"algorithm\": \"{algo}\",\n",
+                        "      \"defense\": \"{defense}\",\n",
+                        "      \"fraction\": {frac},\n",
+                        "      \"finals\": {finals},\n",
+                        "      \"final_ci\": {fci},\n",
+                        "      \"test_reward\": {test},\n",
+                        "      \"test_ci\": {tci},\n",
+                        "      \"attacked_per_rep\": {att},\n",
+                        "      \"screened_per_rep\": {scr},\n",
+                        "      \"evicted_per_rep\": {evi}\n",
+                        "    }}"
+                    ),
+                    algo = a.arm.algorithm.name(),
+                    defense = a.arm.defense.label,
+                    frac = jf(a.arm.fraction),
+                    finals = f64s(&a.finals),
+                    fci = ci(&a.final_ci),
+                    test = f64s(&a.test_reward),
+                    tci = ci(&a.test_ci),
+                    att = jf(a.attacked_per_rep),
+                    scr = jf(a.screened_per_rep),
+                    evi = jf(a.evicted_per_rep),
+                )
+            })
+            .collect();
+        let findings: Vec<String> =
+            self.nan_findings.iter().map(|f| format!("\"{}\"", f.replace('"', "'"))).collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"scale\": \"{scale}\",\n",
+                "  \"root_seed\": {seed},\n",
+                "  \"n_seeds\": {n},\n",
+                "  \"fractions\": {fractions},\n",
+                "  \"gate_fraction\": {gate},\n",
+                "  \"confidence\": {conf},\n",
+                "  \"random_reward\": {floor},\n",
+                "  \"random_reward_mean\": {floor_mean},\n",
+                "  \"nan_findings\": [{findings}],\n",
+                "  \"arms\": [\n{arms}\n  ]\n",
+                "}}\n"
+            ),
+            scale = self.scale,
+            seed = self.root_seed,
+            n = self.n_seeds,
+            fractions = f64s(&self.fractions),
+            gate = self.gate_fraction.map_or("null".to_string(), jf),
+            conf = self.confidence,
+            floor = f64s(&self.random_reward),
+            floor_mean = jf(self.random_reward_mean()),
+            findings = findings.join(", "),
+            arms = arms.join(",\n"),
+        )
+    }
+
+    /// The human-readable summary table.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::new();
+        md.push_str(&format!(
+            "# Poisoning resilience ({}, {} seeds, sign-flip coalitions)\n\n",
+            self.scale, self.n_seeds
+        ));
+        md.push_str("| Arm | f | Final reward (CI) | Held-out | Attacked/rep | Screened/rep | Evicted/rep |\n");
+        md.push_str("|---|---|---|---|---|---|---|\n");
+        for a in &self.arms {
+            let ci = match &a.final_ci {
+                Some(c) => format!("{:.2} [{:.2}, {:.2}]", c.mean, c.lo, c.hi),
+                None => "non-finite".to_string(),
+            };
+            md.push_str(&format!(
+                "| {}/{} | {:.2} | {} | {:.2} | {:.1} | {:.1} | {:.1} |\n",
+                a.arm.algorithm.name(),
+                a.arm.defense.label,
+                a.arm.fraction,
+                ci,
+                a.test_mean(),
+                a.attacked_per_rep,
+                a.screened_per_rep,
+                a.evicted_per_rep,
+            ));
+        }
+        md.push_str(&format!(
+            "| Blind random | — | — | {:.2} | — | — | — |\n",
+            self.random_reward_mean()
+        ));
+        match self.gate_fraction {
+            Some(f) => md.push_str(&format!(
+                "\nResilience gate pinned to f = {f:.2}; larger fractions are reported as breakdown evidence only.\n"
+            )),
+            None => md.push_str(
+                "\nNo swept fraction lies in (0, 0.25]: the resilience gate is skipped and only numerical-health and no-tax invariants apply.\n"
+            ),
+        }
+        md
+    }
+
+    /// Writes `ROBUSTNESS_RESULTS.json` and `.md` under `dir`.
+    pub fn write_to(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let json = dir.join("ROBUSTNESS_RESULTS.json");
+        let md = dir.join("ROBUSTNESS_RESULTS.md");
+        std::fs::write(&json, self.to_json())?;
+        std::fs::write(&md, self.to_markdown())?;
+        Ok((json, md))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arm(algorithm: Algorithm, defense: Defense, fraction: f64) -> RobustnessArm {
+        RobustnessArm { algorithm, defense, fraction }
+    }
+
+    fn row(a: RobustnessArm, finals: Vec<f64>, test: Vec<f64>) -> RobustnessArmResult {
+        let final_ci =
+            finals.iter().all(|v| v.is_finite()).then(|| bootstrap_mean_ci(&finals, 200, 0.95, 7));
+        let test_ci =
+            test.iter().all(|v| v.is_finite()).then(|| bootstrap_mean_ci(&test, 200, 0.95, 8));
+        RobustnessArmResult {
+            arm: a,
+            finals,
+            test_reward: test,
+            final_ci,
+            test_ci,
+            attacked_per_rep: 0.0,
+            screened_per_rep: 0.0,
+            evicted_per_rep: 0.0,
+        }
+    }
+
+    fn synthetic(defended_attacked: Vec<f64>, defended_clean: Vec<f64>) -> RobustnessReport {
+        let d = Defense::defended();
+        let m = Defense::undefended();
+        let arms = vec![
+            row(arm(Algorithm::PfrlDm, m, 0.0), vec![10.0, 11.0, 12.0], vec![50.0, 52.0, 54.0]),
+            row(arm(Algorithm::PfrlDm, m, 0.1), vec![2.0, 2.5, 3.0], vec![10.0, 11.0, 12.0]),
+            row(arm(Algorithm::PfrlDm, d, 0.0), defended_clean, vec![50.0, 51.0, 53.0]),
+            row(arm(Algorithm::PfrlDm, d, 0.1), defended_attacked, vec![49.0, 50.0, 52.0]),
+        ];
+        RobustnessReport {
+            scale: "unit".into(),
+            root_seed: 1,
+            n_seeds: 3,
+            fractions: vec![0.0, 0.1],
+            gate_fraction: Some(0.1),
+            confidence: 0.95,
+            arms,
+            random_reward: vec![1.0, 1.2, 0.8],
+            nan_findings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn resilient_defended_arm_passes_while_mean_degrades() {
+        // The undefended arm collapsed under attack, the defended arm held:
+        // exactly the intended evidence, zero violations.
+        let r = synthetic(vec![10.5, 11.0, 11.5], vec![10.0, 11.0, 12.0]);
+        assert_eq!(check_robustness_invariants(&r), Vec::<String>::new());
+    }
+
+    #[test]
+    fn collapsed_defended_arm_fails_the_gate() {
+        let r = synthetic(vec![1.0, 1.5, 2.0], vec![10.0, 11.0, 12.0]);
+        let v = check_robustness_invariants(&r);
+        assert!(v.iter().any(|m| m.contains("poisoning regression")), "{v:?}");
+    }
+
+    #[test]
+    fn resilience_tax_fails_the_gate() {
+        // Defended clean arm far below the plain-mean clean CI.
+        let r = synthetic(vec![3.0, 3.2, 3.4], vec![3.0, 3.2, 3.4]);
+        let v = check_robustness_invariants(&r);
+        assert!(v.iter().any(|m| m.contains("resilience tax")), "{v:?}");
+    }
+
+    #[test]
+    fn gate_skips_resilience_when_no_small_fraction_swept() {
+        let mut r = synthetic(vec![1.0, 1.5, 2.0], vec![10.0, 11.0, 12.0]);
+        // Same collapsed data, but the sweep carried no gateable fraction.
+        r.gate_fraction = None;
+        let v = check_robustness_invariants(&r);
+        assert!(!v.iter().any(|m| m.contains("poisoning regression")), "{v:?}");
+    }
+
+    #[test]
+    fn non_finite_rewards_fail() {
+        let r = synthetic(vec![10.0, f64::NAN, 11.0], vec![10.0, 11.0, 12.0]);
+        let v = check_robustness_invariants(&r);
+        assert!(v.iter().any(|m| m.contains("non-finite")), "{v:?}");
+    }
+
+    #[test]
+    fn sacrificial_collapse_is_not_a_violation() {
+        // The undefended arm under attack may collapse to NaN held-out
+        // reward (zero placements) without tripping the health gate.
+        let mut r = synthetic(vec![10.5, 11.0, 11.5], vec![10.0, 11.0, 12.0]);
+        let bad = r.arms.iter().position(|a| a.arm.is_sacrificial()).unwrap();
+        r.arms[bad].test_reward = vec![f64::NAN, f64::NAN, f64::NAN];
+        r.arms[bad].test_ci = None;
+        assert_eq!(check_robustness_invariants(&r), Vec::<String>::new());
+    }
+
+    #[test]
+    fn gate_fraction_selection() {
+        let mut cfg = RobustnessConfig::quick();
+        assert_eq!(cfg.gate_fraction(), Some(0.1));
+        cfg.fractions = vec![0.0, 0.3];
+        assert_eq!(cfg.gate_fraction(), None);
+        cfg.fractions = vec![0.0, 0.25, 0.05];
+        assert_eq!(cfg.gate_fraction(), Some(0.05));
+    }
+
+    #[test]
+    fn quick_config_is_valid_and_crossed() {
+        let cfg = RobustnessConfig::quick();
+        cfg.validate();
+        assert_eq!(
+            cfg.arms().len(),
+            cfg.algorithms.len() * cfg.defenses.len() * cfg.fractions.len()
+        );
+        assert!(cfg.algorithms.contains(&Algorithm::PfrlDm), "the gate needs PFRL-DM");
+        assert!(cfg.defenses.iter().any(|d| d.label == "mean"), "the no-tax gate needs the mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "must include 0.0")]
+    fn sweep_without_clean_baseline_rejected() {
+        let cfg = RobustnessConfig { fractions: vec![0.1, 0.3], ..RobustnessConfig::quick() };
+        cfg.validate();
+    }
+
+    /// A micro end-to-end sweep: tiny schedule, one algorithm, but the
+    /// screens still engage (5 clients ≥ min_cohort). Checks structure and
+    /// determinism, not learning quality.
+    #[test]
+    fn micro_sweep_is_deterministic_and_filled() {
+        let cfg = RobustnessConfig {
+            algorithms: vec![Algorithm::PfrlDm],
+            fractions: vec![0.0, 0.2],
+            n_clients: 5,
+            n_seeds: 2,
+            samples: 16,
+            episodes: 2,
+            comm_every: 1,
+            tasks_per_episode: Some(6),
+            final_window: 2,
+            resamples: 200,
+            parallel: false,
+            ..RobustnessConfig::quick()
+        };
+        let a = run_robustness(&cfg);
+        let b = run_robustness(&cfg);
+        assert_eq!(a.arms.len(), 4);
+        for (ra, rb) in a.arms.iter().zip(&b.arms) {
+            assert_eq!(ra.finals, rb.finals, "{}", ra.arm);
+            assert_eq!(ra.test_reward, rb.test_reward, "{}", ra.arm);
+        }
+        assert_eq!(a.random_reward, b.random_reward);
+        // The attacked arms actually poisoned uploads.
+        let attacked = a.arm(Algorithm::PfrlDm, "mean", 0.2).unwrap();
+        assert!(attacked.attacked_per_rep > 0.0, "coalition never fired");
+        let clean = a.arm(Algorithm::PfrlDm, "mean", 0.0).unwrap();
+        assert_eq!(clean.attacked_per_rep, 0.0, "attack-free arm poisoned uploads");
+        let json = a.to_json();
+        assert!(json.contains("\"gate_fraction\""));
+        let md = a.to_markdown();
+        assert!(md.contains("Blind random"));
+    }
+}

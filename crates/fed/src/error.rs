@@ -6,10 +6,11 @@
 //! adding a new failure source is a new variant here rather than a new
 //! error type downstream code must learn to match on.
 
+use crate::fault::RejectReason;
 use std::io;
 
 /// Any failure surfaced by the federation layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FedError {
     /// Secure aggregation: the number of masked updates differs from the
     /// cohort size the masks were built for. Aggregating anyway would leave
@@ -34,6 +35,18 @@ pub enum FedError {
     /// inconsistent (e.g. parameter count disagreeing with the declared
     /// network shape).
     Snapshot(String),
+    /// The quarantine gate or a robust screen rejected a client's upload,
+    /// with the structured reason (not just a bare count). Recoverable —
+    /// aggregation continues without the contribution — and surfaced via
+    /// [`crate::FaultState::last_rejection`] for inspection.
+    Quarantine {
+        /// Aggregation round of the rejection.
+        round: usize,
+        /// The client whose upload was rejected.
+        client: usize,
+        /// Why the server threw the upload out.
+        reason: RejectReason,
+    },
     /// An underlying I/O failure (reading or writing checkpoint files).
     Io(io::ErrorKind, String),
 }
@@ -60,6 +73,9 @@ impl std::fmt::Display for FedError {
             FedError::RaggedUpdate(k) => write!(f, "masked update {k} has wrong length"),
             FedError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
             FedError::Snapshot(msg) => write!(f, "invalid policy snapshot: {msg}"),
+            FedError::Quarantine { round, client, reason } => {
+                write!(f, "round {round}: client {client} upload rejected — {reason}")
+            }
             FedError::Io(kind, msg) => write!(f, "i/o error ({kind:?}): {msg}"),
         }
     }
@@ -95,6 +111,19 @@ mod tests {
             (FedError::RaggedUpdate(1), "update 1"),
             (FedError::Checkpoint("bad magic".into()), "invalid checkpoint"),
             (FedError::Snapshot("truncated".into()), "invalid policy snapshot"),
+            (
+                FedError::Quarantine {
+                    round: 4,
+                    client: 2,
+                    reason: RejectReason::NormBand {
+                        stream: 0,
+                        norm: 90.0,
+                        median: 9.0,
+                        band: 4.0,
+                    },
+                },
+                "client 2 upload rejected",
+            ),
             (FedError::Io(io::ErrorKind::NotFound, "gone".into()), "i/o error"),
         ];
         for (e, needle) in cases {

@@ -26,6 +26,7 @@
 //! which keeps reward curves rectangular and the local training streams
 //! independent of the fault schedule.
 
+use crate::attack::AttackPlan;
 use pfrl_nn::params::validate_params;
 use pfrl_scenario::ChurnPlan;
 use pfrl_stats::seeding::SeedStream;
@@ -243,6 +244,9 @@ pub fn validate_update(streams: &[Vec<f32>], norm_limit: f32) -> Result<(), Upda
         if let Err(fault) = validate_params(v) {
             let index = match fault {
                 pfrl_nn::ParamFault::Nan(i) | pfrl_nn::ParamFault::Infinite(i) => i,
+                // validate_params only reports non-finite faults; the band
+                // variant comes from validate_params_in_band (the screens).
+                pfrl_nn::ParamFault::NormOutOfBand { .. } => unreachable!(),
             };
             return Err(UpdateFault::NonFinite { stream: s, index });
         }
@@ -273,6 +277,63 @@ fn corrupt_upload(streams: &mut [Vec<f32>], kind: Corruption, seed: u64) {
                     *v *= 1e6;
                 }
             }
+        }
+    }
+}
+
+/// Why the server rejected a contribution — either the absolute
+/// quarantine gate or one of the cohort-relative robust screens. `Copy`
+/// so recording a rejection never allocates on the aggregation hot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectReason {
+    /// The absolute quarantine gate fired (non-finite values or norm
+    /// blow-up).
+    Gate(UpdateFault),
+    /// A stream's L2 norm fell outside the cohort-relative band
+    /// `[median / band, median · band]`.
+    NormBand {
+        /// Index of the offending stream.
+        stream: usize,
+        /// The measured norm.
+        norm: f32,
+        /// The cohort median norm of that stream.
+        median: f32,
+        /// The configured band factor.
+        band: f32,
+    },
+    /// A stream's cosine similarity to the cohort's robust reference
+    /// direction fell below the screen threshold.
+    CosineOutlier {
+        /// Index of the offending stream.
+        stream: usize,
+        /// The measured cosine similarity.
+        cosine: f32,
+        /// The configured minimum.
+        threshold: f32,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Gate(UpdateFault::NonFinite { stream, index }) => {
+                write!(f, "quarantine gate: non-finite value at stream {stream} index {index}")
+            }
+            RejectReason::Gate(UpdateFault::NormExploded { stream, norm }) => {
+                write!(f, "quarantine gate: stream {stream} norm {norm} exceeded the limit")
+            }
+            RejectReason::NormBand { stream, norm, median, band } => write!(
+                f,
+                "norm-band screen: stream {stream} norm {norm} outside [{:.4}, {:.4}] \
+                 (cohort median {median}, band {band})",
+                median / band,
+                median * band
+            ),
+            RejectReason::CosineOutlier { stream, cosine, threshold } => write!(
+                f,
+                "cosine screen: stream {stream} similarity {cosine:.4} below threshold \
+                 {threshold:.4}"
+            ),
         }
     }
 }
@@ -344,6 +405,12 @@ pub struct AcceptedUpload {
     /// Rounds of silence before this contribution (0 = regular round);
     /// positive values trigger staleness-weighted re-entry.
     pub missed_rounds: usize,
+    /// The client's consecutive-rejection count *before* the gate ruled on
+    /// this upload. The accept path resets the live counter; if a robust
+    /// screen later rejects this upload, [`FaultState::note_screened`]
+    /// restores continuity from this value so that per-round screen
+    /// rejections still accumulate toward eviction.
+    pub prior_rejections: u32,
 }
 
 /// Shared fault-injection + quarantine state for one federation runner.
@@ -356,6 +423,16 @@ pub struct FaultState {
     /// never checkpointed — a restored runner re-derives membership by pure
     /// replay).
     churn: ChurnPlan,
+    /// Byzantine attack schedule (construction-time config, like `plan`:
+    /// never checkpointed — membership and crafted vectors re-derive by
+    /// pure replay).
+    attack: AttackPlan,
+    /// Cached coalition membership (`attack.is_adversary(i)` per client),
+    /// so the per-upload hot path never re-derives seeds.
+    adversary: Vec<bool>,
+    /// The most recent gate/screen rejection, with round and client, for
+    /// structured error surfacing (see [`crate::FedError::Quarantine`]).
+    last_rejection: Option<(usize, usize, RejectReason)>,
     /// Enrolled-client count of the latest [`Self::begin_round`], the
     /// denominator of `fed/participation_fraction` (so scheduled churn does
     /// not masquerade as dropout).
@@ -375,6 +452,9 @@ impl FaultState {
             policy,
             clients: vec![ClientFault::default(); n],
             churn: ChurnPlan::none(),
+            attack: AttackPlan::none(),
+            adversary: vec![false; n],
+            last_rejection: None,
             enrolled: n,
             telemetry: Telemetry::noop(),
         }
@@ -385,6 +465,38 @@ impl FaultState {
     pub fn set_churn(&mut self, churn: ChurnPlan) {
         self.enrolled = churn.enrolled_count(0, self.clients.len());
         self.churn = churn;
+    }
+
+    /// Installs the Byzantine attack schedule (construction-time config,
+    /// like [`Self::set_churn`]; replaces any previous plan) and caches
+    /// coalition membership.
+    pub fn set_attack(&mut self, attack: AttackPlan) {
+        attack.validate();
+        self.adversary.clear();
+        self.adversary.extend((0..self.clients.len()).map(|i| attack.is_adversary(i)));
+        self.attack = attack;
+    }
+
+    /// The attack plan in force.
+    pub fn attack(&self) -> &AttackPlan {
+        &self.attack
+    }
+
+    /// Whether client `i` belongs to the adversarial coalition.
+    pub fn is_adversary(&self, i: usize) -> bool {
+        self.adversary[i]
+    }
+
+    /// The most recent gate/screen rejection as a structured error, or
+    /// `None` if every upload so far was accepted. Gives callers the
+    /// *reason* an upload was thrown out instead of a bare quarantine
+    /// count.
+    pub fn last_rejection(&self) -> Option<crate::FedError> {
+        self.last_rejection.map(|(round, client, reason)| crate::FedError::Quarantine {
+            round,
+            client,
+            reason,
+        })
     }
 
     /// The churn plan in force.
@@ -418,9 +530,12 @@ impl FaultState {
         self.plan.is_active()
     }
 
-    /// Registers a newly joined client (healthy).
+    /// Registers a newly joined client (healthy; coalition membership is
+    /// derived from the attack plan like everyone else's).
     pub fn add_client(&mut self) {
+        let i = self.clients.len();
         self.clients.push(ClientFault::default());
+        self.adversary.push(self.attack.is_adversary(i));
         self.enrolled += 1;
     }
 
@@ -514,6 +629,11 @@ impl FaultState {
             }
         }
         self.enrolled = enrolled;
+        if self.attack.fires_at(round) {
+            let coalition =
+                (0..n).filter(|&i| self.adversary[i] && self.churn.enrolled(round, i)).count();
+            self.telemetry.gauge("fed/attack_coalition_size", coalition as f64);
+        }
     }
 
     /// Records that client `i` contributed nothing this round (absent, or
@@ -546,6 +666,15 @@ impl FaultState {
             Presence::Absent(_) => panic!("gate_upload on an absent client"),
         };
 
+        // Injection: Byzantine crafting happens first — the adversary
+        // poisons what it *sends*, and network-level staleness/corruption
+        // then act on the crafted upload like on any honest one. (A stale
+        // delivery below substitutes a history entry that was itself
+        // poisoned when first accepted, so no double application.)
+        if self.attack.fires_at(round) && self.adversary[client] {
+            self.attack.poison(round, client, &mut streams);
+            self.telemetry.counter("fed/attacked_uploads", 1);
+        }
         // Injection: a delayed packet delivers an old upload instead.
         // `clone_from` writes over the arena-pooled buffers in place, so
         // even injected staleness costs no fresh allocation at steady state.
@@ -568,6 +697,7 @@ impl FaultState {
         }
 
         let missed = self.clients[client].missed_rounds;
+        let prior_rejections = self.clients[client].rejections;
         match validate_update(&streams, self.policy.norm_limit) {
             Ok(()) => {
                 let c = &mut self.clients[client];
@@ -585,10 +715,11 @@ impl FaultState {
                         c.history.pop_front();
                     }
                 }
-                Some(AcceptedUpload { client, streams, missed_rounds: missed })
+                Some(AcceptedUpload { client, streams, missed_rounds: missed, prior_rejections })
             }
-            Err(_fault) => {
+            Err(fault) => {
                 self.telemetry.counter("fed/quarantined", 1);
+                self.last_rejection = Some((round, client, RejectReason::Gate(fault)));
                 let c = &mut self.clients[client];
                 c.rejections += 1;
                 if c.rejections >= self.policy.evict_after {
@@ -601,7 +732,12 @@ impl FaultState {
                         // Substitute in place: the rejected upload's pooled
                         // buffers become the fallback contribution.
                         streams.clone_from(lg);
-                        Some(AcceptedUpload { client, streams, missed_rounds: missed })
+                        Some(AcceptedUpload {
+                            client,
+                            streams,
+                            missed_rounds: missed,
+                            prior_rejections,
+                        })
                     }
                     None => {
                         c.missed_rounds += 1;
@@ -609,6 +745,30 @@ impl FaultState {
                     }
                 }
             }
+        }
+    }
+
+    /// Records that a cohort-relative robust screen rejected an
+    /// already-gated contribution this round. Feeds the same
+    /// rejection/eviction machinery as the absolute gate: the gate's
+    /// accept path reset the live counters, so continuity is restored from
+    /// the upload's pre-gate snapshot — consecutive per-round screen
+    /// rejections accumulate toward eviction, and the structured reason is
+    /// surfaced via [`Self::last_rejection`]. (The last-known-good vector
+    /// was captured at the absolute gate before the screen ran — a
+    /// screened client's fallback may therefore carry its rejected upload;
+    /// eviction after `evict_after` consecutive rejections is the
+    /// backstop.)
+    pub fn note_screened(&mut self, round: usize, upload: &AcceptedUpload, reason: RejectReason) {
+        let i = upload.client;
+        self.telemetry.counter("fed/screened", 1);
+        self.last_rejection = Some((round, i, reason));
+        let c = &mut self.clients[i];
+        c.rejections = upload.prior_rejections + 1;
+        c.missed_rounds = upload.missed_rounds + 1;
+        if c.rejections >= self.policy.evict_after {
+            c.evicted = true;
+            self.telemetry.counter("fed/evictions", 1);
         }
     }
 

@@ -2,6 +2,7 @@
 //! the paper's traditional-FRL baseline — optionally with a fixed
 //! per-client mixing matrix for the Fig. 10 similarity-weighting study.
 
+use crate::attack::AttackPlan;
 use crate::checkpoint::{
     read_client_fault, read_ppo_agent, write_client_fault, write_ppo_agent, Fingerprint, Reader,
     Writer,
@@ -12,8 +13,9 @@ use crate::curves::TrainingCurves;
 use crate::error::FedError;
 use crate::fault::{AcceptedUpload, FaultPlan, FaultState, Presence, QuarantinePolicy};
 use crate::independent::{agent_seed, curves_of, run_all};
+use crate::robust::{reduce_into, screen_uploads, RobustConfig, RobustScratch};
 use crate::runner::UploadArena;
-use pfrl_nn::params::{apply_mixing_matrix_into, average_params_into};
+use pfrl_nn::params::apply_mixing_matrix_into;
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_telemetry::Telemetry;
@@ -71,6 +73,7 @@ struct AggWorkspace {
     critics: Vec<Vec<f32>>,
     actor_out: Vec<Vec<f32>>,
     critic_out: Vec<Vec<f32>>,
+    robust: RobustScratch,
 }
 
 /// FedAvg federation runner.
@@ -89,6 +92,7 @@ pub struct FedAvgRunner {
     /// Critic-loss probes collected at every aggregation.
     pub loss_probes: Vec<RoundLossProbe>,
     fault: FaultState,
+    robust: RobustConfig,
     telemetry: Telemetry,
     arena: UploadArena,
     agg: AggWorkspace,
@@ -136,6 +140,7 @@ impl FedAvgRunner {
             rounds_done: 0,
             loss_probes: Vec::new(),
             fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
+            robust: RobustConfig::default(),
             telemetry: Telemetry::noop(),
             arena: UploadArena::new(),
             agg: AggWorkspace::default(),
@@ -159,9 +164,11 @@ impl FedAvgRunner {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let policy = *self.fault.policy();
         let churn = self.fault.churn().clone();
+        let attack = *self.fault.attack();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
         fault.set_churn(churn);
+        fault.set_attack(attack);
         self.fault = fault;
         self
     }
@@ -171,10 +178,35 @@ impl FedAvgRunner {
     pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
         let plan = *self.fault.plan();
         let churn = self.fault.churn().clone();
+        let attack = *self.fault.attack();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
         fault.set_churn(churn);
+        fault.set_attack(attack);
         self.fault = fault;
+        self
+    }
+
+    /// Installs a deterministic Byzantine attack schedule (see
+    /// [`crate::attack`]): coalition members' uploads are replaced with
+    /// crafted poison at the same client→server boundary the fault layer
+    /// uses.
+    pub fn with_attack_plan(mut self, plan: AttackPlan) -> Self {
+        self.fault.set_attack(plan);
+        self
+    }
+
+    /// Installs the Byzantine-robust aggregation config (see
+    /// [`crate::robust`]): cohort-relative screens run over the gated
+    /// uploads, and the configured reduction replaces the plain mean of
+    /// the uniform-averaging path. The default ([`RobustConfig::default`])
+    /// is bit-identical to a runner without the layer. Screens also guard
+    /// the mixing-matrix and secure paths, but those keep their own
+    /// reductions (personalized mixing is not a mean; secure aggregation
+    /// never reveals individual updates to reduce robustly).
+    pub fn with_robust_aggregator(mut self, robust: RobustConfig) -> Self {
+        robust.validate();
+        self.robust = robust;
         self
     }
 
@@ -294,6 +326,17 @@ impl FedAvgRunner {
             }
         }
         drop(upload);
+        // Cohort-relative robust screens (no-ops on the default config):
+        // outliers among the gated uploads are ejected before any float
+        // touches the aggregate, and their buffers return to the arena.
+        screen_uploads(
+            &self.robust,
+            round,
+            &mut self.fault,
+            &mut self.agg.accepted,
+            &mut self.arena,
+            &mut self.agg.robust,
+        );
         self.fault.record_participation(self.agg.accepted.len());
         if self.agg.accepted.is_empty() {
             // Nothing survived the gate: skip the aggregation entirely;
@@ -367,8 +410,20 @@ impl FedAvgRunner {
                     self.agg.actor_out[0] = mask_all(&self.agg.actors);
                     self.agg.critic_out[0] = mask_all(&self.agg.critics);
                 } else {
-                    average_params_into(&self.agg.actors, &mut self.agg.actor_out[0]);
-                    average_params_into(&self.agg.critics, &mut self.agg.critic_out[0]);
+                    reduce_into(
+                        self.robust.aggregator,
+                        &self.agg.actors,
+                        &mut self.agg.robust,
+                        &mut self.agg.actor_out[0],
+                        &self.telemetry,
+                    );
+                    reduce_into(
+                        self.robust.aggregator,
+                        &self.agg.critics,
+                        &mut self.agg.robust,
+                        &mut self.agg.critic_out[0],
+                        &self.telemetry,
+                    );
                 }
                 true
             }

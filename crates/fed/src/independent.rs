@@ -95,10 +95,30 @@ impl IndependentRunner {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let policy = *self.fault.policy();
         let churn = self.fault.churn().clone();
+        let attack = *self.fault.attack();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
         fault.set_churn(churn);
+        fault.set_attack(attack);
         self.fault = fault;
+        self
+    }
+
+    /// Accepts an adversarial-upload schedule for API parity with the
+    /// federated runners. Independent clients never upload, so a poisoning
+    /// coalition has nothing to poison — the plan is stored (and validated)
+    /// but training is untouched, which is exactly the baseline's role in
+    /// robustness experiments.
+    pub fn with_attack_plan(mut self, plan: crate::attack::AttackPlan) -> Self {
+        self.fault.set_attack(plan);
+        self
+    }
+
+    /// Accepts a robust-aggregation config for API parity with the
+    /// federated runners. There is no server and no aggregation here, so
+    /// the config is validated and dropped.
+    pub fn with_robust_aggregator(self, robust: crate::robust::RobustConfig) -> Self {
+        robust.validate();
         self
     }
 

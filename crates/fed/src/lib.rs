@@ -18,6 +18,7 @@
 //! stochastic stream is seeded per `(experiment, client, episode)`, so runs
 //! are bit-for-bit reproducible at any thread count.
 
+pub mod attack;
 pub mod checkpoint;
 pub mod client;
 pub mod config;
@@ -28,24 +29,27 @@ pub mod fedavg;
 pub mod independent;
 pub mod mfpo;
 pub mod pfrl_dm;
+pub mod robust;
 pub mod runner;
 pub mod secure;
 pub mod similarity;
 pub mod snapshot;
 
+pub use attack::{AttackModel, AttackPlan};
 pub use client::{Client, FedAgent};
 pub use config::{ClientSetup, FedConfig};
 pub use curves::TrainingCurves;
 pub use error::FedError;
 pub use fault::{
     AbsenceReason, AcceptedUpload, ClientFault, Corruption, FaultEvent, FaultPlan, FaultState,
-    Presence, QuarantinePolicy, UpdateFault,
+    Presence, QuarantinePolicy, RejectReason, UpdateFault,
 };
 pub use fedavg::{FedAvgRunner, RoundLossProbe};
 pub use independent::IndependentRunner;
 pub use mfpo::MfpoRunner;
 pub use pfrl_dm::PfrlDmRunner;
 pub use pfrl_scenario as scenario;
+pub use robust::{RobustAggregator, RobustConfig, RobustScratch};
 pub use runner::{ClientView, FederatedRunner};
 pub use secure::{aggregate_masked, mask_update};
 pub use similarity::{attention_weights, cosine_weights, kl_weights};

@@ -10,6 +10,7 @@
 //! (FedAvg-M form): `v ← β·v + (x̄ − x_g)`, `x_g ← x_g + v`, broadcast
 //! `x_g`, applied to both actor and critic.
 
+use crate::attack::AttackPlan;
 use crate::checkpoint::{
     read_client_fault, read_ppo_agent, write_client_fault, write_ppo_agent, Fingerprint, Reader,
     Writer,
@@ -21,8 +22,8 @@ use crate::error::FedError;
 use crate::fault::{AcceptedUpload, FaultPlan, FaultState, Presence, QuarantinePolicy};
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
+use crate::robust::{reduce_into, screen_uploads, RobustConfig, RobustScratch};
 use crate::runner::UploadArena;
-use pfrl_nn::params::average_params_into;
 use pfrl_rl::{PpoAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
 use pfrl_telemetry::Telemetry;
@@ -46,6 +47,7 @@ struct AggWorkspace {
     critics: Vec<Vec<f32>>,
     actor_avg: Vec<f32>,
     critic_avg: Vec<f32>,
+    robust: RobustScratch,
 }
 
 /// Momentum-FRL runner.
@@ -60,6 +62,7 @@ pub struct MfpoRunner {
     vel_critic: Vec<f32>,
     rounds_done: usize,
     fault: FaultState,
+    robust: RobustConfig,
     telemetry: Telemetry,
     arena: UploadArena,
     agg: AggWorkspace,
@@ -125,6 +128,7 @@ impl MfpoRunner {
             vel_critic,
             rounds_done: 0,
             fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
+            robust: RobustConfig::default(),
             telemetry: Telemetry::noop(),
             arena: UploadArena::new(),
             agg: AggWorkspace::default(),
@@ -145,9 +149,11 @@ impl MfpoRunner {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let policy = *self.fault.policy();
         let churn = self.fault.churn().clone();
+        let attack = *self.fault.attack();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
         fault.set_churn(churn);
+        fault.set_attack(attack);
         self.fault = fault;
         self
     }
@@ -156,10 +162,30 @@ impl MfpoRunner {
     pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
         let plan = *self.fault.plan();
         let churn = self.fault.churn().clone();
+        let attack = *self.fault.attack();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
         fault.set_churn(churn);
+        fault.set_attack(attack);
         self.fault = fault;
+        self
+    }
+
+    /// Installs a deterministic Byzantine attack schedule (see
+    /// [`crate::attack`]).
+    pub fn with_attack_plan(mut self, plan: AttackPlan) -> Self {
+        self.fault.set_attack(plan);
+        self
+    }
+
+    /// Installs the Byzantine-robust aggregation config (see
+    /// [`crate::robust`]): screens run over the gated uploads, and the
+    /// configured reduction replaces the plain client average that feeds
+    /// the server momentum. The default is bit-identical to a runner
+    /// without the layer.
+    pub fn with_robust_aggregator(mut self, robust: RobustConfig) -> Self {
+        robust.validate();
+        self.robust = robust;
         self
     }
 
@@ -247,6 +273,15 @@ impl MfpoRunner {
             }
         }
         drop(upload);
+        // Cohort-relative robust screens (no-ops on the default config).
+        screen_uploads(
+            &self.robust,
+            round,
+            &mut self.fault,
+            &mut self.agg.accepted,
+            &mut self.arena,
+            &mut self.agg.robust,
+        );
         self.fault.record_participation(self.agg.accepted.len());
         if self.agg.accepted.is_empty() {
             // No surviving uploads: the server model (and its momentum)
@@ -285,8 +320,22 @@ impl MfpoRunner {
 
         {
             let _agg = self.telemetry.span("fed/round/aggregate");
-            average_params_into(&self.agg.actors, &mut self.agg.actor_avg);
-            average_params_into(&self.agg.critics, &mut self.agg.critic_avg);
+            // The robust reduction replaces the plain client average that
+            // feeds the momentum (Mean delegates bit-identically).
+            reduce_into(
+                self.robust.aggregator,
+                &self.agg.actors,
+                &mut self.agg.robust,
+                &mut self.agg.actor_avg,
+                &self.telemetry,
+            );
+            reduce_into(
+                self.robust.aggregator,
+                &self.agg.critics,
+                &mut self.agg.robust,
+                &mut self.agg.critic_avg,
+                &self.telemetry,
+            );
             momentum_step(
                 &mut self.server_actor,
                 &mut self.vel_actor,

@@ -17,6 +17,7 @@
 //! Only critic parameters ever travel — the paper's communication-cost
 //! advantage over FedAvg, which must ship actor + critic.
 
+use crate::attack::AttackPlan;
 use crate::checkpoint::{
     read_client_fault, read_dual_agent, read_matrix, write_client_fault, write_dual_agent,
     write_matrix, Fingerprint, Reader, Writer,
@@ -30,9 +31,10 @@ use crate::fault::{
 };
 use crate::fedavg::param_bytes;
 use crate::independent::{agent_seed, curves_of, run_all};
+use crate::robust::{reduce_into, screen_uploads, RobustConfig, RobustScratch};
 use crate::runner::UploadArena;
 use crate::similarity::{attention_weights_into, mean_row_entropy};
-use pfrl_nn::params::{apply_mixing_matrix_into, average_params, average_params_into};
+use pfrl_nn::params::{apply_mixing_matrix_into, average_params};
 use pfrl_nn::{Activation, AttentionScratch, Mlp, MultiHeadConfig};
 use pfrl_rl::{DualCriticAgent, PpoConfig};
 use pfrl_sim::{EnvConfig, EnvDims};
@@ -59,6 +61,7 @@ struct AggWorkspace {
     personalized: Vec<Vec<f32>>,
     attention: AttentionScratch,
     weights: Matrix,
+    robust: RobustScratch,
 }
 
 /// PFRL-DM federation runner.
@@ -81,6 +84,7 @@ pub struct PfrlDmRunner {
     next_client_index: usize,
     rounds_done: usize,
     fault: FaultState,
+    robust: RobustConfig,
     telemetry: Telemetry,
     arena: UploadArena,
     agg: AggWorkspace,
@@ -154,6 +158,7 @@ impl PfrlDmRunner {
             next_client_index: n,
             rounds_done: 0,
             fault: FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), n),
+            robust: RobustConfig::default(),
             telemetry: Telemetry::noop(),
             arena: UploadArena::new(),
             agg: AggWorkspace::default(),
@@ -191,9 +196,11 @@ impl PfrlDmRunner {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         let policy = *self.fault.policy();
         let churn = self.fault.churn().clone();
+        let attack = *self.fault.attack();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
         fault.set_churn(churn);
+        fault.set_attack(attack);
         self.fault = fault;
         self
     }
@@ -203,10 +210,32 @@ impl PfrlDmRunner {
     pub fn with_quarantine_policy(mut self, policy: QuarantinePolicy) -> Self {
         let plan = *self.fault.plan();
         let churn = self.fault.churn().clone();
+        let attack = *self.fault.attack();
         let mut fault = FaultState::new(plan, policy, self.clients.len());
         fault.set_telemetry(self.telemetry.clone());
         fault.set_churn(churn);
+        fault.set_attack(attack);
         self.fault = fault;
+        self
+    }
+
+    /// Installs a deterministic adversarial-upload schedule (see
+    /// [`crate::attack`]): members of the seeded coalition poison their
+    /// public-critic uploads at the quarantine gate. Composes with fault
+    /// plans and churn; an inactive plan is bit-identical to none.
+    pub fn with_attack_plan(mut self, plan: AttackPlan) -> Self {
+        self.fault.set_attack(plan);
+        self
+    }
+
+    /// Selects the server-side robust aggregation config (see
+    /// [`crate::robust`]): the screens run over the surviving ψ uploads
+    /// before attention, and the chosen aggregator replaces the plain mean
+    /// that folds the personalized critics into `ψ_G`. The default config
+    /// is bit-identical to the undefended path.
+    pub fn with_robust_aggregator(mut self, robust: RobustConfig) -> Self {
+        robust.validate();
+        self.robust = robust;
         self
     }
 
@@ -335,6 +364,16 @@ impl PfrlDmRunner {
             }
         }
         drop(upload);
+        // Byzantine screens run over the gated cohort before any upload
+        // influences attention: a rejected ψ never enters the weight matrix.
+        screen_uploads(
+            &self.robust,
+            round,
+            &mut self.fault,
+            &mut self.agg.accepted,
+            &mut self.arena,
+            &mut self.agg.robust,
+        );
         self.fault.record_participation(self.agg.accepted.len());
         if self.agg.accepted.is_empty() {
             for i in 0..n {
@@ -397,7 +436,13 @@ impl PfrlDmRunner {
             self.cfg.parallel,
             &mut self.agg.personalized,
         );
-        average_params_into(&self.agg.personalized, &mut self.server_global);
+        reduce_into(
+            self.robust.aggregator,
+            &self.agg.personalized,
+            &mut self.agg.robust,
+            &mut self.server_global,
+            &self.telemetry,
+        );
         drop(agg);
 
         let mut global_receivers = 0u64;

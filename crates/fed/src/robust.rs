@@ -1,0 +1,390 @@
+//! Byzantine-robust aggregation: pluggable reductions and cohort-relative
+//! outlier screens, shared by every federation runner.
+//!
+//! The absolute quarantine gate ([`crate::fault`]) rejects syntactically
+//! broken uploads; this module defends against *well-formed* poison (see
+//! [`crate::attack`]). Two composable layers:
+//!
+//! 1. **Screens** ([`RobustConfig::norm_band`], [`RobustConfig::cosine`])
+//!    run over the gated cohort before any aggregation: a relative-norm
+//!    band around the cohort median catches stealth scaling, and a cosine
+//!    screen against the cohort's coordinate-median direction catches
+//!    sign-flips. Screened clients feed the *existing* rejection/eviction
+//!    machinery ([`FaultState::note_screened`]), so a persistent adversary
+//!    is eventually evicted just like a persistently corrupt link.
+//! 2. **Robust reduction** ([`RobustAggregator`]) replaces the plain mean
+//!    wherever a runner averages uploads: FedAvg's shared model, MFPO's
+//!    momentum average, and PFRL-DM's global model ψ_G (Eq. 22) over
+//!    personalized critics. [`RobustAggregator::Mean`] delegates to
+//!    [`pfrl_nn::average_params_into`] — bit-identical to a runner without
+//!    this layer, so the default costs nothing.
+//!
+//! Everything is allocation-free at steady state through
+//! [`RobustScratch`], and deterministic at any thread count (screens and
+//! reductions are single-threaded order-stable passes over the cohort).
+
+use crate::fault::{AcceptedUpload, FaultState, RejectReason};
+use crate::runner::UploadArena;
+use pfrl_nn::params::{
+    average_params_into, coordinate_median_into, l2_norm, norm_clipped_mean_into, trimmed_mean_into,
+};
+use pfrl_telemetry::Telemetry;
+
+/// How a runner reduces a cohort of uploads to one vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RobustAggregator {
+    /// Plain arithmetic mean — the paper's Eq. 22, bit-identical to the
+    /// pre-robustness code path. Breakdown point 0: one adversary moves
+    /// the aggregate arbitrarily.
+    #[default]
+    Mean,
+    /// Coordinate-wise median (breakdown point 1/2).
+    CoordinateMedian,
+    /// Coordinate-wise β-trimmed mean (robust to coalitions smaller than
+    /// the trim count, smoother than the median on honest cohorts).
+    TrimmedMean {
+        /// Per-side trim fraction, `[0, 0.5)`.
+        beta: f32,
+    },
+    /// Mean of uploads norm-clipped to τ (bounds any client's pull to
+    /// τ/K; counts activations on `fed/clipped`).
+    NormClip {
+        /// The clip threshold.
+        tau: f32,
+    },
+}
+
+impl RobustAggregator {
+    /// Short stable label for telemetry, reports, and manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RobustAggregator::Mean => "mean",
+            RobustAggregator::CoordinateMedian => "coordinate_median",
+            RobustAggregator::TrimmedMean { .. } => "trimmed_mean",
+            RobustAggregator::NormClip { .. } => "norm_clip",
+        }
+    }
+}
+
+/// The full server-side defence configuration: a reduction plus optional
+/// cohort-relative screens. Construction-time config (like `FaultPlan`):
+/// never checkpointed, installed on a runner via
+/// `with_robust_aggregator`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// The reduction replacing the plain mean.
+    pub aggregator: RobustAggregator,
+    /// Relative-norm band factor: uploads whose per-stream L2 norm falls
+    /// outside `[median / band, median · band]` of the cohort median are
+    /// screened out. `None` disables.
+    pub norm_band: Option<f32>,
+    /// Minimum cosine similarity between each upload and the cohort's
+    /// coordinate-median reference direction. Sign-flipped uploads score
+    /// near −1; `Some(0.0)` rejects anything pointing against the cohort.
+    /// `None` disables.
+    pub cosine: Option<f32>,
+    /// Screens only engage at this cohort size or larger — below it a
+    /// "median" is too few honest samples to trust (default 4).
+    pub min_cohort: usize,
+}
+
+impl Default for RobustConfig {
+    /// The do-nothing default: plain mean, no screens — bit-identical to
+    /// a runner without the robustness layer.
+    fn default() -> Self {
+        Self { aggregator: RobustAggregator::Mean, norm_band: None, cosine: None, min_cohort: 4 }
+    }
+}
+
+impl RobustConfig {
+    /// The recommended defended profile: 20%-trimmed mean, a 10× norm
+    /// band, and a zero-cosine screen. Survives any coalition below 20%
+    /// of the cohort while staying inside honest-run CIs (the
+    /// no-resilience-tax gate in `eval::robustness` holds it to that).
+    pub fn defended() -> Self {
+        Self {
+            aggregator: RobustAggregator::TrimmedMean { beta: 0.2 },
+            norm_band: Some(10.0),
+            cosine: Some(0.0),
+            min_cohort: 4,
+        }
+    }
+
+    /// A plain reduction with no screens.
+    pub fn with_aggregator(aggregator: RobustAggregator) -> Self {
+        Self { aggregator, ..Self::default() }
+    }
+
+    /// Panics on degenerate thresholds.
+    pub fn validate(&self) {
+        match self.aggregator {
+            RobustAggregator::TrimmedMean { beta } => {
+                assert!((0.0..0.5).contains(&beta), "trim fraction {beta} outside [0, 0.5)")
+            }
+            RobustAggregator::NormClip { tau } => {
+                assert!(tau.is_finite() && tau > 0.0, "clip threshold {tau} invalid")
+            }
+            _ => {}
+        }
+        if let Some(band) = self.norm_band {
+            assert!(band.is_finite() && band > 1.0, "norm band factor {band} must exceed 1");
+        }
+        if let Some(threshold) = self.cosine {
+            assert!((-1.0..=1.0).contains(&threshold), "cosine threshold {threshold} invalid");
+        }
+    }
+
+    /// Whether any cohort-relative screen is enabled.
+    pub fn is_screening(&self) -> bool {
+        self.norm_band.is_some() || self.cosine.is_some()
+    }
+}
+
+/// Reusable buffers for screens and robust reductions — the price of a
+/// zero-allocation aggregation round (audited in `tests/zero_alloc.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct RobustScratch {
+    /// K-length sort/column buffer for median and trimmed-mean kernels.
+    col: Vec<f32>,
+    /// Per-client norm-clip scales.
+    scales: Vec<f32>,
+    /// Per-upload, per-stream L2 norms.
+    norms: Vec<f32>,
+    /// Coordinate-median reference direction for the cosine screen.
+    reference: Vec<f32>,
+    /// Borrowed stream views for the reference median (pointers only).
+    views: Vec<Vec<f32>>,
+    /// Per-upload screen verdicts for the current round.
+    verdicts: Vec<Option<RejectReason>>,
+}
+
+/// Reduces `params` with the configured aggregator into `out`.
+/// [`RobustAggregator::Mean`] routes through [`average_params_into`] and
+/// is bitwise identical to the undefended path; `NormClip` reports its
+/// activation count on the `fed/clipped` counter.
+pub(crate) fn reduce_into(
+    aggregator: RobustAggregator,
+    params: &[Vec<f32>],
+    scratch: &mut RobustScratch,
+    out: &mut Vec<f32>,
+    telemetry: &Telemetry,
+) {
+    match aggregator {
+        RobustAggregator::Mean => average_params_into(params, out),
+        RobustAggregator::CoordinateMedian => coordinate_median_into(params, &mut scratch.col, out),
+        RobustAggregator::TrimmedMean { beta } => {
+            trimmed_mean_into(params, beta, &mut scratch.col, out)
+        }
+        RobustAggregator::NormClip { tau } => {
+            let clipped = norm_clipped_mean_into(params, tau, &mut scratch.scales, out);
+            if clipped > 0 {
+                telemetry.counter("fed/clipped", clipped as u64);
+            }
+        }
+    }
+}
+
+/// Runs the cohort-relative screens over the gated uploads, removing
+/// outliers in place (their pooled buffers return to the arena) and
+/// feeding rejections into the quarantine/eviction machinery. Order-
+/// preserving and single-threaded, so the surviving cohort — and hence
+/// every downstream float op — is identical at any thread count.
+pub(crate) fn screen_uploads(
+    cfg: &RobustConfig,
+    round: usize,
+    fault: &mut FaultState,
+    accepted: &mut Vec<AcceptedUpload>,
+    arena: &mut UploadArena,
+    scratch: &mut RobustScratch,
+) {
+    if !cfg.is_screening() || accepted.len() < cfg.min_cohort {
+        return;
+    }
+    let n_streams = accepted[0].streams.len();
+    scratch.verdicts.clear();
+    scratch.verdicts.resize(accepted.len(), None);
+    for s in 0..n_streams {
+        if let Some(band) = cfg.norm_band {
+            scratch.norms.clear();
+            scratch.norms.extend(accepted.iter().map(|u| l2_norm(&u.streams[s])));
+            scratch.col.clear();
+            scratch.col.extend_from_slice(&scratch.norms);
+            scratch.col.sort_unstable_by(f32::total_cmp);
+            let k = scratch.col.len();
+            let median = if k % 2 == 1 {
+                scratch.col[k / 2]
+            } else {
+                0.5 * (scratch.col[k / 2 - 1] + scratch.col[k / 2])
+            };
+            if median > 0.0 {
+                for (i, &norm) in scratch.norms.iter().enumerate() {
+                    if scratch.verdicts[i].is_none()
+                        && (norm > median * band || norm * band < median)
+                    {
+                        scratch.verdicts[i] =
+                            Some(RejectReason::NormBand { stream: s, norm, median, band });
+                    }
+                }
+            }
+        }
+        if let Some(threshold) = cfg.cosine {
+            // Robust reference: the coordinate median of the stream across
+            // the cohort (the mean would let the outliers drag their own
+            // yardstick). Borrow the streams into pooled view buffers.
+            scratch.views.truncate(accepted.len());
+            while scratch.views.len() < accepted.len() {
+                scratch.views.push(Vec::new());
+            }
+            for (v, u) in scratch.views.iter_mut().zip(accepted.iter()) {
+                v.clone_from(&u.streams[s]);
+            }
+            coordinate_median_into(&scratch.views, &mut scratch.col, &mut scratch.reference);
+            let ref_norm = l2_norm(&scratch.reference);
+            if ref_norm > 0.0 {
+                for (i, u) in accepted.iter().enumerate() {
+                    if scratch.verdicts[i].is_some() {
+                        continue;
+                    }
+                    let v = &u.streams[s];
+                    let norm = l2_norm(v);
+                    if norm == 0.0 {
+                        continue;
+                    }
+                    let dot: f32 = v.iter().zip(&scratch.reference).map(|(a, b)| a * b).sum();
+                    let cosine = dot / (norm * ref_norm);
+                    if cosine < threshold {
+                        scratch.verdicts[i] =
+                            Some(RejectReason::CosineOutlier { stream: s, cosine, threshold });
+                    }
+                }
+            }
+        }
+    }
+    let any = scratch.verdicts.iter().any(Option::is_some);
+    if !any {
+        return;
+    }
+    for (i, verdict) in scratch.verdicts.iter().enumerate() {
+        if let Some(reason) = verdict {
+            fault.note_screened(round, &accepted[i], *reason);
+            arena.release(std::mem::take(&mut accepted[i].streams));
+        }
+    }
+    accepted.retain(|u| !u.streams.is_empty());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, Presence, QuarantinePolicy};
+
+    fn gated(
+        fault: &mut FaultState,
+        round: usize,
+        uploads: Vec<Vec<Vec<f32>>>,
+    ) -> Vec<AcceptedUpload> {
+        let fresh = Presence::Present { corrupt: None, stale_age: 0 };
+        uploads
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, u)| fault.gate_upload(round, i, u, fresh))
+            .collect()
+    }
+
+    #[test]
+    fn default_config_is_inert_mean() {
+        let cfg = RobustConfig::default();
+        cfg.validate();
+        assert!(!cfg.is_screening());
+        assert_eq!(cfg.aggregator, RobustAggregator::Mean);
+    }
+
+    #[test]
+    fn mean_reduction_matches_average_params_bitwise() {
+        let p = vec![vec![1.0f32, -2.5, 3.0], vec![0.5, 4.0, -1.0], vec![2.0, 0.0, 0.25]];
+        let mut scratch = RobustScratch::default();
+        let mut out = Vec::new();
+        reduce_into(RobustAggregator::Mean, &p, &mut scratch, &mut out, &Telemetry::noop());
+        let mut expect = Vec::new();
+        average_params_into(&p, &mut expect);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn norm_band_screen_rejects_the_blown_upload_and_tracks_rejections() {
+        let mut fault = FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), 5);
+        let honest = [vec![1.0f32, 0.5], vec![0.9, 0.6], vec![1.1, 0.4], vec![1.0, 0.55]];
+        let mut uploads: Vec<Vec<Vec<f32>>> = honest.iter().map(|v| vec![v.clone()]).collect();
+        uploads.push(vec![vec![500.0f32, 250.0]]); // stealth-scaled way out of band
+        let mut accepted = gated(&mut fault, 0, uploads);
+        assert_eq!(accepted.len(), 5);
+        let cfg = RobustConfig { norm_band: Some(10.0), ..RobustConfig::default() };
+        let mut arena = UploadArena::default();
+        let mut scratch = RobustScratch::default();
+        screen_uploads(&cfg, 0, &mut fault, &mut accepted, &mut arena, &mut scratch);
+        assert_eq!(accepted.len(), 4, "outlier must be screened");
+        assert!(accepted.iter().all(|u| u.client != 4));
+        assert_eq!(fault.client_states()[4].rejections, 1);
+        let err = fault.last_rejection().expect("rejection recorded");
+        assert!(err.to_string().contains("norm-band"), "{err}");
+    }
+
+    #[test]
+    fn cosine_screen_rejects_sign_flipped_uploads() {
+        let mut fault = FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), 5);
+        let base = [0.8f32, -0.3, 0.5, 0.1];
+        let mut uploads: Vec<Vec<Vec<f32>>> = (0..4)
+            .map(|i| vec![base.iter().map(|v| v * (1.0 + 0.01 * i as f32)).collect()])
+            .collect();
+        uploads.push(vec![base.iter().map(|v| -v).collect()]); // sign-flip
+        let mut accepted = gated(&mut fault, 0, uploads);
+        let cfg = RobustConfig { cosine: Some(0.0), ..RobustConfig::default() };
+        let mut arena = UploadArena::default();
+        let mut scratch = RobustScratch::default();
+        screen_uploads(&cfg, 0, &mut fault, &mut accepted, &mut arena, &mut scratch);
+        assert_eq!(accepted.len(), 4, "sign-flipped upload must be screened");
+        assert!(accepted.iter().all(|u| u.client != 4));
+        assert!(matches!(
+            fault.last_rejection(),
+            Some(crate::FedError::Quarantine {
+                reason: RejectReason::CosineOutlier { .. },
+                client: 4,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn tiny_cohorts_are_never_screened() {
+        let mut fault = FaultState::new(FaultPlan::none(), QuarantinePolicy::default(), 2);
+        let uploads = vec![vec![vec![1.0f32]], vec![vec![-1000.0f32]]];
+        let mut accepted = gated(&mut fault, 0, uploads);
+        let cfg = RobustConfig::defended();
+        let mut arena = UploadArena::default();
+        let mut scratch = RobustScratch::default();
+        screen_uploads(&cfg, 0, &mut fault, &mut accepted, &mut arena, &mut scratch);
+        assert_eq!(accepted.len(), 2, "below min_cohort the screen must stand down");
+    }
+
+    #[test]
+    fn repeated_screen_rejections_evict() {
+        let policy = QuarantinePolicy { evict_after: 2, ..QuarantinePolicy::default() };
+        let mut fault = FaultState::new(FaultPlan::none(), policy, 5);
+        let cfg = RobustConfig { norm_band: Some(4.0), ..RobustConfig::default() };
+        let mut arena = UploadArena::default();
+        let mut scratch = RobustScratch::default();
+        for round in 0..2 {
+            let mut uploads: Vec<Vec<Vec<f32>>> = (0..4).map(|_| vec![vec![1.0f32, 1.0]]).collect();
+            uploads.push(vec![vec![900.0f32, 900.0]]);
+            let mut accepted = gated(&mut fault, round, uploads);
+            screen_uploads(&cfg, round, &mut fault, &mut accepted, &mut arena, &mut scratch);
+        }
+        assert!(fault.is_evicted(4), "two consecutive screens must evict");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn invalid_band_rejected() {
+        RobustConfig { norm_band: Some(1.0), ..RobustConfig::default() }.validate();
+    }
+}

@@ -52,6 +52,7 @@ pub use attention::{
 pub use linear::Linear;
 pub use mlp::Mlp;
 pub use params::{
-    apply_mixing_matrix_into, average_params, average_params_into, validate_params,
+    apply_mixing_matrix_into, average_params, average_params_into, coordinate_median_into, l2_norm,
+    norm_clipped_mean_into, trimmed_mean_into, validate_params, validate_params_in_band,
     weighted_combination, weighted_combination_into, ParamFault,
 };

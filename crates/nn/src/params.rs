@@ -10,6 +10,17 @@ pub enum ParamFault {
     Nan(usize),
     /// An infinity at the given flat index.
     Infinite(usize),
+    /// The vector's L2 norm fell outside the cohort-relative band
+    /// `[median / band, median · band]` — well-formed, but an outlier
+    /// against the rest of the cohort (see [`validate_params_in_band`]).
+    NormOutOfBand {
+        /// The measured norm.
+        norm: f32,
+        /// The cohort median norm the band is centered on.
+        median: f32,
+        /// The configured band factor (> 1).
+        band: f32,
+    },
 }
 
 impl std::fmt::Display for ParamFault {
@@ -17,6 +28,12 @@ impl std::fmt::Display for ParamFault {
         match self {
             ParamFault::Nan(i) => write!(f, "NaN at flat index {i}"),
             ParamFault::Infinite(i) => write!(f, "infinite value at flat index {i}"),
+            ParamFault::NormOutOfBand { norm, median, band } => write!(
+                f,
+                "norm {norm} outside the cohort band [{:.4}, {:.4}] (median {median}, band {band})",
+                median / band,
+                median * band
+            ),
         }
     }
 }
@@ -33,6 +50,34 @@ pub fn validate_params(params: &[f32]) -> Result<(), ParamFault> {
         if p.is_infinite() {
             return Err(ParamFault::Infinite(i));
         }
+    }
+    Ok(())
+}
+
+/// L2 norm of a flat parameter vector. Same accumulation order as the
+/// federation's quarantine gate, so both sides of the band agree bitwise.
+pub fn l2_norm(params: &[f32]) -> f32 {
+    params.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// The cohort-relative half of the quarantine gate: accepts a vector only
+/// if [`validate_params`] passes *and* its L2 norm lies inside
+/// `[median / band, median · band]` around the cohort median norm. Catches
+/// well-formed outliers (stealth scaling, deflated uploads) that the
+/// absolute norm limit misses. A non-positive `median` disables the band
+/// (degenerate cohorts cannot define one).
+///
+/// # Panics
+/// If `band <= 1` (the band would reject the median itself).
+pub fn validate_params_in_band(params: &[f32], median: f32, band: f32) -> Result<(), ParamFault> {
+    assert!(band > 1.0, "norm band factor {band} must exceed 1");
+    validate_params(params)?;
+    if median <= 0.0 {
+        return Ok(());
+    }
+    let norm = l2_norm(params);
+    if norm > median * band || norm * band < median {
+        return Err(ParamFault::NormOutOfBand { norm, median, band });
     }
     Ok(())
 }
@@ -72,6 +117,109 @@ pub fn average_params_into(params: &[Vec<f32>], out: &mut Vec<f32>) {
     }
     let inv = 1.0 / params.len() as f32;
     out.iter_mut().for_each(|v| *v *= inv);
+}
+
+/// Asserts `params` is a non-empty, non-ragged cohort and returns the
+/// common vector length.
+fn cohort_len(params: &[Vec<f32>], what: &str) -> usize {
+    assert!(!params.is_empty(), "{what}: no clients");
+    let n = params[0].len();
+    for (k, p) in params.iter().enumerate() {
+        assert_eq!(p.len(), n, "{what}: client {k} has mismatched length");
+    }
+    n
+}
+
+/// Coordinate-wise median of equally-long parameter vectors — the
+/// classic Byzantine-robust reduction (breakdown point 1/2: any minority
+/// of arbitrary uploads moves each coordinate at most to an honest
+/// client's value). Even cohorts take the midpoint of the two central
+/// order statistics. `scratch` is a reusable K-length sort buffer;
+/// allocation-free once `scratch` and `out` capacities suffice. Sorting
+/// makes the result exactly permutation-invariant, unlike a mean.
+///
+/// # Panics
+/// If `params` is empty or lengths disagree.
+pub fn coordinate_median_into(params: &[Vec<f32>], scratch: &mut Vec<f32>, out: &mut Vec<f32>) {
+    let n = cohort_len(params, "coordinate_median");
+    let k = params.len();
+    out.clear();
+    out.resize(n, 0.0);
+    for (j, o) in out.iter_mut().enumerate() {
+        scratch.clear();
+        scratch.extend(params.iter().map(|p| p[j]));
+        scratch.sort_unstable_by(f32::total_cmp);
+        *o = if k % 2 == 1 { scratch[k / 2] } else { 0.5 * (scratch[k / 2 - 1] + scratch[k / 2]) };
+    }
+}
+
+/// Coordinate-wise β-trimmed mean: per coordinate, drop the
+/// `floor(β · K)` smallest and largest values, average the rest. β = 0
+/// degenerates to the plain mean (over sorted values — equal up to
+/// floating-point reassociation); β < 0.5 is required so at least one
+/// value survives. Robust to any coalition smaller than the trim count.
+/// `scratch` is a reusable K-length sort buffer.
+///
+/// # Panics
+/// If `params` is empty, lengths disagree, or β outside `[0, 0.5)`.
+pub fn trimmed_mean_into(
+    params: &[Vec<f32>],
+    beta: f32,
+    scratch: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
+    assert!((0.0..0.5).contains(&beta), "trim fraction {beta} outside [0, 0.5)");
+    let n = cohort_len(params, "trimmed_mean");
+    let k = params.len();
+    let trim = ((beta * k as f32).floor() as usize).min((k - 1) / 2);
+    let kept = k - 2 * trim;
+    let inv = 1.0 / kept as f32;
+    out.clear();
+    out.resize(n, 0.0);
+    for (j, o) in out.iter_mut().enumerate() {
+        scratch.clear();
+        scratch.extend(params.iter().map(|p| p[j]));
+        scratch.sort_unstable_by(f32::total_cmp);
+        *o = scratch[trim..k - trim].iter().sum::<f32>() * inv;
+    }
+}
+
+/// Norm-clipped mean: every upload is scaled down to L2 norm ≤ τ before
+/// the plain mean, bounding any single client's pull to τ/K. Returns the
+/// number of clipped uploads (the `fed/clipped` counter). `scales` is a
+/// reusable K-length buffer of per-client factors.
+///
+/// # Panics
+/// If `params` is empty, lengths disagree, or `tau` is not positive.
+pub fn norm_clipped_mean_into(
+    params: &[Vec<f32>],
+    tau: f32,
+    scales: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) -> usize {
+    assert!(tau > 0.0, "clip threshold {tau} must be positive");
+    let n = cohort_len(params, "norm_clipped_mean");
+    let mut clipped = 0usize;
+    scales.clear();
+    scales.extend(params.iter().map(|p| {
+        let norm = l2_norm(p);
+        if norm > tau {
+            clipped += 1;
+            tau / norm
+        } else {
+            1.0
+        }
+    }));
+    out.clear();
+    out.resize(n, 0.0);
+    for (p, &s) in params.iter().zip(scales.iter()) {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += s * v;
+        }
+    }
+    let inv = 1.0 / params.len() as f32;
+    out.iter_mut().for_each(|v| *v *= inv);
+    clipped
 }
 
 /// Weighted combination `Σ_k w_k · θ_k` (one personalized model, Eq. 21).
@@ -252,6 +400,81 @@ mod tests {
         let mut out = Vec::new();
         apply_mixing_matrix_into(&Matrix::identity(3), &p, false, &mut out);
         assert_eq!(out, p);
+    }
+
+    #[test]
+    fn coordinate_median_hand_examples() {
+        // Odd cohort: the middle order statistic, per coordinate.
+        let p = vec![vec![1.0, -5.0], vec![3.0, 100.0], vec![2.0, -6.0]];
+        let (mut ws, mut out) = (Vec::new(), Vec::new());
+        coordinate_median_into(&p, &mut ws, &mut out);
+        assert_eq!(out, vec![2.0, -5.0]);
+        // Even cohort: midpoint of the two central values.
+        let p = vec![vec![1.0], vec![2.0], vec![10.0], vec![4.0]];
+        coordinate_median_into(&p, &mut ws, &mut out);
+        assert_eq!(out, vec![3.0]);
+    }
+
+    #[test]
+    fn median_ignores_a_minority_outlier() {
+        let honest = vec![vec![1.0, 2.0], vec![1.1, 2.1], vec![0.9, 1.9]];
+        let mut poisoned = honest.clone();
+        poisoned.push(vec![1e9, -1e9]);
+        poisoned.push(vec![0.95, 2.05]);
+        let (mut ws, mut out) = (Vec::new(), Vec::new());
+        coordinate_median_into(&poisoned, &mut ws, &mut out);
+        for (j, v) in out.iter().enumerate() {
+            assert!(v.abs() < 10.0, "coordinate {j} dragged to {v}");
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes_and_degenerates_to_mean() {
+        let p = vec![vec![1.0], vec![2.0], vec![3.0], vec![1e6], vec![-1e6]];
+        let (mut ws, mut out) = (Vec::new(), Vec::new());
+        trimmed_mean_into(&p, 0.2, &mut ws, &mut out);
+        assert_eq!(out, vec![2.0]);
+        // beta = 0 is the plain mean (up to summation order).
+        trimmed_mean_into(&p, 0.0, &mut ws, &mut out);
+        let mean = average_params(&p);
+        assert!((out[0] - mean[0]).abs() <= 1.0, "{} vs {}", out[0], mean[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 0.5)")]
+    fn trim_fraction_half_rejected() {
+        let p = vec![vec![1.0], vec![2.0]];
+        trimmed_mean_into(&p, 0.5, &mut Vec::new(), &mut Vec::new());
+    }
+
+    #[test]
+    fn norm_clip_bounds_outliers_and_counts_them() {
+        let p = vec![vec![3.0, 4.0], vec![300.0, 400.0]];
+        let (mut scales, mut out) = (Vec::new(), Vec::new());
+        // tau = 5: the first vector is untouched, the second shrinks 100x.
+        let clipped = norm_clipped_mean_into(&p, 5.0, &mut scales, &mut out);
+        assert_eq!(clipped, 1);
+        assert_eq!(out, vec![3.0, 4.0]);
+        // A generous tau clips nothing and equals the plain mean.
+        let clipped = norm_clipped_mean_into(&p, 1e6, &mut scales, &mut out);
+        assert_eq!(clipped, 0);
+        assert_eq!(out, average_params(&p));
+    }
+
+    #[test]
+    fn norm_band_accepts_cohort_and_rejects_outliers() {
+        assert_eq!(validate_params_in_band(&[3.0, 4.0], 5.0, 4.0), Ok(()));
+        // 100x the median norm: out of band, with the reason attached.
+        let err = validate_params_in_band(&[300.0, 400.0], 5.0, 4.0).unwrap_err();
+        assert!(matches!(err, ParamFault::NormOutOfBand { .. }), "{err}");
+        // 100x *below* the median norm is just as suspicious.
+        let err = validate_params_in_band(&[0.03, 0.04], 5.0, 4.0).unwrap_err();
+        assert!(matches!(err, ParamFault::NormOutOfBand { .. }), "{err}");
+        // Non-finite values still trip the absolute check first.
+        let err = validate_params_in_band(&[f32::NAN], 5.0, 4.0).unwrap_err();
+        assert_eq!(err, ParamFault::Nan(0));
+        // A degenerate median disables the band.
+        assert_eq!(validate_params_in_band(&[1e9], 0.0, 4.0), Ok(()));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests of the neural-network stack.
 
-use pfrl_nn::params::{apply_mixing_matrix, average_params, weighted_combination};
+use pfrl_nn::params::{
+    apply_mixing_matrix, average_params, coordinate_median_into, trimmed_mean_into,
+    weighted_combination,
+};
 use pfrl_nn::{
     multi_head_attention_weights, multi_head_attention_weights_into, Activation, Adam,
     AttentionScratch, Mlp, MultiHeadConfig,
@@ -156,6 +159,83 @@ proptest! {
             prop_assert!(nonzero <= (cfg.heads * top_k).min(params.len()),
                 "row {} has {} nonzeros with top_k={}", r, nonzero, top_k);
         }
+    }
+
+    /// The robust reductions are permutation-invariant: shuffling the
+    /// cohort order changes neither the coordinate median nor the trimmed
+    /// mean, bit for bit (both kernels sort each coordinate column).
+    #[test]
+    fn robust_reductions_permutation_invariant(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 6), 2..7),
+        beta in 0.0f32..0.49,
+        seed in 0u64..500,
+    ) {
+        let mut shuffled = params.clone();
+        use rand::seq::SliceRandom;
+        shuffled.shuffle(&mut SmallRng::seed_from_u64(seed));
+
+        let mut scratch = Vec::new();
+        let (mut m1, mut m2) = (Vec::new(), Vec::new());
+        coordinate_median_into(&params, &mut scratch, &mut m1);
+        coordinate_median_into(&shuffled, &mut scratch, &mut m2);
+        prop_assert_eq!(&m1, &m2);
+
+        let (mut t1, mut t2) = (Vec::new(), Vec::new());
+        trimmed_mean_into(&params, beta, &mut scratch, &mut t1);
+        trimmed_mean_into(&shuffled, beta, &mut scratch, &mut t2);
+        prop_assert_eq!(&t1, &t2);
+    }
+
+    /// A trimmed mean at β = 0 trims nothing: it equals the plain mean up
+    /// to summation-order rounding (the kernel sums sorted columns).
+    #[test]
+    fn trimmed_mean_beta_zero_is_the_mean(
+        params in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 6), 1..7),
+    ) {
+        let mean = average_params(&params);
+        let mut scratch = Vec::new();
+        let mut trimmed = Vec::new();
+        trimmed_mean_into(&params, 0.0, &mut scratch, &mut trimmed);
+        for (t, m) in trimmed.iter().zip(&mean) {
+            prop_assert!((t - m).abs() < 1e-4, "trimmed {} vs mean {}", t, m);
+        }
+    }
+
+    /// Breakdown under a minority of coordinate outliers: the coordinate
+    /// median of an honest majority plus strictly fewer corrupted vectors
+    /// stays within the honest value range, no matter how extreme the
+    /// corruption — while the plain mean is dragged out of it.
+    #[test]
+    fn median_resists_minority_outliers(
+        honest_value in -5.0f32..5.0,
+        n_honest in 3usize..7,
+        magnitude in 100.0f32..1e6,
+    ) {
+        let n_bad = n_honest - 1; // strict minority
+        let mut params = vec![vec![honest_value; 4]; n_honest];
+        params.extend(vec![vec![magnitude; 4]; n_bad]);
+        let mut scratch = Vec::new();
+        let mut median = Vec::new();
+        coordinate_median_into(&params, &mut scratch, &mut median);
+        for &v in &median {
+            prop_assert!(
+                v >= honest_value - 1e-3 && v <= magnitude,
+                "median {} escaped [{}, {}]", v, honest_value, magnitude
+            );
+            // With a strict minority corrupted, the median index lands on
+            // an honest entry (or the midpoint touching one).
+            prop_assert!(
+                (v - honest_value).abs() < (magnitude - honest_value) / 2.0 + 1e-3,
+                "median {} dragged toward the outliers", v
+            );
+        }
+        let mean = average_params(&params);
+        prop_assert!(
+            mean[0] > honest_value + (magnitude - honest_value) * 0.2,
+            "the plain mean should have been dragged (got {})", mean[0]
+        );
     }
 
     /// Adam with zero gradients never moves parameters, at any step count.

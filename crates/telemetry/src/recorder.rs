@@ -356,6 +356,31 @@ mod tests {
     }
 
     #[test]
+    fn attack_counters_fingerprint_but_coalition_gauge_does_not() {
+        // The robust-aggregation path emits three deterministic counters
+        // (poisoned uploads, screen rejections, norm clips) that must be
+        // part of the replayable fingerprint, one per-round gauge
+        // (coalition size) that must not be, and one wall-clock histogram
+        // that the `wall` name rule already excludes.
+        let rec = Arc::new(InMemoryRecorder::new());
+        let t = Telemetry::new(rec.clone());
+        t.counter("fed/attacked_uploads", 3);
+        t.counter("fed/screened", 2);
+        t.counter("fed/clipped", 1);
+        t.gauge("fed/attack_coalition_size", 3.0);
+        t.observe("fed/agg_wall_us", 42.0);
+        let (counters, hists) = rec.snapshot().deterministic_fingerprint();
+        assert_eq!(counters.get("fed/attacked_uploads"), Some(&3));
+        assert_eq!(counters.get("fed/screened"), Some(&2));
+        assert_eq!(counters.get("fed/clipped"), Some(&1));
+        assert!(
+            !counters.contains_key("fed/attack_coalition_size"),
+            "the coalition gauge must stay out of the counter fingerprint"
+        );
+        assert!(!hists.contains_key("fed/agg_wall_us"));
+    }
+
+    #[test]
     fn concurrent_counting_is_exact() {
         let rec = Arc::new(InMemoryRecorder::new());
         let t = Telemetry::new(rec.clone());

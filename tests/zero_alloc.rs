@@ -269,4 +269,30 @@ fn hot_paths_are_allocation_free_after_warmup() {
         (0, 0),
         "MFPO K=256 aggregation allocated {calls} times / {bytes} bytes after warmup"
     );
+
+    // The fully defended robust path at K=64: a sign-flip coalition poisons
+    // its uploads in place, the norm-band + cosine screens reject them
+    // (their buffers return to the arena), and the trimmed-mean reduction
+    // replaces the mean. Eviction is pushed out of reach so the screened
+    // cohort shape is stable round over round; after two warm-up rounds the
+    // whole attack → screen → reduce pipeline must not touch the heap.
+    use pfrl_core::fed::{AttackPlan, QuarantinePolicy, RobustConfig};
+    let mut df = FedAvgRunner::new(
+        fed_setups(64, 4000),
+        dims,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        fed_cfg(64),
+    )
+    .with_attack_plan(AttackPlan::new(11).with_sign_flip(0.25, 1.0))
+    .with_robust_aggregator(RobustConfig::defended())
+    .with_quarantine_policy(QuarantinePolicy { evict_after: 1_000_000, ..Default::default() });
+    df.aggregate(0);
+    df.aggregate(1);
+    let (calls, bytes, _) = count_allocs(|| df.aggregate(2));
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "defended FedAvg K=64 screen+trim aggregation allocated {calls} times / {bytes} bytes after warmup"
+    );
 }
