@@ -35,6 +35,7 @@ pub mod gate;
 pub mod matrix;
 pub mod report;
 pub mod robustness;
+pub mod simcore;
 pub mod topk;
 
 pub use drift::{check_drift_invariants, run_drift, DriftArm, DriftConfig, DriftReport};
@@ -45,6 +46,7 @@ pub use robustness::{
     check_robustness_invariants, run_robustness, Defense, RobustnessArm, RobustnessConfig,
     RobustnessReport,
 };
+pub use simcore::{check_simcore_invariants, run_simcore_check, SimcoreConfig, SimcoreReport};
 pub use topk::{check_topk_invariant, run_topk_check, TopkConfig, TopkReport};
 
 use pfrl_core::experiment::Algorithm;

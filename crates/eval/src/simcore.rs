@@ -1,0 +1,366 @@
+//! The sim-core equivalence gate: the event-calendar time engine must be
+//! indistinguishable from the stepped reference engine.
+//!
+//! The discrete-event core is a *performance* rewrite of the simulator's
+//! time loop — O(log n) calendar pops instead of per-minute scans. Every
+//! training and evaluation number in this repository flows through that
+//! loop, so the engines are held to **bit identity**, not statistical
+//! closeness: per-step rewards, final `EpisodeMetrics`, clocks, and
+//! logical-event counts must match exactly on paired runs.
+//!
+//! The gate drives paired stepped/event episodes with the same seeded
+//! mixed policy (first-fit with injected waits and raw VM picks, so
+//! denial, void-slot, and lazy-wait reward branches all fire) across every
+//! paper dataset, for both the flat [`CloudEnv`] and the DAG
+//! [`DagCloudEnv`]. Everything is a pure function of the config, so a
+//! violation is a deterministic divergence, never flakiness.
+
+use pfrl_core::sim::{
+    Action, CloudEnv, DagCloudEnv, EnvConfig, EnvDims, SchedulingEnv, TimeEngine, VmSpec,
+};
+use pfrl_core::stats::SeedStream;
+use pfrl_core::workloads::{DatasetId, WorkflowModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Geometry and scale of one paired stepped-vs-event sweep.
+#[derive(Debug, Clone)]
+pub struct SimcoreConfig {
+    /// Tasks per flat-env episode.
+    pub samples: usize,
+    /// Workflows per DAG-env episode.
+    pub workflows: usize,
+    /// Arrival-time compression (≥ 1) for the flat traces, so the cluster
+    /// saturates and denial branches fire.
+    pub arrival_compression: u64,
+    /// Root seed; per-dataset episode seeds derive through a labeled stream.
+    pub root_seed: u64,
+    /// Also run a `fast_forward = false` arm (dense stepping) per dataset.
+    pub check_dense_stepping: bool,
+}
+
+impl SimcoreConfig {
+    /// The CI-gate scale: all ten datasets, both env types, both
+    /// fast-forward modes — well under a second of release-mode wall-clock.
+    pub fn quick() -> Self {
+        Self {
+            samples: 80,
+            workflows: 6,
+            arrival_compression: 4,
+            root_seed: 0x51C0_2026,
+            check_dense_stepping: true,
+        }
+    }
+
+    /// Panics on configurations that cannot produce a meaningful check.
+    pub fn validate(&self) {
+        assert!(self.samples >= 1, "need at least one task per episode");
+        assert!(self.workflows >= 1, "need at least one workflow per episode");
+        assert!(self.arrival_compression >= 1, "arrival_compression must be >= 1");
+    }
+}
+
+/// The reduced evidence of one paired episode: everything that must be
+/// bitwise-equal between the engines.
+#[derive(Debug, Clone, PartialEq)]
+struct EpisodeTrace {
+    rewards: Vec<u32>,
+    clocks: Vec<u64>,
+    events: u64,
+    metrics_bits: [u64; 5],
+    placed: usize,
+    unplaced: usize,
+}
+
+/// One divergence between paired runs.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Dataset the paired episode ran on.
+    pub dataset: DatasetId,
+    /// Which arm diverged (e.g. "flat", "flat dense-stepping", "dag").
+    pub arm: &'static str,
+    /// What differed first.
+    pub what: String,
+}
+
+/// The outcome of a full sweep: paired episodes run, and every divergence
+/// found (empty = the engines are equivalent at this scale).
+#[derive(Debug, Clone)]
+pub struct SimcoreReport {
+    /// Paired episodes executed.
+    pub episodes_compared: usize,
+    /// Logical events applied by the event engine, summed over episodes.
+    pub total_events: u64,
+    /// All engine divergences found.
+    pub divergences: Vec<Divergence>,
+}
+
+fn dims() -> EnvDims {
+    EnvDims::new(4, 8, 64.0, 5)
+}
+
+fn fleet() -> Vec<VmSpec> {
+    vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0), VmSpec::new(2, 16.0)]
+}
+
+/// The seeded mixed policy: mostly first-fit, with waits and raw VM picks
+/// mixed in so every reward branch is exercised identically on both arms.
+fn mixed_action(first_fit: Option<Action>, max_vms: usize, rng: &mut SmallRng) -> Action {
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    if roll < 0.15 {
+        Action::Wait
+    } else if roll < 0.30 {
+        Action::Vm(rng.gen_range(0..max_vms))
+    } else {
+        first_fit.unwrap_or(Action::Wait)
+    }
+}
+
+fn metrics_bits<E: SchedulingEnv + ?Sized>(env: &E) -> ([u64; 5], usize, usize) {
+    let m = env.metrics();
+    (
+        [
+            m.avg_response.to_bits(),
+            m.makespan.to_bits(),
+            m.avg_utilization.to_bits(),
+            m.avg_load_balance.to_bits(),
+            m.total_reward.to_bits(),
+        ],
+        m.tasks_placed,
+        m.tasks_unplaced,
+    )
+}
+
+/// Runs one flat episode on `engine` and records its full trace.
+fn flat_trace(
+    engine: TimeEngine,
+    cfg: EnvConfig,
+    tasks: &[pfrl_core::workloads::TaskSpec],
+    seed: u64,
+) -> EpisodeTrace {
+    let mut env = CloudEnv::new(dims(), fleet(), cfg);
+    env.set_time_engine(engine);
+    env.reset(tasks.to_vec());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rewards = Vec::new();
+    let mut clocks = Vec::new();
+    while !env.is_done() {
+        let a = mixed_action(env.first_fit_action(), env.dims().max_vms, &mut rng);
+        rewards.push(env.step(a).reward.to_bits());
+        clocks.push(env.now());
+    }
+    let (metrics_bits, placed, unplaced) = metrics_bits(&env);
+    EpisodeTrace { rewards, clocks, events: env.events(), metrics_bits, placed, unplaced }
+}
+
+/// Runs one DAG episode on `engine` and records its full trace.
+fn dag_trace(
+    engine: TimeEngine,
+    cfg: EnvConfig,
+    model: &WorkflowModel,
+    n: usize,
+    seed: u64,
+) -> EpisodeTrace {
+    let mut env = DagCloudEnv::new(dims(), fleet(), cfg);
+    env.set_time_engine(engine);
+    env.reset(model.sample(n, seed));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD46);
+    let mut rewards = Vec::new();
+    let mut clocks = Vec::new();
+    while !env.is_done() {
+        let max_vms = SchedulingEnv::dims(&env).max_vms;
+        let a = mixed_action(env.first_fit_action(), max_vms, &mut rng);
+        rewards.push(env.step(a).reward.to_bits());
+        clocks.push(env.now());
+    }
+    let (metrics_bits, placed, unplaced) = metrics_bits(&env);
+    EpisodeTrace { rewards, clocks, events: env.events(), metrics_bits, placed, unplaced }
+}
+
+/// Describes the first difference between two traces, or `None` if equal.
+fn diff(stepped: &EpisodeTrace, event: &EpisodeTrace) -> Option<String> {
+    if stepped == event {
+        return None;
+    }
+    if let Some(i) = stepped.rewards.iter().zip(&event.rewards).position(|(a, b)| a != b) {
+        return Some(format!(
+            "reward bits diverge at step {i}: {:#x} vs {:#x}",
+            stepped.rewards[i], event.rewards[i]
+        ));
+    }
+    if stepped.rewards.len() != event.rewards.len() {
+        return Some(format!(
+            "episode lengths diverge: {} vs {} steps",
+            stepped.rewards.len(),
+            event.rewards.len()
+        ));
+    }
+    if let Some(i) = stepped.clocks.iter().zip(&event.clocks).position(|(a, b)| a != b) {
+        return Some(format!(
+            "clocks diverge at step {i}: t={} vs t={}",
+            stepped.clocks[i], event.clocks[i]
+        ));
+    }
+    if stepped.events != event.events {
+        return Some(format!("event counts diverge: {} vs {}", stepped.events, event.events));
+    }
+    if (stepped.placed, stepped.unplaced) != (event.placed, event.unplaced) {
+        return Some(format!(
+            "placement counts diverge: {}/{} vs {}/{}",
+            stepped.placed, stepped.unplaced, event.placed, event.unplaced
+        ));
+    }
+    Some(format!(
+        "EpisodeMetrics bits diverge: {:x?} vs {:x?}",
+        stepped.metrics_bits, event.metrics_bits
+    ))
+}
+
+/// Runs the full paired sweep. Deterministic in `root_seed`.
+pub fn run_simcore_check(cfg: &SimcoreConfig) -> SimcoreReport {
+    cfg.validate();
+    let stream = SeedStream::new(cfg.root_seed).child("simcore-gate");
+    let mut report =
+        SimcoreReport { episodes_compared: 0, total_events: 0, divergences: Vec::new() };
+    let mut compare =
+        |dataset: DatasetId, arm: &'static str, stepped: EpisodeTrace, event: EpisodeTrace| {
+            report.episodes_compared += 1;
+            report.total_events += event.events;
+            if let Some(what) = diff(&stepped, &event) {
+                report.divergences.push(Divergence { dataset, arm, what });
+            }
+        };
+
+    for (k, &dataset) in DatasetId::ALL.iter().enumerate() {
+        let seed = stream.index(k as u64).seed();
+        let mut tasks = dataset.model().sample(cfg.samples, seed);
+        for t in &mut tasks {
+            t.arrival /= cfg.arrival_compression;
+        }
+        let ff = EnvConfig::default();
+        compare(
+            dataset,
+            "flat",
+            flat_trace(TimeEngine::Stepped, ff, &tasks, seed),
+            flat_trace(TimeEngine::Event, ff, &tasks, seed),
+        );
+        if cfg.check_dense_stepping {
+            let dense = EnvConfig { fast_forward: false, ..Default::default() };
+            compare(
+                dataset,
+                "flat dense-stepping",
+                flat_trace(TimeEngine::Stepped, dense, &tasks, seed),
+                flat_trace(TimeEngine::Event, dense, &tasks, seed),
+            );
+        }
+
+        let mut model = WorkflowModel::scientific(dataset.model());
+        model.mean_interarrival /= cfg.arrival_compression as f64;
+        compare(
+            dataset,
+            "dag",
+            dag_trace(TimeEngine::Stepped, ff, &model, cfg.workflows, seed),
+            dag_trace(TimeEngine::Event, ff, &model, cfg.workflows, seed),
+        );
+    }
+    report
+}
+
+/// The gate invariant: zero divergences, and the sweep actually exercised
+/// the event engine. Returns one human-readable violation per failure,
+/// like [`crate::check_invariants`].
+pub fn check_simcore_invariants(report: &SimcoreReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if report.episodes_compared == 0 {
+        violations.push("vacuous: sim-core sweep compared zero episodes".into());
+    }
+    if report.total_events == 0 && report.episodes_compared > 0 {
+        violations.push("vacuous: event engine applied zero events across the sweep".into());
+    }
+    for d in &report.divergences {
+        violations.push(format!(
+            "engine divergence [{} / {}]: {}",
+            d.dataset.name(),
+            d.arm,
+            d.what
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_finds_no_divergence() {
+        let cfg = SimcoreConfig { samples: 40, workflows: 3, ..SimcoreConfig::quick() };
+        let report = run_simcore_check(&cfg);
+        let violations = check_simcore_invariants(&report);
+        assert!(violations.is_empty(), "{violations:?}");
+        // 10 datasets × (flat + dense + dag).
+        assert_eq!(report.episodes_compared, 30);
+        assert!(report.total_events > 0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = SimcoreConfig { samples: 20, workflows: 2, ..SimcoreConfig::quick() };
+        let a = run_simcore_check(&cfg);
+        let b = run_simcore_check(&cfg);
+        assert_eq!(a.episodes_compared, b.episodes_compared);
+        assert_eq!(a.total_events, b.total_events);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+    }
+
+    #[test]
+    fn synthetic_divergence_is_reported() {
+        let report = SimcoreReport {
+            episodes_compared: 1,
+            total_events: 10,
+            divergences: vec![Divergence {
+                dataset: DatasetId::Google,
+                arm: "flat",
+                what: "reward bits diverge at step 3: 0x0 vs 0x1".into(),
+            }],
+        };
+        let v = check_simcore_invariants(&report);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("engine divergence"), "{v:?}");
+        assert!(v[0].contains("flat"), "{v:?}");
+    }
+
+    #[test]
+    fn empty_sweep_is_vacuous() {
+        let report =
+            SimcoreReport { episodes_compared: 0, total_events: 0, divergences: Vec::new() };
+        let v = check_simcore_invariants(&report);
+        assert!(v.iter().any(|m| m.contains("vacuous")), "{v:?}");
+    }
+
+    #[test]
+    fn trace_diff_pinpoints_first_difference() {
+        let base = EpisodeTrace {
+            rewards: vec![1, 2, 3],
+            clocks: vec![0, 1, 2],
+            events: 5,
+            metrics_bits: [0; 5],
+            placed: 3,
+            unplaced: 0,
+        };
+        assert!(diff(&base, &base.clone()).is_none());
+        let mut rew = base.clone();
+        rew.rewards[1] = 9;
+        assert!(diff(&base, &rew).unwrap().contains("step 1"));
+        let mut ev = base.clone();
+        ev.events = 6;
+        assert!(diff(&base, &ev).unwrap().contains("event counts"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival_compression")]
+    fn zero_compression_is_rejected() {
+        let cfg = SimcoreConfig { arrival_compression: 0, ..SimcoreConfig::quick() };
+        cfg.validate();
+    }
+}

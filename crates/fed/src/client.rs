@@ -154,8 +154,9 @@ impl<A: FedAgent> Client<A> {
     /// Routes this client's agent and environment metrics to `telemetry`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.agent.set_telemetry(telemetry.clone());
-        if let ClientEnv::Flat(env) = &mut self.env {
-            env.set_telemetry(telemetry);
+        match &mut self.env {
+            ClientEnv::Flat(env) => env.set_telemetry(telemetry),
+            ClientEnv::Dag(env) => env.set_telemetry(telemetry),
         }
     }
 

@@ -58,17 +58,13 @@ impl Cluster {
         }
     }
 
-    /// Releases all tasks completed by `now` across VMs, returning them.
-    pub fn advance_to(&mut self, now: u64) -> Vec<RunningTask> {
-        let mut done = Vec::new();
-        self.advance_to_into(now, &mut done);
-        done
-    }
-
-    /// [`Cluster::advance_to`] appending into a reusable buffer.
-    pub fn advance_to_into(&mut self, now: u64, done: &mut Vec<RunningTask>) {
+    /// Releases all tasks completed by `now` across VMs, appending them to
+    /// `done` in (VM index, placement) order. Buffer-reuse only — no
+    /// allocating variant exists, so no `Vec<RunningTask>` materializes on
+    /// the step path.
+    pub fn advance_to(&mut self, now: u64, done: &mut Vec<RunningTask>) {
         for vm in &mut self.vms {
-            vm.advance_to_into(now, done);
+            vm.advance_to(now, done);
         }
     }
 
@@ -172,7 +168,8 @@ mod tests {
         c.vm_mut(2).place(&task(1, 1, 1.0, 3), 0);
         assert_eq!(c.next_completion(), Some(3));
         assert_eq!(c.running_count(), 2);
-        let done = c.advance_to(5);
+        let mut done = Vec::new();
+        c.advance_to(5, &mut done);
         assert_eq!(done.len(), 2);
         assert_eq!(c.running_count(), 0);
     }

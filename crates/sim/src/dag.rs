@@ -12,12 +12,15 @@
 use crate::cluster::Cluster;
 use crate::config::{EnvConfig, EnvDims};
 use crate::env::{Action, StepOutcome};
+use crate::events::{Event, EventCalendar, EventKind, SimClock, TimeDriven, TimeEngine};
 use crate::metrics::{compute_metrics, EpisodeMetrics, TaskRecord};
-use crate::vm::VmSpec;
+use crate::vm::{RunningTask, VmSpec};
 use crate::SchedulingEnv;
+use pfrl_telemetry::Telemetry;
 use pfrl_workloads::workflow::Workflow;
 use pfrl_workloads::TaskSpec;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Global (flattened) task index.
 type Gid = usize;
@@ -44,7 +47,11 @@ pub struct DagCloudEnv {
     /// submission time (drained like arrivals).
     future_roots: Vec<Gid>,
     next_root: usize,
-    now: u64,
+    /// The single time authority (event calendar or stepped reference).
+    clock: SimClock,
+    /// Logical events (completions + root releases) applied this episode —
+    /// identical across engines by construction.
+    events: u64,
     records: Vec<TaskRecord>,
     /// Completion step per task (None while pending/running).
     finished_at: Vec<Option<u64>>,
@@ -57,8 +64,13 @@ pub struct DagCloudEnv {
     done: bool,
     truncated: bool,
     n_workflows: usize,
-    /// Reusable buffer for tasks released by [`Cluster::advance_to_into`].
-    finished_scratch: Vec<crate::vm::RunningTask>,
+    /// Reusable buffer for tasks released by [`Cluster::advance_to`]
+    /// (stepped reference engine only).
+    finished_scratch: Vec<RunningTask>,
+    telemetry: Telemetry,
+    /// Wall-clock start of the running episode; `None` while telemetry is
+    /// disabled so the hot path never reads the clock.
+    episode_started: Option<Instant>,
 }
 
 impl DagCloudEnv {
@@ -86,7 +98,8 @@ impl DagCloudEnv {
             queue: VecDeque::new(),
             future_roots: Vec::new(),
             next_root: 0,
-            now: 0,
+            clock: SimClock::default(),
+            events: 0,
             records: Vec::new(),
             finished_at: Vec::new(),
             rejected: 0,
@@ -97,7 +110,36 @@ impl DagCloudEnv {
             truncated: false,
             finished_scratch: Vec::new(),
             n_workflows: 0,
+            telemetry: Telemetry::noop(),
+            episode_started: None,
         }
+    }
+
+    /// Routes this environment's metrics to `telemetry` (same schema as the
+    /// flat [`crate::CloudEnv`]). Defaults to a noop handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Selects the time engine (event calendar by default; see
+    /// [`crate::CloudEnv::set_time_engine`]).
+    ///
+    /// # Panics
+    /// If called mid-episode.
+    pub fn set_time_engine(&mut self, engine: TimeEngine) {
+        assert!(self.done, "switch time engines only between episodes");
+        self.clock.set_engine(engine);
+    }
+
+    /// The active time engine.
+    pub fn time_engine(&self) -> TimeEngine {
+        self.clock.engine()
+    }
+
+    /// Logical events (completions + root releases) applied this episode.
+    /// Both engines report identical counts.
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// Starts an episode over a batch of workflows.
@@ -110,7 +152,8 @@ impl DagCloudEnv {
         self.queue.clear();
         self.future_roots.clear();
         self.next_root = 0;
-        self.now = 0;
+        self.clock.reset();
+        self.events = 0;
         self.records.clear();
         self.finished_at.clear();
         self.rejected = 0;
@@ -150,16 +193,22 @@ impl DagCloudEnv {
                 }
             }
         }
-        // Roots release at their workflow submission times.
+        // Roots release at their workflow submission times, scheduled
+        // lazily like the flat env's arrivals: the calendar holds at most
+        // (1 pending root + running completions) events.
         self.future_roots.sort_by_key(|&g| self.tasks[g].arrival);
+        if let Some(&gid) = self.future_roots.first() {
+            self.clock.schedule(self.tasks[gid].arrival, EventKind::Release { gid: gid as u32 });
+        }
         self.outstanding = self.tasks.len() - self.rejected;
         self.done = self.outstanding == 0;
         if !self.done {
-            self.release_roots();
+            self.advance(Advance::Due); // release t = 0 roots
             if self.queue.is_empty() {
-                self.advance_auto();
+                self.advance(Advance::Auto);
             }
         }
+        self.episode_started = self.telemetry.is_enabled().then(Instant::now);
     }
 
     /// Number of workflows in the episode.
@@ -169,7 +218,7 @@ impl DagCloudEnv {
 
     /// Current time.
     pub fn now(&self) -> u64 {
-        self.now
+        self.clock.now()
     }
 
     /// Ready-queue length.
@@ -239,18 +288,101 @@ impl DagCloudEnv {
 
     // ---- internals ----
 
-    /// Releases dep-free tasks whose submission time has passed.
-    fn release_roots(&mut self) {
-        while self.next_root < self.future_roots.len() {
-            let gid = self.future_roots[self.next_root];
-            if self.tasks[gid].arrival > self.now {
-                break;
+    /// Moves the clock per `mode` through the [`SimClock`] time authority,
+    /// accounting the events applied and the size of the horizon jump.
+    fn advance(&mut self, mode: Advance) {
+        let from = self.clock.now();
+        let fast_forward = self.cfg.fast_forward;
+        let DagCloudEnv {
+            clock,
+            cluster,
+            tasks,
+            queue,
+            future_roots,
+            next_root,
+            remaining_deps,
+            dependents,
+            finished_at,
+            finished_scratch,
+            ..
+        } = self;
+        let mut timeline = DagTimeline {
+            cluster,
+            tasks,
+            queue,
+            future_roots,
+            next_root,
+            remaining_deps,
+            dependents,
+            finished_at,
+            finished_scratch,
+        };
+        let n = match mode {
+            Advance::One => clock.advance_one(&mut timeline),
+            Advance::Auto => clock.advance_auto(fast_forward, &mut timeline),
+            Advance::Due => clock.drain_due(&mut timeline),
+            Advance::Next => {
+                clock.advance_next(&mut timeline).expect("running tasks imply a pending completion")
             }
-            self.next_root += 1;
-            self.enqueue_ready(gid, self.tasks[gid].arrival);
+        };
+        self.events += n;
+        let jump = self.clock.now() - from;
+        if jump > 0 {
+            self.telemetry.observe("sim/event_horizon_jump", jump as f64);
         }
     }
 
+    /// Per-episode telemetry, emitted once when an episode finishes (same
+    /// schema as the flat env: deterministic quantities in
+    /// counters/histograms, wall-clock quantities in gauges/spans).
+    fn record_episode_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.counter("sim/decisions", self.decisions as u64);
+        self.telemetry.counter("sim/episodes", 1);
+        self.telemetry.counter("sim/events", self.events);
+        self.telemetry.observe("sim/episode_decisions", self.decisions as f64);
+        if let Some(started) = self.episode_started.take() {
+            let elapsed = started.elapsed();
+            let ns = elapsed.as_nanos() as u64;
+            self.telemetry.span_ns("sim/episode", ns);
+            if self.decisions > 0 && ns > 0 {
+                self.telemetry.gauge("sim/ns_per_decision", ns as f64 / self.decisions as f64);
+                self.telemetry
+                    .gauge("sim/decisions_per_sec", self.decisions as f64 / elapsed.as_secs_f64());
+            }
+        }
+    }
+}
+
+/// Clock-movement modes of the DAG environment.
+enum Advance {
+    /// Exactly one step.
+    One,
+    /// To the next event when fast-forwarding, else one step.
+    Auto,
+    /// Apply events due at the current time without advancing (reset).
+    Due,
+    /// Jump to the next pending event (end-of-episode completion drain).
+    Next,
+}
+
+/// Disjoint-field view of the DAG environment's time-dependent state: what
+/// the [`SimClock`] drives.
+struct DagTimeline<'a> {
+    cluster: &'a mut Cluster,
+    tasks: &'a [TaskSpec],
+    queue: &'a mut VecDeque<TaskSpec>,
+    future_roots: &'a [Gid],
+    next_root: &'a mut usize,
+    remaining_deps: &'a mut [usize],
+    dependents: &'a [Vec<Gid>],
+    finished_at: &'a mut [Option<u64>],
+    finished_scratch: &'a mut Vec<RunningTask>,
+}
+
+impl DagTimeline<'_> {
     /// Puts task `gid` into the ready queue with readiness step `ready`.
     fn enqueue_ready(&mut self, gid: Gid, ready: u64) {
         let mut spec = self.tasks[gid];
@@ -258,57 +390,75 @@ impl DagCloudEnv {
         self.queue.push_back(spec);
     }
 
-    /// Applies completions at the current time: mark finished, unlock
-    /// dependents.
-    fn handle_completions(&mut self, finished: &[crate::vm::RunningTask]) {
-        for rt in finished {
-            let gid = rt.task_id as usize;
-            self.finished_at[gid] = Some(rt.end());
-            for i in 0..self.dependents[gid].len() {
-                let dep = self.dependents[gid][i];
-                if self.finished_at[dep].is_some() {
-                    continue; // rejected descendant
-                }
-                self.remaining_deps[dep] -= 1;
-                if self.remaining_deps[dep] == 0 {
-                    // Ready now (submission time already passed: parents ran).
-                    self.enqueue_ready(dep, rt.end().max(self.tasks[dep].arrival));
-                }
+    /// Applies one completion: mark finished, unlock dependents (both
+    /// engines share this exact transition).
+    fn complete(&mut self, rt: &RunningTask) {
+        let gid = rt.task_id as usize;
+        self.finished_at[gid] = Some(rt.end());
+        for i in 0..self.dependents[gid].len() {
+            let dep = self.dependents[gid][i];
+            if self.finished_at[dep].is_some() {
+                continue; // rejected descendant
+            }
+            self.remaining_deps[dep] -= 1;
+            if self.remaining_deps[dep] == 0 {
+                // Ready now (submission time already passed: parents ran).
+                self.enqueue_ready(dep, rt.end().max(self.tasks[dep].arrival));
             }
         }
     }
 
-    fn advance_to(&mut self, t: u64) {
-        debug_assert!(t > self.now);
-        self.now = t;
-        let mut finished = std::mem::take(&mut self.finished_scratch);
-        finished.clear();
-        self.cluster.advance_to_into(t, &mut finished);
-        self.handle_completions(&finished);
-        self.finished_scratch = finished;
-        self.release_roots();
+    /// Releases task `gid` at its submission time, scheduling the next
+    /// pending root (lazy chain, mirroring flat arrivals).
+    fn release_root(&mut self, gid: Gid, calendar: &mut EventCalendar) {
+        debug_assert_eq!(gid, self.future_roots[*self.next_root], "roots release in order");
+        *self.next_root += 1;
+        if let Some(&next) = self.future_roots.get(*self.next_root) {
+            calendar.schedule(self.tasks[next].arrival, EventKind::Release { gid: next as u32 });
+        }
+        self.enqueue_ready(gid, self.tasks[gid].arrival);
+    }
+}
+
+impl TimeDriven for DagTimeline<'_> {
+    fn on_event(&mut self, ev: Event, calendar: &mut EventCalendar) {
+        match ev.kind {
+            EventKind::Completion { vm, task_id } => {
+                let rt = self.cluster.vm_mut(vm as usize).finish(task_id, ev.time);
+                self.complete(&rt);
+            }
+            EventKind::Release { gid } => self.release_root(gid as usize, calendar),
+            EventKind::Arrival { .. } => unreachable!("DAG env schedules no Arrival events"),
+        }
     }
 
-    fn advance_one(&mut self) {
-        self.advance_to(self.now + 1);
+    fn scan_to(&mut self, now: u64) -> u64 {
+        self.finished_scratch.clear();
+        self.cluster.advance_to(now, self.finished_scratch);
+        let mut n = self.finished_scratch.len() as u64;
+        for i in 0..self.finished_scratch.len() {
+            let rt = self.finished_scratch[i];
+            self.complete(&rt);
+        }
+        while *self.next_root < self.future_roots.len() {
+            let gid = self.future_roots[*self.next_root];
+            if self.tasks[gid].arrival > now {
+                break;
+            }
+            *self.next_root += 1;
+            self.enqueue_ready(gid, self.tasks[gid].arrival);
+            n += 1;
+        }
+        n
     }
 
-    fn advance_auto(&mut self) {
-        if !self.cfg.fast_forward {
-            self.advance_one();
-            return;
+    fn next_event_scan(&self) -> Option<u64> {
+        let completion = self.cluster.next_completion();
+        let root = self.future_roots.get(*self.next_root).map(|&g| self.tasks[g].arrival);
+        match (completion, root) {
+            (Some(c), Some(r)) => Some(c.min(r)),
+            (c, r) => c.or(r),
         }
-        let mut target = u64::MAX;
-        if let Some(c) = self.cluster.next_completion() {
-            target = target.min(c);
-        }
-        if self.next_root < self.future_roots.len() {
-            target = target.min(self.tasks[self.future_roots[self.next_root]].arrival);
-        }
-        if target == u64::MAX || target <= self.now {
-            target = self.now + 1;
-        }
-        self.advance_to(target);
     }
 }
 
@@ -317,18 +467,12 @@ impl SchedulingEnv for DagCloudEnv {
         &self.dims
     }
 
-    fn observe(&self) -> Vec<f32> {
-        let mut out = Vec::new();
-        self.observe_into(&mut out);
-        out
-    }
-
     fn observe_into(&self, out: &mut Vec<f32>) {
         crate::state::encode_state_into(
             &self.dims,
             &self.cluster,
             self.queue.iter().take(self.dims.queue_slots),
-            self.now,
+            self.clock.now(),
             out,
         );
     }
@@ -340,19 +484,24 @@ impl SchedulingEnv for DagCloudEnv {
 
         let reward = match action {
             Action::Vm(i) if i >= self.cluster.len() => {
-                self.advance_one();
+                self.advance(Advance::One);
                 crate::reward::void_slot_penalty()
             }
             Action::Vm(i) => match self.queue.front().copied() {
                 None => {
-                    self.advance_auto();
+                    self.advance(Advance::Auto);
                     0.0
                 }
                 Some(head) => {
                     if self.cluster.vms()[i].can_fit(&head) {
                         placed = true;
+                        let now = self.clock.now();
                         let lb_before = self.cluster.load_balance(&self.cfg.resource_weights);
-                        self.cluster.vm_mut(i).place(&head, self.now);
+                        self.cluster.vm_mut(i).place(&head, now);
+                        self.clock.schedule(
+                            now + head.duration,
+                            EventKind::Completion { vm: i as u32, task_id: head.id },
+                        );
                         let lb_after = self.cluster.load_balance(&self.cfg.resource_weights);
                         self.queue.pop_front();
                         self.outstanding -= 1;
@@ -362,19 +511,19 @@ impl SchedulingEnv for DagCloudEnv {
                             vcpus: head.vcpus,
                             mem_gb: head.mem_gb,
                             arrival: head.arrival,
-                            start: self.now,
+                            start: now,
                             duration: head.duration,
                         });
                         crate::reward::placement_reward(
                             &self.cfg,
                             lb_before,
                             lb_after,
-                            self.now - head.arrival,
+                            now - head.arrival,
                             head.duration,
                         )
                     } else {
                         let r = crate::reward::denial_penalty(&self.cfg, &self.cluster.vms()[i]);
-                        self.advance_one();
+                        self.advance(Advance::One);
                         r
                     }
                 }
@@ -382,10 +531,10 @@ impl SchedulingEnv for DagCloudEnv {
             Action::Wait => {
                 let lazy = self.queue.front().is_some_and(|head| self.cluster.any_feasible(head));
                 if lazy {
-                    self.advance_one();
+                    self.advance(Advance::One);
                     self.cfg.lazy_wait_penalty
                 } else {
-                    self.advance_auto();
+                    self.advance(Advance::Auto);
                     0.0
                 }
             }
@@ -396,14 +545,17 @@ impl SchedulingEnv for DagCloudEnv {
             // Fast-forward so all completions are registered (for
             // workflow makespans), then finish.
             while self.cluster.running_count() > 0 {
-                let t = self.cluster.next_completion().expect("running tasks");
-                self.advance_to(t);
+                self.advance(Advance::Next);
             }
             self.done = true;
         }
         if self.decisions >= self.cfg.max_decisions && !self.done {
             self.done = true;
             self.truncated = true;
+        }
+        self.telemetry.observe("sim/queue_depth", self.queue.len() as f64);
+        if self.done {
+            self.record_episode_telemetry();
         }
         StepOutcome { reward, done: self.done, placed }
     }
@@ -423,12 +575,6 @@ impl SchedulingEnv for DagCloudEnv {
             unplaced,
             self.total_reward,
         )
-    }
-
-    fn action_mask(&self) -> Vec<bool> {
-        let mut mask = Vec::new();
-        self.action_mask_into(&mut mask);
-        mask
     }
 
     fn action_mask_into(&self, out: &mut Vec<bool>) {

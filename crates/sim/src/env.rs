@@ -3,6 +3,7 @@
 
 use crate::cluster::Cluster;
 use crate::config::{EnvConfig, EnvDims};
+use crate::events::{Event, EventCalendar, EventKind, SimClock, TimeDriven, TimeEngine};
 use crate::metrics::{compute_metrics, EpisodeMetrics, TaskRecord};
 use crate::vm::VmSpec;
 use pfrl_telemetry::Telemetry;
@@ -66,7 +67,11 @@ pub struct CloudEnv {
     tasks: Vec<TaskSpec>,
     next_arrival: usize,
     queue: VecDeque<TaskSpec>,
-    now: u64,
+    /// The single time authority (event calendar or stepped reference).
+    clock: SimClock,
+    /// Logical events (arrivals + completions) applied this episode —
+    /// identical across engines by construction.
+    events: u64,
     records: Vec<TaskRecord>,
     /// Tasks rejected at admission because they exceed every VM's total
     /// capacity (can occur with hybrid foreign workloads, Sec. 5.3).
@@ -113,7 +118,8 @@ impl CloudEnv {
             tasks: Vec::new(),
             next_arrival: 0,
             queue: VecDeque::new(),
-            now: 0,
+            clock: SimClock::default(),
+            events: 0,
             records: Vec::new(),
             rejected: 0,
             decisions: 0,
@@ -131,6 +137,29 @@ impl CloudEnv {
         self.telemetry = telemetry;
     }
 
+    /// Selects the time engine (event calendar by default; the stepped
+    /// scan engine is the bit-identical reference used by the equivalence
+    /// gate and the perf baseline).
+    ///
+    /// # Panics
+    /// If called mid-episode — switching then would desynchronize the
+    /// calendar from the cluster state.
+    pub fn set_time_engine(&mut self, engine: TimeEngine) {
+        assert!(self.done, "switch time engines only between episodes");
+        self.clock.set_engine(engine);
+    }
+
+    /// The active time engine.
+    pub fn time_engine(&self) -> TimeEngine {
+        self.clock.engine()
+    }
+
+    /// Logical events (arrivals incl. admission rejections + completions)
+    /// applied this episode. Both engines report identical counts.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
     /// Starts a new episode over `tasks` (will be arrival-sorted).
     pub fn reset(&mut self, mut tasks: Vec<TaskSpec>) {
         tasks.sort_by_key(|t| t.arrival);
@@ -138,17 +167,23 @@ impl CloudEnv {
         self.tasks = tasks;
         self.next_arrival = 0;
         self.queue.clear();
-        self.now = 0;
+        self.clock.reset();
+        self.events = 0;
         self.records.clear();
         self.rejected = 0;
         self.decisions = 0;
         self.total_reward = 0.0;
         self.truncated = false;
-        self.enqueue_arrivals();
+        // Arrivals are scheduled lazily, one pending event at a time: the
+        // calendar holds at most (1 arrival + running completions) events.
+        if let Some(first) = self.tasks.first() {
+            self.clock.schedule(first.arrival, EventKind::Arrival { index: 0 });
+        }
+        self.advance(Advance::Due); // apply t = 0 arrivals
         self.done = self.queue.is_empty() && self.next_arrival >= self.tasks.len();
         // An empty-queue start with pending future arrivals: skip dead time.
         if !self.done && self.queue.is_empty() {
-            self.advance_auto();
+            self.advance(Advance::Auto);
         }
         self.episode_started = self.telemetry.is_enabled().then(Instant::now);
     }
@@ -165,7 +200,7 @@ impl CloudEnv {
 
     /// Current simulation time (steps).
     pub fn now(&self) -> u64 {
-        self.now
+        self.clock.now()
     }
 
     /// The VM specs of this cluster.
@@ -212,7 +247,7 @@ impl CloudEnv {
             &self.dims,
             &self.cluster,
             self.queue.iter().take(self.dims.queue_slots),
-            self.now,
+            self.clock.now(),
             out,
         );
     }
@@ -262,13 +297,13 @@ impl CloudEnv {
         let reward = match action {
             Action::Vm(i) if i >= self.cluster.len() => {
                 // Void VM slot: maximal denial penalty (util treated as 1).
-                self.advance_one();
+                self.advance(Advance::One);
                 crate::reward::void_slot_penalty()
             }
             Action::Vm(i) => match self.queue.front().copied() {
                 None => {
                     // Nothing to schedule; behave like a neutral wait.
-                    self.advance_auto();
+                    self.advance(Advance::Auto);
                     0.0
                 }
                 Some(head) => {
@@ -277,7 +312,7 @@ impl CloudEnv {
                         self.place(i, head)
                     } else {
                         let r = self.denial_penalty(i);
-                        self.advance_one();
+                        self.advance(Advance::One);
                         r
                     }
                 }
@@ -285,10 +320,10 @@ impl CloudEnv {
             Action::Wait => {
                 let lazy = self.queue.front().is_some_and(|head| self.cluster.any_feasible(head));
                 if lazy {
-                    self.advance_one();
+                    self.advance(Advance::One);
                     self.cfg.lazy_wait_penalty
                 } else {
-                    self.advance_auto();
+                    self.advance(Advance::Auto);
                     0.0
                 }
             }
@@ -318,6 +353,7 @@ impl CloudEnv {
         }
         self.telemetry.counter("sim/decisions", self.decisions as u64);
         self.telemetry.counter("sim/episodes", 1);
+        self.telemetry.counter("sim/events", self.events);
         self.telemetry.observe("sim/episode_decisions", self.decisions as f64);
         if let Some(started) = self.episode_started.take() {
             let elapsed = started.elapsed();
@@ -360,8 +396,13 @@ impl CloudEnv {
     /// `ρ·R_res + (1-ρ)·R_load` (Eqs. 6–8). Time does not advance: the agent
     /// may schedule further queued tasks within the same step.
     fn place(&mut self, i: usize, head: TaskSpec) -> f32 {
+        let now = self.clock.now();
         let lb_before = self.cluster.load_balance(&self.cfg.resource_weights);
-        self.cluster.vm_mut(i).place(&head, self.now);
+        self.cluster.vm_mut(i).place(&head, now);
+        self.clock.schedule(
+            now + head.duration,
+            EventKind::Completion { vm: i as u32, task_id: head.id },
+        );
         let lb_after = self.cluster.load_balance(&self.cfg.resource_weights);
         self.queue.pop_front();
         self.records.push(TaskRecord {
@@ -370,14 +411,14 @@ impl CloudEnv {
             vcpus: head.vcpus,
             mem_gb: head.mem_gb,
             arrival: head.arrival,
-            start: self.now,
+            start: now,
             duration: head.duration,
         });
         crate::reward::placement_reward(
             &self.cfg,
             lb_before,
             lb_after,
-            self.now - head.arrival,
+            now - head.arrival,
             head.duration,
         )
     }
@@ -387,56 +428,106 @@ impl CloudEnv {
         crate::reward::denial_penalty(&self.cfg, &self.cluster.vms()[i])
     }
 
-    /// Advances time by exactly one step.
-    fn advance_one(&mut self) {
-        self.advance_to(self.now + 1);
+    /// Moves the clock per `mode` through the [`SimClock`] time authority,
+    /// accounting the events applied and the size of the horizon jump.
+    fn advance(&mut self, mode: Advance) {
+        let from = self.clock.now();
+        let fast_forward = self.cfg.fast_forward;
+        let CloudEnv { clock, cluster, tasks, vm_specs, queue, next_arrival, rejected, .. } = self;
+        let mut timeline = FlatTimeline { cluster, tasks, vm_specs, queue, next_arrival, rejected };
+        let n = match mode {
+            Advance::One => clock.advance_one(&mut timeline),
+            Advance::Auto => clock.advance_auto(fast_forward, &mut timeline),
+            Advance::Due => clock.drain_due(&mut timeline),
+        };
+        self.events += n;
+        let jump = self.clock.now() - from;
+        if jump > 0 {
+            self.telemetry.observe("sim/event_horizon_jump", jump as f64);
+        }
     }
+}
 
-    /// Advances to the next event (completion, else next arrival, else one
-    /// step) when no immediate decision is possible — compresses dead time
-    /// without changing semantics. Falls back to one step when
-    /// `fast_forward` is disabled.
-    fn advance_auto(&mut self) {
-        if !self.cfg.fast_forward {
-            self.advance_one();
-            return;
+/// Clock-movement modes of the flat environment.
+enum Advance {
+    /// Exactly one step (denials, void slots, lazy waits).
+    One,
+    /// To the next event when fast-forwarding, else one step.
+    Auto,
+    /// Apply events due at the current time without advancing (reset).
+    Due,
+}
+
+/// Whether `t` fits at least one VM at full (empty) capacity — the
+/// admission-control predicate.
+fn admissible(vm_specs: &[VmSpec], t: &TaskSpec) -> bool {
+    vm_specs.iter().any(|s| t.vcpus <= s.vcpus && t.mem_gb <= s.mem_gb)
+}
+
+/// Disjoint-field view of the flat environment's time-dependent state:
+/// what the [`SimClock`] drives. The event path handles one typed event per
+/// call; the scan path reproduces the legacy per-advance sweeps.
+struct FlatTimeline<'a> {
+    cluster: &'a mut Cluster,
+    tasks: &'a [TaskSpec],
+    vm_specs: &'a [VmSpec],
+    queue: &'a mut VecDeque<TaskSpec>,
+    next_arrival: &'a mut usize,
+    rejected: &'a mut usize,
+}
+
+impl FlatTimeline<'_> {
+    /// Admits or rejects one arrived task (both engines share this exact
+    /// transition).
+    fn arrive(&mut self, t: TaskSpec) {
+        if admissible(self.vm_specs, &t) {
+            self.queue.push_back(t);
+        } else {
+            *self.rejected += 1;
         }
-        let mut target = u64::MAX;
-        if let Some(c) = self.cluster.next_completion() {
-            target = target.min(c);
-        }
-        if self.next_arrival < self.tasks.len() {
-            target = target.min(self.tasks[self.next_arrival].arrival);
-        }
-        if target == u64::MAX || target <= self.now {
-            target = self.now + 1;
-        }
-        self.advance_to(target);
     }
+}
 
-    /// Moves the clock to `t`, releasing completions and enqueueing arrivals.
-    fn advance_to(&mut self, t: u64) {
-        debug_assert!(t > self.now);
-        self.now = t;
-        self.cluster.release_to(t);
-        self.enqueue_arrivals();
-    }
-
-    /// Enqueues every arrived task, applying admission control: a task that
-    /// cannot fit *any* VM at full (empty) capacity is rejected.
-    fn enqueue_arrivals(&mut self) {
-        while self.next_arrival < self.tasks.len()
-            && self.tasks[self.next_arrival].arrival <= self.now
-        {
-            let t = self.tasks[self.next_arrival];
-            self.next_arrival += 1;
-            let admissible =
-                self.vm_specs.iter().any(|s| t.vcpus <= s.vcpus && t.mem_gb <= s.mem_gb);
-            if admissible {
-                self.queue.push_back(t);
-            } else {
-                self.rejected += 1;
+impl TimeDriven for FlatTimeline<'_> {
+    fn on_event(&mut self, ev: Event, calendar: &mut EventCalendar) {
+        match ev.kind {
+            EventKind::Completion { vm, task_id } => {
+                self.cluster.vm_mut(vm as usize).finish(task_id, ev.time);
             }
+            EventKind::Arrival { index } => {
+                let i = index as usize;
+                debug_assert_eq!(i, *self.next_arrival, "arrivals apply in trace order");
+                *self.next_arrival = i + 1;
+                // Lazy chain: the next arrival enters the calendar only now.
+                if let Some(next) = self.tasks.get(i + 1) {
+                    calendar.schedule(next.arrival, EventKind::Arrival { index: index + 1 });
+                }
+                self.arrive(self.tasks[i]);
+            }
+            EventKind::Release { .. } => unreachable!("flat env schedules no Release events"),
+        }
+    }
+
+    fn scan_to(&mut self, now: u64) -> u64 {
+        let before = self.cluster.running_count();
+        self.cluster.release_to(now);
+        let mut n = (before - self.cluster.running_count()) as u64;
+        while *self.next_arrival < self.tasks.len() && self.tasks[*self.next_arrival].arrival <= now
+        {
+            let t = self.tasks[*self.next_arrival];
+            *self.next_arrival += 1;
+            n += 1;
+            self.arrive(t);
+        }
+        n
+    }
+
+    fn next_event_scan(&self) -> Option<u64> {
+        let completion = self.cluster.next_completion();
+        let arrival = self.tasks.get(*self.next_arrival).map(|t| t.arrival);
+        match (completion, arrival) {
+            (Some(c), Some(a)) => Some(c.min(a)),
+            (c, a) => c.or(a),
         }
     }
 }
@@ -650,5 +741,56 @@ mod tests {
         // Reset fast-forwards to the first arrival.
         assert_eq!(e.now(), 100);
         assert_eq!(e.queue_len(), 1);
+    }
+
+    #[test]
+    fn engines_agree_on_rewards_times_and_events() {
+        let trace = vec![
+            task(0, 0, 8, 64.0, 30),
+            task(1, 1, 8, 64.0, 5),
+            task(2, 7, 2, 8.0, 12),
+            task(3, 90, 16, 256.0, 4), // admission-rejected
+            task(4, 90, 1, 1.0, 2),
+        ];
+        let mut stepped = env();
+        stepped.set_time_engine(crate::TimeEngine::Stepped);
+        let mut event = env();
+        assert_eq!(event.time_engine(), crate::TimeEngine::Event);
+        stepped.reset(trace.clone());
+        event.reset(trace);
+        let mut guard = 0;
+        while !stepped.is_done() && guard < 1000 {
+            let a = stepped.first_fit_action().unwrap_or(Action::Wait);
+            let rs = stepped.step(a);
+            let re = event.step(a);
+            assert_eq!(rs.reward.to_bits(), re.reward.to_bits());
+            assert_eq!((rs.done, rs.placed), (re.done, re.placed));
+            assert_eq!(stepped.now(), event.now());
+            guard += 1;
+        }
+        assert!(event.is_done());
+        assert_eq!(stepped.events(), event.events());
+        assert!(event.events() > 0);
+        assert_eq!(stepped.rejected(), event.rejected());
+        let (ms, me) = (stepped.metrics(), event.metrics());
+        assert_eq!(ms.total_reward.to_bits(), me.total_reward.to_bits());
+        assert_eq!(ms.tasks_placed, me.tasks_placed);
+    }
+
+    #[test]
+    fn event_calendar_stays_lazy() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 1, 1.0, 5), task(1, 3, 1, 1.0, 5), task(2, 9, 1, 1.0, 5)]);
+        // One pending arrival + running completions, never the whole trace.
+        e.step(Action::Vm(0));
+        assert!(e.clock.pending_events() <= 2, "{}", e.clock.pending_events());
+    }
+
+    #[test]
+    #[should_panic(expected = "between episodes")]
+    fn engine_switch_mid_episode_panics() {
+        let mut e = env();
+        e.reset(vec![task(0, 0, 1, 1.0, 5)]);
+        e.set_time_engine(crate::TimeEngine::Stepped);
     }
 }

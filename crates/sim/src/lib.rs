@@ -1,6 +1,13 @@
 //! Discrete-time cloud task-scheduling simulator and RL environment —
 //! the environment modeling of PFRL-DM Sec. 4.1–4.2.
 //!
+//! Time is driven by a discrete-event core (see [`events`]): a typed
+//! calendar of arrival/completion/release events with deterministic
+//! tie-breaking, bit-identical in rewards and metrics to the stepped
+//! reference engine it replaced (selectable via
+//! [`CloudEnv::set_time_engine`] for the equivalence gate and perf
+//! baselines).
+//!
 //! One simulation step is one minute (matching `pfrl-workloads`). An episode
 //! replays a task trace against a cluster of heterogeneous VMs; the agent
 //! repeatedly assigns the head of the waiting queue to a VM (or waits), and
@@ -45,6 +52,7 @@ pub mod cluster;
 pub mod config;
 pub mod dag;
 pub mod env;
+pub mod events;
 pub mod metrics;
 pub mod objectives;
 pub mod reward;
@@ -56,6 +64,7 @@ pub use cluster::Cluster;
 pub use config::{EnvConfig, EnvDims};
 pub use dag::DagCloudEnv;
 pub use env::{Action, CloudEnv, StepOutcome};
+pub use events::{Event, EventCalendar, EventKind, SimClock, TimeDriven, TimeEngine};
 pub use metrics::{EpisodeMetrics, TaskRecord};
 pub use vm::{Vm, VmSpec};
 
@@ -68,13 +77,17 @@ pub const RESOURCE_DIMS: usize = 2;
 pub trait SchedulingEnv {
     /// Shared observation/action dimensioning.
     fn dims(&self) -> &EnvDims;
-    /// Current observation (Eq. 1 layout).
-    fn observe(&self) -> Vec<f32>;
-    /// [`SchedulingEnv::observe`] into a reusable buffer. The default
-    /// delegates to the allocating form; both environments override it so
-    /// the per-decision hot path allocates nothing after warmup.
-    fn observe_into(&self, out: &mut Vec<f32>) {
-        *out = self.observe();
+    /// Current observation (Eq. 1 layout) into a reusable buffer — the
+    /// required form, so every implementation has an allocation-free
+    /// per-decision path by construction.
+    fn observe_into(&self, out: &mut Vec<f32>);
+    /// Allocating convenience wrapper over
+    /// [`SchedulingEnv::observe_into`] (tests, diagnostics — never the hot
+    /// path).
+    fn observe(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.observe_into(&mut out);
+        out
     }
     /// Executes one agent decision.
     fn step(&mut self, action: Action) -> StepOutcome;
@@ -83,22 +96,22 @@ pub trait SchedulingEnv {
     /// Episode metrics so far.
     fn metrics(&self) -> EpisodeMetrics;
     /// Feasibility mask over the action head (`mask[max_vms]` = wait,
-    /// always true). Used by masked-policy agents (an ablation; the paper
-    /// itself relies on penalties instead).
-    fn action_mask(&self) -> Vec<bool>;
-    /// [`SchedulingEnv::action_mask`] into a reusable buffer (see
-    /// [`SchedulingEnv::observe_into`]).
-    fn action_mask_into(&self, out: &mut Vec<bool>) {
-        *out = self.action_mask();
+    /// always true) into a reusable buffer — the required form, like
+    /// [`SchedulingEnv::observe_into`]. Used by masked-policy agents (an
+    /// ablation; the paper itself relies on penalties instead).
+    fn action_mask_into(&self, out: &mut Vec<bool>);
+    /// Allocating convenience wrapper over
+    /// [`SchedulingEnv::action_mask_into`].
+    fn action_mask(&self) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.action_mask_into(&mut out);
+        out
     }
 }
 
 impl SchedulingEnv for CloudEnv {
     fn dims(&self) -> &EnvDims {
         CloudEnv::dims(self)
-    }
-    fn observe(&self) -> Vec<f32> {
-        CloudEnv::observe(self)
     }
     fn observe_into(&self, out: &mut Vec<f32>) {
         CloudEnv::observe_into(self, out)
@@ -111,9 +124,6 @@ impl SchedulingEnv for CloudEnv {
     }
     fn metrics(&self) -> EpisodeMetrics {
         CloudEnv::metrics(self)
-    }
-    fn action_mask(&self) -> Vec<bool> {
-        CloudEnv::action_mask(self)
     }
     fn action_mask_into(&self, out: &mut Vec<bool>) {
         CloudEnv::action_mask_into(self, out)

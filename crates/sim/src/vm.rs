@@ -129,15 +129,11 @@ impl Vm {
         self.running.clear();
     }
 
-    /// Releases every task with `end() <= now`, returning them.
-    pub fn advance_to(&mut self, now: u64) -> Vec<RunningTask> {
-        let mut done = Vec::new();
-        self.advance_to_into(now, &mut done);
-        done
-    }
-
-    /// [`Vm::advance_to`] appending into a reusable buffer.
-    pub fn advance_to_into(&mut self, now: u64, done: &mut Vec<RunningTask>) {
+    /// Releases every task with `end() <= now`, appending them to `done`
+    /// in placement order. Buffer-reuse only: there is deliberately no
+    /// allocating variant, so the step path never materializes a
+    /// per-advance `Vec`.
+    pub fn advance_to(&mut self, now: u64, done: &mut Vec<RunningTask>) {
         self.running.retain(|t| {
             if t.end() <= now {
                 done.push(*t);
@@ -146,6 +142,23 @@ impl Vm {
                 true
             }
         });
+    }
+
+    /// Removes and returns the running task `task_id`, which must have
+    /// completed by `now` (the event engine's targeted O(running) release —
+    /// no full sweep). Relative order of the remaining tasks is preserved,
+    /// keeping [`Vm::vcpu_progress`] slot assignment identical to a
+    /// scan-based release.
+    ///
+    /// # Panics
+    /// If no running task has this id with `end() <= now`.
+    pub fn finish(&mut self, task_id: u64, now: u64) -> RunningTask {
+        let i = self
+            .running
+            .iter()
+            .position(|t| t.task_id == task_id && t.end() <= now)
+            .expect("finish: task is not running or has not completed");
+        self.running.remove(i)
     }
 
     /// Releases every task with `end() <= now` without collecting them.
@@ -237,14 +250,37 @@ mod tests {
         vm.place(&task(0, 2, 8.0, 5), 0); // ends at 5
         vm.place(&task(1, 2, 8.0, 10), 0); // ends at 10
         assert_eq!(vm.next_completion(), Some(5));
-        let done = vm.advance_to(5);
+        let mut done = Vec::new();
+        vm.advance_to(5, &mut done);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].task_id, 0);
         assert_eq!(vm.used_vcpus(), 2);
-        let done = vm.advance_to(10);
+        done.clear();
+        vm.advance_to(10, &mut done);
         assert_eq!(done.len(), 1);
         assert_eq!(vm.used_vcpus(), 0);
         assert_eq!(vm.next_completion(), None);
+    }
+
+    #[test]
+    fn finish_removes_by_id_preserving_order() {
+        let mut vm = Vm::new(VmSpec::new(8, 64.0));
+        vm.place(&task(0, 2, 8.0, 5), 0);
+        vm.place(&task(1, 2, 8.0, 5), 0);
+        vm.place(&task(2, 2, 8.0, 9), 0);
+        let rt = vm.finish(1, 5);
+        assert_eq!(rt.task_id, 1);
+        assert_eq!(rt.end(), 5);
+        let ids: Vec<u64> = vm.running().iter().map(|t| t.task_id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has not completed")]
+    fn finish_before_completion_panics() {
+        let mut vm = Vm::new(VmSpec::new(8, 64.0));
+        vm.place(&task(0, 2, 8.0, 5), 0);
+        vm.finish(0, 4);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests of the simulator primitives.
 
-use pfrl_sim::{Cluster, EnvConfig, EnvDims, VmSpec};
+use pfrl_sim::{Cluster, EnvConfig, EnvDims, EventCalendar, EventKind, VmSpec};
 use pfrl_workloads::TaskSpec;
 use proptest::prelude::*;
 
@@ -27,7 +27,8 @@ proptest! {
         let free_before = (cluster.vms()[0].free_vcpus(), cluster.vms()[0].free_mem());
         cluster.vm_mut(0).place(&task, 0);
         prop_assert_eq!(cluster.vms()[0].free_vcpus(), free_before.0 - task.vcpus);
-        let done = cluster.advance_to(task.duration);
+        let mut done = Vec::new();
+        cluster.advance_to(task.duration, &mut done);
         prop_assert_eq!(done.len(), 1);
         prop_assert_eq!(cluster.vms()[0].free_vcpus(), free_before.0);
         prop_assert!((cluster.vms()[0].free_mem() - free_before.1).abs() < 1e-4);
@@ -91,5 +92,102 @@ proptest! {
             ..Default::default()
         };
         cfg.validate();
+    }
+}
+
+/// `(time, class, lane)` — the deterministic part of the calendar's sort
+/// key (class: completions < arrivals < releases; lane: VM index for
+/// completions).
+fn event_key(time: u64, kind: EventKind) -> (u64, u8, u32) {
+    match kind {
+        EventKind::Completion { vm, .. } => (time, 0, vm),
+        EventKind::Arrival { .. } => (time, 1, 0),
+        EventKind::Release { .. } => (time, 2, 0),
+    }
+}
+
+/// Insertion index smuggled through the event payload, to observe FIFO
+/// order among exact ties from the outside.
+fn payload(kind: EventKind) -> u64 {
+    match kind {
+        EventKind::Completion { task_id, .. } => task_id,
+        EventKind::Arrival { index } => index as u64,
+        EventKind::Release { gid } => gid as u64,
+    }
+}
+
+/// Builds the i-th generated event: tight time/lane ranges force plenty of
+/// exact timestamp ties.
+fn make_event(i: usize, time: u64, class: u8, lane: u32) -> (u64, EventKind) {
+    let kind = match class {
+        0 => EventKind::Completion { vm: lane, task_id: i as u64 },
+        1 => EventKind::Arrival { index: i as u32 },
+        _ => EventKind::Release { gid: i as u32 },
+    };
+    (time, kind)
+}
+
+proptest! {
+    /// Random schedules with timestamp ties pop in the total order
+    /// `(time, class, lane, insertion)`: non-decreasing keys, and FIFO by
+    /// insertion among exact key ties.
+    #[test]
+    fn calendar_resolves_ties_deterministically(
+        raw in proptest::collection::vec((0u64..6, 0u8..3, 0u32..3), 1..40),
+    ) {
+        let events: Vec<(u64, EventKind)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, c, l))| make_event(i, t, c, l))
+            .collect();
+        let mut cal = EventCalendar::new();
+        for &(t, k) in &events {
+            cal.schedule(t, k);
+        }
+        let mut prev: Option<((u64, u8, u32), u64)> = None;
+        let mut popped = 0usize;
+        while let Some(ev) = cal.pop() {
+            popped += 1;
+            let key = event_key(ev.time, ev.kind);
+            let ins = payload(ev.kind);
+            if let Some((pkey, pins)) = prev {
+                prop_assert!(pkey <= key, "keys must be non-decreasing");
+                if pkey == key {
+                    prop_assert!(pins < ins, "exact ties must pop FIFO by insertion");
+                }
+            }
+            prev = Some((key, ins));
+        }
+        prop_assert_eq!(popped, events.len());
+    }
+
+    /// For events with pairwise-distinct `(time, class, lane)` keys, the pop
+    /// sequence is independent of insertion order (here: every rotation).
+    #[test]
+    fn calendar_order_invariant_under_insertion_rotation(
+        raw in proptest::collection::vec((0u64..12, 0u8..3, 0u32..3), 1..16),
+        rot in 0usize..16,
+    ) {
+        let mut events: Vec<(u64, EventKind)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, c, l))| make_event(i, t, c, l))
+            .collect();
+        events.sort_by_key(|&(t, k)| event_key(t, k));
+        events.dedup_by_key(|&mut (t, k)| event_key(t, k));
+
+        let pop_all = |order: &[(u64, EventKind)]| -> Vec<(u64, u8, u32)> {
+            let mut cal = EventCalendar::new();
+            for &(t, k) in order {
+                cal.schedule(t, k);
+            }
+            std::iter::from_fn(move || cal.pop()).map(|e| event_key(e.time, e.kind)).collect()
+        };
+
+        let baseline = pop_all(&events);
+        let k = rot % events.len();
+        let mut rotated = events.clone();
+        rotated.rotate_left(k);
+        prop_assert_eq!(pop_all(&rotated), baseline);
     }
 }

@@ -1,0 +1,144 @@
+//! Task traces viewed as arrival-event streams — the workload-side feed of
+//! `pfrl-sim`'s discrete-event core.
+//!
+//! A sampled trace is a `Vec<TaskSpec>` sorted by arrival; [`ArrivalEvents`]
+//! walks it as a peekable stream of `(time, index)` events without copying
+//! or re-sorting, so an event calendar (or a probe measuring trace shape)
+//! can consume arrivals lazily in exactly the order the simulator applies
+//! them: arrival time ascending, trace order among ties.
+
+use crate::task::TaskSpec;
+
+/// One task-arrival event: the trace task at `index` arrives at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalEvent {
+    /// Arrival step.
+    pub time: u64,
+    /// Index into the arrival-sorted trace.
+    pub index: usize,
+}
+
+/// Peekable iterator over a trace's arrival events.
+#[derive(Debug, Clone)]
+pub struct ArrivalEvents<'a> {
+    tasks: &'a [TaskSpec],
+    cursor: usize,
+}
+
+impl<'a> ArrivalEvents<'a> {
+    /// Streams `tasks`, which must already be arrival-sorted (as
+    /// [`crate::WorkloadModel::sample`] returns them).
+    ///
+    /// # Panics
+    /// Debug-asserts the sort precondition.
+    pub fn new(tasks: &'a [TaskSpec]) -> Self {
+        debug_assert!(
+            tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "ArrivalEvents requires an arrival-sorted trace"
+        );
+        Self { tasks, cursor: 0 }
+    }
+
+    /// The next pending event, without consuming it.
+    pub fn peek(&self) -> Option<ArrivalEvent> {
+        self.tasks.get(self.cursor).map(|t| ArrivalEvent { time: t.arrival, index: self.cursor })
+    }
+
+    /// Events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.tasks.len() - self.cursor
+    }
+}
+
+impl Iterator for ArrivalEvents<'_> {
+    type Item = ArrivalEvent;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let ev = self.peek()?;
+        self.cursor += 1;
+        Some(ev)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for ArrivalEvents<'_> {}
+
+/// Shape statistics of a trace's arrival stream, computed in one pass over
+/// its events (probe/diagnostic helper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalStats {
+    /// Number of arrivals.
+    pub count: usize,
+    /// Last arrival step (0 for an empty trace).
+    pub span: u64,
+    /// Largest gap between consecutive arrivals (and before the first).
+    pub max_gap: u64,
+    /// Mean arrivals per step over the span (0 for an empty trace).
+    pub rate_per_step: f64,
+}
+
+impl ArrivalStats {
+    /// Computes the stats of an arrival-sorted trace.
+    pub fn of(tasks: &[TaskSpec]) -> Self {
+        let mut count = 0usize;
+        let mut span = 0u64;
+        let mut max_gap = 0u64;
+        let mut prev = 0u64;
+        for ev in ArrivalEvents::new(tasks) {
+            count += 1;
+            max_gap = max_gap.max(ev.time - prev);
+            prev = ev.time;
+            span = ev.time;
+        }
+        let rate_per_step = if span > 0 { count as f64 / span as f64 } else { 0.0 };
+        Self { count, span, max_gap, rate_per_step }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetId;
+
+    fn task(id: u64, arrival: u64) -> TaskSpec {
+        TaskSpec { id, arrival, vcpus: 1, mem_gb: 1.0, duration: 5 }
+    }
+
+    #[test]
+    fn streams_in_trace_order_with_peek() {
+        let trace = vec![task(7, 0), task(3, 0), task(1, 4), task(2, 9)];
+        let mut ev = ArrivalEvents::new(&trace);
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev.peek(), Some(ArrivalEvent { time: 0, index: 0 }));
+        // Equal timestamps keep trace order (index ascending).
+        let order: Vec<(u64, usize)> = ev.by_ref().map(|e| (e.time, e.index)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (4, 2), (9, 3)]);
+        assert_eq!(ev.peek(), None);
+        assert_eq!(ev.remaining(), 0);
+    }
+
+    #[test]
+    fn sampled_traces_satisfy_the_sort_precondition() {
+        for ds in DatasetId::ALL {
+            let trace = ds.model().sample(200, 11);
+            let n = ArrivalEvents::new(&trace).count();
+            assert_eq!(n, 200, "{ds:?}");
+        }
+    }
+
+    #[test]
+    fn stats_capture_span_and_sparsity() {
+        let trace = vec![task(0, 2), task(1, 2), task(2, 50), task(3, 60)];
+        let s = ArrivalStats::of(&trace);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.span, 60);
+        assert_eq!(s.max_gap, 48);
+        assert!((s.rate_per_step - 4.0 / 60.0).abs() < 1e-12);
+        let empty = ArrivalStats::of(&[]);
+        assert_eq!((empty.count, empty.span, empty.max_gap), (0, 0, 0));
+        assert_eq!(empty.rate_per_step, 0.0);
+    }
+}

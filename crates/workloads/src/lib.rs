@@ -30,6 +30,7 @@ pub mod arrival;
 pub mod dataset;
 pub mod drift;
 pub mod duration;
+pub mod events;
 pub mod machines;
 pub mod mix;
 pub mod model;
@@ -42,6 +43,7 @@ pub use arrival::ArrivalProfile;
 pub use dataset::DatasetId;
 pub use drift::{scale_arrivals, PiecewiseModel};
 pub use duration::DurationModel;
+pub use events::{ArrivalEvent, ArrivalEvents, ArrivalStats};
 pub use machines::{machine_table, MachineRow};
 pub use mix::hybrid_test_set;
 pub use model::WorkloadModel;

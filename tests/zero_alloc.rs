@@ -154,6 +154,81 @@ fn hot_paths_are_allocation_free_after_warmup() {
         "greedy inference allocated {calls} times / {bytes} bytes after warmup"
     );
 
+    // Steady-state event core: the discrete-event calendar itself — event
+    // pops, lazy arrival rescheduling, completion handling via `Vm::finish`,
+    // and horizon jumps — must stay off the heap once the binary heap has
+    // its capacity. A sparse trace maximizes calendar traffic per decision
+    // (every wait is a far jump). `reset` is inside the measured region:
+    // clearing the calendar retains its buffer.
+    let mut sparse_tasks = DatasetId::HpcKs.model().sample(30, 11);
+    for t in &mut sparse_tasks {
+        t.arrival *= 8;
+    }
+    let mut ev_env =
+        CloudEnv::new(dims, vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)], EnvConfig::default());
+    assert_eq!(ev_env.time_engine(), pfrl_core::sim::TimeEngine::Event);
+    let first_fit_episode = |env: &mut CloudEnv| {
+        let mut decisions = 0usize;
+        loop {
+            let a = env.first_fit_action().unwrap_or(Action::Wait);
+            decisions += 1;
+            if env.step(a).done {
+                return decisions;
+            }
+        }
+    };
+    for _ in 0..3 {
+        ev_env.reset(sparse_tasks.clone());
+        first_fit_episode(&mut ev_env);
+    }
+    let warm_tasks = sparse_tasks.clone();
+    let (calls, bytes, decisions) = count_allocs(|| {
+        ev_env.reset(warm_tasks);
+        first_fit_episode(&mut ev_env)
+    });
+    assert!(decisions > 0, "event-core episode made no decisions");
+    assert!(ev_env.events() > 0, "event-core episode applied no events");
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "event-core episode (reset + calendar-driven first-fit) allocated {calls} times / {bytes} bytes after warmup"
+    );
+
+    // The DAG env's event loop (release chains + completion-driven ready
+    // propagation). Its `reset` rebuilds dependency tables and is allowed
+    // to allocate, so only the decision loop is measured.
+    use pfrl_core::sim::{DagCloudEnv, SchedulingEnv};
+    use pfrl_core::workloads::WorkflowModel;
+    let wf_model = WorkflowModel::scientific(DatasetId::K8s.model());
+    let workflows = wf_model.sample(4, 17);
+    let mut dag_env = DagCloudEnv::new(
+        dims,
+        vec![VmSpec::new(8, 64.0), VmSpec::new(4, 32.0)],
+        EnvConfig::default(),
+    );
+    let dag_episode = |env: &mut DagCloudEnv| {
+        let mut decisions = 0usize;
+        while !env.is_done() {
+            let a = env.first_fit_action().unwrap_or(Action::Wait);
+            env.step(a);
+            decisions += 1;
+        }
+        decisions
+    };
+    for _ in 0..3 {
+        dag_env.reset(workflows.clone());
+        dag_episode(&mut dag_env);
+    }
+    dag_env.reset(workflows.clone());
+    let (calls, bytes, decisions) = count_allocs(|| dag_episode(&mut dag_env));
+    assert!(decisions > 0, "DAG event-core episode made no decisions");
+    assert!(dag_env.events() > 0, "DAG event-core episode applied no events");
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "DAG event-core episode allocated {calls} times / {bytes} bytes after warmup"
+    );
+
     // Steady-state serving: a `pfrl-serve` Session's decide loop over a
     // full episode. Scratch lives in the crate's thread-local pool, so
     // after one warmup episode (and the `begin_episode` task copy, which
