@@ -21,9 +21,14 @@ impl Activation {
 
     /// Slice form of [`Activation::forward_inplace`] — the per-decision
     /// inference path works on plain row vectors.
+    ///
+    /// Tanh is evaluated by the shared `pfrl-tensor` polynomial kernel
+    /// (`ops::tanh_slice_inplace`), so the scalar and SIMD tiers are
+    /// bit-identical and training and serving share one activation
+    /// definition (~1e-7 absolute difference from libm `tanhf`).
     pub fn forward_slice_inplace(self, x: &mut [f32]) {
         match self {
-            Activation::Tanh => x.iter_mut().for_each(|v| *v = v.tanh()),
+            Activation::Tanh => pfrl_tensor::ops::tanh_slice_inplace(x),
             Activation::Relu => x.iter_mut().for_each(|v| *v = v.max(0.0)),
             Activation::Identity => {}
         }

@@ -71,6 +71,8 @@ impl Linear {
     /// two). Per element the operation sequence is unchanged — all `x·W`
     /// terms accumulate in inner-index order, then the bias is added last —
     /// so results are bitwise identical to `matmul` + `add_row_bias`.
+    /// Routed through [`ops::matmul_bias_into`], which dispatches to the
+    /// register-blocked AVX2 GEMM when available (bit-identical).
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(
             x.cols(),
@@ -79,31 +81,14 @@ impl Linear {
             x.cols(),
             self.in_dim()
         );
-        let (m, n) = (x.rows(), self.out_dim());
-        out.resize(m, n);
-        for i in 0..m {
-            let xrow = x.row(i);
-            let orow = out.row_mut(i);
-            orow.iter_mut().for_each(|v| *v = 0.0);
-            for (p, &av) in xrow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let wrow = self.w.row(p);
-                for (o, &wv) in orow.iter_mut().zip(wrow) {
-                    *o += av * wv;
-                }
-            }
-            ops::axpy(1.0, &self.b, orow);
-        }
+        ops::matmul_bias_into(x, &self.w, &self.b, out);
     }
 
     /// Single-row fused forward (`matvec` + bias) for per-decision
     /// inference. Bitwise identical to [`Linear::forward`] on a `1×k`
     /// matrix.
     pub fn forward_row_into(&self, x: &[f32], out: &mut Vec<f32>) {
-        ops::matvec_into(x, &self.w, out);
-        ops::axpy(1.0, &self.b, out);
+        ops::matvec_bias_into(x, &self.w, &self.b, out);
     }
 
     /// Forward pass that caches `x` for the backward pass.

@@ -16,11 +16,19 @@
 //!   a bounded request queue that rejects with [`ServeError::Overloaded`]
 //!   instead of buffering without bound, draining in arrival order with
 //!   [`DecisionService::decide_batch`]. Decision latency, queue depth,
-//!   admissions, and rejections are all reported through `pfrl-telemetry`.
+//!   admissions, and rejections are all reported through `pfrl-telemetry`;
+//! * [`ShardedDecisionService`] — the scale-out front end: sessions are
+//!   hashed to share-nothing shards (one worker core each), waves of
+//!   concurrent same-snapshot requests collapse into a single batched
+//!   GEMM, and new snapshot versions roll out through shadow-evaluated
+//!   hot-swap ramps ([`ShardedDecisionService::publish`]) with automatic
+//!   rollback. See the [`shard`] module docs for the ownership rule and
+//!   the ramp state machine.
 //!
 //! Served decisions are bit-identical to the trainer's greedy evaluation
-//! of the same policy — the fidelity tests in `tests/policy_serving.rs`
-//! (workspace root) assert this for all four federation algorithms.
+//! of the same policy — whether decided one at a time or in a sharded
+//! wave — and the fidelity tests in `tests/policy_serving.rs` (workspace
+//! root) assert this for all four federation algorithms.
 //!
 //! # Example: snapshot → store → batched decisions
 //!
@@ -65,10 +73,12 @@
 
 pub mod service;
 pub mod session;
+pub mod shard;
 pub mod store;
 
 pub use service::{DecisionService, ServeConfig, ServeError, SessionId};
 pub use session::{Decision, Session};
+pub use shard::{RampHandle, RampStatus, ServeLedger, ShardedDecisionService, ShardedServeConfig};
 pub use store::PolicyStore;
 
 #[cfg(test)]

@@ -31,6 +31,11 @@ pub enum ServeError {
     UnknownPolicy(String),
     /// The session id does not name an open session.
     UnknownSession(SessionId),
+    /// A hot-swap version ramp could not be started (another ramp is
+    /// still shadowing, or the candidate's shape disagrees with the
+    /// serving fleet). See
+    /// [`ShardedDecisionService::publish`](crate::ShardedDecisionService::publish).
+    RampRejected(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -41,6 +46,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::UnknownPolicy(who) => write!(f, "no policy snapshot for {who}"),
             ServeError::UnknownSession(id) => write!(f, "no open session {id}"),
+            ServeError::RampRejected(why) => write!(f, "version ramp rejected: {why}"),
         }
     }
 }

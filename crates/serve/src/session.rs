@@ -56,6 +56,10 @@ pub struct Decision {
     pub reward: f32,
     /// Whether the episode is now complete.
     pub done: bool,
+    /// Snapshot version of the policy that produced this decision — the
+    /// audit trail for hot-swap ramps: after a cutover commits, no decision
+    /// may carry a retired version (asserted by the stress suite).
+    pub version: u64,
 }
 
 /// One cluster's serving session: an environment mirror plus the frozen
@@ -144,15 +148,49 @@ impl Session {
         scratch::with(|s| {
             self.env.observe_into(&mut s.state);
             self.actor.forward_one_into(&s.state, &mut s.logits);
-            if self.mask_actions {
-                self.env.action_mask_into(&mut s.mask);
-                policy::apply_mask(&mut s.logits, &s.mask);
-            }
-            let action = policy::greedy_action(&s.logits);
-            let out = self.env.step(Action::from_index(action, self.max_vms));
-            self.decisions += 1;
-            Decision { action, placed: out.placed, reward: out.reward, done: out.done }
+            self.finish_with_logits_in(&mut s.logits, &mut s.mask)
         })
+    }
+
+    /// Writes the current observation into `state` (first half of a
+    /// decision). The sharded service uses this to fill one row of a wave's
+    /// state matrix before running a single batched forward for the wave.
+    pub(crate) fn observe_into(&self, state: &mut Vec<f32>) {
+        self.env.observe_into(state);
+    }
+
+    /// Second half of a decision, given already-computed `logits` for the
+    /// current observation: mask → argmax → env step. `logits` is consumed
+    /// in place (masking overwrites it); `mask` is caller scratch. Exactly
+    /// the tail of [`Session::decide`], so a wave-batched decision is
+    /// bit-identical to a sequential one whenever the logits are.
+    pub(crate) fn finish_with_logits_in(
+        &mut self,
+        logits: &mut [f32],
+        mask: &mut Vec<bool>,
+    ) -> Decision {
+        if self.mask_actions {
+            self.env.action_mask_into(mask);
+            policy::apply_mask(logits, mask);
+        }
+        let action = policy::greedy_action(logits);
+        let out = self.env.step(Action::from_index(action, self.max_vms));
+        self.decisions += 1;
+        Decision {
+            action,
+            placed: out.placed,
+            reward: out.reward,
+            done: out.done,
+            version: self.version,
+        }
+    }
+
+    /// Swaps in new actor parameters at `version` — the commit step of a
+    /// hot-swap ramp. Parameters must already be validated (the ramp
+    /// rejects non-finite candidates before any session sees them).
+    pub(crate) fn adopt_params(&mut self, params: &[f32], version: u64) {
+        self.actor.set_flat_params(params);
+        self.version = version;
     }
 
     /// Convenience: runs one full episode over `tasks` and returns its

@@ -11,9 +11,17 @@
 //! * [`Matrix`] — an owned `rows × cols` matrix of `f32` in row-major order;
 //! * free-function kernels in [`ops`] (GEMM variants, softmax, reductions);
 //! * weight initializers in [`init`] (Xavier/He, seeded).
+//!
+//! The serving-critical kernels additionally dispatch to runtime-detected
+//! AVX2 implementations ([`simd`]) that are held bitwise identical to the
+//! scalar reference — determinism is preserved unconditionally; only speed
+//! changes with the CPU. See the [`simd`] module docs for the zero-ULP
+//! tolerance contract.
 
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod simd;
 
 pub use matrix::Matrix;
+pub use simd::SimdTier;

@@ -13,8 +13,113 @@
 //! inner dimension, in index order): float addition is not associative, so
 //! any reordering would change results at the last bit and break the
 //! cross-run determinism the telemetry fingerprint tests assert.
+//!
+//! The serving-critical kernels (`matvec`/`matmul` with optional fused
+//! bias, `softmax`, `log_softmax`, `tanh`) additionally dispatch at runtime
+//! to AVX2 implementations in [`crate::simd`] that are held **bitwise
+//! identical** to the scalar reference implementations in [`reference`] —
+//! the tolerance contract is zero ULP, pinned by the equivalence proptests
+//! in `crates/tensor/tests/proptests.rs`. Set `PFRL_TENSOR_SIMD=0` to
+//! force the scalar tier (results do not change, only speed).
 
+use crate::simd;
+#[cfg(target_arch = "x86_64")]
+use crate::simd::SimdTier;
 use crate::Matrix;
+
+/// Scalar reference implementations of the SIMD-dispatched kernels.
+///
+/// These are the ground truth the AVX2 tier is held bit-compatible to (the
+/// same role the `Stepped` engine plays for the event calendar). They are
+/// public so the equivalence proptests can drive them directly against the
+/// dispatched entry points.
+pub mod reference {
+    use crate::simd;
+    use crate::Matrix;
+
+    /// `out = x · w (+ bias)`; `out` must be pre-sized to `w.cols()`.
+    ///
+    /// Accumulates `x[p] * w[p][j]` per output element sequentially over
+    /// `p`, skipping exact-zero `x[p]` terms, then adds the bias last —
+    /// the historical fused `matvec` + `axpy` sequence of
+    /// `Linear::forward_row_into`.
+    pub fn matvec_bias_into(x: &[f32], w: &Matrix, bias: Option<&[f32]>, out: &mut [f32]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for (p, &av) in x.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let wrow = w.row(p);
+            for (o, &wv) in out.iter_mut().zip(wrow) {
+                *o += av * wv;
+            }
+        }
+        if let Some(b) = bias {
+            for (o, &bv) in out.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+    }
+
+    /// Batched `out = a · w (+ bias per row)`; `out` must be pre-sized to
+    /// `a.rows() × w.cols()`. Row `i` runs exactly
+    /// [`matvec_bias_into`] on `a.row(i)`.
+    pub fn matmul_bias_into(a: &Matrix, w: &Matrix, bias: Option<&[f32]>, out: &mut Matrix) {
+        for i in 0..a.rows() {
+            let xrow = a.row(i);
+            let orow = out.row_mut(i);
+            orow.iter_mut().for_each(|v| *v = 0.0);
+            for (p, &av) in xrow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let wrow = w.row(p);
+                for (o, &wv) in orow.iter_mut().zip(wrow) {
+                    *o += av * wv;
+                }
+            }
+            if let Some(b) = bias {
+                for (o, &bv) in orow.iter_mut().zip(b) {
+                    *o += bv;
+                }
+            }
+        }
+    }
+
+    /// In-place tanh via the shared polynomial ([`simd::tanh`]).
+    pub fn tanh_slice_inplace(x: &mut [f32]) {
+        for v in x {
+            *v = simd::tanh(*v);
+        }
+    }
+
+    /// Numerically-stable in-place softmax (see
+    /// [`super::softmax_inplace`] for the contract).
+    pub fn softmax_inplace(x: &mut [f32]) {
+        let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if !max.is_finite() {
+            let u = 1.0 / x.len() as f32;
+            x.iter_mut().for_each(|v| *v = u);
+            return;
+        }
+        let mut sum = 0.0;
+        for v in x.iter_mut() {
+            *v = simd::exp_nonpos(*v - max);
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        x.iter_mut().for_each(|v| *v *= inv);
+    }
+
+    /// Stable log-softmax; `out` must be pre-sized to `x.len()`.
+    pub fn log_softmax(x: &[f32], out: &mut [f32]) {
+        let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = x.iter().map(|v| simd::exp_nonpos(v - max)).sum::<f32>().ln();
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = v - max - log_sum;
+        }
+    }
+}
 
 /// `out = a · b` where `a` is `m×k` and `b` is `k×n`.
 ///
@@ -30,7 +135,9 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Each `out[i][j]` accumulates `a[i][p] * b[p][j]` sequentially over `p`,
 /// skipping exact-zero `a[i][p]` terms — identical to the historical
-/// allocating kernel, so results are bitwise unchanged.
+/// allocating kernel, so results are bitwise unchanged. Dispatches to the
+/// register-blocked AVX2 GEMM when available (bit-identical; see
+/// [`reference`]).
 pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
@@ -41,22 +148,49 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
         b.rows(),
         b.cols()
     );
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (m, n) = (a.rows(), b.cols());
     out.resize(m, n);
-    out.fill_zero();
-    for i in 0..m {
-        let arow = a.row(i);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            let orow = out.row_mut(i);
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
+    dispatch_matmul(a, b, None, out);
+}
+
+/// Fused `out = a · w` plus a per-row bias add — the historical
+/// `Linear::forward_into` sequence (all `x·W` terms accumulate in inner
+/// index order, then the bias is added last per element), so results are
+/// bitwise identical to [`matmul`] + `add_row_bias`. `out` is reshaped to
+/// `a.rows() × w.cols()`.
+pub fn matmul_bias_into(a: &Matrix, w: &Matrix, bias: &[f32], out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        w.rows(),
+        "matmul_bias: {}x{} · {}x{} inner dims differ",
+        a.rows(),
+        a.cols(),
+        w.rows(),
+        w.cols()
+    );
+    assert_eq!(bias.len(), w.cols(), "matmul_bias: bias length mismatch");
+    out.resize(a.rows(), w.cols());
+    dispatch_matmul(a, w, Some(bias), out);
+}
+
+fn dispatch_matmul(a: &Matrix, w: &Matrix, bias: Option<&[f32]>, out: &mut Matrix) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::tier() == SimdTier::Avx2 {
+        // SAFETY: tier() verified AVX2 support at runtime.
+        unsafe {
+            simd::avx2::matmul_bias(
+                a.as_slice(),
+                a.rows(),
+                a.cols(),
+                w.as_slice(),
+                w.cols(),
+                bias,
+                out.as_mut_slice(),
+            );
         }
+        return;
     }
+    reference::matmul_bias_into(a, w, bias, out);
 }
 
 /// `out = a · bᵀ` where `a` is `m×k` and `b` is `n×k` (so `out` is `m×n`).
@@ -181,18 +315,51 @@ pub fn matvec_into(x: &[f32], w: &Matrix, out: &mut Vec<f32>) {
         w.rows(),
         w.cols()
     );
-    let n = w.cols();
     out.clear();
-    out.resize(n, 0.0);
-    for (p, &av) in x.iter().enumerate() {
-        if av == 0.0 {
-            continue;
-        }
-        let wrow = w.row(p);
-        for (o, &wv) in out.iter_mut().zip(wrow) {
-            *o += av * wv;
-        }
+    out.resize(w.cols(), 0.0);
+    dispatch_matvec(x, w, None, out);
+}
+
+/// Fused `out = x · w + bias` for a single row vector — the historical
+/// `Linear::forward_row_into` sequence (`matvec` accumulation, bias added
+/// last per element), bitwise identical to [`matvec_into`] + `axpy`.
+/// `out` is cleared and refilled to length `w.cols()`.
+pub fn matvec_bias_into(x: &[f32], w: &Matrix, bias: &[f32], out: &mut Vec<f32>) {
+    assert_eq!(
+        x.len(),
+        w.rows(),
+        "matvec_bias: x of length {} vs {}x{} matrix",
+        x.len(),
+        w.rows(),
+        w.cols()
+    );
+    assert_eq!(bias.len(), w.cols(), "matvec_bias: bias length mismatch");
+    out.clear();
+    out.resize(w.cols(), 0.0);
+    dispatch_matvec(x, w, Some(bias), out);
+}
+
+fn dispatch_matvec(x: &[f32], w: &Matrix, bias: Option<&[f32]>, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::tier() == SimdTier::Avx2 {
+        // SAFETY: tier() verified AVX2 support at runtime.
+        unsafe { simd::avx2::matvec_bias(x, w.as_slice(), w.cols(), bias, out) };
+        return;
     }
+    reference::matvec_bias_into(x, w, bias, out);
+}
+
+/// In-place hyperbolic tangent over a slice, via the shared polynomial
+/// kernel ([`crate::simd::tanh`]) — the workspace-wide definition of tanh,
+/// bit-identical between the scalar and AVX2 tiers.
+pub fn tanh_slice_inplace(x: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::tier() == SimdTier::Avx2 {
+        // SAFETY: tier() verified AVX2 support at runtime.
+        unsafe { simd::avx2::tanh_slice_inplace(x) };
+        return;
+    }
+    reference::tanh_slice_inplace(x);
 }
 
 /// Dot product of two equal-length slices.
@@ -241,24 +408,23 @@ pub fn add_row_bias(a: &mut Matrix, bias: &[f32]) {
 /// Numerically-stable in-place softmax over a single slice.
 ///
 /// Subtracts the max before exponentiating; an all-`-inf` row becomes
-/// uniform rather than NaN.
+/// uniform rather than NaN. Exponentials use the shared polynomial
+/// ([`crate::simd::exp_nonpos`]), which maps masked `-inf` logits to an
+/// exact `0.0` weight; the lane-order-sensitive sum stays a sequential
+/// scalar loop in both tiers, so scalar and AVX2 results are bitwise
+/// identical. Inputs are specified finite-or-`-inf` (NaN propagates but
+/// its effect on the max reduction is tier-dependent).
 pub fn softmax_inplace(x: &mut [f32]) {
     if x.is_empty() {
         return;
     }
-    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    if !max.is_finite() {
-        let u = 1.0 / x.len() as f32;
-        x.iter_mut().for_each(|v| *v = u);
+    #[cfg(target_arch = "x86_64")]
+    if simd::tier() == SimdTier::Avx2 {
+        // SAFETY: tier() verified AVX2 support at runtime.
+        unsafe { simd::avx2::softmax_inplace(x) };
         return;
     }
-    let mut sum = 0.0;
-    for v in x.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
-    }
-    let inv = 1.0 / sum;
-    x.iter_mut().for_each(|v| *v *= inv);
+    reference::softmax_inplace(x);
 }
 
 /// Applies [`softmax_inplace`] to every row of `a`.
@@ -276,12 +442,18 @@ pub fn log_softmax(x: &[f32]) -> Vec<f32> {
 }
 
 /// [`log_softmax`] into a reusable output vector (cleared and refilled;
-/// retains capacity across calls).
+/// retains capacity across calls). Same tier contract as
+/// [`softmax_inplace`]: bitwise identical between scalar and AVX2.
 pub fn log_softmax_into(x: &[f32], out: &mut Vec<f32>) {
-    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let log_sum: f32 = x.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
     out.clear();
-    out.extend(x.iter().map(|v| v - max - log_sum));
+    out.resize(x.len(), 0.0);
+    #[cfg(target_arch = "x86_64")]
+    if simd::tier() == SimdTier::Avx2 {
+        // SAFETY: tier() verified AVX2 support at runtime.
+        unsafe { simd::avx2::log_softmax(x, out) };
+        return;
+    }
+    reference::log_softmax(x, out);
 }
 
 /// Index of the maximum element (first on ties).

@@ -193,3 +193,170 @@ proptest! {
         }
     }
 }
+
+// --- SIMD tier equivalence ------------------------------------------------
+//
+// Tolerance contract: **zero ULP**. The AVX2 tier vectorizes across output
+// columns only (never across the inner contraction dimension), performs the
+// same mul-then-add per element as the scalar loop (no FMA — a fused
+// multiply-add rounds once where mul+add rounds twice, which is observably
+// different at the last bit), and shares one polynomial `exp`/`tanh` with
+// the scalar tier. Lane-order-sensitive reductions (the softmax sum) stay
+// sequential scalar in both tiers; only the order-insensitive `max` is
+// tree-reduced. So the dispatched kernels must equal `ops::reference` bit
+// for bit — equality below is on `f32::to_bits`, no epsilon anywhere.
+//
+// The generators deliberately cover the hazard cases:
+//   * lengths that are not multiples of the 8-lane vector width, and column
+//     counts crossing the 64-column tile boundary (masked-tail paths);
+//   * exact zeros in the input vector (the reference kernel's zero-skip
+//     branch — skippable because `acc + 0.0·w` is bit-identical to `acc`
+//     for every accumulator this kernel can produce);
+//   * `-inf` logits, as produced by action masking, including whole-slice
+//     `-inf` (the uniform-fallback row of softmax);
+//   * dirty output buffers (NaN-filled, or stale from a previous larger
+//     call) — the steady-state buffer-reuse situation in the NN stack.
+//
+// On a host without AVX2 (or with `PFRL_TENSOR_SIMD=0`) the dispatched
+// entry points *are* the reference implementations and these properties
+// hold trivially; on an AVX2 host they pin the vector tier to the scalar
+// ground truth.
+
+/// Values with a fat atom at exact zero (exercises the zero-skip branch).
+fn zeroish(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    (proptest::collection::vec(-8.0f32..8.0, n), proptest::collection::vec(0u8..4, n)).prop_map(
+        |(vals, picks)| {
+            vals.into_iter().zip(picks).map(|(v, p)| if p == 0 { 0.0 } else { v }).collect()
+        },
+    )
+}
+
+/// Logits with masked (`-inf`) entries mixed in, as `policy::apply_mask`
+/// produces them.
+fn maskedish(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    (1..=max_len).prop_flat_map(|n| {
+        (proptest::collection::vec(-20.0f32..20.0, n), proptest::collection::vec(0u8..5, n))
+            .prop_map(|(vals, picks)| {
+                vals.into_iter()
+                    .zip(picks)
+                    .map(|(v, p)| if p == 0 { f32::NEG_INFINITY } else { v })
+                    .collect()
+            })
+    })
+}
+
+/// Ragged `(x, w, bias)` triples: inner and outer dims sweep across the
+/// 8-lane and 64-column boundaries (1..=70 covers 7, 8, 9, 63, 64, 65 …).
+fn matvec_triple() -> impl Strategy<Value = (Vec<f32>, Matrix, Vec<f32>)> {
+    (1usize..=70, 1usize..=70).prop_flat_map(|(k, n)| {
+        (
+            zeroish(k),
+            proptest::collection::vec(-5.0f32..5.0, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d)),
+            proptest::collection::vec(-2.0f32..2.0, n),
+        )
+    })
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn simd_matvec_bias_is_bitwise_reference((x, w, bias) in matvec_triple()) {
+        let n = w.cols();
+        let mut want = vec![0.0f32; n];
+        ops::reference::matvec_bias_into(&x, &w, Some(&bias), &mut want);
+        // Dirty, oversized buffer: the dispatched kernel must fully
+        // overwrite its live region regardless of prior contents.
+        let mut got = vec![f32::NAN; n + 13];
+        ops::matvec_bias_into(&x, &w, &bias, &mut got);
+        prop_assert_eq!(got.len(), n);
+        prop_assert_eq!(bits(&got), bits(&want));
+
+        // And the no-bias form against the no-bias reference.
+        let mut want_nb = vec![0.0f32; n];
+        ops::reference::matvec_bias_into(&x, &w, None, &mut want_nb);
+        let mut got_nb = vec![f32::NAN; 1];
+        ops::matvec_into(&x, &w, &mut got_nb);
+        prop_assert_eq!(bits(&got_nb), bits(&want_nb));
+    }
+
+    #[test]
+    fn simd_matmul_bias_is_bitwise_reference(
+        (x, w, bias) in matvec_triple(),
+        m in 1usize..=6,
+    ) {
+        // Batch: m copies of x with row-dependent perturbation so rows are
+        // distinct but the zero pattern survives (0.0 * anything == 0.0).
+        let k = x.len();
+        let mut a = Matrix::zeros(m, k);
+        for i in 0..m {
+            for (j, &v) in x.iter().enumerate() {
+                a[(i, j)] = v * (1.0 + i as f32 * 0.25);
+            }
+        }
+        let mut want = Matrix::zeros(m, w.cols());
+        ops::reference::matmul_bias_into(&a, &w, Some(&bias), &mut want);
+        let mut got = Matrix::filled(2, 3, f32::NAN);
+        ops::matmul_bias_into(&a, &w, &bias, &mut got);
+        prop_assert_eq!(got.shape(), want.shape());
+        prop_assert_eq!(bits(got.as_slice()), bits(want.as_slice()));
+
+        // The batched kernel must also equal one matvec per row — this is
+        // the property the sharded serving wave leans on: collapsing many
+        // same-snapshot decisions into one GEMM changes nothing, bitwise.
+        let mut row_want = vec![0.0f32; w.cols()];
+        for i in 0..m {
+            ops::reference::matvec_bias_into(a.row(i), &w, Some(&bias), &mut row_want);
+            prop_assert_eq!(bits(got.row(i)), bits(&row_want), "row {}", i);
+        }
+    }
+
+    #[test]
+    fn simd_tanh_is_bitwise_reference(mut v in maskedish(70)) {
+        // tanh is defined on the whole line; swap -inf for large-magnitude
+        // finite values plus the saturation threshold neighborhood.
+        for (i, x) in v.iter_mut().enumerate() {
+            if !x.is_finite() {
+                *x = if i % 2 == 0 { -9.1 } else { 87.4 };
+            }
+        }
+        let mut want = v.clone();
+        ops::reference::tanh_slice_inplace(&mut want);
+        let mut got = v;
+        ops::tanh_slice_inplace(&mut got);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn simd_softmax_is_bitwise_reference(v in maskedish(70)) {
+        let mut want = v.clone();
+        ops::reference::softmax_inplace(&mut want);
+        let mut got = v;
+        ops::softmax_inplace(&mut got);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn simd_log_softmax_is_bitwise_reference(v in maskedish(70)) {
+        let mut want = vec![0.0f32; v.len()];
+        ops::reference::log_softmax(&v, &mut want);
+        let mut got = vec![f32::NAN; 3];
+        ops::log_softmax_into(&v, &mut got);
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+}
+
+#[test]
+fn simd_softmax_all_masked_row_is_uniform_in_both_tiers() {
+    for n in [1usize, 7, 8, 9, 11, 64, 65] {
+        let mut got = vec![f32::NEG_INFINITY; n];
+        ops::softmax_inplace(&mut got);
+        let mut want = vec![f32::NEG_INFINITY; n];
+        ops::reference::softmax_inplace(&mut want);
+        assert_eq!(bits(&got), bits(&want), "n={n}");
+        assert!((got.iter().sum::<f32>() - 1.0).abs() < 1e-5, "n={n}");
+    }
+}

@@ -8,9 +8,12 @@ use pfrl_core::experiment::{run_federation, Algorithm};
 use pfrl_core::fed::FedConfig;
 use pfrl_core::presets::{table2_clients, TABLE2_DIMS};
 use pfrl_core::rl::PpoConfig;
-use pfrl_core::serve::{DecisionService, PolicyStore, ServeConfig, ServeError, Session};
+use pfrl_core::serve::{
+    Decision, DecisionService, PolicyStore, ServeConfig, ServeError, Session,
+    ShardedDecisionService, ShardedServeConfig,
+};
 use pfrl_core::sim::EnvConfig;
-use pfrl_core::workloads::DatasetId;
+use pfrl_core::workloads::{DatasetId, TaskSpec};
 
 fn tiny_fed(seed: u64) -> FedConfig {
     FedConfig {
@@ -91,6 +94,138 @@ fn batched_service_preserves_decision_fidelity() {
     }
     let served = svc.session(id).unwrap().metrics();
     assert_eq!(served, expected, "batched serving diverged from trainer");
+}
+
+/// Opens one session per task set on a fresh sharded service and drives
+/// every session to episode completion through submit → wave drains,
+/// returning each session's full decision sequence in decision order.
+fn drive_sharded(
+    store: PolicyStore,
+    shards: usize,
+    client: &str,
+    task_sets: &[Vec<TaskSpec>],
+) -> Vec<Vec<Decision>> {
+    let svc = ShardedDecisionService::new(
+        store,
+        ShardedServeConfig { shards, queue_capacity: 64, max_batch: 8 },
+    );
+    let ids: Vec<_> = task_sets
+        .iter()
+        .map(|tasks| {
+            let id = svc.open_session(client).expect("known client");
+            svc.begin_episode(id, tasks).expect("fresh session");
+            id
+        })
+        .collect();
+    let mut seqs = vec![Vec::new(); ids.len()];
+    let mut done = vec![false; ids.len()];
+    while done.iter().any(|d| !d) {
+        for (k, &id) in ids.iter().enumerate() {
+            if !done[k] {
+                svc.submit(id).expect("queue has headroom");
+            }
+        }
+        for shard in 0..svc.shards() {
+            for (id, d) in svc.decide_wave(shard) {
+                let k = ids.iter().position(|&x| x == id).expect("served id is known");
+                seqs[k].push(d);
+                if d.done {
+                    done[k] = true;
+                }
+            }
+        }
+    }
+    let ledger = svc.ledger();
+    assert_eq!(
+        ledger.admitted,
+        ledger.decisions + ledger.stale + ledger.queued,
+        "sharded ledger out of balance"
+    );
+    seqs
+}
+
+/// The sharded wave path — sessions hashed across shards, concurrent
+/// same-snapshot decisions collapsed into one batched GEMM — reproduces
+/// the sequential `Session::decide` sequence bit for bit, for all four
+/// algorithms. Each session runs a *different* task set so the wave's
+/// state matrix has distinct rows; `Decision` equality covers action,
+/// reward bits, placement, and version.
+#[test]
+fn sharded_waves_reproduce_sequential_decisions_for_all_algorithms() {
+    let task_sets: Vec<Vec<TaskSpec>> =
+        (0..5).map(|i| DatasetId::K8s.model().sample(15, 100 + i)).collect();
+    for alg in Algorithm::ALL {
+        let (_, trained) = run_federation(
+            alg,
+            table2_clients(40, 11),
+            TABLE2_DIMS,
+            EnvConfig::default(),
+            PpoConfig::default(),
+            tiny_fed(11),
+        );
+        let snapshots = trained.policy_snapshots();
+        let client = trained.client_names()[0].clone();
+
+        // Sequential reference: one decision at a time, per-session matvec.
+        let reference_store = PolicyStore::from_snapshots(snapshots.clone()).unwrap();
+        let snap = reference_store.latest(&client).unwrap();
+        let expected: Vec<Vec<Decision>> = task_sets
+            .iter()
+            .map(|tasks| {
+                let mut s = Session::new(snap).expect("validated snapshot");
+                s.begin_episode(tasks);
+                let mut seq = Vec::new();
+                loop {
+                    let d = s.decide();
+                    seq.push(d);
+                    if d.done {
+                        break;
+                    }
+                }
+                seq
+            })
+            .collect();
+
+        let store = PolicyStore::from_snapshots(snapshots).unwrap();
+        let served = drive_sharded(store, 4, &client, &task_sets);
+        assert_eq!(served, expected, "{alg}: wave decisions diverge from sequential");
+    }
+}
+
+/// Decisions are invariant to the shard count: the same sessions over the
+/// same tasks produce identical per-session decision sequences whether the
+/// fleet runs 1 shard or many — sharding is pure scale-out, never a
+/// numerics or ordering change.
+#[test]
+fn shard_count_is_decision_invariant() {
+    let (_, trained) = run_federation(
+        Algorithm::PfrlDm,
+        table2_clients(40, 13),
+        TABLE2_DIMS,
+        EnvConfig::default(),
+        PpoConfig::default(),
+        tiny_fed(13),
+    );
+    let snapshots = trained.policy_snapshots();
+    let client = trained.client_names()[0].clone();
+    let task_sets: Vec<Vec<TaskSpec>> =
+        (0..6).map(|i| DatasetId::Google.model().sample(12, 300 + i)).collect();
+
+    let single = drive_sharded(
+        PolicyStore::from_snapshots(snapshots.clone()).unwrap(),
+        1,
+        &client,
+        &task_sets,
+    );
+    for shards in [4usize, 7] {
+        let multi = drive_sharded(
+            PolicyStore::from_snapshots(snapshots.clone()).unwrap(),
+            shards,
+            &client,
+            &task_sets,
+        );
+        assert_eq!(multi, single, "{shards}-shard decisions diverge from 1-shard");
+    }
 }
 
 /// Version bookkeeping survives the wire: a later export of the same

@@ -268,6 +268,73 @@ fn hot_paths_are_allocation_free_after_warmup() {
         "serve Session::decide allocated {calls} times / {bytes} bytes after warmup"
     );
 
+    // Steady-state sharded serving: submit_many → per-shard wave drains
+    // (batched-GEMM decisions). After a warmup pass has sized the per-shard
+    // plans, wave buffers, queues, and the caller's output vector, the
+    // whole admission → wave → decision cycle must stay off the heap.
+    // Telemetry is noop, as in any latency-critical deployment of the
+    // sharded front end.
+    use pfrl_core::serve::{PolicyStore, ShardedDecisionService, ShardedServeConfig};
+    let sharded_store =
+        PolicyStore::from_snapshots(vec![snapshot.clone()]).expect("snapshot loads");
+    let sharded = ShardedDecisionService::new(
+        sharded_store,
+        ShardedServeConfig { shards: 4, queue_capacity: 64, max_batch: 16 },
+    );
+    let mut wave_ids: Vec<_> =
+        (0..12).map(|_| sharded.open_session("steady").expect("open session")).collect();
+    // Shard-grouped ids let submit_many take one lock per shard per round.
+    wave_ids.sort_by_key(|&id| id & 0xff);
+    let long_tasks = DatasetId::K8s.model().sample(60, 13);
+    for &id in &wave_ids {
+        sharded.begin_episode(id, &long_tasks).expect("begin episode");
+    }
+    // Warmup must cover a *complete* episode per session: the environment's
+    // internal queues grow with episode progress, so measuring beyond the
+    // warmup's episode position would observe their reallocation, not the
+    // serving path's. Requests for already-finished episodes drop as stale,
+    // which is itself part of the warmed path.
+    let mut wave_out = Vec::new();
+    for _ in 0..250 {
+        sharded.submit_many(&wave_ids);
+        for s in 0..4 {
+            sharded.decide_wave_into(s, &mut wave_out);
+        }
+        wave_out.clear();
+    }
+    for &id in &wave_ids {
+        assert!(
+            sharded.with_session(id, |s| s.is_done()).unwrap(),
+            "warmup must run every episode to completion"
+        );
+        sharded.begin_episode(id, &long_tasks).expect("restart episode");
+    }
+    for _ in 0..3 {
+        sharded.submit_many(&wave_ids);
+        for s in 0..4 {
+            sharded.decide_wave_into(s, &mut wave_out);
+        }
+        wave_out.clear();
+    }
+    let (calls, bytes, served) = count_allocs(|| {
+        let mut served = 0usize;
+        for _ in 0..5 {
+            sharded.submit_many(&wave_ids);
+            for s in 0..4 {
+                sharded.decide_wave_into(s, &mut wave_out);
+            }
+            served += wave_out.len();
+            wave_out.clear();
+        }
+        served
+    });
+    assert_eq!(served, 5 * wave_ids.len(), "every submitted request must decide");
+    assert_eq!(
+        (calls, bytes),
+        (0, 0),
+        "sharded wave serving allocated {calls} times / {bytes} bytes after warmup"
+    );
+
     // Steady-state federated aggregation at K=64 — the federation-scale hot
     // path: top-k sparse attention, the pooled upload arena, and every
     // per-round workspace. After two warm-up rounds (first sizes the arena
